@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the compaction control logic: the cycle
+//! models and the SCC swizzle-settings algorithm (which real hardware must
+//! evaluate between decode and issue, §2.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iwc_compaction::{execution_cycles, expand, CompactionMode, SccSchedule};
+use iwc_isa::insn::{Instruction, Opcode};
+use iwc_isa::reg::Operand;
+use iwc_isa::{DataType, ExecMask};
+
+fn masks() -> Vec<ExecMask> {
+    // A representative mix: full, half-idle, quad patterns, strided, sparse.
+    [0xFFFFu32, 0x00FF, 0xF0F0, 0xAAAA, 0x1111, 0x8421, 0x0001, 0x7F3F]
+        .iter()
+        .map(|&b| ExecMask::new(b, 16))
+        .collect()
+}
+
+fn bench_cycle_models(c: &mut Criterion) {
+    let ms = masks();
+    let mut g = c.benchmark_group("cycle_model");
+    for mode in CompactionMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let mut total = 0u32;
+                for &m in &ms {
+                    total += execution_cycles(black_box(m), DataType::F, mode);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scc_schedule(c: &mut Criterion) {
+    let ms = masks();
+    c.bench_function("scc_schedule/mixed8", |b| {
+        b.iter(|| {
+            let mut cycles = 0u32;
+            for &m in &ms {
+                cycles += SccSchedule::compute(black_box(m)).cycle_count();
+            }
+            cycles
+        })
+    });
+    c.bench_function("scc_schedule/worst_case_aaaa", |b| {
+        let m = ExecMask::new(0xAAAA, 16);
+        b.iter(|| SccSchedule::compute(black_box(m)))
+    });
+}
+
+fn bench_microop_expansion(c: &mut Criterion) {
+    let insn = Instruction::alu(
+        Opcode::Add,
+        16,
+        DataType::F,
+        Operand::rf(12),
+        &[Operand::rf(8), Operand::rf(10)],
+    );
+    let m = ExecMask::new(0xF0F0, 16);
+    let mut g = c.benchmark_group("microop_expand");
+    for mode in CompactionMode::ALL {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| expand(black_box(&insn), black_box(m), mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_models, bench_scc_schedule, bench_microop_expansion);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 10: EU execution-cycle reduction of kernels from BCC and SCC, over
+//! and above the existing Ivy Bridge optimization, for divergent workloads.
+//!
+//! Bars stack the BCC reduction and the additional SCC reduction, exactly
+//! like the paper's figure.
+
+use iwc_bench::{bar, pct, run_mode, scale, trace_len};
+use iwc_compaction::{CompactionMode, CompactionTally};
+use iwc_trace::{analyze, corpus};
+use iwc_workloads::{catalog, Category};
+
+fn print_row(name: &str, tally: &CompactionTally, src: &str) {
+    let bcc = tally.reduction_vs_ivb(CompactionMode::Bcc);
+    let scc = tally.reduction_vs_ivb(CompactionMode::Scc);
+    println!(
+        "{name:<22} bcc {} + scc {} = {}  |{}| [{src}]",
+        pct(bcc),
+        pct(scc - bcc),
+        pct(scc),
+        bar(scc / 0.5, 30)
+    );
+}
+
+fn main() {
+    println!(
+        "== Fig. 10: EU execution-cycle reduction with BCC & SCC (above IVB opt) ==\n"
+    );
+    let mut all_bcc = Vec::new();
+    let mut all_scc = Vec::new();
+    for entry in catalog() {
+        if entry.category != Category::Divergent {
+            continue;
+        }
+        let built = (entry.build)(scale());
+        let r = run_mode(&built, CompactionMode::IvyBridge);
+        let t = r.compute_tally();
+        print_row(entry.name, t, "sim");
+        all_bcc.push(t.reduction_vs_ivb(CompactionMode::Bcc));
+        all_scc.push(t.reduction_vs_ivb(CompactionMode::Scc));
+    }
+    for profile in corpus() {
+        let report = analyze(&profile.generate(trace_len()));
+        print_row(profile.name, &report.tally, "trace");
+        all_bcc.push(report.reduction(CompactionMode::Bcc));
+        all_scc.push(report.reduction(CompactionMode::Scc));
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\naverage: bcc {} scc {}   max: bcc {} scc {}",
+        pct(avg(&all_bcc)),
+        pct(avg(&all_scc)),
+        pct(max(&all_bcc)),
+        pct(max(&all_scc))
+    );
+    println!("paper: up to 42% reduction, ~20% average for divergent applications");
+}

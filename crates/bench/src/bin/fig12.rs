@@ -1,0 +1,60 @@
+//! Fig. 12: Rodinia kernels — reduction in total execution cycles with the
+//! 128 KB L3 and with a perfect (infinite) L3, compared with the EU-cycle
+//! reduction from BCC/SCC.
+//!
+//! The paper's finding: memory-latency-bound kernels (BFS) see little
+//! wall-clock benefit even from a perfect L3; compute-bound kernels realize
+//! most of the EU-cycle gain.
+
+use iwc_bench::{cycle_reduction, pct, print_config, scale};
+use iwc_compaction::CompactionMode;
+use iwc_sim::GpuConfig;
+use iwc_workloads::{rodinia, Built};
+
+fn rodinia_set(scale: u32) -> Vec<Built> {
+    vec![
+        rodinia::bfs(scale),
+        rodinia::hotspot(scale),
+        rodinia::lavamd(scale),
+        rodinia::needleman_wunsch(scale),
+        rodinia::particle_filter(scale),
+    ]
+}
+
+fn main() {
+    println!("== Fig. 12: Rodinia — total vs EU cycle reduction, 128KB vs perfect L3 ==\n");
+    print_config(&GpuConfig::paper_default());
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "kernel", "bccTot", "sccTot", "bccTotPL3", "sccTotPL3", "bccEU", "sccEU"
+    );
+    for built in rodinia_set(scale()) {
+        let run = |mode: CompactionMode, perfect: bool| {
+            let cfg =
+                GpuConfig::paper_default().with_compaction(mode).with_perfect_l3(perfect);
+            built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
+        };
+        let base = run(CompactionMode::IvyBridge, false);
+        let bcc = run(CompactionMode::Bcc, false);
+        let scc = run(CompactionMode::Scc, false);
+        let base_p = run(CompactionMode::IvyBridge, true);
+        let bcc_p = run(CompactionMode::Bcc, true);
+        let scc_p = run(CompactionMode::Scc, true);
+        let t = base.compute_tally();
+        println!(
+            "{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+            built.name,
+            pct(cycle_reduction(&base, &bcc)),
+            pct(cycle_reduction(&base, &scc)),
+            pct(cycle_reduction(&base_p, &bcc_p)),
+            pct(cycle_reduction(&base_p, &scc_p)),
+            pct(t.reduction_vs_ivb(CompactionMode::Bcc)),
+            pct(t.reduction_vs_ivb(CompactionMode::Scc)),
+        );
+    }
+    println!(
+        "\npaper: EU-cycle savings average 18% (BCC) / 21% (SCC) for this set, but \
+         total-time gains are smaller; BFS is memory-bound and gains little even \
+         with a perfect L3"
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 9: SIMD utilization breakdown in SIMD8 and SIMD16 instructions for
+//! divergent workloads — the fraction of instructions in each active-lane
+//! bucket (1-4/16, 5-8/16, 9-12/16, 13-16/16, 1-4/8, 5-8/8).
+
+use iwc_bench::{run_mode, scale, trace_len};
+use iwc_compaction::{CompactionMode, UtilBucket};
+use iwc_trace::{analyze, corpus};
+use iwc_workloads::{catalog, Category};
+
+fn print_row(name: &str, buckets: &[(UtilBucket, f64); 7], src: &str) {
+    print!("{name:<22}");
+    for (_, frac) in buckets.iter().take(6) {
+        print!(" {:>8.1}%", 100.0 * frac);
+    }
+    println!("  [{src}]");
+}
+
+fn main() {
+    println!("== Fig. 9: SIMD utilization breakdown (divergent workloads) ==\n");
+    print!("{:<22}", "workload");
+    for b in UtilBucket::ALL.iter().take(6) {
+        print!(" {:>9}", b.label());
+    }
+    println!();
+
+    for entry in catalog() {
+        if entry.category != Category::Divergent {
+            continue;
+        }
+        let built = (entry.build)(scale());
+        let r = run_mode(&built, CompactionMode::IvyBridge);
+        print_row(entry.name, &r.eu.simd_tally.bucket_fractions(), "sim");
+    }
+    for profile in corpus() {
+        let report = analyze(&profile.generate(trace_len()));
+        print_row(profile.name, &report.buckets(), "trace");
+    }
+    println!(
+        "\ncompaction potential: 1-4/16 saves 3 cycles, 5-8/16 saves 2, 9-12/16 saves 1, \
+         1-4/8 saves 1; 13-16/16 and 5-8/8 save none (paper §5.3)"
+    );
+}

@@ -1,0 +1,154 @@
+//! # iwc-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3` | SIMD efficiency of the workload suite, coherent/divergent split |
+//! | `fig8` | Ivy Bridge divergence micro-benchmark, relative times |
+//! | `fig9` | SIMD utilization breakdown of divergent workloads |
+//! | `fig10` | EU execution-cycle reduction from BCC and SCC |
+//! | `fig11` | Ray tracing: total vs EU cycle reduction, DC1/DC2, throughput |
+//! | `fig12` | Rodinia: total vs EU cycle reduction, 128KB vs perfect L3 |
+//! | `table2` | Nested-branch benefit of IVB/BCC/SCC |
+//! | `table4` | Summary of max/average benefits |
+//! | `rf_area` | Register-file organization study (§4.3 / Fig. 5) |
+//!
+//! Run with `cargo run --release -p iwc-bench --bin <name>`. The
+//! `IWC_SCALE` environment variable scales problem sizes (default 1) and
+//! `IWC_TRACE_LEN` the synthetic trace length.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use iwc_compaction::CompactionMode;
+use iwc_sim::{GpuConfig, SimResult};
+use iwc_workloads::Built;
+
+/// Problem-size scale from `IWC_SCALE` (default 1).
+pub fn scale() -> u32 {
+    std::env::var("IWC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+/// Synthetic trace length from `IWC_TRACE_LEN` (default
+/// [`iwc_trace::synth::DEFAULT_TRACE_LEN`]).
+pub fn trace_len() -> usize {
+    std::env::var("IWC_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(iwc_trace::synth::DEFAULT_TRACE_LEN)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Renders a unicode bar of `frac` (clamped to [0, 1]) over `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let cells = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < cells { '#' } else { '.' });
+    }
+    s
+}
+
+/// Prints the Table 3 configuration banner used by every harness binary.
+pub fn print_config(cfg: &GpuConfig) {
+    println!(
+        "config: {} EUs x {} threads, ALU {}-wide, mode {}, L3 {}KB/{}-way/{} banks/{} cyc, \
+         LLC {}MB/{} cyc, SLM {} cyc, DC {:.1} lines/cyc{}",
+        cfg.eus,
+        cfg.threads_per_eu,
+        cfg.alu_width,
+        cfg.compaction,
+        cfg.mem.l3.size_bytes >> 10,
+        cfg.mem.l3.ways,
+        cfg.mem.l3.banks,
+        cfg.mem.l3.latency,
+        cfg.mem.llc.size_bytes >> 20,
+        cfg.mem.llc.latency,
+        cfg.mem.slm_latency,
+        cfg.mem.dc_lines_per_cycle,
+        if cfg.mem.perfect_l3 { ", perfect L3" } else { "" },
+    );
+}
+
+/// Runs `built` under the given compaction mode (paper-default GPU
+/// otherwise), with the functional check applied.
+///
+/// # Panics
+///
+/// Panics when the simulation fails or the workload check rejects the
+/// output — harness binaries should never silently report wrong-result
+/// runs.
+pub fn run_mode(built: &Built, mode: CompactionMode) -> SimResult {
+    let cfg = GpuConfig::paper_default().with_compaction(mode);
+    built.run_checked(&cfg).unwrap_or_else(|e| panic!("{}: {e}", built.name))
+}
+
+/// Relative total-cycle reduction of `opt` versus `base`.
+pub fn cycle_reduction(base: &SimResult, opt: &SimResult) -> f64 {
+    if base.cycles == 0 {
+        0.0
+    } else {
+        1.0 - opt.cycles as f64 / base.cycles as f64
+    }
+}
+
+/// Simple max/average accumulator for Table 4.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxAvg {
+    /// Largest sample.
+    pub max: f64,
+    sum: f64,
+    n: u32,
+}
+
+impl MaxAvg {
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn avg(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / f64::from(self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(pct(0.053), "  5.3%");
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 3), "###");
+        assert_eq!(bar(-1.0, 3), "...");
+    }
+
+    #[test]
+    fn max_avg() {
+        let mut m = MaxAvg::default();
+        m.add(0.1);
+        m.add(0.3);
+        assert_eq!(m.max, 0.3);
+        assert!((m.avg() - 0.2).abs() < 1e-12);
+    }
+}

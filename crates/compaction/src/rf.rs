@@ -1,0 +1,180 @@
+//! Register-file organization models (Fig. 5 and §4.3 of the paper).
+//!
+//! The paper compares, with CACTI 5.x at 32 nm, the area of:
+//!
+//! * the baseline 128×256-bit single-ported register file (Fig. 5(a));
+//! * the BCC register file split into two half-width (128-bit) banks with
+//!   independent enables (Fig. 5(b)) — measured at **≈ +10 % area**;
+//! * the SCC register file: wider (512-bit) but shorter rows plus four 4×4
+//!   lane crossbars (Fig. 5(c));
+//! * the 8-banked per-lane-addressable file required by inter-warp
+//!   techniques (TBC/DWF) — measured at **> +40 % area**.
+//!
+//! Without silicon models, this module provides an *analytic proxy* that
+//! reproduces those ratios from first-order structure (bank count, decoder
+//! overhead per bank, sense-amp width, crossbar cost), documented in
+//! DESIGN.md as a substitution. The absolute numbers are arbitrary units;
+//! the ordering and rough magnitudes are the reproduced claims.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Register-file organization variants studied in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RfOrganization {
+    /// 128 × 256b, single bank, single ported (Fig. 5(a)).
+    Baseline,
+    /// 2 half-width banks of 128 × 128b with independent enables (Fig. 5(b)).
+    Bcc,
+    /// 64 × 512b wide rows + 512b operand latch + four 4×4 crossbars
+    /// (Fig. 5(c)).
+    Scc,
+    /// 8 banks, per-lane addressable, as required by inter-warp compaction
+    /// (TBC, DWF, large-warp microarchitecture).
+    InterWarp,
+}
+
+/// First-order area/energy model of one register file organization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RfModel {
+    /// Organization modeled.
+    pub org: RfOrganization,
+    /// Number of independently addressable banks.
+    pub banks: u32,
+    /// Row width per bank in bits.
+    pub row_bits: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Crossbar lane count (0 when no swizzle network is present).
+    pub crossbar_lanes: u32,
+}
+
+/// Total storage bits of the modeled file (128 × 256b), constant across
+/// organizations.
+pub const RF_STORAGE_BITS: u32 = 128 * 256;
+
+impl RfModel {
+    /// Model parameters for each organization.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iwc_compaction::{RfModel, RfOrganization};
+    ///
+    /// // §4.3: the BCC register file costs ~10% area over the baseline.
+    /// let overhead = RfModel::new(RfOrganization::Bcc).area_overhead_vs_baseline();
+    /// assert!(overhead > 0.05 && overhead < 0.15);
+    /// ```
+    pub fn new(org: RfOrganization) -> Self {
+        match org {
+            RfOrganization::Baseline => {
+                Self { org, banks: 1, row_bits: 256, rows: 128, crossbar_lanes: 0 }
+            }
+            RfOrganization::Bcc => {
+                Self { org, banks: 2, row_bits: 128, rows: 128, crossbar_lanes: 0 }
+            }
+            RfOrganization::Scc => {
+                Self { org, banks: 1, row_bits: 512, rows: 64, crossbar_lanes: 16 }
+            }
+            RfOrganization::InterWarp => {
+                Self { org, banks: 8, row_bits: 32, rows: 128, crossbar_lanes: 32 }
+            }
+        }
+    }
+
+    /// Relative area in arbitrary units.
+    ///
+    /// Components: storage cells (constant), per-bank decoder/periphery
+    /// (grows with bank count and row count), sense amps / drivers (scale
+    /// with total row width across banks), and crossbar wiring (quadratic in
+    /// lane count of each 4-wide crossbar, linear in crossbar count).
+    pub fn area(&self) -> f64 {
+        let storage = f64::from(RF_STORAGE_BITS);
+        // Decoder + wordline periphery per bank: a fixed per-bank overhead
+        // plus a row-decoder term, independent of row width — which is why
+        // many narrow banks (the inter-warp organization) are so expensive
+        // per bit. Constants calibrated so BCC ≈ +10%, 8-bank > +40%.
+        let per_bank = 1500.0 + 14.0 * f64::from(self.rows);
+        let periphery = f64::from(self.banks) * per_bank;
+        // Sense amps and bitline drivers scale with the total accessed width.
+        let width_cost = 2.0 * f64::from(self.banks * self.row_bits);
+        // Crossbars: each 4-lane 32b crossbar costs ~4×4 pass-gate groups.
+        let crossbar = 90.0 * f64::from(self.crossbar_lanes);
+        storage + periphery + width_cost + crossbar
+    }
+
+    /// Area overhead of this organization relative to the baseline.
+    pub fn area_overhead_vs_baseline(&self) -> f64 {
+        let base = RfModel::new(RfOrganization::Baseline).area();
+        self.area() / base - 1.0
+    }
+
+    /// Relative dynamic energy of one operand access (arbitrary units):
+    /// proportional to the bits actually fetched.
+    pub fn access_energy(&self, bits_fetched: u32) -> f64 {
+        let bitline = f64::from(bits_fetched) * 1.0;
+        let decode = 12.0 * f64::from(self.banks).log2().max(1.0);
+        bitline + decode
+    }
+}
+
+impl fmt::Display for RfModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}: {} bank(s) x {} rows x {}b (+{:.1}% area vs baseline)",
+            self.org,
+            self.banks,
+            self.rows,
+            self.row_bits,
+            100.0 * self.area_overhead_vs_baseline()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_preserved_across_organizations() {
+        for org in [
+            RfOrganization::Baseline,
+            RfOrganization::Bcc,
+            RfOrganization::Scc,
+            RfOrganization::InterWarp,
+        ] {
+            let m = RfModel::new(org);
+            assert_eq!(m.banks * m.row_bits * m.rows, RF_STORAGE_BITS, "{org:?}");
+        }
+    }
+
+    #[test]
+    fn bcc_overhead_near_ten_percent() {
+        let o = RfModel::new(RfOrganization::Bcc).area_overhead_vs_baseline();
+        assert!((0.05..0.15).contains(&o), "BCC overhead {o:.3} should be ~10%");
+    }
+
+    #[test]
+    fn interwarp_overhead_exceeds_forty_percent() {
+        let o = RfModel::new(RfOrganization::InterWarp).area_overhead_vs_baseline();
+        assert!(o > 0.40, "inter-warp overhead {o:.3} should exceed 40%");
+    }
+
+    #[test]
+    fn ordering_baseline_bcc_scc_interwarp() {
+        let base = RfModel::new(RfOrganization::Baseline).area();
+        let bcc = RfModel::new(RfOrganization::Bcc).area();
+        let scc = RfModel::new(RfOrganization::Scc).area();
+        let iw = RfModel::new(RfOrganization::InterWarp).area();
+        assert!(base < bcc, "half-banking costs area");
+        assert!(bcc < iw, "8-bank per-lane file is the most expensive");
+        assert!(scc < iw, "SCC file is cheaper than inter-warp");
+    }
+
+    #[test]
+    fn half_fetch_saves_energy() {
+        let m = RfModel::new(RfOrganization::Bcc);
+        assert!(m.access_energy(128) < m.access_energy(256));
+    }
+}

@@ -1,0 +1,279 @@
+//! Whole-kernel cycle accounting.
+//!
+//! [`CompactionTally`] accumulates per-instruction execution masks into the
+//! aggregate quantities the paper reports: per-mode EU execution cycles
+//! (Fig. 10), SIMD efficiency (Fig. 3), the SIMD utilization breakdown
+//! (Fig. 9), and operand-fetch savings.
+
+use crate::cycles::{CompactionMode, CycleBreakdown};
+use iwc_isa::mask::ExecMask;
+use iwc_isa::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SIMD utilization bucket of one instruction (Fig. 9 categories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilBucket {
+    /// SIMD16 instruction with 1–4 active channels (3 cycles saveable).
+    S16Active1To4,
+    /// SIMD16 with 5–8 active (2 cycles saveable).
+    S16Active5To8,
+    /// SIMD16 with 9–12 active (1 cycle saveable).
+    S16Active9To12,
+    /// SIMD16 with 13–16 active (no compaction possible).
+    S16Active13To16,
+    /// SIMD8 with 1–4 active (1 cycle saveable).
+    S8Active1To4,
+    /// SIMD8 with 5–8 active (no compaction possible).
+    S8Active5To8,
+    /// Any other width, or an all-disabled mask.
+    Other,
+}
+
+impl UtilBucket {
+    /// Classifies one mask.
+    pub fn of(mask: ExecMask) -> Self {
+        let a = mask.active_channels();
+        match (mask.width(), a) {
+            (_, 0) => Self::Other,
+            (16, 1..=4) => Self::S16Active1To4,
+            (16, 5..=8) => Self::S16Active5To8,
+            (16, 9..=12) => Self::S16Active9To12,
+            (16, _) => Self::S16Active13To16,
+            (8, 1..=4) => Self::S8Active1To4,
+            (8, _) => Self::S8Active5To8,
+            _ => Self::Other,
+        }
+    }
+
+    /// All buckets in Fig. 9 legend order.
+    pub const ALL: [UtilBucket; 7] = [
+        UtilBucket::S16Active1To4,
+        UtilBucket::S16Active5To8,
+        UtilBucket::S16Active9To12,
+        UtilBucket::S16Active13To16,
+        UtilBucket::S8Active1To4,
+        UtilBucket::S8Active5To8,
+        UtilBucket::Other,
+    ];
+
+    /// Fig. 9 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::S16Active1To4 => "1-4/16",
+            Self::S16Active5To8 => "5-8/16",
+            Self::S16Active9To12 => "9-12/16",
+            Self::S16Active13To16 => "13-16/16",
+            Self::S8Active1To4 => "1-4/8",
+            Self::S8Active5To8 => "5-8/8",
+            Self::Other => "other",
+        }
+    }
+}
+
+/// Aggregated compaction statistics over an instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use iwc_compaction::{CompactionMode, CompactionTally};
+/// use iwc_isa::{DataType, ExecMask};
+///
+/// let mut t = CompactionTally::new();
+/// t.add(ExecMask::new(0xF0F0, 16), DataType::F); // BCC halves this one
+/// t.add(ExecMask::all(16), DataType::F);         // incompressible
+/// assert_eq!(t.simd_efficiency(), 0.75);
+/// assert_eq!(t.reduction_vs_ivb(CompactionMode::Bcc), 0.25);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompactionTally {
+    /// Per-mode execution-cycle totals.
+    pub cycles: CycleBreakdown,
+    /// Number of instructions tallied.
+    pub instructions: u64,
+    /// Sum of active channels over all instructions.
+    pub active_channels: u64,
+    /// Sum of SIMD widths over all instructions.
+    pub total_channels: u64,
+    /// Instruction counts per utilization bucket.
+    pub buckets: [u64; 7],
+    /// Operand-fetch register-half accesses saved by BCC.
+    pub bcc_fetches_saved: u64,
+    /// Channels routed through the SCC swizzle crossbar.
+    pub scc_swizzles: u64,
+}
+
+impl CompactionTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one executed instruction.
+    pub fn add(&mut self, mask: ExecMask, dtype: DataType) {
+        self.cycles.accumulate(CycleBreakdown::of(mask, dtype));
+        self.instructions += 1;
+        self.active_channels += u64::from(mask.active_channels());
+        self.total_channels += u64::from(mask.width());
+        let bucket = UtilBucket::of(mask);
+        let idx = UtilBucket::ALL.iter().position(|&b| b == bucket).expect("bucket in ALL");
+        self.buckets[idx] += 1;
+        // Fetch/swizzle accounting assumes a representative 2-source op.
+        let idle_quads = u64::from(mask.quad_count() - mask.active_quads().min(mask.quad_count()));
+        self.bcc_fetches_saved += 2 * idle_quads;
+        // Exact swizzled-channel count of the Fig. 6 algorithm: the total
+        // per-lane surplus over the optimal cycle count (every surplus
+        // element is routed through the crossbar exactly once), zero when
+        // empty-quad skipping already reaches the optimum.
+        let o_cyc = mask.active_channels().div_ceil(4).max(1);
+        if mask.active_quads().max(1) > o_cyc {
+            for n in 0..4u32 {
+                let len = (0..mask.quad_count())
+                    .filter(|&q| mask.quad_bits(q) >> n & 1 == 1)
+                    .count() as u32;
+                self.scc_swizzles += u64::from(len.saturating_sub(o_cyc));
+            }
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.cycles.accumulate(other.cycles);
+        self.instructions += other.instructions;
+        self.active_channels += other.active_channels;
+        self.total_channels += other.total_channels;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.bcc_fetches_saved += other.bcc_fetches_saved;
+        self.scc_swizzles += other.scc_swizzles;
+    }
+
+    /// Kernel SIMD efficiency: average enabled channels / average width
+    /// (the Fig. 3 metric).
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.total_channels == 0 {
+            1.0
+        } else {
+            self.active_channels as f64 / self.total_channels as f64
+        }
+    }
+
+    /// True when the workload counts as *coherent* under the paper's 95 %
+    /// SIMD-efficiency threshold (§5.3).
+    pub fn is_coherent(&self) -> bool {
+        self.simd_efficiency() >= 0.95
+    }
+
+    /// Fraction of instructions in each utilization bucket (Fig. 9 bars).
+    pub fn bucket_fractions(&self) -> [(UtilBucket, f64); 7] {
+        let n = self.instructions.max(1) as f64;
+        let mut out = [(UtilBucket::Other, 0.0); 7];
+        for (i, b) in UtilBucket::ALL.iter().enumerate() {
+            out[i] = (*b, self.buckets[i] as f64 / n);
+        }
+        out
+    }
+
+    /// EU execution-cycle reduction of `mode` relative to the Ivy Bridge
+    /// baseline (the Fig. 10 quantity).
+    pub fn reduction_vs_ivb(&self, mode: CompactionMode) -> f64 {
+        self.cycles.reduction_vs_ivb(mode)
+    }
+}
+
+impl fmt::Display for CompactionTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insns, eff {:.1}%, cycles base/ivb/bcc/scc = {}/{}/{}/{} (bcc -{:.1}%, scc -{:.1}%)",
+            self.instructions,
+            100.0 * self.simd_efficiency(),
+            self.cycles.baseline,
+            self.cycles.ivb,
+            self.cycles.bcc,
+            self.cycles.scc,
+            100.0 * self.reduction_vs_ivb(CompactionMode::Bcc),
+            100.0 * self.reduction_vs_ivb(CompactionMode::Scc),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_classification() {
+        assert_eq!(UtilBucket::of(ExecMask::new(0x0003, 16)), UtilBucket::S16Active1To4);
+        assert_eq!(UtilBucket::of(ExecMask::new(0x00FF, 16)), UtilBucket::S16Active5To8);
+        assert_eq!(UtilBucket::of(ExecMask::new(0x0FFF, 16)), UtilBucket::S16Active9To12);
+        assert_eq!(UtilBucket::of(ExecMask::all(16)), UtilBucket::S16Active13To16);
+        assert_eq!(UtilBucket::of(ExecMask::new(0x0F, 8)), UtilBucket::S8Active1To4);
+        assert_eq!(UtilBucket::of(ExecMask::all(8)), UtilBucket::S8Active5To8);
+        assert_eq!(UtilBucket::of(ExecMask::none(16)), UtilBucket::Other);
+        assert_eq!(UtilBucket::of(ExecMask::all(4)), UtilBucket::Other);
+    }
+
+    #[test]
+    fn efficiency_accumulates() {
+        let mut t = CompactionTally::new();
+        t.add(ExecMask::all(16), DataType::F);
+        t.add(ExecMask::new(0x00FF, 16), DataType::F);
+        assert_eq!(t.simd_efficiency(), 0.75);
+        assert!(!t.is_coherent());
+        let mut c = CompactionTally::new();
+        c.add(ExecMask::all(16), DataType::F);
+        assert!(c.is_coherent());
+    }
+
+    #[test]
+    fn reductions_reported_vs_ivb() {
+        let mut t = CompactionTally::new();
+        // 0xF0F0: ivb 4, bcc 2, scc 2.
+        t.add(ExecMask::new(0xF0F0, 16), DataType::F);
+        assert_eq!(t.reduction_vs_ivb(CompactionMode::Bcc), 0.5);
+        // 0x00FF: ivb already optimizes to 2; bcc also 2: no further gain.
+        let mut t2 = CompactionTally::new();
+        t2.add(ExecMask::new(0x00FF, 16), DataType::F);
+        assert_eq!(t2.reduction_vs_ivb(CompactionMode::Bcc), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CompactionTally::new();
+        a.add(ExecMask::all(16), DataType::F);
+        let mut b = CompactionTally::new();
+        b.add(ExecMask::new(0x1, 16), DataType::F);
+        a.merge(&b);
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.cycles.baseline, 8);
+        assert_eq!(a.cycles.scc, 5);
+    }
+
+    #[test]
+    fn swizzle_count_matches_schedule() {
+        use crate::scc::SccSchedule;
+        for bits in (0..=0xFFFFu32).step_by(41) {
+            let m = ExecMask::new(bits, 16);
+            let mut t = CompactionTally::new();
+            t.add(m, DataType::F);
+            let sched = SccSchedule::compute(m);
+            assert_eq!(
+                t.scc_swizzles,
+                u64::from(sched.swizzle_count()),
+                "mask {bits:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_fractions_sum_to_one() {
+        let mut t = CompactionTally::new();
+        for bits in [0xFFFFu32, 0x00FF, 0x000F, 0x0001] {
+            t.add(ExecMask::new(bits, 16), DataType::F);
+        }
+        let total: f64 = t.bucket_fractions().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

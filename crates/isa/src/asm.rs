@@ -1,0 +1,650 @@
+//! Text assembler for the kernel ISA.
+//!
+//! [`parse_program`] turns a small, line-oriented assembly dialect into a
+//! validated [`Program`], resolving structured control flow exactly like
+//! [`KernelBuilder`](crate::builder::KernelBuilder). The syntax mirrors the
+//! builder API:
+//!
+//! ```text
+//! kernel clamp simd16
+//!     cmp.gt.f0 r4:f, 1.0:f
+//!     (+f0) if
+//!         mov r4:f, 1.0:f
+//!     endif
+//! ```
+//!
+//! * ALU ops: `mnemonic dst, src0[, src1[, src2]]`, e.g. `mad r6:f, r4:f,
+//!   2.0:f, r8:f`. Execution width defaults to the kernel width; suffix the
+//!   mnemonic with `(N)` to override (`mov(1) …`).
+//! * Operands: `rN:t` (vector), `rN.M:t` (broadcast scalar element),
+//!   immediates `3:d`, `1.5:f`, `0xff:ud`. Types: `ub b uw w hf ud d f uq q df`.
+//! * `cmp.<cond>.<flag>` writes per-channel flag bits (`eq ne lt le gt ge`).
+//! * Predication prefix: `(+f0)` / `(-f1)` before any instruction.
+//! * Control flow: `if` (requires predicate), `else`, `endif`, `do`,
+//!   `while` (requires predicate), `break`, `continue` — structured, no
+//!   explicit labels needed.
+//! * Memory: `load.global dst, addr`, `store.slm addr, data`, `fence`.
+//! * Misc: `barrier`, `nop`. The final `eot` is appended automatically.
+//! * `;` or `//` start comments; blank lines are skipped.
+
+use crate::builder::KernelBuilder;
+use crate::insn::{CondOp, MemSpace, Opcode};
+use crate::program::Program;
+use crate::reg::{FlagReg, Operand, Predicate};
+use crate::types::{DataType, Scalar};
+use std::fmt;
+
+/// Error produced when assembling a program from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+fn parse_dtype(s: &str, line: usize) -> Result<DataType, ParseAsmError> {
+    Ok(match s {
+        "ub" => DataType::Ub,
+        "b" => DataType::B,
+        "uw" => DataType::Uw,
+        "w" => DataType::W,
+        "hf" => DataType::Hf,
+        "ud" => DataType::Ud,
+        "d" => DataType::D,
+        "f" => DataType::F,
+        "uq" => DataType::Uq,
+        "q" => DataType::Q,
+        "df" => DataType::Df,
+        other => return Err(err(line, format!("unknown type {other:?}"))),
+    })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
+    let tok = tok.trim();
+    if tok == "null" {
+        return Ok(Operand::Null);
+    }
+    let (body, ty) = tok
+        .rsplit_once(':')
+        .ok_or_else(|| err(line, format!("operand {tok:?} missing :type suffix")))?;
+    let dtype = parse_dtype(ty, line)?;
+    if let Some(reg_part) = body.strip_prefix('r') {
+        if let Some((reg, sub)) = reg_part.split_once('.') {
+            let reg: u8 =
+                reg.parse().map_err(|_| err(line, format!("bad register in {tok:?}")))?;
+            let sub: u8 =
+                sub.parse().map_err(|_| err(line, format!("bad subregister in {tok:?}")))?;
+            return Ok(Operand::scalar(reg, sub, dtype));
+        }
+        if let Ok(reg) = reg_part.parse::<u8>() {
+            return Ok(Operand::reg(reg, dtype));
+        }
+    }
+    // Immediate.
+    let value = if dtype.is_float() {
+        Scalar::F(body.parse::<f64>().map_err(|_| err(line, format!("bad float {body:?}")))?)
+    } else if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        let v = u64::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad hex literal {body:?}")))?;
+        if dtype.is_signed_int() {
+            Scalar::I(v as i64)
+        } else {
+            Scalar::U(v)
+        }
+    } else if dtype.is_signed_int() {
+        Scalar::I(body.parse().map_err(|_| err(line, format!("bad int {body:?}")))?)
+    } else {
+        Scalar::U(body.parse().map_err(|_| err(line, format!("bad uint {body:?}")))?)
+    };
+    Ok(Operand::Imm { value, dtype })
+}
+
+fn parse_flag(s: &str, line: usize) -> Result<FlagReg, ParseAsmError> {
+    match s {
+        "f0" => Ok(FlagReg::F0),
+        "f1" => Ok(FlagReg::F1),
+        other => Err(err(line, format!("unknown flag register {other:?}"))),
+    }
+}
+
+fn parse_cond(s: &str, line: usize) -> Result<CondOp, ParseAsmError> {
+    Ok(match s {
+        "eq" => CondOp::Eq,
+        "ne" => CondOp::Ne,
+        "lt" => CondOp::Lt,
+        "le" => CondOp::Le,
+        "gt" => CondOp::Gt,
+        "ge" => CondOp::Ge,
+        other => return Err(err(line, format!("unknown condition {other:?}"))),
+    })
+}
+
+fn alu_opcode(mnemonic: &str) -> Option<Opcode> {
+    use Opcode::*;
+    Some(match mnemonic {
+        "mov" => Mov,
+        "not" => Not,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "shr" => Shr,
+        "asr" => Asr,
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "mad" => Mad,
+        "min" => Min,
+        "max" => Max,
+        "abs" => Abs,
+        "frc" => Frc,
+        "rndd" => Rndd,
+        "rndu" => Rndu,
+        "inv" => Inv,
+        "log" => Log,
+        "exp" => Exp,
+        "sqrt" => Sqrt,
+        "rsqrt" => Rsqrt,
+        "pow" => Pow,
+        "sin" => Sin,
+        "cos" => Cos,
+        "idiv" => Idiv,
+        "irem" => Irem,
+        "fdiv" => Fdiv,
+        _ => return None,
+    })
+}
+
+/// Assembles a program from the textual dialect described in the module
+/// docs.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending source line on any lexical,
+/// syntactic, or structural problem (including unbalanced control flow,
+/// reported by the underlying builder validation).
+pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
+    let mut builder: Option<KernelBuilder> = None;
+    let mut kernel_width = 16u32;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let code = raw.split(';').next().unwrap_or("");
+        let code = code.split("//").next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+
+        // Header: kernel <name> simd<N>
+        if let Some(rest) = code.strip_prefix("kernel ") {
+            if builder.is_some() {
+                return Err(err(line, "duplicate kernel header"));
+            }
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err(line, "kernel header missing name"))?;
+            let width = parts
+                .next()
+                .and_then(|w| w.strip_prefix("simd"))
+                .and_then(|w| w.parse::<u32>().ok())
+                .ok_or_else(|| err(line, "kernel header missing simd<N>"))?;
+            if !matches!(width, 1 | 4 | 8 | 16 | 32) {
+                return Err(err(line, format!("illegal SIMD width {width}")));
+            }
+            kernel_width = width;
+            builder = Some(KernelBuilder::new(name, width));
+            continue;
+        }
+        let b = builder.as_mut().ok_or_else(|| err(line, "missing kernel header"))?;
+
+        // Optional predicate prefix.
+        let (pred, code) = if let Some(rest) = code.strip_prefix('(') {
+            let (inside, after) = rest
+                .split_once(')')
+                .ok_or_else(|| err(line, "unterminated predicate prefix"))?;
+            let inside = inside.trim();
+            let (invert, flag) = match inside.as_bytes().first() {
+                Some(b'+') => (false, &inside[1..]),
+                Some(b'-') => (true, &inside[1..]),
+                _ => return Err(err(line, "predicate must start with + or -")),
+            };
+            let flag = parse_flag(flag.trim(), line)?;
+            (Some(Predicate { flag, invert }), after.trim())
+        } else {
+            (None, code)
+        };
+
+        let (head, rest) = match code.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (code, ""),
+        };
+
+        let operands: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').collect() };
+
+        // Control flow and memory first.
+        match head {
+            "if" => {
+                let p = pred.ok_or_else(|| err(line, "if requires a predicate prefix"))?;
+                b.if_(p);
+                continue;
+            }
+            "else" => {
+                b.else_();
+                continue;
+            }
+            "endif" => {
+                b.end_if();
+                continue;
+            }
+            "do" => {
+                b.do_();
+                continue;
+            }
+            "while" => {
+                let p = pred.ok_or_else(|| err(line, "while requires a predicate prefix"))?;
+                b.while_(p);
+                continue;
+            }
+            "break" => {
+                let p = pred.ok_or_else(|| err(line, "break requires a predicate prefix"))?;
+                b.break_(p);
+                continue;
+            }
+            "continue" => {
+                let p =
+                    pred.ok_or_else(|| err(line, "continue requires a predicate prefix"))?;
+                b.continue_(p);
+                continue;
+            }
+            "barrier" => {
+                b.barrier();
+                continue;
+            }
+            "fence" => {
+                b.fence();
+                continue;
+            }
+            "nop" => {
+                b.op(Opcode::Nop, Operand::Null, &[]);
+                continue;
+            }
+            _ => {}
+        }
+
+        if let Some(space_str) = head.strip_prefix("load.") {
+            let space = match space_str {
+                "global" => MemSpace::Global,
+                "slm" => MemSpace::Slm,
+                other => return Err(err(line, format!("unknown memory space {other:?}"))),
+            };
+            if operands.len() != 2 {
+                return Err(err(line, "load expects `dst, addr`"));
+            }
+            let dst = parse_operand(operands[0], line)?;
+            let addr = parse_operand(operands[1], line)?;
+            if let Some(p) = pred {
+                b.pred(p);
+            }
+            b.load(space, dst, addr);
+            continue;
+        }
+        if let Some(space_str) = head.strip_prefix("store.") {
+            let space = match space_str {
+                "global" => MemSpace::Global,
+                "slm" => MemSpace::Slm,
+                other => return Err(err(line, format!("unknown memory space {other:?}"))),
+            };
+            if operands.len() != 2 {
+                return Err(err(line, "store expects `addr, data`"));
+            }
+            let addr = parse_operand(operands[0], line)?;
+            let data = parse_operand(operands[1], line)?;
+            if let Some(p) = pred {
+                b.pred(p);
+            }
+            b.store(space, addr, data);
+            continue;
+        }
+
+        // cmp.<cond>.<flag>
+        if let Some(rest_head) = head.strip_prefix("cmp.") {
+            let (cond_s, flag_s) = rest_head
+                .split_once('.')
+                .ok_or_else(|| err(line, "cmp syntax is cmp.<cond>.<flag>"))?;
+            let cond = parse_cond(cond_s, line)?;
+            let flag = parse_flag(flag_s, line)?;
+            if operands.len() != 2 {
+                return Err(err(line, "cmp expects two sources"));
+            }
+            let a = parse_operand(operands[0], line)?;
+            let c = parse_operand(operands[1], line)?;
+            if let Some(p) = pred {
+                b.pred(p);
+            }
+            b.cmp(cond, flag, a, c);
+            continue;
+        }
+
+        // sel.<flag>
+        if let Some(flag_s) = head.strip_prefix("sel.") {
+            let flag = parse_flag(flag_s, line)?;
+            if operands.len() != 3 {
+                return Err(err(line, "sel expects `dst, a, b`"));
+            }
+            let dst = parse_operand(operands[0], line)?;
+            let a = parse_operand(operands[1], line)?;
+            let c = parse_operand(operands[2], line)?;
+            b.sel(flag, dst, a, c);
+            continue;
+        }
+
+        // Plain ALU op, optional (N) width suffix.
+        let (mnemonic, width) = if let Some((m, w)) = head.split_once('(') {
+            let w = w
+                .strip_suffix(')')
+                .and_then(|w| w.parse::<u32>().ok())
+                .ok_or_else(|| err(line, format!("bad width suffix in {head:?}")))?;
+            (m, Some(w))
+        } else {
+            (head, None)
+        };
+        let op = alu_opcode(mnemonic)
+            .ok_or_else(|| err(line, format!("unknown mnemonic {mnemonic:?}")))?;
+        let want = op.src_count() + 1;
+        if operands.len() != want {
+            return Err(err(
+                line,
+                format!("{mnemonic} expects {want} operands (dst + {} src)", want - 1),
+            ));
+        }
+        let dst = parse_operand(operands[0], line)?;
+        let mut srcs = Vec::with_capacity(want - 1);
+        for o in &operands[1..] {
+            srcs.push(parse_operand(o, line)?);
+        }
+        if let Some(p) = pred {
+            b.pred(p);
+        }
+        match width {
+            Some(w) if w != kernel_width => b.op_w(op, w, dst, &srcs),
+            _ => b.op(op, dst, &srcs),
+        };
+    }
+
+    let b = builder.ok_or_else(|| err(1, "empty source: missing kernel header"))?;
+    b.finish().map_err(|e| err(0, e.to_string()))
+}
+
+/// Formats a [`Program`] back into the assembly dialect accepted by
+/// [`parse_program`]. Structured control flow is emitted as its mnemonics
+/// (jump targets are re-derived on parse), so `parse_program(&to_asm(p))`
+/// reproduces `p` exactly — a property the test suite checks.
+pub fn to_asm(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel {} simd{}", program.name(), program.simd_width());
+    let mut indent = 1usize;
+    for insn in program.insns() {
+        if matches!(insn.op, Opcode::Else | Opcode::EndIf | Opcode::While) {
+            indent = indent.saturating_sub(1);
+        }
+        if insn.op == Opcode::Eot {
+            break; // re-appended by the parser
+        }
+        let pad = "    ".repeat(indent);
+        let pred = match insn.pred {
+            // `sel` consumes its predicate as a selector, printed as part of
+            // the mnemonic instead.
+            Some(p) if insn.op != Opcode::Sel => {
+                format!("({}{}) ", if p.invert { '-' } else { '+' }, p.flag)
+            }
+            _ => String::new(),
+        };
+        let operand = |o: &Operand| o.to_string();
+        let line = match insn.op {
+            Opcode::If => "if".to_string(),
+            Opcode::Else => "else".to_string(),
+            Opcode::EndIf => "endif".to_string(),
+            Opcode::Do => "do".to_string(),
+            Opcode::While => "while".to_string(),
+            Opcode::Break => "break".to_string(),
+            Opcode::Continue => "continue".to_string(),
+            Opcode::Barrier => "barrier".to_string(),
+            Opcode::Nop => "nop".to_string(),
+            Opcode::Jmpi => panic!("jmpi has no structured asm form"),
+            Opcode::Eot => unreachable!(),
+            Opcode::Send => match insn.msg.expect("send carries a message") {
+                crate::insn::SendMessage::Fence => "fence".to_string(),
+                crate::insn::SendMessage::Load { space, addr, .. } => format!(
+                    "load.{} {}, {}",
+                    space_name(space),
+                    operand(&insn.dst),
+                    operand(&addr)
+                ),
+                crate::insn::SendMessage::Store { space, addr, data, .. } => format!(
+                    "store.{} {}, {}",
+                    space_name(space),
+                    operand(&addr),
+                    operand(&data)
+                ),
+            },
+            Opcode::Cmp => {
+                let cm = insn.cond_mod.expect("cmp has a condition modifier");
+                format!(
+                    "cmp.{}.{} {}, {}",
+                    cm.cond,
+                    cm.flag,
+                    operand(&insn.srcs[0]),
+                    operand(&insn.srcs[1])
+                )
+            }
+            Opcode::Sel => {
+                let p = insn.pred.expect("sel has a selector predicate");
+                format!(
+                    "sel.{} {}, {}, {}",
+                    p.flag,
+                    operand(&insn.dst),
+                    operand(&insn.srcs[0]),
+                    operand(&insn.srcs[1])
+                )
+            }
+            op => {
+                let width = if insn.exec_width != program.simd_width() {
+                    format!("({})", insn.exec_width)
+                } else {
+                    String::new()
+                };
+                let mut line = format!("{}{} {}", op.mnemonic(), width, operand(&insn.dst));
+                for srcv in insn.used_srcs() {
+                    let _ = write!(line, ", {}", operand(srcv));
+                }
+                line
+            }
+        };
+        let _ = writeln!(out, "{pad}{pred}{line}");
+        if matches!(insn.op, Opcode::If | Opcode::Else | Opcode::Do) {
+            indent += 1;
+        }
+    }
+    out
+}
+
+fn space_name(space: MemSpace) -> &'static str {
+    match space {
+        MemSpace::Global => "global",
+        MemSpace::Slm => "slm",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_divergent_kernel() {
+        let src = r"
+            kernel clamp simd16
+                ; clamp r4 to 1.0 where it exceeds it
+                cmp.gt.f0 r4:f, 1.0:f
+                (+f0) if
+                    mov r4:f, 1.0:f
+                endif
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.name(), "clamp");
+        assert_eq!(p.simd_width(), 16);
+        assert_eq!(p.len(), 5); // cmp, if, mov, endif, eot
+        assert_eq!(p.insns()[1].jip, Some(3));
+    }
+
+    #[test]
+    fn matches_builder_output() {
+        let src = r"
+            kernel axpy simd16
+                mul r8:f, r4:f, 3.0:f
+                add r8:f, r8:f, r6:f
+        ";
+        let from_asm = parse_program(src).unwrap();
+        let mut b = KernelBuilder::new("axpy", 16);
+        b.mul(Operand::rf(8), Operand::rf(4), Operand::imm_f(3.0));
+        b.add(Operand::rf(8), Operand::rf(8), Operand::rf(6));
+        let from_builder = b.finish().unwrap();
+        assert_eq!(from_asm.insns(), from_builder.insns());
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        let src = r"
+            kernel scan simd8
+                mov r6:ud, 0:ud
+                do
+                    shl r8:ud, r6:ud, 2:ud
+                    add r8:ud, r8:ud, r3.0:ud
+                    load.global r10:f, r8:ud
+                    store.slm r8:ud, r10:f
+                    add r6:ud, r6:ud, 1:ud
+                    cmp.lt.f0 r6:ud, 16:ud
+                (+f0) while
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.simd_width(), 8);
+        let whiles: Vec<_> =
+            p.insns().iter().filter(|i| i.op == Opcode::While).collect();
+        assert_eq!(whiles.len(), 1);
+        assert_eq!(whiles[0].jip, Some(2), "while loops to first body insn");
+    }
+
+    #[test]
+    fn scalar_and_hex_operands() {
+        let src = r"
+            kernel k simd16
+                and r6:ud, r1:ud, 0xff:ud
+                add r6:ud, r6:ud, r3.2:ud
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.insns()[0].srcs[1],
+            Operand::Imm { value: Scalar::U(255), dtype: DataType::Ud }
+        );
+        assert_eq!(p.insns()[1].srcs[1], Operand::scalar(3, 2, DataType::Ud));
+    }
+
+    #[test]
+    fn width_override() {
+        let src = r"
+            kernel k simd16
+                mov(1) r6:ud, 7:ud
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.insns()[0].exec_width, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = parse_program("kernel k simd16\n frobnicate r1:f, r2:f").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = parse_program("mov r1:f, r2:f").unwrap_err();
+        assert!(e.message.contains("missing kernel header"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let e = parse_program("kernel k simd16\n add r1:f, r2:f").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"), "{e}");
+    }
+
+    #[test]
+    fn rejects_if_without_predicate() {
+        let e = parse_program("kernel k simd16\n if\n endif").unwrap_err();
+        assert!(e.message.contains("requires a predicate"));
+    }
+
+    #[test]
+    fn predicated_alu() {
+        let src = r"
+            kernel k simd16
+                cmp.lt.f1 r4:f, 0.0:f
+                (-f1) mov r4:f, 0.0:f
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.insns()[1].pred, Some(Predicate::inverted(FlagReg::F1)));
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let src = r"
+            kernel round simd16
+                and r6:ud, r1:ud, 15:ud
+                cmp.lt.f0 r6:ud, 8:ud
+                (+f0) if
+                    mov r8:f, 1.0:f
+                    do
+                        mad r8:f, r8:f, 1.5:f, 0.25:f
+                        add r6:ud, r6:ud, 1:ud
+                        cmp.lt.f1 r6:ud, 20:ud
+                        (-f1) break
+                        cmp.lt.f0 r6:ud, 32:ud
+                    (+f0) while
+                else
+                    sel.f1 r8:f, 2.0:f, 3.0:f
+                endif
+                shl r10:ud, r1:ud, 2:ud
+                store.global r10:ud, r8:f
+                fence
+                barrier
+                mov(1) r12:ud, 0xff:ud
+        ";
+        let p = parse_program(src).unwrap();
+        let text = to_asm(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p.insns(), p2.insns(), "round trip differs:
+{text}");
+        assert_eq!(p.name(), p2.name());
+        assert_eq!(p.simd_width(), p2.simd_width());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "kernel k simd16\n\n// full-line comment\n mov r6:f, 1.0:f ; trailing\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,489 @@
+//! Structured kernel builder.
+//!
+//! [`KernelBuilder`] is a small assembler DSL: ALU helpers emit one
+//! instruction each, while `if_`/`else_`/`end_if` and
+//! `do_`/`break_`/`continue_`/`while_` emit structured SIMT control flow and
+//! resolve all jump targets automatically.
+//!
+//! # Examples
+//!
+//! ```
+//! use iwc_isa::builder::KernelBuilder;
+//! use iwc_isa::insn::CondOp;
+//! use iwc_isa::reg::{FlagReg, Operand, Predicate};
+//!
+//! // if (r4 < 0.5) r6 = r4 * 2.0 else r6 = r4
+//! let mut b = KernelBuilder::new("halve", 16);
+//! b.cmp(CondOp::Lt, FlagReg::F0, Operand::rf(4), Operand::imm_f(0.5));
+//! b.if_(Predicate::normal(FlagReg::F0));
+//! b.mul(Operand::rf(6), Operand::rf(4), Operand::imm_f(2.0));
+//! b.else_();
+//! b.mov(Operand::rf(6), Operand::rf(4));
+//! b.end_if();
+//! let program = b.finish().unwrap();
+//! assert_eq!(program.len(), 7); // cmp, if, mul, else, mov, endif, eot
+//! ```
+
+use crate::insn::{CondMod, CondOp, Instruction, MemSpace, Opcode, SendMessage};
+use crate::program::{Program, ValidateProgramError};
+use crate::reg::{FlagReg, Operand, Predicate};
+use crate::types::DataType;
+
+#[derive(Debug)]
+enum Frame {
+    If { if_idx: usize, else_idx: Option<usize> },
+    Loop { body_start: usize, breaks: Vec<usize>, continues: Vec<usize> },
+}
+
+/// Incremental builder for [`Program`]s.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    simd_width: u32,
+    insns: Vec<Instruction>,
+    frames: Vec<Frame>,
+    pending_pred: Option<Predicate>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel of the given SIMD width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `simd_width` is not one of 1, 4, 8, 16, 32.
+    pub fn new(name: impl Into<String>, simd_width: u32) -> Self {
+        assert!(
+            matches!(simd_width, 1 | 4 | 8 | 16 | 32),
+            "illegal SIMD width {simd_width}"
+        );
+        Self {
+            name: name.into(),
+            simd_width,
+            insns: Vec::new(),
+            frames: Vec::new(),
+            pending_pred: None,
+        }
+    }
+
+    /// Applies a predicate to the *next* emitted instruction only.
+    pub fn pred(&mut self, p: Predicate) -> &mut Self {
+        self.pending_pred = Some(p);
+        self
+    }
+
+    fn emit(&mut self, mut insn: Instruction) -> usize {
+        if insn.pred.is_none() {
+            insn.pred = self.pending_pred.take();
+        } else {
+            self.pending_pred = None;
+        }
+        self.insns.push(insn);
+        self.insns.len() - 1
+    }
+
+    fn dtype_of(dst: &Operand, srcs: &[Operand]) -> DataType {
+        dst.dtype()
+            .or_else(|| srcs.iter().find_map(Operand::dtype))
+            .unwrap_or(DataType::Ud)
+    }
+
+    /// Emits a generic ALU instruction at the kernel SIMD width.
+    pub fn op(&mut self, op: Opcode, dst: Operand, srcs: &[Operand]) -> &mut Self {
+        let dtype = Self::dtype_of(&dst, srcs);
+        let insn = Instruction::alu(op, self.simd_width, dtype, dst, srcs);
+        self.emit(insn);
+        self
+    }
+
+    /// Emits a generic ALU instruction at an explicit width (e.g. SIMD1
+    /// scalar setup code).
+    pub fn op_w(&mut self, op: Opcode, width: u32, dst: Operand, srcs: &[Operand]) -> &mut Self {
+        let dtype = Self::dtype_of(&dst, srcs);
+        let insn = Instruction::alu(op, width, dtype, dst, srcs);
+        self.emit(insn);
+        self
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Operand, src: Operand) -> &mut Self {
+        self.op(Opcode::Mov, dst, &[src])
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Add, dst, &[a, b])
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Sub, dst, &[a, b])
+    }
+
+    /// `dst = a * b`.
+    pub fn mul(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Mul, dst, &[a, b])
+    }
+
+    /// `dst = a * b + c` (fused multiply-add).
+    pub fn mad(&mut self, dst: Operand, a: Operand, b: Operand, c: Operand) -> &mut Self {
+        self.op(Opcode::Mad, dst, &[a, b, c])
+    }
+
+    /// `dst = min(a, b)`.
+    pub fn min(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Min, dst, &[a, b])
+    }
+
+    /// `dst = max(a, b)`.
+    pub fn max(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Max, dst, &[a, b])
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::And, dst, &[a, b])
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Or, dst, &[a, b])
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Xor, dst, &[a, b])
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Shl, dst, &[a, b])
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn shr(&mut self, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        self.op(Opcode::Shr, dst, &[a, b])
+    }
+
+    /// Compare `a cond b` per channel and write flag bits.
+    pub fn cmp(&mut self, cond: CondOp, flag: FlagReg, a: Operand, b: Operand) -> &mut Self {
+        let dtype = Self::dtype_of(&Operand::Null, &[a, b]);
+        let mut insn =
+            Instruction::alu(Opcode::Cmp, self.simd_width, dtype, Operand::Null, &[a, b]);
+        insn.cond_mod = Some(CondMod { cond, flag });
+        self.emit(insn);
+        self
+    }
+
+    /// `dst = flag ? a : b` per channel.
+    pub fn sel(&mut self, flag: FlagReg, dst: Operand, a: Operand, b: Operand) -> &mut Self {
+        let dtype = Self::dtype_of(&dst, &[a, b]);
+        let mut insn = Instruction::alu(Opcode::Sel, self.simd_width, dtype, dst, &[a, b]);
+        insn.pred = Some(Predicate::normal(flag));
+        self.emit(insn);
+        self
+    }
+
+    /// Extended-math unary op (`inv`, `log`, `exp`, `sqrt`, `rsqrt`, `sin`, `cos`).
+    pub fn math(&mut self, op: Opcode, dst: Operand, src: Operand) -> &mut Self {
+        self.op(op, dst, &[src])
+    }
+
+    /// Per-channel gather load from `space` at byte addresses `addr`.
+    pub fn load(&mut self, space: MemSpace, dst: Operand, addr: Operand) -> &mut Self {
+        let dtype = dst.dtype().expect("load destination must be typed");
+        let mut insn = Instruction::alu(Opcode::Send, self.simd_width, dtype, dst, &[]);
+        insn.msg = Some(SendMessage::Load { space, addr, dtype });
+        self.emit(insn);
+        self
+    }
+
+    /// Per-channel scatter store of `data` to byte addresses `addr`.
+    pub fn store(&mut self, space: MemSpace, addr: Operand, data: Operand) -> &mut Self {
+        let dtype = data.dtype().expect("store data must be typed");
+        let mut insn =
+            Instruction::alu(Opcode::Send, self.simd_width, dtype, Operand::Null, &[]);
+        insn.msg = Some(SendMessage::Store { space, addr, data, dtype });
+        self.emit(insn);
+        self
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self) -> &mut Self {
+        let mut insn =
+            Instruction::alu(Opcode::Send, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        insn.msg = Some(SendMessage::Fence);
+        self.emit(insn);
+        self
+    }
+
+    /// Workgroup barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.op(Opcode::Barrier, Operand::Null, &[])
+    }
+
+    /// Opens a divergent `if` region on `pred`.
+    pub fn if_(&mut self, pred: Predicate) -> &mut Self {
+        let mut insn =
+            Instruction::alu(Opcode::If, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        insn.pred = Some(pred);
+        let if_idx = self.emit(insn);
+        self.frames.push(Frame::If { if_idx, else_idx: None });
+        self
+    }
+
+    /// Switches to the `else` half of the innermost `if` region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not inside an `if` region or when `else_` was already
+    /// emitted for it.
+    pub fn else_(&mut self) -> &mut Self {
+        let insn =
+            Instruction::alu(Opcode::Else, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let idx = self.emit(insn);
+        match self.frames.last_mut() {
+            Some(Frame::If { else_idx: else_slot @ None, .. }) => *else_slot = Some(idx),
+            Some(Frame::If { .. }) => panic!("duplicate else in if region"),
+            _ => panic!("else outside of if region"),
+        }
+        self
+    }
+
+    /// Closes the innermost `if` region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not inside an `if` region.
+    pub fn end_if(&mut self) -> &mut Self {
+        let insn =
+            Instruction::alu(Opcode::EndIf, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let endif_idx = self.emit(insn);
+        match self.frames.pop() {
+            Some(Frame::If { if_idx, else_idx }) => {
+                // `if` jumps to the else (when empty cond) or straight to endif.
+                self.insns[if_idx].jip = Some(else_idx.unwrap_or(endif_idx));
+                self.insns[if_idx].uip = Some(endif_idx);
+                if let Some(e) = else_idx {
+                    self.insns[e].jip = Some(endif_idx);
+                }
+            }
+            _ => panic!("end_if outside of if region"),
+        }
+        self
+    }
+
+    /// Opens a loop region.
+    pub fn do_(&mut self) -> &mut Self {
+        let insn =
+            Instruction::alu(Opcode::Do, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let do_idx = self.emit(insn);
+        self.frames.push(Frame::Loop {
+            body_start: do_idx + 1,
+            breaks: Vec::new(),
+            continues: Vec::new(),
+        });
+        self
+    }
+
+    /// Removes channels matching `pred` from the innermost loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not inside a loop region.
+    pub fn break_(&mut self, pred: Predicate) -> &mut Self {
+        let mut insn =
+            Instruction::alu(Opcode::Break, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        insn.pred = Some(pred);
+        let idx = self.emit(insn);
+        match self.frames.iter_mut().rev().find(|f| matches!(f, Frame::Loop { .. })) {
+            Some(Frame::Loop { breaks, .. }) => breaks.push(idx),
+            _ => panic!("break outside of loop region"),
+        }
+        self
+    }
+
+    /// Sends channels matching `pred` to the loop back-edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not inside a loop region.
+    pub fn continue_(&mut self, pred: Predicate) -> &mut Self {
+        let mut insn = Instruction::alu(
+            Opcode::Continue,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
+        insn.pred = Some(pred);
+        let idx = self.emit(insn);
+        match self.frames.iter_mut().rev().find(|f| matches!(f, Frame::Loop { .. })) {
+            Some(Frame::Loop { continues, .. }) => continues.push(idx),
+            _ => panic!("continue outside of loop region"),
+        }
+        self
+    }
+
+    /// Closes the innermost loop: channels matching `pred` iterate again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not inside a loop region.
+    pub fn while_(&mut self, pred: Predicate) -> &mut Self {
+        let mut insn =
+            Instruction::alu(Opcode::While, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        insn.pred = Some(pred);
+        let while_idx = self.emit(insn);
+        match self.frames.pop() {
+            Some(Frame::Loop { body_start, breaks, continues }) => {
+                self.insns[while_idx].jip = Some(body_start);
+                for b in breaks {
+                    self.insns[b].jip = Some(while_idx + 1);
+                }
+                for c in continues {
+                    self.insns[c].jip = Some(while_idx);
+                }
+            }
+            _ => panic!("while outside of loop region"),
+        }
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when nothing was emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Appends `eot` and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation found (see
+    /// [`Program::from_parts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a control-flow region is still open.
+    pub fn finish(mut self) -> Result<Program, ValidateProgramError> {
+        assert!(
+            self.frames.is_empty(),
+            "finish() with {} unclosed control-flow region(s)",
+            self.frames.len()
+        );
+        let eot = Instruction::alu(Opcode::Eot, 1, DataType::Ud, Operand::Null, &[]);
+        self.emit(eot);
+        Program::from_parts(self.name, self.simd_width, self.insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f0() -> Predicate {
+        Predicate::normal(FlagReg::F0)
+    }
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("axpy", 16);
+        b.mul(Operand::rf(8), Operand::rf(4), Operand::imm_f(3.0));
+        b.add(Operand::rf(8), Operand::rf(8), Operand::rf(6));
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.insns()[0].op, Opcode::Mul);
+        assert_eq!(p.insns()[2].op, Opcode::Eot);
+    }
+
+    #[test]
+    fn if_else_targets_resolved() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rf(4), Operand::imm_f(0.0));
+        b.if_(f0()); // idx 1
+        b.mov(Operand::rf(6), Operand::imm_f(1.0)); // 2
+        b.else_(); // 3
+        b.mov(Operand::rf(6), Operand::imm_f(2.0)); // 4
+        b.end_if(); // 5
+        let p = b.finish().unwrap();
+        assert_eq!(p.insns()[1].jip, Some(3));
+        assert_eq!(p.insns()[1].uip, Some(5));
+        assert_eq!(p.insns()[3].jip, Some(5));
+    }
+
+    #[test]
+    fn if_without_else_jumps_to_endif() {
+        let mut b = KernelBuilder::new("k", 8);
+        b.if_(f0()); // 0
+        b.mov(Operand::rf(6), Operand::imm_f(1.0)); // 1
+        b.end_if(); // 2
+        let p = b.finish().unwrap();
+        assert_eq!(p.insns()[0].jip, Some(2));
+        assert_eq!(p.insns()[0].uip, Some(2));
+    }
+
+    #[test]
+    fn loop_targets_resolved() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.do_(); // 0
+        b.add(Operand::rd(4), Operand::rd(4), Operand::imm_d(-1)); // 1
+        b.break_(f0()); // 2
+        b.continue_(Predicate::inverted(FlagReg::F1)); // 3
+        b.cmp(CondOp::Gt, FlagReg::F0, Operand::rd(4), Operand::imm_d(0)); // 4
+        b.while_(f0()); // 5
+        let p = b.finish().unwrap();
+        assert_eq!(p.insns()[5].jip, Some(1), "while jumps to loop body start");
+        assert_eq!(p.insns()[2].jip, Some(6), "break jumps past while");
+        assert_eq!(p.insns()[3].jip, Some(5), "continue jumps to while");
+    }
+
+    #[test]
+    fn pending_pred_applies_once() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.pred(f0()).mov(Operand::rf(6), Operand::imm_f(1.0));
+        b.mov(Operand::rf(7), Operand::imm_f(2.0));
+        let p = b.finish().unwrap();
+        assert!(p.insns()[0].pred.is_some());
+        assert!(p.insns()[1].pred.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "else outside of if region")]
+    fn else_requires_if() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.else_();
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed control-flow region")]
+    fn finish_rejects_open_region() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.if_(f0());
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn nested_if_inside_loop() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.do_(); // 0
+        b.if_(f0()); // 1
+        b.break_(Predicate::normal(FlagReg::F1)); // 2
+        b.end_if(); // 3
+        b.while_(f0()); // 4
+        let p = b.finish().unwrap();
+        assert_eq!(p.insns()[2].jip, Some(5), "break inside if targets loop exit");
+        assert_eq!(p.insns()[1].jip, Some(3));
+    }
+
+    #[test]
+    fn sel_is_predicated_on_flag() {
+        let mut b = KernelBuilder::new("k", 8);
+        b.sel(FlagReg::F1, Operand::rf(2), Operand::rf(3), Operand::rf(4));
+        let p = b.finish().unwrap();
+        assert_eq!(p.insns()[0].pred, Some(Predicate::normal(FlagReg::F1)));
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-channel functional semantics of the ALU opcodes.
+//!
+//! The evaluator operates on [`Scalar`] values widened to 64 bits; the
+//! register file read/write layer (in the simulator crate) is responsible for
+//! narrowing results back to the instruction data type.
+
+use crate::insn::{CondOp, Opcode};
+use crate::types::{DataType, Scalar};
+
+/// Evaluates one channel of an ALU or extended-math opcode.
+///
+/// `dtype` is the execution type: float types evaluate in f64, signed types
+/// in wrapping i64, unsigned in wrapping u64.
+///
+/// # Panics
+///
+/// Panics when called with a non-computational opcode (control flow, `send`,
+/// `barrier`, …) or with the wrong number of sources.
+pub fn eval_alu(op: Opcode, dtype: DataType, srcs: &[Scalar]) -> Scalar {
+    assert_eq!(srcs.len(), op.src_count(), "{op}: wrong source count");
+    if dtype.is_float() {
+        eval_float(op, srcs)
+    } else if dtype.is_signed_int() {
+        eval_signed(op, srcs)
+    } else {
+        eval_unsigned(op, srcs)
+    }
+}
+
+fn eval_float(op: Opcode, s: &[Scalar]) -> Scalar {
+    let a = || s[0].as_f64();
+    let b = || s[1].as_f64();
+    let c = || s[2].as_f64();
+    let v = match op {
+        Opcode::Mov => a(),
+        Opcode::Add => a() + b(),
+        Opcode::Sub => a() - b(),
+        Opcode::Mul => a() * b(),
+        Opcode::Mad => a() * b() + c(),
+        Opcode::Min => a().min(b()),
+        Opcode::Max => a().max(b()),
+        Opcode::Abs => a().abs(),
+        Opcode::Frc => a() - a().floor(),
+        Opcode::Rndd => a().floor(),
+        Opcode::Rndu => a().ceil(),
+        Opcode::Inv => 1.0 / a(),
+        Opcode::Log => a().log2(),
+        Opcode::Exp => a().exp2(),
+        Opcode::Sqrt => a().sqrt(),
+        Opcode::Rsqrt => 1.0 / a().sqrt(),
+        Opcode::Pow => a().powf(b()),
+        Opcode::Sin => a().sin(),
+        Opcode::Cos => a().cos(),
+        Opcode::Fdiv => a() / b(),
+        Opcode::Sel => a(), // sel is handled via predication; src0 is the "true" value
+        other => panic!("opcode {other} is not a float ALU op"),
+    };
+    Scalar::F(v)
+}
+
+fn eval_signed(op: Opcode, s: &[Scalar]) -> Scalar {
+    let a = || s[0].as_i64();
+    let b = || s[1].as_i64();
+    let c = || s[2].as_i64();
+    let v = match op {
+        Opcode::Mov => a(),
+        Opcode::Add => a().wrapping_add(b()),
+        Opcode::Sub => a().wrapping_sub(b()),
+        Opcode::Mul => a().wrapping_mul(b()),
+        Opcode::Mad => a().wrapping_mul(b()).wrapping_add(c()),
+        Opcode::Min => a().min(b()),
+        Opcode::Max => a().max(b()),
+        Opcode::Abs => a().wrapping_abs(),
+        Opcode::Not => !a(),
+        Opcode::And => a() & b(),
+        Opcode::Or => a() | b(),
+        Opcode::Xor => a() ^ b(),
+        Opcode::Shl => a().wrapping_shl(s[1].as_u64() as u32 & 63),
+        Opcode::Shr => ((a() as u64).wrapping_shr(s[1].as_u64() as u32 & 63)) as i64,
+        Opcode::Asr => a().wrapping_shr(s[1].as_u64() as u32 & 63),
+        Opcode::Idiv => a().checked_div(b()).unwrap_or(0),
+        Opcode::Irem => a().checked_rem(b()).unwrap_or(0),
+        Opcode::Sel => a(),
+        other => panic!("opcode {other} is not a signed-int ALU op"),
+    };
+    Scalar::I(v)
+}
+
+fn eval_unsigned(op: Opcode, s: &[Scalar]) -> Scalar {
+    let a = || s[0].as_u64();
+    let b = || s[1].as_u64();
+    let c = || s[2].as_u64();
+    let v = match op {
+        Opcode::Mov => a(),
+        Opcode::Add => a().wrapping_add(b()),
+        Opcode::Sub => a().wrapping_sub(b()),
+        Opcode::Mul => a().wrapping_mul(b()),
+        Opcode::Mad => a().wrapping_mul(b()).wrapping_add(c()),
+        Opcode::Min => a().min(b()),
+        Opcode::Max => a().max(b()),
+        Opcode::Abs => a(),
+        Opcode::Not => !a(),
+        Opcode::And => a() & b(),
+        Opcode::Or => a() | b(),
+        Opcode::Xor => a() ^ b(),
+        Opcode::Shl => a().wrapping_shl(b() as u32 & 63),
+        Opcode::Shr => a().wrapping_shr(b() as u32 & 63),
+        Opcode::Asr => (a() as i64).wrapping_shr(b() as u32 & 63) as u64,
+        Opcode::Idiv => a().checked_div(b()).unwrap_or(0),
+        Opcode::Irem => a().checked_rem(b()).unwrap_or(0),
+        Opcode::Sel => a(),
+        other => panic!("opcode {other} is not an unsigned ALU op"),
+    };
+    Scalar::U(v)
+}
+
+/// Evaluates a `cmp` condition on one channel.
+pub fn eval_cond(cond: CondOp, dtype: DataType, a: Scalar, b: Scalar) -> bool {
+    if dtype.is_float() {
+        let (x, y) = (a.as_f64(), b.as_f64());
+        match cond {
+            CondOp::Eq => x == y,
+            CondOp::Ne => x != y,
+            CondOp::Lt => x < y,
+            CondOp::Le => x <= y,
+            CondOp::Gt => x > y,
+            CondOp::Ge => x >= y,
+        }
+    } else if dtype.is_signed_int() {
+        let (x, y) = (a.as_i64(), b.as_i64());
+        match cond {
+            CondOp::Eq => x == y,
+            CondOp::Ne => x != y,
+            CondOp::Lt => x < y,
+            CondOp::Le => x <= y,
+            CondOp::Gt => x > y,
+            CondOp::Ge => x >= y,
+        }
+    } else {
+        let (x, y) = (a.as_u64(), b.as_u64());
+        match cond {
+            CondOp::Eq => x == y,
+            CondOp::Ne => x != y,
+            CondOp::Lt => x < y,
+            CondOp::Le => x <= y,
+            CondOp::Gt => x > y,
+            CondOp::Ge => x >= y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_arith() {
+        let v = eval_alu(Opcode::Mad, DataType::F, &[2.0f32.into(), 3.0f32.into(), 1.0f32.into()]);
+        assert_eq!(v, Scalar::F(7.0));
+        let v = eval_alu(Opcode::Rsqrt, DataType::F, &[4.0f32.into()]);
+        assert_eq!(v, Scalar::F(0.5));
+        let v = eval_alu(Opcode::Frc, DataType::F, &[Scalar::F(-1.25)]);
+        assert_eq!(v, Scalar::F(0.75));
+    }
+
+    #[test]
+    fn log_exp_are_base2() {
+        assert_eq!(eval_alu(Opcode::Log, DataType::F, &[8.0f32.into()]), Scalar::F(3.0));
+        assert_eq!(eval_alu(Opcode::Exp, DataType::F, &[3.0f32.into()]), Scalar::F(8.0));
+    }
+
+    #[test]
+    fn signed_wrapping() {
+        let v = eval_alu(Opcode::Add, DataType::D, &[Scalar::I(i64::MAX), Scalar::I(1)]);
+        assert_eq!(v, Scalar::I(i64::MIN));
+        let v = eval_alu(Opcode::Idiv, DataType::D, &[Scalar::I(-7), Scalar::I(2)]);
+        assert_eq!(v, Scalar::I(-3));
+    }
+
+    #[test]
+    fn divide_by_zero_yields_zero() {
+        assert_eq!(eval_alu(Opcode::Idiv, DataType::D, &[Scalar::I(5), Scalar::I(0)]), Scalar::I(0));
+        assert_eq!(eval_alu(Opcode::Irem, DataType::Ud, &[Scalar::U(5), Scalar::U(0)]), Scalar::U(0));
+    }
+
+    #[test]
+    fn unsigned_bitops() {
+        let v = eval_alu(Opcode::Xor, DataType::Ud, &[Scalar::U(0b1100), Scalar::U(0b1010)]);
+        assert_eq!(v, Scalar::U(0b0110));
+        let v = eval_alu(Opcode::Shl, DataType::Ud, &[Scalar::U(1), Scalar::U(4)]);
+        assert_eq!(v, Scalar::U(16));
+    }
+
+    #[test]
+    fn conditions_respect_type_class() {
+        assert!(eval_cond(CondOp::Lt, DataType::D, Scalar::I(-1), Scalar::I(0)));
+        // Same bits interpreted unsigned: 0xFFFF.. > 0.
+        assert!(!eval_cond(CondOp::Lt, DataType::Ud, Scalar::U(u64::MAX), Scalar::U(0)));
+        assert!(eval_cond(CondOp::Ge, DataType::F, Scalar::F(1.5), Scalar::F(1.5)));
+        assert!(eval_cond(CondOp::Ne, DataType::F, Scalar::F(f64::NAN), Scalar::F(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a float ALU op")]
+    fn float_rejects_bitops() {
+        let _ = eval_alu(Opcode::And, DataType::F, &[Scalar::F(1.0), Scalar::F(2.0)]);
+    }
+}

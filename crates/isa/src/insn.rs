@@ -1,0 +1,496 @@
+//! Instructions: opcodes, condition codes, memory messages.
+
+use crate::reg::{FlagReg, Operand, Predicate};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Instruction opcode.
+///
+/// Opcodes are grouped by the execution pipe that consumes them: most integer
+/// and FP arithmetic issues to the 4-wide FPU pipe, extended math to the
+/// 4-wide EM pipe, memory operations to the SEND pipe, and control flow is
+/// resolved at issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // --- FPU pipe ---
+    /// Copy / type-convert.
+    Mov,
+    /// Per-channel select: `dst = pred ? src0 : src1` (predicate from flag).
+    Sel,
+    /// Bitwise NOT.
+    Not,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left logical.
+    Shl,
+    /// Shift right logical.
+    Shr,
+    /// Shift right arithmetic.
+    Asr,
+    /// Add.
+    Add,
+    /// Subtract (`src0 - src1`).
+    Sub,
+    /// Multiply.
+    Mul,
+    /// Multiply-add: `dst = src0 * src1 + src2`.
+    Mad,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Fractional part (`x - floor(x)`).
+    Frc,
+    /// Round down (floor).
+    Rndd,
+    /// Round up (ceil).
+    Rndu,
+    /// Compare; writes per-channel flag bits via the condition modifier.
+    Cmp,
+    // --- EM (extended math) pipe ---
+    /// Reciprocal.
+    Inv,
+    /// Base-2 logarithm.
+    Log,
+    /// Base-2 exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// Power (`src0 ^ src1`).
+    Pow,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Integer divide (quotient).
+    Idiv,
+    /// Integer remainder.
+    Irem,
+    /// FP divide.
+    Fdiv,
+    // --- control flow (resolved at issue, no execution pipe occupancy) ---
+    /// Begin a divergent `if` region.
+    If,
+    /// Begin the `else` half of an `if` region.
+    Else,
+    /// Reconverge an `if` region.
+    EndIf,
+    /// Mark the head of a loop.
+    Do,
+    /// Loop back-edge; channels whose predicate holds iterate again.
+    While,
+    /// Remove channels from the enclosing loop.
+    Break,
+    /// Send channels to the loop back-edge early.
+    Continue,
+    /// Unconditional scalar jump (uniform; asserts non-divergent use).
+    Jmpi,
+    // --- SEND pipe ---
+    /// Memory access (see [`SendMessage`]).
+    Send,
+    // --- misc ---
+    /// Workgroup barrier.
+    Barrier,
+    /// No operation.
+    Nop,
+    /// End of thread.
+    Eot,
+}
+
+/// Which EU pipe an opcode occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pipe {
+    /// 4-wide main ALU (int + FP + FMA).
+    Fpu,
+    /// 4-wide extended-math ALU.
+    Em,
+    /// Memory/sampler message pipe.
+    Send,
+    /// Resolved in the front end; occupies no execution pipe.
+    Control,
+}
+
+impl Opcode {
+    /// The pipe this opcode issues to.
+    pub fn pipe(self) -> Pipe {
+        use Opcode::*;
+        match self {
+            Mov | Sel | Not | And | Or | Xor | Shl | Shr | Asr | Add | Sub | Mul | Mad | Min
+            | Max | Abs | Frc | Rndd | Rndu | Cmp => Pipe::Fpu,
+            Inv | Log | Exp | Sqrt | Rsqrt | Pow | Sin | Cos | Idiv | Irem | Fdiv => Pipe::Em,
+            Send => Pipe::Send,
+            If | Else | EndIf | Do | While | Break | Continue | Jmpi | Barrier | Nop | Eot => {
+                Pipe::Control
+            }
+        }
+    }
+
+    /// Number of source operands the opcode consumes.
+    pub fn src_count(self) -> usize {
+        use Opcode::*;
+        match self {
+            Mov | Not | Abs | Frc | Rndd | Rndu | Inv | Log | Exp | Sqrt | Rsqrt | Sin | Cos => 1,
+            Sel | And | Or | Xor | Shl | Shr | Asr | Add | Sub | Mul | Min | Max | Cmp | Pow
+            | Idiv | Irem | Fdiv => 2,
+            Mad => 3,
+            If | Else | EndIf | Do | While | Break | Continue | Jmpi | Send | Barrier | Nop
+            | Eot => 0,
+        }
+    }
+
+    /// True for control-flow opcodes that carry a jump target.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::If
+                | Opcode::Else
+                | Opcode::While
+                | Opcode::Break
+                | Opcode::Continue
+                | Opcode::Jmpi
+        )
+    }
+
+    /// Lower-case mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Mov => "mov",
+            Sel => "sel",
+            Not => "not",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Asr => "asr",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Mad => "mad",
+            Min => "min",
+            Max => "max",
+            Abs => "abs",
+            Frc => "frc",
+            Rndd => "rndd",
+            Rndu => "rndu",
+            Cmp => "cmp",
+            Inv => "inv",
+            Log => "log",
+            Exp => "exp",
+            Sqrt => "sqrt",
+            Rsqrt => "rsqrt",
+            Pow => "pow",
+            Sin => "sin",
+            Cos => "cos",
+            Idiv => "idiv",
+            Irem => "irem",
+            Fdiv => "fdiv",
+            If => "if",
+            Else => "else",
+            EndIf => "endif",
+            Do => "do",
+            While => "while",
+            Break => "break",
+            Continue => "cont",
+            Jmpi => "jmpi",
+            Send => "send",
+            Barrier => "barrier",
+            Nop => "nop",
+            Eot => "eot",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison condition for `cmp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CondOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl fmt::Display for CondOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Eq => "eq",
+            Self::Ne => "ne",
+            Self::Lt => "lt",
+            Self::Le => "le",
+            Self::Gt => "gt",
+            Self::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Condition modifier: `cmp` writes the per-channel result of `cond` into
+/// `flag`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CondMod {
+    /// Comparison performed per channel.
+    pub cond: CondOp,
+    /// Destination flag register.
+    pub flag: FlagReg,
+}
+
+/// Memory space addressed by a `send`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Global memory, backed by the L3 → LLC → DRAM hierarchy.
+    Global,
+    /// Shared local memory (per workgroup, highly banked).
+    Slm,
+}
+
+/// Message descriptor of a `send` instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SendMessage {
+    /// Per-channel gather load: channel `i` loads `dtype` from the byte
+    /// address in channel `i` of `addr`; the result is written to the
+    /// instruction destination.
+    Load {
+        /// Target memory space.
+        space: MemSpace,
+        /// Per-channel byte addresses (UD vector operand).
+        addr: Operand,
+        /// Element type loaded.
+        dtype: DataType,
+    },
+    /// Per-channel scatter store of `data` to the addresses in `addr`.
+    Store {
+        /// Target memory space.
+        space: MemSpace,
+        /// Per-channel byte addresses (UD vector operand).
+        addr: Operand,
+        /// Per-channel data to store.
+        data: Operand,
+        /// Element type stored.
+        dtype: DataType,
+    },
+    /// Memory fence; completes when all prior memory operations of the
+    /// thread are globally visible.
+    Fence,
+}
+
+impl SendMessage {
+    /// The memory space accessed, if any.
+    pub fn space(&self) -> Option<MemSpace> {
+        match self {
+            Self::Load { space, .. } | Self::Store { space, .. } => Some(*space),
+            Self::Fence => None,
+        }
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Self::Store { .. })
+    }
+}
+
+/// One decoded instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// SIMD execution width (1, 4, 8, 16, or 32 channels).
+    pub exec_width: u32,
+    /// Execution data type (type of the destination / the ALU operation).
+    pub dtype: DataType,
+    /// Destination operand ([`Operand::Null`] when unused).
+    pub dst: Operand,
+    /// Source operands; only the first [`Opcode::src_count`] entries are used.
+    pub srcs: [Operand; 3],
+    /// Optional predicate gating per-channel execution.
+    pub pred: Option<Predicate>,
+    /// Optional condition modifier (flag write), used by `cmp`.
+    pub cond_mod: Option<CondMod>,
+    /// Jump target (instruction index) for branch opcodes, resolved by the
+    /// program builder.
+    pub jip: Option<usize>,
+    /// Secondary jump target (`if` → `endif` when no `else`; `break` → loop
+    /// exit), resolved by the program builder.
+    pub uip: Option<usize>,
+    /// Message descriptor for `send`.
+    pub msg: Option<SendMessage>,
+}
+
+impl Instruction {
+    /// Creates a basic ALU instruction with no predication.
+    pub fn alu(
+        op: Opcode,
+        exec_width: u32,
+        dtype: DataType,
+        dst: Operand,
+        srcs: &[Operand],
+    ) -> Self {
+        assert!(
+            srcs.len() == op.src_count(),
+            "{op} expects {} sources, got {}",
+            op.src_count(),
+            srcs.len()
+        );
+        let mut s = [Operand::Null; 3];
+        s[..srcs.len()].copy_from_slice(srcs);
+        Self {
+            op,
+            exec_width,
+            dtype,
+            dst,
+            srcs: s,
+            pred: None,
+            cond_mod: None,
+            jip: None,
+            uip: None,
+            msg: None,
+        }
+    }
+
+    /// The pipe the instruction occupies.
+    pub fn pipe(&self) -> Pipe {
+        self.op.pipe()
+    }
+
+    /// Source operands actually used by the opcode.
+    pub fn used_srcs(&self) -> &[Operand] {
+        &self.srcs[..self.op.src_count()]
+    }
+
+    /// All register operands read by this instruction, including address and
+    /// data operands of a `send` message.
+    pub fn read_operands(&self) -> Vec<Operand> {
+        let mut out: Vec<Operand> =
+            self.used_srcs().iter().copied().filter(|o| o.grf_reg().is_some()).collect();
+        if let Some(msg) = &self.msg {
+            match msg {
+                SendMessage::Load { addr, .. } => out.push(*addr),
+                SendMessage::Store { addr, data, .. } => {
+                    out.push(*addr);
+                    out.push(*data);
+                }
+                SendMessage::Fence => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "{}({})", self.op, self.exec_width)?;
+        if let Some(cm) = self.cond_mod {
+            write!(f, ".{}.{}", cm.cond, cm.flag)?;
+        }
+        if !self.dst.is_null() {
+            write!(f, " {}", self.dst)?;
+        }
+        for s in self.used_srcs() {
+            write!(f, ", {s}")?;
+        }
+        if let Some(j) = self.jip {
+            write!(f, " jip={j}")?;
+        }
+        if let Some(u) = self.uip {
+            write!(f, " uip={u}")?;
+        }
+        if let Some(m) = &self.msg {
+            write!(f, " {m:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    #[test]
+    fn pipes_classified() {
+        assert_eq!(Opcode::Mad.pipe(), Pipe::Fpu);
+        assert_eq!(Opcode::Sqrt.pipe(), Pipe::Em);
+        assert_eq!(Opcode::Send.pipe(), Pipe::Send);
+        assert_eq!(Opcode::EndIf.pipe(), Pipe::Control);
+    }
+
+    #[test]
+    fn src_counts() {
+        assert_eq!(Opcode::Mov.src_count(), 1);
+        assert_eq!(Opcode::Add.src_count(), 2);
+        assert_eq!(Opcode::Mad.src_count(), 3);
+        assert_eq!(Opcode::Send.src_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 sources")]
+    fn alu_validates_src_count() {
+        let _ = Instruction::alu(Opcode::Add, 16, DataType::F, Operand::rf(1), &[Operand::rf(2)]);
+    }
+
+    #[test]
+    fn read_operands_include_send_payload() {
+        let mut insn =
+            Instruction::alu(Opcode::Send, 16, DataType::F, Operand::rf(10), &[]);
+        insn.msg = Some(SendMessage::Store {
+            space: MemSpace::Global,
+            addr: Operand::rud(4),
+            data: Operand::rf(6),
+            dtype: DataType::F,
+        });
+        let reads = insn.read_operands();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].grf_reg(), Some(4));
+        assert_eq!(reads[1].grf_reg(), Some(6));
+    }
+
+    #[test]
+    fn display_round_trip_contains_parts() {
+        let mut insn = Instruction::alu(
+            Opcode::Add,
+            16,
+            DataType::F,
+            Operand::rf(12),
+            &[Operand::rf(8), Operand::rf(10)],
+        );
+        insn.pred = Some(Predicate::normal(FlagReg::F0));
+        let text = insn.to_string();
+        assert!(text.contains("add(16)"), "{text}");
+        assert!(text.contains("(+f0)"), "{text}");
+        assert!(text.contains("r12:f"), "{text}");
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::If.is_branch());
+        assert!(Opcode::While.is_branch());
+        assert!(!Opcode::EndIf.is_branch());
+        assert!(!Opcode::Add.is_branch());
+    }
+}

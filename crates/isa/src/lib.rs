@@ -1,0 +1,61 @@
+//! # iwc-isa
+//!
+//! A variable-width SIMD ISA model in the style of Intel Gen (Ivy Bridge)
+//! execution units, as described in §2 of *"SIMD Divergence Optimization
+//! through Intra-Warp Compaction"* (Vaidya et al., ISCA 2013).
+//!
+//! The crate provides:
+//!
+//! * [`mask::ExecMask`] — per-channel SIMD execution masks with quad
+//!   (4-channel) analysis, the input to the BCC/SCC compaction logic;
+//! * [`types::DataType`] / [`types::Scalar`] — operand element types and the
+//!   widened scalar values used by the functional evaluator;
+//! * [`reg`] — the 128×256b general register file addressing model, flag
+//!   registers and predication;
+//! * [`insn`] — opcodes (FPU / extended-math / send / control pipes),
+//!   condition modifiers, and memory message descriptors;
+//! * [`program::Program`] — validated kernel programs;
+//! * [`builder::KernelBuilder`] — a structured assembler DSL that resolves
+//!   divergent control flow (`if`/`else`/`endif`, `do`/`break`/`continue`/
+//!   `while`) into jump targets;
+//! * [`asm`] — a text assembler for the same dialect;
+//! * [`eval`] — per-channel functional semantics.
+//!
+//! # Examples
+//!
+//! Build a tiny divergent kernel and inspect it:
+//!
+//! ```
+//! use iwc_isa::builder::KernelBuilder;
+//! use iwc_isa::insn::CondOp;
+//! use iwc_isa::reg::{FlagReg, Operand, Predicate};
+//!
+//! let mut b = KernelBuilder::new("clamp", 16);
+//! b.cmp(CondOp::Gt, FlagReg::F0, Operand::rf(4), Operand::imm_f(1.0));
+//! b.if_(Predicate::normal(FlagReg::F0));
+//! b.mov(Operand::rf(4), Operand::imm_f(1.0));
+//! b.end_if();
+//! let program = b.finish()?;
+//! assert_eq!(program.simd_width(), 16);
+//! # Ok::<(), iwc_isa::program::ValidateProgramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asm;
+pub mod builder;
+pub mod eval;
+pub mod insn;
+pub mod mask;
+pub mod program;
+pub mod reg;
+pub mod types;
+
+pub use asm::{parse_program, to_asm, ParseAsmError};
+pub use builder::KernelBuilder;
+pub use insn::{CondOp, Instruction, MemSpace, Opcode, Pipe, SendMessage};
+pub use mask::{ExecMask, MAX_WIDTH, QUAD};
+pub use program::Program;
+pub use reg::{FlagReg, Operand, Predicate};
+pub use types::{DataType, Scalar};

@@ -1,0 +1,314 @@
+//! SIMD execution masks.
+//!
+//! An [`ExecMask`] is the per-channel enable vector of one SIMD instruction:
+//! bit `i` set means channel `i` executes. Masks are at most 32 channels wide
+//! (the widest SIMD width of the modeled ISA) and always carry their width so
+//! that population counts, quad analysis, and efficiency metrics are
+//! well-defined.
+//!
+//! Channels are grouped into *quads* — aligned groups of [`QUAD`] (4)
+//! contiguous channels — because the modeled hardware executes one quad per
+//! cycle through its 4-wide ALU. Quad-granularity queries on the mask are what
+//! the BCC/SCC control logic of the paper consumes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of channels in one quad, equal to the hardware ALU width.
+pub const QUAD: u32 = 4;
+
+/// Maximum SIMD width supported by the ISA.
+pub const MAX_WIDTH: u32 = 32;
+
+/// Per-channel execution mask of a SIMD instruction.
+///
+/// # Examples
+///
+/// ```
+/// use iwc_isa::mask::ExecMask;
+///
+/// let m = ExecMask::new(0xF0F0, 16);
+/// assert_eq!(m.active_channels(), 8);
+/// assert_eq!(m.active_quads(), 2);
+/// assert!(!m.quad_active(0));
+/// assert!(m.quad_active(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecMask {
+    bits: u32,
+    width: u32,
+}
+
+impl ExecMask {
+    /// Creates a mask over `width` channels from the low `width` bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0, exceeds [`MAX_WIDTH`], or is not a multiple of 1
+    /// in `{1, 2, 4, 8, 16, 32}` (the legal SIMD widths).
+    pub fn new(bits: u32, width: u32) -> Self {
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8 | 16 | 32),
+            "illegal SIMD width {width}"
+        );
+        let bits = if width == 32 {
+            bits
+        } else {
+            bits & ((1u32 << width) - 1)
+        };
+        Self { bits, width }
+    }
+
+    /// Mask with every channel enabled.
+    pub fn all(width: u32) -> Self {
+        Self::new(u32::MAX, width)
+    }
+
+    /// Mask with every channel disabled.
+    pub fn none(width: u32) -> Self {
+        Self::new(0, width)
+    }
+
+    /// Raw bit representation (bit `i` = channel `i`).
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of channels the instruction was issued over.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Number of enabled channels.
+    pub fn active_channels(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// True when no channel is enabled.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// True when every channel is enabled.
+    pub fn is_full(self) -> bool {
+        self.bits == Self::all(self.width).bits
+    }
+
+    /// True if channel `ch` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch >= width`.
+    pub fn channel(self, ch: u32) -> bool {
+        assert!(ch < self.width, "channel {ch} out of range");
+        self.bits >> ch & 1 == 1
+    }
+
+    /// Returns a copy with channel `ch` set to `enabled`.
+    pub fn with_channel(self, ch: u32, enabled: bool) -> Self {
+        assert!(ch < self.width, "channel {ch} out of range");
+        let bits = if enabled {
+            self.bits | 1 << ch
+        } else {
+            self.bits & !(1 << ch)
+        };
+        Self::new(bits, self.width)
+    }
+
+    /// Number of quads covered by the instruction width (rounded up; a SIMD1
+    /// or SIMD2 instruction still occupies one quad slot in the pipe).
+    pub fn quad_count(self) -> u32 {
+        self.width.div_ceil(QUAD)
+    }
+
+    /// The 4-bit sub-mask of quad `q` (channels `4q..4q+3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= quad_count()`.
+    pub fn quad_bits(self, q: u32) -> u8 {
+        assert!(q < self.quad_count(), "quad {q} out of range");
+        (self.bits >> (q * QUAD) & 0xF) as u8
+    }
+
+    /// True if quad `q` has at least one enabled channel.
+    pub fn quad_active(self, q: u32) -> bool {
+        self.quad_bits(q) != 0
+    }
+
+    /// Number of quads with at least one enabled channel.
+    ///
+    /// This is exactly the execution-cycle count under basic cycle compression
+    /// (BCC) before the 1-cycle minimum is applied.
+    pub fn active_quads(self) -> u32 {
+        (0..self.quad_count()).filter(|&q| self.quad_active(q)).count() as u32
+    }
+
+    /// Iterator over the indices of enabled channels, ascending.
+    pub fn iter_active(self) -> impl Iterator<Item = u32> {
+        (0..self.width).filter(move |&c| self.bits >> c & 1 == 1)
+    }
+
+    /// Channel-wise AND with another mask of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(self, other: Self) -> Self {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        Self::new(self.bits & other.bits, self.width)
+    }
+
+    /// Channel-wise AND-NOT (`self & !other`).
+    pub fn and_not(self, other: Self) -> Self {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        Self::new(self.bits & !other.bits, self.width)
+    }
+
+    /// Channel-wise OR with another mask of the same width.
+    pub fn or(self, other: Self) -> Self {
+        assert_eq!(self.width, other.width, "mask width mismatch");
+        Self::new(self.bits | other.bits, self.width)
+    }
+
+    /// Complement within the mask width.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Self::new(!self.bits, self.width)
+    }
+
+    /// SIMD efficiency of this single instruction: enabled / width.
+    pub fn efficiency(self) -> f64 {
+        f64::from(self.active_channels()) / f64::from(self.width)
+    }
+
+    /// True when the lower half of the channels are all disabled.
+    pub fn lower_half_idle(self) -> bool {
+        self.width >= 2 && self.bits & ((1u32 << (self.width / 2)) - 1) == 0
+    }
+
+    /// True when the upper half of the channels are all disabled.
+    pub fn upper_half_idle(self) -> bool {
+        self.width >= 2 && self.bits >> (self.width / 2) == 0
+    }
+}
+
+impl fmt::Debug for ExecMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExecMask({:#06x}/{})", self.bits, self.width)
+    }
+}
+
+impl fmt::Display for ExecMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = (self.width.div_ceil(4)) as usize;
+        write!(f, "{:0digits$x}/{}", self.bits, self.width)
+    }
+}
+
+impl fmt::Binary for ExecMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.width as usize;
+        write!(f, "{:0w$b}", self.bits)
+    }
+}
+
+impl fmt::LowerHex for ExecMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_truncates_to_width() {
+        let m = ExecMask::new(u32::MAX, 8);
+        assert_eq!(m.bits(), 0xFF);
+        assert_eq!(m.active_channels(), 8);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal SIMD width")]
+    fn new_rejects_bad_width() {
+        let _ = ExecMask::new(0, 3);
+    }
+
+    #[test]
+    fn quad_analysis_f0f0() {
+        let m = ExecMask::new(0xF0F0, 16);
+        assert_eq!(m.quad_count(), 4);
+        assert_eq!(m.active_quads(), 2);
+        assert_eq!(m.quad_bits(0), 0x0);
+        assert_eq!(m.quad_bits(1), 0xF);
+        assert!(!m.quad_active(2));
+        assert!(m.quad_active(3));
+    }
+
+    #[test]
+    fn partial_quads_count() {
+        // 0xAAAA: every quad has 2 active channels.
+        let m = ExecMask::new(0xAAAA, 16);
+        assert_eq!(m.active_quads(), 4);
+        assert_eq!(m.active_channels(), 8);
+    }
+
+    #[test]
+    fn half_idle_detection() {
+        assert!(ExecMask::new(0xFF00, 16).lower_half_idle());
+        assert!(!ExecMask::new(0xFF00, 16).upper_half_idle());
+        assert!(ExecMask::new(0x00FF, 16).upper_half_idle());
+        assert!(ExecMask::new(0x00F0, 8).lower_half_idle());
+        let both = ExecMask::none(16);
+        assert!(both.lower_half_idle() && both.upper_half_idle());
+    }
+
+    #[test]
+    fn channel_get_set() {
+        let m = ExecMask::none(16).with_channel(3, true).with_channel(12, true);
+        assert!(m.channel(3));
+        assert!(m.channel(12));
+        assert!(!m.channel(4));
+        assert_eq!(m.with_channel(3, false).active_channels(), 1);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = ExecMask::new(0xF0F0, 16);
+        let b = ExecMask::new(0xFF00, 16);
+        assert_eq!(a.and(b).bits(), 0xF000);
+        assert_eq!(a.or(b).bits(), 0xFFF0);
+        assert_eq!(a.and_not(b).bits(), 0x00F0);
+        assert_eq!(a.not().bits(), 0x0F0F);
+    }
+
+    #[test]
+    fn iter_active_ascending() {
+        let m = ExecMask::new(0b1010_0001, 8);
+        assert_eq!(m.iter_active().collect::<Vec<_>>(), vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn efficiency_metric() {
+        assert_eq!(ExecMask::all(16).efficiency(), 1.0);
+        assert_eq!(ExecMask::new(0x00FF, 16).efficiency(), 0.5);
+        assert_eq!(ExecMask::none(8).efficiency(), 0.0);
+    }
+
+    #[test]
+    fn simd1_occupies_one_quad() {
+        let m = ExecMask::new(1, 1);
+        assert_eq!(m.quad_count(), 1);
+        assert_eq!(m.active_quads(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = ExecMask::new(0xF0F0, 16);
+        assert_eq!(format!("{m}"), "f0f0/16");
+        assert_eq!(format!("{m:?}"), "ExecMask(0xf0f0/16)");
+    }
+}

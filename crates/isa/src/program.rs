@@ -1,0 +1,204 @@
+//! Kernel programs: validated instruction sequences.
+
+use crate::insn::{Instruction, Opcode};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when validating a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateProgramError {
+    /// Index of the offending instruction.
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction at {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// A complete, validated kernel program.
+///
+/// Programs are immutable once built; construct them with
+/// [`KernelBuilder`](crate::builder::KernelBuilder).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    simd_width: u32,
+    insns: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program from raw parts, validating structural invariants:
+    /// the program must end with `eot`, every branch must carry a resolved
+    /// in-range target, and control-flow regions must nest properly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateProgramError`] describing the first violation.
+    pub fn from_parts(
+        name: impl Into<String>,
+        simd_width: u32,
+        insns: Vec<Instruction>,
+    ) -> Result<Self, ValidateProgramError> {
+        let err = |index: usize, message: &str| ValidateProgramError {
+            index,
+            message: message.to_string(),
+        };
+        if insns.is_empty() {
+            return Err(err(0, "program is empty"));
+        }
+        if insns.last().map(|i| i.op) != Some(Opcode::Eot) {
+            return Err(err(insns.len() - 1, "program must end with eot"));
+        }
+        let mut depth = 0i32;
+        for (i, insn) in insns.iter().enumerate() {
+            if insn.op.is_branch() && insn.jip.is_none() {
+                return Err(err(i, "branch with unresolved jip"));
+            }
+            for t in [insn.jip, insn.uip].into_iter().flatten() {
+                if t >= insns.len() {
+                    return Err(err(i, "jump target out of range"));
+                }
+            }
+            match insn.op {
+                Opcode::If | Opcode::Do => depth += 1,
+                Opcode::EndIf | Opcode::While => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return Err(err(i, "unmatched region close"));
+                    }
+                }
+                _ => {}
+            }
+            if insn.op == Opcode::Send && insn.msg.is_none() {
+                return Err(err(i, "send without message descriptor"));
+            }
+        }
+        if depth != 0 {
+            return Err(err(insns.len() - 1, "unclosed control-flow region"));
+        }
+        Ok(Self { name: name.into(), simd_width, insns })
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Compiled SIMD width of the kernel (channels per EU thread).
+    pub fn simd_width(&self) -> u32 {
+        self.simd_width
+    }
+
+    /// The instruction sequence.
+    pub fn insns(&self) -> &[Instruction] {
+        &self.insns
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when the program has no instructions (never true for validated
+    /// programs, which contain at least `eot`).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Highest GRF register referenced plus one (register pressure estimate).
+    pub fn grf_high_water(&self) -> u32 {
+        let mut hi = 0u32;
+        for insn in &self.insns {
+            let mut ops: Vec<_> = insn.read_operands();
+            ops.push(insn.dst);
+            for op in ops {
+                if let Some((_, end)) = op.grf_byte_range(insn.exec_width) {
+                    hi = hi.max(end.div_ceil(crate::reg::GRF_BYTES));
+                }
+            }
+        }
+        hi
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} (simd{}):", self.name, self.simd_width)?;
+        for (i, insn) in self.insns.iter().enumerate() {
+            writeln!(f, "  {i:4}: {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instruction;
+    use crate::reg::Operand;
+    use crate::types::DataType;
+
+    fn eot() -> Instruction {
+        Instruction::alu(Opcode::Eot, 1, DataType::Ud, Operand::Null, &[])
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Program::from_parts("k", 16, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_eot() {
+        let add = Instruction::alu(
+            Opcode::Add,
+            16,
+            DataType::F,
+            Operand::rf(2),
+            &[Operand::rf(4), Operand::rf(6)],
+        );
+        let e = Program::from_parts("k", 16, vec![add]).unwrap_err();
+        assert!(e.to_string().contains("eot"));
+    }
+
+    #[test]
+    fn rejects_unresolved_branch() {
+        let mut iff = Instruction::alu(Opcode::If, 16, DataType::Ud, Operand::Null, &[]);
+        iff.jip = None;
+        let e = Program::from_parts("k", 16, vec![iff, eot()]).unwrap_err();
+        assert!(e.to_string().contains("unresolved"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_regions() {
+        let endif = Instruction::alu(Opcode::EndIf, 16, DataType::Ud, Operand::Null, &[]);
+        let e = Program::from_parts("k", 16, vec![endif, eot()]).unwrap_err();
+        assert!(e.to_string().contains("unmatched"));
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        let p = Program::from_parts("k", 8, vec![eot()]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.simd_width(), 8);
+        assert_eq!(p.name(), "k");
+    }
+
+    #[test]
+    fn grf_high_water_tracks_spans() {
+        let add = Instruction::alu(
+            Opcode::Add,
+            16,
+            DataType::F,
+            Operand::rf(10), // r10-r11 at SIMD16
+            &[Operand::rf(4), Operand::rf(6)],
+        );
+        let p = Program::from_parts("k", 16, vec![add, eot()]).unwrap();
+        assert_eq!(p.grf_high_water(), 12);
+    }
+}

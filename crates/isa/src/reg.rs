@@ -1,0 +1,286 @@
+//! Registers and operands.
+//!
+//! Each EU thread owns a general register file (GRF) of [`GRF_COUNT`]
+//! 256-bit registers ([`GRF_BYTES`] bytes each), plus two 16-bit flag
+//! registers written by `cmp` and consumed by predication and branches.
+//!
+//! Operand addressing is deliberately simplified relative to the full Gen
+//! region syntax: a vector operand names a starting GRF and an element type,
+//! and channel `i` maps to the GRF byte range
+//! `reg * 32 + i * size .. + size`. A SIMD16 operand of a 32-bit type thus
+//! implicitly spans a register pair (`r, r+1`), exactly the property the
+//! paper's quartile micro-op expansion exploits (§4.1).
+
+use crate::types::{DataType, Scalar};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of GRF registers per EU thread.
+pub const GRF_COUNT: u32 = 128;
+
+/// Bytes per GRF register (256 bits).
+pub const GRF_BYTES: u32 = 32;
+
+/// Total GRF bytes per EU thread.
+pub const GRF_TOTAL_BYTES: u32 = GRF_COUNT * GRF_BYTES;
+
+/// Number of architectural flag registers.
+pub const FLAG_COUNT: u8 = 2;
+
+/// A flag register identifier (`f0` or `f1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlagReg(u8);
+
+impl FlagReg {
+    /// Flag register 0.
+    pub const F0: FlagReg = FlagReg(0);
+    /// Flag register 1.
+    pub const F1: FlagReg = FlagReg(1);
+
+    /// Creates a flag register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= FLAG_COUNT`.
+    pub fn new(idx: u8) -> Self {
+        assert!(idx < FLAG_COUNT, "flag register f{idx} out of range");
+        Self(idx)
+    }
+
+    /// Index of the flag register (0 or 1).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlagReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A source or destination operand.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Vector GRF operand: channel `i` reads/writes element `i` of type
+    /// `dtype` starting at register `reg`.
+    Grf {
+        /// Starting GRF register number.
+        reg: u8,
+        /// Element type.
+        dtype: DataType,
+    },
+    /// Scalar (broadcast) GRF operand: every channel reads element
+    /// `sub` of register `reg` (region `<0;1,0>` in Gen terms).
+    GrfScalar {
+        /// GRF register number.
+        reg: u8,
+        /// Sub-register element index.
+        sub: u8,
+        /// Element type.
+        dtype: DataType,
+    },
+    /// Immediate broadcast to all channels.
+    Imm {
+        /// The value.
+        value: Scalar,
+        /// Element type.
+        dtype: DataType,
+    },
+    /// Null operand (unused slot / discarded destination).
+    Null,
+}
+
+impl Operand {
+    /// Vector float32 GRF operand.
+    pub fn rf(reg: u8) -> Self {
+        Self::Grf { reg, dtype: DataType::F }
+    }
+
+    /// Vector signed-int32 GRF operand.
+    pub fn rd(reg: u8) -> Self {
+        Self::Grf { reg, dtype: DataType::D }
+    }
+
+    /// Vector unsigned-int32 GRF operand.
+    pub fn rud(reg: u8) -> Self {
+        Self::Grf { reg, dtype: DataType::Ud }
+    }
+
+    /// Vector GRF operand of an explicit type.
+    pub fn reg(reg: u8, dtype: DataType) -> Self {
+        Self::Grf { reg, dtype }
+    }
+
+    /// Scalar broadcast of element `sub` in `reg`.
+    pub fn scalar(reg: u8, sub: u8, dtype: DataType) -> Self {
+        Self::GrfScalar { reg, sub, dtype }
+    }
+
+    /// Float immediate.
+    pub fn imm_f(v: f32) -> Self {
+        Self::Imm { value: v.into(), dtype: DataType::F }
+    }
+
+    /// Signed-int immediate.
+    pub fn imm_d(v: i32) -> Self {
+        Self::Imm { value: v.into(), dtype: DataType::D }
+    }
+
+    /// Unsigned-int immediate.
+    pub fn imm_ud(v: u32) -> Self {
+        Self::Imm { value: v.into(), dtype: DataType::Ud }
+    }
+
+    /// Element type of the operand, if it has one.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Self::Grf { dtype, .. }
+            | Self::GrfScalar { dtype, .. }
+            | Self::Imm { dtype, .. } => Some(*dtype),
+            Self::Null => None,
+        }
+    }
+
+    /// Starting GRF register, for register operands.
+    pub fn grf_reg(&self) -> Option<u8> {
+        match self {
+            Self::Grf { reg, .. } | Self::GrfScalar { reg, .. } => Some(*reg),
+            _ => None,
+        }
+    }
+
+    /// True for `Operand::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Self::Null)
+    }
+
+    /// Byte range `[lo, hi)` of the GRF this operand touches when executed
+    /// over `width` channels, or `None` for non-register operands.
+    ///
+    /// Used by the scoreboard for dependence checking and by the compaction
+    /// logic for operand-fetch accounting.
+    pub fn grf_byte_range(&self, width: u32) -> Option<(u32, u32)> {
+        match *self {
+            Self::Grf { reg, dtype } => {
+                let lo = u32::from(reg) * GRF_BYTES;
+                Some((lo, lo + width * dtype.size_bytes()))
+            }
+            Self::GrfScalar { reg, sub, dtype } => {
+                let lo = u32::from(reg) * GRF_BYTES + u32::from(sub) * dtype.size_bytes();
+                Some((lo, lo + dtype.size_bytes()))
+            }
+            Self::Imm { .. } | Self::Null => None,
+        }
+    }
+
+    /// Number of whole GRF registers a vector operand of this type spans at
+    /// the given SIMD width (1 for SIMD8×32b, 2 for SIMD16×32b, …).
+    pub fn grf_span(&self, width: u32) -> u32 {
+        match self.grf_byte_range(width) {
+            Some((lo, hi)) => {
+                let first = lo / GRF_BYTES;
+                let last = (hi - 1) / GRF_BYTES;
+                last - first + 1
+            }
+            None => 0,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Grf { reg, dtype } => write!(f, "r{reg}:{dtype}"),
+            Self::GrfScalar { reg, sub, dtype } => write!(f, "r{reg}.{sub}:{dtype}"),
+            Self::Imm { value, dtype } => match value {
+                Scalar::F(v) => write!(f, "{v}:{dtype}"),
+                Scalar::I(v) => write!(f, "{v}:{dtype}"),
+                Scalar::U(v) => write!(f, "{v}:{dtype}"),
+            },
+            Self::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// An instruction predicate: gate execution on (possibly inverted) flag bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Flag register providing per-channel predicate bits.
+    pub flag: FlagReg,
+    /// If true, channels execute where the flag bit is *clear*.
+    pub invert: bool,
+}
+
+impl Predicate {
+    /// Normal predication on `flag` (`(+f) insn`).
+    pub fn normal(flag: FlagReg) -> Self {
+        Self { flag, invert: false }
+    }
+
+    /// Inverted predication on `flag` (`(-f) insn`).
+    pub fn inverted(flag: FlagReg) -> Self {
+        Self { flag, invert: true }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{})", if self.invert { "-" } else { "+" }, self.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_reg_bounds() {
+        assert_eq!(FlagReg::new(1), FlagReg::F1);
+        assert_eq!(FlagReg::F0.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flag_reg_rejects_f2() {
+        let _ = FlagReg::new(2);
+    }
+
+    #[test]
+    fn simd16_f32_operand_spans_two_grfs() {
+        let op = Operand::rf(8);
+        assert_eq!(op.grf_byte_range(16), Some((256, 320)));
+        assert_eq!(op.grf_span(16), 2);
+        assert_eq!(op.grf_span(8), 1);
+    }
+
+    #[test]
+    fn simd16_df_operand_spans_four_grfs() {
+        let op = Operand::reg(4, DataType::Df);
+        assert_eq!(op.grf_span(16), 4);
+    }
+
+    #[test]
+    fn scalar_operand_touches_one_element() {
+        let op = Operand::scalar(2, 3, DataType::F);
+        assert_eq!(op.grf_byte_range(16), Some((76, 80)));
+        assert_eq!(op.grf_span(16), 1);
+    }
+
+    #[test]
+    fn imm_has_no_grf_footprint() {
+        assert_eq!(Operand::imm_f(1.0).grf_byte_range(16), None);
+        assert_eq!(Operand::Null.grf_span(16), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::rf(3).to_string(), "r3:f");
+        assert_eq!(Operand::scalar(1, 2, DataType::Ud).to_string(), "r1.2:ud");
+        assert_eq!(Operand::imm_d(-5).to_string(), "-5:d");
+        assert_eq!(
+            Predicate::inverted(FlagReg::F1).to_string(),
+            "(-f1)"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the ISA layer: mask algebra, operand geometry,
+//! builder/program structural guarantees, and evaluator laws.
+
+use iwc_isa::builder::KernelBuilder;
+use iwc_isa::eval::{eval_alu, eval_cond};
+use iwc_isa::insn::{CondOp, Opcode};
+use iwc_isa::mask::ExecMask;
+use iwc_isa::reg::{FlagReg, Operand, Predicate};
+use iwc_isa::types::{DataType, Scalar};
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(4u32), Just(8), Just(16), Just(32)]
+}
+
+fn arb_mask() -> impl Strategy<Value = ExecMask> {
+    (any::<u32>(), arb_width()).prop_map(|(b, w)| ExecMask::new(b, w))
+}
+
+proptest! {
+    /// Boolean-algebra laws on masks.
+    #[test]
+    fn mask_de_morgan(bits_a in any::<u32>(), bits_b in any::<u32>(), w in arb_width()) {
+        let a = ExecMask::new(bits_a, w);
+        let b = ExecMask::new(bits_b, w);
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        prop_assert_eq!(a.and_not(b), a.and(b.not()));
+    }
+
+    /// Active-channel count is consistent with iteration and quad analysis.
+    #[test]
+    fn mask_counting_consistent(m in arb_mask()) {
+        prop_assert_eq!(m.iter_active().count() as u32, m.active_channels());
+        let per_quad: u32 = (0..m.quad_count())
+            .map(|q| m.quad_bits(q).count_ones())
+            .sum();
+        prop_assert_eq!(per_quad, m.active_channels());
+        prop_assert!(m.active_quads() <= m.quad_count());
+        prop_assert!(m.active_quads() * 4 >= m.active_channels());
+    }
+
+    /// Half-idle detection agrees with the bit definition.
+    #[test]
+    fn half_idle_definition(m in arb_mask()) {
+        let half = m.width() / 2;
+        let lower = m.bits() & ((1u64 << half) as u32).wrapping_sub(1);
+        let upper = m.bits() >> half;
+        prop_assert_eq!(m.lower_half_idle(), lower == 0);
+        prop_assert_eq!(m.upper_half_idle(), upper == 0);
+    }
+
+    /// GRF byte ranges: span is consistent with the range, and two vector
+    /// operands whose register distance is at least the span never overlap.
+    #[test]
+    fn operand_spans(reg in 0u8..100, w in arb_width(), wide in any::<bool>()) {
+        let dt = if wide { DataType::Df } else { DataType::F };
+        let op = Operand::reg(reg, dt);
+        let (lo, hi) = op.grf_byte_range(w).expect("register operand");
+        prop_assert_eq!(u32::from(reg) * 32, lo);
+        prop_assert_eq!(hi - lo, w * dt.size_bytes());
+        let span = op.grf_span(w);
+        let next = Operand::reg(reg + span as u8, dt);
+        let (nlo, _) = next.grf_byte_range(w).expect("register operand");
+        prop_assert!(nlo >= hi, "adjacent allocation overlaps");
+    }
+
+    /// Builder-produced programs always pass validation, end in eot, and
+    /// have in-range jump targets.
+    #[test]
+    fn builder_programs_validate(
+        depth in 1usize..5,
+        body_ops in 1usize..4,
+        with_else in any::<bool>(),
+    ) {
+        let mut b = KernelBuilder::new("prop", 16);
+        for _ in 0..depth {
+            b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(8));
+            b.if_(Predicate::normal(FlagReg::F0));
+            for _ in 0..body_ops {
+                b.add(Operand::rf(6), Operand::rf(6), Operand::imm_f(1.0));
+            }
+        }
+        for i in 0..depth {
+            if with_else && i == 0 {
+                b.else_();
+                b.mov(Operand::rf(6), Operand::imm_f(0.0));
+            }
+            b.end_if();
+        }
+        let p = b.finish().expect("valid");
+        prop_assert_eq!(p.insns().last().map(|i| i.op), Some(Opcode::Eot));
+        for insn in p.insns() {
+            for t in [insn.jip, insn.uip].into_iter().flatten() {
+                prop_assert!(t < p.len());
+            }
+        }
+    }
+
+    /// Float add/mul are commutative in the evaluator for finite inputs.
+    #[test]
+    fn eval_float_commutative(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        for op in [Opcode::Add, Opcode::Mul, Opcode::Min, Opcode::Max] {
+            let x = eval_alu(op, DataType::F, &[Scalar::F(a), Scalar::F(b)]);
+            let y = eval_alu(op, DataType::F, &[Scalar::F(b), Scalar::F(a)]);
+            prop_assert_eq!(x, y, "{}", op);
+        }
+    }
+
+    /// Integer ops wrap rather than panic for any input.
+    #[test]
+    fn eval_int_total(a in any::<i64>(), b in any::<i64>()) {
+        for op in [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Idiv, Opcode::Irem,
+                   Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Shl, Opcode::Shr] {
+            let _ = eval_alu(op, DataType::D, &[Scalar::I(a), Scalar::I(b)]);
+            let _ = eval_alu(op, DataType::Ud, &[Scalar::U(a as u64), Scalar::U(b as u64)]);
+        }
+    }
+
+    /// cmp conditions are coherent: exactly one of lt/eq/gt holds for
+    /// distinct finite floats, and le == lt|eq.
+    #[test]
+    fn eval_cond_trichotomy(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let dt = DataType::F;
+        let (x, y) = (Scalar::F(a), Scalar::F(b));
+        let lt = eval_cond(CondOp::Lt, dt, x, y);
+        let eq = eval_cond(CondOp::Eq, dt, x, y);
+        let gt = eval_cond(CondOp::Gt, dt, x, y);
+        prop_assert_eq!(u32::from(lt) + u32::from(eq) + u32::from(gt), 1);
+        prop_assert_eq!(eval_cond(CondOp::Le, dt, x, y), lt || eq);
+        prop_assert_eq!(eval_cond(CondOp::Ge, dt, x, y), gt || eq);
+        prop_assert_eq!(eval_cond(CondOp::Ne, dt, x, y), !eq);
+    }
+}

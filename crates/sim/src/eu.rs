@@ -1,0 +1,492 @@
+//! Execution-unit timing model.
+//!
+//! Each EU holds up to `threads_per_eu` hardware threads. Every two cycles
+//! the thread arbiter issues up to two instructions from distinct ready
+//! threads (§2.2). Issued computation occupies the 4-wide FPU or EM pipe for
+//! the number of waves given by the active compaction mode — this is where
+//! BCC/SCC turn saved waves into time. A per-thread, per-register scoreboard
+//! enforces data dependences; `send` results block their destination until
+//! the memory subsystem reports completion.
+
+use crate::config::GpuConfig;
+use crate::exec::{execute_instruction, exec_mask_of, Effect, ThreadCtx};
+use crate::memimg::MemoryImage;
+use crate::memsys::MemSystem;
+use iwc_compaction::{execution_cycles, CompactionTally};
+use iwc_isa::insn::{MemSpace, Opcode, Pipe};
+use iwc_isa::program::Program;
+use iwc_isa::reg::GRF_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Per-EU statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EuStats {
+    /// Instructions issued (consuming an issue slot).
+    pub issued: u64,
+    /// Zero-mask instructions skipped at no cost.
+    pub skipped_zero_mask: u64,
+    /// ALU waves actually issued to the FPU pipe under the active mode.
+    pub fpu_waves: u64,
+    /// ALU waves actually issued to the EM pipe under the active mode.
+    pub em_waves: u64,
+    /// Send messages issued.
+    pub sends: u64,
+    /// L1 instruction-cache misses.
+    pub icache_misses: u64,
+    /// Thread-cycle stall attribution.
+    pub stalls: StallStats,
+    /// Issue events for timeline rendering (when
+    /// [`GpuConfig::record_issue_log`] is set).
+    pub issue_log: Vec<IssueEvent>,
+    /// Compaction accounting over computation instructions (cycle models
+    /// for every mode, evaluated on the executed mask stream).
+    pub compute_tally: CompactionTally,
+    /// Mask accounting over all SIMD instructions (compute + send), used
+    /// for SIMD efficiency and the utilization breakdown.
+    pub simd_tally: CompactionTally,
+    /// Captured execution masks of every issued SIMD instruction, in issue
+    /// order, when [`GpuConfig::capture_masks`] is set: `(bits, width)`.
+    pub mask_trace: Vec<(u32, u8)>,
+}
+
+/// One resident hardware thread.
+#[derive(Debug)]
+pub struct HwThread {
+    /// Architectural state.
+    pub ctx: ThreadCtx,
+    /// Global workgroup index.
+    pub wg: usize,
+    /// Thread index within the workgroup.
+    pub wg_thread: u32,
+    /// The thread may not issue before this time (fence, barrier release).
+    pub stalled_until: u64,
+    /// Waiting at a workgroup barrier.
+    pub at_barrier: bool,
+    /// Per-GRF-register writeback completion times.
+    reg_busy: Box<[u64]>,
+    /// Per-flag-register writeback completion times.
+    flag_busy: [u64; 2],
+    /// Completion time of the latest outstanding memory access.
+    pub last_mem_done: u64,
+}
+
+impl HwThread {
+    /// Creates a resident thread from its architectural context.
+    pub fn new(ctx: ThreadCtx, wg: usize, wg_thread: u32) -> Self {
+        Self {
+            ctx,
+            wg,
+            wg_thread,
+            stalled_until: 0,
+            at_barrier: false,
+            reg_busy: vec![0u64; 128].into_boxed_slice(),
+            flag_busy: [0, 0],
+            last_mem_done: 0,
+        }
+    }
+
+    fn mark_regs(&mut self, op: &iwc_isa::Operand, width: u32, until: u64) {
+        if let Some((lo, hi)) = op.grf_byte_range(width) {
+            for r in lo / GRF_BYTES..=(hi - 1) / GRF_BYTES {
+                self.reg_busy[r as usize] = self.reg_busy[r as usize].max(until);
+            }
+        }
+    }
+
+    /// Earliest time the scoreboard allows `insn` to issue.
+    fn deps_ready_at(&self, insn: &iwc_isa::Instruction) -> u64 {
+        let mut at = 0u64;
+        let width = insn.exec_width;
+        let mut consider = |op: &iwc_isa::Operand| {
+            if let Some((lo, hi)) = op.grf_byte_range(width) {
+                for r in lo / GRF_BYTES..=(hi - 1) / GRF_BYTES {
+                    at = at.max(self.reg_busy[r as usize]);
+                }
+            }
+        };
+        for op in insn.read_operands() {
+            consider(&op);
+        }
+        consider(&insn.dst);
+        if let Some(p) = insn.pred {
+            at = at.max(self.flag_busy[p.flag.index() as usize]);
+        }
+        if let Some(cm) = insn.cond_mod {
+            at = at.max(self.flag_busy[cm.flag.index() as usize]);
+        }
+        at
+    }
+}
+
+/// One recorded issue event (for timeline rendering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssueEvent {
+    /// Cycle of issue.
+    pub cycle: u64,
+    /// EU thread slot.
+    pub thread: u8,
+    /// Pipe occupied (`Fpu`, `Em`, `Send`, or `Control` for front-end-only
+    /// instructions).
+    pub pipe: Pipe,
+    /// Pipe-occupancy cycles (0 for control/send).
+    pub waves: u32,
+}
+
+/// Why a thread could not issue this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallReason {
+    /// Waiting on an earlier fence/fetch release.
+    Stalled,
+    /// A source/destination register or flag is still in flight
+    /// (scoreboard RAW/WAW, including pending memory loads).
+    Scoreboard,
+    /// Instruction-cache miss.
+    Ifetch,
+    /// The target execution pipe is still occupied by earlier waves —
+    /// exactly the cycles BCC/SCC compress.
+    PipeBusy,
+    /// End-of-thread draining outstanding memory.
+    MemDrain,
+}
+
+/// Per-category counts of thread-cycles lost to each stall reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallStats {
+    /// Fence/fetch release waits.
+    pub stalled: u64,
+    /// Scoreboard dependences (incl. memory loads in flight).
+    pub scoreboard: u64,
+    /// Instruction-cache misses.
+    pub ifetch: u64,
+    /// Execution-pipe occupancy.
+    pub pipe_busy: u64,
+    /// End-of-thread memory drains.
+    pub mem_drain: u64,
+}
+
+impl StallStats {
+    fn add(&mut self, reason: StallReason) {
+        match reason {
+            StallReason::Stalled => self.stalled += 1,
+            StallReason::Scoreboard => self.scoreboard += 1,
+            StallReason::Ifetch => self.ifetch += 1,
+            StallReason::PipeBusy => self.pipe_busy += 1,
+            StallReason::MemDrain => self.mem_drain += 1,
+        }
+    }
+
+    /// Merges another sample.
+    pub fn merge(&mut self, other: &StallStats) {
+        self.stalled += other.stalled;
+        self.scoreboard += other.scoreboard;
+        self.ifetch += other.ifetch;
+        self.pipe_busy += other.pipe_busy;
+        self.mem_drain += other.mem_drain;
+    }
+
+    /// Total stall events.
+    pub fn total(&self) -> u64 {
+        self.stalled + self.scoreboard + self.ifetch + self.pipe_busy + self.mem_drain
+    }
+}
+
+/// Outcome of one issue attempt on one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueOutcome {
+    /// An instruction was issued.
+    Issued,
+    /// The thread finished (`eot` retired); the slot is free.
+    Finished,
+    /// The thread cannot issue before the given time, for the given reason.
+    NotReadyUntil(u64, StallReason),
+    /// The thread is blocked on a barrier (no time bound).
+    Barrier,
+}
+
+/// One execution unit.
+#[derive(Debug)]
+pub struct Eu {
+    /// EU index.
+    pub id: u32,
+    /// Resident threads (None = free slot).
+    pub slots: Vec<Option<HwThread>>,
+    fpu_free: u64,
+    em_free: u64,
+    arb_ptr: usize,
+    /// Instruction addresses resident in the shared L1 I$ (FIFO of PCs,
+    /// capacity `cfg.icache_insns`).
+    icache: std::collections::VecDeque<usize>,
+    icache_set: std::collections::HashSet<usize>,
+    /// Statistics.
+    pub stats: EuStats,
+}
+
+impl Eu {
+    /// Creates an EU with `threads` empty slots.
+    pub fn new(id: u32, threads: u32) -> Self {
+        Self {
+            id,
+            slots: (0..threads).map(|_| None).collect(),
+            fpu_free: 0,
+            em_free: 0,
+            arb_ptr: 0,
+            icache: std::collections::VecDeque::new(),
+            icache_set: std::collections::HashSet::new(),
+            stats: EuStats::default(),
+        }
+    }
+
+    /// Instruction-fetch check: returns the extra stall (cycles) before the
+    /// instruction at `pc` can issue, filling the FIFO I$ on a miss.
+    fn ifetch(&mut self, pc: usize, cfg: &GpuConfig) -> u64 {
+        if cfg.icache_miss_latency == 0 || cfg.icache_insns == 0 {
+            return 0;
+        }
+        if self.icache_set.contains(&pc) {
+            return 0;
+        }
+        self.stats.icache_misses += 1;
+        if self.icache.len() as u32 >= cfg.icache_insns {
+            if let Some(old) = self.icache.pop_front() {
+                self.icache_set.remove(&old);
+            }
+        }
+        self.icache.push_back(pc);
+        self.icache_set.insert(pc);
+        u64::from(cfg.icache_miss_latency)
+    }
+
+    /// Number of free thread slots.
+    pub fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// True when no thread is resident.
+    pub fn is_idle(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Places a thread into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no slot is free.
+    pub fn place(&mut self, t: HwThread) {
+        let slot = self.slots.iter_mut().find(|s| s.is_none()).expect("free slot");
+        *slot = Some(t);
+    }
+
+    /// Attempts to issue one instruction from thread slot `i` at time `now`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &mut self,
+        i: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        program: &Program,
+        mem: &mut MemSystem,
+        img: &mut MemoryImage,
+        slm: &mut MemoryImage,
+        barrier_arrivals: &mut Vec<usize>,
+    ) -> IssueOutcome {
+        let Some(t) = self.slots[i].as_mut() else {
+            return IssueOutcome::Barrier; // empty slot: nothing to do, no bound
+        };
+        if t.at_barrier {
+            return IssueOutcome::Barrier;
+        }
+        if t.stalled_until > now {
+            return IssueOutcome::NotReadyUntil(t.stalled_until, StallReason::Stalled);
+        }
+
+        // Skip zero-mask ALU/send instructions for free (jump-over).
+        let mut guard = 0usize;
+        loop {
+            let insn = &program.insns()[t.ctx.pc];
+            let is_data_op = !matches!(insn.op.pipe(), Pipe::Control);
+            if is_data_op && exec_mask_of(&t.ctx, insn).is_empty() && insn.op != Opcode::Eot {
+                let e = execute_instruction(&mut t.ctx, program, img, slm);
+                debug_assert_eq!(e.effect, Effect::SkippedZeroMask);
+                self.stats.skipped_zero_mask += 1;
+                guard += 1;
+                assert!(guard <= program.len() * 2, "runaway zero-mask skipping");
+                continue;
+            }
+            break;
+        }
+
+        let pc = t.ctx.pc;
+        let insn = &program.insns()[pc];
+
+        // Scoreboard.
+        let ready = t.deps_ready_at(insn);
+        if ready > now {
+            return IssueOutcome::NotReadyUntil(ready, StallReason::Scoreboard);
+        }
+        // Instruction fetch: a cold I$ line stalls the thread once.
+        let fetch_stall = self.ifetch(pc, cfg);
+        if fetch_stall > 0 {
+            let t = self.slots[i].as_mut().expect("thread present");
+            t.stalled_until = now + fetch_stall;
+            return IssueOutcome::NotReadyUntil(now + fetch_stall, StallReason::Ifetch);
+        }
+        let t = self.slots[i].as_mut().expect("thread present");
+        let insn = &program.insns()[pc];
+        // Pipe availability for computation.
+        match insn.op.pipe() {
+            Pipe::Fpu if self.fpu_free > now => {
+                return IssueOutcome::NotReadyUntil(self.fpu_free, StallReason::PipeBusy)
+            }
+            Pipe::Em if self.em_free > now => {
+                return IssueOutcome::NotReadyUntil(self.em_free, StallReason::PipeBusy)
+            }
+            _ => {}
+        }
+        // EOT drains outstanding memory.
+        if insn.op == Opcode::Eot && t.last_mem_done > now {
+            return IssueOutcome::NotReadyUntil(t.last_mem_done, StallReason::MemDrain);
+        }
+
+        let exec_width = insn.exec_width;
+        let dtype = insn.dtype;
+        let dst = insn.dst;
+        let cond_flag = insn.cond_mod.map(|cm| cm.flag);
+        let n_operands =
+            (insn.used_srcs().iter().filter(|o| o.grf_reg().is_some()).count()
+                + usize::from(insn.dst.grf_reg().is_some())) as u64;
+        let insn_pipe = insn.op.pipe();
+        let executed = execute_instruction(&mut t.ctx, program, img, slm);
+        self.stats.issued += 1;
+        if cfg.record_issue_log {
+            let waves = if insn_pipe == Pipe::Fpu || insn_pipe == Pipe::Em {
+                execution_cycles(executed.mask, dtype, cfg.compaction)
+            } else {
+                0
+            };
+            self.stats.issue_log.push(IssueEvent {
+                cycle: now,
+                thread: i as u8,
+                pipe: insn_pipe,
+                waves,
+            });
+        }
+
+        match executed.effect {
+            Effect::Compute { pipe } => {
+                let mut waves = u64::from(execution_cycles(executed.mask, dtype, cfg.compaction));
+                if cfg.rf_timing == crate::config::RfTiming::MultiCycle {
+                    // A single-ported file serializes one register-half
+                    // access per operand ahead of execution (§4.3 option 1).
+                    waves += n_operands;
+                }
+                let (pipe_free, depth) = match pipe {
+                    Pipe::Fpu => (&mut self.fpu_free, cfg.fpu_latency),
+                    Pipe::Em => (&mut self.em_free, cfg.em_latency),
+                    _ => unreachable!("compute on non-ALU pipe"),
+                };
+                *pipe_free = now + waves;
+                let writeback = now + waves + u64::from(depth);
+                t.mark_regs(&dst, exec_width, writeback);
+                if let Some(f) = cond_flag {
+                    t.flag_busy[f.index() as usize] = writeback;
+                }
+                match pipe {
+                    Pipe::Fpu => self.stats.fpu_waves += waves,
+                    Pipe::Em => self.stats.em_waves += waves,
+                    _ => {}
+                }
+                self.stats.compute_tally.add(executed.mask, dtype);
+                self.stats.simd_tally.add(executed.mask, dtype);
+                if cfg.capture_masks {
+                    self.stats.mask_trace.push((executed.mask.bits(), executed.mask.width() as u8));
+                }
+            }
+            Effect::Memory { space, is_store, ref lane_addrs } => {
+                self.stats.sends += 1;
+                self.stats.simd_tally.add(executed.mask, dtype);
+                if cfg.capture_masks {
+                    self.stats.mask_trace.push((executed.mask.bits(), executed.mask.width() as u8));
+                }
+                let done = match space {
+                    MemSpace::Global => {
+                        let lines = mem.coalesce(lane_addrs);
+                        mem.global_access(now, &lines, is_store)
+                    }
+                    MemSpace::Slm => mem.slm_access(now, lane_addrs),
+                };
+                t.last_mem_done = t.last_mem_done.max(done);
+                if !is_store {
+                    t.mark_regs(&dst, exec_width, done);
+                }
+            }
+            Effect::Fence => {
+                t.stalled_until = t.last_mem_done;
+            }
+            Effect::Barrier => {
+                t.at_barrier = true;
+                barrier_arrivals.push(t.wg);
+            }
+            Effect::Eot => {
+                self.slots[i] = None;
+                return IssueOutcome::Finished;
+            }
+            Effect::ControlFlow => {}
+            Effect::SkippedZeroMask => unreachable!("skips handled before issue"),
+        }
+        IssueOutcome::Issued
+    }
+
+    /// One arbitration pass (invoked every cycle): issues up to
+    /// `cfg.issue_per_cycle` instructions from distinct ready threads,
+    /// rotating priority. The default of 1 is the paper's "two instructions
+    /// every two cycles" bandwidth at single-cycle granularity.
+    ///
+    /// Returns `(issued, finished_wg_threads, hint)` where `hint` is the
+    /// earliest future time at which some blocked thread becomes ready
+    /// (`None` when all blocked threads wait on barriers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn arbitrate(
+        &mut self,
+        now: u64,
+        cfg: &GpuConfig,
+        program: &Program,
+        mem: &mut MemSystem,
+        img: &mut MemoryImage,
+        slms: &mut [MemoryImage],
+        slm_index: &std::collections::HashMap<usize, usize>,
+        barrier_arrivals: &mut Vec<usize>,
+    ) -> (u32, Vec<usize>, Option<u64>) {
+        let n = self.slots.len();
+        let mut issued = 0u32;
+        let mut finished = Vec::new();
+        let mut hint: Option<u64> = None;
+        let start = self.arb_ptr;
+        for k in 0..n {
+            if issued >= cfg.issue_per_cycle {
+                break;
+            }
+            let i = (start + k) % n;
+            let Some(t) = self.slots[i].as_ref() else { continue };
+            let wg = t.wg;
+            let slm_idx = *slm_index.get(&wg).expect("resident wg has an SLM slot");
+            let slm = &mut slms[slm_idx];
+            match self.try_issue(i, now, cfg, program, mem, img, slm, barrier_arrivals) {
+                IssueOutcome::Issued => {
+                    issued += 1;
+                    self.arb_ptr = (i + 1) % n;
+                }
+                IssueOutcome::Finished => {
+                    issued += 1;
+                    finished.push(wg);
+                    self.arb_ptr = (i + 1) % n;
+                }
+                IssueOutcome::NotReadyUntil(at, reason) => {
+                    self.stats.stalls.add(reason);
+                    hint = Some(hint.map_or(at, |h| h.min(at)));
+                }
+                IssueOutcome::Barrier => {}
+            }
+        }
+        (issued, finished, hint)
+    }
+}

@@ -1,0 +1,459 @@
+//! Functional execution of one instruction for one EU thread.
+//!
+//! The functional layer is decoupled from timing: when the issue logic
+//! decides an instruction issues, [`execute_instruction`] applies its full
+//! architectural effect immediately (register/flag/memory updates, SIMT
+//! stack transitions, PC update) and reports what the timing layer needs:
+//! the final execution mask and an [`Effect`] describing the resource the
+//! instruction occupies.
+
+use crate::memimg::MemoryImage;
+use crate::regfile::RegFile;
+use crate::simt::SimtStack;
+use iwc_isa::eval::{eval_alu, eval_cond};
+use iwc_isa::insn::{Instruction, MemSpace, Opcode, Pipe, SendMessage};
+use iwc_isa::mask::ExecMask;
+use iwc_isa::program::Program;
+use iwc_isa::reg::Predicate;
+
+/// Architectural thread context (functional state only).
+#[derive(Debug)]
+pub struct ThreadCtx {
+    /// Program counter (instruction index).
+    pub pc: usize,
+    /// Register file.
+    pub regs: RegFile,
+    /// SIMT reconvergence stack.
+    pub simt: SimtStack,
+}
+
+impl ThreadCtx {
+    /// Creates a context with the given dispatch mask, PC 0 and zeroed
+    /// registers.
+    pub fn new(dispatch_mask: ExecMask) -> Self {
+        Self { pc: 0, regs: RegFile::new(), simt: SimtStack::new(dispatch_mask) }
+    }
+}
+
+/// The resource effect of one executed instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// An FPU or EM computation over the mask.
+    Compute {
+        /// Pipe occupied.
+        pipe: Pipe,
+    },
+    /// A global or SLM memory message.
+    Memory {
+        /// Target space.
+        space: MemSpace,
+        /// True for stores.
+        is_store: bool,
+        /// Byte addresses of the active channels.
+        lane_addrs: Vec<u32>,
+    },
+    /// A memory fence: the thread must wait for its outstanding accesses.
+    Fence,
+    /// A workgroup barrier.
+    Barrier,
+    /// End of thread.
+    Eot,
+    /// Control flow resolved at issue (if/else/endif/do/while/break/…/nop).
+    ControlFlow,
+    /// The instruction's execution mask was all-zero; it was skipped with no
+    /// pipeline cost (jump-over-disabled-code).
+    SkippedZeroMask,
+}
+
+/// Outcome of executing one instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Executed {
+    /// Final execution mask the instruction ran under.
+    pub mask: ExecMask,
+    /// Resource effect for the timing layer.
+    pub effect: Effect,
+}
+
+fn pred_bits(ctx: &ThreadCtx, pred: Predicate) -> ExecMask {
+    let flag = ctx.regs.flag(pred.flag);
+    ctx.simt.pred_mask(pred, flag)
+}
+
+/// Computes the execution mask of `insn` in the current context: the SIMT
+/// mask ANDed with the instruction predicate (if any). `sel` is special: its
+/// predicate *selects* operands instead of gating channels.
+pub fn exec_mask_of(ctx: &ThreadCtx, insn: &Instruction) -> ExecMask {
+    let base = ctx.simt.exec();
+    match insn.pred {
+        Some(p) if insn.op != Opcode::Sel && !insn.op.is_branch() => base.and(pred_bits(ctx, p)),
+        _ => base,
+    }
+}
+
+/// Executes `insn` functionally, updating the thread context, global memory
+/// and (for SLM messages) the workgroup's SLM image.
+///
+/// # Panics
+///
+/// Panics on malformed programs (e.g. `while` without predicate), which the
+/// builder cannot produce.
+pub fn execute_instruction(
+    ctx: &mut ThreadCtx,
+    program: &Program,
+    mem: &mut MemoryImage,
+    slm: &mut MemoryImage,
+) -> Executed {
+    let insn = &program.insns()[ctx.pc];
+    let mask = exec_mask_of(ctx, insn);
+
+    match insn.op {
+        // ---- control flow ----
+        Opcode::If => {
+            let p = insn.pred.expect("if requires a predicate");
+            let cond = pred_bits(ctx, p);
+            let jump = ctx.simt.exec_if(cond, insn.jip.expect("resolved jip"));
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            return ctl(mask);
+        }
+        Opcode::Else => {
+            let jump = ctx.simt.exec_else(insn.jip.expect("resolved jip"));
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            return ctl(mask);
+        }
+        Opcode::EndIf => {
+            ctx.simt.exec_endif();
+            ctx.pc += 1;
+            return ctl(mask);
+        }
+        Opcode::Do => {
+            ctx.simt.exec_do();
+            ctx.pc += 1;
+            return ctl(mask);
+        }
+        Opcode::While => {
+            let p = insn.pred.expect("while requires a predicate");
+            let cond = pred_bits(ctx, p);
+            let jump = ctx.simt.exec_while(cond, insn.jip.expect("resolved jip"));
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            return ctl(mask);
+        }
+        Opcode::Break => {
+            let p = insn.pred.expect("break requires a predicate");
+            ctx.simt.exec_break(pred_bits(ctx, p));
+            ctx.pc += 1;
+            return ctl(mask);
+        }
+        Opcode::Continue => {
+            let p = insn.pred.expect("continue requires a predicate");
+            ctx.simt.exec_continue(pred_bits(ctx, p));
+            ctx.pc += 1;
+            return ctl(mask);
+        }
+        Opcode::Jmpi => {
+            ctx.pc = insn.jip.expect("resolved jip");
+            return ctl(mask);
+        }
+        Opcode::Nop => {
+            ctx.pc += 1;
+            return ctl(mask);
+        }
+        Opcode::Barrier => {
+            ctx.pc += 1;
+            return Executed { mask, effect: Effect::Barrier };
+        }
+        Opcode::Eot => {
+            return Executed { mask, effect: Effect::Eot };
+        }
+        _ => {}
+    }
+
+    // ---- ALU / send: a zero mask is skipped outright ----
+    if mask.is_empty() {
+        ctx.pc += 1;
+        return Executed { mask, effect: Effect::SkippedZeroMask };
+    }
+
+    match insn.op {
+        Opcode::Send => {
+            let msg = insn.msg.expect("send carries a message");
+            let executed = match msg {
+                SendMessage::Fence => {
+                    ctx.pc += 1;
+                    return Executed { mask, effect: Effect::Fence };
+                }
+                SendMessage::Load { space, addr, dtype } => {
+                    let mut lane_addrs = Vec::with_capacity(mask.active_channels() as usize);
+                    for lane in mask.iter_active() {
+                        let a = ctx.regs.read_lane(&addr, lane).as_u64() as u32;
+                        lane_addrs.push(a);
+                        let img = if space == MemSpace::Slm { &mut *slm } else { &mut *mem };
+                        let v = img.read_scalar(a, dtype);
+                        ctx.regs.write_lane(&insn.dst, lane, v);
+                    }
+                    Executed {
+                        mask,
+                        effect: Effect::Memory { space, is_store: false, lane_addrs },
+                    }
+                }
+                SendMessage::Store { space, addr, data, dtype } => {
+                    let mut lane_addrs = Vec::with_capacity(mask.active_channels() as usize);
+                    for lane in mask.iter_active() {
+                        let a = ctx.regs.read_lane(&addr, lane).as_u64() as u32;
+                        lane_addrs.push(a);
+                        let v = ctx.regs.read_lane(&data, lane);
+                        let img = if space == MemSpace::Slm { &mut *slm } else { &mut *mem };
+                        img.write_scalar(a, dtype, v);
+                    }
+                    Executed {
+                        mask,
+                        effect: Effect::Memory { space, is_store: true, lane_addrs },
+                    }
+                }
+            };
+            ctx.pc += 1;
+            executed
+        }
+        Opcode::Cmp => {
+            let cm = insn.cond_mod.expect("cmp carries a condition modifier");
+            for lane in mask.iter_active() {
+                let a = ctx.regs.read_lane(&insn.srcs[0], lane);
+                let b = ctx.regs.read_lane(&insn.srcs[1], lane);
+                let r = eval_cond(cm.cond, insn.dtype, a, b);
+                ctx.regs.set_flag_channel(cm.flag, lane, r);
+                if !insn.dst.is_null() {
+                    let v = if insn.dtype.is_float() {
+                        iwc_isa::Scalar::F(if r { 1.0 } else { 0.0 })
+                    } else {
+                        iwc_isa::Scalar::U(u64::from(r))
+                    };
+                    ctx.regs.write_lane(&insn.dst, lane, v);
+                }
+            }
+            ctx.pc += 1;
+            Executed { mask, effect: Effect::Compute { pipe: Pipe::Fpu } }
+        }
+        Opcode::Sel => {
+            let p = insn.pred.expect("sel requires a selecting predicate");
+            let select = pred_bits(ctx, p);
+            for lane in mask.iter_active() {
+                let which = if select.channel(lane) { &insn.srcs[0] } else { &insn.srcs[1] };
+                let v = ctx.regs.read_lane(which, lane);
+                // Normalize through the ALU for type conversion.
+                let v = eval_alu(Opcode::Mov, insn.dtype, &[v]);
+                ctx.regs.write_lane(&insn.dst, lane, v);
+            }
+            ctx.pc += 1;
+            Executed { mask, effect: Effect::Compute { pipe: Pipe::Fpu } }
+        }
+        op => {
+            // Regular FPU/EM computation.
+            let n = op.src_count();
+            for lane in mask.iter_active() {
+                let mut srcs = [iwc_isa::Scalar::U(0); 3];
+                for (i, s) in insn.srcs[..n].iter().enumerate() {
+                    srcs[i] = ctx.regs.read_lane(s, lane);
+                }
+                let v = eval_alu(op, insn.dtype, &srcs[..n]);
+                ctx.regs.write_lane(&insn.dst, lane, v);
+            }
+            ctx.pc += 1;
+            Executed { mask, effect: Effect::Compute { pipe: op.pipe() } }
+        }
+    }
+}
+
+fn ctl(mask: ExecMask) -> Executed {
+    Executed { mask, effect: Effect::ControlFlow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::builder::KernelBuilder;
+    use iwc_isa::insn::CondOp;
+    use iwc_isa::reg::{FlagReg, Operand};
+    use iwc_isa::Scalar;
+
+    fn run_to_completion(
+        program: &Program,
+        ctx: &mut ThreadCtx,
+        mem: &mut MemoryImage,
+        slm: &mut MemoryImage,
+    ) -> Vec<Executed> {
+        let mut log = Vec::new();
+        for _step in 0..10_000 {
+            let e = execute_instruction(ctx, program, mem, slm);
+            let eot = e.effect == Effect::Eot;
+            log.push(e);
+            if eot {
+                return log;
+            }
+        }
+        panic!("kernel did not terminate");
+    }
+
+    fn fresh() -> (ThreadCtx, MemoryImage, MemoryImage) {
+        (ThreadCtx::new(ExecMask::all(16)), MemoryImage::new(1 << 16), MemoryImage::new(1 << 12))
+    }
+
+    #[test]
+    fn straight_line_math() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.mov(Operand::rf(4), Operand::imm_f(3.0));
+        b.mad(Operand::rf(6), Operand::rf(4), Operand::rf(4), Operand::imm_f(1.0));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16 {
+            assert_eq!(ctx.regs.read_lane(&Operand::rf(6), lane), Scalar::F(10.0));
+        }
+    }
+
+    #[test]
+    fn divergent_if_else_writes_both_sides() {
+        // Channels with gid < 8 get 1.0, others 2.0; gid in r1 as UD.
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(8));
+        b.if_(Predicate::normal(FlagReg::F0));
+        b.mov(Operand::rf(6), Operand::imm_f(1.0));
+        b.else_();
+        b.mov(Operand::rf(6), Operand::imm_f(2.0));
+        b.end_if();
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16 {
+            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+        }
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16 {
+            let want = if lane < 8 { 1.0 } else { 2.0 };
+            assert_eq!(ctx.regs.read_lane(&Operand::rf(6), lane), Scalar::F(want), "lane {lane}");
+        }
+        assert!(ctx.simt.exec().is_full(), "reconverged");
+    }
+
+    #[test]
+    fn loop_with_divergent_trip_counts() {
+        // r4 = lane id; loop: r6 += 1; r4 -= 1; while (r4 > 0).
+        // (SIMD16 32-bit operands span register pairs, so consecutive
+        // operands must be two registers apart.)
+        let mut b = KernelBuilder::new("k", 16);
+        b.do_();
+        b.add(Operand::rd(6), Operand::rd(6), Operand::imm_d(1));
+        b.add(Operand::rd(4), Operand::rd(4), Operand::imm_d(-1));
+        b.cmp(CondOp::Gt, FlagReg::F0, Operand::rd(4), Operand::imm_d(0));
+        b.while_(Predicate::normal(FlagReg::F0));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16 {
+            ctx.regs.write_lane(&Operand::rd(4), lane, Scalar::I(i64::from(lane) + 1));
+        }
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16 {
+            assert_eq!(
+                ctx.regs.read_lane(&Operand::rd(6), lane),
+                Scalar::I(i64::from(lane) + 1),
+                "lane {lane} trip count"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_load_and_scatter_store() {
+        let mut b = KernelBuilder::new("k", 16);
+        // addr = 1024 + 4*lane(reversed): load, then store doubled to 2048+4*lane.
+        b.load(MemSpace::Global, Operand::rf(6), Operand::rud(4));
+        b.mul(Operand::rf(6), Operand::rf(6), Operand::imm_f(2.0));
+        b.store(MemSpace::Global, Operand::rud(8), Operand::rf(6));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16u32 {
+            mem.write_f32(1024 + 4 * lane, lane as f32);
+            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(1024 + 4 * (15 - lane))));
+            ctx.regs.write_lane(&Operand::rud(8), lane, Scalar::U(u64::from(2048 + 4 * lane)));
+        }
+        let log = run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16u32 {
+            assert_eq!(mem.read_f32(2048 + 4 * lane), 2.0 * (15 - lane) as f32, "lane {lane}");
+        }
+        // The load reported 16 lane addresses.
+        match &log[0].effect {
+            Effect::Memory { is_store: false, lane_addrs, .. } => {
+                assert_eq!(lane_addrs.len(), 16)
+            }
+            other => panic!("expected load effect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicated_store_only_touches_enabled_lanes() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(4));
+        b.pred(Predicate::normal(FlagReg::F0));
+        b.store(MemSpace::Global, Operand::rud(4), Operand::rf(6));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16u32 {
+            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(512 + 4 * lane)));
+            ctx.regs.write_lane(&Operand::rf(6), lane, Scalar::F(7.0));
+        }
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16u32 {
+            let want = if lane < 4 { 7.0 } else { 0.0 };
+            assert_eq!(mem.read_f32(512 + 4 * lane), want, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn slm_roundtrip() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.store(MemSpace::Slm, Operand::rud(4), Operand::rf(6));
+        b.load(MemSpace::Slm, Operand::rf(8), Operand::rud(4));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16u32 {
+            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(4 * lane)));
+            ctx.regs.write_lane(&Operand::rf(6), lane, Scalar::F(f64::from(lane) * 1.5));
+        }
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16 {
+            assert_eq!(
+                ctx.regs.read_lane(&Operand::rf(8), lane),
+                Scalar::F(f64::from(lane) * 1.5)
+            );
+        }
+    }
+
+    #[test]
+    fn sel_selects_per_lane() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(8));
+        b.sel(FlagReg::F0, Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(-1.0));
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        for lane in 0..16 {
+            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+        }
+        run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        for lane in 0..16 {
+            let want = if lane < 8 { 1.0 } else { -1.0 };
+            assert_eq!(ctx.regs.read_lane(&Operand::rf(6), lane), Scalar::F(want), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn zero_mask_region_is_skipped() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(0)); // never true
+        b.if_(Predicate::normal(FlagReg::F0));
+        b.mov(Operand::rf(6), Operand::imm_f(99.0));
+        b.end_if();
+        let p = b.finish().unwrap();
+        let (mut ctx, mut mem, mut slm) = fresh();
+        let log = run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
+        assert_eq!(ctx.regs.read_lane(&Operand::rf(6), 0), Scalar::F(0.0), "if side skipped");
+        // The if jumped straight to endif: the mov never appears in the log.
+        assert_eq!(log.len(), 4, "cmp, if(jump), endif, eot");
+    }
+}

@@ -1,0 +1,410 @@
+//! Multi-EU GPU: workgroup dispatch, barriers, and the simulation loop.
+
+use crate::config::GpuConfig;
+use crate::eu::{Eu, EuStats, HwThread};
+use crate::exec::ThreadCtx;
+use crate::memimg::MemoryImage;
+use crate::memsys::{MemStats, MemSystem};
+use iwc_compaction::{CompactionMode, CompactionTally};
+use iwc_isa::mask::ExecMask;
+use iwc_isa::program::Program;
+use iwc_isa::reg::Operand;
+use iwc_isa::types::Scalar;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A kernel launch (the NDRange of OpenCL, flattened to one dimension).
+#[derive(Clone, Debug)]
+pub struct Launch {
+    /// The kernel program.
+    pub program: Program,
+    /// Total number of work-items.
+    pub global_size: u32,
+    /// Work-items per workgroup.
+    pub wg_size: u32,
+    /// Scalar kernel arguments (available to the kernel in `r3`/`r4`).
+    pub args: Vec<u32>,
+    /// Shared-local-memory bytes per workgroup.
+    pub slm_bytes: u32,
+}
+
+impl Launch {
+    /// Creates a launch with no arguments and no SLM.
+    pub fn new(program: Program, global_size: u32, wg_size: u32) -> Self {
+        Self { program, global_size, wg_size, args: Vec::new(), slm_bytes: 0 }
+    }
+
+    /// Adds scalar arguments.
+    pub fn with_args(mut self, args: &[u32]) -> Self {
+        self.args = args.to_vec();
+        self
+    }
+
+    /// Requests SLM per workgroup.
+    pub fn with_slm(mut self, bytes: u32) -> Self {
+        self.slm_bytes = bytes;
+        self
+    }
+
+    /// Number of workgroups.
+    pub fn num_wgs(&self) -> u32 {
+        self.global_size.div_ceil(self.wg_size)
+    }
+
+    /// EU threads per workgroup.
+    pub fn threads_per_wg(&self) -> u32 {
+        self.wg_size.div_ceil(self.program.simd_width())
+    }
+}
+
+/// Aggregate result of one simulation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Wall-clock cycles until the last thread retired.
+    pub cycles: u64,
+    /// Aggregated EU statistics.
+    pub eu: EuStats,
+    /// Memory-subsystem statistics.
+    pub mem: MemStats,
+    /// L3 hit rate at the end of the run.
+    pub l3_hit_rate: f64,
+    /// Compaction mode the run used.
+    pub mode: CompactionMode,
+}
+
+impl SimResult {
+    /// Kernel SIMD efficiency (Fig. 3 metric), over all SIMD instructions.
+    pub fn simd_efficiency(&self) -> f64 {
+        self.eu.simd_tally.simd_efficiency()
+    }
+
+    /// EU execution cycles under the run's mask stream for the given mode
+    /// (evaluated analytically from the executed masks, as the paper does).
+    pub fn eu_cycles(&self, mode: CompactionMode) -> u64 {
+        self.eu.compute_tally.cycles.get(mode)
+    }
+
+    /// Compaction accounting over the executed computation masks.
+    pub fn compute_tally(&self) -> &CompactionTally {
+        &self.eu.compute_tally
+    }
+
+    /// Average data-cluster throughput in lines per cycle.
+    pub fn dc_throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mem.lines_requested as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} cycles, {} issued ({} skipped), eff {:.1}%, L3 {:.1}%, DC {:.2} lines/cyc",
+            self.mode,
+            self.cycles,
+            self.eu.issued,
+            self.eu.skipped_zero_mask,
+            100.0 * self.simd_efficiency(),
+            100.0 * self.l3_hit_rate,
+            self.dc_throughput()
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct WgState {
+    resident: u32,
+    done: u32,
+    at_barrier: u32,
+}
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulateError {
+    /// A workgroup needs more threads than one EU provides.
+    WorkgroupTooLarge {
+        /// Threads required by one workgroup.
+        needed: u32,
+        /// Threads available per EU.
+        available: u32,
+    },
+    /// The run exceeded the cycle safety limit.
+    CycleLimit(u64),
+    /// No thread could make progress (e.g. a barrier some threads never
+    /// reach).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        at: u64,
+    },
+}
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkgroupTooLarge { needed, available } => write!(
+                f,
+                "workgroup needs {needed} threads but an EU has only {available}"
+            ),
+            Self::CycleLimit(c) => write!(f, "exceeded cycle limit at {c}"),
+            Self::Deadlock { at } => write!(f, "no thread can make progress at cycle {at}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulateError {}
+
+/// Cycle safety limit for one simulation.
+pub const MAX_CYCLES: u64 = 2_000_000_000;
+
+/// A persistent GPU device: keeps its memory subsystem (cache contents,
+/// bank/cluster timing state) and clock across kernel launches, like the
+/// command-streamer execution model of §2.1 where the driver enqueues
+/// successive kernels against a warm device.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    mem: MemSystem,
+    clock: u64,
+}
+
+impl Gpu {
+    /// Creates a cold device.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Self { mem: MemSystem::new(cfg.mem), cfg, clock: 0 }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Total cycles elapsed on the device clock across all launches.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Runs one kernel launch to completion against `img`, continuing the
+    /// device clock and reusing warm caches. The returned [`SimResult`]
+    /// reports per-launch deltas (cycles, memory statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError`] when the launch cannot be placed or does
+    /// not make progress.
+    pub fn run(
+        &mut self,
+        launch: &Launch,
+        img: &mut MemoryImage,
+    ) -> Result<SimResult, SimulateError> {
+        run_launch(&self.cfg, &mut self.mem, &mut self.clock, launch, img)
+    }
+}
+
+/// Runs `launch` on a *cold* GPU with configuration `cfg` against global
+/// memory `img` (one-shot convenience over [`Gpu`]).
+///
+/// Functional results are visible in `img` after the call; the returned
+/// [`SimResult`] carries the timing and compaction statistics.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when the launch cannot be placed or does not
+/// make progress.
+pub fn simulate(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    img: &mut MemoryImage,
+) -> Result<SimResult, SimulateError> {
+    Gpu::new(*cfg).run(launch, img)
+}
+
+fn run_launch(
+    cfg: &GpuConfig,
+    mem: &mut MemSystem,
+    clock: &mut u64,
+    launch: &Launch,
+    img: &mut MemoryImage,
+) -> Result<SimResult, SimulateError> {
+    let simd = launch.program.simd_width();
+    let wg_threads = launch.threads_per_wg();
+    if wg_threads > cfg.threads_per_eu {
+        return Err(SimulateError::WorkgroupTooLarge {
+            needed: wg_threads,
+            available: cfg.threads_per_eu,
+        });
+    }
+    let num_wgs = launch.num_wgs() as usize;
+
+    let mut eus: Vec<Eu> = (0..cfg.eus).map(|i| Eu::new(i, cfg.threads_per_eu)).collect();
+    let mem_before = mem.stats;
+    let start = *clock;
+    let mut slms: Vec<MemoryImage> = Vec::new(); // one per *resident* slot, indexed by wg
+    let mut slm_index: HashMap<usize, usize> = HashMap::new();
+    let mut wg_state: HashMap<usize, WgState> = HashMap::new();
+    let mut next_wg = 0usize;
+    let mut now = start;
+
+    loop {
+        // ---- dispatch pending workgroups ----
+        for eu in &mut eus {
+            while next_wg < num_wgs && eu.free_slots() >= wg_threads as usize {
+                let wg = next_wg;
+                next_wg += 1;
+                let slm_slot = slms.len();
+                slms.push(MemoryImage::new(launch.slm_bytes.max(64)));
+                slm_index.insert(wg, slm_slot);
+                wg_state.insert(wg, WgState { resident: wg_threads, done: 0, at_barrier: 0 });
+                for wt in 0..wg_threads {
+                    eu.place(make_thread(launch, simd, wg, wt));
+                }
+            }
+        }
+
+        // ---- arbitration (one instruction per EU per cycle) ----
+        let mut any_issued = false;
+        let mut min_hint: Option<u64> = None;
+        let mut arrivals: Vec<usize> = Vec::new();
+        for eu in &mut eus {
+            let (issued, finished, hint) = eu.arbitrate(
+                now,
+                cfg,
+                &launch.program,
+                mem,
+                img,
+                &mut slms,
+                &slm_index,
+                &mut arrivals,
+            );
+            if issued > 0 {
+                any_issued = true;
+            }
+            for wg in finished {
+                let st = wg_state.get_mut(&wg).expect("finished thread has wg state");
+                st.done += 1;
+            }
+            if let Some(h) = hint {
+                min_hint = Some(min_hint.map_or(h, |m| m.min(h)));
+            }
+        }
+
+        // ---- barrier bookkeeping ----
+        let mut released = false;
+        for wg in arrivals {
+            let st = wg_state.get_mut(&wg).expect("barrier arrival has wg state");
+            st.at_barrier += 1;
+        }
+        let releasable: Vec<usize> = wg_state
+            .iter()
+            .filter(|(_, st)| st.at_barrier > 0 && st.at_barrier + st.done == st.resident)
+            .map(|(&wg, _)| wg)
+            .collect();
+        for wg in releasable {
+            for eu in &mut eus {
+                for t in eu.slots.iter_mut().flatten() {
+                    if t.wg == wg && t.at_barrier {
+                        t.at_barrier = false;
+                    }
+                }
+            }
+            wg_state.get_mut(&wg).expect("wg state").at_barrier = 0;
+            released = true;
+        }
+
+        // ---- completion / time advance ----
+        if next_wg == num_wgs && eus.iter().all(Eu::is_idle) {
+            break;
+        }
+        if any_issued || released {
+            now += 1;
+        } else if let Some(h) = min_hint {
+            now = (now + 1).max(h);
+        } else {
+            return Err(SimulateError::Deadlock { at: now });
+        }
+        if now - start > MAX_CYCLES {
+            return Err(SimulateError::CycleLimit(now - start));
+        }
+    }
+    *clock = now;
+
+    // ---- aggregate statistics ----
+    let mut agg = EuStats::default();
+    for eu in &eus {
+        agg.issued += eu.stats.issued;
+        agg.skipped_zero_mask += eu.stats.skipped_zero_mask;
+        agg.fpu_waves += eu.stats.fpu_waves;
+        agg.em_waves += eu.stats.em_waves;
+        agg.sends += eu.stats.sends;
+        agg.icache_misses += eu.stats.icache_misses;
+        agg.stalls.merge(&eu.stats.stalls);
+        agg.issue_log.extend_from_slice(&eu.stats.issue_log);
+        agg.compute_tally.merge(&eu.stats.compute_tally);
+        agg.simd_tally.merge(&eu.stats.simd_tally);
+        agg.mask_trace.extend_from_slice(&eu.stats.mask_trace);
+    }
+    let mem_delta = mem.stats.delta(&mem_before);
+    Ok(SimResult {
+        cycles: now - start,
+        eu: agg,
+        l3_hit_rate: mem_delta.l3_hit_rate(),
+        mem: mem_delta,
+        mode: cfg.compaction,
+    })
+}
+
+/// First GRF register holding kernel arguments for a given SIMD width:
+/// r3 for SIMD16 and below (global ids occupy r1-r2), r5 for SIMD32
+/// (global ids occupy r1-r4). Kernels must read their arguments from the
+/// matching register (`iwc-workloads` exposes helpers).
+pub fn arg_base_reg(simd_width: u32) -> u8 {
+    if simd_width > 16 {
+        5
+    } else {
+        3
+    }
+}
+
+/// Builds the architectural state of one dispatched thread, including the
+/// r0 header, per-channel global ids starting at r1, and kernel arguments
+/// at [`arg_base_reg`] (see the crate docs for the dispatch ABI).
+fn make_thread(launch: &Launch, simd: u32, wg: usize, wg_thread: u32) -> HwThread {
+    // Dispatch mask: channels beyond the workgroup or global size are off.
+    let mut mask = ExecMask::none(simd);
+    for ch in 0..simd {
+        let lid = wg_thread * simd + ch;
+        let gid = wg as u32 * launch.wg_size + lid;
+        if lid < launch.wg_size && gid < launch.global_size {
+            mask = mask.with_channel(ch, true);
+        }
+    }
+    let mut ctx = ThreadCtx::new(mask);
+    let r0 = Operand::rud(0);
+    let header = [
+        wg as u32,
+        wg_thread,
+        wg as u32 * launch.threads_per_wg() + wg_thread,
+        launch.num_wgs(),
+        simd,
+        launch.wg_size,
+        launch.global_size,
+        0,
+    ];
+    for (i, v) in header.iter().enumerate() {
+        ctx.regs.write_lane(&r0, i as u32, Scalar::U(u64::from(*v)));
+    }
+    let r1 = Operand::rud(1);
+    for ch in 0..simd {
+        let gid = wg as u32 * launch.wg_size + wg_thread * simd + ch;
+        ctx.regs.write_lane(&r1, ch, Scalar::U(u64::from(gid)));
+    }
+    let args_reg = Operand::rud(arg_base_reg(simd));
+    for (i, &a) in launch.args.iter().enumerate().take(16) {
+        ctx.regs.write_lane(&args_reg, i as u32, Scalar::U(u64::from(a)));
+    }
+    HwThread::new(ctx, wg, wg_thread)
+}

@@ -1,0 +1,268 @@
+//! Flat global-memory image and host-side buffer allocation.
+//!
+//! Workloads allocate buffers out of a [`MemoryImage`] before launch (the
+//! host side of an OpenCL program), initialize them with typed writes, and
+//! read results back after simulation.
+
+use iwc_isa::types::{DataType, Scalar};
+
+/// Flat byte-addressable global memory with a bump allocator.
+#[derive(Clone, Debug)]
+pub struct MemoryImage {
+    bytes: Vec<u8>,
+    next_alloc: u32,
+}
+
+/// Alignment applied to every allocation (one cache line).
+pub const ALLOC_ALIGN: u32 = 64;
+
+impl MemoryImage {
+    /// Creates an image of `capacity` bytes, zero-initialized.
+    pub fn new(capacity: u32) -> Self {
+        Self { bytes: vec![0; capacity as usize], next_alloc: ALLOC_ALIGN }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Allocates `len` bytes, cache-line aligned, returning the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is exhausted.
+    pub fn alloc(&mut self, len: u32) -> u32 {
+        let base = self.next_alloc;
+        let end = base
+            .checked_add(len)
+            .and_then(|e| e.checked_next_multiple_of(ALLOC_ALIGN))
+            .expect("allocation overflow");
+        assert!(
+            end <= self.capacity(),
+            "memory image exhausted: need {end} bytes, have {}",
+            self.capacity()
+        );
+        self.next_alloc = end;
+        base
+    }
+
+    /// Allocates and fills a buffer of f32 values; returns the base address.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> u32 {
+        let base = self.alloc((data.len() * 4) as u32);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_f32(base + 4 * i as u32, v);
+        }
+        base
+    }
+
+    /// Allocates and fills a buffer of u32 values; returns the base address.
+    pub fn alloc_u32(&mut self, data: &[u32]) -> u32 {
+        let base = self.alloc((data.len() * 4) as u32);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_u32(base + 4 * i as u32, v);
+        }
+        base
+    }
+
+    /// Allocates and fills a buffer of i32 values; returns the base address.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> u32 {
+        let base = self.alloc((data.len() * 4) as u32);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_i32(base + 4 * i as u32, v);
+        }
+        base
+    }
+
+    fn range(&self, addr: u32, len: u32) -> std::ops::Range<usize> {
+        let lo = addr as usize;
+        let hi = lo + len as usize;
+        assert!(hi <= self.bytes.len(), "address {addr:#x}+{len} out of bounds");
+        lo..hi
+    }
+
+    /// Reads an f32 at `addr`.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_le_bytes(self.bytes[self.range(addr, 4)].try_into().unwrap())
+    }
+
+    /// Reads a u32 at `addr`.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes(self.bytes[self.range(addr, 4)].try_into().unwrap())
+    }
+
+    /// Reads an i32 at `addr`.
+    pub fn read_i32(&self, addr: u32) -> i32 {
+        i32::from_le_bytes(self.bytes[self.range(addr, 4)].try_into().unwrap())
+    }
+
+    /// Writes an f32 at `addr`.
+    pub fn write_f32(&mut self, addr: u32, v: f32) {
+        let r = self.range(addr, 4);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a u32 at `addr`.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let r = self.range(addr, 4);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an i32 at `addr`.
+    pub fn write_i32(&mut self, addr: u32, v: i32) {
+        let r = self.range(addr, 4);
+        self.bytes[r].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads one element of `dtype` at `addr` as a widened [`Scalar`].
+    pub fn read_scalar(&self, addr: u32, dtype: DataType) -> Scalar {
+        let n = dtype.size_bytes();
+        let bytes = &self.bytes[self.range(addr, n)];
+        let raw = bytes.iter().rev().fold(0u64, |acc, &b| acc << 8 | u64::from(b));
+        match dtype {
+            DataType::F => Scalar::F(f64::from(f32::from_bits(raw as u32))),
+            DataType::Df => Scalar::F(f64::from_bits(raw)),
+            DataType::Hf => Scalar::F(f64::from(half_to_f32(raw as u16))),
+            DataType::B => Scalar::I(i64::from(raw as u8 as i8)),
+            DataType::W => Scalar::I(i64::from(raw as u16 as i16)),
+            DataType::D => Scalar::I(i64::from(raw as u32 as i32)),
+            DataType::Q => Scalar::I(raw as i64),
+            DataType::Ub | DataType::Uw | DataType::Ud | DataType::Uq => Scalar::U(raw),
+        }
+    }
+
+    /// Writes one element of `dtype` at `addr`, narrowing `v`.
+    pub fn write_scalar(&mut self, addr: u32, dtype: DataType, v: Scalar) {
+        let n = dtype.size_bytes();
+        let raw: u64 = match dtype {
+            DataType::F => u64::from((v.as_f64() as f32).to_bits()),
+            DataType::Df => v.as_f64().to_bits(),
+            DataType::Hf => u64::from(f32_to_half(v.as_f64() as f32)),
+            DataType::B | DataType::W | DataType::D | DataType::Q => v.as_i64() as u64,
+            DataType::Ub | DataType::Uw | DataType::Ud | DataType::Uq => v.as_u64(),
+        };
+        let r = self.range(addr, n);
+        for (i, b) in self.bytes[r].iter_mut().enumerate() {
+            *b = (raw >> (8 * i)) as u8;
+        }
+    }
+
+    /// Reads `n` consecutive f32 values starting at `addr`.
+    pub fn read_f32_slice(&self, addr: u32, n: u32) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i)).collect()
+    }
+
+    /// Reads `n` consecutive u32 values starting at `addr`.
+    pub fn read_u32_slice(&self, addr: u32, n: u32) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i)).collect()
+    }
+}
+
+/// Minimal IEEE half-precision conversions (sufficient for HF workloads).
+fn half_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h >> 15) << 31;
+    let exp = (h >> 10 & 0x1F) as i32;
+    let frac = u32::from(h & 0x3FF);
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let shift = frac.leading_zeros() - 21;
+            let exp32 = (127 - 15 + 1) as u32 - shift - 1;
+            sign | exp32 << 23 | ((frac << (shift + 14)) & 0x7F_FFFF)
+        }
+    } else if exp == 0x1F {
+        sign | 0xFF << 23 | frac << 13
+    } else {
+        sign | ((exp + 127 - 15) as u32) << 23 | frac << 13
+    };
+    f32::from_bits(bits)
+}
+
+fn f32_to_half(f: f32) -> u16 {
+    let bits = f.to_bits();
+    let sign = ((bits >> 31) as u16) << 15;
+    let exp = (bits >> 23 & 0xFF) as i32 - 127 + 15;
+    let frac = (bits >> 13 & 0x3FF) as u16;
+    if exp <= 0 {
+        sign // flush to zero
+    } else if exp >= 0x1F {
+        sign | 0x7C00
+    } else {
+        sign | (exp as u16) << 10 | frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut m = MemoryImage::new(1 << 16);
+        let a = m.alloc(100);
+        let b = m.alloc(4);
+        assert_eq!(a % ALLOC_ALIGN, 0);
+        assert_eq!(b % ALLOC_ALIGN, 0);
+        assert!(b >= a + 100);
+        assert_ne!(a, 0, "address 0 reserved as null");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_checks_capacity() {
+        let mut m = MemoryImage::new(256);
+        let _ = m.alloc(512);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let mut m = MemoryImage::new(1024);
+        m.write_f32(64, -1.5);
+        m.write_u32(68, 0xDEADBEEF);
+        m.write_i32(72, -42);
+        assert_eq!(m.read_f32(64), -1.5);
+        assert_eq!(m.read_u32(68), 0xDEADBEEF);
+        assert_eq!(m.read_i32(72), -42);
+    }
+
+    #[test]
+    fn scalar_roundtrip_all_types() {
+        let mut m = MemoryImage::new(1024);
+        let cases = [
+            (DataType::F, Scalar::F(3.25)),
+            (DataType::Df, Scalar::F(-1.0e100)),
+            (DataType::D, Scalar::I(-123456)),
+            (DataType::Ud, Scalar::U(0xFFFF_FFFF)),
+            (DataType::W, Scalar::I(-32768)),
+            (DataType::Uw, Scalar::U(65535)),
+            (DataType::B, Scalar::I(-128)),
+            (DataType::Ub, Scalar::U(255)),
+            (DataType::Q, Scalar::I(i64::MIN)),
+            (DataType::Uq, Scalar::U(u64::MAX)),
+        ];
+        for (dt, v) in cases {
+            m.write_scalar(128, dt, v);
+            assert_eq!(m.read_scalar(128, dt), v, "{dt}");
+        }
+    }
+
+    #[test]
+    fn half_precision_roundtrip() {
+        let mut m = MemoryImage::new(64);
+        m.write_scalar(0, DataType::Hf, Scalar::F(1.5));
+        assert_eq!(m.read_scalar(0, DataType::Hf), Scalar::F(1.5));
+        m.write_scalar(0, DataType::Hf, Scalar::F(-0.25));
+        assert_eq!(m.read_scalar(0, DataType::Hf), Scalar::F(-0.25));
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut m = MemoryImage::new(4096);
+        let base = m.alloc_f32(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f32_slice(base, 3), vec![1.0, 2.0, 3.0]);
+        let ubase = m.alloc_u32(&[7, 8]);
+        assert_eq!(m.read_u32_slice(ubase, 2), vec![7, 8]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-thread register file and flag state.
+
+use iwc_isa::reg::{FlagReg, Operand, GRF_TOTAL_BYTES};
+use iwc_isa::types::{DataType, Scalar};
+
+/// One EU thread's general register file (128 × 256 bits) plus flag
+/// registers.
+#[derive(Clone)]
+pub struct RegFile {
+    bytes: Box<[u8]>,
+    flags: [u32; 2],
+}
+
+impl std::fmt::Debug for RegFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RegFile(flags={:#x},{:#x})", self.flags[0], self.flags[1])
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        Self { bytes: vec![0u8; GRF_TOTAL_BYTES as usize].into_boxed_slice(), flags: [0; 2] }
+    }
+
+    fn lane_addr(op: &Operand, lane: u32) -> (u32, DataType) {
+        match *op {
+            Operand::Grf { reg, dtype } => {
+                (u32::from(reg) * 32 + lane * dtype.size_bytes(), dtype)
+            }
+            Operand::GrfScalar { reg, sub, dtype } => {
+                (u32::from(reg) * 32 + u32::from(sub) * dtype.size_bytes(), dtype)
+            }
+            _ => panic!("operand {op:?} has no register address"),
+        }
+    }
+
+    fn read_raw(&self, addr: u32, n: u32) -> u64 {
+        let lo = addr as usize;
+        let hi = lo + n as usize;
+        assert!(hi <= self.bytes.len(), "GRF read out of bounds at byte {addr}");
+        self.bytes[lo..hi].iter().rev().fold(0u64, |acc, &b| acc << 8 | u64::from(b))
+    }
+
+    fn write_raw(&mut self, addr: u32, n: u32, raw: u64) {
+        let lo = addr as usize;
+        let hi = lo + n as usize;
+        assert!(hi <= self.bytes.len(), "GRF write out of bounds at byte {addr}");
+        for (i, b) in self.bytes[lo..hi].iter_mut().enumerate() {
+            *b = (raw >> (8 * i)) as u8;
+        }
+    }
+
+    fn decode(raw: u64, dtype: DataType) -> Scalar {
+        match dtype {
+            DataType::F => Scalar::F(f64::from(f32::from_bits(raw as u32))),
+            DataType::Df => Scalar::F(f64::from_bits(raw)),
+            DataType::Hf => Scalar::F(f64::from(f32::from_bits(half_bits_to_f32_bits(raw as u16)))),
+            DataType::B => Scalar::I(i64::from(raw as u8 as i8)),
+            DataType::W => Scalar::I(i64::from(raw as u16 as i16)),
+            DataType::D => Scalar::I(i64::from(raw as u32 as i32)),
+            DataType::Q => Scalar::I(raw as i64),
+            DataType::Ub | DataType::Uw | DataType::Ud | DataType::Uq => Scalar::U(raw),
+        }
+    }
+
+    fn encode(v: Scalar, dtype: DataType) -> u64 {
+        match dtype {
+            DataType::F => u64::from((v.as_f64() as f32).to_bits()),
+            DataType::Df => v.as_f64().to_bits(),
+            DataType::Hf => u64::from(f32_bits_to_half_bits((v.as_f64() as f32).to_bits())),
+            DataType::B | DataType::W | DataType::D | DataType::Q => v.as_i64() as u64,
+            DataType::Ub | DataType::Uw | DataType::Ud | DataType::Uq => v.as_u64(),
+        }
+    }
+
+    /// Reads channel `lane` of `op` (immediates broadcast their value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Operand::Null`] source or out-of-bounds access.
+    pub fn read_lane(&self, op: &Operand, lane: u32) -> Scalar {
+        match op {
+            Operand::Imm { value, .. } => *value,
+            Operand::Null => panic!("read from null operand"),
+            _ => {
+                let (addr, dtype) = Self::lane_addr(op, lane);
+                Self::decode(self.read_raw(addr, dtype.size_bytes()), dtype)
+            }
+        }
+    }
+
+    /// Writes channel `lane` of destination `op`, narrowing to its type.
+    /// Writes to [`Operand::Null`] are discarded.
+    pub fn write_lane(&mut self, op: &Operand, lane: u32, v: Scalar) {
+        match op {
+            Operand::Null => {}
+            Operand::Imm { .. } => panic!("write to immediate"),
+            _ => {
+                let (addr, dtype) = Self::lane_addr(op, lane);
+                self.write_raw(addr, dtype.size_bytes(), Self::encode(v, dtype));
+            }
+        }
+    }
+
+    /// Raw flag-register bits.
+    pub fn flag(&self, f: FlagReg) -> u32 {
+        self.flags[f.index() as usize]
+    }
+
+    /// Overwrites flag-register bits.
+    pub fn set_flag(&mut self, f: FlagReg, bits: u32) {
+        self.flags[f.index() as usize] = bits;
+    }
+
+    /// Updates one channel's flag bit.
+    pub fn set_flag_channel(&mut self, f: FlagReg, ch: u32, v: bool) {
+        let bits = &mut self.flags[f.index() as usize];
+        if v {
+            *bits |= 1 << ch;
+        } else {
+            *bits &= !(1 << ch);
+        }
+    }
+}
+
+// Local copies of the half conversions (kept private to each module to avoid
+// a public dependency on an encoding detail).
+fn half_bits_to_f32_bits(h: u16) -> u32 {
+    let sign = u32::from(h >> 15) << 31;
+    let exp = (h >> 10 & 0x1F) as i32;
+    let frac = u32::from(h & 0x3FF);
+    if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            let shift = frac.leading_zeros() - 21;
+            let exp32 = (127 - 15 + 1) as u32 - shift - 1;
+            sign | exp32 << 23 | ((frac << (shift + 14)) & 0x7F_FFFF)
+        }
+    } else if exp == 0x1F {
+        sign | 0xFF << 23 | frac << 13
+    } else {
+        sign | ((exp + 127 - 15) as u32) << 23 | frac << 13
+    }
+}
+
+fn f32_bits_to_half_bits(bits: u32) -> u16 {
+    let sign = ((bits >> 31) as u16) << 15;
+    let exp = (bits >> 23 & 0xFF) as i32 - 127 + 15;
+    let frac = (bits >> 13 & 0x3FF) as u16;
+    if exp <= 0 {
+        sign
+    } else if exp >= 0x1F {
+        sign | 0x7C00
+    } else {
+        sign | (exp as u16) << 10 | frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::reg::Operand;
+
+    #[test]
+    fn vector_lane_roundtrip() {
+        let mut rf = RegFile::new();
+        let op = Operand::rf(8);
+        for lane in 0..16 {
+            rf.write_lane(&op, lane, Scalar::F(lane as f64 * 0.5));
+        }
+        for lane in 0..16 {
+            assert_eq!(rf.read_lane(&op, lane), Scalar::F(lane as f64 * 0.5));
+        }
+    }
+
+    #[test]
+    fn simd16_spans_registers_without_aliasing() {
+        let mut rf = RegFile::new();
+        rf.write_lane(&Operand::rf(4), 15, Scalar::F(9.0)); // byte 4*32+60 = r5 upper
+        rf.write_lane(&Operand::rf(6), 0, Scalar::F(1.0));
+        assert_eq!(rf.read_lane(&Operand::rf(4), 15), Scalar::F(9.0));
+        assert_eq!(rf.read_lane(&Operand::rf(5), 7), Scalar::F(9.0), "same storage, reg view");
+    }
+
+    #[test]
+    fn scalar_operand_broadcasts() {
+        let mut rf = RegFile::new();
+        rf.write_lane(&Operand::rud(2), 3, Scalar::U(77));
+        let s = Operand::scalar(2, 3, iwc_isa::DataType::Ud);
+        for lane in 0..16 {
+            assert_eq!(rf.read_lane(&s, lane), Scalar::U(77));
+        }
+    }
+
+    #[test]
+    fn immediates_broadcast() {
+        let rf = RegFile::new();
+        assert_eq!(rf.read_lane(&Operand::imm_f(2.5), 11), Scalar::F(2.5));
+    }
+
+    #[test]
+    fn narrowing_on_write() {
+        let mut rf = RegFile::new();
+        rf.write_lane(&Operand::rud(0), 0, Scalar::U(0x1_0000_0007));
+        assert_eq!(rf.read_lane(&Operand::rud(0), 0), Scalar::U(7), "truncated to 32b");
+        rf.write_lane(&Operand::reg(1, iwc_isa::DataType::W), 0, Scalar::I(-1));
+        assert_eq!(rf.read_lane(&Operand::reg(1, iwc_isa::DataType::W), 0), Scalar::I(-1));
+    }
+
+    #[test]
+    fn flags() {
+        let mut rf = RegFile::new();
+        rf.set_flag(FlagReg::F0, 0xAAAA);
+        assert_eq!(rf.flag(FlagReg::F0), 0xAAAA);
+        rf.set_flag_channel(FlagReg::F0, 0, true);
+        rf.set_flag_channel(FlagReg::F0, 1, false);
+        assert_eq!(rf.flag(FlagReg::F0), 0xAAA9);
+        assert_eq!(rf.flag(FlagReg::F1), 0);
+    }
+
+    #[test]
+    fn null_write_discarded() {
+        let mut rf = RegFile::new();
+        rf.write_lane(&Operand::Null, 0, Scalar::F(1.0)); // must not panic
+    }
+}

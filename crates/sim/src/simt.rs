@@ -1,0 +1,323 @@
+//! Per-thread SIMT control-flow state.
+//!
+//! Divergent control flow is handled the classic way (§1 of the paper):
+//! both sides of a branch execute with complementary execution masks,
+//! maintained on a per-thread reconvergence stack. The [`SimtStack`] tracks
+//! the current execution mask, `if`/`else` frames, and loop frames with
+//! `break`/`continue` support.
+//!
+//! `break`/`continue` never jump directly: they clear channels from the
+//! current mask and from every pending `if` frame inside the loop. The
+//! cleared channels reconverge at the loop exit (`while` restores the loop
+//! entry mask). Instructions whose mask becomes all-zero are skipped by the
+//! issue logic at zero pipe cost, which models the hardware's
+//! branch-over-disabled-code behavior.
+
+use iwc_isa::mask::ExecMask;
+use iwc_isa::reg::Predicate;
+
+/// One reconvergence-stack frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Frame {
+    If { restore: ExecMask, else_mask: ExecMask },
+    Loop { enter: ExecMask, continued: ExecMask },
+}
+
+/// SIMT reconvergence stack of one EU thread.
+#[derive(Clone, Debug)]
+pub struct SimtStack {
+    width: u32,
+    exec: ExecMask,
+    frames: Vec<Frame>,
+}
+
+impl SimtStack {
+    /// Creates a stack for a thread dispatched with `dispatch_mask` enabled
+    /// channels.
+    pub fn new(dispatch_mask: ExecMask) -> Self {
+        Self { width: dispatch_mask.width(), exec: dispatch_mask, frames: Vec::new() }
+    }
+
+    /// Current execution mask.
+    pub fn exec(&self) -> ExecMask {
+        self.exec
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Converts a predicate into a channel mask using the thread's flag bits.
+    pub fn pred_mask(&self, pred: Predicate, flag_bits: u32) -> ExecMask {
+        let m = ExecMask::new(flag_bits, self.width);
+        if pred.invert {
+            m.not()
+        } else {
+            m
+        }
+    }
+
+    /// Executes `if`: channels in `cond` take the `if` side. Returns a jump
+    /// target (`jip`: the matching `else`/`endif`) when no channel takes it.
+    pub fn exec_if(&mut self, cond: ExecMask, jip: usize) -> Option<usize> {
+        let taken = self.exec.and(cond);
+        let else_mask = self.exec.and_not(cond);
+        self.frames.push(Frame::If { restore: self.exec, else_mask });
+        self.exec = taken;
+        if taken.is_empty() {
+            Some(jip)
+        } else {
+            None
+        }
+    }
+
+    /// Executes `else`. Returns a jump target (`jip`: the `endif`) when no
+    /// channel takes the else side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the innermost frame is not an `if` frame.
+    pub fn exec_else(&mut self, jip: usize) -> Option<usize> {
+        match self.frames.last_mut() {
+            Some(Frame::If { else_mask, .. }) => {
+                self.exec = *else_mask;
+                *else_mask = ExecMask::none(self.width);
+                if self.exec.is_empty() {
+                    Some(jip)
+                } else {
+                    None
+                }
+            }
+            other => panic!("else without if frame (top = {other:?})"),
+        }
+    }
+
+    /// Executes `endif`, reconverging the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the innermost frame is not an `if` frame.
+    pub fn exec_endif(&mut self) {
+        match self.frames.pop() {
+            Some(Frame::If { restore, .. }) => self.exec = restore,
+            other => panic!("endif without if frame (top = {other:?})"),
+        }
+    }
+
+    /// Executes `do`, opening a loop.
+    pub fn exec_do(&mut self) {
+        self.frames.push(Frame::Loop { enter: self.exec, continued: ExecMask::none(self.width) });
+    }
+
+    /// Executes `while`: channels in `cond` iterate again. Returns the body
+    /// start to jump to, or `None` when the loop exits (mask restored to the
+    /// loop entry mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the innermost frame is not a loop frame.
+    pub fn exec_while(&mut self, cond: ExecMask, body_start: usize) -> Option<usize> {
+        match self.frames.last_mut() {
+            Some(Frame::Loop { enter, continued }) => {
+                let merged = self.exec.or(*continued);
+                *continued = ExecMask::none(self.width);
+                let cont = merged.and(cond);
+                if cont.is_empty() {
+                    self.exec = *enter;
+                    self.frames.pop();
+                    None
+                } else {
+                    self.exec = cont;
+                    Some(body_start)
+                }
+            }
+            other => panic!("while without loop frame (top = {other:?})"),
+        }
+    }
+
+    /// Executes `break`: channels in `taken` leave the innermost loop. They
+    /// are also removed from every pending `if` frame inside the loop so
+    /// they cannot resurface before the loop exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there is no enclosing loop frame.
+    pub fn exec_break(&mut self, taken: ExecMask) {
+        let taken = self.exec.and(taken);
+        self.exec = self.exec.and_not(taken);
+        for f in self.frames.iter_mut().rev() {
+            match f {
+                Frame::If { restore, else_mask } => {
+                    *restore = restore.and_not(taken);
+                    *else_mask = else_mask.and_not(taken);
+                }
+                Frame::Loop { .. } => return,
+            }
+        }
+        panic!("break without loop frame");
+    }
+
+    /// Executes `continue`: channels in `taken` jump to the loop back-edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there is no enclosing loop frame.
+    pub fn exec_continue(&mut self, taken: ExecMask) {
+        let taken = self.exec.and(taken);
+        self.exec = self.exec.and_not(taken);
+        for f in self.frames.iter_mut().rev() {
+            match f {
+                Frame::If { restore, else_mask } => {
+                    *restore = restore.and_not(taken);
+                    *else_mask = else_mask.and_not(taken);
+                }
+                Frame::Loop { continued, .. } => {
+                    *continued = continued.or(taken);
+                    return;
+                }
+            }
+        }
+        panic!("continue without loop frame");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::reg::FlagReg;
+
+    fn full16() -> SimtStack {
+        SimtStack::new(ExecMask::all(16))
+    }
+
+    #[test]
+    fn if_else_endif_masks() {
+        let mut s = full16();
+        let cond = ExecMask::new(0x000F, 16);
+        assert_eq!(s.exec_if(cond, 10), None);
+        assert_eq!(s.exec().bits(), 0x000F);
+        assert_eq!(s.exec_else(20), None);
+        assert_eq!(s.exec().bits(), 0xFFF0);
+        s.exec_endif();
+        assert!(s.exec().is_full());
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn empty_if_side_jumps() {
+        let mut s = full16();
+        assert_eq!(s.exec_if(ExecMask::none(16), 7), Some(7));
+        assert!(s.exec().is_empty());
+        assert_eq!(s.exec_else(9), None, "all channels take the else side");
+        assert!(s.exec().is_full());
+        s.exec_endif();
+    }
+
+    #[test]
+    fn empty_else_side_jumps() {
+        let mut s = full16();
+        assert_eq!(s.exec_if(ExecMask::all(16), 7), None);
+        assert_eq!(s.exec_else(9), Some(9));
+        s.exec_endif();
+        assert!(s.exec().is_full());
+    }
+
+    #[test]
+    fn nested_if_restores_correctly() {
+        let mut s = full16();
+        s.exec_if(ExecMask::new(0x00FF, 16), 0);
+        s.exec_if(ExecMask::new(0x000F, 16), 0);
+        assert_eq!(s.exec().bits(), 0x000F);
+        s.exec_endif();
+        assert_eq!(s.exec().bits(), 0x00FF);
+        s.exec_endif();
+        assert!(s.exec().is_full());
+    }
+
+    #[test]
+    fn loop_iterates_and_exits() {
+        let mut s = full16();
+        s.exec_do();
+        // First trip: half the channels continue.
+        assert_eq!(s.exec_while(ExecMask::new(0x00FF, 16), 3), Some(3));
+        assert_eq!(s.exec().bits(), 0x00FF);
+        // Second trip: none continue → exit, full mask restored.
+        assert_eq!(s.exec_while(ExecMask::none(16), 3), None);
+        assert!(s.exec().is_full());
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn break_removes_channels_until_exit() {
+        let mut s = full16();
+        s.exec_do();
+        s.exec_break(ExecMask::new(0x000F, 16));
+        assert_eq!(s.exec().bits(), 0xFFF0);
+        // Remaining channels keep looping once.
+        assert_eq!(s.exec_while(ExecMask::new(0xFFF0, 16), 1), Some(1));
+        assert_eq!(s.exec().bits(), 0xFFF0);
+        // Exit: everyone (including broken channels) reconverges.
+        assert_eq!(s.exec_while(ExecMask::none(16), 1), None);
+        assert!(s.exec().is_full());
+    }
+
+    #[test]
+    fn break_inside_if_clears_pending_frames() {
+        let mut s = full16();
+        s.exec_do();
+        s.exec_if(ExecMask::new(0x00FF, 16), 0);
+        // Channels 0-3 break while inside the if.
+        s.exec_break(ExecMask::new(0x000F, 16));
+        assert_eq!(s.exec().bits(), 0x00F0);
+        // The else side must not contain the broken channels.
+        s.exec_else(0);
+        assert_eq!(s.exec().bits(), 0xFF00);
+        s.exec_endif();
+        // After endif only non-broken channels remain in the loop body.
+        assert_eq!(s.exec().bits(), 0xFFF0);
+        assert_eq!(s.exec_while(ExecMask::none(16), 1), None);
+        assert!(s.exec().is_full(), "broken channels rejoin at loop exit");
+    }
+
+    #[test]
+    fn continue_rejoins_at_while() {
+        let mut s = full16();
+        s.exec_do();
+        s.exec_continue(ExecMask::new(0xFF00, 16));
+        assert_eq!(s.exec().bits(), 0x00FF);
+        // At the while, continued channels are merged back before the
+        // condition is evaluated.
+        assert_eq!(s.exec_while(ExecMask::new(0xF00F, 16), 2), Some(2));
+        assert_eq!(s.exec().bits(), 0xF00F);
+    }
+
+    #[test]
+    fn pred_mask_inversion() {
+        let s = full16();
+        let p = Predicate::normal(FlagReg::F0);
+        assert_eq!(s.pred_mask(p, 0x00FF).bits(), 0x00FF);
+        let p = Predicate::inverted(FlagReg::F0);
+        assert_eq!(s.pred_mask(p, 0x00FF).bits(), 0xFF00);
+    }
+
+    #[test]
+    #[should_panic(expected = "break without loop frame")]
+    fn break_requires_loop() {
+        let mut s = full16();
+        s.exec_break(ExecMask::all(16));
+    }
+
+    #[test]
+    fn partial_dispatch_mask() {
+        // A thread covering a partial workgroup tail starts with a partial
+        // mask; control flow must stay within it.
+        let mut s = SimtStack::new(ExecMask::new(0x003F, 16));
+        s.exec_if(ExecMask::all(16), 0);
+        assert_eq!(s.exec().bits(), 0x003F);
+        s.exec_else(0);
+        assert!(s.exec().is_empty());
+        s.exec_endif();
+        assert_eq!(s.exec().bits(), 0x003F);
+    }
+}

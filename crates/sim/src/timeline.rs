@@ -1,0 +1,138 @@
+//! ASCII issue-timeline rendering for debugging small runs.
+//!
+//! With [`GpuConfig::record_issue_log`](crate::GpuConfig) enabled, every
+//! issue event is captured; [`render`] draws per-pipe occupancy over time
+//! with one letter per issuing thread, making divergence compression
+//! directly visible:
+//!
+//! ```text
+//! cycle 0         1         2
+//!       0123456789012345678901234567890
+//! FPU   AAAA....BBBB....AAAA....BBBB...
+//! EM    ....XXXXXXXXXXXX...............
+//! SEND  ..A......B.....................
+//! ```
+
+use crate::eu::IssueEvent;
+use iwc_isa::insn::Pipe;
+
+/// Renders the first `until` cycles of an issue log as an ASCII chart. Rows:
+/// FPU/EM pipe occupancy (letter = thread, repeated for each wave), SEND
+/// issue markers, and front-end (control) issue markers.
+pub fn render(events: &[IssueEvent], until: u64) -> String {
+    let width = until as usize;
+    let mut fpu = vec!['.'; width];
+    let mut em = vec!['.'; width];
+    let mut send = vec!['.'; width];
+    let mut ctl = vec!['.'; width];
+    let glyph = |t: u8| (b'A' + t % 26) as char;
+    for e in events {
+        let c = e.cycle as usize;
+        if c >= width {
+            continue;
+        }
+        match e.pipe {
+            Pipe::Fpu | Pipe::Em => {
+                let row = if e.pipe == Pipe::Fpu { &mut fpu } else { &mut em };
+                for k in 0..e.waves as usize {
+                    if c + k < width {
+                        row[c + k] = glyph(e.thread);
+                    }
+                }
+            }
+            Pipe::Send => send[c] = glyph(e.thread),
+            Pipe::Control => ctl[c] = glyph(e.thread),
+        }
+    }
+    let mut out = String::new();
+    out.push_str("cycle ");
+    for c in 0..width {
+        out.push(if c % 10 == 0 { char::from_digit((c / 10 % 10) as u32, 10).unwrap() } else { ' ' });
+    }
+    out.push_str("\n      ");
+    for c in 0..width {
+        out.push(char::from_digit((c % 10) as u32, 10).unwrap());
+    }
+    out.push('\n');
+    for (label, row) in [("FPU  ", fpu), ("EM   ", em), ("SEND ", send), ("CTRL ", ctl)] {
+        out.push_str(label);
+        out.push(' ');
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Fraction of the first `until` cycles in which the FPU pipe was occupied —
+/// a quick utilization check for tests and reports.
+pub fn fpu_utilization(events: &[IssueEvent], until: u64) -> f64 {
+    let mut busy = vec![false; until as usize];
+    for e in events {
+        if e.pipe == Pipe::Fpu {
+            for k in 0..e.waves as u64 {
+                if e.cycle + k < until {
+                    busy[(e.cycle + k) as usize] = true;
+                }
+            }
+        }
+    }
+    busy.iter().filter(|&&b| b).count() as f64 / (until as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, GpuConfig, Launch, MemoryImage};
+    use iwc_isa::builder::KernelBuilder;
+    use iwc_isa::reg::Operand;
+
+    fn run_logged() -> Vec<IssueEvent> {
+        let mut b = KernelBuilder::new("tiny", 16);
+        b.mov(Operand::rf(6), Operand::imm_f(1.0));
+        b.mad(Operand::rf(8), Operand::rf(6), Operand::imm_f(2.0), Operand::imm_f(0.5));
+        b.math(iwc_isa::Opcode::Rsqrt, Operand::rf(10), Operand::rf(8));
+        let p = b.finish().unwrap();
+        let cfg = GpuConfig::single_eu().with_issue_log(true);
+        let mut img = MemoryImage::new(1 << 12);
+        let r = simulate(&cfg, &Launch::new(p, 16, 16), &mut img).unwrap();
+        r.eu.issue_log
+    }
+
+    #[test]
+    fn log_records_pipes_and_waves() {
+        let log = run_logged();
+        assert!(log.iter().any(|e| e.pipe == Pipe::Fpu && e.waves == 4));
+        assert!(log.iter().any(|e| e.pipe == Pipe::Em && e.waves == 4));
+        // Events are in nondecreasing cycle order per EU.
+        assert!(log.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn render_shows_occupancy() {
+        let log = run_logged();
+        // Each cold instruction pays one I$ miss (20 cycles), so the window
+        // must cover the whole staggered run.
+        let chart = render(&log, 120);
+        assert!(chart.contains("FPU"), "{chart}");
+        let fpu_row = chart.lines().find(|l| l.starts_with("FPU")).unwrap();
+        assert!(fpu_row.matches('A').count() >= 8, "two SIMD16 FPU ops = 8 waves: {chart}");
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let log = run_logged();
+        let u = fpu_utilization(&log, 120);
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u > 0.05, "FPU did some work: {u}");
+    }
+
+    #[test]
+    fn disabled_log_is_empty() {
+        let mut b = KernelBuilder::new("t", 16);
+        b.mov(Operand::rf(6), Operand::imm_f(1.0));
+        let p = b.finish().unwrap();
+        let mut img = MemoryImage::new(1 << 12);
+        let r = simulate(&GpuConfig::single_eu(), &Launch::new(p, 16, 16), &mut img).unwrap();
+        assert!(r.eu.issue_log.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of simulator state: SIMT stack discipline, register
+//! file isolation, memory image round-trips, and cache behavior.
+
+use iwc_isa::mask::ExecMask;
+use iwc_isa::reg::{FlagReg, Operand};
+use iwc_isa::types::{DataType, Scalar};
+use iwc_sim::{MemoryImage, RegFile, SimtStack};
+use proptest::prelude::*;
+
+proptest! {
+    /// Balanced if/else/endif sequences always restore the entry mask, for
+    /// any sequence of branch conditions.
+    #[test]
+    fn simt_if_regions_restore(conds in prop::collection::vec(any::<u32>(), 1..6)) {
+        let entry = ExecMask::all(16);
+        let mut s = SimtStack::new(entry);
+        for &c in &conds {
+            let _ = s.exec_if(ExecMask::new(c, 16), 0);
+        }
+        for _ in &conds {
+            let _ = s.exec_else(0);
+            s.exec_endif();
+        }
+        prop_assert_eq!(s.exec(), entry);
+        prop_assert_eq!(s.depth(), 0);
+    }
+
+    /// In an if region, the taken and else masks partition the entry mask.
+    #[test]
+    fn simt_if_partitions(entry_bits in any::<u32>(), cond_bits in any::<u32>()) {
+        let entry = ExecMask::new(entry_bits | 1, 16); // non-empty
+        let mut s = SimtStack::new(entry);
+        let _ = s.exec_if(ExecMask::new(cond_bits, 16), 0);
+        let taken = s.exec();
+        let _ = s.exec_else(0);
+        let else_m = s.exec();
+        prop_assert_eq!(taken.or(else_m), entry);
+        prop_assert!(taken.and(else_m).is_empty());
+        s.exec_endif();
+        prop_assert_eq!(s.exec(), entry);
+    }
+
+    /// Loops always terminate with the entry mask restored, for any break
+    /// pattern applied along the way.
+    #[test]
+    fn simt_loops_reconverge(breaks in prop::collection::vec(any::<u32>(), 0..5)) {
+        let entry = ExecMask::new(0xFFFF, 16);
+        let mut s = SimtStack::new(entry);
+        s.exec_do();
+        for &b in &breaks {
+            s.exec_break(ExecMask::new(b, 16));
+            if s.exec().is_empty() {
+                break;
+            }
+        }
+        // Loop exits when no channel continues.
+        let out = s.exec_while(ExecMask::none(16), 0);
+        prop_assert_eq!(out, None);
+        prop_assert_eq!(s.exec(), entry);
+        prop_assert_eq!(s.depth(), 0);
+    }
+
+    /// Writes to distinct (operand, lane) slots never alias as long as the
+    /// byte ranges are distinct.
+    #[test]
+    fn regfile_lane_isolation(
+        reg_a in 0u8..60, lane_a in 0u32..16,
+        reg_b in 64u8..120, lane_b in 0u32..16,
+        va in any::<u32>(), vb in any::<u32>(),
+    ) {
+        let mut rf = RegFile::new();
+        let a = Operand::rud(reg_a);
+        let b = Operand::rud(reg_b);
+        rf.write_lane(&a, lane_a, Scalar::U(u64::from(va)));
+        rf.write_lane(&b, lane_b, Scalar::U(u64::from(vb)));
+        prop_assert_eq!(rf.read_lane(&a, lane_a), Scalar::U(u64::from(va)));
+        prop_assert_eq!(rf.read_lane(&b, lane_b), Scalar::U(u64::from(vb)));
+    }
+
+    /// Flag registers are independent of GRF contents and of each other.
+    #[test]
+    fn regfile_flags_independent(f0 in any::<u32>(), f1 in any::<u32>(), v in any::<u32>()) {
+        let mut rf = RegFile::new();
+        rf.set_flag(FlagReg::F0, f0);
+        rf.set_flag(FlagReg::F1, f1);
+        rf.write_lane(&Operand::rud(0), 0, Scalar::U(u64::from(v)));
+        prop_assert_eq!(rf.flag(FlagReg::F0), f0);
+        prop_assert_eq!(rf.flag(FlagReg::F1), f1);
+    }
+
+    /// Memory image typed round-trips at arbitrary aligned addresses.
+    #[test]
+    fn memimg_roundtrip(addr in 0u32..8000, f in any::<f32>(), u in any::<u32>()) {
+        let mut img = MemoryImage::new(1 << 13);
+        let addr = addr & !3;
+        img.write_u32(addr, u);
+        prop_assert_eq!(img.read_u32(addr), u);
+        img.write_f32(addr, f);
+        let got = img.read_f32(addr);
+        prop_assert!(got == f || (got.is_nan() && f.is_nan()));
+    }
+
+    /// Scalar round-trips for every integer data type preserve values in
+    /// range.
+    #[test]
+    fn memimg_scalar_roundtrip(v in any::<i16>()) {
+        let mut img = MemoryImage::new(64);
+        for dt in [DataType::W, DataType::D, DataType::Q] {
+            img.write_scalar(0, dt, Scalar::I(i64::from(v)));
+            prop_assert_eq!(img.read_scalar(0, dt), Scalar::I(i64::from(v)), "{}", dt);
+        }
+    }
+
+    /// Cache: immediately repeated accesses always hit; hit rate is within
+    /// [0, 1].
+    #[test]
+    fn cache_rehit(lines in prop::collection::vec(0u64..4096, 1..64)) {
+        use iwc_sim::cache::Cache;
+        use iwc_sim::CacheConfig;
+        let mut c = Cache::new(
+            CacheConfig { size_bytes: 16 << 10, ways: 4, banks: 1, latency: 1 },
+            64,
+        );
+        for &l in &lines {
+            let _ = c.access(l);
+            prop_assert!(c.access(l), "line {l} must hit immediately after fill");
+        }
+        let rate = c.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+}

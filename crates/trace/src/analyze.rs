@@ -1,0 +1,94 @@
+//! Trace analysis: cycle compaction benefit from a mask stream.
+//!
+//! The paper's trace-based methodology (§5.1): given the execution masks of
+//! every executed instruction, evaluate each under the Baseline / Ivy Bridge
+//! / BCC / SCC cycle models and report savings. This is a pure function of
+//! the trace — the same arithmetic the simulator applies online.
+
+use crate::format::Trace;
+use iwc_compaction::{CompactionMode, CompactionTally, UtilBucket};
+use serde::{Deserialize, Serialize};
+
+/// Analysis result of one trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Workload name.
+    pub name: String,
+    /// Full compaction accounting.
+    pub tally: CompactionTally,
+}
+
+impl TraceReport {
+    /// SIMD efficiency of the trace (Fig. 3).
+    pub fn simd_efficiency(&self) -> f64 {
+        self.tally.simd_efficiency()
+    }
+
+    /// Coherent/divergent classification at the paper's 95 % threshold.
+    pub fn is_coherent(&self) -> bool {
+        self.tally.is_coherent()
+    }
+
+    /// EU-cycle reduction of `mode` over the Ivy Bridge baseline (Fig. 10).
+    pub fn reduction(&self, mode: CompactionMode) -> f64 {
+        self.tally.reduction_vs_ivb(mode)
+    }
+
+    /// Additional SCC benefit beyond BCC, in absolute percentage points of
+    /// the Ivy Bridge cycle count (the stacked segment of Fig. 10).
+    pub fn scc_extra(&self) -> f64 {
+        self.reduction(CompactionMode::Scc) - self.reduction(CompactionMode::Bcc)
+    }
+
+    /// Utilization-bucket fractions (Fig. 9).
+    pub fn buckets(&self) -> [(UtilBucket, f64); 7] {
+        self.tally.bucket_fractions()
+    }
+}
+
+/// Analyzes a trace.
+pub fn analyze(trace: &Trace) -> TraceReport {
+    let mut tally = CompactionTally::new();
+    for r in &trace.records {
+        tally.add(r.mask(), r.dtype);
+    }
+    TraceReport { name: trace.name.clone(), tally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::mask::ExecMask;
+    use iwc_isa::types::DataType;
+
+    #[test]
+    fn report_reductions() {
+        let mut t = Trace::new("t");
+        // Two instructions: 0xF0F0 (bcc halves it) and full.
+        t.push(ExecMask::new(0xF0F0, 16), DataType::F);
+        t.push(ExecMask::all(16), DataType::F);
+        let r = analyze(&t);
+        // ivb = 4 + 4 = 8; bcc = 2 + 4 = 6 → 25% reduction.
+        assert_eq!(r.reduction(CompactionMode::Bcc), 0.25);
+        assert_eq!(r.scc_extra(), 0.0);
+        assert_eq!(r.simd_efficiency(), 0.75);
+        assert!(!r.is_coherent());
+    }
+
+    #[test]
+    fn scc_extra_on_strided() {
+        let mut t = Trace::new("t");
+        t.push(ExecMask::new(0xAAAA, 16), DataType::F);
+        let r = analyze(&t);
+        assert_eq!(r.reduction(CompactionMode::Bcc), 0.0);
+        assert_eq!(r.reduction(CompactionMode::Scc), 0.5);
+        assert_eq!(r.scc_extra(), 0.5);
+    }
+
+    #[test]
+    fn empty_trace_is_coherent() {
+        let r = analyze(&Trace::new("empty"));
+        assert!(r.is_coherent());
+        assert_eq!(r.reduction(CompactionMode::Scc), 0.0);
+    }
+}

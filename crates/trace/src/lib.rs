@@ -1,0 +1,36 @@
+//! # iwc-trace
+//!
+//! Trace infrastructure for the paper's trace-driven methodology (§5.1):
+//!
+//! * [`format`] — a compact binary execution-mask trace format, plus
+//!   conversion from the simulator's mask-capture hook;
+//! * [`analyze`] — per-trace compaction analysis (SIMD efficiency,
+//!   Fig. 9 utilization buckets, Fig. 10 BCC/SCC cycle reductions);
+//! * [`synth`] — parameterized synthetic generators standing in for the
+//!   paper's proprietary ~600-trace corpus (LuxMark, GLBench, Sandra,
+//!   BulletPhysics, Face-Detection, …), documented as a substitution in
+//!   DESIGN.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use iwc_trace::{analyze, synth};
+//! use iwc_compaction::CompactionMode;
+//!
+//! let profile = &synth::corpus()[0]; // LuxMark-sky
+//! let trace = profile.generate(10_000);
+//! let report = analyze::analyze(&trace);
+//! assert!(!report.is_coherent());
+//! assert!(report.reduction(CompactionMode::Scc) >= report.reduction(CompactionMode::Bcc));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod format;
+pub mod synth;
+
+pub use analyze::{analyze, TraceReport};
+pub use format::{Trace, TraceIoError, TraceRecord};
+pub use synth::{corpus, MaskStyle, Profile};

@@ -1,0 +1,623 @@
+//! Coherent (high SIMD-efficiency) workloads.
+//!
+//! These kernels contain no data-dependent branches (edge handling uses
+//! branch-free `min`/`max`/`sel`), so their SIMD efficiency is ~100 % and
+//! intra-warp compaction must leave both results and timing unchanged —
+//! the left block of Fig. 3.
+
+use crate::util::{emit_addr, gid, RegAlloc, XorShift};
+use crate::Built;
+use iwc_isa::builder::KernelBuilder;
+use iwc_isa::insn::CondOp;
+use iwc_isa::reg::{FlagReg, Operand, Predicate};
+use iwc_isa::{MemSpace, Opcode};
+use iwc_sim::{Launch, MemoryImage};
+
+const SIMD: u32 = 16;
+const WG: u32 = 64;
+
+fn f0() -> Predicate {
+    Predicate::normal(FlagReg::F0)
+}
+
+/// `VA`: `out[i] = a[i] + b[i]`.
+pub fn vecadd(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    let mut b = KernelBuilder::new("vecadd", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (pa, pb, po) = (ra.vud(), ra.vud(), ra.vud());
+    let (va, vb) = (ra.vf(), ra.vf());
+    emit_addr(&mut b, pa, gid(), 0, 4);
+    emit_addr(&mut b, pb, gid(), 1, 4);
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.load(MemSpace::Global, va, pa);
+    b.load(MemSpace::Global, vb, pb);
+    b.add(va, va, vb);
+    b.store(MemSpace::Global, po, va);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(11);
+    let a_data: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let b_data: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let a = img.alloc_f32(&a_data);
+    let bb = img.alloc_f32(&b_data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[a, bb, out]);
+    let expect: Vec<f32> = a_data.iter().zip(&b_data).map(|(x, y)| x + y).collect();
+    Built {
+        name: "VA".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for (i, &want) in expect.iter().enumerate() {
+                let got = img.read_f32(out + 4 * i as u32);
+                if got != want {
+                    return Err(format!("out[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `DP`: `out[i] = a[i] * b[i]` (host reduces the partial products).
+pub fn dot_product(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    let mut b = KernelBuilder::new("dot", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (pa, pb, po) = (ra.vud(), ra.vud(), ra.vud());
+    let (va, vb) = (ra.vf(), ra.vf());
+    emit_addr(&mut b, pa, gid(), 0, 4);
+    emit_addr(&mut b, pb, gid(), 1, 4);
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.load(MemSpace::Global, va, pa);
+    b.load(MemSpace::Global, vb, pb);
+    b.mul(va, va, vb);
+    b.store(MemSpace::Global, po, va);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(12);
+    let a_data: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let b_data: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let a = img.alloc_f32(&a_data);
+    let bb = img.alloc_f32(&b_data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[a, bb, out]);
+    let expect: Vec<f32> = a_data.iter().zip(&b_data).map(|(x, y)| x * y).collect();
+    Built {
+        name: "DP".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for (i, &want) in expect.iter().enumerate() {
+                let got = img.read_f32(out + 4 * i as u32);
+                if (got - want).abs() > 1e-5 {
+                    return Err(format!("out[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `MVM`: `y[row] = Σ_k A[row,k] · x[k]`, 64 columns per row.
+pub fn mvm(scale: u32) -> Built {
+    let rows = 256 * scale.max(1);
+    let cols = 64u32;
+    let mut b = KernelBuilder::new("mvm", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (rowbase, k, pa, px) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (acc, va, vx, po) = (ra.vf(), ra.vf(), ra.vf(), ra.vud());
+    // rowbase = gid * cols
+    b.mul(rowbase, gid(), Operand::imm_ud(cols));
+    b.mov(k, Operand::imm_ud(0));
+    b.mov(acc, Operand::imm_f(0.0));
+    b.do_();
+    {
+        b.add(pa, rowbase, k);
+        emit_addr(&mut b, pa, pa, 0, 4);
+        b.load(MemSpace::Global, va, pa);
+        emit_addr(&mut b, px, k, 1, 4);
+        b.load(MemSpace::Global, vx, px);
+        b.mad(acc, va, vx, acc);
+        b.add(k, k, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, k, Operand::imm_ud(cols));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.store(MemSpace::Global, po, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(13);
+    let a_data: Vec<f32> = (0..rows * cols).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let x_data: Vec<f32> = (0..cols).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let mut img = MemoryImage::new(8 * rows * cols + (1 << 16));
+    let a = img.alloc_f32(&a_data);
+    let x = img.alloc_f32(&x_data);
+    let out = img.alloc(4 * rows);
+    let launch = Launch::new(program, rows, WG).with_args(&[a, x, out]);
+    Built {
+        name: "MVM".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for row in 0..rows {
+                let want: f32 = (0..cols)
+                    .map(|c| a_data[(row * cols + c) as usize] * x_data[c as usize])
+                    .sum();
+                let got = img.read_f32(out + 4 * row);
+                if (got - want).abs() > 1e-2 {
+                    return Err(format!("y[{row}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `MM`: C = A · B over N×N f32 matrices (N = 32·scale-rounded).
+pub fn matmul(scale: u32) -> Built {
+    let n = 32 * scale.max(1).next_power_of_two().min(4); // power of two, quadratic cost bounded
+    let mut b = KernelBuilder::new("matmul", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (i, j, k) = (ra.vud(), ra.vud(), ra.vud());
+    let (pa, pb, po) = (ra.vud(), ra.vud(), ra.vud());
+    let (acc, va, vb) = (ra.vf(), ra.vf(), ra.vf());
+    let logn = n.trailing_zeros();
+    b.shr(i, gid(), Operand::imm_ud(logn));
+    b.and(j, gid(), Operand::imm_ud(n - 1));
+    b.mov(k, Operand::imm_ud(0));
+    b.mov(acc, Operand::imm_f(0.0));
+    b.do_();
+    {
+        // A[i*n + k]
+        b.shl(pa, i, Operand::imm_ud(logn));
+        b.add(pa, pa, k);
+        emit_addr(&mut b, pa, pa, 0, 4);
+        b.load(MemSpace::Global, va, pa);
+        // B[k*n + j]
+        b.shl(pb, k, Operand::imm_ud(logn));
+        b.add(pb, pb, j);
+        emit_addr(&mut b, pb, pb, 1, 4);
+        b.load(MemSpace::Global, vb, pb);
+        b.mad(acc, va, vb, acc);
+        b.add(k, k, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, k, Operand::imm_ud(n));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.store(MemSpace::Global, po, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(14);
+    let a_data: Vec<f32> = (0..n * n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let b_data: Vec<f32> = (0..n * n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n * n + (1 << 16));
+    let a = img.alloc_f32(&a_data);
+    let bb = img.alloc_f32(&b_data);
+    let out = img.alloc(4 * n * n);
+    let launch = Launch::new(program, n * n, WG).with_args(&[a, bb, out]);
+    Built {
+        name: "MM".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n {
+                for j in 0..n {
+                    let want: f32 = (0..n)
+                        .map(|k| a_data[(i * n + k) as usize] * b_data[(k * n + j) as usize])
+                        .sum();
+                    let got = img.read_f32(out + 4 * (i * n + j));
+                    if (got - want).abs() > 1e-2 {
+                        return Err(format!("C[{i},{j}] = {got}, want {want}"));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Trans-N`: `out[j·N+i] = in[i·N+j]` for an N×N matrix.
+pub fn transpose(scale: u32) -> Built {
+    let n = 64 * scale.max(1).next_power_of_two().min(4);
+    let mut b = KernelBuilder::new("transpose", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (i, j, pi, po, v) = (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vf());
+    let logn = n.trailing_zeros();
+    b.shr(i, gid(), Operand::imm_ud(logn));
+    b.and(j, gid(), Operand::imm_ud(n - 1));
+    emit_addr(&mut b, pi, gid(), 0, 4);
+    b.load(MemSpace::Global, v, pi);
+    b.shl(po, j, Operand::imm_ud(logn));
+    b.add(po, po, i);
+    emit_addr(&mut b, po, po, 1, 4);
+    b.store(MemSpace::Global, po, v);
+    let program = b.finish().expect("valid kernel");
+
+    let data: Vec<f32> = (0..n * n).map(|x| x as f32).collect();
+    let mut img = MemoryImage::new(16 * n * n + (1 << 16));
+    let a = img.alloc_f32(&data);
+    let out = img.alloc(4 * n * n);
+    let launch = Launch::new(program, n * n, WG).with_args(&[a, out]);
+    Built {
+        name: "Trans-N".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n {
+                for j in 0..n {
+                    let got = img.read_u32(out + 4 * (j * n + i));
+                    let want = ((i * n + j) as f32).to_bits();
+                    if got != want {
+                        return Err(format!("T[{j},{i}] wrong"));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Bscholes-N`: branch-free Black-Scholes call pricing with a polynomial
+/// cumulative-normal approximation (`sel` handles the sign, no divergence).
+pub fn blackscholes(scale: u32) -> Built {
+    let n = 512 * scale.max(1);
+    const RATE: f32 = 0.02;
+    const VOL: f32 = 0.30;
+    const T: f32 = 1.0;
+
+    let mut b = KernelBuilder::new("bscholes", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (ps, pk, po) = (ra.vud(), ra.vud(), ra.vud());
+    let (s, kk, d1, d2, t0, t1) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (nd1, nd2, price) = (ra.vf(), ra.vf(), ra.vf());
+    emit_addr(&mut b, ps, gid(), 0, 4);
+    emit_addr(&mut b, pk, gid(), 1, 4);
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.load(MemSpace::Global, s, ps);
+    b.load(MemSpace::Global, kk, pk);
+    // d1 = (ln(S/K) + (r + v^2/2) T) / (v sqrt(T)); ln x = log2(x) * ln2.
+    b.op(Opcode::Fdiv, t0, &[s, kk]);
+    b.math(Opcode::Log, t0, t0);
+    b.mul(t0, t0, Operand::imm_f(std::f32::consts::LN_2));
+    b.add(t0, t0, Operand::imm_f((RATE + VOL * VOL / 2.0) * T));
+    b.mov(t1, Operand::imm_f(VOL * T.sqrt()));
+    b.op(Opcode::Fdiv, d1, &[t0, t1]);
+    b.sub(d2, d1, t1);
+    // Logistic approximation of the CND: N(x) ≈ 1 / (1 + exp2(-2.3 x)).
+    for (x, nd) in [(d1, nd1), (d2, nd2)] {
+        b.mul(t0, x, Operand::imm_f(-2.3));
+        b.math(Opcode::Exp, t0, t0);
+        b.add(t0, t0, Operand::imm_f(1.0));
+        b.math(Opcode::Inv, nd, t0);
+    }
+    // price = S·N(d1) − K·e^{−rT}·N(d2)
+    b.mul(t0, kk, Operand::imm_f((-RATE * T).exp()));
+    b.mul(t0, t0, nd2);
+    b.mul(price, s, nd1);
+    b.sub(price, price, t0);
+    emit_addr(&mut b, po, gid(), 2, 4);
+    b.store(MemSpace::Global, po, price);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(15);
+    let s_data: Vec<f32> = (0..n).map(|_| rng.range_f32(20.0, 120.0)).collect();
+    let k_data: Vec<f32> = (0..n).map(|_| rng.range_f32(20.0, 120.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let sp = img.alloc_f32(&s_data);
+    let kp = img.alloc_f32(&k_data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[sp, kp, out]);
+    Built {
+        name: "Bscholes-N".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n as usize {
+                let (s, k) = (f64::from(s_data[i]), f64::from(k_data[i]));
+                let (r, v, t) = (f64::from(RATE), f64::from(VOL), f64::from(T));
+                let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * t.sqrt());
+                let d2 = d1 - v * t.sqrt();
+                let nd = |x: f64| 1.0 / (1.0 + (2.0f64.powf(-2.3 * x)));
+                let want = s * nd(d1) - k * (-r * t).exp() * nd(d2);
+                let got = f64::from(img.read_f32(out + 4 * i as u32));
+                if (got - want).abs() > 0.05 * want.abs().max(1.0) {
+                    return Err(format!("price[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `DCT8`: one 8-point DCT coefficient per work-item.
+pub fn dct8(scale: u32) -> Built {
+    let rows = 128 * scale.max(1);
+    let n = rows * 8;
+    let mut b = KernelBuilder::new("dct8", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (u, row, k, pa) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (acc, v, angle, c, kf, uf, po) =
+        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vud());
+    b.and(u, gid(), Operand::imm_ud(7));
+    b.shr(row, gid(), Operand::imm_ud(3));
+    b.mov(k, Operand::imm_ud(0));
+    b.mov(acc, Operand::imm_f(0.0));
+    b.mov(uf, u); // u as float via mov conversion? dst type f, src ud
+    b.do_();
+    {
+        b.shl(pa, row, Operand::imm_ud(3));
+        b.add(pa, pa, k);
+        emit_addr(&mut b, pa, pa, 0, 4);
+        b.load(MemSpace::Global, v, pa);
+        // angle = (2k+1) u π / 16
+        b.mov(kf, k);
+        b.mad(angle, kf, Operand::imm_f(2.0), Operand::imm_f(1.0));
+        b.mul(angle, angle, uf);
+        b.mul(angle, angle, Operand::imm_f(std::f32::consts::PI / 16.0));
+        b.math(Opcode::Cos, c, angle);
+        b.mad(acc, v, c, acc);
+        b.add(k, k, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, k, Operand::imm_ud(8));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, po, gid(), 1, 4);
+    b.store(MemSpace::Global, po, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(16);
+    let data: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let a = img.alloc_f32(&data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[a, out]);
+    Built {
+        name: "DCT8".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n {
+                let (row, u) = (g / 8, g % 8);
+                let want: f64 = (0..8)
+                    .map(|k| {
+                        f64::from(data[(row * 8 + k) as usize])
+                            * (f64::from((2 * k + 1) as f32)
+                                * f64::from(u as f32)
+                                * std::f64::consts::PI
+                                / 16.0)
+                                .cos()
+                    })
+                    .sum();
+                let got = f64::from(img.read_f32(out + 4 * g));
+                if (got - want).abs() > 1e-2 {
+                    return Err(format!("dct[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `MT`: Mersenne-Twister-style integer tempering (10 mixing rounds).
+pub fn mersenne(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    let mut b = KernelBuilder::new("mersenne", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (p, x, t) = (ra.vud(), ra.vud(), ra.vud());
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, x, p);
+    for _ in 0..10 {
+        b.shr(t, x, Operand::imm_ud(11));
+        b.xor(x, x, t);
+        b.shl(t, x, Operand::imm_ud(7));
+        b.and(t, t, Operand::imm_ud(0x9D2C_5680));
+        b.xor(x, x, t);
+        b.shl(t, x, Operand::imm_ud(15));
+        b.and(t, t, Operand::imm_ud(0xEFC6_0000));
+        b.xor(x, x, t);
+        b.shr(t, x, Operand::imm_ud(18));
+        b.xor(x, x, t);
+    }
+    emit_addr(&mut b, p, gid(), 1, 4);
+    b.store(MemSpace::Global, p, x);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(17);
+    let data: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let a = img.alloc_u32(&data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[a, out]);
+    let temper = |mut x: u32| {
+        for _ in 0..10 {
+            x ^= x >> 11;
+            x ^= (x << 7) & 0x9D2C_5680;
+            x ^= (x << 15) & 0xEFC6_0000;
+            x ^= x >> 18;
+        }
+        x
+    };
+    let expect: Vec<u32> = data.iter().map(|&x| temper(x)).collect();
+    Built {
+        name: "MT".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for (i, &want) in expect.iter().enumerate() {
+                let got = img.read_u32(out + 4 * i as u32);
+                if got != want {
+                    return Err(format!("mt[{i}] = {got:#x}, want {want:#x}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `SCnv`: 5-tap 1-D convolution with branch-free (clamped) edges.
+pub fn convolution(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    let taps: [f32; 5] = [0.1, 0.2, 0.4, 0.2, 0.1];
+    let mut b = KernelBuilder::new("convolution", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (idx, p, po) = (ra.vd(), ra.vud(), ra.vud());
+    let (acc, v) = (ra.vf(), ra.vf());
+    b.mov(acc, Operand::imm_f(0.0));
+    for (ti, &t) in taps.iter().enumerate() {
+        let off = ti as i32 - 2;
+        // idx = clamp(gid + off, 0, n-1), branch-free via min/max.
+        b.add(idx, gid(), Operand::imm_d(off));
+        b.max(idx, idx, Operand::imm_d(0));
+        b.min(idx, idx, Operand::imm_d(n as i32 - 1));
+        b.mov(p, idx);
+        emit_addr(&mut b, p, p, 0, 4);
+        b.load(MemSpace::Global, v, p);
+        b.mad(acc, v, Operand::imm_f(t), acc);
+    }
+    emit_addr(&mut b, po, gid(), 1, 4);
+    b.store(MemSpace::Global, po, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(18);
+    let data: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let a = img.alloc_f32(&data);
+    let out = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[a, out]);
+    Built {
+        name: "SCnv".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n as i32 {
+                let want: f32 = taps
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, &t)| {
+                        let idx = (g + ti as i32 - 2).clamp(0, n as i32 - 1) as usize;
+                        data[idx] * t
+                    })
+                    .sum();
+                let got = img.read_f32(out + 4 * g as u32);
+                if (got - want).abs() > 1e-4 {
+                    return Err(format!("conv[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `BP`: back-propagation weight update, `w += lr · δ · a` elementwise.
+pub fn backprop(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    const LR: f32 = 0.05;
+    let mut b = KernelBuilder::new("backprop", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (pw, pd, paq) = (ra.vud(), ra.vud(), ra.vud());
+    let (w, d, a) = (ra.vf(), ra.vf(), ra.vf());
+    emit_addr(&mut b, pw, gid(), 0, 4);
+    emit_addr(&mut b, pd, gid(), 1, 4);
+    emit_addr(&mut b, paq, gid(), 2, 4);
+    b.load(MemSpace::Global, w, pw);
+    b.load(MemSpace::Global, d, pd);
+    b.load(MemSpace::Global, a, paq);
+    b.mul(d, d, a);
+    b.mad(w, d, Operand::imm_f(LR), w);
+    b.store(MemSpace::Global, pw, w);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(19);
+    let w_data: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    let d_data: Vec<f32> = (0..n).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+    let a_data: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let wp = img.alloc_f32(&w_data);
+    let dp = img.alloc_f32(&d_data);
+    let ap = img.alloc_f32(&a_data);
+    let launch = Launch::new(program, n, WG).with_args(&[wp, dp, ap]);
+    Built {
+        name: "BP".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n as usize {
+                let want = w_data[i] + LR * (d_data[i] * a_data[i]);
+                let got = img.read_f32(wp + 4 * i as u32);
+                if (got - want).abs() > 1e-4 {
+                    return Err(format!("w[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_sim::GpuConfig;
+
+    fn check(b: Built) {
+        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            r.simd_efficiency() > 0.95,
+            "{:?} efficiency {:.3} should be coherent",
+            b.name,
+            r.simd_efficiency()
+        );
+    }
+
+    #[test]
+    fn vecadd_correct_and_coherent() {
+        check(vecadd(1));
+    }
+
+    #[test]
+    fn dot_correct() {
+        check(dot_product(1));
+    }
+
+    #[test]
+    fn mvm_correct() {
+        check(mvm(1));
+    }
+
+    #[test]
+    fn matmul_correct() {
+        check(matmul(1));
+    }
+
+    #[test]
+    fn transpose_correct() {
+        check(transpose(1));
+    }
+
+    #[test]
+    fn blackscholes_correct() {
+        check(blackscholes(1));
+    }
+
+    #[test]
+    fn dct8_correct() {
+        check(dct8(1));
+    }
+
+    #[test]
+    fn mersenne_correct() {
+        check(mersenne(1));
+    }
+
+    #[test]
+    fn convolution_correct() {
+        check(convolution(1));
+    }
+
+    #[test]
+    fn backprop_correct() {
+        check(backprop(1));
+    }
+}

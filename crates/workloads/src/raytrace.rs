@@ -1,0 +1,528 @@
+//! Ray-tracing workloads (Fig. 11): primary rays and ambient occlusion over
+//! synthetic sphere scenes, in SIMD8 and SIMD16 kernel variants.
+//!
+//! The paper's scenes (alien, bulldozer, windmill, conference) are
+//! proprietary; the substitution (DESIGN.md §3) generates sphere fields with
+//! different clustering so that the *ray-coherence structure* — and hence
+//! the divergence behavior — differs per scene:
+//!
+//! * `AL` (alien): a few tight clusters → coherent tiles, divergent edges;
+//! * `BL` (bulldozer): uniform mid-density field;
+//! * `WM` (windmill): sparse large spheres → long misses, early hits;
+//! * `Conf` (conference): dense field → most rays hit early.
+//!
+//! Primary rays are orthographic along +z with a sorted front-to-back
+//! early-exit loop (divergence from hit distance). Ambient occlusion shoots
+//! per-lane pseudo-random secondary rays with an any-hit break — the most
+//! divergent workload in the suite, matching Fig. 9/10 where the RT-AO bars
+//! dominate.
+
+use crate::util::{emit_addr, gid, RegAlloc, XorShift};
+use crate::Built;
+use iwc_isa::builder::KernelBuilder;
+use iwc_isa::insn::CondOp;
+use iwc_isa::reg::{FlagReg, Operand, Predicate};
+use iwc_isa::{MemSpace, Opcode};
+use iwc_sim::{Launch, MemoryImage};
+
+fn f0() -> Predicate {
+    Predicate::normal(FlagReg::F0)
+}
+
+fn f1() -> Predicate {
+    Predicate::normal(FlagReg::F1)
+}
+
+/// Scene kind, controlling sphere clustering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SceneKind {
+    /// Clustered (alien).
+    Al,
+    /// Uniform (bulldozer).
+    Bl,
+    /// Sparse large (windmill).
+    Wm,
+    /// Dense (conference).
+    Conf,
+}
+
+/// A sphere field: SoA arrays of centers and radii.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// Center x coordinates.
+    pub cx: Vec<f32>,
+    /// Center y coordinates.
+    pub cy: Vec<f32>,
+    /// Center z coordinates (positive, in front of the image plane).
+    pub cz: Vec<f32>,
+    /// Radii.
+    pub r: Vec<f32>,
+}
+
+impl Scene {
+    /// Generates the scene for `kind` (world is x,y ∈ [0, 16)).
+    pub fn generate(kind: SceneKind) -> Self {
+        let mut rng = XorShift::new(match kind {
+            SceneKind::Al => 101,
+            SceneKind::Bl => 202,
+            SceneKind::Wm => 303,
+            SceneKind::Conf => 404,
+        });
+        let (count, rad_lo, rad_hi, clusters) = match kind {
+            SceneKind::Al => (24usize, 0.4f32, 1.0f32, 4u32),
+            SceneKind::Bl => (24, 0.5, 1.2, 0),
+            SceneKind::Wm => (10, 1.5, 3.0, 0),
+            SceneKind::Conf => (40, 0.8, 2.0, 0),
+        };
+        let mut s = Scene { cx: vec![], cy: vec![], cz: vec![], r: vec![] };
+        for i in 0..count {
+            let (x, y) = if clusters > 0 {
+                let c = i as u32 % clusters;
+                let base_x = 2.0 + 12.0 * (c % 2) as f32 / 2.0 + 2.0;
+                let base_y = 2.0 + 12.0 * (c / 2) as f32 / 2.0 + 2.0;
+                (base_x + rng.range_f32(-1.5, 1.5), base_y + rng.range_f32(-1.5, 1.5))
+            } else {
+                (rng.range_f32(0.0, 16.0), rng.range_f32(0.0, 16.0))
+            };
+            s.cx.push(x);
+            s.cy.push(y);
+            s.cz.push(rng.range_f32(4.0, 12.0));
+            s.r.push(rng.range_f32(rad_lo, rad_hi));
+        }
+        // Sort front-to-back so the early-exit loop approximates first-hit.
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_by(|&a, &b| s.cz[a].partial_cmp(&s.cz[b]).expect("finite z"));
+        Scene {
+            cx: order.iter().map(|&i| s.cx[i]).collect(),
+            cy: order.iter().map(|&i| s.cy[i]).collect(),
+            cz: order.iter().map(|&i| s.cz[i]).collect(),
+            r: order.iter().map(|&i| s.r[i]).collect(),
+        }
+    }
+
+    /// Number of spheres.
+    pub fn len(&self) -> usize {
+        self.cx.len()
+    }
+
+    /// True when the scene has no spheres.
+    pub fn is_empty(&self) -> bool {
+        self.cx.is_empty()
+    }
+
+    /// Host-side orthographic first-hit test at pixel center (px, py):
+    /// returns the nearest front-sphere index.
+    pub fn first_hit(&self, px: f32, py: f32) -> Option<usize> {
+        // Spheres are sorted by z; the kernel takes the first sphere whose
+        // silhouette contains the pixel (an approximation of first-hit).
+        (0..self.len()).find(|&i| self.contains(i, px, py))
+    }
+
+    /// First hit when the sphere list is visited starting at index `rot`
+    /// and wrapping — the per-ray traversal order the kernel uses.
+    pub fn first_hit_rotated(&self, px: f32, py: f32, rot: u32) -> Option<usize> {
+        let n = self.len();
+        (0..n).map(|k| (rot as usize + k) % n).find(|&i| self.contains(i, px, py))
+    }
+
+    fn contains(&self, i: usize, px: f32, py: f32) -> bool {
+        let dx = px - self.cx[i];
+        let dy = py - self.cy[i];
+        dx * dx + dy * dy < self.r[i] * self.r[i]
+    }
+}
+
+/// Image side length (pixels) at scale 1.
+const IMG_SIDE: u32 = 64;
+
+/// Emits the pixel-coordinate setup: px = (gid % side) · 16/side + 0.5·step,
+/// py likewise, into `px`/`py` f32 registers.
+fn emit_pixel_coords(
+    b: &mut KernelBuilder,
+    ra: &mut RegAlloc,
+    side: u32,
+    px: Operand,
+    py: Operand,
+) {
+    let t = ra.vud();
+    let step = 16.0 / side as f32;
+    b.and(t, gid(), Operand::imm_ud(side - 1));
+    b.mov(px, t);
+    b.mad(px, px, Operand::imm_f(step), Operand::imm_f(step * 0.5));
+    b.shr(t, gid(), Operand::imm_ud(side.trailing_zeros()));
+    b.and(t, t, Operand::imm_ud(side - 1));
+    b.mov(py, t);
+    b.mad(py, py, Operand::imm_f(step), Operand::imm_f(step * 0.5));
+}
+
+/// Emits the sphere-intersection loop: each lane visits the sphere list in
+/// its own rotated order (starting at `rot`, wrapping), breaking at the
+/// first sphere whose silhouette contains (px, py). This models the
+/// per-ray traversal orders of an acceleration structure: neighboring rays
+/// fetch *different* sphere records in the same cycle, producing the memory
+/// divergence real ray tracers exhibit. Afterwards `hitidx` holds the hit
+/// sphere index (valid where `found` != 0).
+///
+/// Scene buffer args: 0 = cx, 1 = cy, 2 = cz, 3 = r. `count` is arg 4.
+#[allow(clippy::too_many_arguments)]
+fn emit_first_hit_loop(
+    b: &mut KernelBuilder,
+    ra: &mut RegAlloc,
+    px: Operand,
+    py: Operand,
+    rot: Operand,
+    hitidx: Operand,
+    found: Operand,
+) {
+    let (p, trip) = (ra.vud(), ra.vud());
+    let (cx, cy, rr, dx, dy, d2) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let count = Operand::scalar(3, 4, iwc_isa::DataType::Ud);
+    b.mov(trip, Operand::imm_ud(0));
+    b.mov(found, Operand::imm_ud(0));
+    b.do_();
+    {
+        // hitidx = (trip + rot) % count — per-lane visit order.
+        b.add(hitidx, trip, rot);
+        b.op(Opcode::Irem, hitidx, &[hitidx, count]);
+        emit_addr(b, p, hitidx, 0, SPHERE_STRIDE);
+        b.load(MemSpace::Global, cx, p);
+        emit_addr(b, p, hitidx, 1, SPHERE_STRIDE);
+        b.load(MemSpace::Global, cy, p);
+        emit_addr(b, p, hitidx, 3, SPHERE_STRIDE);
+        b.load(MemSpace::Global, rr, p);
+        b.sub(dx, px, cx);
+        b.sub(dy, py, cy);
+        b.mul(d2, dx, dx);
+        b.mad(d2, dy, dy, d2);
+        b.mul(rr, rr, rr);
+        b.cmp(CondOp::Lt, FlagReg::F0, d2, rr);
+        b.if_(f0());
+        b.mov(found, Operand::imm_ud(1));
+        b.end_if();
+        b.break_(f0());
+        b.add(trip, trip, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, trip, count);
+    }
+    b.while_(f0());
+}
+
+/// Width of the per-lane traversal-rotation window. Neighboring rays start
+/// their sphere walk within a window of this many records, bounding the
+/// per-message line count (full-random order would peg the data cluster at
+/// its limit; real traversals are partially coherent).
+pub const ROTATION_WINDOW: u32 = 8;
+
+/// Emits `rot = hash(seed_reg) % ROTATION_WINDOW` — the per-lane traversal
+/// rotation.
+fn emit_rotation(b: &mut KernelBuilder, rot: Operand, seed: Operand) {
+    b.mul(rot, seed, Operand::imm_ud(0x9E37_79B9));
+    b.shr(rot, rot, Operand::imm_ud(16));
+    b.and(rot, rot, Operand::imm_ud(ROTATION_WINDOW - 1));
+}
+
+/// Byte stride between consecutive sphere records in each scene array: one
+/// cache line, modeling the AoS node layout of real acceleration structures
+/// (a BVH node easily spans a line). Divergent per-lane sphere indices thus
+/// touch distinct lines — the memory-divergence load that makes the paper's
+/// ray tracers data-cluster-bandwidth-bound at DC1 (Fig. 11).
+pub const SPHERE_STRIDE: u32 = 64;
+
+fn scene_image(scene: &Scene, extra: u32) -> (MemoryImage, [u32; 4]) {
+    let n = scene.len() as u32;
+    let mut img = MemoryImage::new(4 * SPHERE_STRIDE * n + extra + (1 << 16));
+    let mut padded = |vals: &[f32]| {
+        let base = img.alloc(SPHERE_STRIDE * vals.len() as u32);
+        for (i, &v) in vals.iter().enumerate() {
+            img.write_f32(base + SPHERE_STRIDE * i as u32, v);
+        }
+        base
+    };
+    let cx = padded(&scene.cx);
+    let cy = padded(&scene.cy);
+    let cz = padded(&scene.cz);
+    let r = padded(&scene.r);
+    (img, [cx, cy, cz, r])
+}
+
+/// Builds a primary-ray workload for `kind` at SIMD16.
+pub fn primary(kind: SceneKind, scale: u32) -> Built {
+    let side = IMG_SIDE * scale.max(1).next_power_of_two().min(4);
+    let pixels = side * side;
+    let scene = Scene::generate(kind);
+    let count = scene.len() as u32;
+
+    let mut b = KernelBuilder::new("rt-primary", 16);
+    let mut ra = RegAlloc::new(16);
+    let (px, py) = (ra.vf(), ra.vf());
+    let (rot, hit, found, p) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let shade = ra.vf();
+    emit_pixel_coords(&mut b, &mut ra, side, px, py);
+    emit_rotation(&mut b, rot, gid());
+    emit_first_hit_loop(&mut b, &mut ra, px, py, rot, hit, found);
+    // Divergent shading: hits compute a fake lambert term; misses get sky.
+    b.cmp(CondOp::Ne, FlagReg::F1, found, Operand::imm_ud(0));
+    b.if_(f1());
+    {
+        let zr = ra.vf();
+        emit_addr(&mut b, p, hit, 2, SPHERE_STRIDE);
+        b.load(MemSpace::Global, zr, p);
+        b.math(Opcode::Inv, zr, zr);
+        b.mul(shade, zr, Operand::imm_f(4.0));
+        b.min(shade, shade, Operand::imm_f(1.0));
+    }
+    b.else_();
+    b.mov(shade, Operand::imm_f(0.1));
+    b.end_if();
+    emit_addr(&mut b, p, gid(), 5, 4);
+    b.store(MemSpace::Global, p, shade);
+    let program = b.finish().expect("valid kernel");
+
+    let (mut img, bufs) = scene_image(&scene, 4 * pixels);
+    let out = img.alloc(4 * pixels);
+    let launch = Launch::new(program, pixels, 64)
+        .with_args(&[bufs[0], bufs[1], bufs[2], bufs[3], count, out]);
+    let scene2 = scene.clone();
+    Built {
+        name: format!("RT-PR-{kind:?}"),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            let step = 16.0 / side as f32;
+            for g in 0..pixels {
+                let pxv = (g % side) as f32 * step + step * 0.5;
+                let pyv = (g / side) as f32 * step + step * 0.5;
+                let got = img.read_f32(out + 4 * g);
+                let rot = (g.wrapping_mul(0x9E37_79B9) >> 16) & (ROTATION_WINDOW - 1);
+                match scene2.first_hit_rotated(pxv, pyv, rot) {
+                    Some(i) => {
+                        let want = (4.0 / scene2.cz[i]).min(1.0);
+                        if (got - want).abs() > 1e-3 {
+                            return Err(format!("pixel {g}: {got} vs hit {want}"));
+                        }
+                    }
+                    None => {
+                        if (got - 0.1).abs() > 1e-6 {
+                            return Err(format!("pixel {g}: {got} vs sky"));
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// Builds an ambient-occlusion workload for `kind` at the given SIMD width.
+///
+/// Each pixel that hits geometry shoots `SAMPLES` jittered occlusion probes;
+/// each probe walks the sphere list with an any-hit break. Misses skip the
+/// whole sampling loop — two nested levels of divergence.
+pub fn ambient_occlusion(kind: SceneKind, simd: u32, scale: u32) -> Built {
+    const SAMPLES: u32 = 4;
+    let side = IMG_SIDE * scale.max(1).next_power_of_two().min(4);
+    let pixels = side * side;
+    let scene = Scene::generate(kind);
+    let count = scene.len() as u32;
+
+    let mut b = KernelBuilder::new("rt-ao", simd);
+    let mut ra = RegAlloc::new(simd);
+    let (px, py) = (ra.vf(), ra.vf());
+    let (rot, hit, found, p) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    emit_pixel_coords(&mut b, &mut ra, side, px, py);
+    emit_rotation(&mut b, rot, gid());
+    emit_first_hit_loop(&mut b, &mut ra, px, py, rot, hit, found);
+    let (occ, qx, qy, h) = (ra.vf(), ra.vf(), ra.vf(), ra.vud());
+    let (s, j) = (ra.vud(), ra.vud());
+    let (cx2, cy2, rr2, dx2, dy2, d22) =
+        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let sf = ra.vf();
+    b.mov(occ, Operand::imm_f(0.0));
+    b.cmp(CondOp::Ne, FlagReg::F1, found, Operand::imm_ud(0));
+    b.if_(f1());
+    {
+        b.mov(s, Operand::imm_ud(0));
+        b.do_();
+        {
+            // Jittered probe position: hash(gid, s) → offset in [-1, 1).
+            b.mul(h, gid(), Operand::imm_ud(0x9E37_79B9));
+            b.add(h, h, s);
+            b.mul(h, h, Operand::imm_ud(0x85EB_CA6B));
+            b.shr(h, h, Operand::imm_ud(16));
+            b.and(h, h, Operand::imm_ud(0xFFFF));
+            b.mov(sf, h);
+            b.mad(qx, sf, Operand::imm_f(2.0 / 65536.0), Operand::imm_f(-1.0));
+            b.add(qx, qx, px);
+            b.mul(h, h, Operand::imm_ud(0x27D4_EB2F));
+            b.and(h, h, Operand::imm_ud(0xFFFF));
+            b.mov(sf, h);
+            b.mad(qy, sf, Operand::imm_f(2.0 / 65536.0), Operand::imm_f(-1.0));
+            b.add(qy, qy, py);
+            // Any-hit probe: walk spheres in a per-lane rotated order,
+            // breaking on the first silhouette hit (occlusion is
+            // order-independent, trip counts are not — that is the point).
+            b.and(h, h, Operand::imm_ud(ROTATION_WINDOW - 1));
+            b.mov(j, Operand::imm_ud(0));
+            b.do_();
+            {
+                b.add(p, j, h);
+                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.shl(p, p, Operand::imm_ud(6)); // × SPHERE_STRIDE
+                b.add(p, p, Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+                b.load(MemSpace::Global, cx2, p);
+                b.add(p, j, h);
+                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.shl(p, p, Operand::imm_ud(6));
+                b.add(p, p, Operand::scalar(3, 1, iwc_isa::DataType::Ud));
+                b.load(MemSpace::Global, cy2, p);
+                b.add(p, j, h);
+                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.shl(p, p, Operand::imm_ud(6));
+                b.add(p, p, Operand::scalar(3, 3, iwc_isa::DataType::Ud));
+                b.load(MemSpace::Global, rr2, p);
+                b.sub(dx2, qx, cx2);
+                b.sub(dy2, qy, cy2);
+                b.mul(d22, dx2, dx2);
+                b.mad(d22, dy2, dy2, d22);
+                b.mul(rr2, rr2, rr2);
+                b.cmp(CondOp::Lt, FlagReg::F0, d22, rr2);
+                b.if_(f0());
+                b.add(occ, occ, Operand::imm_f(1.0 / SAMPLES as f32));
+                b.end_if();
+                b.break_(f0());
+                b.add(j, j, Operand::imm_ud(1));
+                b.cmp(
+                    CondOp::Lt,
+                    FlagReg::F0,
+                    j,
+                    Operand::scalar(3, 4, iwc_isa::DataType::Ud),
+                );
+            }
+            b.while_(f0());
+            b.add(s, s, Operand::imm_ud(1));
+            b.cmp(CondOp::Lt, FlagReg::F0, s, Operand::imm_ud(SAMPLES));
+        }
+        b.while_(f0());
+    }
+    b.end_if();
+    // ao = 1 - occlusion
+    b.sub(occ, Operand::imm_f(1.0), occ);
+    emit_addr(&mut b, p, gid(), 5, 4);
+    b.store(MemSpace::Global, p, occ);
+    let program = b.finish().expect("valid kernel");
+
+    let (mut img, bufs) = scene_image(&scene, 4 * pixels);
+    let out = img.alloc(4 * pixels);
+    let launch = Launch::new(program, pixels, simd * 4)
+        .with_args(&[bufs[0], bufs[1], bufs[2], bufs[3], count, out]);
+    Built {
+        name: format!("RT-AO-{kind:?}{simd}"),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            // AO values must be in [0, 1]; miss pixels exactly 1.
+            for g in 0..pixels {
+                let v = img.read_f32(out + 4 * g);
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("ao[{g}] = {v} out of range"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// RT-PR on the conference scene.
+pub fn primary_conf(scale: u32) -> Built {
+    primary(SceneKind::Conf, scale)
+}
+
+/// RT-PR on the alien scene.
+pub fn primary_al(scale: u32) -> Built {
+    primary(SceneKind::Al, scale)
+}
+
+/// RT-PR on the bulldozer scene.
+pub fn primary_bl(scale: u32) -> Built {
+    primary(SceneKind::Bl, scale)
+}
+
+/// RT-PR on the windmill scene.
+pub fn primary_wm(scale: u32) -> Built {
+    primary(SceneKind::Wm, scale)
+}
+
+/// RT-AO alien, SIMD8.
+pub fn ao_al8(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Al, 8, scale)
+}
+
+/// RT-AO bulldozer, SIMD8.
+pub fn ao_bl8(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Bl, 8, scale)
+}
+
+/// RT-AO windmill, SIMD8.
+pub fn ao_wm8(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Wm, 8, scale)
+}
+
+/// RT-AO alien, SIMD16.
+pub fn ao_al16(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Al, 16, scale)
+}
+
+/// RT-AO bulldozer, SIMD16.
+pub fn ao_bl16(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Bl, 16, scale)
+}
+
+/// RT-AO windmill, SIMD16.
+pub fn ao_wm16(scale: u32) -> Built {
+    ambient_occlusion(SceneKind::Wm, 16, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_sim::GpuConfig;
+
+    #[test]
+    fn scenes_differ() {
+        let al = Scene::generate(SceneKind::Al);
+        let wm = Scene::generate(SceneKind::Wm);
+        assert_ne!(al.len(), wm.len());
+        assert!(wm.r.iter().sum::<f32>() / wm.len() as f32 > al.r.iter().sum::<f32>() / al.len() as f32);
+        // Front-to-back ordering.
+        for s in [&al, &wm] {
+            assert!(s.cz.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn primary_rays_correct_and_divergent() {
+        let b = primary(SceneKind::Conf, 1);
+        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let eff = r.simd_efficiency();
+        assert!(eff < 0.95, "RT-PR efficiency {eff:.3} should be divergent");
+    }
+
+    #[test]
+    fn ao_more_divergent_than_primary() {
+        let cfg = GpuConfig::paper_default();
+        let pr = primary(SceneKind::Bl, 1).run_checked(&cfg).unwrap();
+        let ao = ambient_occlusion(SceneKind::Bl, 16, 1).run_checked(&cfg).unwrap();
+        assert!(
+            ao.simd_efficiency() < pr.simd_efficiency(),
+            "AO ({:.3}) should diverge more than PR ({:.3})",
+            ao.simd_efficiency(),
+            pr.simd_efficiency()
+        );
+    }
+
+    #[test]
+    fn ao_simd8_variant_runs() {
+        let b = ambient_occlusion(SceneKind::Wm, 8, 1);
+        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(r.cycles > 0);
+    }
+}

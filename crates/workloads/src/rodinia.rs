@@ -1,0 +1,1118 @@
+//! Divergent Rodinia-class workloads (the Fig. 12 set plus friends).
+//!
+//! Each kernel reproduces the divergence-generating control structure of its
+//! Rodinia namesake: sparse frontier tests (BFS), boundary conditions
+//! (HotSpot, pathfinder, SRAD), cutoff tests inside neighbor loops (LavaMD),
+//! data-dependent scan/trip counts (particle filter, eigenvalue), and guard
+//! predicates (Gaussian elimination, k-means, Needleman-Wunsch).
+
+// Host-side result checks mirror kernel indexing; positional loops are
+// clearer than iterator chains there.
+#![allow(clippy::needless_range_loop)]
+
+use crate::util::{emit_addr, gid, RegAlloc, XorShift};
+use crate::Built;
+use iwc_isa::builder::KernelBuilder;
+use iwc_isa::insn::CondOp;
+use iwc_isa::reg::{FlagReg, Operand, Predicate};
+use iwc_isa::{MemSpace, Opcode};
+use iwc_sim::{Launch, MemoryImage};
+
+const SIMD: u32 = 16;
+const WG: u32 = 64;
+
+fn f0() -> Predicate {
+    Predicate::normal(FlagReg::F0)
+}
+
+fn f1() -> Predicate {
+    Predicate::normal(FlagReg::F1)
+}
+
+/// `BFS`: one frontier-expansion level over a random sparse graph (CSR).
+///
+/// Args: 0 = frontier, 1 = row offsets, 2 = column indices, 3 = visited,
+/// 4 = new frontier.
+pub fn bfs(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+    let avg_degree = 4u32;
+
+    let mut b = KernelBuilder::new("bfs", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (p, f, start, end, idx, nb, vis) =
+        (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let one = Operand::imm_ud(1);
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, f, p);
+    b.cmp(CondOp::Ne, FlagReg::F0, f, Operand::imm_ud(0));
+    b.if_(f0());
+    {
+        emit_addr(&mut b, p, gid(), 1, 4);
+        b.load(MemSpace::Global, start, p);
+        b.add(p, p, Operand::imm_ud(4));
+        b.load(MemSpace::Global, end, p);
+        b.mov(idx, start);
+        b.cmp(CondOp::Lt, FlagReg::F1, idx, end);
+        b.if_(f1());
+        b.do_();
+        {
+            emit_addr(&mut b, p, idx, 2, 4);
+            b.load(MemSpace::Global, nb, p);
+            emit_addr(&mut b, p, nb, 3, 4);
+            b.load(MemSpace::Global, vis, p);
+            b.cmp(CondOp::Eq, FlagReg::F1, vis, Operand::imm_ud(0));
+            b.if_(f1());
+            {
+                b.store(MemSpace::Global, p, one); // visited[nb] = 1
+                emit_addr(&mut b, p, nb, 4, 4);
+                b.store(MemSpace::Global, p, one); // newfrontier[nb] = 1
+            }
+            b.end_if();
+            b.add(idx, idx, one);
+            b.cmp(CondOp::Lt, FlagReg::F1, idx, end);
+        }
+        b.while_(f1());
+        b.end_if();
+    }
+    b.end_if();
+    let program = b.finish().expect("valid kernel");
+
+    // Random graph + ~10% frontier.
+    let mut rng = XorShift::new(21);
+    let mut row = Vec::with_capacity(n as usize + 1);
+    let mut col = Vec::new();
+    row.push(0u32);
+    for _ in 0..n {
+        let deg = rng.below(2 * avg_degree);
+        for _ in 0..deg {
+            col.push(rng.below(n));
+        }
+        row.push(col.len() as u32);
+    }
+    let frontier: Vec<u32> = (0..n).map(|_| u32::from(rng.below(10) == 0)).collect();
+    let visited = frontier.clone();
+
+    let mut img = MemoryImage::new(8 * (n + col.len() as u32) + 24 * n + (1 << 16));
+    let fp = img.alloc_u32(&frontier);
+    let rp = img.alloc_u32(&row);
+    let cp = img.alloc_u32(&col);
+    let vp = img.alloc_u32(&visited);
+    let nfp = img.alloc_u32(&vec![0u32; n as usize]);
+    let launch = Launch::new(program, n, WG).with_args(&[fp, rp, cp, vp, nfp]);
+
+    // Expected: a neighbor enters the new frontier iff it was unvisited.
+    let mut nf_want = vec![0u32; n as usize];
+    for v in 0..n as usize {
+        if frontier[v] == 1 {
+            for e in row[v]..row[v + 1] {
+                let nb = col[e as usize] as usize;
+                if visited[nb] == 0 {
+                    nf_want[nb] = 1;
+                }
+            }
+        }
+    }
+    Built {
+        name: "BFS".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for v in 0..n as usize {
+                let got = img.read_u32(nfp + 4 * v as u32);
+                if got != nf_want[v] {
+                    return Err(format!("newfrontier[{v}] = {got}, want {}", nf_want[v]));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `HtS` (HotSpot): 2-D thermal stencil with divergent boundary handling.
+///
+/// Args: 0 = temperature in, 1 = power, 2 = temperature out.
+pub fn hotspot(scale: u32) -> Built {
+    let w = 64u32;
+    let h = 16 * scale.max(1);
+    let n = w * h;
+    const K: f32 = 0.2;
+    const CAP: f32 = 0.5;
+
+    let mut b = KernelBuilder::new("hotspot", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (x, y, p, q) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (c, pw, l, r, t, bo, acc) =
+        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    b.and(x, gid(), Operand::imm_ud(w - 1));
+    b.shr(y, gid(), Operand::imm_ud(w.trailing_zeros()));
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, c, p);
+    emit_addr(&mut b, q, gid(), 1, 4);
+    b.load(MemSpace::Global, pw, q);
+    // Each neighbor defaults to the center value (adiabatic boundary) and is
+    // only loaded when in range — a divergent branch per side.
+    for (dst, cond_reg, cond, bound, offs) in [
+        (l, x, CondOp::Gt, 0u32, -4i32),
+        (r, x, CondOp::Lt, w - 1, 4),
+        (t, y, CondOp::Gt, 0, -(4 * w as i32)),
+        (bo, y, CondOp::Lt, h - 1, 4 * w as i32),
+    ] {
+        b.mov(dst, c);
+        b.cmp(cond, FlagReg::F0, cond_reg, Operand::imm_ud(bound));
+        b.if_(f0());
+        b.add(q, p, Operand::imm_d(offs));
+        b.load(MemSpace::Global, dst, q);
+        b.end_if();
+    }
+    // out = c + CAP * (pw + K * (l + r + t + bo - 4c))
+    b.add(acc, l, r);
+    b.add(acc, acc, t);
+    b.add(acc, acc, bo);
+    b.mad(acc, c, Operand::imm_f(-4.0), acc);
+    b.mad(acc, acc, Operand::imm_f(K), pw);
+    b.mad(acc, acc, Operand::imm_f(CAP), c);
+    // Hot cells (about half, data-dependent) take a long refinement path;
+    // cool cells take a short damping path — the per-cell divergence of the
+    // Rodinia kernel's sub-stepping.
+    b.cmp(CondOp::Gt, FlagReg::F0, pw, Operand::imm_f(1.0));
+    b.if_(f0());
+    for _ in 0..8 {
+        b.sub(l, acc, c);
+        b.mad(acc, l, Operand::imm_f(0.5 * K), acc);
+    }
+    b.else_();
+    b.sub(l, acc, c);
+    b.mad(acc, l, Operand::imm_f(-0.25 * K), acc);
+    b.end_if();
+    emit_addr(&mut b, q, gid(), 2, 4);
+    b.store(MemSpace::Global, q, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(22);
+    let temp: Vec<f32> = (0..n).map(|_| rng.range_f32(40.0, 90.0)).collect();
+    let power: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let tp = img.alloc_f32(&temp);
+    let pp = img.alloc_f32(&power);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[tp, pp, op]);
+    Built {
+        name: "HtS".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n {
+                let (x, y) = (g % w, g / w);
+                let c = temp[g as usize];
+                let at = |gx: u32, gy: u32| temp[(gy * w + gx) as usize];
+                let l = if x > 0 { at(x - 1, y) } else { c };
+                let r = if x < w - 1 { at(x + 1, y) } else { c };
+                let t = if y > 0 { at(x, y - 1) } else { c };
+                let bo = if y < h - 1 { at(x, y + 1) } else { c };
+                let mut want = c + CAP * (power[g as usize] + K * (l + r + t + bo - 4.0 * c));
+                if power[g as usize] > 1.0 {
+                    for _ in 0..8 {
+                        want += (want - c) * (0.5 * K);
+                    }
+                } else {
+                    want += (want - c) * (-0.25 * K);
+                }
+                let got = img.read_f32(op + 4 * g);
+                if (got - want).abs() > 1e-2 {
+                    return Err(format!("out[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `LavaMD`: per-particle force accumulation over its 64-particle box with a
+/// divergent cutoff test inside the neighbor loop.
+///
+/// Args: 0 = x, 1 = y, 2 = z, 3 = out.
+pub fn lavamd(scale: u32) -> Built {
+    let n = 512 * scale.max(1);
+    const CUTOFF2: f32 = 0.25;
+
+    let mut b = KernelBuilder::new("lavamd", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (boxbase, j, p, cnt) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (xi, yi, zi, xj, yj, zj) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (dx, dy, dz, d2, inv, acc) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    // Own position.
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, xi, p);
+    emit_addr(&mut b, p, gid(), 1, 4);
+    b.load(MemSpace::Global, yi, p);
+    emit_addr(&mut b, p, gid(), 2, 4);
+    b.load(MemSpace::Global, zi, p);
+    // Box = 64-particle neighborhood.
+    b.and(boxbase, gid(), Operand::imm_ud(!63u32));
+    b.mov(j, boxbase);
+    b.mov(acc, Operand::imm_f(0.0));
+    b.mov(cnt, Operand::imm_ud(0));
+    b.do_();
+    {
+        emit_addr(&mut b, p, j, 0, 4);
+        b.load(MemSpace::Global, xj, p);
+        emit_addr(&mut b, p, j, 1, 4);
+        b.load(MemSpace::Global, yj, p);
+        emit_addr(&mut b, p, j, 2, 4);
+        b.load(MemSpace::Global, zj, p);
+        b.sub(dx, xi, xj);
+        b.sub(dy, yi, yj);
+        b.sub(dz, zi, zj);
+        b.mul(d2, dx, dx);
+        b.mad(d2, dy, dy, d2);
+        b.mad(d2, dz, dz, d2);
+        // Divergent cutoff: only nearby pairs contribute.
+        b.cmp(CondOp::Lt, FlagReg::F0, d2, Operand::imm_f(CUTOFF2));
+        b.if_(f0());
+        {
+            b.add(d2, d2, Operand::imm_f(0.01)); // softening
+            b.math(Opcode::Inv, inv, d2);
+            b.add(acc, acc, inv);
+        }
+        b.end_if();
+        b.add(j, j, Operand::imm_ud(1));
+        b.add(cnt, cnt, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, cnt, Operand::imm_ud(64));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, p, gid(), 3, 4);
+    b.store(MemSpace::Global, p, acc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(23);
+    let x: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let y: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let z: Vec<f32> = (0..n).map(|_| rng.range_f32(0.0, 2.0)).collect();
+    let mut img = MemoryImage::new(32 * n + (1 << 16));
+    let xp = img.alloc_f32(&x);
+    let yp = img.alloc_f32(&y);
+    let zp = img.alloc_f32(&z);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[xp, yp, zp, op]);
+    Built {
+        name: "LavaMD".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n as usize {
+                let base = i & !63;
+                let mut want = 0f64;
+                for j in base..base + 64 {
+                    let d2 = f64::from(x[i] - x[j]).powi(2)
+                        + f64::from(y[i] - y[j]).powi(2)
+                        + f64::from(z[i] - z[j]).powi(2);
+                    if (d2 as f32) < CUTOFF2 {
+                        want += 1.0 / (f64::from(d2 as f32 + 0.01));
+                    }
+                }
+                let got = f64::from(img.read_f32(op + 4 * i as u32));
+                if (got - want).abs() > 1e-2 * want.abs().max(1.0) {
+                    return Err(format!("force[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `NW` (Needleman-Wunsch): recompute one anti-diagonal of the alignment DP
+/// matrix, with divergent bounds checks.
+///
+/// Args: 0 = matrix F, 1 = sequence a, 2 = sequence b, 3 = output diag copy,
+/// 4 = diagonal index d, 5 = N.
+pub fn needleman_wunsch(scale: u32) -> Built {
+    let n = 64 * scale.max(1).next_power_of_two().min(4);
+    let d = n; // center anti-diagonal of the processed band
+    let band = 8u32; // diagonals d-4 .. d+4 are active
+    const GAP: i32 = -2;
+
+    let mut b = KernelBuilder::new("nw", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (i, j, p, ai, bj, diag) = (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (fd, fu, fl, s, m, best, po) =
+        (ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vud());
+    let nn = Operand::scalar(3, 5, iwc_isa::DataType::Ud);
+    let dd = Operand::scalar(3, 4, iwc_isa::DataType::Ud);
+    // One work-item per matrix cell: i = gid / n, j = gid % n. Only cells in
+    // the anti-diagonal band i + j in [d-band/2, d+band/2) and strictly
+    // inside the matrix are computed — the wavefront divergence of NW.
+    let logn = n.trailing_zeros();
+    b.shr(i, gid(), Operand::imm_ud(logn));
+    b.and(j, gid(), Operand::imm_ud(n - 1));
+    b.add(diag, i, j);
+    b.sub(diag, diag, dd);
+    b.add(diag, diag, Operand::imm_ud(band / 2)); // in [0, band) when active
+    b.cmp(CondOp::Lt, FlagReg::F0, diag, Operand::imm_ud(band));
+    b.if_(f0());
+    b.cmp(CondOp::Ge, FlagReg::F1, i, Operand::imm_ud(1));
+    b.if_(f1());
+    b.cmp(CondOp::Ge, FlagReg::F1, j, Operand::imm_ud(1));
+    b.if_(f1());
+    {
+        // F indices: (i-1, j-1), (i-1, j), (i, j-1).
+        let idx = |b: &mut KernelBuilder, dst: Operand, bi: Operand, bj_: Operand, di: i32, dj: i32| {
+            b.add(p, bi, Operand::imm_d(di));
+            b.mul(p, p, nn);
+            b.add(p, p, bj_);
+            b.add(p, p, Operand::imm_d(dj));
+            emit_addr(b, p, p, 0, 4);
+            b.load(MemSpace::Global, dst, p);
+        };
+        idx(&mut b, fd, i, j, -1, -1);
+        idx(&mut b, fu, i, j, -1, 0);
+        idx(&mut b, fl, i, j, 0, -1);
+        // Match score: +2 when a[i] == b[j], else -1.
+        emit_addr(&mut b, ai, i, 1, 4);
+        b.load(MemSpace::Global, ai, ai);
+        emit_addr(&mut b, bj, j, 2, 4);
+        b.load(MemSpace::Global, bj, bj);
+        b.cmp(CondOp::Eq, FlagReg::F1, ai, bj);
+        b.sel(FlagReg::F1, s, Operand::imm_d(2), Operand::imm_d(-1));
+        b.add(m, fd, s);
+        b.max(best, fu, fl);
+        b.add(best, best, Operand::imm_d(GAP));
+        b.max(best, best, m);
+        // Write to the output matrix copy at (i, j).
+        b.shl(po, i, Operand::imm_ud(logn));
+        b.add(po, po, j);
+        emit_addr(&mut b, po, po, 3, 4);
+        b.store(MemSpace::Global, po, best);
+    }
+    b.end_if();
+    b.end_if();
+    b.end_if();
+    let program = b.finish().expect("valid kernel");
+
+    // Host: fill the full DP matrix, then check the kernel's diagonal.
+    let mut rng = XorShift::new(24);
+    let a_seq: Vec<u32> = (0..n).map(|_| rng.below(4)).collect();
+    let b_seq: Vec<u32> = (0..n).map(|_| rng.below(4)).collect();
+    let mut f = vec![0i32; (n * n) as usize];
+    for k in 0..n {
+        f[k as usize] = GAP * k as i32;
+        f[(k * n) as usize] = GAP * k as i32;
+    }
+    for i in 1..n {
+        for j in 1..n {
+            let s = if a_seq[i as usize] == b_seq[j as usize] { 2 } else { -1 };
+            let m = f[((i - 1) * n + j - 1) as usize] + s;
+            let up = f[((i - 1) * n + j) as usize] + GAP;
+            let left = f[(i * n + j - 1) as usize] + GAP;
+            f[(i * n + j) as usize] = m.max(up).max(left);
+        }
+    }
+    let mut img = MemoryImage::new(8 * n * n + (1 << 16));
+    let fp = img.alloc_i32(&f);
+    let ap = img.alloc_u32(&a_seq);
+    let bp = img.alloc_u32(&b_seq);
+    let op = img.alloc(4 * n * n);
+    let launch = Launch::new(program, n * n, WG).with_args(&[fp, ap, bp, op, d, n]);
+    let f_host = f.clone();
+    Built {
+        name: "NW".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for i in 0..n {
+                for j in 0..n {
+                    let in_band = (i + j + band / 2).checked_sub(d).is_some_and(|v| v < band);
+                    let active = in_band && i >= 1 && j >= 1;
+                    let got = img.read_i32(op + 4 * (i * n + j));
+                    let want = if active { f_host[(i * n + j) as usize] } else { 0 };
+                    if got != want {
+                        return Err(format!("cell ({i},{j}) = {got}, want {want}"));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Part` (particle filter): systematic resampling — each lane scans the CDF
+/// until it exceeds its threshold, a classically divergent loop.
+///
+/// Args: 0 = cdf, 1 = out, 2 = n particles, 3 = 1/n as f32 bits.
+pub fn particle_filter(scale: u32) -> Built {
+    let n = 512 * scale.max(1);
+
+    let mut b = KernelBuilder::new("particlefilter", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (j, p, h) = (ra.vud(), ra.vud(), ra.vud());
+    let (u, c) = (ra.vf(), ra.vf());
+    // u = hash(gid) / 2^24 — independent per lane, so neighboring lanes scan
+    // very different CDF prefixes (stratified multinomial resampling).
+    b.mul(h, gid(), Operand::imm_ud(0x9E37_79B9));
+    b.shr(h, h, Operand::imm_ud(8));
+    b.and(h, h, Operand::imm_ud(0xFF_FFFF));
+    b.mov(u, h);
+    b.mul(u, u, Operand::imm_f(1.0 / 16_777_216.0));
+    b.mov(j, Operand::imm_ud(0));
+    b.do_();
+    {
+        emit_addr(&mut b, p, j, 0, 4);
+        b.load(MemSpace::Global, c, p);
+        b.cmp(CondOp::Ge, FlagReg::F0, c, u);
+        b.break_(f0());
+        b.add(j, j, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, j, Operand::scalar(3, 2, iwc_isa::DataType::Ud));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, p, gid(), 1, 4);
+    b.store(MemSpace::Global, p, j);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(25);
+    let weights: Vec<f32> = (0..n).map(|_| rng.range_f32(0.01, 1.0)).collect();
+    let total: f32 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut accum = 0f32;
+    for w in &weights {
+        accum += w / total;
+        cdf.push(accum);
+    }
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let cp = img.alloc_f32(&cdf);
+    let op = img.alloc(4 * n);
+    let inv_n = (1.0f32 / n as f32).to_bits();
+    let launch = Launch::new(program, n, WG).with_args(&[cp, op, n, inv_n]);
+    Built {
+        name: "Part".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n {
+                let h = (g.wrapping_mul(0x9E37_79B9) >> 8) & 0xFF_FFFF;
+                let u = h as f32 * (1.0 / 16_777_216.0);
+                let want = cdf.iter().position(|&c| c >= u).unwrap_or(n as usize) as u32;
+                let got = img.read_u32(op + 4 * g);
+                if got != want {
+                    return Err(format!("resample[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Kmeans`: nearest-centroid assignment (8 centroids, 4-D points) with a
+/// divergent running-minimum update.
+///
+/// Args: 0 = points (SoA, 4 planes of n), 1 = centroids (8×4), 2 = out.
+pub fn kmeans(scale: u32) -> Built {
+    let n = 512 * scale.max(1);
+    let k = 8u32;
+
+    let mut b = KernelBuilder::new("kmeans", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (c, p, bestc) = (ra.vud(), ra.vud(), ra.vud());
+    let (dist, best, x, cx, diff) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    b.mov(best, Operand::imm_f(1.0e30));
+    b.mov(bestc, Operand::imm_ud(0));
+    b.mov(c, Operand::imm_ud(0));
+    b.do_();
+    {
+        b.mov(dist, Operand::imm_f(0.0));
+        for dim in 0..4u32 {
+            // x = points[dim*n + gid]
+            b.mov(p, Operand::imm_ud(dim * n));
+            b.add(p, p, gid());
+            emit_addr(&mut b, p, p, 0, 4);
+            b.load(MemSpace::Global, x, p);
+            // cx = centroids[c*4 + dim]
+            b.shl(p, c, Operand::imm_ud(2));
+            b.add(p, p, Operand::imm_ud(dim));
+            emit_addr(&mut b, p, p, 1, 4);
+            b.load(MemSpace::Global, cx, p);
+            b.sub(diff, x, cx);
+            b.mad(dist, diff, diff, dist);
+        }
+        // Divergent argmin update: winners also refresh the normalized
+        // membership weight (sqrt + reciprocal), as the full Rodinia kernel
+        // does when it updates its membership array.
+        b.cmp(CondOp::Lt, FlagReg::F0, dist, best);
+        b.if_(f0());
+        b.mov(best, dist);
+        b.mov(bestc, c);
+        b.math(Opcode::Sqrt, x, dist);
+        b.add(x, x, Operand::imm_f(1.0));
+        b.math(Opcode::Inv, x, x);
+        b.mul(x, x, Operand::imm_f(2.0));
+        b.mad(x, x, x, x);
+        b.end_if();
+        b.add(c, c, Operand::imm_ud(1));
+        b.cmp(CondOp::Lt, FlagReg::F0, c, Operand::imm_ud(k));
+    }
+    b.while_(f0());
+    emit_addr(&mut b, p, gid(), 2, 4);
+    b.store(MemSpace::Global, p, bestc);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(26);
+    let points: Vec<f32> = (0..4 * n).map(|_| rng.range_f32(0.0, 10.0)).collect();
+    let centroids: Vec<f32> = (0..4 * k).map(|_| rng.range_f32(0.0, 10.0)).collect();
+    let mut img = MemoryImage::new(32 * n + (1 << 16));
+    let pp = img.alloc_f32(&points);
+    let cp = img.alloc_f32(&centroids);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[pp, cp, op]);
+    Built {
+        name: "Kmeans".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n {
+                let mut best = f32::MAX;
+                let mut bestc = 0u32;
+                for c in 0..k {
+                    let d: f32 = (0..4)
+                        .map(|dim| {
+                            let x = points[(dim * n + g) as usize];
+                            let cx = centroids[(c * 4 + dim) as usize];
+                            (x - cx) * (x - cx)
+                        })
+                        .sum();
+                    if d < best {
+                        best = d;
+                        bestc = c;
+                    }
+                }
+                let got = img.read_u32(op + 4 * g);
+                if got != bestc {
+                    return Err(format!("assign[{g}] = {got}, want {bestc}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Path` (pathfinder): one dynamic-programming row with divergent edge
+/// handling.
+///
+/// Args: 0 = previous row, 1 = wall row, 2 = out, 3 = n.
+pub fn pathfinder(scale: u32) -> Built {
+    let n = 1024 * scale.max(1);
+
+    let mut b = KernelBuilder::new("pathfinder", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (m, side, w) = (ra.vd(), ra.vd(), ra.vd());
+    let q = ra.vud();
+    emit_addr(&mut b, q, gid(), 0, 4);
+    b.load(MemSpace::Global, m, q);
+    // Left neighbor: the running-min update is a *divergent* branch (as in
+    // the Rodinia kernel), taken only where the neighbor is cheaper.
+    b.cmp(CondOp::Gt, FlagReg::F0, gid(), Operand::imm_ud(0));
+    b.if_(f0());
+    b.add(q, q, Operand::imm_d(-4));
+    b.load(MemSpace::Global, side, q);
+    b.cmp(CondOp::Lt, FlagReg::F1, side, m);
+    b.if_(f1());
+    b.mov(m, side);
+    b.end_if();
+    b.end_if();
+    // Right neighbor.
+    b.cmp(CondOp::Lt, FlagReg::F0, gid(), Operand::imm_ud(n - 1));
+    b.if_(f0());
+    emit_addr(&mut b, q, gid(), 0, 4);
+    b.add(q, q, Operand::imm_d(4));
+    b.load(MemSpace::Global, side, q);
+    b.cmp(CondOp::Lt, FlagReg::F1, side, m);
+    b.if_(f1());
+    b.mov(m, side);
+    b.end_if();
+    b.end_if();
+    emit_addr(&mut b, q, gid(), 1, 4);
+    b.load(MemSpace::Global, w, q);
+    b.add(m, m, w);
+    emit_addr(&mut b, q, gid(), 2, 4);
+    b.store(MemSpace::Global, q, m);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(27);
+    let prev: Vec<i32> = (0..n).map(|_| rng.below(100) as i32).collect();
+    let wall: Vec<i32> = (0..n).map(|_| rng.below(10) as i32).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let pp = img.alloc_i32(&prev);
+    let wp = img.alloc_i32(&wall);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[pp, wp, op, n]);
+    Built {
+        name: "Path".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n as usize {
+                let mut m = prev[g];
+                if g > 0 {
+                    m = m.min(prev[g - 1]);
+                }
+                if g < n as usize - 1 {
+                    m = m.min(prev[g + 1]);
+                }
+                let want = m + wall[g];
+                let got = img.read_i32(op + 4 * g as u32);
+                if got != want {
+                    return Err(format!("row[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `Gauss`: one Gaussian-elimination update step with a divergent
+/// active-region guard.
+///
+/// Args: 0 = matrix (N×N f32), 1 = N, 2 = pivot index.
+pub fn gaussian(scale: u32) -> Built {
+    let n = 32 * scale.max(1).next_power_of_two().min(4);
+    let pivot = n / 2 - 3; // off the SIMD16 boundary so the guard diverges within warps
+
+    let mut b = KernelBuilder::new("gaussian", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (r, c, p, q) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (arp, app, apc, arc, mul) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let nn = Operand::scalar(3, 1, iwc_isa::DataType::Ud);
+    let pv = Operand::scalar(3, 2, iwc_isa::DataType::Ud);
+    let logn = n.trailing_zeros();
+    b.shr(r, gid(), Operand::imm_ud(logn));
+    b.and(c, gid(), Operand::imm_ud(n - 1));
+    // Guard: r > pivot && c >= pivot — a divergent triangular active region.
+    b.cmp(CondOp::Gt, FlagReg::F0, r, pv);
+    b.if_(f0());
+    b.cmp(CondOp::Ge, FlagReg::F1, c, pv);
+    b.if_(f1());
+    {
+        let load_elem = |b: &mut KernelBuilder, dst: Operand, row: Operand, col: Operand| {
+            b.mul(p, row, nn);
+            b.add(p, p, col);
+            emit_addr(b, p, p, 0, 4);
+            b.load(MemSpace::Global, dst, p);
+        };
+        load_elem(&mut b, arp, r, pv);
+        load_elem(&mut b, app, pv, pv);
+        load_elem(&mut b, apc, pv, c);
+        load_elem(&mut b, arc, r, c);
+        b.op(Opcode::Fdiv, mul, &[arp, app]);
+        b.mul(mul, mul, apc);
+        b.sub(arc, arc, mul);
+        // Store back to A[r][c]; recompute the address (p was clobbered).
+        b.mul(q, r, nn);
+        b.add(q, q, c);
+        emit_addr(&mut b, q, q, 0, 4);
+        b.store(MemSpace::Global, q, arc);
+    }
+    b.end_if();
+    b.end_if();
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(28);
+    let a: Vec<f32> = (0..n * n).map(|_| rng.range_f32(1.0, 5.0)).collect();
+    let mut img = MemoryImage::new(8 * n * n + (1 << 16));
+    let ap = img.alloc_f32(&a);
+    let launch = Launch::new(program, n * n, WG).with_args(&[ap, n, pivot]);
+    Built {
+        name: "Gauss".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for r in 0..n {
+                for c in 0..n {
+                    let orig = a[(r * n + c) as usize];
+                    let want = if r > pivot && c >= pivot {
+                        let m = a[(r * n + pivot) as usize] / a[(pivot * n + pivot) as usize];
+                        orig - m * a[(pivot * n + c) as usize]
+                    } else {
+                        orig
+                    };
+                    let got = img.read_f32(ap + 4 * (r * n + c));
+                    if (got - want).abs() > 1e-3 {
+                        return Err(format!("A[{r},{c}] = {got}, want {want}"));
+                    }
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `SRD` (SRAD): diffusion-coefficient stencil with divergent clamping.
+///
+/// Args: 0 = image in, 1 = out, 2 = width (power of two).
+pub fn srad(scale: u32) -> Built {
+    let w = 64u32;
+    let h = 16 * scale.max(1);
+    let n = w * h;
+
+    let mut b = KernelBuilder::new("srad", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (x, y, p, q) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (c, nb, g2, coef) = (ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    b.and(x, gid(), Operand::imm_ud(w - 1));
+    b.shr(y, gid(), Operand::imm_ud(w.trailing_zeros()));
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, c, p);
+    b.mov(g2, Operand::imm_f(0.0));
+    for (cond_reg, cond, bound, offs) in [
+        (x, CondOp::Gt, 0u32, -4i32),
+        (x, CondOp::Lt, w - 1, 4),
+        (y, CondOp::Gt, 0, -(4 * w as i32)),
+        (y, CondOp::Lt, h - 1, 4 * w as i32),
+    ] {
+        b.cmp(cond, FlagReg::F0, cond_reg, Operand::imm_ud(bound));
+        b.if_(f0());
+        b.add(q, p, Operand::imm_d(offs));
+        b.load(MemSpace::Global, nb, q);
+        b.sub(nb, nb, c);
+        b.mad(g2, nb, nb, g2);
+        b.end_if();
+    }
+    // coef = 1 / (1 + g2 / (c² + 1e-3)), then divergent clamp to [0, 1].
+    b.mul(coef, c, c);
+    b.add(coef, coef, Operand::imm_f(1e-3));
+    b.op(Opcode::Fdiv, coef, &[g2, coef]);
+    b.add(coef, coef, Operand::imm_f(1.0));
+    b.math(Opcode::Inv, coef, coef);
+    // Edge pixels (coef below threshold) take a smoothing path; flat pixels
+    // take an exponential sharpening path — balanced data-dependent
+    // divergence, as in the SRAD coefficient clamp.
+    b.cmp(CondOp::Lt, FlagReg::F0, coef, Operand::imm_f(0.5));
+    b.if_(f0());
+    b.max(coef, coef, Operand::imm_f(0.2));
+    b.mul(coef, coef, Operand::imm_f(0.9));
+    b.end_if();
+    b.cmp(CondOp::Ge, FlagReg::F0, coef, Operand::imm_f(0.5));
+    b.if_(f0());
+    b.math(Opcode::Log, nb, coef);
+    b.mad(coef, nb, Operand::imm_f(0.05), coef);
+    b.end_if();
+    b.mul(coef, coef, c);
+    emit_addr(&mut b, q, gid(), 1, 4);
+    b.store(MemSpace::Global, q, coef);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(29);
+    let im: Vec<f32> = (0..n).map(|_| rng.range_f32(0.1, 1.0)).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let ip = img.alloc_f32(&im);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[ip, op, w]);
+    Built {
+        name: "SRD".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n {
+                let (x, y) = (g % w, g / w);
+                let c = im[g as usize];
+                let mut g2 = 0f32;
+                let mut add = |gx: i64, gy: i64| {
+                    if gx >= 0 && gx < i64::from(w) && gy >= 0 && gy < i64::from(h) {
+                        let d = im[(gy * i64::from(w) + gx) as usize] - c;
+                        g2 += d * d;
+                    }
+                };
+                add(i64::from(x) - 1, i64::from(y));
+                add(i64::from(x) + 1, i64::from(y));
+                add(i64::from(x), i64::from(y) - 1);
+                add(i64::from(x), i64::from(y) + 1);
+                let mut coef = 1.0 / (1.0 + g2 / (c * c + 1e-3));
+                if coef < 0.5 {
+                    coef = coef.max(0.2) * 0.9;
+                }
+                if coef >= 0.5 {
+                    coef += coef.log2() * 0.05;
+                }
+                let want = coef * c;
+                let got = img.read_f32(op + 4 * g);
+                if (got - want).abs() > 1e-3 {
+                    return Err(format!("srad[{g}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// `EV` (eigenvalue-style bisection): per-lane bisection with data-dependent
+/// trip counts (each lane refines to its own tolerance).
+///
+/// Args: 0 = targets, 1 = tolerances, 2 = out.
+pub fn eigenvalue(scale: u32) -> Built {
+    let n = 512 * scale.max(1);
+
+    let mut b = KernelBuilder::new("eigenvalue", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let p = ra.vud();
+    let (lo, hi, mid, fm, target, eps, width) =
+        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, target, p);
+    emit_addr(&mut b, p, gid(), 1, 4);
+    b.load(MemSpace::Global, eps, p);
+    b.mov(lo, Operand::imm_f(0.0));
+    b.mov(hi, Operand::imm_f(10.0));
+    b.do_();
+    {
+        b.add(mid, lo, hi);
+        b.mul(mid, mid, Operand::imm_f(0.5));
+        // f(mid) = mid³ − target
+        b.mul(fm, mid, mid);
+        b.mul(fm, fm, mid);
+        b.sub(fm, fm, target);
+        // Divergent interval update.
+        b.cmp(CondOp::Lt, FlagReg::F0, fm, Operand::imm_f(0.0));
+        b.if_(f0());
+        b.mov(lo, mid);
+        b.else_();
+        b.mov(hi, mid);
+        b.end_if();
+        b.sub(width, hi, lo);
+        b.cmp(CondOp::Gt, FlagReg::F0, width, eps);
+    }
+    b.while_(f0());
+    b.add(mid, lo, hi);
+    b.mul(mid, mid, Operand::imm_f(0.5));
+    emit_addr(&mut b, p, gid(), 2, 4);
+    b.store(MemSpace::Global, p, mid);
+    let program = b.finish().expect("valid kernel");
+
+    let mut rng = XorShift::new(30);
+    let targets: Vec<f32> = (0..n).map(|_| rng.range_f32(1.0, 900.0)).collect();
+    let tols: Vec<f32> = (0..n).map(|_| 10f32.powi(-(rng.below(5) as i32 + 2))).collect();
+    let mut img = MemoryImage::new(16 * n + (1 << 16));
+    let tp = img.alloc_f32(&targets);
+    let ep = img.alloc_f32(&tols);
+    let op = img.alloc(4 * n);
+    let launch = Launch::new(program, n, WG).with_args(&[tp, ep, op]);
+    Built {
+        name: "EV".into(),
+        launch,
+        img,
+        check: Some(Box::new(move |img| {
+            for g in 0..n as usize {
+                let got = img.read_f32(op + 4 * g as u32);
+                let want = f64::from(targets[g]).cbrt();
+                if (f64::from(got) - want).abs() > f64::from(tols[g]) + 1e-3 {
+                    return Err(format!("root[{g}] = {got}, want ≈{want}"));
+                }
+            }
+            Ok(())
+        })),
+    }
+}
+
+/// Full multi-level BFS driven from the host through a persistent
+/// [`iwc_sim::Gpu`]: one kernel launch per frontier level against warm
+/// caches, exactly how the Rodinia host code drives its kernel. Returns the
+/// per-level [`iwc_sim::SimResult`]s and verifies distances against a host
+/// BFS.
+///
+/// # Errors
+///
+/// Returns an error string when simulation fails or the computed distances
+/// do not match the host reference.
+pub fn bfs_full(
+    scale: u32,
+    cfg: &iwc_sim::GpuConfig,
+) -> Result<Vec<iwc_sim::SimResult>, String> {
+    let n = 512 * scale.max(1);
+    let avg_degree = 4u32;
+    const INF: u32 = u32::MAX;
+
+    // Level kernel: expand `frontier` into `next`, setting distances.
+    // Args: 0 = frontier, 1 = row, 2 = col, 3 = dist, 4 = next, 5 = level+1.
+    let mut b = KernelBuilder::new("bfs-level", SIMD);
+    let mut ra = RegAlloc::new(SIMD);
+    let (p, f, start, end, idx, nb, dv) =
+        (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let one = Operand::imm_ud(1);
+    emit_addr(&mut b, p, gid(), 0, 4);
+    b.load(MemSpace::Global, f, p);
+    b.cmp(CondOp::Ne, FlagReg::F0, f, Operand::imm_ud(0));
+    b.if_(f0());
+    {
+        emit_addr(&mut b, p, gid(), 1, 4);
+        b.load(MemSpace::Global, start, p);
+        b.add(p, p, Operand::imm_ud(4));
+        b.load(MemSpace::Global, end, p);
+        b.mov(idx, start);
+        b.cmp(CondOp::Lt, FlagReg::F1, idx, end);
+        b.if_(f1());
+        b.do_();
+        {
+            emit_addr(&mut b, p, idx, 2, 4);
+            b.load(MemSpace::Global, nb, p);
+            emit_addr(&mut b, p, nb, 3, 4);
+            b.load(MemSpace::Global, dv, p);
+            b.cmp(CondOp::Eq, FlagReg::F1, dv, Operand::imm_ud(INF));
+            b.if_(f1());
+            {
+                b.store(
+                    MemSpace::Global,
+                    p,
+                    Operand::scalar(3, 5, iwc_isa::DataType::Ud),
+                );
+                emit_addr(&mut b, p, nb, 4, 4);
+                b.store(MemSpace::Global, p, one);
+            }
+            b.end_if();
+            b.add(idx, idx, one);
+            b.cmp(CondOp::Lt, FlagReg::F1, idx, end);
+        }
+        b.while_(f1());
+        b.end_if();
+    }
+    b.end_if();
+    let program = b.finish().expect("valid kernel");
+
+    // Graph + host reference BFS from node 0.
+    let mut rng = XorShift::new(71);
+    let mut row = vec![0u32];
+    let mut col = Vec::new();
+    for _ in 0..n {
+        for _ in 0..rng.below(2 * avg_degree) {
+            col.push(rng.below(n));
+        }
+        row.push(col.len() as u32);
+    }
+    let mut want = vec![INF; n as usize];
+    want[0] = 0;
+    let mut frontier_h = vec![0u32];
+    let mut level = 0;
+    while !frontier_h.is_empty() {
+        let mut next_h = Vec::new();
+        for &v in &frontier_h {
+            for e in row[v as usize]..row[v as usize + 1] {
+                let nbr = col[e as usize] as usize;
+                if want[nbr] == INF {
+                    want[nbr] = level + 1;
+                    next_h.push(nbr as u32);
+                }
+            }
+        }
+        frontier_h = next_h;
+        level += 1;
+    }
+
+    // Device buffers.
+    let mut img = MemoryImage::new(8 * (n + col.len() as u32) + 24 * n + (1 << 16));
+    let mut frontier0 = vec![0u32; n as usize];
+    frontier0[0] = 1;
+    let fa = img.alloc_u32(&frontier0);
+    let rp = img.alloc_u32(&row);
+    let cp = img.alloc_u32(&col);
+    let mut dist0 = vec![INF; n as usize];
+    dist0[0] = 0;
+    let dp = img.alloc_u32(&dist0);
+    let fb = img.alloc_u32(&vec![0u32; n as usize]);
+
+    let mut gpu = iwc_sim::Gpu::new(*cfg);
+    let mut results = Vec::new();
+    let (mut cur, mut next) = (fa, fb);
+    for lvl in 0..n {
+        let launch = Launch::new(program.clone(), n, WG)
+            .with_args(&[cur, rp, cp, dp, next, lvl + 1]);
+        let r = gpu.run(&launch, &mut img).map_err(|e| e.to_string())?;
+        results.push(r);
+        // Host side: check whether the next frontier is non-empty, clear the
+        // old one, and swap.
+        let mut any = false;
+        for v in 0..n {
+            if img.read_u32(next + 4 * v) != 0 {
+                any = true;
+            }
+            img.write_u32(cur + 4 * v, 0);
+        }
+        std::mem::swap(&mut cur, &mut next);
+        if !any {
+            break;
+        }
+    }
+
+    for v in 0..n as usize {
+        let got = img.read_u32(dp + 4 * v as u32);
+        if got != want[v] {
+            return Err(format!("dist[{v}] = {got}, want {}", want[v]));
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_sim::GpuConfig;
+
+    fn check_divergent(b: Built) -> f64 {
+        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        r.simd_efficiency()
+    }
+
+    #[test]
+    fn bfs_correct_and_divergent() {
+        let eff = check_divergent(bfs(1));
+        assert!(eff < 0.95, "BFS efficiency {eff:.3} should be divergent");
+    }
+
+    #[test]
+    fn hotspot_correct() {
+        check_divergent(hotspot(1));
+    }
+
+    #[test]
+    fn lavamd_correct_and_divergent() {
+        let eff = check_divergent(lavamd(1));
+        assert!(eff < 0.95, "LavaMD efficiency {eff:.3}");
+    }
+
+    #[test]
+    fn nw_correct() {
+        check_divergent(needleman_wunsch(1));
+    }
+
+    #[test]
+    fn particle_filter_correct_and_divergent() {
+        let eff = check_divergent(particle_filter(1));
+        assert!(eff < 0.95, "Part efficiency {eff:.3}");
+    }
+
+    #[test]
+    fn kmeans_correct() {
+        check_divergent(kmeans(1));
+    }
+
+    #[test]
+    fn pathfinder_correct() {
+        check_divergent(pathfinder(1));
+    }
+
+    #[test]
+    fn gaussian_correct_and_divergent() {
+        let eff = check_divergent(gaussian(1));
+        assert!(eff < 0.95, "Gauss efficiency {eff:.3}");
+    }
+
+    #[test]
+    fn srad_correct() {
+        check_divergent(srad(1));
+    }
+
+    #[test]
+    fn bfs_full_matches_host_reference() {
+        let results = bfs_full(1, &GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(results.len() >= 2, "graph should need multiple levels");
+    }
+
+    #[test]
+    fn eigenvalue_correct_and_divergent() {
+        let eff = check_divergent(eigenvalue(1));
+        assert!(eff < 0.95, "EV efficiency {eff:.3}");
+    }
+}

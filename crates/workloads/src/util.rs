@@ -1,0 +1,174 @@
+//! Common kernel-construction helpers.
+
+use iwc_isa::builder::KernelBuilder;
+use iwc_isa::reg::Operand;
+use iwc_isa::types::DataType;
+
+/// Register allocator for kernel scratch space.
+///
+/// A 32-bit vector value at SIMD16 spans two GRF registers, at SIMD8 one.
+/// The allocator hands out correctly-spaced register numbers starting after
+/// the dispatch ABI area (r0 header, r1-r2 global ids, r3-r4 arguments).
+#[derive(Clone, Debug)]
+pub struct RegAlloc {
+    next: u32,
+    step: u32,
+}
+
+impl RegAlloc {
+    /// Creates an allocator for the given kernel SIMD width, starting at r6.
+    pub fn new(simd_width: u32) -> Self {
+        Self { next: 6, step: (simd_width * 4).div_ceil(32).max(1) }
+    }
+
+    /// Allocates a 32-bit vector register; returns its base GRF number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the 128-register file is exhausted.
+    pub fn alloc(&mut self) -> u8 {
+        let r = self.next;
+        self.next += self.step;
+        assert!(self.next <= 128, "register file exhausted");
+        r as u8
+    }
+
+    /// Allocates a vector of f32.
+    pub fn vf(&mut self) -> Operand {
+        Operand::rf(self.alloc())
+    }
+
+    /// Allocates a vector of u32.
+    pub fn vud(&mut self) -> Operand {
+        Operand::rud(self.alloc())
+    }
+
+    /// Allocates a vector of i32.
+    pub fn vd(&mut self) -> Operand {
+        Operand::rd(self.alloc())
+    }
+}
+
+/// Kernel argument `i` as a broadcast scalar u32 (from the dispatch ABI's
+/// r3/r4 area).
+pub fn arg(i: u8) -> Operand {
+    Operand::scalar(3, i, DataType::Ud)
+}
+
+/// Kernel argument `i` reinterpreted as a broadcast scalar f32.
+pub fn arg_f(i: u8) -> Operand {
+    Operand::scalar(3, i, DataType::F)
+}
+
+/// The per-channel global work-item id (u32).
+pub fn gid() -> Operand {
+    Operand::rud(1)
+}
+
+/// Emits `dst = arg(base_arg) + index * elem_bytes` — the byte address of
+/// element `index` in the buffer passed as argument `base_arg`.
+///
+/// `elem_bytes` must be a power of two.
+pub fn emit_addr(
+    b: &mut KernelBuilder,
+    dst: Operand,
+    index: Operand,
+    base_arg: u8,
+    elem_bytes: u32,
+) {
+    assert!(elem_bytes.is_power_of_two(), "element size must be a power of two");
+    let shift = elem_bytes.trailing_zeros();
+    if shift == 0 {
+        b.add(dst, index, arg(base_arg));
+    } else {
+        b.shl(dst, index, Operand::imm_ud(shift));
+        b.add(dst, dst, arg(base_arg));
+    }
+}
+
+/// Converts an f32 bit pattern to a u32 kernel argument.
+pub fn f32_arg(v: f32) -> u32 {
+    v.to_bits()
+}
+
+/// Deterministic xorshift for reproducible input generation.
+#[derive(Clone, Debug)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform u32 in `[0, bound)`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        (self.next_u64() % u64::from(bound.max(1))) as u32
+    }
+
+    /// Uniform f32 in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.unit_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regalloc_simd16_steps_by_two() {
+        let mut ra = RegAlloc::new(16);
+        assert_eq!(ra.alloc(), 6);
+        assert_eq!(ra.alloc(), 8);
+        let mut ra8 = RegAlloc::new(8);
+        assert_eq!(ra8.alloc(), 6);
+        assert_eq!(ra8.alloc(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "register file exhausted")]
+    fn regalloc_bounds() {
+        let mut ra = RegAlloc::new(16);
+        for _ in 0..62 {
+            ra.alloc();
+        }
+    }
+
+    #[test]
+    fn emit_addr_shifts() {
+        let mut b = KernelBuilder::new("k", 16);
+        let mut ra = RegAlloc::new(16);
+        let a = ra.vud();
+        emit_addr(&mut b, a, gid(), 0, 4);
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 3); // shl, add, eot
+    }
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let v = a.unit_f32();
+        assert!((0.0..1.0).contains(&v));
+        assert!(a.below(10) < 10);
+    }
+}
