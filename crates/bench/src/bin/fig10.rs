@@ -4,9 +4,10 @@
 //! Bars stack the BCC reduction and the additional SCC reduction, exactly
 //! like the paper's figure.
 
+use iwc_bench::runner::{self, parallel_map, Harness};
 use iwc_bench::{bar, pct, run_mode, scale, trace_len};
 use iwc_compaction::{CompactionMode, CompactionTally};
-use iwc_trace::{analyze, corpus};
+use iwc_trace::{analyze_corpus, corpus};
 use iwc_workloads::{catalog, Category};
 
 fn print_row(name: &str, tally: &CompactionTally, src: &str) {
@@ -25,22 +26,27 @@ fn main() {
     println!(
         "== Fig. 10: EU execution-cycle reduction with BCC & SCC (above IVB opt) ==\n"
     );
-    let mut all_bcc = Vec::new();
-    let mut all_scc = Vec::new();
-    for entry in catalog() {
-        if entry.category != Category::Divergent {
-            continue;
-        }
+    let harness = Harness::begin("fig10");
+    let entries: Vec<_> =
+        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let profiles = corpus();
+    let cells = entries.len() + profiles.len();
+
+    let sim_rows = parallel_map(&entries, |entry| {
         let built = (entry.build)(scale());
         let r = run_mode(&built, CompactionMode::IvyBridge);
-        let t = r.compute_tally();
-        print_row(entry.name, t, "sim");
+        (entry.name, r.compute_tally().clone())
+    });
+
+    let mut all_bcc = Vec::new();
+    let mut all_scc = Vec::new();
+    for (name, t) in &sim_rows {
+        print_row(name, t, "sim");
         all_bcc.push(t.reduction_vs_ivb(CompactionMode::Bcc));
         all_scc.push(t.reduction_vs_ivb(CompactionMode::Scc));
     }
-    for profile in corpus() {
-        let report = analyze(&profile.generate(trace_len()));
-        print_row(profile.name, &report.tally, "trace");
+    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
+        print_row(&report.name, &report.tally, "trace");
         all_bcc.push(report.reduction(CompactionMode::Bcc));
         all_scc.push(report.reduction(CompactionMode::Scc));
     }
@@ -54,4 +60,5 @@ fn main() {
         pct(max(&all_scc))
     );
     println!("paper: up to 42% reduction, ~20% average for divergent applications");
+    harness.finish(cells);
 }

@@ -7,6 +7,7 @@
 //! below the EU-cycle gain because the data cluster saturates; doubling the
 //! bandwidth (DC2) recovers ~90 % of the EU-cycle gain.
 
+use iwc_bench::runner::{parallel_map, Harness};
 use iwc_bench::{cycle_reduction, pct, print_config, scale};
 use iwc_compaction::CompactionMode;
 use iwc_sim::GpuConfig;
@@ -29,6 +30,7 @@ fn rt_set(scale: u32) -> Vec<Built> {
 
 fn main() {
     println!("== Fig. 11: ray tracing — total vs EU cycle reduction, DC1/DC2 ==\n");
+    let harness = Harness::begin("fig11");
     print_config(&GpuConfig::paper_default());
     println!(
         "\n{:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
@@ -43,36 +45,40 @@ fn main() {
         "dcBCC",
         "dcSCC"
     );
-    for built in rt_set(scale()) {
-        let run = |mode: CompactionMode, dc: f64| {
-            let cfg = GpuConfig::paper_default().with_compaction(mode).with_dc_bandwidth(dc);
-            built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
+    let builts = rt_set(scale());
+    let cells = builts.len();
+    let modes = [CompactionMode::IvyBridge, CompactionMode::Bcc, CompactionMode::Scc];
+    let rows = parallel_map(&builts, |built| {
+        let sweep = |dc: f64| {
+            built
+                .run_modes(&GpuConfig::paper_default().with_dc_bandwidth(dc), &modes)
+                .unwrap_or_else(|e| panic!("{e}"))
         };
-        let base1 = run(CompactionMode::IvyBridge, 1.0);
-        let bcc1 = run(CompactionMode::Bcc, 1.0);
-        let scc1 = run(CompactionMode::Scc, 1.0);
-        let base2 = run(CompactionMode::IvyBridge, 2.0);
-        let bcc2 = run(CompactionMode::Bcc, 2.0);
-        let scc2 = run(CompactionMode::Scc, 2.0);
+        let dc1 = sweep(1.0);
+        let dc2 = sweep(2.0);
         // EU-cycle reduction is a property of the mask stream (identical
         // across the runs); take it from the baseline run's tally.
-        let t = base1.compute_tally();
-        println!(
+        let t = dc1[0].compute_tally();
+        format!(
             "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7.2} {:>7.2} {:>7.2}",
             built.name,
-            pct(cycle_reduction(&base1, &bcc1)),
-            pct(cycle_reduction(&base1, &scc1)),
-            pct(cycle_reduction(&base2, &bcc2)),
-            pct(cycle_reduction(&base2, &scc2)),
+            pct(cycle_reduction(&dc1[0], &dc1[1])),
+            pct(cycle_reduction(&dc1[0], &dc1[2])),
+            pct(cycle_reduction(&dc2[0], &dc2[1])),
+            pct(cycle_reduction(&dc2[0], &dc2[2])),
             pct(t.reduction_vs_ivb(CompactionMode::Bcc)),
             pct(t.reduction_vs_ivb(CompactionMode::Scc)),
-            base1.dc_throughput(),
-            bcc1.dc_throughput(),
-            scc1.dc_throughput(),
-        );
+            dc1[0].dc_throughput(),
+            dc1[1].dc_throughput(),
+            dc1[2].dc_throughput(),
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\npaper: DC1 realizes only part of the EU gain (data cluster saturates near \
          1 line/cycle); DC2 realizes ~90% of it"
     );
+    harness.finish(cells);
 }

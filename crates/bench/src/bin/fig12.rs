@@ -6,6 +6,7 @@
 //! wall-clock benefit even from a perfect L3; compute-bound kernels realize
 //! most of the EU-cycle gain.
 
+use iwc_bench::runner::{parallel_map, Harness};
 use iwc_bench::{cycle_reduction, pct, print_config, scale};
 use iwc_compaction::CompactionMode;
 use iwc_sim::GpuConfig;
@@ -23,38 +24,42 @@ fn rodinia_set(scale: u32) -> Vec<Built> {
 
 fn main() {
     println!("== Fig. 12: Rodinia — total vs EU cycle reduction, 128KB vs perfect L3 ==\n");
+    let harness = Harness::begin("fig12");
     print_config(&GpuConfig::paper_default());
     println!(
         "\n{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
         "kernel", "bccTot", "sccTot", "bccTotPL3", "sccTotPL3", "bccEU", "sccEU"
     );
-    for built in rodinia_set(scale()) {
-        let run = |mode: CompactionMode, perfect: bool| {
-            let cfg =
-                GpuConfig::paper_default().with_compaction(mode).with_perfect_l3(perfect);
-            built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
+    let builts = rodinia_set(scale());
+    let cells = builts.len();
+    let modes = [CompactionMode::IvyBridge, CompactionMode::Bcc, CompactionMode::Scc];
+    let rows = parallel_map(&builts, |built| {
+        let sweep = |perfect: bool| {
+            built
+                .run_modes(&GpuConfig::paper_default().with_perfect_l3(perfect), &modes)
+                .unwrap_or_else(|e| panic!("{e}"))
         };
-        let base = run(CompactionMode::IvyBridge, false);
-        let bcc = run(CompactionMode::Bcc, false);
-        let scc = run(CompactionMode::Scc, false);
-        let base_p = run(CompactionMode::IvyBridge, true);
-        let bcc_p = run(CompactionMode::Bcc, true);
-        let scc_p = run(CompactionMode::Scc, true);
-        let t = base.compute_tally();
-        println!(
+        let real = sweep(false);
+        let perf = sweep(true);
+        let t = real[0].compute_tally();
+        format!(
             "{:<16} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
             built.name,
-            pct(cycle_reduction(&base, &bcc)),
-            pct(cycle_reduction(&base, &scc)),
-            pct(cycle_reduction(&base_p, &bcc_p)),
-            pct(cycle_reduction(&base_p, &scc_p)),
+            pct(cycle_reduction(&real[0], &real[1])),
+            pct(cycle_reduction(&real[0], &real[2])),
+            pct(cycle_reduction(&perf[0], &perf[1])),
+            pct(cycle_reduction(&perf[0], &perf[2])),
             pct(t.reduction_vs_ivb(CompactionMode::Bcc)),
             pct(t.reduction_vs_ivb(CompactionMode::Scc)),
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!(
         "\npaper: EU-cycle savings average 18% (BCC) / 21% (SCC) for this set, but \
          total-time gains are smaller; BFS is memory-bound and gains little even \
          with a perfect L3"
     );
+    harness.finish(cells);
 }

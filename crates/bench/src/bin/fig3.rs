@@ -5,24 +5,29 @@
 //! the trace-only corpus (LuxMark, GLBench, Face-Detection, …) is analyzed
 //! from synthetic mask traces (see DESIGN.md substitutions).
 
+use iwc_bench::runner::{self, parallel_map, Harness};
 use iwc_bench::{bar, run_mode, scale, trace_len};
 use iwc_compaction::CompactionMode;
-use iwc_trace::{analyze, corpus};
+use iwc_trace::{analyze_corpus, corpus};
 use iwc_workloads::catalog;
 
 fn main() {
     println!("== Fig. 3: SIMD efficiency, coherent/divergent split ==\n");
-    let mut rows: Vec<(String, f64, &'static str)> = Vec::new();
+    let harness = Harness::begin("fig3");
+    let entries = catalog();
+    let profiles = corpus();
+    let cells = entries.len() + profiles.len();
 
-    for entry in catalog() {
+    let mut rows: Vec<(String, f64, &'static str)> = parallel_map(&entries, |entry| {
         let built = (entry.build)(scale());
         let r = run_mode(&built, CompactionMode::IvyBridge);
-        rows.push((entry.name.to_string(), r.simd_efficiency(), "sim"));
-    }
-    for profile in corpus() {
-        let report = analyze(&profile.generate(trace_len()));
-        rows.push((profile.name.to_string(), report.simd_efficiency(), "trace"));
-    }
+        (entry.name.to_string(), r.simd_efficiency(), "sim")
+    });
+    rows.extend(
+        analyze_corpus(&profiles, trace_len(), runner::threads())
+            .into_iter()
+            .map(|report| (report.name.clone(), report.simd_efficiency(), "trace")),
+    );
 
     // Present like the figure: divergent block first (ascending efficiency),
     // then the coherent block.
@@ -44,4 +49,5 @@ fn main() {
         divergent.len(),
         coherent.len()
     );
+    harness.finish(cells);
 }

@@ -2,9 +2,10 @@
 //! divergent workloads — the fraction of instructions in each active-lane
 //! bucket (1-4/16, 5-8/16, 9-12/16, 13-16/16, 1-4/8, 5-8/8).
 
+use iwc_bench::runner::{self, parallel_map, Harness};
 use iwc_bench::{run_mode, scale, trace_len};
 use iwc_compaction::{CompactionMode, UtilBucket};
-use iwc_trace::{analyze, corpus};
+use iwc_trace::{analyze_corpus, corpus};
 use iwc_workloads::{catalog, Category};
 
 fn print_row(name: &str, buckets: &[(UtilBucket, f64); 7], src: &str) {
@@ -17,26 +18,32 @@ fn print_row(name: &str, buckets: &[(UtilBucket, f64); 7], src: &str) {
 
 fn main() {
     println!("== Fig. 9: SIMD utilization breakdown (divergent workloads) ==\n");
+    let harness = Harness::begin("fig9");
     print!("{:<22}", "workload");
     for b in UtilBucket::ALL.iter().take(6) {
         print!(" {:>9}", b.label());
     }
     println!();
 
-    for entry in catalog() {
-        if entry.category != Category::Divergent {
-            continue;
-        }
+    let entries: Vec<_> =
+        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let profiles = corpus();
+    let cells = entries.len() + profiles.len();
+
+    let sim_rows = parallel_map(&entries, |entry| {
         let built = (entry.build)(scale());
         let r = run_mode(&built, CompactionMode::IvyBridge);
-        print_row(entry.name, &r.eu.simd_tally.bucket_fractions(), "sim");
+        (entry.name, r.eu.simd_tally.bucket_fractions())
+    });
+    for (name, buckets) in &sim_rows {
+        print_row(name, buckets, "sim");
     }
-    for profile in corpus() {
-        let report = analyze(&profile.generate(trace_len()));
-        print_row(profile.name, &report.buckets(), "trace");
+    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
+        print_row(&report.name, &report.buckets(), "trace");
     }
     println!(
         "\ncompaction potential: 1-4/16 saves 3 cycles, 5-8/16 saves 2, 9-12/16 saves 1, \
          1-4/8 saves 1; 13-16/16 and 5-8/8 save none (paper §5.3)"
     );
+    harness.finish(cells);
 }

@@ -5,6 +5,7 @@
 //! the exact leaf-path masks, and GPGenSim-style simulation of the nested
 //! micro-benchmark kernel.
 
+use iwc_bench::runner::{parallel_map, Harness};
 use iwc_bench::{pct, print_config, run_mode, scale};
 use iwc_compaction::{execution_cycles, CompactionMode};
 use iwc_isa::{DataType, ExecMask};
@@ -30,6 +31,7 @@ fn leaf_masks(level: u32) -> Vec<ExecMask> {
 
 fn main() {
     println!("== Table 2: nested-branch benefit of IVB / BCC / SCC ==\n");
+    let harness = Harness::begin("table2");
     println!("-- analytic cycle model over the leaf-path masks --");
     println!(
         "{:<6} {:<28} {:>12} {:>12} {:>12}",
@@ -74,13 +76,18 @@ fn main() {
         "{:<6} {:>12} {:>12} {:>12} {:>14}",
         "level", "base cyc", "ivb cyc", "bcc cyc", "scc cyc"
     );
-    for level in 1..=4u32 {
+    let levels = [1u32, 2, 3, 4];
+    let rows = parallel_map(&levels, |&level| {
         let built = nested_branches(level, scale());
         let cycles: Vec<u64> =
             CompactionMode::ALL.iter().map(|&m| run_mode(&built, m).cycles).collect();
+        (level, cycles)
+    });
+    for (level, cycles) in rows {
         println!(
             "L{:<5} {:>12} {:>12} {:>12} {:>14}",
             level, cycles[0], cycles[1], cycles[2], cycles[3]
         );
     }
+    harness.finish(levels.len());
 }

@@ -2,40 +2,55 @@
 //! max/average EU-cycle reductions (simulated and trace-based) and
 //! execution-time reductions under DC1 and DC2.
 
+use iwc_bench::runner::{self, parallel_map, Harness};
 use iwc_bench::{cycle_reduction, pct, scale, trace_len, MaxAvg};
 use iwc_compaction::CompactionMode;
 use iwc_sim::GpuConfig;
-use iwc_trace::{analyze, corpus};
+use iwc_trace::{analyze_corpus, corpus};
 use iwc_workloads::{catalog, Category};
 
 fn main() {
     println!("== Table 4: summary of BCC and SCC benefits (divergent workloads) ==\n");
-    let (mut sim_bcc, mut sim_scc) = (MaxAvg::default(), MaxAvg::default());
-    let (mut tr_bcc, mut tr_scc) = (MaxAvg::default(), MaxAvg::default());
-    let (mut dc1_bcc, mut dc1_scc) = (MaxAvg::default(), MaxAvg::default());
-    let (mut dc2_bcc, mut dc2_scc) = (MaxAvg::default(), MaxAvg::default());
+    let harness = Harness::begin("table4");
+    let entries: Vec<_> =
+        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let profiles = corpus();
+    let cells = entries.len() + profiles.len();
 
-    for entry in catalog() {
-        if entry.category != Category::Divergent {
-            continue;
-        }
+    // One cell per divergent workload: [sim_bcc, sim_scc, dc1_bcc, dc1_scc,
+    // dc2_bcc, dc2_scc] reductions, aggregated in catalog order below.
+    let sim_cells = parallel_map(&entries, |entry| {
         let built = (entry.build)(scale());
         let run = |mode: CompactionMode, dc: f64| {
             let cfg = GpuConfig::paper_default().with_compaction(mode).with_dc_bandwidth(dc);
             built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
         };
         let base1 = run(CompactionMode::IvyBridge, 1.0);
-        let t = base1.compute_tally();
-        sim_bcc.add(t.reduction_vs_ivb(CompactionMode::Bcc));
-        sim_scc.add(t.reduction_vs_ivb(CompactionMode::Scc));
-        dc1_bcc.add(cycle_reduction(&base1, &run(CompactionMode::Bcc, 1.0)));
-        dc1_scc.add(cycle_reduction(&base1, &run(CompactionMode::Scc, 1.0)));
         let base2 = run(CompactionMode::IvyBridge, 2.0);
-        dc2_bcc.add(cycle_reduction(&base2, &run(CompactionMode::Bcc, 2.0)));
-        dc2_scc.add(cycle_reduction(&base2, &run(CompactionMode::Scc, 2.0)));
+        let t = base1.compute_tally();
+        [
+            t.reduction_vs_ivb(CompactionMode::Bcc),
+            t.reduction_vs_ivb(CompactionMode::Scc),
+            cycle_reduction(&base1, &run(CompactionMode::Bcc, 1.0)),
+            cycle_reduction(&base1, &run(CompactionMode::Scc, 1.0)),
+            cycle_reduction(&base2, &run(CompactionMode::Bcc, 2.0)),
+            cycle_reduction(&base2, &run(CompactionMode::Scc, 2.0)),
+        ]
+    });
+
+    let (mut sim_bcc, mut sim_scc) = (MaxAvg::default(), MaxAvg::default());
+    let (mut tr_bcc, mut tr_scc) = (MaxAvg::default(), MaxAvg::default());
+    let (mut dc1_bcc, mut dc1_scc) = (MaxAvg::default(), MaxAvg::default());
+    let (mut dc2_bcc, mut dc2_scc) = (MaxAvg::default(), MaxAvg::default());
+    for cell in &sim_cells {
+        sim_bcc.add(cell[0]);
+        sim_scc.add(cell[1]);
+        dc1_bcc.add(cell[2]);
+        dc1_scc.add(cell[3]);
+        dc2_bcc.add(cell[4]);
+        dc2_scc.add(cell[5]);
     }
-    for profile in corpus() {
-        let report = analyze(&profile.generate(trace_len()));
+    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
         tr_bcc.add(report.reduction(CompactionMode::Bcc));
         tr_scc.add(report.reduction(CompactionMode::Scc));
     }
@@ -63,4 +78,5 @@ fn main() {
     println!("  Traces EU cycles            bcc 31%/12%  scc 42%/18%");
     println!("  Execution time (DC1)        bcc 21%/ 5%  scc 21%/ 7%");
     println!("  Execution time (DC2)        bcc 28%/12%  scc 36%/18%");
+    harness.finish(cells);
 }

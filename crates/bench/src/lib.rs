@@ -22,22 +22,54 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod runner;
+
 use iwc_compaction::CompactionMode;
 use iwc_sim::{GpuConfig, SimResult};
 use iwc_workloads::Built;
 
+/// Emits `msg` to stderr once per `key` per process — the env knobs are
+/// read once per cell, and a malformed value should not warn once per cell.
+pub(crate) fn warn_once(key: &str, msg: &str) {
+    use std::sync::Mutex;
+    static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let mut warned = WARNED.lock().expect("warn_once poisoned");
+    if !warned.iter().any(|k| k == key) {
+        warned.push(key.to_string());
+        eprintln!("{msg}");
+    }
+}
+
+/// Reads an environment knob, warning on stderr (instead of silently
+/// defaulting) when the value is present but unparsable.
+fn env_knob<T>(key: &str, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    match std::env::var(key) {
+        Ok(v) => match v.trim().parse() {
+            Ok(x) => x,
+            Err(_) => {
+                warn_once(
+                    key,
+                    &format!("warning: ignoring malformed {key}={v:?}; using default {default}"),
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 /// Problem-size scale from `IWC_SCALE` (default 1).
 pub fn scale() -> u32 {
-    std::env::var("IWC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    env_knob("IWC_SCALE", 1)
 }
 
 /// Synthetic trace length from `IWC_TRACE_LEN` (default
 /// [`iwc_trace::synth::DEFAULT_TRACE_LEN`]).
 pub fn trace_len() -> usize {
-    std::env::var("IWC_TRACE_LEN")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(iwc_trace::synth::DEFAULT_TRACE_LEN)
+    env_knob("IWC_TRACE_LEN", iwc_trace::synth::DEFAULT_TRACE_LEN)
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -141,6 +173,15 @@ mod tests {
         assert_eq!(bar(0.5, 4), "##..");
         assert_eq!(bar(2.0, 3), "###");
         assert_eq!(bar(-1.0, 3), "...");
+    }
+
+    #[test]
+    fn env_knob_falls_back_with_warning_on_malformed() {
+        std::env::set_var("IWC_TEST_KNOB_OK", "7");
+        assert_eq!(env_knob("IWC_TEST_KNOB_OK", 1u32), 7);
+        std::env::set_var("IWC_TEST_KNOB_BAD", "abc");
+        assert_eq!(env_knob("IWC_TEST_KNOB_BAD", 3u32), 3);
+        assert_eq!(env_knob("IWC_TEST_KNOB_UNSET", 5u32), 5);
     }
 
     #[test]

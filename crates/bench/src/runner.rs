@@ -1,0 +1,264 @@
+//! Deterministic parallel fan-out for evaluation cells.
+//!
+//! The paper's evaluation is a grid of independent *cells* — (workload ×
+//! compaction mode × machine config) simulations or (profile × trace)
+//! analyses. [`parallel_map`] fans those cells out over a std-only
+//! `thread::scope` pool sized by the `IWC_THREADS` environment variable,
+//! while keeping the result vector in input order, so harness stdout is
+//! byte-identical whatever the thread count (the determinism test in
+//! `crates/bench/tests/determinism.rs` enforces this).
+//!
+//! [`Harness`] wraps a binary's cell sweep with wall-clock timing and
+//! appends a machine-readable run record to `results/bench_<name>.json`
+//! (schema documented in DESIGN.md), giving the repo a perf trajectory
+//! across commits and thread counts. All harness bookkeeping goes to
+//! stderr and the results file — never stdout.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker-pool size: `IWC_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism. Malformed values earn a
+/// stderr warning and fall back to the default (never silently).
+pub fn threads() -> usize {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("IWC_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => {
+                crate::warn_once(
+                    "IWC_THREADS",
+                    &format!(
+                        "warning: ignoring malformed IWC_THREADS={v:?} (want a positive \
+                         integer); using {default}"
+                    ),
+                );
+                default
+            }
+            Ok(n) => n,
+        },
+        Err(_) => default,
+    }
+}
+
+/// Maps `f` over `items` on a [`threads`]-sized scoped worker pool,
+/// returning results in input order regardless of completion order.
+///
+/// Work is claimed by atomic index so imbalanced cells (a heavy raytrace
+/// next to a trivial microbenchmark) don't idle workers. With one thread —
+/// or one item — this degenerates to a plain serial map, bypassing the
+/// pool entirely.
+///
+/// # Panics
+///
+/// A panicking cell propagates out of the scope, like the serial loop it
+/// replaces.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let pool = threads().min(items.len());
+    if pool <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..pool {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell produced a result")
+        })
+        .collect()
+}
+
+/// One timed run record inside a `bench_<name>.json` report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Pool size the run used.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the whole cell sweep.
+    pub wall_ms: f64,
+    /// Number of cells the sweep ran.
+    pub cells: usize,
+}
+
+/// Wall-clock scope for one harness binary's cell sweep.
+///
+/// ```no_run
+/// let h = iwc_bench::runner::Harness::begin("table4");
+/// // ... parallel_map over the evaluation cells, print rows ...
+/// h.finish(26);
+/// ```
+pub struct Harness {
+    name: String,
+    threads: usize,
+    start: Instant,
+}
+
+impl Harness {
+    /// Starts timing a sweep named `name` (the `bench_<name>.json` stem).
+    pub fn begin(name: &str) -> Self {
+        Harness {
+            name: name.to_string(),
+            threads: threads(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and merges this run into
+    /// `results/bench_<name>.json` (directory overridable via
+    /// `IWC_RESULTS_DIR`). Failures to write are reported on stderr, never
+    /// fatal — perf bookkeeping must not break result generation.
+    pub fn finish(self, cells: usize) {
+        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let record = RunRecord { threads: self.threads, wall_ms, cells };
+        let path = results_dir().join(format!("bench_{}.json", self.name));
+        let mut runs = read_runs(&path);
+        runs.retain(|r| r.threads != record.threads);
+        runs.push(record);
+        runs.sort_by_key(|r| r.threads);
+        let json = render_report(&self.name, &runs);
+        if let Err(e) = fs::create_dir_all(results_dir()).and_then(|()| fs::write(&path, json)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        eprintln!(
+            "[bench] {}: {} cells on {} thread(s) in {:.1} ms -> {}",
+            self.name,
+            cells,
+            self.threads,
+            wall_ms,
+            path.display()
+        );
+    }
+}
+
+fn results_dir() -> PathBuf {
+    std::env::var_os("IWC_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Parses the run records back out of a previously written report. The
+/// writer puts one run object per line, so a line-oriented scan suffices —
+/// there is deliberately no JSON dependency in this workspace.
+fn read_runs(path: &std::path::Path) -> Vec<RunRecord> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(parse_run_line).collect()
+}
+
+fn parse_run_line(line: &str) -> Option<RunRecord> {
+    let mut threads = None;
+    let mut wall_ms = None;
+    let mut cells = None;
+    for field in line.trim().trim_start_matches('{').trim_end_matches([',', '}', ' ']).split(',') {
+        let (key, value) = field.split_once(':')?;
+        let value = value.trim().trim_end_matches('}').trim();
+        match key.trim().trim_matches('"') {
+            "threads" => threads = value.parse().ok(),
+            "wall_ms" => wall_ms = value.parse().ok(),
+            "cells" => cells = value.parse().ok(),
+            _ => return None,
+        }
+    }
+    Some(RunRecord { threads: threads?, wall_ms: wall_ms?, cells: cells? })
+}
+
+fn render_report(name: &str, runs: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"name\": \"{name}\",\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"wall_ms\": {:.2}, \"cells\": {} }}{comma}\n",
+            r.threads, r.wall_ms, r.cells
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(speedup) = speedup_vs_single(runs) {
+        out.push_str(&format!(",\n  \"speedup_vs_1_thread\": {speedup:.2}\n"));
+    } else {
+        out.push('\n');
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Best multi-thread speedup over the recorded single-thread run, if both
+/// sides exist.
+fn speedup_vs_single(runs: &[RunRecord]) -> Option<f64> {
+    let single = runs.iter().find(|r| r.threads == 1)?.wall_ms;
+    let best = runs
+        .iter()
+        .filter(|r| r.threads > 1)
+        .map(|r| r.wall_ms)
+        .min_by(f64::total_cmp)?;
+    (best > 0.0).then(|| single / best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        // Uneven per-item work to force out-of-order completion.
+        let out = parallel_map(&items, |&x| {
+            if x % 17 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn run_line_roundtrip() {
+        let r = RunRecord { threads: 4, wall_ms: 123.45, cells: 26 };
+        let line = format!(
+            "    {{ \"threads\": {}, \"wall_ms\": {:.2}, \"cells\": {} }},",
+            r.threads, r.wall_ms, r.cells
+        );
+        assert_eq!(parse_run_line(&line), Some(r));
+        assert_eq!(parse_run_line("  \"name\": \"table4\","), None);
+        assert_eq!(parse_run_line("{"), None);
+    }
+
+    #[test]
+    fn report_merges_and_reports_speedup() {
+        let runs = vec![
+            RunRecord { threads: 1, wall_ms: 800.0, cells: 10 },
+            RunRecord { threads: 4, wall_ms: 200.0, cells: 10 },
+        ];
+        let text = render_report("demo", &runs);
+        assert!(text.contains("\"speedup_vs_1_thread\": 4.00"), "{text}");
+        let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
+        assert_eq!(parsed, runs);
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end determinism of the parallel harness: the figure/table
+//! binaries must emit byte-identical stdout regardless of `IWC_THREADS`.
+//!
+//! Harness bookkeeping (the `[bench] ...` line and `results/bench_*.json`)
+//! goes to stderr and the results directory only, so stdout is a pure
+//! function of the workload suite.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iwc-determinism-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch results dir");
+    dir
+}
+
+fn run(exe: &str, threads: &str, results: &PathBuf) -> Output {
+    let out = Command::new(exe)
+        .env("IWC_THREADS", threads)
+        .env("IWC_RESULTS_DIR", results)
+        .env("IWC_TRACE_LEN", "2000")
+        .output()
+        .expect("spawn harness binary");
+    assert!(
+        out.status.success(),
+        "{exe} (IWC_THREADS={threads}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn assert_stdout_thread_invariant(exe: &str, tag: &str) {
+    let dir = scratch_dir(tag);
+    let serial = run(exe, "1", &dir);
+    let parallel = run(exe, "8", &dir);
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "{exe} stdout must be byte-identical for IWC_THREADS=1 vs 8"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn table2_stdout_is_thread_count_invariant() {
+    assert_stdout_thread_invariant(env!("CARGO_BIN_EXE_table2"), "table2");
+}
+
+/// The full Table 4 sweep (26 divergent workloads x 7 simulator runs, twice).
+/// Too slow for the debug-profile test suite, so it is ignored there; it runs
+/// under `cargo test --release` or `cargo test -- --ignored`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs the full Table 4 sweep twice; use --release")]
+fn table4_stdout_is_thread_count_invariant() {
+    assert_stdout_thread_invariant(env!("CARGO_BIN_EXE_table4"), "table4");
+}

@@ -48,5 +48,5 @@ pub use energy::EnergyModel;
 pub use interwarp::{compact_masks, evaluate_group, CompactedGroup, InterWarpStats};
 pub use microop::{expand, Expansion, MicroOp, RegHalf};
 pub use rf::{RfModel, RfOrganization};
-pub use scc::{CrossbarControl, LaneSlot, QuadSwizzle, SccSchedule};
+pub use scc::{CrossbarControl, LaneSlot, QuadSwizzle, SccCost, SccSchedule, MAX_SCC_CYCLES};
 pub use tally::{CompactionTally, UtilBucket};

@@ -12,11 +12,32 @@
 //! from") a *surplus* lane — one whose queue is longer than the optimal cycle
 //! count. The worked example of Fig. 7 (mask `0xAAAA`) is reproduced in the
 //! tests below.
+//!
+//! # Fast path
+//!
+//! Real hardware evaluates these settings between decode and issue, so the
+//! simulator hits [`SccSchedule::compute`] once per executed instruction.
+//! Two layers make that hit O(1):
+//!
+//! * the schedule itself is allocation-free — a fixed `[CycleSlots; 8]`
+//!   array (8 = SIMD32 / 4 is the cycle-count ceiling), making
+//!   [`SccSchedule`] `Copy`;
+//! * schedules are memoized process-wide: widths ≤ 16 share a lazy
+//!   65,536-entry table behind a [`OnceLock`] (the schedule for a given bit
+//!   pattern is width-independent — empty high quads contribute nothing),
+//!   and SIMD32 masks go through a bounded per-thread cache.
+//!
+//! [`SccSchedule::compute_reference`] keeps the original literal
+//! transcription of Fig. 6 (per-lane `VecDeque`s); the equivalence of the
+//! two implementations is enforced exhaustively over all SIMD16 masks in
+//! `crates/compaction/tests/scc_cache.rs`.
 
 use iwc_isa::mask::{ExecMask, QUAD};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// What one hardware ALU lane executes in one compressed cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -59,6 +80,9 @@ impl LaneSlot {
 
 /// One compressed execution cycle: the four ALU lane assignments.
 pub type CycleSlots = [LaneSlot; QUAD as usize];
+
+/// Upper bound on compressed cycles per instruction (SIMD32 / 4).
+pub const MAX_SCC_CYCLES: usize = (iwc_isa::mask::MAX_WIDTH / QUAD) as usize;
 
 /// Crossbar settings of one source quad for one cycle (Fig. 5(c)): which
 /// bus positions this quad drives and from which of its four input lanes.
@@ -112,25 +136,190 @@ impl CrossbarControl {
 }
 
 /// The complete SCC schedule for one instruction's execution mask.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Allocation-free and `Copy`: cycles live in a fixed array sized for the
+/// SIMD32 worst case, so memoized schedules are returned by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SccSchedule {
     mask: ExecMask,
-    cycles: Vec<CycleSlots>,
-    swizzle_count: u32,
+    cycles: [CycleSlots; MAX_SCC_CYCLES],
+    len: u8,
+    swizzle_count: u8,
     bcc_like: bool,
 }
 
+/// The O(1) cost summary of an SCC schedule: what per-instruction
+/// accounting ([`crate::CompactionTally::add`], the simulator's issue path)
+/// actually needs, without touching the per-cycle lane assignments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SccCost {
+    /// Compressed execution cycles (= `waves(mask, Scc)`).
+    pub cycles: u8,
+    /// Channels routed through the swizzle crossbar.
+    pub swizzles: u8,
+    /// True when empty-quad skipping sufficed (no swizzle hardware used).
+    pub bcc_like: bool,
+}
+
+impl SccCost {
+    /// The SCC cost for `mask`, served from the schedule memo tables.
+    pub fn of(mask: ExecMask) -> Self {
+        let s = SccSchedule::compute(mask);
+        SccCost {
+            cycles: s.len,
+            swizzles: s.swizzle_count,
+            bcc_like: s.bcc_like,
+        }
+    }
+}
+
+/// Lazy process-wide table of schedules for all bit patterns of widths ≤ 16.
+///
+/// The Fig. 6 algorithm only looks at per-quad bit groups, and a quad with
+/// no active channels contributes nothing to any queue, so the schedule for
+/// a bit pattern is identical for every width ≤ 16; one 2^16-entry table
+/// serves them all (the stored `mask` is fixed up on retrieval).
+fn simd16_table() -> &'static [OnceLock<SccSchedule>] {
+    static TABLE: OnceLock<Box<[OnceLock<SccSchedule>]>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..=u16::MAX as usize).map(|_| OnceLock::new()).collect())
+}
+
+/// Bounded per-thread cache for SIMD32 schedules (2^32 bit patterns rule
+/// out an exhaustive table). Cleared wholesale when full: real instruction
+/// streams cycle through a small working set of masks, so a reset is rare
+/// and the next few instructions simply repopulate it.
+const SIMD32_CACHE_CAP: usize = 1 << 13;
+
+thread_local! {
+    static SIMD32_CACHE: RefCell<HashMap<u32, SccSchedule>> =
+        RefCell::new(HashMap::with_capacity(1024));
+}
+
 impl SccSchedule {
-    /// Computes the SCC settings for `mask` (Fig. 6 algorithm).
+    /// Computes the SCC settings for `mask` (Fig. 6 algorithm), served from
+    /// the process-wide memo tables (see the module docs).
     ///
     /// An all-disabled mask yields a single fully-disabled cycle (the
     /// instruction still flows down the pipe).
     pub fn compute(mask: ExecMask) -> Self {
+        if mask.width() <= 16 {
+            let entry = simd16_table()[mask.bits() as usize]
+                .get_or_init(|| Self::compute_uncached(ExecMask::new(mask.bits(), 16)));
+            let mut s = *entry;
+            s.mask = mask;
+            s
+        } else {
+            SIMD32_CACHE.with(|cache| {
+                let mut cache = cache.borrow_mut();
+                if let Some(s) = cache.get(&mask.bits()) {
+                    return *s;
+                }
+                let s = Self::compute_uncached(mask);
+                if cache.len() >= SIMD32_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.insert(mask.bits(), s);
+                s
+            })
+        }
+    }
+
+    /// Computes the SCC settings for `mask` without consulting the memo
+    /// tables. Allocation-free: per-lane quad queues are fixed arrays.
+    pub fn compute_uncached(mask: ExecMask) -> Self {
         let quad_count = mask.quad_count();
         // Optimal cycles: ceil(active lanes / 4), at least 1.
         let a_ln_cnt = mask.active_channels();
         let o_cyc_cnt = a_ln_cnt.div_ceil(QUAD).max(1);
         // Active quad count (the BCC cycle count).
+        let a_q_cnt = mask.active_quads().max(1);
+
+        let mut cycles = [[LaneSlot::Disabled; QUAD as usize]; MAX_SCC_CYCLES];
+
+        if a_q_cnt == o_cyc_cnt {
+            // "skip empty quads, BCC-like. Done" — no swizzling required:
+            // iterate active quads in order, enabling each quad's own lanes.
+            let mut len = 0u8;
+            if mask.is_empty() {
+                len = 1; // the single all-disabled cycle is already in place
+            } else {
+                for q in 0..quad_count {
+                    let bits = mask.quad_bits(q);
+                    if bits == 0 {
+                        continue;
+                    }
+                    let slots = &mut cycles[len as usize];
+                    for (n, slot) in slots.iter_mut().enumerate() {
+                        if bits >> n & 1 == 1 {
+                            *slot = LaneSlot::Direct { quad: q as u8 };
+                        }
+                    }
+                    len += 1;
+                }
+            }
+            return Self { mask, cycles, len, swizzle_count: 0, bcc_like: true };
+        }
+
+        // a_ln_q[n]: queue of quads with lane n active, as a fixed ring-free
+        // array (a lane sees each of the ≤ 8 quads at most once).
+        let mut a_ln_q = [[0u8; MAX_SCC_CYCLES]; QUAD as usize];
+        let mut q_len = [0u8; QUAD as usize];
+        let mut q_head = [0u8; QUAD as usize];
+        for q in 0..quad_count {
+            let bits = mask.quad_bits(q);
+            for n in 0..QUAD as usize {
+                if bits >> n & 1 == 1 {
+                    a_ln_q[n][q_len[n] as usize] = q as u8;
+                    q_len[n] += 1;
+                }
+            }
+        }
+
+        // Initial setup: per-lane surplus over the optimal cycle count.
+        let mut surplus = [0u32; QUAD as usize];
+        let mut tot_surplus = 0u32;
+        for n in 0..QUAD as usize {
+            let len = u32::from(q_len[n]);
+            if len > o_cyc_cnt {
+                surplus[n] = len - o_cyc_cnt;
+                tot_surplus += surplus[n];
+            }
+        }
+
+        // Per cycle, fill each hardware lane: own queue first, then borrow
+        // from a surplus lane via the crossbar.
+        let mut swizzle_count = 0u8;
+        for slots in cycles.iter_mut().take(o_cyc_cnt as usize) {
+            for n in 0..QUAD as usize {
+                if q_head[n] < q_len[n] {
+                    slots[n] = LaneSlot::Direct { quad: a_ln_q[n][q_head[n] as usize] };
+                    q_head[n] += 1;
+                } else if tot_surplus != 0 {
+                    // Find a surplus lane m and steal its front element.
+                    if let Some(m) =
+                        (0..QUAD as usize).find(|&m| surplus[m] > 0 && q_head[m] < q_len[m])
+                    {
+                        let q = a_ln_q[m][q_head[m] as usize];
+                        q_head[m] += 1;
+                        slots[n] = LaneSlot::Swizzled { quad: q, from_lane: m as u8 };
+                        surplus[m] -= 1;
+                        tot_surplus -= 1;
+                        swizzle_count += 1;
+                    }
+                }
+                // else: no surplus, lane not filled (stays Disabled).
+            }
+        }
+        Self { mask, cycles, len: o_cyc_cnt as u8, swizzle_count, bcc_like: false }
+    }
+
+    /// The original literal transcription of the Fig. 6 pseudo-code
+    /// (per-lane `VecDeque` queues, heap-allocated cycle list). Kept as the
+    /// reference implementation the fast path is tested against.
+    pub fn compute_reference(mask: ExecMask) -> Self {
+        let quad_count = mask.quad_count();
+        let a_ln_cnt = mask.active_channels();
+        let o_cyc_cnt = a_ln_cnt.div_ceil(QUAD).max(1);
         let a_q_cnt = mask.active_quads().max(1);
 
         // a_ln_q[n]: queue of quads with lane n active.
@@ -145,8 +334,6 @@ impl SccSchedule {
         }
 
         if a_q_cnt == o_cyc_cnt {
-            // "skip empty quads, BCC-like. Done" — no swizzling required:
-            // iterate active quads in order, enabling each quad's own lanes.
             let mut cycles = Vec::with_capacity(o_cyc_cnt as usize);
             if mask.is_empty() {
                 cycles.push([LaneSlot::Disabled; QUAD as usize]);
@@ -165,10 +352,9 @@ impl SccSchedule {
                     cycles.push(slots);
                 }
             }
-            return Self { mask, cycles, swizzle_count: 0, bcc_like: true };
+            return Self::from_cycle_list(mask, &cycles, 0, true);
         }
 
-        // Initial setup: per-lane surplus over the optimal cycle count.
         let mut surplus = [0u32; QUAD as usize];
         let mut tot_surplus = 0u32;
         for n in 0..QUAD as usize {
@@ -179,8 +365,6 @@ impl SccSchedule {
             }
         }
 
-        // Per cycle, fill each hardware lane: own queue first, then borrow
-        // from a surplus lane via the crossbar.
         let mut cycles = Vec::with_capacity(o_cyc_cnt as usize);
         let mut swizzle_count = 0u32;
         for _c in 0..o_cyc_cnt {
@@ -189,7 +373,6 @@ impl SccSchedule {
                 if let Some(q) = a_ln_q[n].pop_front() {
                     slots[n] = LaneSlot::Direct { quad: q };
                 } else if tot_surplus != 0 {
-                    // Find a surplus lane m and steal its front element.
                     if let Some(m) =
                         (0..QUAD as usize).find(|&m| surplus[m] > 0 && !a_ln_q[m].is_empty())
                     {
@@ -200,11 +383,22 @@ impl SccSchedule {
                         swizzle_count += 1;
                     }
                 }
-                // else: no surplus, lane not filled (stays Disabled).
             }
             cycles.push(slots);
         }
-        Self { mask, cycles, swizzle_count, bcc_like: false }
+        Self::from_cycle_list(mask, &cycles, swizzle_count, false)
+    }
+
+    fn from_cycle_list(mask: ExecMask, list: &[CycleSlots], swizzles: u32, bcc_like: bool) -> Self {
+        let mut cycles = [[LaneSlot::Disabled; QUAD as usize]; MAX_SCC_CYCLES];
+        cycles[..list.len()].copy_from_slice(list);
+        Self {
+            mask,
+            cycles,
+            len: u8::try_from(list.len()).expect("cycle count fits the fixed array"),
+            swizzle_count: u8::try_from(swizzles).expect("at most one swizzle per channel"),
+            bcc_like,
+        }
     }
 
     /// The mask the schedule was computed for.
@@ -214,17 +408,17 @@ impl SccSchedule {
 
     /// Number of compressed execution cycles (= `waves(mask, Scc)`).
     pub fn cycle_count(&self) -> u32 {
-        self.cycles.len() as u32
+        u32::from(self.len)
     }
 
     /// Per-cycle lane assignments.
     pub fn cycles(&self) -> &[CycleSlots] {
-        &self.cycles
+        &self.cycles[..self.len as usize]
     }
 
     /// Number of channels routed through the swizzle crossbar.
     pub fn swizzle_count(&self) -> u32 {
-        self.swizzle_count
+        u32::from(self.swizzle_count)
     }
 
     /// True when empty-quad skipping sufficed and no swizzle was needed
@@ -235,7 +429,7 @@ impl SccSchedule {
 
     /// The channels issued in cycle `c`, in hardware-lane order.
     pub fn issued_channels(&self, c: usize) -> Vec<Option<u32>> {
-        self.cycles[c]
+        self.cycles()[c]
             .iter()
             .enumerate()
             .map(|(n, s)| s.channel(n as u8))
@@ -247,7 +441,7 @@ impl SccSchedule {
     /// its quad (`(quad, home_lane)` pairs). Unswizzle settings are "simply
     /// the inverse permutation of the operand swizzle settings" (§4.2).
     pub fn unswizzle(&self, c: usize) -> Vec<Option<(u8, u8)>> {
-        self.cycles[c]
+        self.cycles()[c]
             .iter()
             .enumerate()
             .map(|(n, s)| match *s {
@@ -266,7 +460,7 @@ impl SccSchedule {
     /// construction, at most one quad drives each bus position per cycle.
     pub fn crossbar_controls(&self) -> Vec<CrossbarControl> {
         let quads = self.mask.quad_count() as usize;
-        self.cycles
+        self.cycles()
             .iter()
             .map(|slots| {
                 let mut per_quad = vec![QuadSwizzle::default(); quads];
@@ -294,7 +488,7 @@ impl SccSchedule {
     /// Returns an error string describing the first violation.
     pub fn validate(&self) -> Result<(), String> {
         let mut seen = vec![0u32; self.mask.width() as usize];
-        for (c, slots) in self.cycles.iter().enumerate() {
+        for (c, slots) in self.cycles().iter().enumerate() {
             for (n, slot) in slots.iter().enumerate() {
                 if let Some(ch) = slot.channel(n as u8) {
                     if ch >= self.mask.width() {
@@ -317,6 +511,13 @@ impl SccSchedule {
         if self.cycle_count() != want {
             return Err(format!("cycle count {} != optimal {want}", self.cycle_count()));
         }
+        // Trailing (unused) slots of the fixed array must stay all-disabled
+        // so structural equality between schedules remains meaningful.
+        for (c, slots) in self.cycles[self.len as usize..].iter().enumerate() {
+            if slots.iter().any(|s| !matches!(s, LaneSlot::Disabled)) {
+                return Err(format!("unused cycle slot {} not disabled", self.len as usize + c));
+            }
+        }
         Ok(())
     }
 }
@@ -324,7 +525,7 @@ impl SccSchedule {
 impl fmt::Display for SccSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "SCC schedule for mask {} ({} cycles):", self.mask, self.cycle_count())?;
-        for (c, slots) in self.cycles.iter().enumerate() {
+        for (c, slots) in self.cycles().iter().enumerate() {
             write!(f, "  cycle {c}:")?;
             for (n, s) in slots.iter().enumerate() {
                 match s {
@@ -534,6 +735,45 @@ mod tests {
             let m = m16(bits);
             let s = SccSchedule::compute(m);
             assert_eq!(s.cycle_count(), waves(m, CompactionMode::Scc), "mask {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn memoized_schedule_carries_caller_mask_and_width() {
+        // The ≤16 table is shared across widths; the returned schedule must
+        // still report the caller's mask.
+        let m8 = ExecMask::new(0x2D, 8);
+        let s8 = SccSchedule::compute(m8);
+        assert_eq!(s8.mask(), m8);
+        s8.validate().unwrap();
+        let m16 = ExecMask::new(0x2D, 16);
+        let s16 = SccSchedule::compute(m16);
+        assert_eq!(s16.mask(), m16);
+        assert_eq!(s8.cycles(), s16.cycles(), "width-independent schedule");
+    }
+
+    #[test]
+    fn cost_matches_schedule() {
+        for bits in (0..=0xFFFFu32).step_by(97) {
+            let m = m16(bits);
+            let cost = SccCost::of(m);
+            let s = SccSchedule::compute_reference(m);
+            assert_eq!(u32::from(cost.cycles), s.cycle_count(), "mask {bits:#x}");
+            assert_eq!(u32::from(cost.swizzles), s.swizzle_count(), "mask {bits:#x}");
+            assert_eq!(cost.bcc_like, s.is_bcc_like(), "mask {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn simd32_cached_equals_uncached() {
+        // Hit the per-thread SIMD32 cache twice to cover both paths.
+        for bits in [0xDEAD_BEEFu32, 0x0000_0001, 0xFFFF_FFFF, 0x8080_8080] {
+            let m = ExecMask::new(bits, 32);
+            let first = SccSchedule::compute(m);
+            let second = SccSchedule::compute(m);
+            assert_eq!(first, second);
+            assert_eq!(first, SccSchedule::compute_uncached(m), "mask {bits:#010x}");
+            first.validate().unwrap();
         }
     }
 }

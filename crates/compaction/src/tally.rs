@@ -121,19 +121,9 @@ impl CompactionTally {
         // Fetch/swizzle accounting assumes a representative 2-source op.
         let idle_quads = u64::from(mask.quad_count() - mask.active_quads().min(mask.quad_count()));
         self.bcc_fetches_saved += 2 * idle_quads;
-        // Exact swizzled-channel count of the Fig. 6 algorithm: the total
-        // per-lane surplus over the optimal cycle count (every surplus
-        // element is routed through the crossbar exactly once), zero when
-        // empty-quad skipping already reaches the optimum.
-        let o_cyc = mask.active_channels().div_ceil(4).max(1);
-        if mask.active_quads().max(1) > o_cyc {
-            for n in 0..4u32 {
-                let len = (0..mask.quad_count())
-                    .filter(|&q| mask.quad_bits(q) >> n & 1 == 1)
-                    .count() as u32;
-                self.scc_swizzles += u64::from(len.saturating_sub(o_cyc));
-            }
-        }
+        // Exact swizzled-channel count of the Fig. 6 algorithm, served from
+        // the process-wide schedule memo (O(1) on repeated masks).
+        self.scc_swizzles += u64::from(crate::scc::SccCost::of(mask).swizzles);
     }
 
     /// Merges another tally into this one.

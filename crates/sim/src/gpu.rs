@@ -203,6 +203,33 @@ impl Gpu {
     ) -> Result<SimResult, SimulateError> {
         run_launch(&self.cfg, &mut self.mem, &mut self.clock, launch, img)
     }
+
+    /// Sweeps one launch across several compaction modes: each mode runs on
+    /// a fresh cold device against its own copy of `img`, so results are
+    /// independent and ordered like `modes`. This is the evaluation
+    /// harness's unit of work — one (workload × config) cell expanded over
+    /// the mode axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimulateError`] encountered, abandoning the
+    /// remaining modes.
+    pub fn run_modes(
+        cfg: &GpuConfig,
+        launch: &Launch,
+        img: &MemoryImage,
+        modes: &[CompactionMode],
+    ) -> Result<Vec<SimResult>, SimulateError> {
+        modes
+            .iter()
+            .map(|&mode| {
+                let mut cfg = *cfg;
+                cfg.compaction = mode;
+                let mut img = img.clone();
+                simulate(&cfg, launch, &mut img)
+            })
+            .collect()
+    }
 }
 
 /// Runs `launch` on a *cold* GPU with configuration `cfg` against global

@@ -55,6 +55,42 @@ pub fn analyze(trace: &Trace) -> TraceReport {
     TraceReport { name: trace.name.clone(), tally }
 }
 
+/// Generates and analyzes every profile of a corpus on a scoped worker
+/// pool, returning reports in corpus order regardless of the thread count
+/// (`threads` is clamped to at least 1; pass 1 for a serial sweep).
+///
+/// Each (profile, generate, analyze) triple is independent — synthesis is
+/// seeded per profile — so this is a plain deterministic fan-out, the
+/// trace-corpus counterpart of the simulator harness's cell runner.
+pub fn analyze_corpus(profiles: &[crate::synth::Profile], len: usize, threads: usize) -> Vec<TraceReport> {
+    let pool = threads.max(1).min(profiles.len());
+    if pool <= 1 {
+        return profiles.iter().map(|p| analyze(&p.generate(len))).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TraceReport>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..pool {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(p) = profiles.get(i) else { break };
+                let report = analyze(&p.generate(len));
+                *slots[i].lock().expect("report slot poisoned") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("report slot poisoned")
+                .expect("every profile analyzed")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +126,17 @@ mod tests {
         let r = analyze(&Trace::new("empty"));
         assert!(r.is_coherent());
         assert_eq!(r.reduction(CompactionMode::Scc), 0.0);
+    }
+
+    #[test]
+    fn corpus_analysis_thread_count_invariant() {
+        let profiles = crate::synth::corpus();
+        let serial = analyze_corpus(&profiles, 400, 1);
+        let parallel = analyze_corpus(&profiles, 400, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), profiles.len());
+        for (report, profile) in serial.iter().zip(&profiles) {
+            assert_eq!(report.name, profile.name);
+        }
     }
 }

@@ -31,6 +31,6 @@ pub mod analyze;
 pub mod format;
 pub mod synth;
 
-pub use analyze::{analyze, TraceReport};
+pub use analyze::{analyze, analyze_corpus, TraceReport};
 pub use format::{Trace, TraceIoError, TraceRecord};
 pub use synth::{corpus, MaskStyle, Profile};

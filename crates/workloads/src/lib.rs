@@ -82,6 +82,22 @@ impl Built {
         }
         Ok(r)
     }
+
+    /// Sweeps the workload across compaction modes (checked variant of
+    /// [`iwc_sim::Gpu::run_modes`]): every mode runs cold against a fresh
+    /// copy of the inputs and must pass the functional check, so a mode
+    /// can never *look* faster by computing the wrong answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first simulator error or check failure.
+    pub fn run_modes(
+        &self,
+        cfg: &GpuConfig,
+        modes: &[iwc_compaction::CompactionMode],
+    ) -> Result<Vec<SimResult>, String> {
+        modes.iter().map(|&m| self.run_checked(&cfg.with_compaction(m))).collect()
+    }
 }
 
 /// Workload category for reporting (the paper's coherent / divergent split,

@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` working with the same
+//! bench-definition API (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `black_box`). Each
+//! benchmark is timed with a short calibrated loop and reported as a median
+//! ns/iter line on stdout — no statistics engine, no HTML reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a [`Criterion`] and its groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    /// Target wall-clock time per benchmark.
+    measure: Duration,
+    /// Number of timed samples taken (median is reported).
+    samples: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            measure: Duration::from_millis(200),
+            samples: 11,
+        }
+    }
+}
+
+/// The benchmark manager (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards a `--bench` flag plus any user filter
+        // string; honor the filter, ignore flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            settings: Settings::default(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.settings, &self.filter, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; also shortens
+    /// the measurement window proportionally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.max(3);
+        self.settings.measure = Duration::from_millis(20).saturating_mul(n.max(3) as u32);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.settings, &self.filter, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; drives the timed iterations.
+pub struct Bencher {
+    settings: Settings,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter across samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in one sample window?
+        let per_sample = self.settings.measure.as_nanos() as f64 / self.settings.samples as f64;
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            if elapsed >= per_sample / 4.0 || n >= 1 << 30 {
+                let target = (per_sample / (elapsed / n as f64).max(0.5)).max(1.0);
+                n = target as u64;
+                break;
+            }
+            n *= 4;
+        }
+        let mut samples: Vec<f64> = (0..self.settings.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / n as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, filter: &Option<String>, f: &mut F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        settings,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("{id:<40} (no measurement)");
+    } else {
+        println!("{id:<40} {:>12.1} ns/iter", b.median_ns);
+    }
+}
+
+/// Declares a group-runner function over the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! String generation from a small regex-like pattern subset.
+//!
+//! Supports exactly what the workspace's property tests use: literal
+//! characters, character classes `[a-zA-Z0-9_-]`, and the quantifiers
+//! `{m,n}`, `{n}`, `*`, `+`, `?`. Anything fancier panics so a silently
+//! wrong generator can never masquerade as coverage.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    /// Inclusive upper bound on repetitions.
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '^' if set.is_empty() && prev.is_none() => {
+                            panic!("negated classes unsupported in pattern {pattern:?}")
+                        }
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range needs a start");
+                            let hi = chars.next().expect("range needs an end");
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            set.extend(lo..=hi);
+                        }
+                        _ => {
+                            if let Some(p) = prev.replace(c) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '.' | '(' | ')' | '|' => panic!("unsupported metachar {c:?} in pattern {pattern:?}"),
+            _ => Atom::Literal(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    (
+                        lo.parse().expect("bad quantifier"),
+                        hi.parse().expect("bad quantifier"),
+                    )
+                } else {
+                    let n = spec.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_name("class_with_quantifier");
+        for _ in 0..500 {
+            let s = generate("[a-zA-Z0-9_-]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_and_optional() {
+        let mut rng = TestRng::from_name("literals_and_optional");
+        for _ in 0..50 {
+            let s = generate("ab?c{2}", &mut rng);
+            assert!(s == "abcc" || s == "acc", "unexpected {s:?}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace declares `serde` with the `derive` feature purely as a
+//! forward-looking annotation on result structs; nothing is serialized at
+//! runtime yet and the build environment cannot fetch crates.io. These
+//! marker traits satisfy the `use serde::{Deserialize, Serialize}` imports,
+//! and the derive macros (re-exported from the local `serde_derive` shim)
+//! expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

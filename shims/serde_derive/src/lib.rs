@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `serde_derive` cannot be fetched. This repo only ever uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path serializes anything yet — so the derives here accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
