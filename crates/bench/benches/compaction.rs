@@ -10,10 +10,12 @@ use iwc_isa::{DataType, ExecMask};
 
 fn masks() -> Vec<ExecMask> {
     // A representative mix: full, half-idle, quad patterns, strided, sparse.
-    [0xFFFFu32, 0x00FF, 0xF0F0, 0xAAAA, 0x1111, 0x8421, 0x0001, 0x7F3F]
-        .iter()
-        .map(|&b| ExecMask::new(b, 16))
-        .collect()
+    [
+        0xFFFFu32, 0x00FF, 0xF0F0, 0xAAAA, 0x1111, 0x8421, 0x0001, 0x7F3F,
+    ]
+    .iter()
+    .map(|&b| ExecMask::new(b, 16))
+    .collect()
 }
 
 /// A recorded mask stream from the divergent trace corpus — the workload the

@@ -26,18 +26,27 @@ fn bench_simulate_divergent_kernel(c: &mut Criterion) {
     let cfg = GpuConfig::paper_default();
     let mut g = c.benchmark_group("simulate/particle_filter");
     g.sample_size(10);
-    g.bench_function("ivb", |b| b.iter(|| built.run(black_box(&cfg)).expect("runs")));
+    g.bench_function("ivb", |b| {
+        b.iter(|| built.run(black_box(&cfg)).expect("runs"))
+    });
     g.finish();
 }
 
 fn bench_trace_analysis(c: &mut Criterion) {
     let trace = corpus()[0].generate(50_000);
-    c.bench_function("trace/analyze_50k", |b| b.iter(|| analyze(black_box(&trace))));
+    c.bench_function("trace/analyze_50k", |b| {
+        b.iter(|| analyze(black_box(&trace)))
+    });
     c.bench_function("trace/generate_10k", |b| {
         let p = &corpus()[0];
         b.iter(|| p.generate(black_box(10_000)))
     });
 }
 
-criterion_group!(benches, bench_simulate_modes, bench_simulate_divergent_kernel, bench_trace_analysis);
+criterion_group!(
+    benches,
+    bench_simulate_modes,
+    bench_simulate_divergent_kernel,
+    bench_trace_analysis
+);
 criterion_main!(benches);

@@ -35,7 +35,10 @@ fn main() {
     );
     for dt in [DataType::Ub, DataType::Hf, DataType::F, DataType::Df] {
         let total = |mode: CompactionMode| -> u64 {
-            masks.iter().map(|&m| u64::from(waves_typed(m, dt, mode))).sum()
+            masks
+                .iter()
+                .map(|&m| u64::from(waves_typed(m, dt, mode)))
+                .sum()
         };
         let base = total(CompactionMode::IvyBridge);
         let bcc = total(CompactionMode::Bcc);

@@ -18,12 +18,20 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 fn group_waves(group: &[ExecMask]) -> (u64, u64, u64) {
-    let intra: u64 = group.iter().map(|&m| u64::from(waves(m, CompactionMode::Scc))).sum();
-    let base: u64 =
-        group.iter().map(|&m| u64::from(waves(m, CompactionMode::Baseline))).sum();
+    let intra: u64 = group
+        .iter()
+        .map(|&m| u64::from(waves(m, CompactionMode::Scc)))
+        .sum();
+    let base: u64 = group
+        .iter()
+        .map(|&m| u64::from(waves(m, CompactionMode::Baseline)))
+        .sum();
     let merged = iwc_compaction::compact_masks(group);
-    let inter: u64 =
-        merged.masks.iter().map(|&m| u64::from(waves(m, CompactionMode::Baseline))).sum();
+    let inter: u64 = merged
+        .masks
+        .iter()
+        .map(|&m| u64::from(waves(m, CompactionMode::Baseline)))
+        .sum();
     (base, intra, inter)
 }
 
@@ -38,7 +46,10 @@ fn main() {
     let cases: [(&str, [u32; 4]); 4] = [
         ("complementary halves", [0x00FF, 0xFF00, 0x00FF, 0xFF00]),
         ("same strided 0xAAAA everywhere", [0xAAAA; 4]),
-        ("one quad active, rotating", [0x000F, 0x00F0, 0x0F00, 0xF000]),
+        (
+            "one quad active, rotating",
+            [0x000F, 0x00F0, 0x0F00, 0xF000],
+        ),
         ("sparse random-ish", [0x8421, 0x1248, 0x2184, 0x4812]),
     ];
     for (label, bits) in cases {

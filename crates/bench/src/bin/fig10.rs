@@ -23,12 +23,12 @@ fn print_row(name: &str, tally: &CompactionTally, src: &str) {
 }
 
 fn main() {
-    println!(
-        "== Fig. 10: EU execution-cycle reduction with BCC & SCC (above IVB opt) ==\n"
-    );
+    println!("== Fig. 10: EU execution-cycle reduction with BCC & SCC (above IVB opt) ==\n");
     let harness = Harness::begin("fig10");
-    let entries: Vec<_> =
-        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let entries: Vec<_> = catalog()
+        .into_iter()
+        .filter(|e| e.category == Category::Divergent)
+        .collect();
     let profiles = corpus();
     let cells = entries.len() + profiles.len();
 

@@ -47,7 +47,11 @@ fn main() {
     );
     let builts = rt_set(scale());
     let cells = builts.len();
-    let modes = [CompactionMode::IvyBridge, CompactionMode::Bcc, CompactionMode::Scc];
+    let modes = [
+        CompactionMode::IvyBridge,
+        CompactionMode::Bcc,
+        CompactionMode::Scc,
+    ];
     let rows = parallel_map(&builts, |built| {
         let sweep = |dc: f64| {
             built

@@ -32,7 +32,11 @@ fn main() {
     );
     let builts = rodinia_set(scale());
     let cells = builts.len();
-    let modes = [CompactionMode::IvyBridge, CompactionMode::Bcc, CompactionMode::Scc];
+    let modes = [
+        CompactionMode::IvyBridge,
+        CompactionMode::Bcc,
+        CompactionMode::Scc,
+    ];
     let rows = parallel_map(&builts, |built| {
         let sweep = |perfect: bool| {
             built

@@ -38,11 +38,19 @@ fn main() {
 
     println!("-- divergent benchmarks (SIMD efficiency < 95%) --");
     for (name, eff, src) in &divergent {
-        println!("{name:<22} {:>6.1}%  |{}| [{src}]", 100.0 * eff, bar(*eff, 40));
+        println!(
+            "{name:<22} {:>6.1}%  |{}| [{src}]",
+            100.0 * eff,
+            bar(*eff, 40)
+        );
     }
     println!("\n-- coherent benchmarks (SIMD efficiency >= 95%) --");
     for (name, eff, src) in &coherent {
-        println!("{name:<22} {:>6.1}%  |{}| [{src}]", 100.0 * eff, bar(*eff, 40));
+        println!(
+            "{name:<22} {:>6.1}%  |{}| [{src}]",
+            100.0 * eff,
+            bar(*eff, 40)
+        );
     }
     println!(
         "\n{} divergent, {} coherent (paper: divergent block on the right of Fig. 3)",

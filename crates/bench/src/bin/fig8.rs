@@ -23,7 +23,10 @@ fn main() {
         })
         .collect();
     let base = cycles[0].1 as f64;
-    println!("\n{:<10} {:>12} {:>10}  bar (200% full)", "pattern", "cycles", "relative");
+    println!(
+        "\n{:<10} {:>12} {:>10}  bar (200% full)",
+        "pattern", "cycles", "relative"
+    );
     let paper = [1.0, 2.0, 1.0, 1.5, 2.0];
     for ((pat, c), want) in cycles.iter().zip(paper) {
         let rel = *c as f64 / base;

@@ -25,8 +25,10 @@ fn main() {
     }
     println!();
 
-    let entries: Vec<_> =
-        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let entries: Vec<_> = catalog()
+        .into_iter()
+        .filter(|e| e.category == Category::Divergent)
+        .collect();
     let profiles = corpus();
     let cells = entries.len() + profiles.len();
 

@@ -105,7 +105,10 @@ fn main() -> ExitCode {
     );
     if opts.timeline > 0 {
         println!("\nissue timeline (all EUs merged):");
-        print!("{}", iwc_sim::timeline::render(&result.eu.issue_log, opts.timeline));
+        print!(
+            "{}",
+            iwc_sim::timeline::render(&result.eu.issue_log, opts.timeline)
+        );
     }
     if opts.dump > 0 {
         print!("buffer[0..{}]:", opts.dump);

@@ -44,7 +44,10 @@ fn main() {
             .map(|&m| u64::from(execution_cycles(m, DataType::F, CompactionMode::Baseline)))
             .sum();
         let cyc = |mode| -> u64 {
-            masks.iter().map(|&m| u64::from(execution_cycles(m, DataType::F, mode))).sum()
+            masks
+                .iter()
+                .map(|&m| u64::from(execution_cycles(m, DataType::F, mode)))
+                .sum()
         };
         let ivb = cyc(CompactionMode::IvyBridge);
         let bcc = cyc(CompactionMode::Bcc);
@@ -79,8 +82,10 @@ fn main() {
     let levels = [1u32, 2, 3, 4];
     let rows = parallel_map(&levels, |&level| {
         let built = nested_branches(level, scale());
-        let cycles: Vec<u64> =
-            CompactionMode::ALL.iter().map(|&m| run_mode(&built, m).cycles).collect();
+        let cycles: Vec<u64> = CompactionMode::ALL
+            .iter()
+            .map(|&m| run_mode(&built, m).cycles)
+            .collect();
         (level, cycles)
     });
     for (level, cycles) in rows {

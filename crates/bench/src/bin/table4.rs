@@ -12,8 +12,10 @@ use iwc_workloads::{catalog, Category};
 fn main() {
     println!("== Table 4: summary of BCC and SCC benefits (divergent workloads) ==\n");
     let harness = Harness::begin("table4");
-    let entries: Vec<_> =
-        catalog().into_iter().filter(|e| e.category == Category::Divergent).collect();
+    let entries: Vec<_> = catalog()
+        .into_iter()
+        .filter(|e| e.category == Category::Divergent)
+        .collect();
     let profiles = corpus();
     let cells = entries.len() + profiles.len();
 
@@ -22,7 +24,9 @@ fn main() {
     let sim_cells = parallel_map(&entries, |entry| {
         let built = (entry.build)(scale());
         let run = |mode: CompactionMode, dc: f64| {
-            let cfg = GpuConfig::paper_default().with_compaction(mode).with_dc_bandwidth(dc);
+            let cfg = GpuConfig::paper_default()
+                .with_compaction(mode)
+                .with_dc_bandwidth(dc);
             built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
         };
         let base1 = run(CompactionMode::IvyBridge, 1.0);

@@ -54,9 +54,10 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(iwc_trace::synth::DEFAULT_TRACE_LEN);
             let trace = profile.generate(len);
-            match File::create(&args[2]).map_err(|e| e.to_string()).and_then(|f| {
-                trace.write_to(BufWriter::new(f)).map_err(|e| e.to_string())
-            }) {
+            match File::create(&args[2])
+                .map_err(|e| e.to_string())
+                .and_then(|f| trace.write_to(BufWriter::new(f)).map_err(|e| e.to_string()))
+            {
                 Ok(()) => {
                     println!("wrote {} records to {}", trace.len(), args[2]);
                     ExitCode::SUCCESS
@@ -83,9 +84,10 @@ fn main() -> ExitCode {
                 }
             };
             let trace = Trace::from_mask_stream(name.clone(), &result.eu.mask_trace);
-            match File::create(&args[2]).map_err(|e| e.to_string()).and_then(|f| {
-                trace.write_to(BufWriter::new(f)).map_err(|e| e.to_string())
-            }) {
+            match File::create(&args[2])
+                .map_err(|e| e.to_string())
+                .and_then(|f| trace.write_to(BufWriter::new(f)).map_err(|e| e.to_string()))
+            {
                 Ok(()) => {
                     println!(
                         "simulated {} cycles, captured {} records to {}",
@@ -117,7 +119,11 @@ fn main() -> ExitCode {
             println!(
                 "SIMD efficiency {:.1}% ({})",
                 100.0 * r.simd_efficiency(),
-                if r.is_coherent() { "coherent" } else { "divergent" }
+                if r.is_coherent() {
+                    "coherent"
+                } else {
+                    "divergent"
+                }
             );
             println!("utilization breakdown:");
             for (bucket, frac) in r.buckets() {

@@ -105,7 +105,11 @@ pub fn print_config(cfg: &GpuConfig) {
         cfg.mem.llc.latency,
         cfg.mem.slm_latency,
         cfg.mem.dc_lines_per_cycle,
-        if cfg.mem.perfect_l3 { ", perfect L3" } else { "" },
+        if cfg.mem.perfect_l3 {
+            ", perfect L3"
+        } else {
+            ""
+        },
     );
 }
 
@@ -119,7 +123,9 @@ pub fn print_config(cfg: &GpuConfig) {
 /// runs.
 pub fn run_mode(built: &Built, mode: CompactionMode) -> SimResult {
     let cfg = GpuConfig::paper_default().with_compaction(mode);
-    built.run_checked(&cfg).unwrap_or_else(|e| panic!("{}: {e}", built.name))
+    built
+        .run_checked(&cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", built.name))
 }
 
 /// Relative total-cycle reduction of `opt` versus `base`.

@@ -127,7 +127,11 @@ impl Harness {
     /// fatal — perf bookkeeping must not break result generation.
     pub fn finish(self, cells: usize) {
         let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
-        let record = RunRecord { threads: self.threads, wall_ms, cells };
+        let record = RunRecord {
+            threads: self.threads,
+            wall_ms,
+            cells,
+        };
         let path = results_dir().join(format!("bench_{}.json", self.name));
         let mut runs = read_runs(&path);
         runs.retain(|r| r.threads != record.threads);
@@ -166,7 +170,12 @@ fn parse_run_line(line: &str) -> Option<RunRecord> {
     let mut threads = None;
     let mut wall_ms = None;
     let mut cells = None;
-    for field in line.trim().trim_start_matches('{').trim_end_matches([',', '}', ' ']).split(',') {
+    for field in line
+        .trim()
+        .trim_start_matches('{')
+        .trim_end_matches([',', '}', ' '])
+        .split(',')
+    {
         let (key, value) = field.split_once(':')?;
         let value = value.trim().trim_end_matches('}').trim();
         match key.trim().trim_matches('"') {
@@ -176,7 +185,11 @@ fn parse_run_line(line: &str) -> Option<RunRecord> {
             _ => return None,
         }
     }
-    Some(RunRecord { threads: threads?, wall_ms: wall_ms?, cells: cells? })
+    Some(RunRecord {
+        threads: threads?,
+        wall_ms: wall_ms?,
+        cells: cells?,
+    })
 }
 
 fn render_report(name: &str, runs: &[RunRecord]) -> String {
@@ -240,7 +253,11 @@ mod tests {
 
     #[test]
     fn run_line_roundtrip() {
-        let r = RunRecord { threads: 4, wall_ms: 123.45, cells: 26 };
+        let r = RunRecord {
+            threads: 4,
+            wall_ms: 123.45,
+            cells: 26,
+        };
         let line = format!(
             "    {{ \"threads\": {}, \"wall_ms\": {:.2}, \"cells\": {} }},",
             r.threads, r.wall_ms, r.cells
@@ -253,8 +270,16 @@ mod tests {
     #[test]
     fn report_merges_and_reports_speedup() {
         let runs = vec![
-            RunRecord { threads: 1, wall_ms: 800.0, cells: 10 },
-            RunRecord { threads: 4, wall_ms: 200.0, cells: 10 },
+            RunRecord {
+                threads: 1,
+                wall_ms: 800.0,
+                cells: 10,
+            },
+            RunRecord {
+                threads: 4,
+                wall_ms: 200.0,
+                cells: 10,
+            },
         ];
         let text = render_report("demo", &runs);
         assert!(text.contains("\"speedup_vs_1_thread\": 4.00"), "{text}");

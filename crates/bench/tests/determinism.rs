@@ -50,7 +50,10 @@ fn table2_stdout_is_thread_count_invariant() {
 /// Too slow for the debug-profile test suite, so it is ignored there; it runs
 /// under `cargo test --release` or `cargo test -- --ignored`.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "runs the full Table 4 sweep twice; use --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs the full Table 4 sweep twice; use --release"
+)]
 fn table4_stdout_is_thread_count_invariant() {
     assert_stdout_thread_invariant(env!("CARGO_BIN_EXE_table4"), "table4");
 }

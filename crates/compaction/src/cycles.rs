@@ -265,7 +265,9 @@ mod tests {
     #[test]
     fn mode_ordering_invariant_sample() {
         // scc <= bcc <= ivb <= baseline for a few interesting masks.
-        for bits in [0x0000u32, 0x0001, 0x00FF, 0xF0F0, 0xAAAA, 0x8421, 0xFFFF, 0x7F01] {
+        for bits in [
+            0x0000u32, 0x0001, 0x00FF, 0xF0F0, 0xAAAA, 0x8421, 0xFFFF, 0x7F01,
+        ] {
             let m = m16(bits);
             let b = CycleBreakdown::of(m, DataType::F);
             assert!(b.scc <= b.bcc, "{bits:#x}");
@@ -277,7 +279,10 @@ mod tests {
     #[test]
     fn wide_types_double_pump() {
         let m = m16(0xF0F0);
-        assert_eq!(execution_cycles(m, DataType::Df, CompactionMode::Baseline), 8);
+        assert_eq!(
+            execution_cycles(m, DataType::Df, CompactionMode::Baseline),
+            8
+        );
         assert_eq!(execution_cycles(m, DataType::Df, CompactionMode::Bcc), 4);
         assert_eq!(execution_cycles(m, DataType::F, CompactionMode::Bcc), 2);
     }
@@ -286,12 +291,21 @@ mod tests {
     fn narrow_types_take_fewer_waves_and_compress_less() {
         // SIMD16 HF: 8 elements per wave → 2 waves uncompressed.
         let full = ExecMask::all(16);
-        assert_eq!(execution_cycles(full, DataType::Hf, CompactionMode::Baseline), 2);
+        assert_eq!(
+            execution_cycles(full, DataType::Hf, CompactionMode::Baseline),
+            2
+        );
         // One active quad: a 32-bit type saves 3 of 4 waves with BCC...
         let sparse = m16(0x000F);
-        assert_eq!(execution_cycles(sparse, DataType::F, CompactionMode::Bcc), 1);
+        assert_eq!(
+            execution_cycles(sparse, DataType::F, CompactionMode::Bcc),
+            1
+        );
         // ...but HF can only save 1 of 2 (the dead group must span 8 lanes).
-        assert_eq!(execution_cycles(sparse, DataType::Hf, CompactionMode::Bcc), 1);
+        assert_eq!(
+            execution_cycles(sparse, DataType::Hf, CompactionMode::Bcc),
+            1
+        );
         assert_eq!(
             execution_cycles(m16(0x0101), DataType::Hf, CompactionMode::Bcc),
             2,
@@ -299,8 +313,14 @@ mod tests {
         );
         // 64-bit types compress at pair granularity: one active channel
         // leaves a single wave, not two.
-        assert_eq!(execution_cycles(m16(0x0001), DataType::Df, CompactionMode::Scc), 1);
-        assert_eq!(execution_cycles(m16(0x0001), DataType::Df, CompactionMode::Baseline), 8);
+        assert_eq!(
+            execution_cycles(m16(0x0001), DataType::Df, CompactionMode::Scc),
+            1
+        );
+        assert_eq!(
+            execution_cycles(m16(0x0001), DataType::Df, CompactionMode::Baseline),
+            8
+        );
     }
 
     #[test]
@@ -319,7 +339,11 @@ mod tests {
     fn simd32_supported() {
         let m = ExecMask::new(0x0000_00FF, 32);
         assert_eq!(waves(m, CompactionMode::Baseline), 8);
-        assert_eq!(waves(m, CompactionMode::IvyBridge), 8, "IVB opt is SIMD16-specific");
+        assert_eq!(
+            waves(m, CompactionMode::IvyBridge),
+            8,
+            "IVB opt is SIMD16-specific"
+        );
         assert_eq!(waves(m, CompactionMode::Bcc), 2);
         assert_eq!(waves(m, CompactionMode::Scc), 2);
     }

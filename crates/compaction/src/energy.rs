@@ -35,7 +35,12 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        Self { wave_exec: 80.0, swizzle_per_channel: 6.0, scc_control: 10.0, srcs_per_insn: 2 }
+        Self {
+            wave_exec: 80.0,
+            swizzle_per_channel: 6.0,
+            scc_control: 10.0,
+            srcs_per_insn: 2,
+        }
     }
 }
 
@@ -82,9 +87,7 @@ impl EnergyModel {
                 let rf = RfModel::new(RfOrganization::Scc);
                 // Full-width fetch once per source (the 512b latch), plus
                 // per-wave write-backs, crossbar routing and control logic.
-                let fetch = f64::from(self.srcs_per_insn)
-                    * rf.access_energy(quads * 128)
-                    * pump;
+                let fetch = f64::from(self.srcs_per_insn) * rf.access_energy(quads * 128) * pump;
                 let wb = w * rf.access_energy(half_bits);
                 let sched = SccSchedule::compute(mask);
                 let crossbar = f64::from(sched.swizzle_count()) * self.swizzle_per_channel;
@@ -128,7 +131,10 @@ mod tests {
         let full = ExecMask::all(16);
         let bcc = e.instruction_energy(full, DataType::F, CompactionMode::Bcc);
         let base = e.instruction_energy(full, DataType::F, CompactionMode::Baseline);
-        assert!((bcc / base - 1.0).abs() < 0.1, "bcc {bcc:.1} vs baseline {base:.1}");
+        assert!(
+            (bcc / base - 1.0).abs() < 0.1,
+            "bcc {bcc:.1} vs baseline {base:.1}"
+        );
     }
 
     #[test]
@@ -138,7 +144,10 @@ mod tests {
         let scc = e.instruction_energy(strided, DataType::F, CompactionMode::Scc);
         let base = e.instruction_energy(strided, DataType::F, CompactionMode::Baseline);
         let bcc = e.instruction_energy(strided, DataType::F, CompactionMode::Bcc);
-        assert!(scc < base, "SCC should still win on 0xAAAA: {scc:.1} vs {base:.1}");
+        assert!(
+            scc < base,
+            "SCC should still win on 0xAAAA: {scc:.1} vs {base:.1}"
+        );
         assert!(scc < bcc, "BCC can't compress 0xAAAA");
         // But SCC's saving is less than its 50% cycle saving would suggest
         // because the full-width fetch is not compressed.

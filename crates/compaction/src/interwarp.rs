@@ -122,17 +122,15 @@ impl InterWarpStats {
 /// Evaluates one same-PC group of warps that each perform a memory access:
 /// `addrs[w][lane]` is the byte address channel `lane` of warp `w` would
 /// access (only active channels are accessed).
-pub fn evaluate_group(
-    group: &[ExecMask],
-    addrs: &[Vec<u32>],
-    line_bytes: u32,
-) -> InterWarpStats {
+pub fn evaluate_group(group: &[ExecMask], addrs: &[Vec<u32>], line_bytes: u32) -> InterWarpStats {
     assert_eq!(group.len(), addrs.len(), "one address vector per warp");
     let compacted = compact_masks(group);
 
     let lines_of = |mask: &ExecMask, addr_of: &dyn Fn(u32) -> u32| -> u64 {
-        let mut lines: Vec<u32> =
-            mask.iter_active().map(|l| addr_of(l) / line_bytes).collect();
+        let mut lines: Vec<u32> = mask
+            .iter_active()
+            .map(|l| addr_of(l) / line_bytes)
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         lines.len() as u64
@@ -192,11 +190,7 @@ mod tests {
         assert_eq!(total_in, total_out);
         // Per lane, multiset of origins matches the sources.
         for lane in 0..16u32 {
-            let mut srcs: Vec<u32> = c
-                .origin
-                .iter()
-                .filter_map(|o| o[lane as usize])
-                .collect();
+            let mut srcs: Vec<u32> = c.origin.iter().filter_map(|o| o[lane as usize]).collect();
             srcs.sort_unstable();
             let want: Vec<u32> = group
                 .iter()
@@ -244,7 +238,10 @@ mod tests {
         let a1: Vec<u32> = (0..16).map(|l| 8192 + 4 * l as u32).collect();
         let s = evaluate_group(&group, &[a0, a1], 64);
         assert_eq!(s.intra_warp_waves, 2);
-        assert_eq!(s.inter_warp_waves, 4, "merged warp is still one full-length warp");
+        assert_eq!(
+            s.inter_warp_waves, 4,
+            "merged warp is still one full-length warp"
+        );
         assert_eq!(s.intra_warp_lines, 2);
         assert_eq!(s.inter_warp_lines, 2);
     }

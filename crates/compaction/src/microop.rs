@@ -60,7 +60,10 @@ fn reg_half_of(reg_opt: Option<u8>, width: u32, elem_bytes: u32, quartile: u32) 
     // Quartiles that span less than a half register (narrow types at narrow
     // widths) still fetch the half they live in.
     let _ = width;
-    Some(RegHalf { reg: reg as u8, half: half as u8 })
+    Some(RegHalf {
+        reg: reg as u8,
+        half: half as u8,
+    })
 }
 
 /// Expands `insn` executed under `mask` into quartile micro-ops according to
@@ -105,8 +108,7 @@ pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expan
     );
     let elem = insn.dtype.size_bytes();
     let quads = mask.quad_count();
-    let src_regs: Vec<Option<u8>> =
-        insn.read_operands().iter().map(|o| o.grf_reg()).collect();
+    let src_regs: Vec<Option<u8>> = insn.read_operands().iter().map(|o| o.grf_reg()).collect();
     let dst_reg = insn.dst.grf_reg();
 
     let quartile_op = |q: u32, quad_mask: u8| -> MicroOp {
@@ -166,16 +168,23 @@ pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expan
             .collect();
         let mut issued = Vec::new();
         for (c, slots) in sched.cycles().iter().enumerate() {
-            let quad_mask = slots
-                .iter()
-                .enumerate()
-                .fold(0u8, |m, (n, s)| if s.channel(n as u8).is_some() { m | 1 << n } else { m });
+            let quad_mask = slots.iter().enumerate().fold(0u8, |m, (n, s)| {
+                if s.channel(n as u8).is_some() {
+                    m | 1 << n
+                } else {
+                    m
+                }
+            });
             issued.push(MicroOp {
                 quartile: c as u8,
                 quad_mask,
                 // Operand fetch cost is charged to the first micro-op; the
                 // rest consume the latched full-width operand.
-                src_fetches: if c == 0 { per_fetch.clone() } else { Vec::new() },
+                src_fetches: if c == 0 {
+                    per_fetch.clone()
+                } else {
+                    Vec::new()
+                },
                 dst_writeback: dst_reg.map(|base| RegHalf { reg: base, half: 0 }),
             });
         }
@@ -191,8 +200,10 @@ pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expan
         };
     }
 
-    let issued: Vec<MicroOp> =
-        issue_set.iter().map(|&q| quartile_op(q, mask.quad_bits(q))).collect();
+    let issued: Vec<MicroOp> = issue_set
+        .iter()
+        .map(|&q| quartile_op(q, mask.quad_bits(q)))
+        .collect();
     let per_quartile_fetches = src_regs.iter().flatten().count() as u32;
     let suppressed = quads - issued.len() as u32;
     Expansion {
@@ -237,16 +248,26 @@ mod tests {
         let e = expand(&add16(), ExecMask::new(0xF0F0, 16), CompactionMode::Bcc);
         // ADD.Q1 accesses R12.H1, R8.H1, R10.H1; ADD.Q3 accesses R13.H1 etc.
         let q1 = &e.issued[0];
-        assert_eq!(q1.src_fetches, vec![RegHalf { reg: 8, half: 1 }, RegHalf { reg: 10, half: 1 }]);
+        assert_eq!(
+            q1.src_fetches,
+            vec![RegHalf { reg: 8, half: 1 }, RegHalf { reg: 10, half: 1 }]
+        );
         assert_eq!(q1.dst_writeback, Some(RegHalf { reg: 12, half: 1 }));
         let q3 = &e.issued[1];
-        assert_eq!(q3.src_fetches, vec![RegHalf { reg: 9, half: 1 }, RegHalf { reg: 11, half: 1 }]);
+        assert_eq!(
+            q3.src_fetches,
+            vec![RegHalf { reg: 9, half: 1 }, RegHalf { reg: 11, half: 1 }]
+        );
         assert_eq!(q3.dst_writeback, Some(RegHalf { reg: 13, half: 1 }));
     }
 
     #[test]
     fn baseline_issues_all_quartiles() {
-        let e = expand(&add16(), ExecMask::new(0xF0F0, 16), CompactionMode::Baseline);
+        let e = expand(
+            &add16(),
+            ExecMask::new(0xF0F0, 16),
+            CompactionMode::Baseline,
+        );
         assert_eq!(e.issued.len(), 4);
         assert_eq!(e.suppressed, 0);
         assert_eq!(e.fetches_saved, 0);
@@ -254,11 +275,19 @@ mod tests {
 
     #[test]
     fn ivb_suppresses_idle_half_only() {
-        let e = expand(&add16(), ExecMask::new(0x00F0, 16), CompactionMode::IvyBridge);
+        let e = expand(
+            &add16(),
+            ExecMask::new(0x00F0, 16),
+            CompactionMode::IvyBridge,
+        );
         let quartiles: Vec<u8> = e.issued.iter().map(|m| m.quartile).collect();
         assert_eq!(quartiles, vec![0, 1]);
         // 0xF0F0 is not half-idle: nothing suppressed.
-        let e = expand(&add16(), ExecMask::new(0xF0F0, 16), CompactionMode::IvyBridge);
+        let e = expand(
+            &add16(),
+            ExecMask::new(0xF0F0, 16),
+            CompactionMode::IvyBridge,
+        );
         assert_eq!(e.issued.len(), 4);
     }
 
@@ -287,7 +316,11 @@ mod tests {
             let m = ExecMask::new(bits, 16);
             for mode in CompactionMode::ALL {
                 let e = expand(&add16(), m, mode);
-                assert_eq!(e.issued.len() as u32, waves(m, mode), "mask {bits:#x} mode {mode}");
+                assert_eq!(
+                    e.issued.len() as u32,
+                    waves(m, mode),
+                    "mask {bits:#x} mode {mode}"
+                );
             }
         }
     }

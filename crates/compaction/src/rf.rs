@@ -67,18 +67,34 @@ impl RfModel {
     /// ```
     pub fn new(org: RfOrganization) -> Self {
         match org {
-            RfOrganization::Baseline => {
-                Self { org, banks: 1, row_bits: 256, rows: 128, crossbar_lanes: 0 }
-            }
-            RfOrganization::Bcc => {
-                Self { org, banks: 2, row_bits: 128, rows: 128, crossbar_lanes: 0 }
-            }
-            RfOrganization::Scc => {
-                Self { org, banks: 1, row_bits: 512, rows: 64, crossbar_lanes: 16 }
-            }
-            RfOrganization::InterWarp => {
-                Self { org, banks: 8, row_bits: 32, rows: 128, crossbar_lanes: 32 }
-            }
+            RfOrganization::Baseline => Self {
+                org,
+                banks: 1,
+                row_bits: 256,
+                rows: 128,
+                crossbar_lanes: 0,
+            },
+            RfOrganization::Bcc => Self {
+                org,
+                banks: 2,
+                row_bits: 128,
+                rows: 128,
+                crossbar_lanes: 0,
+            },
+            RfOrganization::Scc => Self {
+                org,
+                banks: 1,
+                row_bits: 512,
+                rows: 64,
+                crossbar_lanes: 16,
+            },
+            RfOrganization::InterWarp => Self {
+                org,
+                banks: 8,
+                row_bits: 32,
+                rows: 128,
+                crossbar_lanes: 32,
+            },
         }
     }
 
@@ -152,7 +168,10 @@ mod tests {
     #[test]
     fn bcc_overhead_near_ten_percent() {
         let o = RfModel::new(RfOrganization::Bcc).area_overhead_vs_baseline();
-        assert!((0.05..0.15).contains(&o), "BCC overhead {o:.3} should be ~10%");
+        assert!(
+            (0.05..0.15).contains(&o),
+            "BCC overhead {o:.3} should be ~10%"
+        );
     }
 
     #[test]

@@ -120,8 +120,15 @@ impl CrossbarControl {
     /// Drives the wired-OR bus: applies every quad's routing to per-quad
     /// input data and combines the outputs. Panics (in debug) when two
     /// quads drive the same position — a schedule-invariant violation.
-    pub fn drive_bus<T: Copy>(&self, quad_inputs: &[[T; QUAD as usize]]) -> [Option<T>; QUAD as usize] {
-        assert_eq!(quad_inputs.len(), self.per_quad.len(), "one input vector per quad");
+    pub fn drive_bus<T: Copy>(
+        &self,
+        quad_inputs: &[[T; QUAD as usize]],
+    ) -> [Option<T>; QUAD as usize] {
+        assert_eq!(
+            quad_inputs.len(),
+            self.per_quad.len(),
+            "one input vector per quad"
+        );
         let mut bus = [None; QUAD as usize];
         for (q, swz) in self.per_quad.iter().enumerate() {
             for (n, v) in swz.route(quad_inputs[q]).into_iter().enumerate() {
@@ -257,7 +264,13 @@ impl SccSchedule {
                     len += 1;
                 }
             }
-            return Self { mask, cycles, len, swizzle_count: 0, bcc_like: true };
+            return Self {
+                mask,
+                cycles,
+                len,
+                swizzle_count: 0,
+                bcc_like: true,
+            };
         }
 
         // a_ln_q[n]: queue of quads with lane n active, as a fixed ring-free
@@ -292,7 +305,9 @@ impl SccSchedule {
         for slots in cycles.iter_mut().take(o_cyc_cnt as usize) {
             for n in 0..QUAD as usize {
                 if q_head[n] < q_len[n] {
-                    slots[n] = LaneSlot::Direct { quad: a_ln_q[n][q_head[n] as usize] };
+                    slots[n] = LaneSlot::Direct {
+                        quad: a_ln_q[n][q_head[n] as usize],
+                    };
                     q_head[n] += 1;
                 } else if tot_surplus != 0 {
                     // Find a surplus lane m and steal its front element.
@@ -301,7 +316,10 @@ impl SccSchedule {
                     {
                         let q = a_ln_q[m][q_head[m] as usize];
                         q_head[m] += 1;
-                        slots[n] = LaneSlot::Swizzled { quad: q, from_lane: m as u8 };
+                        slots[n] = LaneSlot::Swizzled {
+                            quad: q,
+                            from_lane: m as u8,
+                        };
                         surplus[m] -= 1;
                         tot_surplus -= 1;
                         swizzle_count += 1;
@@ -310,7 +328,13 @@ impl SccSchedule {
                 // else: no surplus, lane not filled (stays Disabled).
             }
         }
-        Self { mask, cycles, len: o_cyc_cnt as u8, swizzle_count, bcc_like: false }
+        Self {
+            mask,
+            cycles,
+            len: o_cyc_cnt as u8,
+            swizzle_count,
+            bcc_like: false,
+        }
     }
 
     /// The original literal transcription of the Fig. 6 pseudo-code
@@ -377,7 +401,10 @@ impl SccSchedule {
                         (0..QUAD as usize).find(|&m| surplus[m] > 0 && !a_ln_q[m].is_empty())
                     {
                         let q = a_ln_q[m].pop_front().expect("surplus lane has work");
-                        slots[n] = LaneSlot::Swizzled { quad: q, from_lane: m as u8 };
+                        slots[n] = LaneSlot::Swizzled {
+                            quad: q,
+                            from_lane: m as u8,
+                        };
                         surplus[m] -= 1;
                         tot_surplus -= 1;
                         swizzle_count += 1;
@@ -504,18 +531,26 @@ impl SccSchedule {
         for (ch, &count) in seen.iter().enumerate() {
             let expected = u32::from(self.mask.channel(ch as u32));
             if count != expected {
-                return Err(format!("channel {ch} issued {count} times, expected {expected}"));
+                return Err(format!(
+                    "channel {ch} issued {count} times, expected {expected}"
+                ));
             }
         }
         let want = self.mask.active_channels().div_ceil(QUAD).max(1);
         if self.cycle_count() != want {
-            return Err(format!("cycle count {} != optimal {want}", self.cycle_count()));
+            return Err(format!(
+                "cycle count {} != optimal {want}",
+                self.cycle_count()
+            ));
         }
         // Trailing (unused) slots of the fixed array must stay all-disabled
         // so structural equality between schedules remains meaningful.
         for (c, slots) in self.cycles[self.len as usize..].iter().enumerate() {
             if slots.iter().any(|s| !matches!(s, LaneSlot::Disabled)) {
-                return Err(format!("unused cycle slot {} not disabled", self.len as usize + c));
+                return Err(format!(
+                    "unused cycle slot {} not disabled",
+                    self.len as usize + c
+                ));
             }
         }
         Ok(())
@@ -524,7 +559,12 @@ impl SccSchedule {
 
 impl fmt::Display for SccSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "SCC schedule for mask {} ({} cycles):", self.mask, self.cycle_count())?;
+        writeln!(
+            f,
+            "SCC schedule for mask {} ({} cycles):",
+            self.mask,
+            self.cycle_count()
+        )?;
         for (c, slots) in self.cycles().iter().enumerate() {
             write!(f, "  cycle {c}:")?;
             for (n, s) in slots.iter().enumerate() {
@@ -562,9 +602,15 @@ mod tests {
         assert_eq!(
             s.cycles()[0],
             [
-                LaneSlot::Swizzled { quad: 0, from_lane: 1 },
+                LaneSlot::Swizzled {
+                    quad: 0,
+                    from_lane: 1
+                },
                 LaneSlot::Direct { quad: 1 },
-                LaneSlot::Swizzled { quad: 2, from_lane: 1 },
+                LaneSlot::Swizzled {
+                    quad: 2,
+                    from_lane: 1
+                },
                 LaneSlot::Direct { quad: 0 },
             ]
         );
@@ -572,9 +618,15 @@ mod tests {
         assert_eq!(
             s.cycles()[1],
             [
-                LaneSlot::Swizzled { quad: 1, from_lane: 3 },
+                LaneSlot::Swizzled {
+                    quad: 1,
+                    from_lane: 3
+                },
                 LaneSlot::Direct { quad: 3 },
-                LaneSlot::Swizzled { quad: 2, from_lane: 3 },
+                LaneSlot::Swizzled {
+                    quad: 2,
+                    from_lane: 3
+                },
                 LaneSlot::Direct { quad: 3 },
             ]
         );
@@ -604,8 +656,14 @@ mod tests {
         assert_eq!(s.cycle_count(), 2);
         assert_eq!(s.swizzle_count(), 0);
         s.validate().unwrap();
-        assert_eq!(s.issued_channels(0), vec![Some(0), Some(1), Some(2), Some(3)]);
-        assert_eq!(s.issued_channels(1), vec![Some(12), Some(13), Some(14), Some(15)]);
+        assert_eq!(
+            s.issued_channels(0),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+        assert_eq!(
+            s.issued_channels(1),
+            vec![Some(12), Some(13), Some(14), Some(15)]
+        );
     }
 
     #[test]
@@ -724,7 +782,8 @@ mod tests {
     fn exhaustive_simd8_validation() {
         for bits in 0..=0xFFu32 {
             let s = SccSchedule::compute(ExecMask::new(bits, 8));
-            s.validate().unwrap_or_else(|e| panic!("mask {bits:#x}: {e}"));
+            s.validate()
+                .unwrap_or_else(|e| panic!("mask {bits:#x}: {e}"));
         }
     }
 
@@ -734,7 +793,11 @@ mod tests {
         for bits in (0..=0xFFFFu32).step_by(37) {
             let m = m16(bits);
             let s = SccSchedule::compute(m);
-            assert_eq!(s.cycle_count(), waves(m, CompactionMode::Scc), "mask {bits:#x}");
+            assert_eq!(
+                s.cycle_count(),
+                waves(m, CompactionMode::Scc),
+                "mask {bits:#x}"
+            );
         }
     }
 
@@ -759,7 +822,11 @@ mod tests {
             let cost = SccCost::of(m);
             let s = SccSchedule::compute_reference(m);
             assert_eq!(u32::from(cost.cycles), s.cycle_count(), "mask {bits:#x}");
-            assert_eq!(u32::from(cost.swizzles), s.swizzle_count(), "mask {bits:#x}");
+            assert_eq!(
+                u32::from(cost.swizzles),
+                s.swizzle_count(),
+                "mask {bits:#x}"
+            );
             assert_eq!(cost.bcc_like, s.is_bcc_like(), "mask {bits:#x}");
         }
     }

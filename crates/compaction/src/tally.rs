@@ -116,7 +116,10 @@ impl CompactionTally {
         self.active_channels += u64::from(mask.active_channels());
         self.total_channels += u64::from(mask.width());
         let bucket = UtilBucket::of(mask);
-        let idx = UtilBucket::ALL.iter().position(|&b| b == bucket).expect("bucket in ALL");
+        let idx = UtilBucket::ALL
+            .iter()
+            .position(|&b| b == bucket)
+            .expect("bucket in ALL");
         self.buckets[idx] += 1;
         // Fetch/swizzle accounting assumes a representative 2-source op.
         let idle_quads = u64::from(mask.quad_count() - mask.active_quads().min(mask.quad_count()));
@@ -195,11 +198,26 @@ mod tests {
 
     #[test]
     fn bucket_classification() {
-        assert_eq!(UtilBucket::of(ExecMask::new(0x0003, 16)), UtilBucket::S16Active1To4);
-        assert_eq!(UtilBucket::of(ExecMask::new(0x00FF, 16)), UtilBucket::S16Active5To8);
-        assert_eq!(UtilBucket::of(ExecMask::new(0x0FFF, 16)), UtilBucket::S16Active9To12);
-        assert_eq!(UtilBucket::of(ExecMask::all(16)), UtilBucket::S16Active13To16);
-        assert_eq!(UtilBucket::of(ExecMask::new(0x0F, 8)), UtilBucket::S8Active1To4);
+        assert_eq!(
+            UtilBucket::of(ExecMask::new(0x0003, 16)),
+            UtilBucket::S16Active1To4
+        );
+        assert_eq!(
+            UtilBucket::of(ExecMask::new(0x00FF, 16)),
+            UtilBucket::S16Active5To8
+        );
+        assert_eq!(
+            UtilBucket::of(ExecMask::new(0x0FFF, 16)),
+            UtilBucket::S16Active9To12
+        );
+        assert_eq!(
+            UtilBucket::of(ExecMask::all(16)),
+            UtilBucket::S16Active13To16
+        );
+        assert_eq!(
+            UtilBucket::of(ExecMask::new(0x0F, 8)),
+            UtilBucket::S8Active1To4
+        );
         assert_eq!(UtilBucket::of(ExecMask::all(8)), UtilBucket::S8Active5To8);
         assert_eq!(UtilBucket::of(ExecMask::none(16)), UtilBucket::Other);
         assert_eq!(UtilBucket::of(ExecMask::all(4)), UtilBucket::Other);

@@ -6,7 +6,10 @@ use iwc_isa::{DataType, ExecMask};
 use proptest::prelude::*;
 
 fn arb_mask() -> impl Strategy<Value = ExecMask> {
-    (any::<u32>(), prop_oneof![Just(4u32), Just(8), Just(16), Just(32)])
+    (
+        any::<u32>(),
+        prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
+    )
         .prop_map(|(bits, width)| ExecMask::new(bits, width))
 }
 

@@ -16,13 +16,24 @@ fn exhaustive_simd16_equivalence() {
         let uncached = SccSchedule::compute_uncached(m);
         let reference = SccSchedule::compute_reference(m);
         assert_eq!(cached, uncached, "memoized vs uncached, mask {bits:#06x}");
-        assert_eq!(uncached, reference, "uncached vs reference, mask {bits:#06x}");
+        assert_eq!(
+            uncached, reference,
+            "uncached vs reference, mask {bits:#06x}"
+        );
         cached
             .validate()
             .unwrap_or_else(|e| panic!("mask {bits:#06x}: {e}"));
         let cost = SccCost::of(m);
-        assert_eq!(u32::from(cost.cycles), reference.cycle_count(), "mask {bits:#06x}");
-        assert_eq!(u32::from(cost.swizzles), reference.swizzle_count(), "mask {bits:#06x}");
+        assert_eq!(
+            u32::from(cost.cycles),
+            reference.cycle_count(),
+            "mask {bits:#06x}"
+        );
+        assert_eq!(
+            u32::from(cost.swizzles),
+            reference.swizzle_count(),
+            "mask {bits:#06x}"
+        );
         assert_eq!(cost.bcc_like, reference.is_bcc_like(), "mask {bits:#06x}");
     }
 }

@@ -52,7 +52,10 @@ impl fmt::Display for ParseAsmError {
 impl std::error::Error for ParseAsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
-    ParseAsmError { line, message: message.into() }
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_dtype(s: &str, line: usize) -> Result<DataType, ParseAsmError> {
@@ -83,10 +86,12 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
     let dtype = parse_dtype(ty, line)?;
     if let Some(reg_part) = body.strip_prefix('r') {
         if let Some((reg, sub)) = reg_part.split_once('.') {
-            let reg: u8 =
-                reg.parse().map_err(|_| err(line, format!("bad register in {tok:?}")))?;
-            let sub: u8 =
-                sub.parse().map_err(|_| err(line, format!("bad subregister in {tok:?}")))?;
+            let reg: u8 = reg
+                .parse()
+                .map_err(|_| err(line, format!("bad register in {tok:?}")))?;
+            let sub: u8 = sub
+                .parse()
+                .map_err(|_| err(line, format!("bad subregister in {tok:?}")))?;
             return Ok(Operand::scalar(reg, sub, dtype));
         }
         if let Ok(reg) = reg_part.parse::<u8>() {
@@ -95,7 +100,10 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
     }
     // Immediate.
     let value = if dtype.is_float() {
-        Scalar::F(body.parse::<f64>().map_err(|_| err(line, format!("bad float {body:?}")))?)
+        Scalar::F(
+            body.parse::<f64>()
+                .map_err(|_| err(line, format!("bad float {body:?}")))?,
+        )
     } else if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         let v = u64::from_str_radix(hex, 16)
             .map_err(|_| err(line, format!("bad hex literal {body:?}")))?;
@@ -105,9 +113,15 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseAsmError> {
             Scalar::U(v)
         }
     } else if dtype.is_signed_int() {
-        Scalar::I(body.parse().map_err(|_| err(line, format!("bad int {body:?}")))?)
+        Scalar::I(
+            body.parse()
+                .map_err(|_| err(line, format!("bad int {body:?}")))?,
+        )
     } else {
-        Scalar::U(body.parse().map_err(|_| err(line, format!("bad uint {body:?}")))?)
+        Scalar::U(
+            body.parse()
+                .map_err(|_| err(line, format!("bad uint {body:?}")))?,
+        )
     };
     Ok(Operand::Imm { value, dtype })
 }
@@ -194,7 +208,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
                 return Err(err(line, "duplicate kernel header"));
             }
             let mut parts = rest.split_whitespace();
-            let name = parts.next().ok_or_else(|| err(line, "kernel header missing name"))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| err(line, "kernel header missing name"))?;
             let width = parts
                 .next()
                 .and_then(|w| w.strip_prefix("simd"))
@@ -207,7 +223,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
             builder = Some(KernelBuilder::new(name, width));
             continue;
         }
-        let b = builder.as_mut().ok_or_else(|| err(line, "missing kernel header"))?;
+        let b = builder
+            .as_mut()
+            .ok_or_else(|| err(line, "missing kernel header"))?;
 
         // Optional predicate prefix.
         let (pred, code) = if let Some(rest) = code.strip_prefix('(') {
@@ -231,8 +249,11 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
             None => (code, ""),
         };
 
-        let operands: Vec<&str> =
-            if rest.is_empty() { Vec::new() } else { rest.split(',').collect() };
+        let operands: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').collect()
+        };
 
         // Control flow and memory first.
         match head {
@@ -264,8 +285,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
                 continue;
             }
             "continue" => {
-                let p =
-                    pred.ok_or_else(|| err(line, "continue requires a predicate prefix"))?;
+                let p = pred.ok_or_else(|| err(line, "continue requires a predicate prefix"))?;
                 b.continue_(p);
                 continue;
             }
@@ -367,7 +387,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
         if operands.len() != want {
             return Err(err(
                 line,
-                format!("{mnemonic} expects {want} operands (dst + {} src)", want - 1),
+                format!(
+                    "{mnemonic} expects {want} operands (dst + {} src)",
+                    want - 1
+                ),
             ));
         }
         let dst = parse_operand(operands[0], line)?;
@@ -395,7 +418,12 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
 pub fn to_asm(program: &Program) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "kernel {} simd{}", program.name(), program.simd_width());
+    let _ = writeln!(
+        out,
+        "kernel {} simd{}",
+        program.name(),
+        program.simd_width()
+    );
     let mut indent = 1usize;
     for insn in program.insns() {
         if matches!(insn.op, Opcode::Else | Opcode::EndIf | Opcode::While) {
@@ -434,7 +462,9 @@ pub fn to_asm(program: &Program) -> String {
                     operand(&insn.dst),
                     operand(&addr)
                 ),
-                crate::insn::SendMessage::Store { space, addr, data, .. } => format!(
+                crate::insn::SendMessage::Store {
+                    space, addr, data, ..
+                } => format!(
                     "store.{} {}, {}",
                     space_name(space),
                     operand(&addr),
@@ -541,8 +571,7 @@ mod tests {
         ";
         let p = parse_program(src).unwrap();
         assert_eq!(p.simd_width(), 8);
-        let whiles: Vec<_> =
-            p.insns().iter().filter(|i| i.op == Opcode::While).collect();
+        let whiles: Vec<_> = p.insns().iter().filter(|i| i.op == Opcode::While).collect();
         assert_eq!(whiles.len(), 1);
         assert_eq!(whiles[0].jip, Some(2), "while loops to first body insn");
     }
@@ -557,7 +586,10 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(
             p.insns()[0].srcs[1],
-            Operand::Imm { value: Scalar::U(255), dtype: DataType::Ud }
+            Operand::Imm {
+                value: Scalar::U(255),
+                dtype: DataType::Ud
+            }
         );
         assert_eq!(p.insns()[1].srcs[1], Operand::scalar(3, 2, DataType::Ud));
     }
@@ -635,8 +667,12 @@ mod tests {
         let p = parse_program(src).unwrap();
         let text = to_asm(&p);
         let p2 = parse_program(&text).unwrap();
-        assert_eq!(p.insns(), p2.insns(), "round trip differs:
-{text}");
+        assert_eq!(
+            p.insns(),
+            p2.insns(),
+            "round trip differs:
+{text}"
+        );
         assert_eq!(p.name(), p2.name());
         assert_eq!(p.simd_width(), p2.simd_width());
     }

@@ -31,8 +31,15 @@ use crate::types::DataType;
 
 #[derive(Debug)]
 enum Frame {
-    If { if_idx: usize, else_idx: Option<usize> },
-    Loop { body_start: usize, breaks: Vec<usize>, continues: Vec<usize> },
+    If {
+        if_idx: usize,
+        else_idx: Option<usize>,
+    },
+    Loop {
+        body_start: usize,
+        breaks: Vec<usize>,
+        continues: Vec<usize>,
+    },
 }
 
 /// Incremental builder for [`Program`]s.
@@ -200,17 +207,26 @@ impl KernelBuilder {
     /// Per-channel scatter store of `data` to byte addresses `addr`.
     pub fn store(&mut self, space: MemSpace, addr: Operand, data: Operand) -> &mut Self {
         let dtype = data.dtype().expect("store data must be typed");
-        let mut insn =
-            Instruction::alu(Opcode::Send, self.simd_width, dtype, Operand::Null, &[]);
-        insn.msg = Some(SendMessage::Store { space, addr, data, dtype });
+        let mut insn = Instruction::alu(Opcode::Send, self.simd_width, dtype, Operand::Null, &[]);
+        insn.msg = Some(SendMessage::Store {
+            space,
+            addr,
+            data,
+            dtype,
+        });
         self.emit(insn);
         self
     }
 
     /// Memory fence.
     pub fn fence(&mut self) -> &mut Self {
-        let mut insn =
-            Instruction::alu(Opcode::Send, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let mut insn = Instruction::alu(
+            Opcode::Send,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         insn.msg = Some(SendMessage::Fence);
         self.emit(insn);
         self
@@ -223,11 +239,19 @@ impl KernelBuilder {
 
     /// Opens a divergent `if` region on `pred`.
     pub fn if_(&mut self, pred: Predicate) -> &mut Self {
-        let mut insn =
-            Instruction::alu(Opcode::If, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let mut insn = Instruction::alu(
+            Opcode::If,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         insn.pred = Some(pred);
         let if_idx = self.emit(insn);
-        self.frames.push(Frame::If { if_idx, else_idx: None });
+        self.frames.push(Frame::If {
+            if_idx,
+            else_idx: None,
+        });
         self
     }
 
@@ -238,11 +262,19 @@ impl KernelBuilder {
     /// Panics when not inside an `if` region or when `else_` was already
     /// emitted for it.
     pub fn else_(&mut self) -> &mut Self {
-        let insn =
-            Instruction::alu(Opcode::Else, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let insn = Instruction::alu(
+            Opcode::Else,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         let idx = self.emit(insn);
         match self.frames.last_mut() {
-            Some(Frame::If { else_idx: else_slot @ None, .. }) => *else_slot = Some(idx),
+            Some(Frame::If {
+                else_idx: else_slot @ None,
+                ..
+            }) => *else_slot = Some(idx),
             Some(Frame::If { .. }) => panic!("duplicate else in if region"),
             _ => panic!("else outside of if region"),
         }
@@ -255,8 +287,13 @@ impl KernelBuilder {
     ///
     /// Panics when not inside an `if` region.
     pub fn end_if(&mut self) -> &mut Self {
-        let insn =
-            Instruction::alu(Opcode::EndIf, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let insn = Instruction::alu(
+            Opcode::EndIf,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         let endif_idx = self.emit(insn);
         match self.frames.pop() {
             Some(Frame::If { if_idx, else_idx }) => {
@@ -274,8 +311,13 @@ impl KernelBuilder {
 
     /// Opens a loop region.
     pub fn do_(&mut self) -> &mut Self {
-        let insn =
-            Instruction::alu(Opcode::Do, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let insn = Instruction::alu(
+            Opcode::Do,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         let do_idx = self.emit(insn);
         self.frames.push(Frame::Loop {
             body_start: do_idx + 1,
@@ -291,11 +333,21 @@ impl KernelBuilder {
     ///
     /// Panics when not inside a loop region.
     pub fn break_(&mut self, pred: Predicate) -> &mut Self {
-        let mut insn =
-            Instruction::alu(Opcode::Break, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let mut insn = Instruction::alu(
+            Opcode::Break,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         insn.pred = Some(pred);
         let idx = self.emit(insn);
-        match self.frames.iter_mut().rev().find(|f| matches!(f, Frame::Loop { .. })) {
+        match self
+            .frames
+            .iter_mut()
+            .rev()
+            .find(|f| matches!(f, Frame::Loop { .. }))
+        {
             Some(Frame::Loop { breaks, .. }) => breaks.push(idx),
             _ => panic!("break outside of loop region"),
         }
@@ -317,7 +369,12 @@ impl KernelBuilder {
         );
         insn.pred = Some(pred);
         let idx = self.emit(insn);
-        match self.frames.iter_mut().rev().find(|f| matches!(f, Frame::Loop { .. })) {
+        match self
+            .frames
+            .iter_mut()
+            .rev()
+            .find(|f| matches!(f, Frame::Loop { .. }))
+        {
             Some(Frame::Loop { continues, .. }) => continues.push(idx),
             _ => panic!("continue outside of loop region"),
         }
@@ -330,12 +387,21 @@ impl KernelBuilder {
     ///
     /// Panics when not inside a loop region.
     pub fn while_(&mut self, pred: Predicate) -> &mut Self {
-        let mut insn =
-            Instruction::alu(Opcode::While, self.simd_width, DataType::Ud, Operand::Null, &[]);
+        let mut insn = Instruction::alu(
+            Opcode::While,
+            self.simd_width,
+            DataType::Ud,
+            Operand::Null,
+            &[],
+        );
         insn.pred = Some(pred);
         let while_idx = self.emit(insn);
         match self.frames.pop() {
-            Some(Frame::Loop { body_start, breaks, continues }) => {
+            Some(Frame::Loop {
+                body_start,
+                breaks,
+                continues,
+            }) => {
                 self.insns[while_idx].jip = Some(body_start);
                 for b in breaks {
                     self.insns[b].jip = Some(while_idx + 1);
@@ -475,7 +541,11 @@ mod tests {
         b.end_if(); // 3
         b.while_(f0()); // 4
         let p = b.finish().unwrap();
-        assert_eq!(p.insns()[2].jip, Some(5), "break inside if targets loop exit");
+        assert_eq!(
+            p.insns()[2].jip,
+            Some(5),
+            "break inside if targets loop exit"
+        );
         assert_eq!(p.insns()[1].jip, Some(3));
     }
 

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn float_arith() {
-        let v = eval_alu(Opcode::Mad, DataType::F, &[2.0f32.into(), 3.0f32.into(), 1.0f32.into()]);
+        let v = eval_alu(
+            Opcode::Mad,
+            DataType::F,
+            &[2.0f32.into(), 3.0f32.into(), 1.0f32.into()],
+        );
         assert_eq!(v, Scalar::F(7.0));
         let v = eval_alu(Opcode::Rsqrt, DataType::F, &[4.0f32.into()]);
         assert_eq!(v, Scalar::F(0.5));
@@ -165,13 +169,23 @@ mod tests {
 
     #[test]
     fn log_exp_are_base2() {
-        assert_eq!(eval_alu(Opcode::Log, DataType::F, &[8.0f32.into()]), Scalar::F(3.0));
-        assert_eq!(eval_alu(Opcode::Exp, DataType::F, &[3.0f32.into()]), Scalar::F(8.0));
+        assert_eq!(
+            eval_alu(Opcode::Log, DataType::F, &[8.0f32.into()]),
+            Scalar::F(3.0)
+        );
+        assert_eq!(
+            eval_alu(Opcode::Exp, DataType::F, &[3.0f32.into()]),
+            Scalar::F(8.0)
+        );
     }
 
     #[test]
     fn signed_wrapping() {
-        let v = eval_alu(Opcode::Add, DataType::D, &[Scalar::I(i64::MAX), Scalar::I(1)]);
+        let v = eval_alu(
+            Opcode::Add,
+            DataType::D,
+            &[Scalar::I(i64::MAX), Scalar::I(1)],
+        );
         assert_eq!(v, Scalar::I(i64::MIN));
         let v = eval_alu(Opcode::Idiv, DataType::D, &[Scalar::I(-7), Scalar::I(2)]);
         assert_eq!(v, Scalar::I(-3));
@@ -179,13 +193,23 @@ mod tests {
 
     #[test]
     fn divide_by_zero_yields_zero() {
-        assert_eq!(eval_alu(Opcode::Idiv, DataType::D, &[Scalar::I(5), Scalar::I(0)]), Scalar::I(0));
-        assert_eq!(eval_alu(Opcode::Irem, DataType::Ud, &[Scalar::U(5), Scalar::U(0)]), Scalar::U(0));
+        assert_eq!(
+            eval_alu(Opcode::Idiv, DataType::D, &[Scalar::I(5), Scalar::I(0)]),
+            Scalar::I(0)
+        );
+        assert_eq!(
+            eval_alu(Opcode::Irem, DataType::Ud, &[Scalar::U(5), Scalar::U(0)]),
+            Scalar::U(0)
+        );
     }
 
     #[test]
     fn unsigned_bitops() {
-        let v = eval_alu(Opcode::Xor, DataType::Ud, &[Scalar::U(0b1100), Scalar::U(0b1010)]);
+        let v = eval_alu(
+            Opcode::Xor,
+            DataType::Ud,
+            &[Scalar::U(0b1100), Scalar::U(0b1010)],
+        );
         assert_eq!(v, Scalar::U(0b0110));
         let v = eval_alu(Opcode::Shl, DataType::Ud, &[Scalar::U(1), Scalar::U(4)]);
         assert_eq!(v, Scalar::U(16));
@@ -193,11 +217,31 @@ mod tests {
 
     #[test]
     fn conditions_respect_type_class() {
-        assert!(eval_cond(CondOp::Lt, DataType::D, Scalar::I(-1), Scalar::I(0)));
+        assert!(eval_cond(
+            CondOp::Lt,
+            DataType::D,
+            Scalar::I(-1),
+            Scalar::I(0)
+        ));
         // Same bits interpreted unsigned: 0xFFFF.. > 0.
-        assert!(!eval_cond(CondOp::Lt, DataType::Ud, Scalar::U(u64::MAX), Scalar::U(0)));
-        assert!(eval_cond(CondOp::Ge, DataType::F, Scalar::F(1.5), Scalar::F(1.5)));
-        assert!(eval_cond(CondOp::Ne, DataType::F, Scalar::F(f64::NAN), Scalar::F(0.0)));
+        assert!(!eval_cond(
+            CondOp::Lt,
+            DataType::Ud,
+            Scalar::U(u64::MAX),
+            Scalar::U(0)
+        ));
+        assert!(eval_cond(
+            CondOp::Ge,
+            DataType::F,
+            Scalar::F(1.5),
+            Scalar::F(1.5)
+        ));
+        assert!(eval_cond(
+            CondOp::Ne,
+            DataType::F,
+            Scalar::F(f64::NAN),
+            Scalar::F(0.0)
+        ));
     }
 
     #[test]

@@ -383,8 +383,12 @@ impl Instruction {
     /// All register operands read by this instruction, including address and
     /// data operands of a `send` message.
     pub fn read_operands(&self) -> Vec<Operand> {
-        let mut out: Vec<Operand> =
-            self.used_srcs().iter().copied().filter(|o| o.grf_reg().is_some()).collect();
+        let mut out: Vec<Operand> = self
+            .used_srcs()
+            .iter()
+            .copied()
+            .filter(|o| o.grf_reg().is_some())
+            .collect();
         if let Some(msg) = &self.msg {
             match msg {
                 SendMessage::Load { addr, .. } => out.push(*addr),
@@ -451,13 +455,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "expects 2 sources")]
     fn alu_validates_src_count() {
-        let _ = Instruction::alu(Opcode::Add, 16, DataType::F, Operand::rf(1), &[Operand::rf(2)]);
+        let _ = Instruction::alu(
+            Opcode::Add,
+            16,
+            DataType::F,
+            Operand::rf(1),
+            &[Operand::rf(2)],
+        );
     }
 
     #[test]
     fn read_operands_include_send_payload() {
-        let mut insn =
-            Instruction::alu(Opcode::Send, 16, DataType::F, Operand::rf(10), &[]);
+        let mut insn = Instruction::alu(Opcode::Send, 16, DataType::F, Operand::rf(10), &[]);
         insn.msg = Some(SendMessage::Store {
             space: MemSpace::Global,
             addr: Operand::rud(4),

@@ -141,7 +141,9 @@ impl ExecMask {
     /// This is exactly the execution-cycle count under basic cycle compression
     /// (BCC) before the 1-cycle minimum is applied.
     pub fn active_quads(self) -> u32 {
-        (0..self.quad_count()).filter(|&q| self.quad_active(q)).count() as u32
+        (0..self.quad_count())
+            .filter(|&q| self.quad_active(q))
+            .count() as u32
     }
 
     /// Iterator over the indices of enabled channels, ascending.
@@ -268,7 +270,9 @@ mod tests {
 
     #[test]
     fn channel_get_set() {
-        let m = ExecMask::none(16).with_channel(3, true).with_channel(12, true);
+        let m = ExecMask::none(16)
+            .with_channel(3, true)
+            .with_channel(12, true);
         assert!(m.channel(3));
         assert!(m.channel(12));
         assert!(!m.channel(4));

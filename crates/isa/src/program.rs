@@ -82,7 +82,11 @@ impl Program {
         if depth != 0 {
             return Err(err(insns.len() - 1, "unclosed control-flow region"));
         }
-        Ok(Self { name: name.into(), simd_width, insns })
+        Ok(Self {
+            name: name.into(),
+            simd_width,
+            insns,
+        })
     }
 
     /// Kernel name.

@@ -94,17 +94,26 @@ pub enum Operand {
 impl Operand {
     /// Vector float32 GRF operand.
     pub fn rf(reg: u8) -> Self {
-        Self::Grf { reg, dtype: DataType::F }
+        Self::Grf {
+            reg,
+            dtype: DataType::F,
+        }
     }
 
     /// Vector signed-int32 GRF operand.
     pub fn rd(reg: u8) -> Self {
-        Self::Grf { reg, dtype: DataType::D }
+        Self::Grf {
+            reg,
+            dtype: DataType::D,
+        }
     }
 
     /// Vector unsigned-int32 GRF operand.
     pub fn rud(reg: u8) -> Self {
-        Self::Grf { reg, dtype: DataType::Ud }
+        Self::Grf {
+            reg,
+            dtype: DataType::Ud,
+        }
     }
 
     /// Vector GRF operand of an explicit type.
@@ -119,25 +128,34 @@ impl Operand {
 
     /// Float immediate.
     pub fn imm_f(v: f32) -> Self {
-        Self::Imm { value: v.into(), dtype: DataType::F }
+        Self::Imm {
+            value: v.into(),
+            dtype: DataType::F,
+        }
     }
 
     /// Signed-int immediate.
     pub fn imm_d(v: i32) -> Self {
-        Self::Imm { value: v.into(), dtype: DataType::D }
+        Self::Imm {
+            value: v.into(),
+            dtype: DataType::D,
+        }
     }
 
     /// Unsigned-int immediate.
     pub fn imm_ud(v: u32) -> Self {
-        Self::Imm { value: v.into(), dtype: DataType::Ud }
+        Self::Imm {
+            value: v.into(),
+            dtype: DataType::Ud,
+        }
     }
 
     /// Element type of the operand, if it has one.
     pub fn dtype(&self) -> Option<DataType> {
         match self {
-            Self::Grf { dtype, .. }
-            | Self::GrfScalar { dtype, .. }
-            | Self::Imm { dtype, .. } => Some(*dtype),
+            Self::Grf { dtype, .. } | Self::GrfScalar { dtype, .. } | Self::Imm { dtype, .. } => {
+                Some(*dtype)
+            }
             Self::Null => None,
         }
     }
@@ -215,7 +233,10 @@ pub struct Predicate {
 impl Predicate {
     /// Normal predication on `flag` (`(+f) insn`).
     pub fn normal(flag: FlagReg) -> Self {
-        Self { flag, invert: false }
+        Self {
+            flag,
+            invert: false,
+        }
     }
 
     /// Inverted predication on `flag` (`(-f) insn`).
@@ -278,9 +299,6 @@ mod tests {
         assert_eq!(Operand::rf(3).to_string(), "r3:f");
         assert_eq!(Operand::scalar(1, 2, DataType::Ud).to_string(), "r1.2:ud");
         assert_eq!(Operand::imm_d(-5).to_string(), "-5:d");
-        assert_eq!(
-            Predicate::inverted(FlagReg::F1).to_string(),
-            "(-f1)"
-        );
+        assert_eq!(Predicate::inverted(FlagReg::F1).to_string(), "(-f1)");
     }
 }

@@ -23,7 +23,10 @@ impl Cache {
     /// Builds a cache from its configuration and the line size.
     pub fn new(cfg: CacheConfig, line_bytes: u32) -> Self {
         let sets = cfg.sets(line_bytes);
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         Self {
             sets: vec![vec![None; cfg.ways as usize]; sets as usize],
             set_mask: u64::from(sets) - 1,
@@ -56,7 +59,10 @@ impl Cache {
                 .map(|(i, _)| i)
                 .expect("non-empty way list"),
         };
-        ways[victim] = Some(Line { tag, last_use: self.stamp });
+        ways[victim] = Some(Line {
+            tag,
+            last_use: self.stamp,
+        });
         false
     }
 
@@ -86,7 +92,15 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B = 512B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, banks: 1, latency: 1 }, 64)
+        Cache::new(
+            CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                banks: 1,
+                latency: 1,
+            },
+            64,
+        )
     }
 
     #[test]

@@ -126,8 +126,18 @@ impl GpuConfig {
                 line_bytes: 64,
                 slm_latency: 5,
                 slm_banks: 16,
-                l3: CacheConfig { size_bytes: 128 << 10, ways: 64, banks: 4, latency: 7 },
-                llc: CacheConfig { size_bytes: 2 << 20, ways: 16, banks: 8, latency: 10 },
+                l3: CacheConfig {
+                    size_bytes: 128 << 10,
+                    ways: 64,
+                    banks: 4,
+                    latency: 7,
+                },
+                llc: CacheConfig {
+                    size_bytes: 2 << 20,
+                    ways: 16,
+                    banks: 8,
+                    latency: 10,
+                },
                 dram_latency: 200,
                 dc_lines_per_cycle: 1.0,
                 perfect_l3: false,

@@ -9,7 +9,7 @@
 //! the memory subsystem reports completion.
 
 use crate::config::GpuConfig;
-use crate::exec::{execute_instruction, exec_mask_of, Effect, ThreadCtx};
+use crate::exec::{exec_mask_of, execute_instruction, Effect, ThreadCtx};
 use crate::memimg::MemoryImage;
 use crate::memsys::MemSystem;
 use iwc_compaction::{execution_cycles, CompactionTally};
@@ -272,7 +272,11 @@ impl Eu {
     ///
     /// Panics when no slot is free.
     pub fn place(&mut self, t: HwThread) {
-        let slot = self.slots.iter_mut().find(|s| s.is_none()).expect("free slot");
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("free slot");
         *slot = Some(t);
     }
 
@@ -351,9 +355,12 @@ impl Eu {
         let dtype = insn.dtype;
         let dst = insn.dst;
         let cond_flag = insn.cond_mod.map(|cm| cm.flag);
-        let n_operands =
-            (insn.used_srcs().iter().filter(|o| o.grf_reg().is_some()).count()
-                + usize::from(insn.dst.grf_reg().is_some())) as u64;
+        let n_operands = (insn
+            .used_srcs()
+            .iter()
+            .filter(|o| o.grf_reg().is_some())
+            .count()
+            + usize::from(insn.dst.grf_reg().is_some())) as u64;
         let insn_pipe = insn.op.pipe();
         let executed = execute_instruction(&mut t.ctx, program, img, slm);
         self.stats.issued += 1;
@@ -398,14 +405,22 @@ impl Eu {
                 self.stats.compute_tally.add(executed.mask, dtype);
                 self.stats.simd_tally.add(executed.mask, dtype);
                 if cfg.capture_masks {
-                    self.stats.mask_trace.push((executed.mask.bits(), executed.mask.width() as u8));
+                    self.stats
+                        .mask_trace
+                        .push((executed.mask.bits(), executed.mask.width() as u8));
                 }
             }
-            Effect::Memory { space, is_store, ref lane_addrs } => {
+            Effect::Memory {
+                space,
+                is_store,
+                ref lane_addrs,
+            } => {
                 self.stats.sends += 1;
                 self.stats.simd_tally.add(executed.mask, dtype);
                 if cfg.capture_masks {
-                    self.stats.mask_trace.push((executed.mask.bits(), executed.mask.width() as u8));
+                    self.stats
+                        .mask_trace
+                        .push((executed.mask.bits(), executed.mask.width() as u8));
                 }
                 let done = match space {
                     MemSpace::Global => {
@@ -466,7 +481,9 @@ impl Eu {
                 break;
             }
             let i = (start + k) % n;
-            let Some(t) = self.slots[i].as_ref() else { continue };
+            let Some(t) = self.slots[i].as_ref() else {
+                continue;
+            };
             let wg = t.wg;
             let slm_idx = *slm_index.get(&wg).expect("resident wg has an SLM slot");
             let slm = &mut slms[slm_idx];

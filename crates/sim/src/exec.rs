@@ -31,7 +31,11 @@ impl ThreadCtx {
     /// Creates a context with the given dispatch mask, PC 0 and zeroed
     /// registers.
     pub fn new(dispatch_mask: ExecMask) -> Self {
-        Self { pc: 0, regs: RegFile::new(), simt: SimtStack::new(dispatch_mask) }
+        Self {
+            pc: 0,
+            regs: RegFile::new(),
+            simt: SimtStack::new(dispatch_mask),
+        }
     }
 }
 
@@ -159,10 +163,16 @@ pub fn execute_instruction(
         }
         Opcode::Barrier => {
             ctx.pc += 1;
-            return Executed { mask, effect: Effect::Barrier };
+            return Executed {
+                mask,
+                effect: Effect::Barrier,
+            };
         }
         Opcode::Eot => {
-            return Executed { mask, effect: Effect::Eot };
+            return Executed {
+                mask,
+                effect: Effect::Eot,
+            };
         }
         _ => {}
     }
@@ -170,7 +180,10 @@ pub fn execute_instruction(
     // ---- ALU / send: a zero mask is skipped outright ----
     if mask.is_empty() {
         ctx.pc += 1;
-        return Executed { mask, effect: Effect::SkippedZeroMask };
+        return Executed {
+            mask,
+            effect: Effect::SkippedZeroMask,
+        };
     }
 
     match insn.op {
@@ -179,34 +192,58 @@ pub fn execute_instruction(
             let executed = match msg {
                 SendMessage::Fence => {
                     ctx.pc += 1;
-                    return Executed { mask, effect: Effect::Fence };
+                    return Executed {
+                        mask,
+                        effect: Effect::Fence,
+                    };
                 }
                 SendMessage::Load { space, addr, dtype } => {
                     let mut lane_addrs = Vec::with_capacity(mask.active_channels() as usize);
                     for lane in mask.iter_active() {
                         let a = ctx.regs.read_lane(&addr, lane).as_u64() as u32;
                         lane_addrs.push(a);
-                        let img = if space == MemSpace::Slm { &mut *slm } else { &mut *mem };
+                        let img = if space == MemSpace::Slm {
+                            &mut *slm
+                        } else {
+                            &mut *mem
+                        };
                         let v = img.read_scalar(a, dtype);
                         ctx.regs.write_lane(&insn.dst, lane, v);
                     }
                     Executed {
                         mask,
-                        effect: Effect::Memory { space, is_store: false, lane_addrs },
+                        effect: Effect::Memory {
+                            space,
+                            is_store: false,
+                            lane_addrs,
+                        },
                     }
                 }
-                SendMessage::Store { space, addr, data, dtype } => {
+                SendMessage::Store {
+                    space,
+                    addr,
+                    data,
+                    dtype,
+                } => {
                     let mut lane_addrs = Vec::with_capacity(mask.active_channels() as usize);
                     for lane in mask.iter_active() {
                         let a = ctx.regs.read_lane(&addr, lane).as_u64() as u32;
                         lane_addrs.push(a);
                         let v = ctx.regs.read_lane(&data, lane);
-                        let img = if space == MemSpace::Slm { &mut *slm } else { &mut *mem };
+                        let img = if space == MemSpace::Slm {
+                            &mut *slm
+                        } else {
+                            &mut *mem
+                        };
                         img.write_scalar(a, dtype, v);
                     }
                     Executed {
                         mask,
-                        effect: Effect::Memory { space, is_store: true, lane_addrs },
+                        effect: Effect::Memory {
+                            space,
+                            is_store: true,
+                            lane_addrs,
+                        },
                     }
                 }
             };
@@ -230,20 +267,30 @@ pub fn execute_instruction(
                 }
             }
             ctx.pc += 1;
-            Executed { mask, effect: Effect::Compute { pipe: Pipe::Fpu } }
+            Executed {
+                mask,
+                effect: Effect::Compute { pipe: Pipe::Fpu },
+            }
         }
         Opcode::Sel => {
             let p = insn.pred.expect("sel requires a selecting predicate");
             let select = pred_bits(ctx, p);
             for lane in mask.iter_active() {
-                let which = if select.channel(lane) { &insn.srcs[0] } else { &insn.srcs[1] };
+                let which = if select.channel(lane) {
+                    &insn.srcs[0]
+                } else {
+                    &insn.srcs[1]
+                };
                 let v = ctx.regs.read_lane(which, lane);
                 // Normalize through the ALU for type conversion.
                 let v = eval_alu(Opcode::Mov, insn.dtype, &[v]);
                 ctx.regs.write_lane(&insn.dst, lane, v);
             }
             ctx.pc += 1;
-            Executed { mask, effect: Effect::Compute { pipe: Pipe::Fpu } }
+            Executed {
+                mask,
+                effect: Effect::Compute { pipe: Pipe::Fpu },
+            }
         }
         op => {
             // Regular FPU/EM computation.
@@ -257,13 +304,19 @@ pub fn execute_instruction(
                 ctx.regs.write_lane(&insn.dst, lane, v);
             }
             ctx.pc += 1;
-            Executed { mask, effect: Effect::Compute { pipe: op.pipe() } }
+            Executed {
+                mask,
+                effect: Effect::Compute { pipe: op.pipe() },
+            }
         }
     }
 }
 
 fn ctl(mask: ExecMask) -> Executed {
-    Executed { mask, effect: Effect::ControlFlow }
+    Executed {
+        mask,
+        effect: Effect::ControlFlow,
+    }
 }
 
 #[cfg(test)]
@@ -293,14 +346,23 @@ mod tests {
     }
 
     fn fresh() -> (ThreadCtx, MemoryImage, MemoryImage) {
-        (ThreadCtx::new(ExecMask::all(16)), MemoryImage::new(1 << 16), MemoryImage::new(1 << 12))
+        (
+            ThreadCtx::new(ExecMask::all(16)),
+            MemoryImage::new(1 << 16),
+            MemoryImage::new(1 << 12),
+        )
     }
 
     #[test]
     fn straight_line_math() {
         let mut b = KernelBuilder::new("k", 16);
         b.mov(Operand::rf(4), Operand::imm_f(3.0));
-        b.mad(Operand::rf(6), Operand::rf(4), Operand::rf(4), Operand::imm_f(1.0));
+        b.mad(
+            Operand::rf(6),
+            Operand::rf(4),
+            Operand::rf(4),
+            Operand::imm_f(1.0),
+        );
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
@@ -322,12 +384,17 @@ mod tests {
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16 {
-            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+            ctx.regs
+                .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
         }
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
         for lane in 0..16 {
             let want = if lane < 8 { 1.0 } else { 2.0 };
-            assert_eq!(ctx.regs.read_lane(&Operand::rf(6), lane), Scalar::F(want), "lane {lane}");
+            assert_eq!(
+                ctx.regs.read_lane(&Operand::rf(6), lane),
+                Scalar::F(want),
+                "lane {lane}"
+            );
         }
         assert!(ctx.simt.exec().is_full(), "reconverged");
     }
@@ -346,7 +413,8 @@ mod tests {
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16 {
-            ctx.regs.write_lane(&Operand::rd(4), lane, Scalar::I(i64::from(lane) + 1));
+            ctx.regs
+                .write_lane(&Operand::rd(4), lane, Scalar::I(i64::from(lane) + 1));
         }
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
         for lane in 0..16 {
@@ -369,16 +437,32 @@ mod tests {
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16u32 {
             mem.write_f32(1024 + 4 * lane, lane as f32);
-            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(1024 + 4 * (15 - lane))));
-            ctx.regs.write_lane(&Operand::rud(8), lane, Scalar::U(u64::from(2048 + 4 * lane)));
+            ctx.regs.write_lane(
+                &Operand::rud(4),
+                lane,
+                Scalar::U(u64::from(1024 + 4 * (15 - lane))),
+            );
+            ctx.regs.write_lane(
+                &Operand::rud(8),
+                lane,
+                Scalar::U(u64::from(2048 + 4 * lane)),
+            );
         }
         let log = run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
         for lane in 0..16u32 {
-            assert_eq!(mem.read_f32(2048 + 4 * lane), 2.0 * (15 - lane) as f32, "lane {lane}");
+            assert_eq!(
+                mem.read_f32(2048 + 4 * lane),
+                2.0 * (15 - lane) as f32,
+                "lane {lane}"
+            );
         }
         // The load reported 16 lane addresses.
         match &log[0].effect {
-            Effect::Memory { is_store: false, lane_addrs, .. } => {
+            Effect::Memory {
+                is_store: false,
+                lane_addrs,
+                ..
+            } => {
                 assert_eq!(lane_addrs.len(), 16)
             }
             other => panic!("expected load effect, got {other:?}"),
@@ -394,8 +478,10 @@ mod tests {
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16u32 {
-            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
-            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(512 + 4 * lane)));
+            ctx.regs
+                .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+            ctx.regs
+                .write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(512 + 4 * lane)));
             ctx.regs.write_lane(&Operand::rf(6), lane, Scalar::F(7.0));
         }
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
@@ -413,8 +499,10 @@ mod tests {
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16u32 {
-            ctx.regs.write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(4 * lane)));
-            ctx.regs.write_lane(&Operand::rf(6), lane, Scalar::F(f64::from(lane) * 1.5));
+            ctx.regs
+                .write_lane(&Operand::rud(4), lane, Scalar::U(u64::from(4 * lane)));
+            ctx.regs
+                .write_lane(&Operand::rf(6), lane, Scalar::F(f64::from(lane) * 1.5));
         }
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
         for lane in 0..16 {
@@ -429,16 +517,26 @@ mod tests {
     fn sel_selects_per_lane() {
         let mut b = KernelBuilder::new("k", 16);
         b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(8));
-        b.sel(FlagReg::F0, Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(-1.0));
+        b.sel(
+            FlagReg::F0,
+            Operand::rf(6),
+            Operand::imm_f(1.0),
+            Operand::imm_f(-1.0),
+        );
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         for lane in 0..16 {
-            ctx.regs.write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+            ctx.regs
+                .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
         }
         run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
         for lane in 0..16 {
             let want = if lane < 8 { 1.0 } else { -1.0 };
-            assert_eq!(ctx.regs.read_lane(&Operand::rf(6), lane), Scalar::F(want), "lane {lane}");
+            assert_eq!(
+                ctx.regs.read_lane(&Operand::rf(6), lane),
+                Scalar::F(want),
+                "lane {lane}"
+            );
         }
     }
 
@@ -452,7 +550,11 @@ mod tests {
         let p = b.finish().unwrap();
         let (mut ctx, mut mem, mut slm) = fresh();
         let log = run_to_completion(&p, &mut ctx, &mut mem, &mut slm);
-        assert_eq!(ctx.regs.read_lane(&Operand::rf(6), 0), Scalar::F(0.0), "if side skipped");
+        assert_eq!(
+            ctx.regs.read_lane(&Operand::rf(6), 0),
+            Scalar::F(0.0),
+            "if side skipped"
+        );
         // The if jumped straight to endif: the mov never appears in the log.
         assert_eq!(log.len(), 4, "cmp, if(jump), endif, eot");
     }

@@ -32,7 +32,13 @@ pub struct Launch {
 impl Launch {
     /// Creates a launch with no arguments and no SLM.
     pub fn new(program: Program, global_size: u32, wg_size: u32) -> Self {
-        Self { program, global_size, wg_size, args: Vec::new(), slm_bytes: 0 }
+        Self {
+            program,
+            global_size,
+            wg_size,
+            args: Vec::new(),
+            slm_bytes: 0,
+        }
     }
 
     /// Adds scalar arguments.
@@ -175,7 +181,11 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a cold device.
     pub fn new(cfg: GpuConfig) -> Self {
-        Self { mem: MemSystem::new(cfg.mem), cfg, clock: 0 }
+        Self {
+            mem: MemSystem::new(cfg.mem),
+            cfg,
+            clock: 0,
+        }
     }
 
     /// The device configuration.
@@ -267,7 +277,9 @@ fn run_launch(
     }
     let num_wgs = launch.num_wgs() as usize;
 
-    let mut eus: Vec<Eu> = (0..cfg.eus).map(|i| Eu::new(i, cfg.threads_per_eu)).collect();
+    let mut eus: Vec<Eu> = (0..cfg.eus)
+        .map(|i| Eu::new(i, cfg.threads_per_eu))
+        .collect();
     let mem_before = mem.stats;
     let start = *clock;
     let mut slms: Vec<MemoryImage> = Vec::new(); // one per *resident* slot, indexed by wg
@@ -285,7 +297,14 @@ fn run_launch(
                 let slm_slot = slms.len();
                 slms.push(MemoryImage::new(launch.slm_bytes.max(64)));
                 slm_index.insert(wg, slm_slot);
-                wg_state.insert(wg, WgState { resident: wg_threads, done: 0, at_barrier: 0 });
+                wg_state.insert(
+                    wg,
+                    WgState {
+                        resident: wg_threads,
+                        done: 0,
+                        at_barrier: 0,
+                    },
+                );
                 for wt in 0..wg_threads {
                     eu.place(make_thread(launch, simd, wg, wt));
                 }
@@ -431,7 +450,8 @@ fn make_thread(launch: &Launch, simd: u32, wg: usize, wg_thread: u32) -> HwThrea
     }
     let args_reg = Operand::rud(arg_base_reg(simd));
     for (i, &a) in launch.args.iter().enumerate().take(16) {
-        ctx.regs.write_lane(&args_reg, i as u32, Scalar::U(u64::from(a)));
+        ctx.regs
+            .write_lane(&args_reg, i as u32, Scalar::U(u64::from(a)));
     }
     HwThread::new(ctx, wg, wg_thread)
 }

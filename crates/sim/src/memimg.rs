@@ -19,7 +19,10 @@ pub const ALLOC_ALIGN: u32 = 64;
 impl MemoryImage {
     /// Creates an image of `capacity` bytes, zero-initialized.
     pub fn new(capacity: u32) -> Self {
-        Self { bytes: vec![0; capacity as usize], next_alloc: ALLOC_ALIGN }
+        Self {
+            bytes: vec![0; capacity as usize],
+            next_alloc: ALLOC_ALIGN,
+        }
     }
 
     /// Total capacity in bytes.
@@ -77,7 +80,10 @@ impl MemoryImage {
     fn range(&self, addr: u32, len: u32) -> std::ops::Range<usize> {
         let lo = addr as usize;
         let hi = lo + len as usize;
-        assert!(hi <= self.bytes.len(), "address {addr:#x}+{len} out of bounds");
+        assert!(
+            hi <= self.bytes.len(),
+            "address {addr:#x}+{len} out of bounds"
+        );
         lo..hi
     }
 
@@ -118,7 +124,10 @@ impl MemoryImage {
     pub fn read_scalar(&self, addr: u32, dtype: DataType) -> Scalar {
         let n = dtype.size_bytes();
         let bytes = &self.bytes[self.range(addr, n)];
-        let raw = bytes.iter().rev().fold(0u64, |acc, &b| acc << 8 | u64::from(b));
+        let raw = bytes
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &b| acc << 8 | u64::from(b));
         match dtype {
             DataType::F => Scalar::F(f64::from(f32::from_bits(raw as u32))),
             DataType::Df => Scalar::F(f64::from_bits(raw)),

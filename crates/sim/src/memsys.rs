@@ -108,8 +108,10 @@ impl MemSystem {
     /// Converts per-channel byte addresses into the sorted set of distinct
     /// line addresses.
     pub fn coalesce(&self, addrs: &[u32]) -> Vec<u64> {
-        let mut lines: Vec<u64> =
-            addrs.iter().map(|&a| u64::from(a) / u64::from(self.cfg.line_bytes)).collect();
+        let mut lines: Vec<u64> = addrs
+            .iter()
+            .map(|&a| u64::from(a) / u64::from(self.cfg.line_bytes))
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         lines
@@ -237,7 +239,10 @@ mod tests {
     fn perfect_l3_always_hits() {
         let mut m = MemSystem::new(GpuConfig::paper_default().with_perfect_l3(true).mem);
         let t = m.global_access(0, &[1, 2, 3], false);
-        assert!(t <= 3 + 7 + 2, "perfect L3 bounded by bank+latency, got {t}");
+        assert!(
+            t <= 3 + 7 + 2,
+            "perfect L3 bounded by bank+latency, got {t}"
+        );
         assert_eq!(m.stats.l3_misses, 0);
     }
 
@@ -247,7 +252,10 @@ mod tests {
         let lines: Vec<u64> = (0..16).collect();
         let t_dc1 = m.global_access(0, &lines, false);
         let mut m2 = MemSystem::new(
-            GpuConfig::paper_default().with_perfect_l3(true).with_dc_bandwidth(2.0).mem,
+            GpuConfig::paper_default()
+                .with_perfect_l3(true)
+                .with_dc_bandwidth(2.0)
+                .mem,
         );
         let t_dc2 = m2.global_access(0, &lines, false);
         assert!(t_dc2 < t_dc1, "DC2 ({t_dc2}) must beat DC1 ({t_dc1})");

@@ -13,7 +13,11 @@ pub struct RegFile {
 
 impl std::fmt::Debug for RegFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RegFile(flags={:#x},{:#x})", self.flags[0], self.flags[1])
+        write!(
+            f,
+            "RegFile(flags={:#x},{:#x})",
+            self.flags[0], self.flags[1]
+        )
     }
 }
 
@@ -26,17 +30,19 @@ impl Default for RegFile {
 impl RegFile {
     /// Creates a zeroed register file.
     pub fn new() -> Self {
-        Self { bytes: vec![0u8; GRF_TOTAL_BYTES as usize].into_boxed_slice(), flags: [0; 2] }
+        Self {
+            bytes: vec![0u8; GRF_TOTAL_BYTES as usize].into_boxed_slice(),
+            flags: [0; 2],
+        }
     }
 
     fn lane_addr(op: &Operand, lane: u32) -> (u32, DataType) {
         match *op {
-            Operand::Grf { reg, dtype } => {
-                (u32::from(reg) * 32 + lane * dtype.size_bytes(), dtype)
-            }
-            Operand::GrfScalar { reg, sub, dtype } => {
-                (u32::from(reg) * 32 + u32::from(sub) * dtype.size_bytes(), dtype)
-            }
+            Operand::Grf { reg, dtype } => (u32::from(reg) * 32 + lane * dtype.size_bytes(), dtype),
+            Operand::GrfScalar { reg, sub, dtype } => (
+                u32::from(reg) * 32 + u32::from(sub) * dtype.size_bytes(),
+                dtype,
+            ),
             _ => panic!("operand {op:?} has no register address"),
         }
     }
@@ -44,14 +50,23 @@ impl RegFile {
     fn read_raw(&self, addr: u32, n: u32) -> u64 {
         let lo = addr as usize;
         let hi = lo + n as usize;
-        assert!(hi <= self.bytes.len(), "GRF read out of bounds at byte {addr}");
-        self.bytes[lo..hi].iter().rev().fold(0u64, |acc, &b| acc << 8 | u64::from(b))
+        assert!(
+            hi <= self.bytes.len(),
+            "GRF read out of bounds at byte {addr}"
+        );
+        self.bytes[lo..hi]
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &b| acc << 8 | u64::from(b))
     }
 
     fn write_raw(&mut self, addr: u32, n: u32, raw: u64) {
         let lo = addr as usize;
         let hi = lo + n as usize;
-        assert!(hi <= self.bytes.len(), "GRF write out of bounds at byte {addr}");
+        assert!(
+            hi <= self.bytes.len(),
+            "GRF write out of bounds at byte {addr}"
+        );
         for (i, b) in self.bytes[lo..hi].iter_mut().enumerate() {
             *b = (raw >> (8 * i)) as u8;
         }
@@ -187,7 +202,11 @@ mod tests {
         rf.write_lane(&Operand::rf(4), 15, Scalar::F(9.0)); // byte 4*32+60 = r5 upper
         rf.write_lane(&Operand::rf(6), 0, Scalar::F(1.0));
         assert_eq!(rf.read_lane(&Operand::rf(4), 15), Scalar::F(9.0));
-        assert_eq!(rf.read_lane(&Operand::rf(5), 7), Scalar::F(9.0), "same storage, reg view");
+        assert_eq!(
+            rf.read_lane(&Operand::rf(5), 7),
+            Scalar::F(9.0),
+            "same storage, reg view"
+        );
     }
 
     #[test]
@@ -210,9 +229,16 @@ mod tests {
     fn narrowing_on_write() {
         let mut rf = RegFile::new();
         rf.write_lane(&Operand::rud(0), 0, Scalar::U(0x1_0000_0007));
-        assert_eq!(rf.read_lane(&Operand::rud(0), 0), Scalar::U(7), "truncated to 32b");
+        assert_eq!(
+            rf.read_lane(&Operand::rud(0), 0),
+            Scalar::U(7),
+            "truncated to 32b"
+        );
         rf.write_lane(&Operand::reg(1, iwc_isa::DataType::W), 0, Scalar::I(-1));
-        assert_eq!(rf.read_lane(&Operand::reg(1, iwc_isa::DataType::W), 0), Scalar::I(-1));
+        assert_eq!(
+            rf.read_lane(&Operand::reg(1, iwc_isa::DataType::W), 0),
+            Scalar::I(-1)
+        );
     }
 
     #[test]

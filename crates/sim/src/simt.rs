@@ -19,8 +19,14 @@ use iwc_isa::reg::Predicate;
 /// One reconvergence-stack frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Frame {
-    If { restore: ExecMask, else_mask: ExecMask },
-    Loop { enter: ExecMask, continued: ExecMask },
+    If {
+        restore: ExecMask,
+        else_mask: ExecMask,
+    },
+    Loop {
+        enter: ExecMask,
+        continued: ExecMask,
+    },
 }
 
 /// SIMT reconvergence stack of one EU thread.
@@ -35,7 +41,11 @@ impl SimtStack {
     /// Creates a stack for a thread dispatched with `dispatch_mask` enabled
     /// channels.
     pub fn new(dispatch_mask: ExecMask) -> Self {
-        Self { width: dispatch_mask.width(), exec: dispatch_mask, frames: Vec::new() }
+        Self {
+            width: dispatch_mask.width(),
+            exec: dispatch_mask,
+            frames: Vec::new(),
+        }
     }
 
     /// Current execution mask.
@@ -63,7 +73,10 @@ impl SimtStack {
     pub fn exec_if(&mut self, cond: ExecMask, jip: usize) -> Option<usize> {
         let taken = self.exec.and(cond);
         let else_mask = self.exec.and_not(cond);
-        self.frames.push(Frame::If { restore: self.exec, else_mask });
+        self.frames.push(Frame::If {
+            restore: self.exec,
+            else_mask,
+        });
         self.exec = taken;
         if taken.is_empty() {
             Some(jip)
@@ -107,7 +120,10 @@ impl SimtStack {
 
     /// Executes `do`, opening a loop.
     pub fn exec_do(&mut self) {
-        self.frames.push(Frame::Loop { enter: self.exec, continued: ExecMask::none(self.width) });
+        self.frames.push(Frame::Loop {
+            enter: self.exec,
+            continued: ExecMask::none(self.width),
+        });
     }
 
     /// Executes `while`: channels in `cond` iterate again. Returns the body

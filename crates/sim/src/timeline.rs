@@ -33,7 +33,11 @@ pub fn render(events: &[IssueEvent], until: u64) -> String {
         }
         match e.pipe {
             Pipe::Fpu | Pipe::Em => {
-                let row = if e.pipe == Pipe::Fpu { &mut fpu } else { &mut em };
+                let row = if e.pipe == Pipe::Fpu {
+                    &mut fpu
+                } else {
+                    &mut em
+                };
                 for k in 0..e.waves as usize {
                     if c + k < width {
                         row[c + k] = glyph(e.thread);
@@ -47,14 +51,23 @@ pub fn render(events: &[IssueEvent], until: u64) -> String {
     let mut out = String::new();
     out.push_str("cycle ");
     for c in 0..width {
-        out.push(if c % 10 == 0 { char::from_digit((c / 10 % 10) as u32, 10).unwrap() } else { ' ' });
+        out.push(if c % 10 == 0 {
+            char::from_digit((c / 10 % 10) as u32, 10).unwrap()
+        } else {
+            ' '
+        });
     }
     out.push_str("\n      ");
     for c in 0..width {
         out.push(char::from_digit((c % 10) as u32, 10).unwrap());
     }
     out.push('\n');
-    for (label, row) in [("FPU  ", fpu), ("EM   ", em), ("SEND ", send), ("CTRL ", ctl)] {
+    for (label, row) in [
+        ("FPU  ", fpu),
+        ("EM   ", em),
+        ("SEND ", send),
+        ("CTRL ", ctl),
+    ] {
         out.push_str(label);
         out.push(' ');
         out.extend(row);
@@ -89,7 +102,12 @@ mod tests {
     fn run_logged() -> Vec<IssueEvent> {
         let mut b = KernelBuilder::new("tiny", 16);
         b.mov(Operand::rf(6), Operand::imm_f(1.0));
-        b.mad(Operand::rf(8), Operand::rf(6), Operand::imm_f(2.0), Operand::imm_f(0.5));
+        b.mad(
+            Operand::rf(8),
+            Operand::rf(6),
+            Operand::imm_f(2.0),
+            Operand::imm_f(0.5),
+        );
         b.math(iwc_isa::Opcode::Rsqrt, Operand::rf(10), Operand::rf(8));
         let p = b.finish().unwrap();
         let cfg = GpuConfig::single_eu().with_issue_log(true);
@@ -115,7 +133,10 @@ mod tests {
         let chart = render(&log, 120);
         assert!(chart.contains("FPU"), "{chart}");
         let fpu_row = chart.lines().find(|l| l.starts_with("FPU")).unwrap();
-        assert!(fpu_row.matches('A').count() >= 8, "two SIMD16 FPU ops = 8 waves: {chart}");
+        assert!(
+            fpu_row.matches('A').count() >= 8,
+            "two SIMD16 FPU ops = 8 waves: {chart}"
+        );
     }
 
     #[test]

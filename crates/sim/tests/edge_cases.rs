@@ -21,7 +21,12 @@ fn fpu_and_em_pipes_overlap() {
         b.mov(Operand::rf(6), Operand::imm_f(1.5));
         b.mov(Operand::rf(8), Operand::imm_f(2.5));
         for _ in 0..fpu_ops {
-            b.mad(Operand::rf(6), Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(0.0));
+            b.mad(
+                Operand::rf(6),
+                Operand::rf(6),
+                Operand::imm_f(1.0),
+                Operand::imm_f(0.0),
+            );
         }
         for _ in 0..em_ops {
             b.math(Opcode::Rsqrt, Operand::rf(8), Operand::rf(8));
@@ -30,7 +35,9 @@ fn fpu_and_em_pipes_overlap() {
     };
     let run = |fpu: u32, em: u32| {
         let mut img = MemoryImage::new(1 << 12);
-        simulate(&cfg1(), &Launch::new(build(fpu, em), 16, 16), &mut img).unwrap().cycles
+        simulate(&cfg1(), &Launch::new(build(fpu, em), 16, 16), &mut img)
+            .unwrap()
+            .cycles
     };
     let both = run(64, 64);
     let fpu_only = run(64, 0);
@@ -49,7 +56,11 @@ fn slm_bank_conflicts_cost_time() {
         let mut b = KernelBuilder::new("slm", 16);
         // addr = lane * stride * 4
         b.and(Operand::rud(6), Operand::rud(1), Operand::imm_ud(15));
-        b.mul(Operand::rud(6), Operand::rud(6), Operand::imm_ud(stride_words * 4));
+        b.mul(
+            Operand::rud(6),
+            Operand::rud(6),
+            Operand::imm_ud(stride_words * 4),
+        );
         b.mov(Operand::rf(8), Operand::imm_f(1.0));
         for _ in 0..32 {
             b.store(MemSpace::Slm, Operand::rud(6), Operand::rf(8));
@@ -85,7 +96,11 @@ fn barriers_are_per_workgroup() {
     b.barrier();
     // out[gid] = 2.0
     b.shl(Operand::rud(8), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(8), Operand::rud(8), Operand::scalar(3, 0, DataType::Ud));
+    b.add(
+        Operand::rud(8),
+        Operand::rud(8),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(8), Operand::rf(6));
     let p = b.finish().unwrap();
     let mut img = MemoryImage::new(1 << 16);
@@ -107,7 +122,12 @@ fn scoreboard_enforces_raw_latency() {
         let mut b = KernelBuilder::new("dep", 16);
         b.mov(Operand::rf(6), Operand::imm_f(1.0));
         for _ in 0..64 {
-            b.mad(Operand::rf(6), Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(0.0));
+            b.mad(
+                Operand::rf(6),
+                Operand::rf(6),
+                Operand::imm_f(1.0),
+                Operand::imm_f(0.0),
+            );
         }
         b.finish().unwrap()
     };
@@ -124,11 +144,16 @@ fn scoreboard_enforces_raw_latency() {
     };
     let run = |p: iwc_isa::Program| {
         let mut img = MemoryImage::new(1 << 12);
-        simulate(&cfg1(), &Launch::new(p, 16, 16), &mut img).unwrap().cycles
+        simulate(&cfg1(), &Launch::new(p, 16, 16), &mut img)
+            .unwrap()
+            .cycles
     };
     let dep = run(dependent);
     let indep = run(independent);
-    assert!(dep > indep, "dependent chain ({dep}) must be slower than independent ({indep})");
+    assert!(
+        dep > indep,
+        "dependent chain ({dep}) must be slower than independent ({indep})"
+    );
 }
 
 /// A single thread exercising deep control-flow nesting completes and
@@ -140,9 +165,18 @@ fn deep_nesting_reconverges() {
     b.mov(Operand::rf(8), Operand::imm_f(0.0));
     for bit in 0..4 {
         b.and(Operand::rud(10), Operand::rud(6), Operand::imm_ud(1 << bit));
-        b.cmp(CondOp::Ne, FlagReg::F0, Operand::rud(10), Operand::imm_ud(0));
+        b.cmp(
+            CondOp::Ne,
+            FlagReg::F0,
+            Operand::rud(10),
+            Operand::imm_ud(0),
+        );
         b.if_(Predicate::normal(FlagReg::F0));
-        b.add(Operand::rf(8), Operand::rf(8), Operand::imm_f((1 << bit) as f32));
+        b.add(
+            Operand::rf(8),
+            Operand::rf(8),
+            Operand::imm_f((1 << bit) as f32),
+        );
     }
     for _ in 0..4 {
         b.end_if();
@@ -150,7 +184,11 @@ fn deep_nesting_reconverges() {
     // out[gid] = sum of set bits = lane id (only lanes whose ALL tested bits
     // are set reach the innermost add, so expect the nested-sum semantics).
     b.shl(Operand::rud(12), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(12), Operand::rud(12), Operand::scalar(3, 0, DataType::Ud));
+    b.add(
+        Operand::rud(12),
+        Operand::rud(12),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(12), Operand::rf(8));
     let p = b.finish().unwrap();
     let mut img = MemoryImage::new(1 << 12);
@@ -179,7 +217,12 @@ fn wider_frontend_not_slower() {
         b.mov(Operand::rf(8), Operand::imm_f(2.0));
         for k in 0..32u8 {
             if k % 2 == 0 {
-                b.mad(Operand::rf(6), Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(0.0));
+                b.mad(
+                    Operand::rf(6),
+                    Operand::rf(6),
+                    Operand::imm_f(1.0),
+                    Operand::imm_f(0.0),
+                );
             } else {
                 b.math(Opcode::Rsqrt, Operand::rf(8), Operand::rf(8));
             }
@@ -189,7 +232,9 @@ fn wider_frontend_not_slower() {
     let run = |issue: u32| {
         let mut img = MemoryImage::new(1 << 12);
         let cfg = GpuConfig::single_eu().with_issue_per_cycle(issue);
-        simulate(&cfg, &Launch::new(built.clone(), 96, 48), &mut img).unwrap().cycles
+        simulate(&cfg, &Launch::new(built.clone(), 96, 48), &mut img)
+            .unwrap()
+            .cycles
     };
     assert!(run(2) <= run(1));
 }
@@ -202,7 +247,11 @@ fn simd32_dispatch_abi() {
     // out[gid] = gid * 3 (args at r5 for SIMD32).
     b.mul(Operand::rud(8), Operand::rud(1), Operand::imm_ud(3));
     b.shl(Operand::rud(12), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(12), Operand::rud(12), Operand::scalar(iwc_sim::arg_base_reg(32), 0, DataType::Ud));
+    b.add(
+        Operand::rud(12),
+        Operand::rud(12),
+        Operand::scalar(iwc_sim::arg_base_reg(32), 0, DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(12), Operand::rud(8));
     let p = b.finish().unwrap();
     let mut img = MemoryImage::new(1 << 16);
@@ -224,9 +273,18 @@ fn simd32_dispatch_abi() {
 fn warm_caches_across_launches() {
     let mut b = KernelBuilder::new("reader", 16);
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 0, DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
     b.load(MemSpace::Global, Operand::rf(8), Operand::rud(6));
-    b.mad(Operand::rf(8), Operand::rf(8), Operand::imm_f(2.0), Operand::imm_f(1.0));
+    b.mad(
+        Operand::rf(8),
+        Operand::rf(8),
+        Operand::imm_f(2.0),
+        Operand::imm_f(1.0),
+    );
     b.store(MemSpace::Global, Operand::rud(6), Operand::rf(8));
     let p = b.finish().unwrap();
 
@@ -244,7 +302,11 @@ fn warm_caches_across_launches() {
         first.cycles
     );
     assert!(second.l3_hit_rate > first.l3_hit_rate);
-    assert_eq!(gpu.clock(), first.cycles + second.cycles, "device clock accumulates");
+    assert_eq!(
+        gpu.clock(),
+        first.cycles + second.cycles,
+        "device clock accumulates"
+    );
     // Functional effect applied twice: buf[i] = ((i*? ) ...) — value is
     // 2*(2*0+1)+1 = 3 for initial zeroes.
     assert_eq!(img.read_f32(buf), 3.0);
@@ -261,10 +323,20 @@ fn icache_capacity_matters() {
     b.mov(Operand::rud(10), Operand::imm_ud(0));
     b.do_();
     for _ in 0..128 {
-        b.mad(Operand::rf(6), Operand::rf(6), Operand::imm_f(1.0), Operand::imm_f(0.0));
+        b.mad(
+            Operand::rf(6),
+            Operand::rf(6),
+            Operand::imm_f(1.0),
+            Operand::imm_f(0.0),
+        );
     }
     b.add(Operand::rud(10), Operand::rud(10), Operand::imm_ud(1));
-    b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(10), Operand::imm_ud(4));
+    b.cmp(
+        CondOp::Lt,
+        FlagReg::F0,
+        Operand::rud(10),
+        Operand::imm_ud(4),
+    );
     b.while_(Predicate::normal(FlagReg::F0));
     let p = b.finish().unwrap();
     let run = |icache_insns: u32| {
@@ -297,18 +369,28 @@ fn rf_timing_options() {
     b.mov(Operand::rf(8), Operand::imm_f(1.0));
     b.if_(Predicate::normal(FlagReg::F0));
     for _ in 0..32 {
-        b.mad(Operand::rf(8), Operand::rf(8), Operand::imm_f(1.0), Operand::imm_f(0.0));
+        b.mad(
+            Operand::rf(8),
+            Operand::rf(8),
+            Operand::imm_f(1.0),
+            Operand::imm_f(0.0),
+        );
     }
     b.end_if();
     let p = b.finish().unwrap();
     let run = |timing: RfTiming, mode: CompactionMode| {
         let cfg = cfg1().with_rf_timing(timing).with_compaction(mode);
         let mut img = MemoryImage::new(1 << 12);
-        simulate(&cfg, &Launch::new(p.clone(), 96, 48), &mut img).unwrap().cycles
+        simulate(&cfg, &Launch::new(p.clone(), 96, 48), &mut img)
+            .unwrap()
+            .cycles
     };
     let multi_ivb = run(RfTiming::MultiCycle, CompactionMode::IvyBridge);
     let pumped_ivb = run(RfTiming::Pumped, CompactionMode::IvyBridge);
-    assert!(multi_ivb > pumped_ivb, "multi-cycle RF ({multi_ivb}) vs pumped ({pumped_ivb})");
+    assert!(
+        multi_ivb > pumped_ivb,
+        "multi-cycle RF ({multi_ivb}) vs pumped ({pumped_ivb})"
+    );
     let multi_scc = run(RfTiming::MultiCycle, CompactionMode::Scc);
     let pumped_scc = run(RfTiming::Pumped, CompactionMode::Scc);
     assert!(multi_scc < multi_ivb, "SCC helps under multi-cycle RF");

@@ -16,11 +16,24 @@ fn f0() -> Predicate {
 fn coherent_kernel() -> Program {
     let mut b = KernelBuilder::new("coherent", 16);
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 0, iwc_isa::DataType::Ud),
+    );
     b.load(MemSpace::Global, Operand::rf(8), Operand::rud(6));
-    b.mad(Operand::rf(10), Operand::rf(8), Operand::imm_f(3.0), Operand::imm_f(1.0));
+    b.mad(
+        Operand::rf(10),
+        Operand::rf(8),
+        Operand::imm_f(3.0),
+        Operand::imm_f(1.0),
+    );
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 1, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 1, iwc_isa::DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(6), Operand::rf(10));
     b.finish().unwrap()
 }
@@ -35,13 +48,22 @@ fn divergent_kernel(rounds: u32) -> Program {
     b.mov(Operand::rf(8), Operand::imm_f(1.5));
     b.if_(f0());
     for _ in 0..rounds {
-        b.mad(Operand::rf(8), Operand::rf(8), Operand::imm_f(1.0001), Operand::imm_f(0.25));
+        b.mad(
+            Operand::rf(8),
+            Operand::rf(8),
+            Operand::imm_f(1.0001),
+            Operand::imm_f(0.25),
+        );
     }
     b.else_();
     b.mov(Operand::rf(8), Operand::imm_f(2.0));
     b.end_if();
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 0, iwc_isa::DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(6), Operand::rf(8));
     b.finish().unwrap()
 }
@@ -66,12 +88,19 @@ fn coherent_kernel_identical_across_modes() {
             r.simd_efficiency()
         );
         for i in 0..256u32 {
-            assert_eq!(img.read_f32(out + 4 * i), i as f32 * 3.0 + 1.0, "gid {i} under {mode}");
+            assert_eq!(
+                img.read_f32(out + 4 * i),
+                i as f32 * 3.0 + 1.0,
+                "gid {i} under {mode}"
+            );
         }
         cycles.push(r.cycles);
     }
     // No compaction mode may change coherent timing (invariant 5 of DESIGN.md).
-    assert!(cycles.windows(2).all(|w| w[0] == w[1]), "coherent cycles {cycles:?}");
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "coherent cycles {cycles:?}"
+    );
 }
 
 #[test]
@@ -145,7 +174,11 @@ fn dc2_speeds_up_bandwidth_bound_gather() {
     let mut b = KernelBuilder::new("gather64", 16);
     // addr = base + gid*64 (one line per lane)
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(6));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 0, iwc_isa::DataType::Ud),
+    );
     for dst in [8u8, 10, 12, 14] {
         b.load(MemSpace::Global, Operand::rf(dst), Operand::rud(6));
     }
@@ -154,7 +187,9 @@ fn dc2_speeds_up_bandwidth_bound_gather() {
     for bw in [1.0, 2.0] {
         let mut img = MemoryImage::new(1 << 22);
         let a = img.alloc(2048 * 64);
-        let cfg = GpuConfig::paper_default().with_dc_bandwidth(bw).with_perfect_l3(true);
+        let cfg = GpuConfig::paper_default()
+            .with_dc_bandwidth(bw)
+            .with_perfect_l3(true);
         let launch = Launch::new(p.clone(), 2048, 64).with_args(&[a]);
         let r = simulate(&cfg, &launch, &mut img).unwrap();
         t.push(r.cycles);
@@ -186,7 +221,11 @@ fn barrier_and_slm_reduction() {
     b.load(MemSpace::Slm, Operand::rud(12), Operand::rud(10));
     // out[gid] = loaded
     b.shl(Operand::rud(14), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(14), Operand::rud(14), Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(14),
+        Operand::rud(14),
+        Operand::scalar(3, 0, iwc_isa::DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(14), Operand::rud(12));
     let p = b.finish().unwrap();
 
@@ -208,7 +247,11 @@ fn ndrange_tail_channels_disabled() {
     // global_size not a multiple of wg or simd: tail lanes must not store.
     let mut b = KernelBuilder::new("tail", 16);
     b.shl(Operand::rud(6), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(6), Operand::rud(6), Operand::scalar(3, 0, iwc_isa::DataType::Ud));
+    b.add(
+        Operand::rud(6),
+        Operand::rud(6),
+        Operand::scalar(3, 0, iwc_isa::DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(6), Operand::imm_ud(7));
     let p = b.finish().unwrap();
     let mut img = MemoryImage::new(1 << 16);
@@ -227,7 +270,10 @@ fn workgroup_too_large_is_rejected() {
     let mut img = MemoryImage::new(1 << 16);
     let launch = Launch::new(p, 1024, 1024); // 64 threads per wg > 6
     let err = simulate(&GpuConfig::paper_default(), &launch, &mut img).unwrap_err();
-    assert!(matches!(err, iwc_sim::SimulateError::WorkgroupTooLarge { .. }));
+    assert!(matches!(
+        err,
+        iwc_sim::SimulateError::WorkgroupTooLarge { .. }
+    ));
 }
 
 #[test]

@@ -52,7 +52,10 @@ pub fn analyze(trace: &Trace) -> TraceReport {
     for r in &trace.records {
         tally.add(r.mask(), r.dtype);
     }
-    TraceReport { name: trace.name.clone(), tally }
+    TraceReport {
+        name: trace.name.clone(),
+        tally,
+    }
 }
 
 /// Generates and analyzes every profile of a corpus on a scoped worker
@@ -62,7 +65,11 @@ pub fn analyze(trace: &Trace) -> TraceReport {
 /// Each (profile, generate, analyze) triple is independent — synthesis is
 /// seeded per profile — so this is a plain deterministic fan-out, the
 /// trace-corpus counterpart of the simulator harness's cell runner.
-pub fn analyze_corpus(profiles: &[crate::synth::Profile], len: usize, threads: usize) -> Vec<TraceReport> {
+pub fn analyze_corpus(
+    profiles: &[crate::synth::Profile],
+    len: usize,
+    threads: usize,
+) -> Vec<TraceReport> {
     let pool = threads.max(1).min(profiles.len());
     if pool <= 1 {
         return profiles.iter().map(|p| analyze(&p.generate(len))).collect();
@@ -70,7 +77,8 @@ pub fn analyze_corpus(profiles: &[crate::synth::Profile], len: usize, threads: u
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TraceReport>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<TraceReport>>> =
+        profiles.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..pool {
             s.spawn(|| loop {

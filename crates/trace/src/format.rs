@@ -25,7 +25,11 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Creates a record from a mask and type.
     pub fn new(mask: ExecMask, dtype: DataType) -> Self {
-        Self { bits: mask.bits(), width: mask.width() as u8, dtype }
+        Self {
+            bits: mask.bits(),
+            width: mask.width() as u8,
+            dtype,
+        }
     }
 
     /// The execution mask.
@@ -108,7 +112,10 @@ fn dtype_from(code: u8) -> Result<DataType, TraceIoError> {
 impl Trace {
     /// Creates an empty trace.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), records: Vec::new() }
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Appends one instruction.
@@ -229,7 +236,12 @@ mod tests {
     #[test]
     fn rejects_bad_width() {
         let mut buf = Vec::new();
-        Trace { name: "x".into(), records: vec![] }.write_to(&mut buf).unwrap();
+        Trace {
+            name: "x".into(),
+            records: vec![],
+        }
+        .write_to(&mut buf)
+        .unwrap();
         // Append a fake record with width 3 after patching the count.
         let count_pos = buf.len() - 8;
         buf[count_pos..count_pos + 8].copy_from_slice(&1u64.to_le_bytes());

@@ -84,7 +84,11 @@ impl Profile {
                     coherent_left = seg;
                 }
             }
-            let width = if rng.gen_bool(self.simd8_fraction) { 8 } else { 16 };
+            let width = if rng.gen_bool(self.simd8_fraction) {
+                8
+            } else {
+                16
+            };
             let mask = if divergent_left > 0 {
                 divergent_left -= 1;
                 self.divergent_mask(&mut rng, width)
@@ -192,7 +196,15 @@ pub fn corpus() -> Vec<Profile> {
         p("cp", false, 0.72, 0.1, Blocky, 12, 1005),
         p("bulletphysics", false, 0.56, 0.2, Scattered, 16, 1006),
         p("oclprofv1p0", false, 0.64, 0.2, Blocky, 12, 1007),
-        p("rightware_mandelbulb", false, 0.48, 0.3, Scattered, 32, 1008),
+        p(
+            "rightware_mandelbulb",
+            false,
+            0.48,
+            0.3,
+            Scattered,
+            32,
+            1008,
+        ),
         p("tree_search", false, 0.62, 0.1, Blocky, 10, 1009),
         p("OptSAA", false, 0.70, 0.2, QuadAligned, 8, 1010),
         p("sandra_ocl", false, 0.60, 0.2, Scattered, 16, 1011),
@@ -239,11 +251,17 @@ mod tests {
 
     #[test]
     fn strided_profiles_are_scc_dominated() {
-        let prof = corpus().into_iter().find(|p| p.name == "FD_politicians").unwrap();
+        let prof = corpus()
+            .into_iter()
+            .find(|p| p.name == "FD_politicians")
+            .unwrap();
         let r = analyze(&prof.generate(30_000));
         let bcc = r.reduction(CompactionMode::Bcc);
         let scc = r.reduction(CompactionMode::Scc);
-        assert!(scc > 2.0 * bcc, "FD: scc {scc:.3} should dominate bcc {bcc:.3}");
+        assert!(
+            scc > 2.0 * bcc,
+            "FD: scc {scc:.3} should dominate bcc {bcc:.3}"
+        );
         assert!(scc > 0.15, "FD: scc {scc:.3} should be sizeable");
     }
 
@@ -254,7 +272,10 @@ mod tests {
         let bcc = r.reduction(CompactionMode::Bcc);
         let extra = r.scc_extra();
         assert!(bcc > 0.10, "OptSAA: bcc {bcc:.3}");
-        assert!(extra < bcc / 2.0, "OptSAA: scc extra {extra:.3} should be small");
+        assert!(
+            extra < bcc / 2.0,
+            "OptSAA: scc extra {extra:.3} should be small"
+        );
     }
 
     #[test]

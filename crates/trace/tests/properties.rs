@@ -19,7 +19,11 @@ fn arb_dtype() -> impl Strategy<Value = DataType> {
 }
 
 fn arb_record() -> impl Strategy<Value = (u32, u32, DataType)> {
-    (any::<u32>(), prop_oneof![Just(8u32), Just(16), Just(32)], arb_dtype())
+    (
+        any::<u32>(),
+        prop_oneof![Just(8u32), Just(16), Just(32)],
+        arb_dtype(),
+    )
 }
 
 proptest! {

@@ -340,8 +340,15 @@ pub fn dct8(scale: u32) -> Built {
     let mut b = KernelBuilder::new("dct8", SIMD);
     let mut ra = RegAlloc::new(SIMD);
     let (u, row, k, pa) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
-    let (acc, v, angle, c, kf, uf, po) =
-        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vud());
+    let (acc, v, angle, c, kf, uf, po) = (
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vud(),
+    );
     b.and(u, gid(), Operand::imm_ud(7));
     b.shr(row, gid(), Operand::imm_ud(3));
     b.mov(k, Operand::imm_ud(0));
@@ -562,7 +569,9 @@ mod tests {
     use iwc_sim::GpuConfig;
 
     fn check(b: Built) {
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             r.simd_efficiency() > 0.95,
             "{:?} efficiency {:.3} should be coherent",

@@ -150,8 +150,7 @@ pub fn sobel(scale: u32) -> Built {
             for g in 0..n {
                 let (x, y) = ((g % w) as i32, (g / w) as i32);
                 let at = |cx: i32, cy: i32| {
-                    im[(cy.clamp(0, h as i32 - 1) * w as i32 + cx.clamp(0, w as i32 - 1))
-                        as usize]
+                    im[(cy.clamp(0, h as i32 - 1) * w as i32 + cx.clamp(0, w as i32 - 1)) as usize]
                 };
                 let mut gx = 0f32;
                 let mut gy = 0f32;
@@ -353,8 +352,15 @@ mod tests {
     use iwc_sim::GpuConfig;
 
     fn run_coherent(b: Built) {
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
-        assert!(r.simd_efficiency() > 0.95, "{:?}: eff {:.3}", b.name, r.simd_efficiency());
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            r.simd_efficiency() > 0.95,
+            "{:?}: eff {:.3}",
+            b.name,
+            r.simd_efficiency()
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl Built {
         cfg: &GpuConfig,
         modes: &[iwc_compaction::CompactionMode],
     ) -> Result<Vec<SimResult>, String> {
-        modes.iter().map(|&m| self.run_checked(&cfg.with_compaction(m))).collect()
+        modes
+            .iter()
+            .map(|&m| self.run_checked(&cfg.with_compaction(m)))
+            .collect()
     }
 }
 
@@ -126,57 +129,257 @@ pub fn catalog() -> Vec<CatalogEntry> {
     use Category::*;
     vec![
         // ---- coherent ----
-        CatalogEntry { name: "VA", category: Coherent, build: coherent::vecadd },
-        CatalogEntry { name: "DP", category: Coherent, build: coherent::dot_product },
-        CatalogEntry { name: "MVM", category: Coherent, build: coherent::mvm },
-        CatalogEntry { name: "MM", category: Coherent, build: coherent::matmul },
-        CatalogEntry { name: "Trans-N", category: Coherent, build: coherent::transpose },
-        CatalogEntry { name: "Bscholes-N", category: Coherent, build: coherent::blackscholes },
-        CatalogEntry { name: "DCT8", category: Coherent, build: coherent::dct8 },
-        CatalogEntry { name: "MT", category: Coherent, build: coherent::mersenne },
-        CatalogEntry { name: "SCnv", category: Coherent, build: coherent::convolution },
-        CatalogEntry { name: "BP", category: Coherent, build: coherent::backprop },
-        CatalogEntry { name: "BF", category: Coherent, build: imaging::box_filter },
-        CatalogEntry { name: "SblFr", category: Coherent, build: imaging::sobel },
-        CatalogEntry { name: "DWTH", category: Coherent, build: imaging::haar_dwt },
-        CatalogEntry { name: "Gnoise", category: Coherent, build: imaging::gaussian_noise },
-        CatalogEntry { name: "RGauss", category: Coherent, build: imaging::recursive_gaussian },
-        CatalogEntry { name: "BOP", category: Coherent, build: suite::binomial_option },
-        CatalogEntry { name: "FWHT", category: Coherent, build: suite::fwht },
-        CatalogEntry { name: "URNG", category: Coherent, build: suite::urng },
-        CatalogEntry { name: "Bsort", category: Coherent, build: suite::bitonic_step },
-        CatalogEntry { name: "Trd", category: Coherent, build: suite::tridiagonal },
-        CatalogEntry { name: "ScLA", category: Coherent, build: suite::scan_large_array },
-        CatalogEntry { name: "QRndSq", category: Coherent, build: suite::quasi_random },
-        CatalogEntry { name: "AES", category: Coherent, build: suite::aes_round },
-        CatalogEntry { name: "DXTC", category: Coherent, build: suite::dxtc },
+        CatalogEntry {
+            name: "VA",
+            category: Coherent,
+            build: coherent::vecadd,
+        },
+        CatalogEntry {
+            name: "DP",
+            category: Coherent,
+            build: coherent::dot_product,
+        },
+        CatalogEntry {
+            name: "MVM",
+            category: Coherent,
+            build: coherent::mvm,
+        },
+        CatalogEntry {
+            name: "MM",
+            category: Coherent,
+            build: coherent::matmul,
+        },
+        CatalogEntry {
+            name: "Trans-N",
+            category: Coherent,
+            build: coherent::transpose,
+        },
+        CatalogEntry {
+            name: "Bscholes-N",
+            category: Coherent,
+            build: coherent::blackscholes,
+        },
+        CatalogEntry {
+            name: "DCT8",
+            category: Coherent,
+            build: coherent::dct8,
+        },
+        CatalogEntry {
+            name: "MT",
+            category: Coherent,
+            build: coherent::mersenne,
+        },
+        CatalogEntry {
+            name: "SCnv",
+            category: Coherent,
+            build: coherent::convolution,
+        },
+        CatalogEntry {
+            name: "BP",
+            category: Coherent,
+            build: coherent::backprop,
+        },
+        CatalogEntry {
+            name: "BF",
+            category: Coherent,
+            build: imaging::box_filter,
+        },
+        CatalogEntry {
+            name: "SblFr",
+            category: Coherent,
+            build: imaging::sobel,
+        },
+        CatalogEntry {
+            name: "DWTH",
+            category: Coherent,
+            build: imaging::haar_dwt,
+        },
+        CatalogEntry {
+            name: "Gnoise",
+            category: Coherent,
+            build: imaging::gaussian_noise,
+        },
+        CatalogEntry {
+            name: "RGauss",
+            category: Coherent,
+            build: imaging::recursive_gaussian,
+        },
+        CatalogEntry {
+            name: "BOP",
+            category: Coherent,
+            build: suite::binomial_option,
+        },
+        CatalogEntry {
+            name: "FWHT",
+            category: Coherent,
+            build: suite::fwht,
+        },
+        CatalogEntry {
+            name: "URNG",
+            category: Coherent,
+            build: suite::urng,
+        },
+        CatalogEntry {
+            name: "Bsort",
+            category: Coherent,
+            build: suite::bitonic_step,
+        },
+        CatalogEntry {
+            name: "Trd",
+            category: Coherent,
+            build: suite::tridiagonal,
+        },
+        CatalogEntry {
+            name: "ScLA",
+            category: Coherent,
+            build: suite::scan_large_array,
+        },
+        CatalogEntry {
+            name: "QRndSq",
+            category: Coherent,
+            build: suite::quasi_random,
+        },
+        CatalogEntry {
+            name: "AES",
+            category: Coherent,
+            build: suite::aes_round,
+        },
+        CatalogEntry {
+            name: "DXTC",
+            category: Coherent,
+            build: suite::dxtc,
+        },
         // ---- divergent ----
-        CatalogEntry { name: "BFS", category: Divergent, build: rodinia::bfs },
-        CatalogEntry { name: "HtS", category: Divergent, build: rodinia::hotspot },
-        CatalogEntry { name: "LavaMD", category: Divergent, build: rodinia::lavamd },
-        CatalogEntry { name: "NW", category: Divergent, build: rodinia::needleman_wunsch },
-        CatalogEntry { name: "Part", category: Divergent, build: rodinia::particle_filter },
-        CatalogEntry { name: "Kmeans", category: Divergent, build: rodinia::kmeans },
-        CatalogEntry { name: "Path", category: Divergent, build: rodinia::pathfinder },
-        CatalogEntry { name: "Gauss", category: Divergent, build: rodinia::gaussian },
-        CatalogEntry { name: "SRD", category: Divergent, build: rodinia::srad },
-        CatalogEntry { name: "EV", category: Divergent, build: rodinia::eigenvalue },
-        CatalogEntry { name: "Bsearch", category: Divergent, build: suite::bsearch },
-        CatalogEntry { name: "FW", category: Divergent, build: suite::floyd_warshall },
-        CatalogEntry { name: "KNN", category: Divergent, build: suite::knn },
-        CatalogEntry { name: "MCA", category: Divergent, build: suite::monte_carlo },
-        CatalogEntry { name: "HMM", category: Divergent, build: suite::hmm_viterbi },
-        CatalogEntry { name: "CFD", category: Divergent, build: suite::cfd_flux },
-        CatalogEntry { name: "RT-PR-Conf", category: Divergent, build: raytrace::primary_conf },
-        CatalogEntry { name: "RT-PR-AL", category: Divergent, build: raytrace::primary_al },
-        CatalogEntry { name: "RT-PR-BL", category: Divergent, build: raytrace::primary_bl },
-        CatalogEntry { name: "RT-PR-WM", category: Divergent, build: raytrace::primary_wm },
-        CatalogEntry { name: "RT-AO-AL8", category: Divergent, build: raytrace::ao_al8 },
-        CatalogEntry { name: "RT-AO-BL8", category: Divergent, build: raytrace::ao_bl8 },
-        CatalogEntry { name: "RT-AO-WM8", category: Divergent, build: raytrace::ao_wm8 },
-        CatalogEntry { name: "RT-AO-AL16", category: Divergent, build: raytrace::ao_al16 },
-        CatalogEntry { name: "RT-AO-BL16", category: Divergent, build: raytrace::ao_bl16 },
-        CatalogEntry { name: "RT-AO-WM16", category: Divergent, build: raytrace::ao_wm16 },
+        CatalogEntry {
+            name: "BFS",
+            category: Divergent,
+            build: rodinia::bfs,
+        },
+        CatalogEntry {
+            name: "HtS",
+            category: Divergent,
+            build: rodinia::hotspot,
+        },
+        CatalogEntry {
+            name: "LavaMD",
+            category: Divergent,
+            build: rodinia::lavamd,
+        },
+        CatalogEntry {
+            name: "NW",
+            category: Divergent,
+            build: rodinia::needleman_wunsch,
+        },
+        CatalogEntry {
+            name: "Part",
+            category: Divergent,
+            build: rodinia::particle_filter,
+        },
+        CatalogEntry {
+            name: "Kmeans",
+            category: Divergent,
+            build: rodinia::kmeans,
+        },
+        CatalogEntry {
+            name: "Path",
+            category: Divergent,
+            build: rodinia::pathfinder,
+        },
+        CatalogEntry {
+            name: "Gauss",
+            category: Divergent,
+            build: rodinia::gaussian,
+        },
+        CatalogEntry {
+            name: "SRD",
+            category: Divergent,
+            build: rodinia::srad,
+        },
+        CatalogEntry {
+            name: "EV",
+            category: Divergent,
+            build: rodinia::eigenvalue,
+        },
+        CatalogEntry {
+            name: "Bsearch",
+            category: Divergent,
+            build: suite::bsearch,
+        },
+        CatalogEntry {
+            name: "FW",
+            category: Divergent,
+            build: suite::floyd_warshall,
+        },
+        CatalogEntry {
+            name: "KNN",
+            category: Divergent,
+            build: suite::knn,
+        },
+        CatalogEntry {
+            name: "MCA",
+            category: Divergent,
+            build: suite::monte_carlo,
+        },
+        CatalogEntry {
+            name: "HMM",
+            category: Divergent,
+            build: suite::hmm_viterbi,
+        },
+        CatalogEntry {
+            name: "CFD",
+            category: Divergent,
+            build: suite::cfd_flux,
+        },
+        CatalogEntry {
+            name: "RT-PR-Conf",
+            category: Divergent,
+            build: raytrace::primary_conf,
+        },
+        CatalogEntry {
+            name: "RT-PR-AL",
+            category: Divergent,
+            build: raytrace::primary_al,
+        },
+        CatalogEntry {
+            name: "RT-PR-BL",
+            category: Divergent,
+            build: raytrace::primary_bl,
+        },
+        CatalogEntry {
+            name: "RT-PR-WM",
+            category: Divergent,
+            build: raytrace::primary_wm,
+        },
+        CatalogEntry {
+            name: "RT-AO-AL8",
+            category: Divergent,
+            build: raytrace::ao_al8,
+        },
+        CatalogEntry {
+            name: "RT-AO-BL8",
+            category: Divergent,
+            build: raytrace::ao_bl8,
+        },
+        CatalogEntry {
+            name: "RT-AO-WM8",
+            category: Divergent,
+            build: raytrace::ao_wm8,
+        },
+        CatalogEntry {
+            name: "RT-AO-AL16",
+            category: Divergent,
+            build: raytrace::ao_al16,
+        },
+        CatalogEntry {
+            name: "RT-AO-BL16",
+            category: Divergent,
+            build: raytrace::ao_bl16,
+        },
+        CatalogEntry {
+            name: "RT-AO-WM16",
+            category: Divergent,
+            build: raytrace::ao_wm16,
+        },
     ]
 }
 

@@ -44,7 +44,10 @@ pub fn mask_pattern(pattern: u16, scale: u32) -> Built {
 /// [`mask_pattern`] at an explicit SIMD width (8, 16 or 32); the pattern is
 /// taken over `lane = gid mod width` using its low `width` bits.
 pub fn mask_pattern_width(pattern: u16, simd: u32, scale: u32) -> Built {
-    assert!(matches!(simd, 8 | 16 | 32), "SIMD width must be 8, 16 or 32");
+    assert!(
+        matches!(simd, 8 | 16 | 32),
+        "SIMD width must be 8, 16 or 32"
+    );
     let n = 256 * scale.max(1);
     let mut b = KernelBuilder::new(format!("maskpat-{pattern:04x}-s{simd}"), simd);
     let mut ra = RegAlloc::new(simd);
@@ -109,7 +112,10 @@ pub const FIG8_PATTERNS: [u16; 5] = [0xFFFF, 0xF0F0, 0x00FF, 0xFF0F, 0xAAAA];
 ///
 /// Args: 0 = out buffer.
 pub fn pipe_mix(pattern: u16, simd: u32, scale: u32) -> Built {
-    assert!(matches!(simd, 8 | 16 | 32), "SIMD width must be 8, 16 or 32");
+    assert!(
+        matches!(simd, 8 | 16 | 32),
+        "SIMD width must be 8, 16 or 32"
+    );
     let n = 256 * scale.max(1);
     let mut b = KernelBuilder::new(format!("pipemix-{pattern:04x}-s{simd}"), simd);
     let mut ra = RegAlloc::new(simd);
@@ -266,14 +272,18 @@ mod tests {
     #[test]
     fn maskpat_full_mask_is_coherent() {
         let b = mask_pattern(0xFFFF, 1);
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(r.simd_efficiency() > 0.95);
     }
 
     #[test]
     fn maskpat_aaaa_divergence() {
         let b = mask_pattern(0xAAAA, 1);
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         // Both sides of the branch run at half occupancy.
         assert!(r.simd_efficiency() < 0.7, "eff {:.3}", r.simd_efficiency());
         // SCC halves the branch-body cycles; BCC can't touch 0xAAAA/0x5555.
@@ -308,7 +318,9 @@ mod tests {
     fn nested_levels_valid() {
         for l in 1..=4 {
             let b = nested_branches(l, 1);
-            let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+            let r = b
+                .run_checked(&GpuConfig::paper_default())
+                .unwrap_or_else(|e| panic!("{e}"));
             assert!(r.cycles > 0, "L{l}");
         }
     }

@@ -74,13 +74,21 @@ impl Scene {
             SceneKind::Wm => (10, 1.5, 3.0, 0),
             SceneKind::Conf => (40, 0.8, 2.0, 0),
         };
-        let mut s = Scene { cx: vec![], cy: vec![], cz: vec![], r: vec![] };
+        let mut s = Scene {
+            cx: vec![],
+            cy: vec![],
+            cz: vec![],
+            r: vec![],
+        };
         for i in 0..count {
             let (x, y) = if clusters > 0 {
                 let c = i as u32 % clusters;
                 let base_x = 2.0 + 12.0 * (c % 2) as f32 / 2.0 + 2.0;
                 let base_y = 2.0 + 12.0 * (c / 2) as f32 / 2.0 + 2.0;
-                (base_x + rng.range_f32(-1.5, 1.5), base_y + rng.range_f32(-1.5, 1.5))
+                (
+                    base_x + rng.range_f32(-1.5, 1.5),
+                    base_y + rng.range_f32(-1.5, 1.5),
+                )
             } else {
                 (rng.range_f32(0.0, 16.0), rng.range_f32(0.0, 16.0))
             };
@@ -122,7 +130,9 @@ impl Scene {
     /// and wrapping — the per-ray traversal order the kernel uses.
     pub fn first_hit_rotated(&self, px: f32, py: f32, rot: u32) -> Option<usize> {
         let n = self.len();
-        (0..n).map(|k| (rot as usize + k) % n).find(|&i| self.contains(i, px, py))
+        (0..n)
+            .map(|k| (rot as usize + k) % n)
+            .find(|&i| self.contains(i, px, py))
     }
 
     fn contains(&self, i: usize, px: f32, py: f32) -> bool {
@@ -333,8 +343,7 @@ pub fn ambient_occlusion(kind: SceneKind, simd: u32, scale: u32) -> Built {
     emit_first_hit_loop(&mut b, &mut ra, px, py, rot, hit, found);
     let (occ, qx, qy, h) = (ra.vf(), ra.vf(), ra.vf(), ra.vud());
     let (s, j) = (ra.vud(), ra.vud());
-    let (cx2, cy2, rr2, dx2, dy2, d22) =
-        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (cx2, cy2, rr2, dx2, dy2, d22) = (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
     let sf = ra.vf();
     b.mov(occ, Operand::imm_f(0.0));
     b.cmp(CondOp::Ne, FlagReg::F1, found, Operand::imm_ud(0));
@@ -365,17 +374,29 @@ pub fn ambient_occlusion(kind: SceneKind, simd: u32, scale: u32) -> Built {
             b.do_();
             {
                 b.add(p, j, h);
-                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.op(
+                    Opcode::Irem,
+                    p,
+                    &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)],
+                );
                 b.shl(p, p, Operand::imm_ud(6)); // × SPHERE_STRIDE
                 b.add(p, p, Operand::scalar(3, 0, iwc_isa::DataType::Ud));
                 b.load(MemSpace::Global, cx2, p);
                 b.add(p, j, h);
-                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.op(
+                    Opcode::Irem,
+                    p,
+                    &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)],
+                );
                 b.shl(p, p, Operand::imm_ud(6));
                 b.add(p, p, Operand::scalar(3, 1, iwc_isa::DataType::Ud));
                 b.load(MemSpace::Global, cy2, p);
                 b.add(p, j, h);
-                b.op(Opcode::Irem, p, &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)]);
+                b.op(
+                    Opcode::Irem,
+                    p,
+                    &[p, Operand::scalar(3, 4, iwc_isa::DataType::Ud)],
+                );
                 b.shl(p, p, Operand::imm_ud(6));
                 b.add(p, p, Operand::scalar(3, 3, iwc_isa::DataType::Ud));
                 b.load(MemSpace::Global, rr2, p);
@@ -491,7 +512,9 @@ mod tests {
         let al = Scene::generate(SceneKind::Al);
         let wm = Scene::generate(SceneKind::Wm);
         assert_ne!(al.len(), wm.len());
-        assert!(wm.r.iter().sum::<f32>() / wm.len() as f32 > al.r.iter().sum::<f32>() / al.len() as f32);
+        assert!(
+            wm.r.iter().sum::<f32>() / wm.len() as f32 > al.r.iter().sum::<f32>() / al.len() as f32
+        );
         // Front-to-back ordering.
         for s in [&al, &wm] {
             assert!(s.cz.windows(2).all(|w| w[0] <= w[1]));
@@ -501,7 +524,9 @@ mod tests {
     #[test]
     fn primary_rays_correct_and_divergent() {
         let b = primary(SceneKind::Conf, 1);
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         let eff = r.simd_efficiency();
         assert!(eff < 0.95, "RT-PR efficiency {eff:.3} should be divergent");
     }
@@ -510,7 +535,9 @@ mod tests {
     fn ao_more_divergent_than_primary() {
         let cfg = GpuConfig::paper_default();
         let pr = primary(SceneKind::Bl, 1).run_checked(&cfg).unwrap();
-        let ao = ambient_occlusion(SceneKind::Bl, 16, 1).run_checked(&cfg).unwrap();
+        let ao = ambient_occlusion(SceneKind::Bl, 16, 1)
+            .run_checked(&cfg)
+            .unwrap();
         assert!(
             ao.simd_efficiency() < pr.simd_efficiency(),
             "AO ({:.3}) should diverge more than PR ({:.3})",
@@ -522,7 +549,9 @@ mod tests {
     #[test]
     fn ao_simd8_variant_runs() {
         let b = ambient_occlusion(SceneKind::Wm, 8, 1);
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         assert!(r.cycles > 0);
     }
 }

@@ -39,8 +39,15 @@ pub fn bfs(scale: u32) -> Built {
 
     let mut b = KernelBuilder::new("bfs", SIMD);
     let mut ra = RegAlloc::new(SIMD);
-    let (p, f, start, end, idx, nb, vis) =
-        (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (p, f, start, end, idx, nb, vis) = (
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+    );
     let one = Operand::imm_ud(1);
     emit_addr(&mut b, p, gid(), 0, 4);
     b.load(MemSpace::Global, f, p);
@@ -141,8 +148,15 @@ pub fn hotspot(scale: u32) -> Built {
     let mut b = KernelBuilder::new("hotspot", SIMD);
     let mut ra = RegAlloc::new(SIMD);
     let (x, y, p, q) = (ra.vud(), ra.vud(), ra.vud(), ra.vud());
-    let (c, pw, l, r, t, bo, acc) =
-        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (c, pw, l, r, t, bo, acc) = (
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+    );
     b.and(x, gid(), Operand::imm_ud(w - 1));
     b.shr(y, gid(), Operand::imm_ud(w.trailing_zeros()));
     emit_addr(&mut b, p, gid(), 0, 4);
@@ -334,8 +348,15 @@ pub fn needleman_wunsch(scale: u32) -> Built {
     let mut b = KernelBuilder::new("nw", SIMD);
     let mut ra = RegAlloc::new(SIMD);
     let (i, j, p, ai, bj, diag) = (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
-    let (fd, fu, fl, s, m, best, po) =
-        (ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vd(), ra.vud());
+    let (fd, fu, fl, s, m, best, po) = (
+        ra.vd(),
+        ra.vd(),
+        ra.vd(),
+        ra.vd(),
+        ra.vd(),
+        ra.vd(),
+        ra.vud(),
+    );
     let nn = Operand::scalar(3, 5, iwc_isa::DataType::Ud);
     let dd = Operand::scalar(3, 4, iwc_isa::DataType::Ud);
     // One work-item per matrix cell: i = gid / n, j = gid % n. Only cells in
@@ -355,14 +376,15 @@ pub fn needleman_wunsch(scale: u32) -> Built {
     b.if_(f1());
     {
         // F indices: (i-1, j-1), (i-1, j), (i, j-1).
-        let idx = |b: &mut KernelBuilder, dst: Operand, bi: Operand, bj_: Operand, di: i32, dj: i32| {
-            b.add(p, bi, Operand::imm_d(di));
-            b.mul(p, p, nn);
-            b.add(p, p, bj_);
-            b.add(p, p, Operand::imm_d(dj));
-            emit_addr(b, p, p, 0, 4);
-            b.load(MemSpace::Global, dst, p);
-        };
+        let idx =
+            |b: &mut KernelBuilder, dst: Operand, bi: Operand, bj_: Operand, di: i32, dj: i32| {
+                b.add(p, bi, Operand::imm_d(di));
+                b.mul(p, p, nn);
+                b.add(p, p, bj_);
+                b.add(p, p, Operand::imm_d(dj));
+                emit_addr(b, p, p, 0, 4);
+                b.load(MemSpace::Global, dst, p);
+            };
         idx(&mut b, fd, i, j, -1, -1);
         idx(&mut b, fu, i, j, -1, 0);
         idx(&mut b, fl, i, j, 0, -1);
@@ -399,7 +421,11 @@ pub fn needleman_wunsch(scale: u32) -> Built {
     }
     for i in 1..n {
         for j in 1..n {
-            let s = if a_seq[i as usize] == b_seq[j as usize] { 2 } else { -1 };
+            let s = if a_seq[i as usize] == b_seq[j as usize] {
+                2
+            } else {
+                -1
+            };
             let m = f[((i - 1) * n + j - 1) as usize] + s;
             let up = f[((i - 1) * n + j) as usize] + GAP;
             let left = f[(i * n + j - 1) as usize] + GAP;
@@ -423,7 +449,11 @@ pub fn needleman_wunsch(scale: u32) -> Built {
                     let in_band = (i + j + band / 2).checked_sub(d).is_some_and(|v| v < band);
                     let active = in_band && i >= 1 && j >= 1;
                     let got = img.read_i32(op + 4 * (i * n + j));
-                    let want = if active { f_host[(i * n + j) as usize] } else { 0 };
+                    let want = if active {
+                        f_host[(i * n + j) as usize]
+                    } else {
+                        0
+                    };
                     if got != want {
                         return Err(format!("cell ({i},{j}) = {got}, want {want}"));
                     }
@@ -460,7 +490,12 @@ pub fn particle_filter(scale: u32) -> Built {
         b.cmp(CondOp::Ge, FlagReg::F0, c, u);
         b.break_(f0());
         b.add(j, j, Operand::imm_ud(1));
-        b.cmp(CondOp::Lt, FlagReg::F0, j, Operand::scalar(3, 2, iwc_isa::DataType::Ud));
+        b.cmp(
+            CondOp::Lt,
+            FlagReg::F0,
+            j,
+            Operand::scalar(3, 2, iwc_isa::DataType::Ud),
+        );
     }
     b.while_(f0());
     emit_addr(&mut b, p, gid(), 1, 4);
@@ -850,8 +885,15 @@ pub fn eigenvalue(scale: u32) -> Built {
     let mut b = KernelBuilder::new("eigenvalue", SIMD);
     let mut ra = RegAlloc::new(SIMD);
     let p = ra.vud();
-    let (lo, hi, mid, fm, target, eps, width) =
-        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (lo, hi, mid, fm, target, eps, width) = (
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+    );
     emit_addr(&mut b, p, gid(), 0, 4);
     b.load(MemSpace::Global, target, p);
     emit_addr(&mut b, p, gid(), 1, 4);
@@ -885,7 +927,9 @@ pub fn eigenvalue(scale: u32) -> Built {
 
     let mut rng = XorShift::new(30);
     let targets: Vec<f32> = (0..n).map(|_| rng.range_f32(1.0, 900.0)).collect();
-    let tols: Vec<f32> = (0..n).map(|_| 10f32.powi(-(rng.below(5) as i32 + 2))).collect();
+    let tols: Vec<f32> = (0..n)
+        .map(|_| 10f32.powi(-(rng.below(5) as i32 + 2)))
+        .collect();
     let mut img = MemoryImage::new(16 * n + (1 << 16));
     let tp = img.alloc_f32(&targets);
     let ep = img.alloc_f32(&tols);
@@ -918,10 +962,7 @@ pub fn eigenvalue(scale: u32) -> Built {
 ///
 /// Returns an error string when simulation fails or the computed distances
 /// do not match the host reference.
-pub fn bfs_full(
-    scale: u32,
-    cfg: &iwc_sim::GpuConfig,
-) -> Result<Vec<iwc_sim::SimResult>, String> {
+pub fn bfs_full(scale: u32, cfg: &iwc_sim::GpuConfig) -> Result<Vec<iwc_sim::SimResult>, String> {
     let n = 512 * scale.max(1);
     let avg_degree = 4u32;
     const INF: u32 = u32::MAX;
@@ -930,8 +971,15 @@ pub fn bfs_full(
     // Args: 0 = frontier, 1 = row, 2 = col, 3 = dist, 4 = next, 5 = level+1.
     let mut b = KernelBuilder::new("bfs-level", SIMD);
     let mut ra = RegAlloc::new(SIMD);
-    let (p, f, start, end, idx, nb, dv) =
-        (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (p, f, start, end, idx, nb, dv) = (
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+        ra.vud(),
+    );
     let one = Operand::imm_ud(1);
     emit_addr(&mut b, p, gid(), 0, 4);
     b.load(MemSpace::Global, f, p);
@@ -1017,8 +1065,8 @@ pub fn bfs_full(
     let mut results = Vec::new();
     let (mut cur, mut next) = (fa, fb);
     for lvl in 0..n {
-        let launch = Launch::new(program.clone(), n, WG)
-            .with_args(&[cur, rp, cp, dp, next, lvl + 1]);
+        let launch =
+            Launch::new(program.clone(), n, WG).with_args(&[cur, rp, cp, dp, next, lvl + 1]);
         let r = gpu.run(&launch, &mut img).map_err(|e| e.to_string())?;
         results.push(r);
         // Host side: check whether the next frontier is non-empty, clear the
@@ -1051,7 +1099,9 @@ mod tests {
     use iwc_sim::GpuConfig;
 
     fn check_divergent(b: Built) -> f64 {
-        let r = b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}"));
+        let r = b
+            .run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"));
         r.simd_efficiency()
     }
 

@@ -35,8 +35,7 @@ pub fn bsearch(scale: u32) -> Built {
 
     let mut b = KernelBuilder::new("bsearch", SIMD);
     let mut ra = RegAlloc::new(SIMD);
-    let (lo, mid, p, key, v, step) =
-        (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
+    let (lo, mid, p, key, v, step) = (ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud(), ra.vud());
     let half = ra.vud();
     emit_addr(&mut b, p, gid(), 1, 4);
     b.load(MemSpace::Global, key, p);
@@ -70,7 +69,13 @@ pub fn bsearch(scale: u32) -> Built {
     data.sort_unstable();
     // Half the keys are present (early exit), half absent (full search).
     let keys: Vec<u32> = (0..n)
-        .map(|i| if i % 2 == 0 { data[rng.below(n) as usize] } else { rng.below(4 * n) })
+        .map(|i| {
+            if i % 2 == 0 {
+                data[rng.below(n) as usize]
+            } else {
+                rng.below(4 * n)
+            }
+        })
         .collect();
     let mut img = MemoryImage::new(16 * n + (1 << 16));
     let dp = img.alloc_u32(&data);
@@ -124,12 +129,13 @@ pub fn floyd_warshall(scale: u32) -> Built {
     let logn = n.trailing_zeros();
     b.shr(i, gid(), Operand::imm_ud(logn));
     b.and(j, gid(), Operand::imm_ud(n - 1));
-    let load_elem = |b: &mut KernelBuilder, dst: Operand, row: Operand, col: Operand, p: Operand| {
-        b.mul(p, row, nn);
-        b.add(p, p, col);
-        emit_addr(b, p, p, 0, 4);
-        b.load(MemSpace::Global, dst, p);
-    };
+    let load_elem =
+        |b: &mut KernelBuilder, dst: Operand, row: Operand, col: Operand, p: Operand| {
+            b.mul(p, row, nn);
+            b.add(p, p, col);
+            emit_addr(b, p, p, 0, 4);
+            b.load(MemSpace::Global, dst, p);
+        };
     load_elem(&mut b, dij, i, j, p);
     load_elem(&mut b, dik, i, kk, p);
     load_elem(&mut b, dkj, kk, j, p);
@@ -326,7 +332,12 @@ pub fn knn(scale: u32) -> Built {
     // Candidates inside the threshold radius take the expensive exact-
     // distance path (sqrt); the rest are marked rejected — data-dependent
     // divergence proportional to the query selectivity.
-    b.cmp(CondOp::Lt, FlagReg::F0, d2, Operand::scalar(3, 4, iwc_isa::DataType::F));
+    b.cmp(
+        CondOp::Lt,
+        FlagReg::F0,
+        d2,
+        Operand::scalar(3, 4, iwc_isa::DataType::F),
+    );
     b.if_(f0());
     b.math(Opcode::Sqrt, d2, d2);
     b.else_();
@@ -536,8 +547,7 @@ pub fn bitonic_step(scale: u32) -> Built {
                 let off = g % dist;
                 let ia = (blk * 2 * dist + off) as usize;
                 let ib = ia + dist as usize;
-                let (want_lo, want_hi) =
-                    (data[ia].min(data[ib]), data[ia].max(data[ib]));
+                let (want_lo, want_hi) = (data[ia].min(data[ib]), data[ia].max(data[ib]));
                 if img.read_u32(dp + 4 * ia as u32) != want_lo
                     || img.read_u32(dp + 4 * ib as u32) != want_hi
                 {
@@ -594,8 +604,12 @@ pub fn hmm_viterbi(scale: u32) -> Built {
 
     let mut rng = XorShift::new(61);
     let seqs = n / states;
-    let prev_scores: Vec<f32> = (0..seqs * states).map(|_| rng.range_f32(-5.0, 0.0)).collect();
-    let trans_m: Vec<f32> = (0..states * states).map(|_| rng.range_f32(-3.0, 0.0)).collect();
+    let prev_scores: Vec<f32> = (0..seqs * states)
+        .map(|_| rng.range_f32(-5.0, 0.0))
+        .collect();
+    let trans_m: Vec<f32> = (0..states * states)
+        .map(|_| rng.range_f32(-3.0, 0.0))
+        .collect();
     let mut img = MemoryImage::new(16 * n + (1 << 16));
     let pp = img.alloc_f32(&prev_scores);
     let tp = img.alloc_f32(&trans_m);
@@ -747,7 +761,9 @@ pub fn aes_round(scale: u32) -> Built {
 
     let mut rng = XorShift::new(63);
     let state: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
-    let sbox: Vec<u32> = (0..256).map(|i| ((i as u32).wrapping_mul(167) ^ 0x63) & 0xFF).collect();
+    let sbox: Vec<u32> = (0..256)
+        .map(|i| ((i as u32).wrapping_mul(167) ^ 0x63) & 0xFF)
+        .collect();
     let keys: Vec<u32> = (0..16).map(|_| rng.next_u64() as u32).collect();
     let mut img = MemoryImage::new(16 * n + (1 << 16));
     let stp = img.alloc_u32(&state);
@@ -836,7 +852,9 @@ pub fn dxtc(scale: u32) -> Built {
     let program = b.finish().expect("valid kernel");
 
     let mut rng = XorShift::new(64);
-    let texels: Vec<f32> = (0..16 * blocks).map(|_| rng.range_f32(0.0, 255.0)).collect();
+    let texels: Vec<f32> = (0..16 * blocks)
+        .map(|_| rng.range_f32(0.0, 255.0))
+        .collect();
     let mut img = MemoryImage::new(80 * blocks + (1 << 16));
     let tp = img.alloc_f32(&texels);
     let op = img.alloc(4 * blocks);
@@ -908,7 +926,9 @@ pub fn scan_large_array(scale: u32) -> Built {
     let mut img = MemoryImage::new(16 * n + (1 << 16));
     let dp = img.alloc_u32(&data);
     let op = img.alloc(4 * n);
-    let launch = Launch::new(program, n, wg).with_args(&[dp, op]).with_slm(wg * 4);
+    let launch = Launch::new(program, n, wg)
+        .with_args(&[dp, op])
+        .with_slm(wg * 4);
     Built {
         name: "ScLA".into(),
         launch,
@@ -939,8 +959,15 @@ pub fn cfd_flux(scale: u32) -> Built {
     let mut b = KernelBuilder::new("cfd", SIMD);
     let mut ra = RegAlloc::new(SIMD);
     let (im, ip_, p) = (ra.vd(), ra.vd(), ra.vud());
-    let (u, ul, ur, dl, dr, flux, lim) =
-        (ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf(), ra.vf());
+    let (u, ul, ur, dl, dr, flux, lim) = (
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+        ra.vf(),
+    );
     b.add(im, gid(), Operand::imm_d(-1));
     b.max(im, im, Operand::imm_d(0));
     b.add(ip_, gid(), Operand::imm_d(1));
@@ -1005,7 +1032,11 @@ pub fn cfd_flux(scale: u32) -> Built {
                 let (dl, dr) = (field[g] - field[im], field[ip] - field[g]);
                 let flux = if dl * dr > 0.0 {
                     let m = dl.abs().min(dr.abs());
-                    if dl < 0.0 { -m } else { m }
+                    if dl < 0.0 {
+                        -m
+                    } else {
+                        m
+                    }
                 } else {
                     0.0
                 };
@@ -1043,7 +1074,7 @@ pub fn quasi_random(scale: u32) -> Built {
     // Byte swap via shifts.
     b.shr(t, x, Operand::imm_ud(24));
     b.shl(x, x, Operand::imm_ud(8)); // partial; combine 4 ways
-    // (keep it simple: x = rotate(x, 8) | t mixes bits deterministically)
+                                     // (keep it simple: x = rotate(x, 8) | t mixes bits deterministically)
     b.or(x, x, t);
     // Map to [0,1): u = x / 2^32 (use top 24 bits).
     b.shr(t, x, Operand::imm_ud(8));
@@ -1086,7 +1117,9 @@ mod tests {
     use iwc_sim::GpuConfig;
 
     fn run(b: Built) -> f64 {
-        b.run_checked(&GpuConfig::paper_default()).unwrap_or_else(|e| panic!("{e}")).simd_efficiency()
+        b.run_checked(&GpuConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .simd_efficiency()
     }
 
     #[test]
@@ -1167,4 +1200,3 @@ mod tests {
         assert!(run(dxtc(1)) > 0.90);
     }
 }
-

@@ -18,7 +18,10 @@ pub struct RegAlloc {
 impl RegAlloc {
     /// Creates an allocator for the given kernel SIMD width, starting at r6.
     pub fn new(simd_width: u32) -> Self {
-        Self { next: 6, step: (simd_width * 4).div_ceil(32).max(1) }
+        Self {
+            next: 6,
+            step: (simd_width * 4).div_ceil(32).max(1),
+        }
     }
 
     /// Allocates a 32-bit vector register; returns its base GRF number.
@@ -76,7 +79,10 @@ pub fn emit_addr(
     base_arg: u8,
     elem_bytes: u32,
 ) {
-    assert!(elem_bytes.is_power_of_two(), "element size must be a power of two");
+    assert!(
+        elem_bytes.is_power_of_two(),
+        "element size must be a power of two"
+    );
     let shift = elem_bytes.trailing_zeros();
     if shift == 0 {
         b.add(dst, index, arg(base_arg));

@@ -57,9 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "divergent loop: SIMD efficiency {:.1}%, SCC would save {:.1}% of EU cycles",
         100.0 * result.simd_efficiency(),
-        100.0 * result
-            .compute_tally()
-            .reduction_vs_ivb(intra_warp_compaction::compaction::CompactionMode::Scc)
+        100.0
+            * result
+                .compute_tally()
+                .reduction_vs_ivb(intra_warp_compaction::compaction::CompactionMode::Scc)
     );
     Ok(())
 }

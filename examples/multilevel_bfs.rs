@@ -22,6 +22,9 @@ fn main() -> Result<(), String> {
         );
     }
     let total: u64 = results.iter().map(|r| r.cycles).sum();
-    println!("\n{} levels, {total} total cycles; distances verified against host BFS", results.len());
+    println!(
+        "\n{} levels, {total} total cycles; distances verified against host BFS",
+        results.len()
+    );
     Ok(())
 }

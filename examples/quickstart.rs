@@ -18,14 +18,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.mov(Operand::rf(8), Operand::imm_f(1.0));
     b.if_(Predicate::normal(FlagReg::F0));
     for _ in 0..24 {
-        b.mad(Operand::rf(8), Operand::rf(8), Operand::imm_f(1.001), Operand::imm_f(0.1));
+        b.mad(
+            Operand::rf(8),
+            Operand::rf(8),
+            Operand::imm_f(1.001),
+            Operand::imm_f(0.1),
+        );
     }
     b.else_();
     b.add(Operand::rf(8), Operand::rf(8), Operand::imm_f(1.0));
     b.end_if();
     // out[gid] = r8
     b.shl(Operand::rud(10), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(10), Operand::rud(10), Operand::scalar(3, 0, intra_warp_compaction::isa::DataType::Ud));
+    b.add(
+        Operand::rud(10),
+        Operand::rud(10),
+        Operand::scalar(3, 0, intra_warp_compaction::isa::DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(10), Operand::rf(8));
     let program = b.finish()?;
     println!("{program}");
@@ -47,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * r.simd_efficiency()
         );
         // The functional result is identical regardless of mode.
-        assert_eq!(img.read_f32(out + 4), img.read_f32(out + 12), "odd lanes agree");
+        assert_eq!(
+            img.read_f32(out + 4),
+            img.read_f32(out + 12),
+            "odd lanes agree"
+        );
     }
     Ok(())
 }

@@ -13,9 +13,10 @@ use intra_warp_compaction::workloads::raytrace::{ambient_occlusion, primary, Sce
 fn main() {
     println!("scene      kernel     eff     bccEU   sccEU   | time gain @DC1 -> @DC2 (scc)");
     for kind in [SceneKind::Al, SceneKind::Bl, SceneKind::Wm] {
-        for (label, built) in
-            [("primary", primary(kind, 1)), ("ao-simd16", ambient_occlusion(kind, 16, 1))]
-        {
+        for (label, built) in [
+            ("primary", primary(kind, 1)),
+            ("ao-simd16", ambient_occlusion(kind, 16, 1)),
+        ] {
             let base1 = built
                 .run_checked(&GpuConfig::paper_default())
                 .expect("baseline run");

@@ -27,7 +27,11 @@ fn main() {
             waves(mask, CompactionMode::Bcc),
             waves(mask, CompactionMode::Scc),
             sched.swizzle_count(),
-            if sched.is_bcc_like() { " (bcc-like, no crossbar needed)" } else { "" },
+            if sched.is_bcc_like() {
+                " (bcc-like, no crossbar needed)"
+            } else {
+                ""
+            },
         );
         print!("{sched}");
         println!();

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = GpuConfig::paper_default().with_mask_capture(true);
     let (result, _img) = built.run(&cfg)?;
     let trace = Trace::from_mask_stream("BFS-captured", &result.eu.mask_trace);
-    println!("captured {} mask records from the BFS simulation", trace.len());
+    println!(
+        "captured {} mask records from the BFS simulation",
+        trace.len()
+    );
 
     // 2. Serialize and reload.
     let mut buf = Vec::new();

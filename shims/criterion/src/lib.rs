@@ -41,9 +41,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench` forwards a `--bench` flag plus any user filter
         // string; honor the filter, ignore flags.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             settings: Settings::default(),
             filter,
@@ -143,7 +141,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, filter: &Option<String>, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    settings: Settings,
+    filter: &Option<String>,
+    f: &mut F,
+) {
     if let Some(pat) = filter {
         if !id.contains(pat.as_str()) {
             return;

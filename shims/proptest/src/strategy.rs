@@ -97,7 +97,10 @@ impl<V> Union<V> {
     /// Builds a union; `branches` must be non-empty.
     #[must_use]
     pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
-        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
         Union { branches }
     }
 }

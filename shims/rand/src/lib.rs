@@ -66,8 +66,12 @@ fn splitmix64_mix(mut z: u64) -> u64 {
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draws one sample in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
     /// (`inclusive = true`).
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -12,10 +12,26 @@ use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Step {
-    Alu { op_idx: u8, dst: u8, a: u8, b: u8 },
-    Math { op_idx: u8, dst: u8, a: u8 },
-    IfElse { bits: u16, then_ops: Vec<(u8, u8)>, else_ops: Vec<(u8, u8)> },
-    Loop { trips_reg_init: u8, body_ops: Vec<(u8, u8)> },
+    Alu {
+        op_idx: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    Math {
+        op_idx: u8,
+        dst: u8,
+        a: u8,
+    },
+    IfElse {
+        bits: u16,
+        then_ops: Vec<(u8, u8)>,
+        else_ops: Vec<(u8, u8)>,
+    },
+    Loop {
+        trips_reg_init: u8,
+        body_ops: Vec<(u8, u8)>,
+    },
 }
 
 /// Value registers r6..r20 (even = f32 vectors at SIMD16).
@@ -23,31 +39,55 @@ fn vreg(i: u8) -> Operand {
     Operand::rf(6 + 2 * (i % 8))
 }
 
-const ALU_OPS: [Opcode; 6] =
-    [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Mad, Opcode::Min, Opcode::Max];
+const ALU_OPS: [Opcode; 6] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Mad,
+    Opcode::Min,
+    Opcode::Max,
+];
 const MATH_OPS: [Opcode; 3] = [Opcode::Rsqrt, Opcode::Frc, Opcode::Abs];
 
 fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
             .prop_map(|(op_idx, dst, a, b)| Step::Alu { op_idx, dst, a, b }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(op_idx, dst, a)| Step::Math { op_idx, dst, a }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(op_idx, dst, a)| Step::Math {
+            op_idx,
+            dst,
+            a
+        }),
         (
             any::<u16>(),
             prop::collection::vec((any::<u8>(), any::<u8>()), 1..5),
             prop::collection::vec((any::<u8>(), any::<u8>()), 1..5)
         )
-            .prop_map(|(bits, then_ops, else_ops)| Step::IfElse { bits, then_ops, else_ops }),
-        (1u8..5, prop::collection::vec((any::<u8>(), any::<u8>()), 1..4))
-            .prop_map(|(trips_reg_init, body_ops)| Step::Loop { trips_reg_init, body_ops }),
+            .prop_map(|(bits, then_ops, else_ops)| Step::IfElse {
+                bits,
+                then_ops,
+                else_ops
+            }),
+        (
+            1u8..5,
+            prop::collection::vec((any::<u8>(), any::<u8>()), 1..4)
+        )
+            .prop_map(|(trips_reg_init, body_ops)| Step::Loop {
+                trips_reg_init,
+                body_ops
+            }),
     ]
 }
 
 fn emit_safe_op(b: &mut KernelBuilder, dst: u8, a: u8) {
     // Keep values bounded: dst = frc(a) * 0.5 + 0.25 stays in [0.25, 0.75].
     b.op(Opcode::Frc, vreg(dst), &[vreg(a)]);
-    b.mad(vreg(dst), vreg(dst), Operand::imm_f(0.5), Operand::imm_f(0.25));
+    b.mad(
+        vreg(dst),
+        vreg(dst),
+        Operand::imm_f(0.5),
+        Operand::imm_f(0.25),
+    );
 }
 
 fn build_kernel(steps: &[Step]) -> Program {
@@ -56,11 +96,21 @@ fn build_kernel(steps: &[Step]) -> Program {
     b.and(Operand::rud(22), Operand::rud(1), Operand::imm_ud(15));
     for i in 0..8u8 {
         b.mov(vreg(i), Operand::rud(22));
-        b.mad(vreg(i), vreg(i), Operand::imm_f(0.01), Operand::imm_f(0.1 + f32::from(i)));
+        b.mad(
+            vreg(i),
+            vreg(i),
+            Operand::imm_f(0.01),
+            Operand::imm_f(0.1 + f32::from(i)),
+        );
     }
     for step in steps {
         match step {
-            Step::Alu { op_idx, dst, a, b: src_b } => {
+            Step::Alu {
+                op_idx,
+                dst,
+                a,
+                b: src_b,
+            } => {
                 let op = ALU_OPS[usize::from(op_idx % ALU_OPS.len() as u8)];
                 if op == Opcode::Mad {
                     b.mad(vreg(*dst), vreg(*a), Operand::imm_f(0.5), vreg(*src_b));
@@ -77,11 +127,24 @@ fn build_kernel(steps: &[Step]) -> Program {
                 b.op(op, vreg(*dst), &[vreg(*dst)]);
                 emit_safe_op(&mut b, *dst, *dst);
             }
-            Step::IfElse { bits, then_ops, else_ops } => {
+            Step::IfElse {
+                bits,
+                then_ops,
+                else_ops,
+            } => {
                 // cond: lane-id bit pattern — deterministic divergence.
-                b.shr(Operand::rud(24), Operand::imm_ud(u32::from(*bits)), Operand::rud(22));
+                b.shr(
+                    Operand::rud(24),
+                    Operand::imm_ud(u32::from(*bits)),
+                    Operand::rud(22),
+                );
                 b.and(Operand::rud(24), Operand::rud(24), Operand::imm_ud(1));
-                b.cmp(CondOp::Ne, FlagReg::F0, Operand::rud(24), Operand::imm_ud(0));
+                b.cmp(
+                    CondOp::Ne,
+                    FlagReg::F0,
+                    Operand::rud(24),
+                    Operand::imm_ud(0),
+                );
                 b.if_(Predicate::normal(FlagReg::F0));
                 for (dst, a) in then_ops {
                     emit_safe_op(&mut b, *dst, *a);
@@ -92,20 +155,35 @@ fn build_kernel(steps: &[Step]) -> Program {
                 }
                 b.end_if();
             }
-            Step::Loop { trips_reg_init, body_ops } => {
+            Step::Loop {
+                trips_reg_init,
+                body_ops,
+            } => {
                 // Per-lane trip count: 1 + (lane % trips_reg_init+1).
                 b.op(
                     Opcode::Irem,
                     Operand::rud(26),
-                    &[Operand::rud(22), Operand::imm_ud(u32::from(*trips_reg_init) + 1)],
+                    &[
+                        Operand::rud(22),
+                        Operand::imm_ud(u32::from(*trips_reg_init) + 1),
+                    ],
                 );
                 b.add(Operand::rud(26), Operand::rud(26), Operand::imm_ud(1));
                 b.do_();
                 for (dst, a) in body_ops {
                     emit_safe_op(&mut b, *dst, *a);
                 }
-                b.add(Operand::rud(26), Operand::rud(26), Operand::imm_ud(0xFFFF_FFFF));
-                b.cmp(CondOp::Gt, FlagReg::F0, Operand::rud(26), Operand::imm_ud(0));
+                b.add(
+                    Operand::rud(26),
+                    Operand::rud(26),
+                    Operand::imm_ud(0xFFFF_FFFF),
+                );
+                b.cmp(
+                    CondOp::Gt,
+                    FlagReg::F0,
+                    Operand::rud(26),
+                    Operand::imm_ud(0),
+                );
                 b.while_(Predicate::normal(FlagReg::F0));
             }
         }
@@ -117,7 +195,11 @@ fn build_kernel(steps: &[Step]) -> Program {
         b.add(acc, acc, vreg(i));
     }
     b.shl(Operand::rud(30), Operand::rud(1), Operand::imm_ud(2));
-    b.add(Operand::rud(30), Operand::rud(30), Operand::scalar(3, 0, DataType::Ud));
+    b.add(
+        Operand::rud(30),
+        Operand::rud(30),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
     b.store(MemSpace::Global, Operand::rud(30), acc);
     b.finish().expect("generated kernel is structurally valid")
 }

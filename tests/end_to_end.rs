@@ -66,7 +66,10 @@ fn captured_trace_matches_sim_tally() {
     let cfg = GpuConfig::paper_default().with_mask_capture(true);
     let (result, _) = built.run(&cfg).expect("bfs runs");
     let trace = Trace::from_mask_stream("bfs", &result.eu.mask_trace);
-    assert_eq!(trace.len() as u64, result.eu.issued - skipped_control(&result));
+    assert_eq!(
+        trace.len() as u64,
+        result.eu.issued - skipped_control(&result)
+    );
     let report = analyze(&trace);
     let sim_eff = result.eu.simd_tally.simd_efficiency();
     assert!(
@@ -111,8 +114,9 @@ fn memory_stream_identical_across_modes() {
     let stats: Vec<_> = CompactionMode::ALL
         .iter()
         .map(|&m| {
-            let (r, _) =
-                built.run(&GpuConfig::paper_default().with_compaction(m)).expect("runs");
+            let (r, _) = built
+                .run(&GpuConfig::paper_default().with_compaction(m))
+                .expect("runs");
             (r.mem.loads, r.mem.stores, r.mem.lines_requested)
         })
         .collect();

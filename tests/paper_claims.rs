@@ -15,7 +15,10 @@ use intra_warp_compaction::workloads::{catalog, Category};
 fn scc_subsumes_bcc_for_every_mask() {
     for bits in 0..=0xFFFFu32 {
         let m = ExecMask::new(bits, 16);
-        assert!(waves(m, CompactionMode::Scc) <= waves(m, CompactionMode::Bcc), "{bits:#x}");
+        assert!(
+            waves(m, CompactionMode::Scc) <= waves(m, CompactionMode::Bcc),
+            "{bits:#x}"
+        );
     }
 }
 
@@ -72,10 +75,16 @@ fn ivy_bridge_optimization_pattern() {
     use intra_warp_compaction::workloads::micro::mask_pattern;
     let cfg = GpuConfig::single_eu();
     let run = |pat: u16| {
-        mask_pattern(pat, 1).run_checked(&cfg).unwrap_or_else(|e| panic!("{e}")).cycles as f64
+        mask_pattern(pat, 1)
+            .run_checked(&cfg)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .cycles as f64
     };
     let base = run(0xFFFF);
-    assert!((run(0x00FF) / base - 1.0).abs() < 0.15, "0x00FF should match no-divergence");
+    assert!(
+        (run(0x00FF) / base - 1.0).abs() < 0.15,
+        "0x00FF should match no-divergence"
+    );
     assert!(run(0xF0F0) / base > 1.6, "0xF0F0 should cost ~2x");
 }
 
@@ -117,8 +126,12 @@ fn register_file_area_ordering() {
 fn wider_warps_diverge_more() {
     use intra_warp_compaction::workloads::raytrace::{ambient_occlusion, SceneKind};
     let cfg = GpuConfig::paper_default();
-    let (r8, _) = ambient_occlusion(SceneKind::Bl, 8, 1).run(&cfg).expect("runs");
-    let (r16, _) = ambient_occlusion(SceneKind::Bl, 16, 1).run(&cfg).expect("runs");
+    let (r8, _) = ambient_occlusion(SceneKind::Bl, 8, 1)
+        .run(&cfg)
+        .expect("runs");
+    let (r16, _) = ambient_occlusion(SceneKind::Bl, 16, 1)
+        .run(&cfg)
+        .expect("runs");
     assert!(
         r16.simd_efficiency() <= r8.simd_efficiency() + 0.02,
         "SIMD16 ({:.3}) should diverge at least as much as SIMD8 ({:.3})",
