@@ -1,59 +1,11 @@
-//! Ablation: data-type width vs compaction benefit (§4.1).
-//!
-//! "Benefits may be higher for wider datatypes (doubles and long integers)
-//! that take more cycles through the execution pipe, and conversely,
-//! benefit may be lower for narrow datatypes (half float / short)." The
-//! same divergent mask stream is costed at every element width: byte
-//! streams barely compress (a dead wave needs 16 disabled contiguous
-//! channels) while double streams compress at pair granularity.
+//! Thin wrapper delegating to the `ablation_dtype` entry of the experiment
+//! registry — the same code path as `iwc ablation_dtype`, kept so existing
+//! `cargo run -p iwc-bench --bin ablation_dtype` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::pct;
-use iwc_compaction::{waves_typed, CompactionMode};
-use iwc_isa::{DataType, ExecMask};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-fn main() {
-    println!("== ablation: element width vs compaction benefit ==\n");
-    // A scattered divergent stream at ~45% density over SIMD16.
-    let mut rng = SmallRng::seed_from_u64(5);
-    let masks: Vec<ExecMask> = (0..20_000)
-        .map(|_| {
-            let mut bits = 0u32;
-            for ch in 0..16 {
-                if rng.gen_bool(0.45) {
-                    bits |= 1 << ch;
-                }
-            }
-            ExecMask::new(bits | 1, 16)
-        })
-        .collect();
-
-    println!(
-        "{:<8} {:>10} {:>12} {:>12} {:>12}",
-        "dtype", "elem/wave", "base waves", "bcc gain", "scc gain"
-    );
-    for dt in [DataType::Ub, DataType::Hf, DataType::F, DataType::Df] {
-        let total = |mode: CompactionMode| -> u64 {
-            masks
-                .iter()
-                .map(|&m| u64::from(waves_typed(m, dt, mode)))
-                .sum()
-        };
-        let base = total(CompactionMode::IvyBridge);
-        let bcc = total(CompactionMode::Bcc);
-        let scc = total(CompactionMode::Scc);
-        println!(
-            "{:<8} {:>10} {:>12} {:>12} {:>12}",
-            dt.to_string(),
-            dt.elements_per_wave(),
-            base,
-            pct(1.0 - bcc as f64 / base as f64),
-            pct(1.0 - scc as f64 / base as f64),
-        );
-    }
-    println!(
-        "\npaper §4.1: wider datatypes (more waves per instruction) benefit more; \
-         narrow datatypes (fewer waves) benefit less."
-    );
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("ablation_dtype", &args)
 }

@@ -1,43 +1,11 @@
-//! Ablation: dynamic-energy estimate of BCC and SCC (§4.3's qualitative
-//! discussion, made quantitative with the first-order model of
-//! `iwc_compaction::energy`).
-//!
-//! Key expectations: BCC saves both execution and operand-fetch energy on
-//! quad-idle masks; SCC saves execution energy but fetches full-width
-//! operands, so its energy gain lags its cycle gain; on coherent streams
-//! neither costs anything (BCC) or only its control overhead (SCC).
+//! Thin wrapper delegating to the `ablation_energy` entry of the experiment
+//! registry — the same code path as `iwc ablation_energy`, kept so existing
+//! `cargo run -p iwc-bench --bin ablation_energy` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::{pct, trace_len};
-use iwc_compaction::{CompactionMode, EnergyModel};
-use iwc_trace::{analyze, corpus};
+use std::process::ExitCode;
 
-fn main() {
-    println!("== ablation: dynamic energy of cycle compression ==\n");
-    let model = EnergyModel::default();
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "workload", "eff", "bcc cyc", "bcc enrg", "scc cyc", "scc enrg"
-    );
-    for profile in corpus() {
-        let trace = profile.generate(trace_len());
-        let report = analyze(&trace);
-        let stream: Vec<_> = trace.records.iter().map(|r| (r.mask(), r.dtype)).collect();
-        let base = model.stream_energy(&stream, CompactionMode::IvyBridge);
-        let bcc = model.stream_energy(&stream, CompactionMode::Bcc);
-        let scc = model.stream_energy(&stream, CompactionMode::Scc);
-        println!(
-            "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            profile.name,
-            pct(report.simd_efficiency()),
-            pct(report.reduction(CompactionMode::Bcc)),
-            pct(1.0 - bcc / base),
-            pct(report.reduction(CompactionMode::Scc)),
-            pct(1.0 - scc / base),
-        );
-    }
-    println!(
-        "\nexpected shape: BCC energy gain tracks its cycle gain (fetch suppression); \
-         SCC energy gain lags its cycle gain (full-width operand latch, crossbar, \
-         control logic) — §4.2/§4.3."
-    );
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("ablation_energy", &args)
 }

@@ -1,48 +1,11 @@
-//! Ablation: front-end issue bandwidth (§4.3).
-//!
-//! "As BCC and SCC both increase the overall throughput of the EUs,
-//! adequate instruction fetch bandwidth and front-end processing bandwidth
-//! may be needed to balance the higher rate of execution." This harness
-//! sweeps the issue width: with a 1-instruction/cycle front end, heavily
-//! compressed SIMD8 streams hit the issue wall and BCC/SCC gains clip; a
-//! 2-wide front end unlocks them.
+//! Thin wrapper delegating to the `ablation_frontend` entry of the experiment
+//! registry — the same code path as `iwc ablation_frontend`, kept so existing
+//! `cargo run -p iwc-bench --bin ablation_frontend` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::{cycle_reduction, pct, scale};
-use iwc_compaction::CompactionMode;
-use iwc_sim::GpuConfig;
-use iwc_workloads::micro::pipe_mix;
+use std::process::ExitCode;
 
-fn main() {
-    println!("== ablation: front-end issue bandwidth vs realized compaction gain ==\n");
-    println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12}",
-        "workload", "scc @issue1", "scc @issue2", "bcc @issue1", "bcc @issue2"
-    );
-    // Compute-bound divergent kernels: sparse quad pattern 0x00F0, one
-    // active quad out of the warp. SIMD8 compresses from 2 waves/instr to
-    // 1 — exactly where a 1-wide front end becomes the wall.
-    for (label, simd) in [("pipemix-s8", 8u32), ("pipemix-s16", 16)] {
-        let built = pipe_mix(0x00F0, simd, scale());
-        let run = |mode: CompactionMode, issue: u32| {
-            let cfg = GpuConfig::paper_default()
-                .with_compaction(mode)
-                .with_issue_per_cycle(issue)
-                .with_dc_bandwidth(2.0); // remove the memory bottleneck
-            built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
-        };
-        let base1 = run(CompactionMode::IvyBridge, 1);
-        let base2 = run(CompactionMode::IvyBridge, 2);
-        println!(
-            "{label:<16} {:>12} {:>12} {:>12} {:>12}",
-            pct(cycle_reduction(&base1, &run(CompactionMode::Scc, 1))),
-            pct(cycle_reduction(&base2, &run(CompactionMode::Scc, 2))),
-            pct(cycle_reduction(&base1, &run(CompactionMode::Bcc, 1))),
-            pct(cycle_reduction(&base2, &run(CompactionMode::Bcc, 2))),
-        );
-    }
-    println!(
-        "\nreading: compressed dual-pipe streams demand more than one issue slot per \
-         cycle, so a 1-wide front end clips the gain; widening the front end to two \
-         issues per cycle unlocks it — §4.3's provisioning requirement."
-    );
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("ablation_frontend", &args)
 }

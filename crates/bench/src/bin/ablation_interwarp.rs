@@ -1,104 +1,11 @@
-//! Ablation: intra-warp vs inter-warp compaction (§3.2, §6, contribution 2).
-//!
-//! An idealized TBC-style inter-warp compactor merges same-PC warps
-//! lane-preservingly. This harness quantifies the paper's two comparative
-//! claims on synthetic warp groups:
-//!
-//! 1. lane conflicts limit inter-warp compaction on strided patterns that
-//!    SCC handles trivially ("TBC-like approaches cannot [optimize the
-//!    Fig. 4(b) pattern] when it is repeated across warps because those
-//!    optimizations preserve lane/channel positions");
-//! 2. merging warps mixes their address streams, inflating memory
-//!    divergence, while intra-warp compaction leaves it untouched.
+//! Thin wrapper delegating to the `ablation_interwarp` entry of the experiment
+//! registry — the same code path as `iwc ablation_interwarp`, kept so existing
+//! `cargo run -p iwc-bench --bin ablation_interwarp` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::pct;
-use iwc_compaction::{evaluate_group, waves, CompactionMode};
-use iwc_isa::ExecMask;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-fn group_waves(group: &[ExecMask]) -> (u64, u64, u64) {
-    let intra: u64 = group
-        .iter()
-        .map(|&m| u64::from(waves(m, CompactionMode::Scc)))
-        .sum();
-    let base: u64 = group
-        .iter()
-        .map(|&m| u64::from(waves(m, CompactionMode::Baseline)))
-        .sum();
-    let merged = iwc_compaction::compact_masks(group);
-    let inter: u64 = merged
-        .masks
-        .iter()
-        .map(|&m| u64::from(waves(m, CompactionMode::Baseline)))
-        .sum();
-    (base, intra, inter)
-}
-
-fn main() {
-    println!("== ablation: intra-warp (SCC) vs inter-warp (TBC-style) compaction ==\n");
-
-    println!("-- execution cycles per warp-group pattern --");
-    println!(
-        "{:<34} {:>9} {:>10} {:>10}",
-        "pattern (4 warps)", "baseline", "intra/SCC", "inter/TBC"
-    );
-    let cases: [(&str, [u32; 4]); 4] = [
-        ("complementary halves", [0x00FF, 0xFF00, 0x00FF, 0xFF00]),
-        ("same strided 0xAAAA everywhere", [0xAAAA; 4]),
-        (
-            "one quad active, rotating",
-            [0x000F, 0x00F0, 0x0F00, 0xF000],
-        ),
-        ("sparse random-ish", [0x8421, 0x1248, 0x2184, 0x4812]),
-    ];
-    for (label, bits) in cases {
-        let group: Vec<ExecMask> = bits.iter().map(|&b| ExecMask::new(b, 16)).collect();
-        let (base, intra, inter) = group_waves(&group);
-        println!("{label:<34} {base:>9} {intra:>10} {inter:>10}");
-    }
-    println!(
-        "\n→ inter-warp wins where lanes complement across warps; it is useless on \
-         repeated strided masks (lane conflicts), which SCC compresses 2:1."
-    );
-
-    println!("\n-- memory divergence of merged warps --");
-    // Warp groups whose per-warp accesses are coherent (each warp reads one
-    // run of consecutive addresses) but live in different regions: merging
-    // interleaves regions per message.
-    let mut rng = SmallRng::seed_from_u64(11);
-    let mut tot_inflation = 0.0;
-    const TRIALS: usize = 200;
-    for _ in 0..TRIALS {
-        let group: Vec<ExecMask> = (0..4)
-            .map(|_| {
-                let start = rng.gen_range(0..12u32);
-                let len = rng.gen_range(3..=8u32);
-                let mut bits = 0u32;
-                for i in 0..len {
-                    bits |= 1 << ((start + i) % 16);
-                }
-                ExecMask::new(bits, 16)
-            })
-            .collect();
-        let addrs: Vec<Vec<u32>> = (0..4)
-            .map(|w| {
-                let base = 4096 * (w as u32 + 1);
-                (0..16).map(|l| base + 4 * l).collect()
-            })
-            .collect();
-        let stats = evaluate_group(&group, &addrs, 64);
-        tot_inflation += stats.divergence_inflation();
-    }
-    println!(
-        "average lines-per-access inflation from warp merging: {:.2}x over {} random \
-         coherent-warp groups (intra-warp compaction: exactly 1.00x by construction)",
-        tot_inflation / TRIALS as f64,
-        TRIALS
-    );
-    println!(
-        "\npaper contribution 2: 'Our techniques intrinsically do not create additional \
-         memory divergence beyond what may already exist in an application.'"
-    );
-    let _ = pct(0.0);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("ablation_interwarp", &args)
 }

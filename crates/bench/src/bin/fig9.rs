@@ -1,51 +1,11 @@
-//! Fig. 9: SIMD utilization breakdown in SIMD8 and SIMD16 instructions for
-//! divergent workloads — the fraction of instructions in each active-lane
-//! bucket (1-4/16, 5-8/16, 9-12/16, 13-16/16, 1-4/8, 5-8/8).
+//! Thin wrapper delegating to the `fig9` entry of the experiment
+//! registry — the same code path as `iwc fig9`, kept so existing
+//! `cargo run -p iwc-bench --bin fig9` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::runner::{self, parallel_map, Harness};
-use iwc_bench::{run_mode, scale, trace_len};
-use iwc_compaction::{CompactionMode, UtilBucket};
-use iwc_trace::{analyze_corpus, corpus};
-use iwc_workloads::{catalog, Category};
+use std::process::ExitCode;
 
-fn print_row(name: &str, buckets: &[(UtilBucket, f64); 7], src: &str) {
-    print!("{name:<22}");
-    for (_, frac) in buckets.iter().take(6) {
-        print!(" {:>8.1}%", 100.0 * frac);
-    }
-    println!("  [{src}]");
-}
-
-fn main() {
-    println!("== Fig. 9: SIMD utilization breakdown (divergent workloads) ==\n");
-    let harness = Harness::begin("fig9");
-    print!("{:<22}", "workload");
-    for b in UtilBucket::ALL.iter().take(6) {
-        print!(" {:>9}", b.label());
-    }
-    println!();
-
-    let entries: Vec<_> = catalog()
-        .into_iter()
-        .filter(|e| e.category == Category::Divergent)
-        .collect();
-    let profiles = corpus();
-    let cells = entries.len() + profiles.len();
-
-    let sim_rows = parallel_map(&entries, |entry| {
-        let built = (entry.build)(scale());
-        let r = run_mode(&built, CompactionMode::IvyBridge);
-        (entry.name, r.eu.simd_tally.bucket_fractions())
-    });
-    for (name, buckets) in &sim_rows {
-        print_row(name, buckets, "sim");
-    }
-    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
-        print_row(&report.name, &report.buckets(), "trace");
-    }
-    println!(
-        "\ncompaction potential: 1-4/16 saves 3 cycles, 5-8/16 saves 2, 9-12/16 saves 1, \
-         1-4/8 saves 1; 13-16/16 and 5-8/8 save none (paper §5.3)"
-    );
-    harness.finish(cells);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("fig9", &args)
 }

@@ -1,25 +1,11 @@
-//! Diagnostic: memory-divergence and issue-rate characteristics of the
-//! ray-tracing workloads (lines per message, sends, instructions per cycle,
-//! data-cluster throughput). Useful when recalibrating Fig. 11.
+//! Thin wrapper delegating to the `memprobe` entry of the experiment
+//! registry — the same code path as `iwc memprobe`, kept so existing
+//! `cargo run -p iwc-bench --bin memprobe` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_sim::GpuConfig;
+use std::process::ExitCode;
 
-fn main() {
-    println!("== memory-divergence probe (ray tracing) ==");
-    for (n, b) in [
-        ("RT-AO-BL16", iwc_workloads::raytrace::ao_bl16(1)),
-        ("RT-AO-BL8", iwc_workloads::raytrace::ao_bl8(1)),
-        ("RT-PR-BL", iwc_workloads::raytrace::primary_bl(1)),
-    ] {
-        let (r, _) = b.run(&GpuConfig::paper_default()).expect("runs");
-        println!(
-            "{n}: lines/msg {:.2}, sends {}, cycles {}, issued {}, instr/cyc {:.2}, dc {:.2}",
-            r.mem.lines_per_message(),
-            r.mem.loads + r.mem.stores,
-            r.cycles,
-            r.eu.issued,
-            r.eu.issued as f64 / r.cycles as f64,
-            r.dc_throughput()
-        );
-    }
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("memprobe", &args)
 }

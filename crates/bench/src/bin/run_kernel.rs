@@ -1,121 +1,11 @@
-//! `run_kernel` — assemble a kernel from the `iwc-isa` text dialect and run
-//! it on the simulated GPU under any compaction mode.
-//!
-//! ```console
-//! run_kernel <file.iwcasm> [--global N] [--wg N] [--mode base|ivb|bcc|scc]
-//!            [--dump N] [--timeline N]
-//! ```
-//!
-//! The runner allocates one scratch buffer (1 MiB) and passes its base
-//! address as kernel argument 0 (`r3.0:ud`), so kernels can load/store
-//! `arg0 + gid*4` style addresses out of the box. After the run it prints
-//! the timing/compaction report and the first `--dump` words of the buffer.
+//! Thin wrapper delegating to the `run_kernel` entry of the experiment
+//! registry — the same code path as `iwc run_kernel`, kept so existing
+//! `cargo run -p iwc-bench --bin run_kernel` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_compaction::CompactionMode;
-use iwc_sim::{simulate, GpuConfig, Launch, MemoryImage};
 use std::process::ExitCode;
 
-struct Options {
-    file: String,
-    global: u32,
-    wg: u32,
-    mode: CompactionMode,
-    dump: u32,
-    timeline: u64,
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    let file = args.next().ok_or("missing kernel file")?;
-    let mut opts = Options {
-        file,
-        global: 256,
-        wg: 64,
-        mode: CompactionMode::IvyBridge,
-        dump: 8,
-        timeline: 0,
-    };
-    while let Some(a) = args.next() {
-        let mut value = || args.next().ok_or(format!("{a} needs a value"));
-        match a.as_str() {
-            "--global" => opts.global = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--wg" => opts.wg = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--dump" => opts.dump = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--timeline" => opts.timeline = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--mode" => {
-                let v = value()?;
-                opts.mode = CompactionMode::ALL
-                    .into_iter()
-                    .find(|m| m.label() == v)
-                    .ok_or(format!("unknown mode {v:?} (base|ivb|bcc|scc)"))?;
-            }
-            other => return Err(format!("unknown option {other:?}")),
-        }
-    }
-    Ok(opts)
-}
-
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!(
-                "usage: run_kernel <file.iwcasm> [--global N] [--wg N] \
-                 [--mode base|ivb|bcc|scc] [--dump N] [--timeline N]"
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    let source = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
-    };
-    let program = match iwc_isa::parse_program(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{}: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("{program}");
-
-    let mut img = MemoryImage::new(1 << 20);
-    let buffer = img.alloc(512 << 10);
-    let launch = Launch::new(program, opts.global, opts.wg).with_args(&[buffer]);
-    let cfg = GpuConfig::paper_default()
-        .with_compaction(opts.mode)
-        .with_issue_log(opts.timeline > 0);
-    let result = match simulate(&cfg, &launch, &mut img) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    println!("{result}");
-    let t = result.compute_tally();
-    println!(
-        "EU-cycle reduction potential: bcc {:.1}%, scc {:.1}%",
-        100.0 * t.reduction_vs_ivb(CompactionMode::Bcc),
-        100.0 * t.reduction_vs_ivb(CompactionMode::Scc)
-    );
-    if opts.timeline > 0 {
-        println!("\nissue timeline (all EUs merged):");
-        print!(
-            "{}",
-            iwc_sim::timeline::render(&result.eu.issue_log, opts.timeline)
-        );
-    }
-    if opts.dump > 0 {
-        print!("buffer[0..{}]:", opts.dump);
-        for i in 0..opts.dump {
-            print!(" {:#x}", img.read_u32(buffer + 4 * i));
-        }
-        println!();
-    }
-    ExitCode::SUCCESS
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("run_kernel", &args)
 }

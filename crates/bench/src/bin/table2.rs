@@ -1,98 +1,11 @@
-//! Table 2: Ivy Bridge optimization, BCC, and SCC benefit for nested
-//! divergent branches (levels L1–L4).
-//!
-//! Two methodologies, as in the paper: the analytic cycle model applied to
-//! the exact leaf-path masks, and GPGenSim-style simulation of the nested
-//! micro-benchmark kernel.
+//! Thin wrapper delegating to the `table2` entry of the experiment
+//! registry — the same code path as `iwc table2`, kept so existing
+//! `cargo run -p iwc-bench --bin table2` invocations and scripts work
+//! unchanged (with byte-identical stdout).
 
-use iwc_bench::runner::{parallel_map, Harness};
-use iwc_bench::{pct, print_config, run_mode, scale};
-use iwc_compaction::{execution_cycles, CompactionMode};
-use iwc_isa::{DataType, ExecMask};
-use iwc_sim::GpuConfig;
-use iwc_workloads::micro::nested_branches;
+use std::process::ExitCode;
 
-/// The leaf execution masks of the nested-branch benchmark at `level`:
-/// every value of the low `level` bits of the lane id selects one path.
-fn leaf_masks(level: u32) -> Vec<ExecMask> {
-    let paths = 1u32 << level;
-    (0..paths)
-        .map(|k| {
-            let mut bits = 0u32;
-            for lane in 0..16 {
-                if lane & (paths - 1) == k {
-                    bits |= 1 << lane;
-                }
-            }
-            ExecMask::new(bits, 16)
-        })
-        .collect()
-}
-
-fn main() {
-    println!("== Table 2: nested-branch benefit of IVB / BCC / SCC ==\n");
-    let harness = Harness::begin("table2");
-    println!("-- analytic cycle model over the leaf-path masks --");
-    println!(
-        "{:<6} {:<28} {:>12} {:>12} {:>12}",
-        "level", "example masks", "IVB benefit", "BCC add'l", "SCC add'l"
-    );
-    for level in 1..=4u32 {
-        let masks = leaf_masks(level);
-        let base: u64 = masks
-            .iter()
-            .map(|&m| u64::from(execution_cycles(m, DataType::F, CompactionMode::Baseline)))
-            .sum();
-        let cyc = |mode| -> u64 {
-            masks
-                .iter()
-                .map(|&m| u64::from(execution_cycles(m, DataType::F, mode)))
-                .sum()
-        };
-        let ivb = cyc(CompactionMode::IvyBridge);
-        let bcc = cyc(CompactionMode::Bcc);
-        let scc = cyc(CompactionMode::Scc);
-        let rel = |saved: u64| saved as f64 / base as f64;
-        let examples = match level {
-            1 => "5555, AAAA",
-            2 => "1111, 4444, 8888, 2222",
-            3 => "0101, 1010, ... (8 paths)",
-            _ => "0001 .. 8000 (16 paths)",
-        };
-        println!(
-            "L{:<5} {:<28} {:>12} {:>12} {:>12}",
-            level,
-            examples,
-            pct(rel(base - ivb)),
-            pct(rel(ivb - bcc)),
-            pct(rel(bcc - scc)),
-        );
-    }
-    println!(
-        "\npaper Table 2: L1 -> SCC 50% | L2 -> SCC 75% | L3 -> BCC 50% + SCC 25% | \
-         L4 -> IVB 50% + BCC 25%"
-    );
-
-    println!("\n-- simulation of the nested micro-benchmark kernel --");
-    print_config(&GpuConfig::paper_default());
-    println!(
-        "{:<6} {:>12} {:>12} {:>12} {:>14}",
-        "level", "base cyc", "ivb cyc", "bcc cyc", "scc cyc"
-    );
-    let levels = [1u32, 2, 3, 4];
-    let rows = parallel_map(&levels, |&level| {
-        let built = nested_branches(level, scale());
-        let cycles: Vec<u64> = CompactionMode::ALL
-            .iter()
-            .map(|&m| run_mode(&built, m).cycles)
-            .collect();
-        (level, cycles)
-    });
-    for (level, cycles) in rows {
-        println!(
-            "L{:<5} {:>12} {:>12} {:>12} {:>14}",
-            level, cycles[0], cycles[1], cycles[2], cycles[3]
-        );
-    }
-    harness.finish(levels.len());
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    iwc_bench::experiments::dispatch("table2", &args)
 }

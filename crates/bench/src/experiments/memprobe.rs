@@ -1,0 +1,27 @@
+//! Diagnostic: memory-divergence and issue-rate characteristics of the
+//! ray-tracing workloads (lines per message, sends, instructions per cycle,
+//! data-cluster throughput). Useful when recalibrating Fig. 11.
+
+use super::Outcome;
+use iwc_sim::GpuConfig;
+
+pub(crate) fn run(_args: &[String]) -> Outcome {
+    println!("== memory-divergence probe (ray tracing) ==");
+    for (n, b) in [
+        ("RT-AO-BL16", iwc_workloads::raytrace::ao_bl16(1)),
+        ("RT-AO-BL8", iwc_workloads::raytrace::ao_bl8(1)),
+        ("RT-PR-BL", iwc_workloads::raytrace::primary_bl(1)),
+    ] {
+        let (r, _) = b.run(&GpuConfig::paper_default()).expect("runs");
+        println!(
+            "{n}: lines/msg {:.2}, sends {}, cycles {}, issued {}, instr/cyc {:.2}, dc {:.2}",
+            r.mem.lines_per_message(),
+            r.mem.loads + r.mem.stores,
+            r.cycles,
+            r.eu.issued,
+            r.eu.issued as f64 / r.cycles as f64,
+            r.dc_throughput()
+        );
+    }
+    Outcome::done()
+}

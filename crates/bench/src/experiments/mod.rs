@@ -1,0 +1,271 @@
+//! Declarative experiment registry: every figure, table, ablation, and
+//! tool of the evaluation as one [`Experiment`] descriptor, dispatched by
+//! the unified `iwc` driver binary (`iwc fig10`, `iwc table4`, …).
+//!
+//! The legacy per-experiment binaries (`fig10`, `table4`, …) are thin
+//! wrappers over [`dispatch`], so both entry points share one code path
+//! and emit byte-identical stdout (enforced by
+//! `crates/bench/tests/determinism.rs`). Adding a design point is adding
+//! one module with a `run` function and one row in [`EXPERIMENTS`] —
+//! no new binary, no new scaffolding.
+
+mod ablation_dtype;
+mod ablation_energy;
+mod ablation_frontend;
+mod ablation_interwarp;
+mod ablation_swizzle;
+mod ablation_width;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig3;
+mod fig8;
+mod fig9;
+mod memprobe;
+mod rf_area;
+mod run_kernel;
+mod stall_profile;
+mod table2;
+mod table4;
+mod trace_tool;
+
+use crate::runner::Harness;
+use std::process::ExitCode;
+
+/// Result of one experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Evaluation cells the sweep ran — recorded in the perf report when
+    /// the experiment is harnessed.
+    pub cells: usize,
+    /// Process exit code (0 = success).
+    pub code: u8,
+}
+
+impl Outcome {
+    /// Successful run of `cells` evaluation cells.
+    pub fn cells(cells: usize) -> Self {
+        Outcome { cells, code: 0 }
+    }
+
+    /// Successful run without cell accounting.
+    pub fn done() -> Self {
+        Self::cells(0)
+    }
+
+    /// Failed run (exit code 1).
+    pub fn fail() -> Self {
+        Outcome { cells: 0, code: 1 }
+    }
+}
+
+/// One experiment in the registry: a named, self-describing entry point.
+///
+/// The descriptor carries everything the driver needs; the body keeps full
+/// ownership of its stdout so report text stays byte-identical to the
+/// pre-registry binaries.
+pub struct Experiment {
+    /// Subcommand name (`iwc <name>`), which is also the legacy binary name.
+    pub name: &'static str,
+    /// One-line description shown by `iwc list`.
+    pub about: &'static str,
+    /// When set, the driver wraps the run in a [`Harness`] perf record
+    /// with this stem (`results/bench_<stem>.json`). Bookkeeping goes to
+    /// stderr and the results file only — never stdout.
+    pub harness: Option<&'static str>,
+    /// The experiment body; receives the arguments after the subcommand.
+    pub run: fn(&[String]) -> Outcome,
+}
+
+/// Every experiment, in DESIGN.md §4 presentation order: paper artifacts
+/// first (figures, then tables), then diagnostics, ablations, and tools.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "fig3",
+        about: "SIMD efficiency of the workload suite, coherent/divergent split",
+        harness: Some("fig3"),
+        run: fig3::run,
+    },
+    Experiment {
+        name: "fig8",
+        about: "Ivy Bridge divergence micro-benchmark, relative times",
+        harness: None,
+        run: fig8::run,
+    },
+    Experiment {
+        name: "fig9",
+        about: "SIMD utilization breakdown of divergent workloads",
+        harness: Some("fig9"),
+        run: fig9::run,
+    },
+    Experiment {
+        name: "fig10",
+        about: "EU execution-cycle reduction from BCC and SCC",
+        harness: Some("fig10"),
+        run: fig10::run,
+    },
+    Experiment {
+        name: "fig11",
+        about: "Ray tracing: total vs EU cycle reduction, DC1/DC2, throughput",
+        harness: Some("fig11"),
+        run: fig11::run,
+    },
+    Experiment {
+        name: "fig12",
+        about: "Rodinia: total vs EU cycle reduction, 128KB vs perfect L3",
+        harness: Some("fig12"),
+        run: fig12::run,
+    },
+    Experiment {
+        name: "table2",
+        about: "Nested-branch benefit of IVB/BCC/SCC",
+        harness: Some("table2"),
+        run: table2::run,
+    },
+    Experiment {
+        name: "table4",
+        about: "Summary of max/average BCC and SCC benefits",
+        harness: Some("table4"),
+        run: table4::run,
+    },
+    Experiment {
+        name: "rf_area",
+        about: "Register-file organization study (Fig. 5 / §4.3)",
+        harness: None,
+        run: rf_area::run,
+    },
+    Experiment {
+        name: "stall_profile",
+        about: "Stall attribution of divergent workloads (§5.4)",
+        harness: None,
+        run: stall_profile::run,
+    },
+    Experiment {
+        name: "memprobe",
+        about: "Memory-divergence probe of the ray-tracing workloads",
+        harness: None,
+        run: memprobe::run,
+    },
+    Experiment {
+        name: "ablation_dtype",
+        about: "Element width vs compaction benefit (§4.1)",
+        harness: None,
+        run: ablation_dtype::run,
+    },
+    Experiment {
+        name: "ablation_energy",
+        about: "Dynamic-energy estimate of BCC and SCC (§4.3)",
+        harness: None,
+        run: ablation_energy::run,
+    },
+    Experiment {
+        name: "ablation_frontend",
+        about: "Front-end issue bandwidth vs realized gain (§4.3)",
+        harness: None,
+        run: ablation_frontend::run,
+    },
+    Experiment {
+        name: "ablation_interwarp",
+        about: "Intra-warp vs inter-warp compaction (§3.2, §6)",
+        harness: None,
+        run: ablation_interwarp::run,
+    },
+    Experiment {
+        name: "ablation_width",
+        about: "SIMD width vs compaction opportunity (§7)",
+        harness: None,
+        run: ablation_width::run,
+    },
+    Experiment {
+        name: "ablation_swizzle",
+        about: "Swizzle-network reach: distance-limited SCC crossbars (§4.3)",
+        harness: Some("ablation_swizzle"),
+        run: ablation_swizzle::run,
+    },
+    Experiment {
+        name: "run_kernel",
+        about: "Assemble and run an .iwcasm kernel under any engine",
+        harness: None,
+        run: run_kernel::run,
+    },
+    Experiment {
+        name: "trace_tool",
+        about: "Generate / capture / analyze execution-mask trace files",
+        harness: None,
+        run: trace_tool::run,
+    },
+];
+
+/// Looks an experiment up by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
+
+/// Runs experiment `name` with `args`, handling the perf-harness
+/// bookkeeping — the single code path behind both the `iwc` driver and the
+/// legacy per-experiment binaries.
+pub fn dispatch(name: &str, args: &[String]) -> ExitCode {
+    let Some(exp) = find(name) else {
+        eprintln!("unknown experiment {name:?}; see `iwc list`");
+        return ExitCode::FAILURE;
+    };
+    let harness = exp.harness.map(Harness::begin);
+    let outcome = (exp.run)(args);
+    if outcome.code == 0 {
+        if let Some(h) = harness {
+            h.finish(outcome.cells);
+        }
+    }
+    ExitCode::from(outcome.code)
+}
+
+/// Prints the registry (the `iwc list` subcommand).
+pub fn list() {
+    println!("experiments:");
+    for e in EXPERIMENTS {
+        println!("  {:<20} {}", e.name, e.about);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        let mut names: Vec<_> = EXPERIMENTS.iter().map(|e| e.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate experiment names");
+        assert!(find("fig10").is_some());
+        assert!(find("ablation_swizzle").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn every_legacy_binary_has_an_entry() {
+        for name in [
+            "fig3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table2",
+            "table4",
+            "rf_area",
+            "stall_profile",
+            "memprobe",
+            "ablation_dtype",
+            "ablation_energy",
+            "ablation_frontend",
+            "ablation_interwarp",
+            "ablation_width",
+            "run_kernel",
+            "trace_tool",
+        ] {
+            assert!(find(name).is_some(), "missing experiment {name}");
+        }
+    }
+}

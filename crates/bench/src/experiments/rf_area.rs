@@ -1,0 +1,31 @@
+//! §4.3 / Fig. 5: register-file organization study — relative area of the
+//! baseline, BCC, SCC, and inter-warp (8-banked per-lane) register files.
+//!
+//! The paper's CACTI 5.x result: BCC costs ~10 % area over the baseline
+//! 256-bit file; the per-lane-addressable file required by inter-warp
+//! compaction costs > 40 %. Our analytic proxy reproduces the ordering.
+
+use super::Outcome;
+use iwc_compaction::{RfModel, RfOrganization};
+
+pub(crate) fn run(_args: &[String]) -> Outcome {
+    println!("== Fig. 5 / §4.3: register-file organizations ==\n");
+    for org in [
+        RfOrganization::Baseline,
+        RfOrganization::Bcc,
+        RfOrganization::Scc,
+        RfOrganization::InterWarp,
+    ] {
+        let m = RfModel::new(org);
+        println!("{m}");
+    }
+    println!("\npaper (CACTI 5.x, 32nm): BCC ≈ +10% area, inter-warp > +40%");
+    let bcc = RfModel::new(RfOrganization::Bcc);
+    println!(
+        "\noperand fetch energy (arbitrary units): full 256b fetch {:.0}, \
+         BCC half fetch {:.0} (suppressed-quartile savings, §4.1)",
+        bcc.access_energy(256),
+        bcc.access_energy(128)
+    );
+    Outcome::done()
+}

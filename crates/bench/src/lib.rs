@@ -3,7 +3,7 @@
 //! The benchmark harness regenerating every table and figure of the paper's
 //! evaluation (see DESIGN.md §4 for the experiment index):
 //!
-//! | Binary | Paper artifact |
+//! | Experiment | Paper artifact |
 //! |---|---|
 //! | `fig3` | SIMD efficiency of the workload suite, coherent/divergent split |
 //! | `fig8` | Ivy Bridge divergence micro-benchmark, relative times |
@@ -14,17 +14,22 @@
 //! | `table2` | Nested-branch benefit of IVB/BCC/SCC |
 //! | `table4` | Summary of max/average benefits |
 //! | `rf_area` | Register-file organization study (§4.3 / Fig. 5) |
+//! | `ablation_swizzle` | Distance-limited SCC crossbars (§4.3) |
 //!
-//! Run with `cargo run --release -p iwc-bench --bin <name>`. The
-//! `IWC_SCALE` environment variable scales problem sizes (default 1) and
-//! `IWC_TRACE_LEN` the synthetic trace length.
+//! Every experiment lives in the [`experiments`] registry and runs through
+//! the unified driver: `cargo run --release -p iwc-bench --bin iwc --
+//! <name>` (`iwc list` enumerates the registry). The per-experiment
+//! binaries (`fig10`, `table4`, …) remain as thin wrappers over the same
+//! registry path. The `IWC_SCALE` environment variable scales problem
+//! sizes (default 1) and `IWC_TRACE_LEN` the synthetic trace length.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod experiments;
 pub mod runner;
 
-use iwc_compaction::CompactionMode;
+use iwc_compaction::EngineId;
 use iwc_sim::{GpuConfig, SimResult};
 use iwc_workloads::Built;
 
@@ -113,16 +118,17 @@ pub fn print_config(cfg: &GpuConfig) {
     );
 }
 
-/// Runs `built` under the given compaction mode (paper-default GPU
-/// otherwise), with the functional check applied.
+/// Runs `built` under the given compaction engine (paper-default GPU
+/// otherwise), with the functional check applied. Accepts a
+/// [`iwc_compaction::CompactionMode`] or any registry [`EngineId`].
 ///
 /// # Panics
 ///
 /// Panics when the simulation fails or the workload check rejects the
 /// output — harness binaries should never silently report wrong-result
 /// runs.
-pub fn run_mode(built: &Built, mode: CompactionMode) -> SimResult {
-    let cfg = GpuConfig::paper_default().with_compaction(mode);
+pub fn run_mode(built: &Built, engine: impl Into<EngineId>) -> SimResult {
+    let cfg = GpuConfig::paper_default().with_compaction(engine);
     built
         .run_checked(&cfg)
         .unwrap_or_else(|e| panic!("{}: {e}", built.name))

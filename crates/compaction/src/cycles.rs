@@ -18,7 +18,7 @@
 //! instruction still flows down the pipe), and 64-bit data types double-pump
 //! the 32-bit datapath, doubling the wave count (§4.1).
 
-use iwc_isa::mask::{ExecMask, QUAD};
+use iwc_isa::mask::ExecMask;
 use iwc_isa::types::DataType;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -82,19 +82,7 @@ impl fmt::Display for CompactionMode {
 /// assert_eq!(waves(m, CompactionMode::Scc), 2);       // packs to 2 quads
 /// ```
 pub fn waves(mask: ExecMask, mode: CompactionMode) -> u32 {
-    let full = mask.quad_count();
-    match mode {
-        CompactionMode::Baseline => full,
-        CompactionMode::IvyBridge => {
-            if mask.width() == 16 && (mask.upper_half_idle() || mask.lower_half_idle()) {
-                full / 2
-            } else {
-                full
-            }
-        }
-        CompactionMode::Bcc => mask.active_quads().max(1),
-        CompactionMode::Scc => mask.active_channels().div_ceil(QUAD).max(1),
-    }
+    waves_typed(mask, DataType::F, mode)
 }
 
 /// Number of execution waves at the *data-type granularity*: the 4×32-bit
@@ -104,31 +92,11 @@ pub fn waves(mask: ExecMask, mode: CompactionMode) -> u32 {
 /// unit SCC fills — scales with the element size. This is §4.1's
 /// observation that compression "benefits may be higher for wider
 /// datatypes … and lower for narrow datatypes".
+///
+/// The per-mode formulas live in the mode's [`crate::engine`] implementation;
+/// this free function dispatches to the matching static engine.
 pub fn waves_typed(mask: ExecMask, dtype: DataType, mode: CompactionMode) -> u32 {
-    let g = dtype.elements_per_wave();
-    let width = mask.width();
-    let full = width.div_ceil(g);
-    match mode {
-        CompactionMode::Baseline => full,
-        CompactionMode::IvyBridge => {
-            if width == 16 && (mask.upper_half_idle() || mask.lower_half_idle()) {
-                (width / 2).div_ceil(g)
-            } else {
-                full
-            }
-        }
-        CompactionMode::Bcc => {
-            let active_groups = (0..full)
-                .filter(|&grp| {
-                    let lo = grp * g;
-                    let hi = (lo + g).min(width);
-                    (lo..hi).any(|ch| mask.channel(ch))
-                })
-                .count() as u32;
-            active_groups.max(1)
-        }
-        CompactionMode::Scc => mask.active_channels().div_ceil(g).max(1),
-    }
+    crate::engine::engine_of(mode).cycles(mask, dtype)
 }
 
 /// Execution cycles for `mask` under `mode` at the data-type granularity

@@ -11,9 +11,7 @@
 //! energy model (arbitrary units, consistent with [`crate::rf::RfModel`])
 //! so workloads can be compared across modes.
 
-use crate::cycles::{waves_typed, CompactionMode};
-use crate::rf::{RfModel, RfOrganization};
-use crate::scc::SccSchedule;
+use crate::cycles::CompactionMode;
 use iwc_isa::mask::ExecMask;
 use iwc_isa::types::DataType;
 use serde::{Deserialize, Serialize};
@@ -48,7 +46,8 @@ impl EnergyModel {
     /// Dynamic energy of one instruction with execution mask `mask` under
     /// `mode`: operand fetches + write-backs from the mode's register file
     /// organization, ALU wave execution, and (for SCC) crossbar + control
-    /// overhead.
+    /// overhead. The per-mode formulas live in the mode's [`crate::engine`]
+    /// implementation; this method dispatches to the matching engine.
     ///
     /// # Examples
     ///
@@ -64,36 +63,7 @@ impl EnergyModel {
     /// assert!(bcc < base / 2.0);
     /// ```
     pub fn instruction_energy(&self, mask: ExecMask, dtype: DataType, mode: CompactionMode) -> f64 {
-        let quads = mask.quad_count();
-        let pump = dtype.alu_slots() as f64;
-        let w = f64::from(waves_typed(mask, dtype, mode));
-        let exec = w * self.wave_exec;
-        let half_bits = 128;
-        match mode {
-            CompactionMode::Baseline | CompactionMode::IvyBridge => {
-                let rf = RfModel::new(RfOrganization::Baseline);
-                // Fetch/write-back at half-register granularity for the
-                // quartiles actually issued (IVB suppresses idle halves);
-                // 64-bit types pump twice through fetch as well.
-                let accesses = w * f64::from(self.srcs_per_insn + 1);
-                exec + accesses * rf.access_energy(half_bits)
-            }
-            CompactionMode::Bcc => {
-                let rf = RfModel::new(RfOrganization::Bcc);
-                let accesses = w * f64::from(self.srcs_per_insn + 1);
-                exec + accesses * rf.access_energy(half_bits)
-            }
-            CompactionMode::Scc => {
-                let rf = RfModel::new(RfOrganization::Scc);
-                // Full-width fetch once per source (the 512b latch), plus
-                // per-wave write-backs, crossbar routing and control logic.
-                let fetch = f64::from(self.srcs_per_insn) * rf.access_energy(quads * 128) * pump;
-                let wb = w * rf.access_energy(half_bits);
-                let sched = SccSchedule::compute(mask);
-                let crossbar = f64::from(sched.swizzle_count()) * self.swizzle_per_channel;
-                exec + fetch + wb + crossbar + self.scc_control
-            }
-        }
+        crate::engine::engine_of(mode).energy(self, mask, dtype)
     }
 
     /// Total energy of a mask stream under `mode`.

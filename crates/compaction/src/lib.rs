@@ -37,6 +37,7 @@
 
 pub mod cycles;
 pub mod energy;
+pub mod engine;
 pub mod interwarp;
 pub mod microop;
 pub mod rf;
@@ -45,6 +46,10 @@ pub mod tally;
 
 pub use cycles::{execution_cycles, waves, waves_typed, CompactionMode, CycleBreakdown};
 pub use energy::EnergyModel;
+pub use engine::{
+    engine_of, BaselineEngine, BccEngine, CompactionEngine, EngineId, EngineRegistry, EngineTally,
+    IvyBridgeEngine, SccEngine, SccLimited,
+};
 pub use interwarp::{compact_masks, evaluate_group, CompactedGroup, InterWarpStats};
 pub use microop::{expand, Expansion, MicroOp, RegHalf};
 pub use rf::{RfModel, RfOrganization};

@@ -99,6 +99,13 @@ fn reg_half_of(reg_opt: Option<u8>, width: u32, elem_bytes: u32, quartile: u32) 
 ///
 /// Panics if the mask width differs from the instruction execution width.
 pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expansion {
+    crate::engine::engine_of(mode).expand(insn, mask)
+}
+
+/// Expands `insn` into the quartile micro-ops named by `issue_set` — the
+/// shared body of the quartile-issue engines (baseline / IVB / BCC), which
+/// differ only in which quartiles they issue.
+pub(crate) fn expand_quartiles(insn: &Instruction, mask: ExecMask, issue_set: &[u32]) -> Expansion {
     assert_eq!(
         mask.width(),
         insn.exec_width,
@@ -111,98 +118,17 @@ pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expan
     let src_regs: Vec<Option<u8>> = insn.read_operands().iter().map(|o| o.grf_reg()).collect();
     let dst_reg = insn.dst.grf_reg();
 
-    let quartile_op = |q: u32, quad_mask: u8| -> MicroOp {
-        MicroOp {
+    let issued: Vec<MicroOp> = issue_set
+        .iter()
+        .map(|&q| MicroOp {
             quartile: q as u8,
-            quad_mask,
+            quad_mask: mask.quad_bits(q),
             src_fetches: src_regs
                 .iter()
                 .filter_map(|&r| reg_half_of(r, insn.exec_width, elem, q))
                 .collect(),
             dst_writeback: reg_half_of(dst_reg, insn.exec_width, elem, q),
-        }
-    };
-
-    let issue_set: Vec<u32> = match mode {
-        CompactionMode::Baseline => (0..quads).collect(),
-        CompactionMode::IvyBridge => {
-            if mask.width() == 16 && mask.upper_half_idle() {
-                (0..quads / 2).collect()
-            } else if mask.width() == 16 && mask.lower_half_idle() {
-                (quads / 2..quads).collect()
-            } else {
-                (0..quads).collect()
-            }
-        }
-        CompactionMode::Bcc => {
-            let active: Vec<u32> = (0..quads).filter(|&q| mask.quad_active(q)).collect();
-            if active.is_empty() {
-                vec![0]
-            } else {
-                active
-            }
-        }
-        CompactionMode::Scc => {
-            // Handled below via the SCC schedule.
-            Vec::new()
-        }
-    };
-
-    if mode == CompactionMode::Scc {
-        let sched = SccSchedule::compute(mask);
-        let per_fetch: Vec<RegHalf> = src_regs
-            .iter()
-            .flat_map(|&r| {
-                // A full-width operand fetch touches every half the operand
-                // spans; it happens once per source for the whole macro op.
-                r.map(|base| {
-                    let total_bytes = insn.exec_width * elem;
-                    let halves = total_bytes.div_ceil(GRF_BYTES / 2);
-                    (0..halves).map(move |h| RegHalf {
-                        reg: (u32::from(base) + h / 2) as u8,
-                        half: (h % 2) as u8,
-                    })
-                })
-            })
-            .flatten()
-            .collect();
-        let mut issued = Vec::new();
-        for (c, slots) in sched.cycles().iter().enumerate() {
-            let quad_mask = slots.iter().enumerate().fold(0u8, |m, (n, s)| {
-                if s.channel(n as u8).is_some() {
-                    m | 1 << n
-                } else {
-                    m
-                }
-            });
-            issued.push(MicroOp {
-                quartile: c as u8,
-                quad_mask,
-                // Operand fetch cost is charged to the first micro-op; the
-                // rest consume the latched full-width operand.
-                src_fetches: if c == 0 {
-                    per_fetch.clone()
-                } else {
-                    Vec::new()
-                },
-                dst_writeback: dst_reg.map(|base| RegHalf { reg: base, half: 0 }),
-            });
-        }
-        let baseline_fetches = quads * src_regs.iter().flatten().count() as u32;
-        let actual: u32 = issued.iter().map(|m| m.src_fetches.len() as u32).sum();
-        let baseline_wb = if dst_reg.is_some() { quads } else { 0 };
-        let actual_wb = issued.iter().filter(|m| m.dst_writeback.is_some()).count() as u32;
-        return Expansion {
-            suppressed: quads - issued.len() as u32,
-            fetches_saved: baseline_fetches.saturating_sub(actual),
-            writebacks_saved: baseline_wb.saturating_sub(actual_wb),
-            issued,
-        };
-    }
-
-    let issued: Vec<MicroOp> = issue_set
-        .iter()
-        .map(|&q| quartile_op(q, mask.quad_bits(q)))
+        })
         .collect();
     let per_quartile_fetches = src_regs.iter().flatten().count() as u32;
     let suppressed = quads - issued.len() as u32;
@@ -210,6 +136,77 @@ pub fn expand(insn: &Instruction, mask: ExecMask, mode: CompactionMode) -> Expan
         suppressed,
         fetches_saved: suppressed * per_quartile_fetches,
         writebacks_saved: if dst_reg.is_some() { suppressed } else { 0 },
+        issued,
+    }
+}
+
+/// Expands `insn` into the packed micro-ops of a swizzle schedule — the
+/// shared body of the swizzling engines (SCC and its limited-reach
+/// variants). Packed micro-ops fetch the *full-width* operand once per
+/// source (the 512-bit latch of Fig. 5(c)), charged to the first micro-op.
+pub(crate) fn expand_scheduled(
+    insn: &Instruction,
+    mask: ExecMask,
+    sched: &SccSchedule,
+) -> Expansion {
+    assert_eq!(
+        mask.width(),
+        insn.exec_width,
+        "mask width {} != instruction width {}",
+        mask.width(),
+        insn.exec_width
+    );
+    let elem = insn.dtype.size_bytes();
+    let quads = mask.quad_count();
+    let src_regs: Vec<Option<u8>> = insn.read_operands().iter().map(|o| o.grf_reg()).collect();
+    let dst_reg = insn.dst.grf_reg();
+
+    let per_fetch: Vec<RegHalf> = src_regs
+        .iter()
+        .flat_map(|&r| {
+            // A full-width operand fetch touches every half the operand
+            // spans; it happens once per source for the whole macro op.
+            r.map(|base| {
+                let total_bytes = insn.exec_width * elem;
+                let halves = total_bytes.div_ceil(GRF_BYTES / 2);
+                (0..halves).map(move |h| RegHalf {
+                    reg: (u32::from(base) + h / 2) as u8,
+                    half: (h % 2) as u8,
+                })
+            })
+        })
+        .flatten()
+        .collect();
+    let mut issued = Vec::new();
+    for (c, slots) in sched.cycles().iter().enumerate() {
+        let quad_mask = slots.iter().enumerate().fold(0u8, |m, (n, s)| {
+            if s.channel(n as u8).is_some() {
+                m | 1 << n
+            } else {
+                m
+            }
+        });
+        issued.push(MicroOp {
+            quartile: c as u8,
+            quad_mask,
+            // Operand fetch cost is charged to the first micro-op; the
+            // rest consume the latched full-width operand.
+            src_fetches: if c == 0 {
+                per_fetch.clone()
+            } else {
+                Vec::new()
+            },
+            dst_writeback: dst_reg.map(|base| RegHalf { reg: base, half: 0 }),
+        });
+    }
+    let baseline_fetches = quads * src_regs.iter().flatten().count() as u32;
+    let actual: u32 = issued.iter().map(|m| m.src_fetches.len() as u32).sum();
+    let baseline_wb = if dst_reg.is_some() { quads } else { 0 };
+    let actual_wb = issued.iter().filter(|m| m.dst_writeback.is_some()).count() as u32;
+    Expansion {
+        suppressed: quads.saturating_sub(issued.len() as u32),
+        fetches_saved: baseline_fetches.saturating_sub(actual),
+        writebacks_saved: baseline_wb.saturating_sub(actual_wb),
         issued,
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! [`parse_program`] turns a small, line-oriented assembly dialect into a
 //! validated [`Program`], resolving structured control flow exactly like
-//! [`KernelBuilder`](crate::builder::KernelBuilder). The syntax mirrors the
+//! [`crate::builder::KernelBuilder`]. The syntax mirrors the
 //! builder API:
 //!
 //! ```text

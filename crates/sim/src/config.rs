@@ -1,6 +1,6 @@
 //! Simulator configuration (Table 3 of the paper).
 
-use iwc_compaction::CompactionMode;
+use iwc_compaction::EngineId;
 use serde::{Deserialize, Serialize};
 
 /// Cache geometry and latency of one cache level.
@@ -82,8 +82,10 @@ pub struct GpuConfig {
     /// L1 instruction-cache capacity in *instructions* (fully associative
     /// FIFO model; kernels larger than this thrash the front end).
     pub icache_insns: u32,
-    /// Divergence optimization level of the execution pipeline.
-    pub compaction: CompactionMode,
+    /// Divergence optimization of the execution pipeline: a handle into the
+    /// process-wide [`iwc_compaction::EngineRegistry`] (converts from
+    /// [`iwc_compaction::CompactionMode`] for the paper's four modes).
+    pub compaction: EngineId,
     /// When true, every executed SIMD instruction's execution mask is
     /// recorded in the run statistics (the trace-capture hook of §5.1:
     /// "we have instrumented the functional model to obtain SIMD execution
@@ -114,7 +116,7 @@ impl GpuConfig {
             rf_timing: RfTiming::Pumped,
             icache_miss_latency: 20,
             icache_insns: 4096,
-            compaction: CompactionMode::IvyBridge,
+            compaction: EngineId::IVY_BRIDGE,
             capture_masks: false,
             record_issue_log: false,
             // Issue-to-writeback depth beyond pipe occupancy. Gen EUs forward
@@ -145,9 +147,11 @@ impl GpuConfig {
         }
     }
 
-    /// Paper default with a different compaction mode.
-    pub fn with_compaction(mut self, mode: CompactionMode) -> Self {
-        self.compaction = mode;
+    /// Paper default with a different compaction engine (accepts a
+    /// [`iwc_compaction::CompactionMode`] or an [`EngineId`] from the
+    /// registry, so ablation engines slot in without new plumbing).
+    pub fn with_compaction(mut self, engine: impl Into<EngineId>) -> Self {
+        self.compaction = engine.into();
         self
     }
 
@@ -228,6 +232,7 @@ mod tests {
 
     #[test]
     fn builders_chain() {
+        use iwc_compaction::CompactionMode;
         let c = GpuConfig::paper_default()
             .with_compaction(CompactionMode::Scc)
             .with_dc_bandwidth(2.0)

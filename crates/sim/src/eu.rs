@@ -12,7 +12,7 @@ use crate::config::GpuConfig;
 use crate::exec::{exec_mask_of, execute_instruction, Effect, ThreadCtx};
 use crate::memimg::MemoryImage;
 use crate::memsys::MemSystem;
-use iwc_compaction::{execution_cycles, CompactionTally};
+use iwc_compaction::{CompactionEngine, CompactionTally};
 use iwc_isa::insn::{MemSpace, Opcode, Pipe};
 use iwc_isa::program::Program;
 use iwc_isa::reg::GRF_BYTES;
@@ -287,6 +287,7 @@ impl Eu {
         i: usize,
         now: u64,
         cfg: &GpuConfig,
+        engine: &dyn CompactionEngine,
         program: &Program,
         mem: &mut MemSystem,
         img: &mut MemoryImage,
@@ -366,7 +367,7 @@ impl Eu {
         self.stats.issued += 1;
         if cfg.record_issue_log {
             let waves = if insn_pipe == Pipe::Fpu || insn_pipe == Pipe::Em {
-                execution_cycles(executed.mask, dtype, cfg.compaction)
+                engine.cycles(executed.mask, dtype)
             } else {
                 0
             };
@@ -380,7 +381,7 @@ impl Eu {
 
         match executed.effect {
             Effect::Compute { pipe } => {
-                let mut waves = u64::from(execution_cycles(executed.mask, dtype, cfg.compaction));
+                let mut waves = u64::from(engine.cycles(executed.mask, dtype));
                 if cfg.rf_timing == crate::config::RfTiming::MultiCycle {
                     // A single-ported file serializes one register-half
                     // access per operand ahead of execution (§4.3 option 1).
@@ -464,6 +465,7 @@ impl Eu {
         &mut self,
         now: u64,
         cfg: &GpuConfig,
+        engine: &dyn CompactionEngine,
         program: &Program,
         mem: &mut MemSystem,
         img: &mut MemoryImage,
@@ -487,7 +489,17 @@ impl Eu {
             let wg = t.wg;
             let slm_idx = *slm_index.get(&wg).expect("resident wg has an SLM slot");
             let slm = &mut slms[slm_idx];
-            match self.try_issue(i, now, cfg, program, mem, img, slm, barrier_arrivals) {
+            match self.try_issue(
+                i,
+                now,
+                cfg,
+                engine,
+                program,
+                mem,
+                img,
+                slm,
+                barrier_arrivals,
+            ) {
                 IssueOutcome::Issued => {
                     issued += 1;
                     self.arb_ptr = (i + 1) % n;

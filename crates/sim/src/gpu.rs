@@ -5,7 +5,7 @@ use crate::eu::{Eu, EuStats, HwThread};
 use crate::exec::ThreadCtx;
 use crate::memimg::MemoryImage;
 use crate::memsys::{MemStats, MemSystem};
-use iwc_compaction::{CompactionMode, CompactionTally};
+use iwc_compaction::{CompactionMode, CompactionTally, EngineId};
 use iwc_isa::mask::ExecMask;
 use iwc_isa::program::Program;
 use iwc_isa::reg::Operand;
@@ -75,8 +75,8 @@ pub struct SimResult {
     pub mem: MemStats,
     /// L3 hit rate at the end of the run.
     pub l3_hit_rate: f64,
-    /// Compaction mode the run used.
-    pub mode: CompactionMode,
+    /// Compaction engine the run used (`Display`s as its label).
+    pub mode: EngineId,
 }
 
 impl SimResult {
@@ -214,7 +214,8 @@ impl Gpu {
         run_launch(&self.cfg, &mut self.mem, &mut self.clock, launch, img)
     }
 
-    /// Sweeps one launch across several compaction modes: each mode runs on
+    /// Sweeps one launch across several compaction engines (accepts
+    /// [`CompactionMode`]s or registry [`EngineId`]s): each engine runs on
     /// a fresh cold device against its own copy of `img`, so results are
     /// independent and ordered like `modes`. This is the evaluation
     /// harness's unit of work — one (workload × config) cell expanded over
@@ -224,17 +225,17 @@ impl Gpu {
     ///
     /// Returns the first [`SimulateError`] encountered, abandoning the
     /// remaining modes.
-    pub fn run_modes(
+    pub fn run_modes<M: Into<EngineId> + Copy>(
         cfg: &GpuConfig,
         launch: &Launch,
         img: &MemoryImage,
-        modes: &[CompactionMode],
+        modes: &[M],
     ) -> Result<Vec<SimResult>, SimulateError> {
         modes
             .iter()
             .map(|&mode| {
                 let mut cfg = *cfg;
-                cfg.compaction = mode;
+                cfg.compaction = mode.into();
                 let mut img = img.clone();
                 simulate(&cfg, launch, &mut img)
             })
@@ -276,6 +277,9 @@ fn run_launch(
         });
     }
     let num_wgs = launch.num_wgs() as usize;
+    // Resolve the compaction engine once per launch; the per-cycle issue
+    // path sees only the trait object, never the registry.
+    let engine = cfg.compaction.engine();
 
     let mut eus: Vec<Eu> = (0..cfg.eus)
         .map(|i| Eu::new(i, cfg.threads_per_eu))
@@ -319,6 +323,7 @@ fn run_launch(
             let (issued, finished, hint) = eu.arbitrate(
                 now,
                 cfg,
+                engine.as_ref(),
                 &launch.program,
                 mem,
                 img,

@@ -6,7 +6,7 @@
 //! the trace — the same arithmetic the simulator applies online.
 
 use crate::format::Trace;
-use iwc_compaction::{CompactionMode, CompactionTally, UtilBucket};
+use iwc_compaction::{CompactionMode, CompactionTally, EngineId, EngineTally, UtilBucket};
 use serde::{Deserialize, Serialize};
 
 /// Analysis result of one trace.
@@ -29,8 +29,19 @@ impl TraceReport {
         self.tally.is_coherent()
     }
 
-    /// EU-cycle reduction of `mode` over the Ivy Bridge baseline (Fig. 10).
-    pub fn reduction(&self, mode: CompactionMode) -> f64 {
+    /// EU-cycle reduction of the engine over the Ivy Bridge baseline
+    /// (Fig. 10). Accepts a [`CompactionMode`] or the [`EngineId`] of one of
+    /// the four canonical engines; for ablation engines use
+    /// [`analyze_engines`], which accounts arbitrary engine sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine is not one of the paper's four modes.
+    pub fn reduction(&self, engine: impl Into<EngineId>) -> f64 {
+        let id: EngineId = engine.into();
+        let mode = id.mode().unwrap_or_else(|| {
+            panic!("TraceReport accounts the four canonical modes only; use analyze_engines")
+        });
         self.tally.reduction_vs_ivb(mode)
     }
 
@@ -58,33 +69,51 @@ pub fn analyze(trace: &Trace) -> TraceReport {
     }
 }
 
-/// Generates and analyzes every profile of a corpus on a scoped worker
-/// pool, returning reports in corpus order regardless of the thread count
-/// (`threads` is clamped to at least 1; pass 1 for a serial sweep).
-///
-/// Each (profile, generate, analyze) triple is independent — synthesis is
-/// seeded per profile — so this is a plain deterministic fan-out, the
-/// trace-corpus counterpart of the simulator harness's cell runner.
-pub fn analyze_corpus(
-    profiles: &[crate::synth::Profile],
-    len: usize,
-    threads: usize,
-) -> Vec<TraceReport> {
+/// Analysis of one trace under an arbitrary set of compaction engines —
+/// the engine-generic counterpart of [`TraceReport`], used by ablation
+/// sweeps that include non-canonical engines (e.g. distance-limited
+/// swizzle networks).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineReport {
+    /// Workload name.
+    pub name: String,
+    /// Per-engine cycle accounting.
+    pub tally: EngineTally,
+}
+
+/// Analyzes a trace under the given engines.
+pub fn analyze_engines(trace: &Trace, ids: &[EngineId]) -> EngineReport {
+    let mut tally = EngineTally::new(ids);
+    for r in &trace.records {
+        tally.add(r.mask(), r.dtype);
+    }
+    EngineReport {
+        name: trace.name.clone(),
+        tally,
+    }
+}
+
+/// Deterministic order-preserving fan-out over a corpus: each profile is
+/// generated and reduced to a report on a scoped worker pool.
+fn corpus_fanout<R, F>(profiles: &[crate::synth::Profile], threads: usize, analyze_one: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::synth::Profile) -> R + Sync,
+{
     let pool = threads.max(1).min(profiles.len());
     if pool <= 1 {
-        return profiles.iter().map(|p| analyze(&p.generate(len))).collect();
+        return profiles.iter().map(&analyze_one).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<TraceReport>>> =
-        profiles.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..pool {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(p) = profiles.get(i) else { break };
-                let report = analyze(&p.generate(len));
+                let report = analyze_one(p);
                 *slots[i].lock().expect("report slot poisoned") = Some(report);
             });
         }
@@ -97,6 +126,34 @@ pub fn analyze_corpus(
                 .expect("every profile analyzed")
         })
         .collect()
+}
+
+/// Generates and analyzes every profile of a corpus on a scoped worker
+/// pool, returning reports in corpus order regardless of the thread count
+/// (`threads` is clamped to at least 1; pass 1 for a serial sweep).
+///
+/// Each (profile, generate, analyze) triple is independent — synthesis is
+/// seeded per profile — so this is a plain deterministic fan-out, the
+/// trace-corpus counterpart of the simulator harness's cell runner.
+pub fn analyze_corpus(
+    profiles: &[crate::synth::Profile],
+    len: usize,
+    threads: usize,
+) -> Vec<TraceReport> {
+    corpus_fanout(profiles, threads, |p| analyze(&p.generate(len)))
+}
+
+/// [`analyze_corpus`] under an arbitrary engine set: the same deterministic
+/// fan-out, but every instruction is accounted by each engine in `ids`.
+pub fn analyze_corpus_engines(
+    profiles: &[crate::synth::Profile],
+    len: usize,
+    threads: usize,
+    ids: &[EngineId],
+) -> Vec<EngineReport> {
+    corpus_fanout(profiles, threads, |p| {
+        analyze_engines(&p.generate(len), ids)
+    })
 }
 
 #[cfg(test)]

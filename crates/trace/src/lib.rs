@@ -2,9 +2,9 @@
 //!
 //! Trace infrastructure for the paper's trace-driven methodology (§5.1):
 //!
-//! * [`format`] — a compact binary execution-mask trace format, plus
+//! * [`mod@format`] — a compact binary execution-mask trace format, plus
 //!   conversion from the simulator's mask-capture hook;
-//! * [`analyze`] — per-trace compaction analysis (SIMD efficiency,
+//! * [`mod@analyze`] — per-trace compaction analysis (SIMD efficiency,
 //!   Fig. 9 utilization buckets, Fig. 10 BCC/SCC cycle reductions);
 //! * [`synth`] — parameterized synthetic generators standing in for the
 //!   paper's proprietary ~600-trace corpus (LuxMark, GLBench, Sandra,
@@ -31,6 +31,8 @@ pub mod analyze;
 pub mod format;
 pub mod synth;
 
-pub use analyze::{analyze, analyze_corpus, TraceReport};
+pub use analyze::{
+    analyze, analyze_corpus, analyze_corpus_engines, analyze_engines, EngineReport, TraceReport,
+};
 pub use format::{Trace, TraceIoError, TraceRecord};
 pub use synth::{corpus, MaskStyle, Profile};

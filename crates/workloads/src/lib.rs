@@ -83,18 +83,20 @@ impl Built {
         Ok(r)
     }
 
-    /// Sweeps the workload across compaction modes (checked variant of
-    /// [`iwc_sim::Gpu::run_modes`]): every mode runs cold against a fresh
-    /// copy of the inputs and must pass the functional check, so a mode
-    /// can never *look* faster by computing the wrong answer.
+    /// Sweeps the workload across compaction engines (checked variant of
+    /// [`iwc_sim::Gpu::run_modes`]; accepts [`iwc_compaction::CompactionMode`]s
+    /// or registry [`iwc_compaction::EngineId`]s): every engine runs cold
+    /// against a fresh copy of the inputs and must pass the functional
+    /// check, so a mode can never *look* faster by computing the wrong
+    /// answer.
     ///
     /// # Errors
     ///
     /// Returns the first simulator error or check failure.
-    pub fn run_modes(
+    pub fn run_modes<M: Into<iwc_compaction::EngineId> + Copy>(
         &self,
         cfg: &GpuConfig,
-        modes: &[iwc_compaction::CompactionMode],
+        modes: &[M],
     ) -> Result<Vec<SimResult>, String> {
         modes
             .iter()

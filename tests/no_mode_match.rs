@@ -1,0 +1,87 @@
+//! Architectural invariant of the engine layer (enforced in CI): no crate
+//! outside `iwc-compaction` may `match` on `CompactionMode` variants. The
+//! simulator, trace analysis, and benchmark harness consume compaction
+//! behavior exclusively through the `CompactionEngine` trait and the
+//! `EngineRegistry` — per-mode formulas live in one place, the engine
+//! impls, so a new design point never needs a scattered arm added.
+//!
+//! Using the enum as a *value* (`run_mode(&built, CompactionMode::Scc)`)
+//! is fine; this test rejects only dispatch on it: a `CompactionMode::X`
+//! path followed by `=>` or by a `|` pattern alternation.
+
+use std::path::{Path, PathBuf};
+
+/// Returns the byte offsets of `CompactionMode::<Ident>` occurrences in
+/// `src` that are used as match-arm patterns.
+fn match_arm_offsets(src: &str) -> Vec<usize> {
+    const NEEDLE: &str = "CompactionMode::";
+    let bytes = src.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = src[from..].find(NEEDLE) {
+        let start = from + pos;
+        let mut i = start + NEEDLE.len();
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        // Skip whitespace after the variant path.
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let is_arm = src[j..].starts_with("=>")
+            || (bytes.get(j) == Some(&b'|') && bytes.get(j + 1) != Some(&b'|'));
+        if is_arm {
+            hits.push(start);
+        }
+        from = i;
+    }
+    hits
+}
+
+fn scan_dir(dir: &Path, violations: &mut Vec<String>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}"));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            scan_dir(&path, violations);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src =
+                std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+            for off in match_arm_offsets(&src) {
+                let line = src[..off].bytes().filter(|&b| b == b'\n').count() + 1;
+                violations.push(format!("{}:{line}", path.display()));
+            }
+        }
+    }
+}
+
+#[test]
+fn no_compaction_mode_match_outside_the_engine_layer() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for crate_dir in ["crates/sim/src", "crates/trace/src", "crates/bench/src"] {
+        scan_dir(&root.join(crate_dir), &mut violations);
+    }
+    assert!(
+        violations.is_empty(),
+        "match on CompactionMode outside iwc-compaction's engine layer \
+         (dispatch through CompactionEngine / EngineRegistry instead):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn scanner_detects_match_arms() {
+    assert_eq!(
+        match_arm_offsets("match m { CompactionMode::Scc => 1, _ => 0 }").len(),
+        1
+    );
+    assert_eq!(
+        match_arm_offsets("CompactionMode::Bcc | CompactionMode::Scc => 2").len(),
+        2
+    );
+    // Value positions and boolean-or are not dispatch.
+    assert!(match_arm_offsets("run(CompactionMode::Scc)").is_empty());
+    assert!(match_arm_offsets("a == CompactionMode::Scc || b").is_empty());
+}
