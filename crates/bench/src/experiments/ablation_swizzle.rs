@@ -38,6 +38,18 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
     let profiles = corpus();
     let reports = analyze_corpus_engines(&profiles, trace_len(), runner::threads(), &ids);
     let cells = reports.len();
+    {
+        // Fold the corpus-wide engine accounting into the process registry
+        // so the bench report carries a telemetry snapshot (DESIGN.md §7.4).
+        let mut total = iwc_compaction::EngineTally::new(&ids);
+        for report in &reports {
+            total.merge(&report.tally);
+        }
+        let mut snap = iwc_telemetry::TelemetrySnapshot::new();
+        snap.set_counter("corpus/traces", cells as u64);
+        snap.publish("corpus", &total);
+        crate::telemetry().absorb(&snap);
+    }
 
     let mut sums = vec![0.0f64; cols.len()];
     for report in &reports {

@@ -45,7 +45,9 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
         all_bcc.push(t.reduction_vs_ivb(CompactionMode::Bcc));
         all_scc.push(t.reduction_vs_ivb(CompactionMode::Scc));
     }
-    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
+    let reports = analyze_corpus(&profiles, trace_len(), runner::threads());
+    crate::telemetry().absorb(&iwc_trace::corpus_snapshot(&reports));
+    for report in reports {
         print_row(&report.name, &report.tally, "trace");
         all_bcc.push(report.reduction(CompactionMode::Bcc));
         all_scc.push(report.reduction(CompactionMode::Scc));

@@ -54,9 +54,11 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
     ];
     let rows = parallel_map(&builts, |built| {
         let sweep = |dc: f64| {
-            built
-                .run_modes(&GpuConfig::paper_default().with_dc_bandwidth(dc), &modes)
-                .unwrap_or_else(|e| panic!("{e}"))
+            crate::run_modes_cfg(
+                built,
+                &GpuConfig::paper_default().with_dc_bandwidth(dc),
+                &modes,
+            )
         };
         let dc1 = sweep(1.0);
         let dc2 = sweep(2.0);

@@ -39,9 +39,11 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
     ];
     let rows = parallel_map(&builts, |built| {
         let sweep = |perfect: bool| {
-            built
-                .run_modes(&GpuConfig::paper_default().with_perfect_l3(perfect), &modes)
-                .unwrap_or_else(|e| panic!("{e}"))
+            crate::run_modes_cfg(
+                built,
+                &GpuConfig::paper_default().with_perfect_l3(perfect),
+                &modes,
+            )
         };
         let real = sweep(false);
         let perf = sweep(true);

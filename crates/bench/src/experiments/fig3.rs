@@ -23,8 +23,10 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
         let r = run_mode(&built, CompactionMode::IvyBridge);
         (entry.name.to_string(), r.simd_efficiency(), "sim")
     });
+    let reports = analyze_corpus(&profiles, trace_len(), runner::threads());
+    crate::telemetry().absorb(&iwc_trace::corpus_snapshot(&reports));
     rows.extend(
-        analyze_corpus(&profiles, trace_len(), runner::threads())
+        reports
             .into_iter()
             .map(|report| (report.name.clone(), report.simd_efficiency(), "trace")),
     );

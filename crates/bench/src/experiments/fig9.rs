@@ -40,7 +40,9 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
     for (name, buckets) in &sim_rows {
         print_row(name, buckets, "sim");
     }
-    for report in analyze_corpus(&profiles, trace_len(), runner::threads()) {
+    let reports = analyze_corpus(&profiles, trace_len(), runner::threads());
+    crate::telemetry().absorb(&iwc_trace::corpus_snapshot(&reports));
+    for report in reports {
         print_row(&report.name, &report.buckets(), "trace");
     }
     println!(

@@ -22,11 +22,13 @@ mod fig3;
 mod fig8;
 mod fig9;
 mod memprobe;
+mod profile;
 mod rf_area;
 mod run_kernel;
 mod stall_profile;
 mod table2;
 mod table4;
+mod trace_export;
 mod trace_tool;
 
 use crate::runner::Harness;
@@ -141,6 +143,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         run: stall_profile::run,
     },
     Experiment {
+        name: "profile",
+        about: "Per-instruction divergence hotspots of one workload",
+        harness: Some("profile"),
+        run: profile::run,
+    },
+    Experiment {
         name: "memprobe",
         about: "Memory-divergence probe of the ray-tracing workloads",
         harness: None,
@@ -194,6 +202,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         harness: None,
         run: trace_tool::run,
     },
+    Experiment {
+        name: "trace-export",
+        about: "Export one run as Chrome trace-event JSON (Perfetto)",
+        harness: Some("trace_export"),
+        run: trace_export::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -206,7 +220,12 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// legacy per-experiment binaries.
 pub fn dispatch(name: &str, args: &[String]) -> ExitCode {
     let Some(exp) = find(name) else {
-        eprintln!("unknown experiment {name:?}; see `iwc list`");
+        match suggest(name) {
+            Some(s) => {
+                eprintln!("unknown experiment {name:?} (did you mean {s:?}?); see `iwc list`");
+            }
+            None => eprintln!("unknown experiment {name:?}; see `iwc list`"),
+        }
         return ExitCode::FAILURE;
     };
     let harness = exp.harness.map(Harness::begin);
@@ -219,12 +238,50 @@ pub fn dispatch(name: &str, args: &[String]) -> ExitCode {
     ExitCode::from(outcome.code)
 }
 
-/// Prints the registry (the `iwc list` subcommand).
+/// Prints the registry (the `iwc list` subcommand), with descriptions
+/// aligned to the longest experiment name.
 pub fn list() {
     println!("experiments:");
+    let width = EXPERIMENTS.iter().map(|e| e.name.len()).max().unwrap_or(0);
     for e in EXPERIMENTS {
-        println!("  {:<20} {}", e.name, e.about);
+        println!("  {:<width$}  {}", e.name, e.about);
     }
+}
+
+/// Closest registered experiment name to a mistyped one: a prefix match in
+/// either direction counts as distance 1, otherwise Levenshtein distance;
+/// suggestions further than 3 edits away are suppressed (ties break
+/// alphabetically).
+fn suggest(name: &str) -> Option<&'static str> {
+    EXPERIMENTS
+        .iter()
+        .map(|e| {
+            let d = if !name.is_empty() && (e.name.starts_with(name) || name.starts_with(e.name)) {
+                1
+            } else {
+                edit_distance(name, e.name)
+            };
+            (d, e.name)
+        })
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, n)| n)
+}
+
+/// Levenshtein distance over bytes (experiment names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -240,7 +297,27 @@ mod tests {
         assert_eq!(names.len(), n, "duplicate experiment names");
         assert!(find("fig10").is_some());
         assert!(find("ablation_swizzle").is_some());
+        assert!(find("profile").is_some());
+        assert!(find("trace-export").is_some());
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn suggestions_for_near_misses() {
+        assert_eq!(suggest("fig99"), Some("fig9"));
+        assert_eq!(suggest("fig"), Some("fig10"), "prefix tie breaks by name");
+        assert_eq!(suggest("trace_export"), Some("trace-export"));
+        assert_eq!(suggest("profil"), Some("profile"));
+        assert_eq!(suggest("zzzzzzzzzzz"), None, "far names stay unsuggested");
+        assert_eq!(suggest(""), None, "empty input matches nothing usefully");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("fig99", "fig9"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
             let cfg = GpuConfig::paper_default()
                 .with_compaction(mode)
                 .with_dc_bandwidth(dc);
-            built.run_checked(&cfg).unwrap_or_else(|e| panic!("{e}"))
+            crate::run_cfg(&built, &cfg)
         };
         let base1 = run(CompactionMode::IvyBridge, 1.0);
         let base2 = run(CompactionMode::IvyBridge, 2.0);

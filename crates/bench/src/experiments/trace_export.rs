@@ -1,0 +1,141 @@
+//! `trace-export` — Chrome trace-event (Perfetto) export of one run.
+//!
+//! ```console
+//! iwc trace-export <workload> [--out FILE] [--mode <label>]
+//! ```
+//!
+//! Runs the named catalog workload once with the issue log enabled and
+//! writes a Chrome trace-event JSON document: one process per EU, one track
+//! per execution pipe with a slice per issue event, and the attributed
+//! stall intervals as async spans (see DESIGN.md §7). The export is
+//! validated against the schema checker before it is written, so a file on
+//! disk is always loadable by Perfetto / `chrome://tracing`.
+
+use super::Outcome;
+use crate::scale;
+use iwc_compaction::EngineRegistry;
+use iwc_sim::{timeline, GpuConfig};
+use iwc_workloads::catalog;
+
+struct Options {
+    workload: String,
+    out: Option<String>,
+    mode: iwc_compaction::EngineId,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut args = args.iter();
+    let workload = args.next().ok_or("missing workload name")?.clone();
+    let mut opts = Options {
+        workload,
+        out: None,
+        mode: iwc_compaction::EngineId::IVY_BRIDGE,
+    };
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--out" => opts.out = Some(value()?.clone()),
+            "--mode" => {
+                let v = value()?;
+                let registry = EngineRegistry::global();
+                opts.mode = registry.find(v).ok_or_else(|| {
+                    format!("unknown mode {v:?} ({})", registry.labels().join("|"))
+                })?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+pub(crate) fn run(args: &[String]) -> Outcome {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: trace-export <workload> [--out FILE] [--mode base|ivb|bcc|scc]");
+            eprintln!(
+                "workloads: {}",
+                catalog()
+                    .iter()
+                    .map(|e| e.name)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            return Outcome::fail();
+        }
+    };
+    let entries = catalog();
+    let Some(entry) = entries.iter().find(|e| e.name == opts.workload) else {
+        eprintln!("unknown workload {:?}", opts.workload);
+        eprintln!(
+            "workloads: {}",
+            entries.iter().map(|e| e.name).collect::<Vec<_>>().join(" ")
+        );
+        return Outcome::fail();
+    };
+    let built = (entry.build)(scale());
+    let cfg = GpuConfig::paper_default()
+        .with_compaction(opts.mode)
+        .with_issue_log(true);
+    let r = match built.run_checked(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", built.name);
+            return Outcome::fail();
+        }
+    };
+    crate::telemetry().absorb(&r.telemetry);
+
+    let trace = timeline::chrome_trace(&r.eu.issue_log, &r.eu.stall_log);
+    let json = trace.to_json();
+    let stats = match iwc_telemetry::chrome::validate(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("internal error: exported trace fails validation: {e}");
+            return Outcome::fail();
+        }
+    };
+    let path = opts.out.map_or_else(
+        || {
+            crate::runner::results_dir().join(format!(
+                "trace_{}.json",
+                built.name.replace(['/', ' '], "_")
+            ))
+        },
+        std::path::PathBuf::from,
+    );
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return Outcome::fail();
+        }
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return Outcome::fail();
+    }
+    println!(
+        "{}: {} cycles under {}; wrote {} ({} metadata, {} slices, {} stall spans) -> {}",
+        built.name,
+        r.cycles,
+        r.mode,
+        human_bytes(json.len()),
+        stats.metadata,
+        stats.slices,
+        stats.async_events / 2,
+        path.display()
+    );
+    println!("open in https://ui.perfetto.dev or chrome://tracing");
+    Outcome::cells(1)
+}
+
+fn human_bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}

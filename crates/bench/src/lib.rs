@@ -118,9 +118,21 @@ pub fn print_config(cfg: &GpuConfig) {
     );
 }
 
+/// The process-wide telemetry registry. Every simulation routed through
+/// [`run_mode`] folds its [`SimResult::telemetry`] snapshot here (counters
+/// add, histograms merge — addition commutes, so the aggregate is identical
+/// whatever `IWC_THREADS` schedule the parallel harness picks), and
+/// [`runner::Harness::finish`] embeds the final snapshot into
+/// `results/bench_<name>.json`.
+pub fn telemetry() -> &'static iwc_telemetry::Registry {
+    static REGISTRY: std::sync::OnceLock<iwc_telemetry::Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(iwc_telemetry::Registry::new)
+}
+
 /// Runs `built` under the given compaction engine (paper-default GPU
-/// otherwise), with the functional check applied. Accepts a
-/// [`iwc_compaction::CompactionMode`] or any registry [`EngineId`].
+/// otherwise), with the functional check applied, and folds the run's
+/// telemetry snapshot into the process-wide [`telemetry`] registry. Accepts
+/// a [`iwc_compaction::CompactionMode`] or any registry [`EngineId`].
 ///
 /// # Panics
 ///
@@ -128,10 +140,41 @@ pub fn print_config(cfg: &GpuConfig) {
 /// output — harness binaries should never silently report wrong-result
 /// runs.
 pub fn run_mode(built: &Built, engine: impl Into<EngineId>) -> SimResult {
-    let cfg = GpuConfig::paper_default().with_compaction(engine);
-    built
-        .run_checked(&cfg)
-        .unwrap_or_else(|e| panic!("{}: {e}", built.name))
+    run_cfg(built, &GpuConfig::paper_default().with_compaction(engine))
+}
+
+/// Like [`run_mode`], but under an explicit configuration (DC-bandwidth and
+/// perfect-L3 sweeps): functional check applied, telemetry absorbed into
+/// the process-wide [`telemetry`] registry.
+///
+/// # Panics
+///
+/// Panics when the simulation fails or the workload check rejects the
+/// output.
+pub fn run_cfg(built: &Built, cfg: &GpuConfig) -> SimResult {
+    let r = built
+        .run_checked(cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", built.name));
+    telemetry().absorb(&r.telemetry);
+    r
+}
+
+/// [`Built::run_modes`] with every result's telemetry folded into the
+/// process-wide [`telemetry`] registry — the harness-side entry point for
+/// multi-engine sweeps over one configuration.
+///
+/// # Panics
+///
+/// Panics when any simulation fails or a workload check rejects its output.
+pub fn run_modes_cfg<M: Into<EngineId> + Copy>(
+    built: &Built,
+    cfg: &GpuConfig,
+    modes: &[M],
+) -> Vec<SimResult> {
+    modes
+        .iter()
+        .map(|&m| run_cfg(built, &cfg.with_compaction(m)))
+        .collect()
 }
 
 /// Relative total-cycle reduction of `opt` versus `base`.

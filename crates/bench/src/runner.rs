@@ -14,6 +14,7 @@
 //! across commits and thread counts. All harness bookkeeping goes to
 //! stderr and the results file — never stdout.
 
+use iwc_telemetry::TelemetrySnapshot;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -123,8 +124,10 @@ impl Harness {
 
     /// Stops the clock and merges this run into
     /// `results/bench_<name>.json` (directory overridable via
-    /// `IWC_RESULTS_DIR`). Failures to write are reported on stderr, never
-    /// fatal — perf bookkeeping must not break result generation.
+    /// `IWC_RESULTS_DIR`), embedding the process-wide
+    /// [`telemetry`](crate::telemetry) snapshot gathered over the sweep's
+    /// simulations (schema 2). Failures to write are reported on stderr,
+    /// never fatal — perf bookkeeping must not break result generation.
     pub fn finish(self, cells: usize) {
         let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
         let record = RunRecord {
@@ -137,7 +140,7 @@ impl Harness {
         runs.retain(|r| r.threads != record.threads);
         runs.push(record);
         runs.sort_by_key(|r| r.threads);
-        let json = render_report(&self.name, &runs);
+        let json = render_report(&self.name, &runs, &crate::telemetry().snapshot());
         if let Err(e) = fs::create_dir_all(results_dir()).and_then(|()| fs::write(&path, json)) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
@@ -152,7 +155,7 @@ impl Harness {
     }
 }
 
-fn results_dir() -> PathBuf {
+pub(crate) fn results_dir() -> PathBuf {
     std::env::var_os("IWC_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
@@ -192,10 +195,16 @@ fn parse_run_line(line: &str) -> Option<RunRecord> {
     })
 }
 
-fn render_report(name: &str, runs: &[RunRecord]) -> String {
+/// Renders a schema-2 report: name, run records (one per line, so
+/// [`parse_run_line`] can re-read them), optional speedup, and the
+/// telemetry snapshot aggregated over the sweep's simulations. Readers of
+/// the schema-1 line format keep working — every added line is one
+/// `parse_run_line` rejects.
+fn render_report(name: &str, runs: &[RunRecord], telemetry: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"name\": \"{name}\",\n"));
+    out.push_str("  \"schema\": 2,\n");
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -206,12 +215,11 @@ fn render_report(name: &str, runs: &[RunRecord]) -> String {
     }
     out.push_str("  ]");
     if let Some(speedup) = speedup_vs_single(runs) {
-        out.push_str(&format!(",\n  \"speedup_vs_1_thread\": {speedup:.2}\n"));
-    } else {
-        out.push('\n');
+        out.push_str(&format!(",\n  \"speedup_vs_1_thread\": {speedup:.2}"));
     }
-    out.push('}');
-    out.push('\n');
+    out.push_str(",\n  \"telemetry\": ");
+    out.push_str(&telemetry.to_json());
+    out.push_str("\n}\n");
     out
 }
 
@@ -281,8 +289,44 @@ mod tests {
                 cells: 10,
             },
         ];
-        let text = render_report("demo", &runs);
+        let text = render_report("demo", &runs, &TelemetrySnapshot::new());
         assert!(text.contains("\"speedup_vs_1_thread\": 4.00"), "{text}");
+        let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
+        assert_eq!(parsed, runs);
+    }
+
+    #[test]
+    fn report_embeds_telemetry_and_stays_line_compatible() {
+        let runs = vec![RunRecord {
+            threads: 2,
+            wall_ms: 10.0,
+            cells: 3,
+        }];
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_counter("eu/issued", 42);
+        snap.set_counter("sim/cycles", 1000);
+        let mut h = iwc_telemetry::Pow2Hist::new();
+        h.record(7);
+        h.record(9);
+        snap.set_hist("eu/profile/channels", h);
+
+        let text = render_report("demo", &runs, &snap);
+        // The whole report is valid JSON with the snapshot embedded.
+        let doc = iwc_telemetry::json::parse(&text).expect("schema-2 report parses");
+        assert_eq!(
+            doc.get("schema")
+                .and_then(iwc_telemetry::json::Json::as_num),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("telemetry")
+                .and_then(|t| t.get("counters"))
+                .and_then(|c| c.get("eu/issued"))
+                .and_then(iwc_telemetry::json::Json::as_num),
+            Some(42.0)
+        );
+        // Schema-1 line readers still see exactly the run records: the
+        // telemetry lines all fail parse_run_line.
         let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
         assert_eq!(parsed, runs);
     }

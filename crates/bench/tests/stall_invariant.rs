@@ -1,0 +1,104 @@
+//! Suite-wide stall-attribution property: for every workload under every
+//! canonical engine, `sum(stall_causes) + issue_cycles == eu_cycles` —
+//! each non-issuing EU cycle is charged to exactly one root cause, and the
+//! telemetry snapshot agrees with the raw statistics (DESIGN.md §7.2).
+//!
+//! The simulator debug-asserts this identity per EU per launch, but that
+//! check vanishes in release builds; these tests keep it enforced in both
+//! profiles. The always-on test covers a representative workload slice;
+//! the full catalog sweep is release-gated (`cargo test --release`)
+//! because 4 engines x ~50 workloads is minutes of debug-build sim time.
+
+use iwc_compaction::EngineId;
+use iwc_sim::{GpuConfig, SimResult};
+use iwc_workloads::catalog;
+
+fn check(name: &str, engine: EngineId, cfg: &GpuConfig, r: &SimResult) {
+    let ctx = format!("{name} under {engine}");
+    assert_eq!(
+        r.eu.eu_cycles,
+        u64::from(cfg.eus) * r.cycles,
+        "{ctx}: every EU must be charged every launch cycle"
+    );
+    assert_eq!(
+        r.eu.issue_cycles + r.eu.stall_causes.total(),
+        r.eu.eu_cycles,
+        "{ctx}: attribution must cover exactly the non-issue cycles: {:?}",
+        r.eu.stall_causes
+    );
+    assert_eq!(
+        r.eu.stall_causes.send_queue_full, 0,
+        "{ctx}: the send queue is unbounded in this model"
+    );
+    assert_eq!(
+        r.eu.stall_causes.barrier, 0,
+        "{ctx}: barrier release lands in an issue cycle in this model"
+    );
+    // The embedded snapshot is derived from — and must agree with — the
+    // raw stats it will represent in bench reports and `iwc profile`.
+    assert_eq!(r.telemetry.counter("sim/cycles"), Some(r.cycles), "{ctx}");
+    assert_eq!(
+        r.telemetry.counter("eu/cycles"),
+        Some(r.eu.eu_cycles),
+        "{ctx}"
+    );
+    assert_eq!(
+        r.telemetry.counter("eu/issue_cycles"),
+        Some(r.eu.issue_cycles),
+        "{ctx}"
+    );
+    let snap_total: u64 =
+        r.eu.stall_causes
+            .iter()
+            .map(|(cause, _)| {
+                r.telemetry
+                    .counter(&format!("eu/stall/{}", cause.label()))
+                    .unwrap_or_else(|| panic!("{ctx}: snapshot missing eu/stall/{}", cause.label()))
+            })
+            .sum();
+    assert_eq!(snap_total, r.eu.stall_causes.total(), "{ctx}");
+}
+
+fn sweep(names: Option<&[&str]>) {
+    let entries = catalog();
+    let picked: Vec<_> = match names {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                entries
+                    .iter()
+                    .find(|e| &e.name == n)
+                    .unwrap_or_else(|| panic!("workload {n} not in catalog"))
+            })
+            .collect(),
+        None => entries.iter().collect(),
+    };
+    for entry in picked {
+        let built = (entry.build)(1);
+        for engine in EngineId::CANONICAL {
+            let cfg = GpuConfig::paper_default().with_compaction(engine);
+            let r = built
+                .run_checked(&cfg)
+                .unwrap_or_else(|e| panic!("{} under {engine}: {e}", entry.name));
+            check(entry.name, engine, &cfg, &r);
+        }
+    }
+}
+
+/// Representative slice — coherent, branch-divergent, and memory-divergent
+/// workloads — under all four canonical engines. Always on.
+#[test]
+fn stall_attribution_sums_on_representative_workloads() {
+    sweep(Some(&["VA", "Bsearch", "BFS"]));
+}
+
+/// The whole catalog under all four canonical engines. Release builds
+/// only: this is the same grid `fig3` sweeps, minutes of sim in debug.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full catalog x engine grid; run with cargo test --release"
+)]
+fn stall_attribution_sums_across_the_whole_suite() {
+    sweep(None);
+}

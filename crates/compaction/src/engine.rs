@@ -732,6 +732,18 @@ impl EngineTally {
     }
 }
 
+impl iwc_telemetry::Instrument for EngineTally {
+    fn publish(&self, prefix: &str, snap: &mut iwc_telemetry::TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("instructions"), self.instructions);
+        snap.set_counter(&j("active_channels"), self.active_channels);
+        snap.set_counter(&j("total_channels"), self.total_channels);
+        for ((id, _), &cycles) in self.engines.iter().zip(&self.cycles) {
+            snap.set_counter(&j(&format!("cycles/{id}")), cycles);
+        }
+    }
+}
+
 impl PartialEq for EngineTally {
     fn eq(&self, other: &Self) -> bool {
         self.ids() == other.ids()

@@ -175,6 +175,26 @@ impl CompactionTally {
     }
 }
 
+impl iwc_telemetry::Instrument for CompactionTally {
+    fn publish(&self, prefix: &str, snap: &mut iwc_telemetry::TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("instructions"), self.instructions);
+        snap.set_counter(&j("active_channels"), self.active_channels);
+        snap.set_counter(&j("total_channels"), self.total_channels);
+        snap.set_counter(&j("bcc_fetches_saved"), self.bcc_fetches_saved);
+        snap.set_counter(&j("scc_swizzles"), self.scc_swizzles);
+        for mode in CompactionMode::ALL {
+            snap.set_counter(&j(&format!("cycles/{mode}")), self.cycles.get(mode));
+        }
+        for (i, bucket) in UtilBucket::ALL.iter().enumerate() {
+            // Bucket labels contain '/', which reads as a hierarchy
+            // separator in metric names; flatten it.
+            let label = bucket.label().replace('/', "of");
+            snap.set_counter(&j(&format!("util/{label}")), self.buckets[i]);
+        }
+    }
+}
+
 impl fmt::Display for CompactionTally {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -115,6 +115,51 @@ impl Program {
         self.insns.is_empty()
     }
 
+    /// Static basic blocks as half-open instruction ranges, in program
+    /// order.
+    ///
+    /// Leaders are the entry instruction, every branch target (`jip`/`uip`),
+    /// and every instruction following a branch; each block runs from its
+    /// leader to the next leader (or the end of the program). Divergence
+    /// profiles aggregate per-instruction statistics over these ranges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iwc_isa::{KernelBuilder, Operand};
+    ///
+    /// let mut b = KernelBuilder::new("straightline", 8);
+    /// b.add(Operand::rud(6), Operand::rud(1), Operand::imm_ud(1));
+    /// let p = b.finish()?;
+    /// assert_eq!(p.basic_blocks(), vec![0..p.len()]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn basic_blocks(&self) -> Vec<std::ops::Range<usize>> {
+        let mut leader = vec![false; self.insns.len()];
+        leader[0] = true;
+        for (i, insn) in self.insns.iter().enumerate() {
+            let targets = [insn.jip, insn.uip].into_iter().flatten();
+            let mut jumps = false;
+            for t in targets {
+                leader[t] = true;
+                jumps = true;
+            }
+            if (jumps || insn.op.is_branch()) && i + 1 < self.insns.len() {
+                leader[i + 1] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut start = 0usize;
+        for (i, &lead) in leader.iter().enumerate().skip(1) {
+            if lead {
+                blocks.push(start..i);
+                start = i;
+            }
+        }
+        blocks.push(start..self.insns.len());
+        blocks
+    }
+
     /// Highest GRF register referenced plus one (register pressure estimate).
     pub fn grf_high_water(&self) -> u32 {
         let mut hi = 0u32;

@@ -95,6 +95,11 @@ pub struct GpuConfig {
     /// for [`timeline`](crate::timeline) rendering. Debugging aid; off by
     /// default.
     pub record_issue_log: bool,
+    /// When true, per-static-instruction divergence profiles (executions,
+    /// enabled-channel and quad-occupancy histograms, per-engine cycle
+    /// cost) are accumulated in [`EuStats`](crate::EuStats). Off by
+    /// default: the hot issue path then takes a single predictable branch.
+    pub profile_insns: bool,
     /// FPU pipeline depth (issue-to-writeback latency beyond occupancy).
     pub fpu_latency: u32,
     /// Extended-math pipeline depth.
@@ -119,6 +124,7 @@ impl GpuConfig {
             compaction: EngineId::IVY_BRIDGE,
             capture_masks: false,
             record_issue_log: false,
+            profile_insns: false,
             // Issue-to-writeback depth beyond pipe occupancy. Gen EUs forward
             // results between dependent ALU ops, so the effective latency seen
             // by the scoreboard is short.
@@ -176,6 +182,12 @@ impl GpuConfig {
     /// Paper default with execution-mask capture enabled.
     pub fn with_mask_capture(mut self, capture: bool) -> Self {
         self.capture_masks = capture;
+        self
+    }
+
+    /// Paper default with per-instruction divergence profiling enabled.
+    pub fn with_insn_profile(mut self, profile: bool) -> Self {
+        self.profile_insns = profile;
         self
     }
 

@@ -16,6 +16,7 @@ use iwc_compaction::{CompactionEngine, CompactionTally};
 use iwc_isa::insn::{MemSpace, Opcode, Pipe};
 use iwc_isa::program::Program;
 use iwc_isa::reg::GRF_BYTES;
+use iwc_telemetry::Instrument;
 use serde::{Deserialize, Serialize};
 
 /// Per-EU statistics.
@@ -35,9 +36,22 @@ pub struct EuStats {
     pub icache_misses: u64,
     /// Thread-cycle stall attribution.
     pub stalls: StallStats,
+    /// Total cycles this EU was clocked during the launch (every EU sees
+    /// every launch cycle, including idle tail cycles).
+    pub eu_cycles: u64,
+    /// Cycles in which this EU issued at least one instruction.
+    pub issue_cycles: u64,
+    /// Per-cause attribution of every non-issuing EU cycle. Invariant:
+    /// `issue_cycles + stall_causes.total() == eu_cycles` (checked at the
+    /// end of every launch in debug builds).
+    pub stall_causes: StallBreakdown,
     /// Issue events for timeline rendering (when
     /// [`GpuConfig::record_issue_log`] is set).
     pub issue_log: Vec<IssueEvent>,
+    /// Contiguous non-issuing spans with their attributed [`StallCause`]
+    /// (when [`GpuConfig::record_issue_log`] is set) — the interval form of
+    /// [`stall_causes`](Self::stall_causes), for trace export.
+    pub stall_log: Vec<StallSpan>,
     /// Compaction accounting over computation instructions (cycle models
     /// for every mode, evaluated on the executed mask stream).
     pub compute_tally: CompactionTally,
@@ -47,6 +61,9 @@ pub struct EuStats {
     /// Captured execution masks of every issued SIMD instruction, in issue
     /// order, when [`GpuConfig::capture_masks`] is set: `(bits, width)`.
     pub mask_trace: Vec<(u32, u8)>,
+    /// Per-static-instruction divergence profile, populated when
+    /// [`GpuConfig::profile_insns`] is set (empty otherwise).
+    pub insn_profile: crate::profile::KernelProfile,
 }
 
 /// One resident hardware thread.
@@ -60,10 +77,16 @@ pub struct HwThread {
     pub wg_thread: u32,
     /// The thread may not issue before this time (fence, barrier release).
     pub stalled_until: u64,
+    /// What set `stalled_until` (fence vs. instruction fetch), so the stall
+    /// attributor can charge the wait to the right cause.
+    stalled_src: StallSrc,
     /// Waiting at a workgroup barrier.
     pub at_barrier: bool,
     /// Per-GRF-register writeback completion times.
     reg_busy: Box<[u64]>,
+    /// Bit `r` set while register `r`'s pending writeback comes from a
+    /// memory load (cleared when a compute result overwrites it).
+    reg_from_mem: u128,
     /// Per-flag-register writeback completion times.
     flag_busy: [u64; 2],
     /// Completion time of the latest outstanding memory access.
@@ -78,29 +101,48 @@ impl HwThread {
             wg,
             wg_thread,
             stalled_until: 0,
+            stalled_src: StallSrc::FrontEnd,
             at_barrier: false,
             reg_busy: vec![0u64; 128].into_boxed_slice(),
+            reg_from_mem: 0,
             flag_busy: [0, 0],
             last_mem_done: 0,
         }
     }
 
-    fn mark_regs(&mut self, op: &iwc_isa::Operand, width: u32, until: u64) {
+    fn mark_regs(&mut self, op: &iwc_isa::Operand, width: u32, until: u64, from_mem: bool) {
         if let Some((lo, hi)) = op.grf_byte_range(width) {
             for r in lo / GRF_BYTES..=(hi - 1) / GRF_BYTES {
                 self.reg_busy[r as usize] = self.reg_busy[r as usize].max(until);
+                // The writer at issue time always owns the new maximum (its
+                // own scoreboard check drained earlier writers), so the
+                // provenance bit tracks the latest writer.
+                if from_mem {
+                    self.reg_from_mem |= 1u128 << r;
+                } else {
+                    self.reg_from_mem &= !(1u128 << r);
+                }
             }
         }
     }
 
-    /// Earliest time the scoreboard allows `insn` to issue.
-    fn deps_ready_at(&self, insn: &iwc_isa::Instruction) -> u64 {
+    /// Earliest time the scoreboard allows `insn` to issue, and whether the
+    /// binding (latest) dependence is a memory load still in flight.
+    fn deps_ready_at(&self, insn: &iwc_isa::Instruction) -> (u64, bool) {
         let mut at = 0u64;
+        let mut from_mem = false;
         let width = insn.exec_width;
         let mut consider = |op: &iwc_isa::Operand| {
             if let Some((lo, hi)) = op.grf_byte_range(width) {
                 for r in lo / GRF_BYTES..=(hi - 1) / GRF_BYTES {
-                    at = at.max(self.reg_busy[r as usize]);
+                    let busy = self.reg_busy[r as usize];
+                    let mem = self.reg_from_mem >> r & 1 == 1;
+                    if busy > at {
+                        at = busy;
+                        from_mem = mem;
+                    } else if busy == at {
+                        from_mem |= mem && busy > 0;
+                    }
                 }
             }
         };
@@ -109,12 +151,20 @@ impl HwThread {
         }
         consider(&insn.dst);
         if let Some(p) = insn.pred {
-            at = at.max(self.flag_busy[p.flag.index() as usize]);
+            let busy = self.flag_busy[p.flag.index() as usize];
+            if busy > at {
+                at = busy;
+                from_mem = false;
+            }
         }
         if let Some(cm) = insn.cond_mod {
-            at = at.max(self.flag_busy[cm.flag.index() as usize]);
+            let busy = self.flag_busy[cm.flag.index() as usize];
+            if busy > at {
+                at = busy;
+                from_mem = false;
+            }
         }
-        at
+        (at, from_mem)
     }
 }
 
@@ -123,6 +173,9 @@ impl HwThread {
 pub struct IssueEvent {
     /// Cycle of issue.
     pub cycle: u64,
+    /// Issuing EU (kept through aggregation so exporters can rebuild
+    /// per-EU tracks from the merged log).
+    pub eu: u32,
     /// EU thread slot.
     pub thread: u8,
     /// Pipe occupied (`Fpu`, `Em`, `Send`, or `Control` for front-end-only
@@ -190,6 +243,206 @@ impl StallStats {
     }
 }
 
+/// What armed a thread's `stalled_until` timer (refines the legacy
+/// [`StallReason::Stalled`] bucket for cause attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StallSrc {
+    /// Instruction-fetch miss latency.
+    FrontEnd,
+    /// A memory fence waiting on outstanding accesses.
+    Mem,
+}
+
+/// Root cause of one non-issuing EU cycle.
+///
+/// Unlike [`StallReason`] — which counts per-thread *issue-attempt*
+/// failures and can blame several threads in one cycle — a `StallCause`
+/// charges each EU cycle in which nothing issued to exactly **one** cause,
+/// so the per-EU invariant `issue_cycles + Σ causes == eu_cycles` holds
+/// (with the default single-issue front end, `Σ causes == cycles −
+/// issued`). The blamed cause is that of the thread that becomes ready
+/// soonest — the binding constraint on forward progress — with ties going
+/// to the earliest thread in arbitration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Instruction delivery: I$ miss latency (cold front end).
+    FrontEnd,
+    /// A register/flag dependence on an in-flight *compute* result.
+    ScoreboardDep,
+    /// Waiting on the memory subsystem: a load still in flight into a
+    /// source register, a fence draining stores, or an `eot` drain.
+    MemLatency,
+    /// The target execution pipe is still busy with earlier waves — the
+    /// cycles intra-warp compaction compresses.
+    PipeBusy,
+    /// The send queue refused a message. Structurally zero in this model
+    /// (sends never backpressure the issue stage; see DESIGN.md §7), kept
+    /// so exported schemas cover the full taxonomy.
+    SendQueueFull,
+    /// Every resident thread is parked at a workgroup barrier.
+    Barrier,
+    /// No thread is resident (dispatch tail / launch drained).
+    Drained,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub const ALL: [StallCause; 7] = [
+        StallCause::FrontEnd,
+        StallCause::ScoreboardDep,
+        StallCause::MemLatency,
+        StallCause::PipeBusy,
+        StallCause::SendQueueFull,
+        StallCause::Barrier,
+        StallCause::Drained,
+    ];
+
+    /// Stable snake_case label (used as the telemetry metric name suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::FrontEnd => "front_end",
+            StallCause::ScoreboardDep => "scoreboard_dep",
+            StallCause::MemLatency => "mem_latency",
+            StallCause::PipeBusy => "pipe_busy",
+            StallCause::SendQueueFull => "send_queue_full",
+            StallCause::Barrier => "barrier",
+            StallCause::Drained => "drained",
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycles charged to each [`StallCause`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles lost to instruction delivery.
+    pub front_end: u64,
+    /// Cycles lost to compute-result dependences.
+    pub scoreboard_dep: u64,
+    /// Cycles lost waiting on memory (loads, fences, eot drains).
+    pub mem_latency: u64,
+    /// Cycles lost to execution-pipe occupancy.
+    pub pipe_busy: u64,
+    /// Cycles lost to send-queue backpressure (structurally zero here).
+    pub send_queue_full: u64,
+    /// Cycles every resident thread sat at a barrier.
+    pub barrier: u64,
+    /// Cycles with no resident thread.
+    pub drained: u64,
+}
+
+impl StallBreakdown {
+    /// Charges `n` cycles to `cause`.
+    pub fn charge(&mut self, cause: StallCause, n: u64) {
+        *self.slot_mut(cause) += n;
+    }
+
+    /// Cycles charged to `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::FrontEnd => self.front_end,
+            StallCause::ScoreboardDep => self.scoreboard_dep,
+            StallCause::MemLatency => self.mem_latency,
+            StallCause::PipeBusy => self.pipe_busy,
+            StallCause::SendQueueFull => self.send_queue_full,
+            StallCause::Barrier => self.barrier,
+            StallCause::Drained => self.drained,
+        }
+    }
+
+    fn slot_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::FrontEnd => &mut self.front_end,
+            StallCause::ScoreboardDep => &mut self.scoreboard_dep,
+            StallCause::MemLatency => &mut self.mem_latency,
+            StallCause::PipeBusy => &mut self.pipe_busy,
+            StallCause::SendQueueFull => &mut self.send_queue_full,
+            StallCause::Barrier => &mut self.barrier,
+            StallCause::Drained => &mut self.drained,
+        }
+    }
+
+    /// Adds another breakdown.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for cause in StallCause::ALL {
+            self.charge(cause, other.get(cause));
+        }
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        StallCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// `(cause, cycles)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallCause, u64)> + '_ {
+        StallCause::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+}
+
+/// One contiguous span of non-issuing EU cycles charged to a single
+/// [`StallCause`] — the interval form of [`StallBreakdown`], recorded only
+/// when [`GpuConfig::record_issue_log`] is set. Exporters turn these into
+/// Perfetto async stall tracks alongside the issue slices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallSpan {
+    /// EU the span belongs to.
+    pub eu: u32,
+    /// First cycle of the span.
+    pub start: u64,
+    /// Length in cycles (≥ 1; consecutive same-cause cycles coalesce).
+    pub len: u64,
+    /// The attributed root cause.
+    pub cause: StallCause,
+}
+
+impl Instrument for StallBreakdown {
+    fn publish(&self, prefix: &str, snap: &mut iwc_telemetry::TelemetrySnapshot) {
+        for (cause, cycles) in self.iter() {
+            snap.set_counter(&iwc_telemetry::join(prefix, cause.label()), cycles);
+        }
+    }
+}
+
+impl Instrument for EuStats {
+    fn publish(&self, prefix: &str, snap: &mut iwc_telemetry::TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("issued"), self.issued);
+        snap.set_counter(&j("skipped_zero_mask"), self.skipped_zero_mask);
+        snap.set_counter(&j("fpu_waves"), self.fpu_waves);
+        snap.set_counter(&j("em_waves"), self.em_waves);
+        snap.set_counter(&j("sends"), self.sends);
+        snap.set_counter(&j("icache_misses"), self.icache_misses);
+        snap.set_counter(&j("cycles"), self.eu_cycles);
+        snap.set_counter(&j("issue_cycles"), self.issue_cycles);
+        // Legacy per-thread issue-attempt failure counts.
+        snap.set_counter(&j("stall_events/fence"), self.stalls.stalled);
+        snap.set_counter(&j("stall_events/scoreboard"), self.stalls.scoreboard);
+        snap.set_counter(&j("stall_events/ifetch"), self.stalls.ifetch);
+        snap.set_counter(&j("stall_events/pipe_busy"), self.stalls.pipe_busy);
+        snap.set_counter(&j("stall_events/mem_drain"), self.stalls.mem_drain);
+        // Per-cycle root-cause attribution.
+        self.stall_causes.publish(&j("stall"), snap);
+        self.compute_tally.publish(&j("compute"), snap);
+        self.simd_tally.publish(&j("simd"), snap);
+        if !self.insn_profile.is_empty() {
+            let mut channels = iwc_telemetry::Pow2Hist::new();
+            let mut quads = iwc_telemetry::Pow2Hist::new();
+            for s in &self.insn_profile.insns {
+                channels.merge(&s.channels);
+                quads.merge(&s.quads);
+            }
+            snap.set_hist(&j("profile/channels"), channels);
+            snap.set_hist(&j("profile/quads"), quads);
+        }
+    }
+}
+
 /// Outcome of one issue attempt on one thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IssueOutcome {
@@ -197,10 +450,28 @@ pub enum IssueOutcome {
     Issued,
     /// The thread finished (`eot` retired); the slot is free.
     Finished,
-    /// The thread cannot issue before the given time, for the given reason.
-    NotReadyUntil(u64, StallReason),
+    /// The thread cannot issue before the given time, for the given legacy
+    /// reason and attributed root cause.
+    NotReadyUntil(u64, StallReason, StallCause),
     /// The thread is blocked on a barrier (no time bound).
     Barrier,
+}
+
+/// Outcome of one [`Eu::arbitrate`] pass.
+#[derive(Clone, Debug)]
+pub struct ArbResult {
+    /// Instructions issued this cycle (0..=`cfg.issue_per_cycle`).
+    pub issued: u32,
+    /// Workgroup ids of threads that retired (`eot`) this cycle.
+    pub finished: Vec<usize>,
+    /// Earliest future time at which some blocked thread becomes ready
+    /// (`None` when all blocked threads wait on barriers or none is
+    /// resident).
+    pub hint: Option<u64>,
+    /// Root cause blocking the EU, when nothing issued: the cause of the
+    /// soonest-ready thread, else [`StallCause::Barrier`] if any thread is
+    /// parked, else [`StallCause::Drained`]. `None` when something issued.
+    pub blocked: Option<StallCause>,
 }
 
 /// One execution unit.
@@ -301,7 +572,11 @@ impl Eu {
             return IssueOutcome::Barrier;
         }
         if t.stalled_until > now {
-            return IssueOutcome::NotReadyUntil(t.stalled_until, StallReason::Stalled);
+            let cause = match t.stalled_src {
+                StallSrc::FrontEnd => StallCause::FrontEnd,
+                StallSrc::Mem => StallCause::MemLatency,
+            };
+            return IssueOutcome::NotReadyUntil(t.stalled_until, StallReason::Stalled, cause);
         }
 
         // Skip zero-mask ALU/send instructions for free (jump-over).
@@ -310,9 +585,13 @@ impl Eu {
             let insn = &program.insns()[t.ctx.pc];
             let is_data_op = !matches!(insn.op.pipe(), Pipe::Control);
             if is_data_op && exec_mask_of(&t.ctx, insn).is_empty() && insn.op != Opcode::Eot {
+                let skip_pc = t.ctx.pc;
                 let e = execute_instruction(&mut t.ctx, program, img, slm);
                 debug_assert_eq!(e.effect, Effect::SkippedZeroMask);
                 self.stats.skipped_zero_mask += 1;
+                if cfg.profile_insns {
+                    self.stats.insn_profile.record_skip(skip_pc);
+                }
                 guard += 1;
                 assert!(guard <= program.len() * 2, "runaway zero-mask skipping");
                 continue;
@@ -324,32 +603,54 @@ impl Eu {
         let insn = &program.insns()[pc];
 
         // Scoreboard.
-        let ready = t.deps_ready_at(insn);
+        let (ready, dep_from_mem) = t.deps_ready_at(insn);
         if ready > now {
-            return IssueOutcome::NotReadyUntil(ready, StallReason::Scoreboard);
+            let cause = if dep_from_mem {
+                StallCause::MemLatency
+            } else {
+                StallCause::ScoreboardDep
+            };
+            return IssueOutcome::NotReadyUntil(ready, StallReason::Scoreboard, cause);
         }
         // Instruction fetch: a cold I$ line stalls the thread once.
         let fetch_stall = self.ifetch(pc, cfg);
         if fetch_stall > 0 {
             let t = self.slots[i].as_mut().expect("thread present");
             t.stalled_until = now + fetch_stall;
-            return IssueOutcome::NotReadyUntil(now + fetch_stall, StallReason::Ifetch);
+            t.stalled_src = StallSrc::FrontEnd;
+            return IssueOutcome::NotReadyUntil(
+                now + fetch_stall,
+                StallReason::Ifetch,
+                StallCause::FrontEnd,
+            );
         }
         let t = self.slots[i].as_mut().expect("thread present");
         let insn = &program.insns()[pc];
         // Pipe availability for computation.
         match insn.op.pipe() {
             Pipe::Fpu if self.fpu_free > now => {
-                return IssueOutcome::NotReadyUntil(self.fpu_free, StallReason::PipeBusy)
+                return IssueOutcome::NotReadyUntil(
+                    self.fpu_free,
+                    StallReason::PipeBusy,
+                    StallCause::PipeBusy,
+                )
             }
             Pipe::Em if self.em_free > now => {
-                return IssueOutcome::NotReadyUntil(self.em_free, StallReason::PipeBusy)
+                return IssueOutcome::NotReadyUntil(
+                    self.em_free,
+                    StallReason::PipeBusy,
+                    StallCause::PipeBusy,
+                )
             }
             _ => {}
         }
         // EOT drains outstanding memory.
         if insn.op == Opcode::Eot && t.last_mem_done > now {
-            return IssueOutcome::NotReadyUntil(t.last_mem_done, StallReason::MemDrain);
+            return IssueOutcome::NotReadyUntil(
+                t.last_mem_done,
+                StallReason::MemDrain,
+                StallCause::MemLatency,
+            );
         }
 
         let exec_width = insn.exec_width;
@@ -365,6 +666,12 @@ impl Eu {
         let insn_pipe = insn.op.pipe();
         let executed = execute_instruction(&mut t.ctx, program, img, slm);
         self.stats.issued += 1;
+        if cfg.profile_insns {
+            let compute = matches!(executed.effect, Effect::Compute { .. });
+            self.stats
+                .insn_profile
+                .record(pc, executed.mask, dtype, compute);
+        }
         if cfg.record_issue_log {
             let waves = if insn_pipe == Pipe::Fpu || insn_pipe == Pipe::Em {
                 engine.cycles(executed.mask, dtype)
@@ -373,6 +680,7 @@ impl Eu {
             };
             self.stats.issue_log.push(IssueEvent {
                 cycle: now,
+                eu: self.id,
                 thread: i as u8,
                 pipe: insn_pipe,
                 waves,
@@ -394,7 +702,7 @@ impl Eu {
                 };
                 *pipe_free = now + waves;
                 let writeback = now + waves + u64::from(depth);
-                t.mark_regs(&dst, exec_width, writeback);
+                t.mark_regs(&dst, exec_width, writeback, false);
                 if let Some(f) = cond_flag {
                     t.flag_busy[f.index() as usize] = writeback;
                 }
@@ -432,11 +740,12 @@ impl Eu {
                 };
                 t.last_mem_done = t.last_mem_done.max(done);
                 if !is_store {
-                    t.mark_regs(&dst, exec_width, done);
+                    t.mark_regs(&dst, exec_width, done, true);
                 }
             }
             Effect::Fence => {
                 t.stalled_until = t.last_mem_done;
+                t.stalled_src = StallSrc::Mem;
             }
             Effect::Barrier => {
                 t.at_barrier = true;
@@ -457,9 +766,10 @@ impl Eu {
     /// rotating priority. The default of 1 is the paper's "two instructions
     /// every two cycles" bandwidth at single-cycle granularity.
     ///
-    /// Returns `(issued, finished_wg_threads, hint)` where `hint` is the
-    /// earliest future time at which some blocked thread becomes ready
-    /// (`None` when all blocked threads wait on barriers).
+    /// Returns an [`ArbResult`]: the issue count, retired workgroup
+    /// threads, the earliest future time at which some blocked thread
+    /// becomes ready (`None` when all blocked threads wait on barriers),
+    /// and — when nothing issued — the root [`StallCause`] blocking the EU.
     #[allow(clippy::too_many_arguments)]
     pub fn arbitrate(
         &mut self,
@@ -472,11 +782,16 @@ impl Eu {
         slms: &mut [MemoryImage],
         slm_index: &std::collections::HashMap<usize, usize>,
         barrier_arrivals: &mut Vec<usize>,
-    ) -> (u32, Vec<usize>, Option<u64>) {
+    ) -> ArbResult {
         let n = self.slots.len();
         let mut issued = 0u32;
         let mut finished = Vec::new();
         let mut hint: Option<u64> = None;
+        // Soonest-ready blocked thread (strictly-earlier wins; ties keep
+        // the thread visited first in arbitration order) and whether any
+        // thread sat at a barrier, for root-cause attribution.
+        let mut soonest: Option<(u64, StallCause)> = None;
+        let mut saw_barrier = false;
         let start = self.arb_ptr;
         for k in 0..n {
             if issued >= cfg.issue_per_cycle {
@@ -509,13 +824,30 @@ impl Eu {
                     finished.push(wg);
                     self.arb_ptr = (i + 1) % n;
                 }
-                IssueOutcome::NotReadyUntil(at, reason) => {
+                IssueOutcome::NotReadyUntil(at, reason, cause) => {
                     self.stats.stalls.add(reason);
                     hint = Some(hint.map_or(at, |h| h.min(at)));
+                    if soonest.is_none_or(|(best, _)| at < best) {
+                        soonest = Some((at, cause));
+                    }
                 }
-                IssueOutcome::Barrier => {}
+                IssueOutcome::Barrier => saw_barrier = true,
             }
         }
-        (issued, finished, hint)
+        let blocked = if issued > 0 {
+            None
+        } else if let Some((_, cause)) = soonest {
+            Some(cause)
+        } else if saw_barrier {
+            Some(StallCause::Barrier)
+        } else {
+            Some(StallCause::Drained)
+        };
+        ArbResult {
+            issued,
+            finished,
+            hint,
+            blocked,
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Multi-EU GPU: workgroup dispatch, barriers, and the simulation loop.
 
 use crate::config::GpuConfig;
-use crate::eu::{Eu, EuStats, HwThread};
+use crate::eu::{Eu, EuStats, HwThread, StallCause};
 use crate::exec::ThreadCtx;
 use crate::memimg::MemoryImage;
 use crate::memsys::{MemStats, MemSystem};
@@ -10,6 +10,7 @@ use iwc_isa::mask::ExecMask;
 use iwc_isa::program::Program;
 use iwc_isa::reg::Operand;
 use iwc_isa::types::Scalar;
+use iwc_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -77,6 +78,9 @@ pub struct SimResult {
     pub l3_hit_rate: f64,
     /// Compaction engine the run used (`Display`s as its label).
     pub mode: EngineId,
+    /// Uniform metric snapshot of the run: every typed statistic above,
+    /// published under hierarchical names (`eu/…`, `mem/…`, `sim/cycles`).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl SimResult {
@@ -291,6 +295,7 @@ fn run_launch(
     let mut wg_state: HashMap<usize, WgState> = HashMap::new();
     let mut next_wg = 0usize;
     let mut now = start;
+    let mut per_eu: Vec<(bool, Option<StallCause>)> = Vec::with_capacity(eus.len());
 
     loop {
         // ---- dispatch pending workgroups ----
@@ -319,8 +324,11 @@ fn run_launch(
         let mut any_issued = false;
         let mut min_hint: Option<u64> = None;
         let mut arrivals: Vec<usize> = Vec::new();
+        // Per-EU (issued-this-cycle, blocking cause) for stall attribution,
+        // charged once the cycle's time delta is known.
+        per_eu.clear();
         for eu in &mut eus {
-            let (issued, finished, hint) = eu.arbitrate(
+            let arb = eu.arbitrate(
                 now,
                 cfg,
                 engine.as_ref(),
@@ -331,16 +339,17 @@ fn run_launch(
                 &slm_index,
                 &mut arrivals,
             );
-            if issued > 0 {
+            if arb.issued > 0 {
                 any_issued = true;
             }
-            for wg in finished {
+            for wg in arb.finished {
                 let st = wg_state.get_mut(&wg).expect("finished thread has wg state");
                 st.done += 1;
             }
-            if let Some(h) = hint {
+            if let Some(h) = arb.hint {
                 min_hint = Some(min_hint.map_or(h, |m| m.min(h)));
             }
+            per_eu.push((arb.issued > 0, arb.blocked));
         }
 
         // ---- barrier bookkeeping ----
@@ -370,13 +379,40 @@ fn run_launch(
         if next_wg == num_wgs && eus.iter().all(Eu::is_idle) {
             break;
         }
-        if any_issued || released {
-            now += 1;
+        let delta = if any_issued || released {
+            1
         } else if let Some(h) = min_hint {
-            now = (now + 1).max(h);
+            (now + 1).max(h) - now
         } else {
             return Err(SimulateError::Deadlock { at: now });
+        };
+        // Stall attribution: every EU sees every launch cycle; a cycle (or
+        // event-driven span of cycles) with no issue is charged to exactly
+        // one cause per EU. Jumps only happen when no EU issued, so the
+        // whole span carries the pre-jump blocking cause.
+        for (eu, &(issued, blocked)) in eus.iter_mut().zip(per_eu.iter()) {
+            eu.stats.eu_cycles += delta;
+            if issued {
+                eu.stats.issue_cycles += 1;
+            } else {
+                let cause = blocked.unwrap_or(StallCause::Drained);
+                eu.stats.stall_causes.charge(cause, delta);
+                if cfg.record_issue_log {
+                    // Interval form for trace export: extend the open span
+                    // when the cause continues, else start a new one.
+                    match eu.stats.stall_log.last_mut() {
+                        Some(s) if s.cause == cause && s.start + s.len == now => s.len += delta,
+                        _ => eu.stats.stall_log.push(crate::eu::StallSpan {
+                            eu: eu.id,
+                            start: now,
+                            len: delta,
+                            cause,
+                        }),
+                    }
+                }
+            }
         }
+        now += delta;
         if now - start > MAX_CYCLES {
             return Err(SimulateError::CycleLimit(now - start));
         }
@@ -386,6 +422,12 @@ fn run_launch(
     // ---- aggregate statistics ----
     let mut agg = EuStats::default();
     for eu in &eus {
+        debug_assert_eq!(
+            eu.stats.issue_cycles + eu.stats.stall_causes.total(),
+            eu.stats.eu_cycles,
+            "stall attribution must cover every non-issuing EU cycle (EU {})",
+            eu.id
+        );
         agg.issued += eu.stats.issued;
         agg.skipped_zero_mask += eu.stats.skipped_zero_mask;
         agg.fpu_waves += eu.stats.fpu_waves;
@@ -393,18 +435,31 @@ fn run_launch(
         agg.sends += eu.stats.sends;
         agg.icache_misses += eu.stats.icache_misses;
         agg.stalls.merge(&eu.stats.stalls);
+        agg.eu_cycles += eu.stats.eu_cycles;
+        agg.issue_cycles += eu.stats.issue_cycles;
+        agg.stall_causes.merge(&eu.stats.stall_causes);
         agg.issue_log.extend_from_slice(&eu.stats.issue_log);
+        agg.stall_log.extend_from_slice(&eu.stats.stall_log);
         agg.compute_tally.merge(&eu.stats.compute_tally);
         agg.simd_tally.merge(&eu.stats.simd_tally);
         agg.mask_trace.extend_from_slice(&eu.stats.mask_trace);
+        agg.insn_profile.merge(&eu.stats.insn_profile);
     }
     let mem_delta = mem.stats.delta(&mem_before);
+    // The uniform snapshot every result carries: one publish pass over the
+    // typed stats at end of run (a few dozen BTreeMap inserts — negligible
+    // next to the simulation itself, so it is unconditional).
+    let mut telemetry = TelemetrySnapshot::new();
+    telemetry.set_counter("sim/cycles", now - start);
+    telemetry.publish("eu", &agg);
+    telemetry.publish("mem", &mem_delta);
     Ok(SimResult {
         cycles: now - start,
         eu: agg,
         l3_hit_rate: mem_delta.l3_hit_rate(),
         mem: mem_delta,
         mode: cfg.compaction,
+        telemetry,
     })
 }
 

@@ -74,6 +74,21 @@ impl MemStats {
     }
 }
 
+impl iwc_telemetry::Instrument for MemStats {
+    fn publish(&self, prefix: &str, snap: &mut iwc_telemetry::TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("loads"), self.loads);
+        snap.set_counter(&j("stores"), self.stores);
+        snap.set_counter(&j("lines_requested"), self.lines_requested);
+        snap.set_counter(&j("l3/hits"), self.l3_hits);
+        snap.set_counter(&j("l3/misses"), self.l3_misses);
+        snap.set_counter(&j("llc/hits"), self.llc_hits);
+        snap.set_counter(&j("llc/misses"), self.llc_misses);
+        snap.set_counter(&j("slm/accesses"), self.slm_accesses);
+        snap.set_counter(&j("slm/conflict_cycles"), self.slm_conflict_cycles);
+    }
+}
+
 /// The shared memory subsystem.
 #[derive(Clone, Debug)]
 pub struct MemSystem {

@@ -13,14 +13,24 @@
 //! SEND  ..A......B.....................
 //! ```
 
-use crate::eu::IssueEvent;
+use crate::eu::{IssueEvent, StallSpan};
 use iwc_isa::insn::Pipe;
+use iwc_telemetry::chrome::ChromeTrace;
 
-/// Renders the first `until` cycles of an issue log as an ASCII chart. Rows:
-/// FPU/EM pipe occupancy (letter = thread, repeated for each wave), SEND
-/// issue markers, and front-end (control) issue markers.
+/// Renders an issue log as an ASCII chart covering at least `until` cycles.
+/// Rows: FPU/EM pipe occupancy (letter = thread, repeated for each wave),
+/// SEND issue markers, and front-end (control) issue markers.
+///
+/// Rows are sized to `max(until, last event's cycle + waves)`, so a log
+/// that runs past the requested window widens the chart rather than being
+/// silently truncated.
 pub fn render(events: &[IssueEvent], until: u64) -> String {
-    let width = until as usize;
+    let width = events
+        .iter()
+        .map(|e| e.cycle + u64::from(e.waves.max(1)))
+        .max()
+        .unwrap_or(0)
+        .max(until) as usize;
     let mut fpu = vec!['.'; width];
     let mut em = vec!['.'; width];
     let mut send = vec!['.'; width];
@@ -92,6 +102,66 @@ pub fn fpu_utilization(events: &[IssueEvent], until: u64) -> f64 {
     busy.iter().filter(|&&b| b).count() as f64 / (until as f64).max(1.0)
 }
 
+/// Converts an issue log (plus the matching stall spans) into a Chrome
+/// trace-event document openable in Perfetto or `chrome://tracing`:
+///
+/// * one **process** per EU (`"EU0"`, `"EU1"`, …);
+/// * one **track** (thread) per execution pipe — `fpu`, `em`, `send`,
+///   `ctrl` — plus a `stall` track;
+/// * one complete **slice** per issue event, named by the issuing thread
+///   slot (`"t0"`…), lasting the event's pipe-occupancy waves (control and
+///   send issues render as 1-cycle markers);
+/// * one **async span** per attributed stall interval, named by its
+///   [`StallCause`](crate::StallCause).
+///
+/// One simulated cycle maps to one microsecond, so the viewer's time axis
+/// reads directly as cycles.
+pub fn chrome_trace(events: &[IssueEvent], stalls: &[StallSpan]) -> ChromeTrace {
+    const PIPE_TRACKS: [(Pipe, u32, &str); 4] = [
+        (Pipe::Fpu, 1, "fpu"),
+        (Pipe::Em, 2, "em"),
+        (Pipe::Send, 3, "send"),
+        (Pipe::Control, 4, "ctrl"),
+    ];
+    const STALL_TID: u32 = 5;
+    let tid_of = |pipe: Pipe| {
+        PIPE_TRACKS
+            .iter()
+            .find(|(p, _, _)| *p == pipe)
+            .map(|&(_, tid, _)| tid)
+            .expect("every pipe has a track")
+    };
+    let mut tr = ChromeTrace::new();
+    let mut eus: Vec<u32> = events
+        .iter()
+        .map(|e| e.eu)
+        .chain(stalls.iter().map(|s| s.eu))
+        .collect();
+    eus.sort_unstable();
+    eus.dedup();
+    for &eu in &eus {
+        tr.name_process(eu, &format!("EU{eu}"));
+        for &(_, tid, label) in &PIPE_TRACKS {
+            tr.name_thread(eu, tid, label);
+        }
+        tr.name_thread(eu, STALL_TID, "stall");
+    }
+    for e in events {
+        tr.slice(
+            e.eu,
+            tid_of(e.pipe),
+            &format!("t{}", e.thread),
+            "issue",
+            e.cycle,
+            u64::from(e.waves.max(1)),
+        );
+    }
+    for s in stalls {
+        tr.span(s.eu, STALL_TID, s.cause.label(), "stall", s.start, s.len);
+    }
+    tr
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +215,67 @@ mod tests {
         let u = fpu_utilization(&log, 120);
         assert!((0.0..=1.0).contains(&u));
         assert!(u > 0.05, "FPU did some work: {u}");
+    }
+
+    #[test]
+    fn render_widens_past_until_for_late_events() {
+        // Regression: events past `until` used to be silently dropped; the
+        // chart must instead widen to cover `cycle + waves` of the last
+        // event.
+        let log = vec![
+            IssueEvent {
+                cycle: 2,
+                eu: 0,
+                thread: 0,
+                pipe: Pipe::Fpu,
+                waves: 4,
+            },
+            IssueEvent {
+                cycle: 40,
+                eu: 0,
+                thread: 1,
+                pipe: Pipe::Fpu,
+                waves: 4,
+            },
+        ];
+        let chart = render(&log, 10);
+        let fpu_row = chart.lines().find(|l| l.starts_with("FPU")).unwrap();
+        assert_eq!(fpu_row.len(), "FPU   ".len() + 44, "sized to 40 + 4");
+        assert_eq!(fpu_row.matches('A').count(), 4);
+        assert_eq!(fpu_row.matches('B').count(), 4, "late event kept: {chart}");
+        // `until` still sets the minimum width when it is the larger bound.
+        let narrow = render(&log[..1], 10);
+        let row = narrow.lines().find(|l| l.starts_with("FPU")).unwrap();
+        assert_eq!(row.len(), "FPU   ".len() + 10);
+    }
+
+    #[test]
+    fn chrome_trace_exports_and_validates() {
+        let log = run_logged();
+        assert!(log.iter().all(|e| e.eu == 0), "single-EU run");
+        let stalls = vec![
+            crate::StallSpan {
+                eu: 0,
+                start: 0,
+                len: 20,
+                cause: crate::StallCause::FrontEnd,
+            },
+            crate::StallSpan {
+                eu: 0,
+                start: 25,
+                len: 3,
+                cause: crate::StallCause::ScoreboardDep,
+            },
+        ];
+        let tr = chrome_trace(&log, &stalls);
+        let json = tr.to_json();
+        let stats = iwc_telemetry::chrome::validate(&json).expect("trace validates");
+        assert_eq!(stats.slices, log.len());
+        assert_eq!(stats.async_events, 2 * stalls.len());
+        assert!(json.contains("\"EU0\""), "{json}");
+        assert!(json.contains("front_end"), "{json}");
+        // Deterministic bytes.
+        assert_eq!(json, chrome_trace(&log, &stalls).to_json());
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Chrome trace-event JSON export and its schema checker.
+//!
+//! The exporter builds the *JSON Array Format* of the Chrome trace-event
+//! spec — the dialect Perfetto and `chrome://tracing` both open directly:
+//! a top-level object with a `traceEvents` array, where each event carries
+//! a phase (`ph`), a process/track id (`pid`/`tid`), and a microsecond
+//! timestamp (`ts`; the simulator maps one cycle to one microsecond so
+//! Perfetto's time axis reads as cycles).
+//!
+//! Three event shapes are emitted:
+//!
+//! * `"M"` metadata — names processes (EUs) and threads (pipes) so tracks
+//!   show `"EU0"` / `"fpu"` instead of bare ids.
+//! * `"X"` complete slices — one per issue event (`ts` + `dur` in cycles).
+//! * `"b"`/`"e"` async spans — stall attribution intervals, paired by `id`.
+//!
+//! [`validate`] re-parses an exported document with the std-only
+//! [`json`] parser and checks the schema; the CI telemetry job
+//! runs it over real `iwc trace-export` output.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+
+/// One event row destined for the `traceEvents` array.
+#[derive(Clone, Debug)]
+enum Event {
+    /// `ph:"M"` metadata naming a process or thread.
+    Meta {
+        name: &'static str, // "process_name" | "thread_name"
+        pid: u32,
+        tid: u32,
+        value: String,
+    },
+    /// `ph:"X"` complete slice.
+    Slice {
+        name: String,
+        cat: String,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+    },
+    /// `ph:"b"` / `ph:"e"` async span pair, flattened to one row here and
+    /// expanded to two events at render time.
+    Span {
+        name: String,
+        cat: String,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+        id: u64,
+    },
+}
+
+/// Builder for a Chrome trace-event JSON document.
+///
+/// Events may be added in any order; [`to_json`](Self::to_json) sorts
+/// deterministically (metadata first, then by `(pid, tid, ts, name)`), so
+/// the same logical trace always renders to identical bytes.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Event>,
+    next_span_id: u64,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a process track (e.g. `pid` = EU index, name `"EU0"`).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.events.push(Event::Meta {
+            name: "process_name",
+            pid,
+            tid: 0,
+            value: name.to_string(),
+        });
+    }
+
+    /// Names a thread track within a process (e.g. one per execution pipe).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(Event::Meta {
+            name: "thread_name",
+            pid,
+            tid,
+            value: name.to_string(),
+        });
+    }
+
+    /// Adds a complete slice (`ph:"X"`): one issue event occupying
+    /// `[ts, ts+dur)` cycles on track `(pid, tid)`.
+    pub fn slice(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts: u64, dur: u64) {
+        self.events.push(Event::Slice {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            ts,
+            dur,
+        });
+    }
+
+    /// Adds an async span (`ph:"b"` + `ph:"e"` pair): a stall interval of
+    /// `dur` cycles starting at `ts`. Returns the span id used to pair the
+    /// two events.
+    pub fn span(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts: u64, dur: u64) -> u64 {
+        let id = self.next_span_id;
+        self.next_span_id += 1;
+        self.events.push(Event::Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            ts,
+            dur,
+            id,
+        });
+        id
+    }
+
+    /// Number of logical events added (a span counts once).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace to Chrome trace-event JSON (one event per line,
+    /// deterministic ordering).
+    pub fn to_json(&self) -> String {
+        let mut rows: Vec<(u8, u32, u32, u64, String)> = Vec::with_capacity(self.events.len() + 8);
+        for ev in &self.events {
+            match ev {
+                Event::Meta {
+                    name,
+                    pid,
+                    tid,
+                    value,
+                } => {
+                    rows.push((
+                        0,
+                        *pid,
+                        *tid,
+                        0,
+                        format!(
+                            "{{\"ph\":\"M\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":{tid},\
+                             \"args\":{{\"name\":\"{}\"}}}}",
+                            json::escape(value)
+                        ),
+                    ));
+                }
+                Event::Slice {
+                    name,
+                    cat,
+                    pid,
+                    tid,
+                    ts,
+                    dur,
+                } => {
+                    rows.push((
+                        1,
+                        *pid,
+                        *tid,
+                        *ts,
+                        format!(
+                            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{pid},\
+                             \"tid\":{tid},\"ts\":{ts},\"dur\":{dur}}}",
+                            json::escape(name),
+                            json::escape(cat)
+                        ),
+                    ));
+                }
+                Event::Span {
+                    name,
+                    cat,
+                    pid,
+                    tid,
+                    ts,
+                    dur,
+                    id,
+                } => {
+                    let name = json::escape(name);
+                    let cat = json::escape(cat);
+                    rows.push((
+                        1,
+                        *pid,
+                        *tid,
+                        *ts,
+                        format!(
+                            "{{\"ph\":\"b\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":{pid},\
+                             \"tid\":{tid},\"ts\":{ts},\"id\":{id}}}"
+                        ),
+                    ));
+                    rows.push((
+                        1,
+                        *pid,
+                        *tid,
+                        ts + dur,
+                        format!(
+                            "{{\"ph\":\"e\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":{pid},\
+                             \"tid\":{tid},\"ts\":{},\"id\":{id}}}",
+                            ts + dur
+                        ),
+                    ));
+                }
+            }
+        }
+        rows.sort_by(|a, b| (a.0, a.1, a.2, a.3, &a.4).cmp(&(b.0, b.1, b.2, b.3, &b.4)));
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(out, "  {}", row.4);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+/// Summary statistics [`validate`] returns for a well-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// `ph:"M"` metadata events.
+    pub metadata: usize,
+    /// `ph:"X"` complete slices.
+    pub slices: usize,
+    /// `ph:"b"`/`ph:"e"` async events (each side counted).
+    pub async_events: usize,
+}
+
+/// Validates a Chrome trace-event JSON document against the subset of the
+/// schema this crate emits.
+///
+/// Checks: the document parses; `traceEvents` is an array of objects; every
+/// event has a string `ph` of `M`/`X`/`b`/`e`, a string `name`, and numeric
+/// `pid`/`tid`; slices carry numeric `ts` and `dur`; async events carry
+/// numeric `ts` and an `id`, and every `b` has a matching `e` with the same
+/// id (and vice versa).
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation found.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" member")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut stats = TraceStats::default();
+    let mut open_spans: Vec<u64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: bad or missing {field:?}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        ev.get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("pid"))?;
+        ev.get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("tid"))?;
+        match ph {
+            "M" => {
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("args.name"))?;
+                stats.metadata += 1;
+            }
+            "X" => {
+                ev.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+                ev.get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("dur"))?;
+                stats.slices += 1;
+            }
+            "b" | "e" => {
+                ev.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("id"))? as u64;
+                if ph == "b" {
+                    open_spans.push(id);
+                } else {
+                    let pos = open_spans
+                        .iter()
+                        .position(|&open| open == id)
+                        .ok_or_else(|| format!("event {i}: \"e\" with unmatched id {id}"))?;
+                    open_spans.swap_remove(pos);
+                }
+                stats.async_events += 1;
+            }
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    if let Some(id) = open_spans.first() {
+        return Err(format!("async span id {id} opened but never closed"));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_process(0, "EU0");
+        t.name_thread(0, 1, "fpu");
+        t.name_thread(0, 2, "em");
+        t.slice(0, 1, "add", "issue", 0, 2);
+        t.slice(0, 2, "send", "issue", 2, 4);
+        t.span(0, 1, "ScoreboardDep", "stall", 2, 3);
+        t
+    }
+
+    #[test]
+    fn export_passes_validation() {
+        let j = sample().to_json();
+        let stats = validate(&j).expect("sample trace validates");
+        assert_eq!(
+            stats,
+            TraceStats {
+                metadata: 3,
+                slices: 2,
+                async_events: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"traceEvents\": 3}").is_err());
+        // Missing dur on a slice.
+        let bad = r#"{"traceEvents":[{"ph":"X","name":"a","pid":0,"tid":0,"ts":1}]}"#;
+        assert!(validate(bad).unwrap_err().contains("dur"));
+        // Unbalanced async span.
+        let bad = r#"{"traceEvents":[{"ph":"b","name":"s","pid":0,"tid":0,"ts":1,"id":7}]}"#;
+        assert!(validate(bad).unwrap_err().contains("never closed"));
+        let bad = r#"{"traceEvents":[{"ph":"e","name":"s","pid":0,"tid":0,"ts":1,"id":7}]}"#;
+        assert!(validate(bad).unwrap_err().contains("unmatched"));
+        // Unknown phase.
+        let bad = r#"{"traceEvents":[{"ph":"Q","name":"a","pid":0,"tid":0}]}"#;
+        assert!(validate(bad).unwrap_err().contains("unknown ph"));
+    }
+
+    #[test]
+    fn spans_get_distinct_ids() {
+        let mut t = ChromeTrace::new();
+        let a = t.span(0, 0, "s", "stall", 0, 1);
+        let b = t.span(0, 0, "s", "stall", 5, 1);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        validate(&t.to_json()).unwrap();
+    }
+}

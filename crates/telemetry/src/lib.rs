@@ -1,0 +1,52 @@
+//! # iwc-telemetry
+//!
+//! The observability layer of the IWC workspace: a hierarchical
+//! counter/histogram registry, plain-value snapshots that ride along on
+//! simulation results and bench reports, and a Chrome trace-event exporter
+//! (openable in Perfetto / `chrome://tracing`).
+//!
+//! Like the `shims/` crates, this crate is **std-only** — the build
+//! environment is fully offline, so everything (including the JSON emitted
+//! and validated here) is hand-rolled over `std`.
+//!
+//! # Layers
+//!
+//! * [`Counter`] / [`Histogram`] — lock-free atomic metric cells. A counter
+//!   increment is one relaxed atomic add, so instrumented code stays cheap
+//!   even when several harness workers share one cell (the parallel
+//!   evaluation runner increments process-wide counters from every thread).
+//! * [`Registry`] — interns metric cells by hierarchical slash-separated
+//!   name (`"eu/issued"`, `"mem/l3/hits"`) and snapshots them all at once.
+//! * [`TelemetrySnapshot`] — the plain (non-atomic) point-in-time value
+//!   set: mergeable, comparable, and serializable to deterministic JSON.
+//!   Simulation results and bench reports carry these, never live cells.
+//! * [`Instrument`] — how typed statistics structs (`EuStats`, `MemStats`,
+//!   `CompactionTally`, …) publish their fields into a snapshot, making the
+//!   snapshot the single uniform store behind the typed accessors.
+//! * [`chrome`] — Chrome trace-event JSON: one track per execution pipe,
+//!   one slice per issue event, stall spans as async events, plus a
+//!   std-only schema checker built on the [`json`] parser.
+//!
+//! # Example
+//!
+//! ```
+//! use iwc_telemetry::{Registry, TelemetrySnapshot};
+//!
+//! let reg = Registry::new();
+//! reg.counter("eu/issued").add(3);
+//! reg.histogram("profile/channels").record(5);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("eu/issued"), Some(3));
+//! assert!(snap.to_json().contains("\"eu/issued\": 3"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use metrics::{Counter, Histogram, Pow2Hist, HIST_BUCKETS};
+pub use registry::{join, Instrument, Registry, TelemetrySnapshot};

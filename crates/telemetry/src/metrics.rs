@@ -1,0 +1,281 @@
+//! Atomic metric cells and their plain snapshot values.
+//!
+//! [`Counter`] and [`Histogram`] are the live, thread-safe accumulators the
+//! [`Registry`](crate::Registry) hands out; [`Pow2Hist`] is the plain value
+//! a histogram snapshots to (and the type instrumented structs embed when
+//! they accumulate single-threaded, e.g. the per-instruction divergence
+//! profiles of the simulator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two histogram buckets: bucket 0 holds exact zeros,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so 65 buckets cover the
+/// full `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index of a sample (see [`HIST_BUCKETS`]).
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+pub fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically increasing atomic counter.
+///
+/// All operations are relaxed: counters are statistics, not
+/// synchronization. One increment is a single atomic add, cheap enough to
+/// leave in hot paths and to share across the parallel harness workers.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe histogram with power-of-two buckets.
+///
+/// Recording is two relaxed atomic adds (bucket + sum); snapshots are
+/// *not* atomic across cells, which is fine for statistics gathered at
+/// quiescent points (end of a run / end of a sweep).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds a plain histogram's samples (relaxed per-bucket adds) — used
+    /// when a worker folds a per-run snapshot into a shared registry cell.
+    pub fn absorb(&self, h: &Pow2Hist) {
+        for (cell, &n) in self.buckets.iter().zip(h.buckets.iter()) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(h.sum, Ordering::Relaxed);
+    }
+
+    /// Point-in-time plain value.
+    pub fn snapshot(&self) -> Pow2Hist {
+        let mut h = Pow2Hist::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            h.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        h.count = h.buckets.iter().sum();
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+}
+
+/// A plain (non-atomic) power-of-two-bucket histogram value.
+///
+/// This is both the snapshot form of [`Histogram`] and the accumulator
+/// embedded in single-threaded statistics structs (per-instruction
+/// enabled-channel profiles, quad-occupancy profiles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pow2Hist {
+    /// Per-bucket sample counts (see [`HIST_BUCKETS`] for the layout).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for Pow2Hist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Pow2Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Adds another histogram's samples.
+    pub fn merge(&mut self, other: &Pow2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(lower_bound, count)` pairs, lowest first.
+    pub fn occupied(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), c))
+            .collect()
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of the samples fall
+    /// in buckets whose upper bound is ≤ the bound of `v`'s bucket — an
+    /// upper-bound quantile estimate, exact for single-valued buckets.
+    pub fn quantile_hi(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return bucket_hi(i);
+            }
+        }
+        bucket_hi(HIST_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(bucket_hi(i)), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_plain() {
+        let h = Histogram::new();
+        let mut p = Pow2Hist::new();
+        for v in [0u64, 1, 1, 3, 16, 255] {
+            h.record(v);
+            p.record(v);
+        }
+        assert_eq!(h.snapshot(), p);
+        assert_eq!(p.count, 6);
+        assert_eq!(p.sum, 276);
+    }
+
+    #[test]
+    fn merge_and_mean() {
+        let mut a = Pow2Hist::new();
+        a.record(2);
+        let mut b = Pow2Hist::new();
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.occupied(), vec![(2, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Pow2Hist::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.quantile_hi(0.5), 1);
+        assert_eq!(h.quantile_hi(0.99), 127);
+        assert_eq!(Pow2Hist::new().quantile_hi(0.5), 0);
+    }
+}

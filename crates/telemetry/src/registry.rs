@@ -1,0 +1,342 @@
+//! The hierarchical metric registry and its plain snapshot form.
+
+use crate::metrics::{Counter, Histogram, Pow2Hist};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Interns live metric cells by hierarchical, slash-separated name
+/// (`"eu/issued"`, `"mem/l3/hits"`, `"agg/stall/mem_latency"`).
+///
+/// Cells are shared: asking twice for the same name returns the same
+/// [`Counter`]/[`Histogram`], so independent workers (e.g. the parallel
+/// evaluation harness) accumulate into one process-wide cell with plain
+/// relaxed atomics. Lookup takes a mutex, so callers should hold on to the
+/// returned `Arc` rather than re-resolving names in hot loops.
+///
+/// The registry carries an `enabled` flag for call sites that want a single
+/// cheap gate around a block of instrumentation; the cells themselves are
+/// always safe to touch.
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty, enabled registry.
+    pub fn new() -> Self {
+        let r = Self::default();
+        r.enabled.store(true, Ordering::Relaxed);
+        r
+    }
+
+    /// True when instrumentation gated on this registry should run.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns gated instrumentation on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.hists.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Folds a snapshot into the live cells: counters add, histograms
+    /// merge. Addition commutes, so parallel workers can absorb their
+    /// per-run snapshots in any completion order and the final
+    /// [`snapshot`](Self::snapshot) is still deterministic.
+    pub fn absorb(&self, snap: &TelemetrySnapshot) {
+        for (name, v) in snap.counters() {
+            self.counter(name).add(v);
+        }
+        for (name, h) in snap.hists() {
+            self.histogram(name).absorb(h);
+        }
+    }
+
+    /// Point-in-time plain values of every registered cell.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
+            snap.set_counter(name, c.get());
+        }
+        for (name, h) in self.hists.lock().expect("registry poisoned").iter() {
+            snap.set_hist(name, h.snapshot());
+        }
+        snap
+    }
+}
+
+/// How a typed statistics struct publishes its fields into a snapshot.
+///
+/// Implementations turn the ad-hoc fields of `EuStats`, `MemStats`,
+/// `CompactionTally`, … into uniformly named counters/histograms under a
+/// caller-chosen prefix, making [`TelemetrySnapshot`] the single uniform
+/// store behind all the typed accessors.
+pub trait Instrument {
+    /// Writes this struct's metrics into `snap`, each name prefixed with
+    /// `prefix` (no trailing slash; pass `""` for top-level names).
+    fn publish(&self, prefix: &str, snap: &mut TelemetrySnapshot);
+}
+
+/// Joins a prefix and a metric name with `/`, eliding an empty prefix.
+/// Convenience for [`Instrument`] implementations.
+pub fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}/{name}")
+    }
+}
+
+/// A plain, mergeable, comparable point-in-time value set.
+///
+/// Snapshots are what results carry: `SimResult` embeds one per run, the
+/// bench harness embeds an aggregate one per report, and the trace analyzer
+/// produces one per corpus. Names are hierarchical (slash-separated) and
+/// iteration / JSON output is always name-sorted, so snapshot JSON is
+/// byte-deterministic for a given value set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Pow2Hist>,
+}
+
+impl TelemetrySnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets counter `name` to `v` (overwriting).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// Adds `v` to counter `name` (creating it at 0).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Stores histogram `name` (overwriting).
+    pub fn set_hist(&mut self, name: &str, h: Pow2Hist) {
+        self.hists.insert(name.to_string(), h);
+    }
+
+    /// Counter value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Histogram value, if present.
+    pub fn hist(&self, name: &str) -> Option<&Pow2Hist> {
+        self.hists.get(name)
+    }
+
+    /// Name-sorted counter iterator.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Name-sorted histogram iterator.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Pow2Hist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics (counters + histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.hists.len()
+    }
+
+    /// True when no metric is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Publishes `stats` under `prefix` (convenience for [`Instrument`]).
+    pub fn publish<I: Instrument + ?Sized>(&mut self, prefix: &str, stats: &I) {
+        stats.publish(prefix, self);
+    }
+
+    /// Field-wise sum with another snapshot: counters add, histograms
+    /// merge; metrics present on one side only are kept as-is.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Deterministic JSON rendering (names sorted, fixed field order):
+    ///
+    /// ```json
+    /// {
+    ///   "counters": { "eu/issued": 42 },
+    ///   "histograms": {
+    ///     "profile/channels": { "count": 2, "sum": 17, "buckets": [[16, 2]] }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// `buckets` lists `[lower_bound, count]` pairs for occupied
+    /// power-of-two buckets only.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("    \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str(&format!("      \"{}\": {v}", crate::json::escape(name)));
+        }
+        out.push_str(if first { "},\n" } else { "\n    },\n" });
+        out.push_str("    \"histograms\": {");
+        first = true;
+        for (name, h) in &self.hists {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let buckets: Vec<String> = h
+                .occupied()
+                .iter()
+                .map(|(lo, c)| format!("[{lo}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "      \"{}\": {{ \"count\": {}, \"sum\": {}, \"buckets\": [{}] }}",
+                crate::json::escape(name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if first { "}\n" } else { "\n    }\n" });
+        out.push_str("  }");
+        out
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<40} {v}")?;
+        }
+        for (name, h) in &self.hists {
+            writeln!(
+                f,
+                "{name:<40} n={} mean={:.2} p99<={}",
+                h.count,
+                h.mean(),
+                h.quantile_hi(0.99)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_interns_cells() {
+        let r = Registry::new();
+        let a = r.counter("x/y");
+        let b = r.counter("x/y");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.snapshot().counter("x/y"), Some(3));
+        assert!(r.enabled());
+        r.set_enabled(false);
+        assert!(!r.enabled());
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let mut a = TelemetrySnapshot::new();
+        a.set_counter("c", 2);
+        let mut ha = Pow2Hist::new();
+        ha.record(3);
+        a.set_hist("h", ha);
+        let mut b = TelemetrySnapshot::new();
+        b.set_counter("c", 5);
+        let mut hb = Pow2Hist::new();
+        hb.record(9);
+        b.set_hist("h", hb);
+
+        let r1 = Registry::new();
+        r1.absorb(&a);
+        r1.absorb(&b);
+        let r2 = Registry::new();
+        r2.absorb(&b);
+        r2.absorb(&a);
+        assert_eq!(r1.snapshot(), r2.snapshot());
+        assert_eq!(r1.snapshot().counter("c"), Some(7));
+        assert_eq!(r1.snapshot().hist("h").unwrap().count, 2);
+        assert_eq!(r1.snapshot().hist("h").unwrap().sum, 12);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let mut a = TelemetrySnapshot::new();
+        a.set_counter("c", 1);
+        let mut h = Pow2Hist::new();
+        h.record(4);
+        a.set_hist("h", h);
+        let mut b = a.clone();
+        b.add_counter("c", 9);
+        b.add_counter("only_b", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(11));
+        assert_eq!(a.counter("only_b"), Some(5));
+        assert_eq!(a.hist("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parses() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").add(1);
+        r.histogram("h").record(3);
+        let snap = r.snapshot();
+        let j1 = snap.to_json();
+        let j2 = snap.to_json();
+        assert_eq!(j1, j2);
+        // Names come out sorted, and the result is valid JSON.
+        assert!(j1.find("\"a\"").unwrap() < j1.find("\"b\"").unwrap());
+        crate::json::parse(&j1).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn empty_snapshot_json_parses() {
+        let snap = TelemetrySnapshot::new();
+        assert!(snap.is_empty());
+        crate::json::parse(&snap.to_json()).expect("empty snapshot JSON parses");
+    }
+
+    #[test]
+    fn join_elides_empty_prefix() {
+        assert_eq!(join("", "x"), "x");
+        assert_eq!(join("eu", "x"), "eu/x");
+    }
+}

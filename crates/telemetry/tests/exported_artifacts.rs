@@ -1,0 +1,110 @@
+//! Std-only validation of the JSON artifacts the repo exports: checked-in
+//! `results/bench_*.json` perf reports (schema 2, embedded telemetry
+//! snapshot) and any `trace_*.json` Chrome trace-event exports. CI points
+//! `IWC_RESULTS_DIR` at a directory freshly produced by `iwc profile` /
+//! `iwc trace-export` and re-runs this test against it, so the schema
+//! checkers — not an external tool — are the contract for every file the
+//! repo publishes.
+
+use std::path::{Path, PathBuf};
+
+/// `IWC_RESULTS_DIR` (resolved against the workspace root when relative),
+/// falling back to the checked-in `results/` directory.
+fn results_dir() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    match std::env::var_os("IWC_RESULTS_DIR") {
+        Some(d) => {
+            let p = PathBuf::from(d);
+            if p.is_absolute() {
+                p
+            } else {
+                root.join(p)
+            }
+        }
+        None => root.join("results"),
+    }
+}
+
+fn files_with_prefix(dir: &Path, prefix: &str) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix))
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn exported_artifacts_pass_the_schema_checkers() {
+    let dir = results_dir();
+    assert!(dir.is_dir(), "no results directory at {}", dir.display());
+
+    let reports = files_with_prefix(&dir, "bench_");
+    let traces = files_with_prefix(&dir, "trace_");
+    assert!(
+        !reports.is_empty() || !traces.is_empty(),
+        "nothing to validate in {}",
+        dir.display()
+    );
+
+    for path in &reports {
+        let text = std::fs::read_to_string(path).expect("readable report");
+        let ctx = path.display();
+        let doc = iwc_telemetry::json::parse(&text)
+            .unwrap_or_else(|e| panic!("{ctx}: not valid JSON: {e}"));
+        assert!(doc.get("name").is_some(), "{ctx}: missing \"name\"");
+        assert!(doc.get("runs").is_some(), "{ctx}: missing \"runs\"");
+        // Schema 2 embeds the telemetry snapshot; older reports may still
+        // be schema 1 (no marker), which stays readable.
+        if let Some(schema) = doc
+            .get("schema")
+            .and_then(iwc_telemetry::json::Json::as_num)
+        {
+            assert_eq!(schema, 2.0, "{ctx}: unknown schema version");
+            let telemetry = doc
+                .get("telemetry")
+                .unwrap_or_else(|| panic!("{ctx}: schema 2 without \"telemetry\""));
+            // Simulation sweeps publish the `sim/…`+`eu/…` tree, trace-only
+            // sweeps the `corpus/…` tree — either way the snapshot must
+            // carry counters, not an empty stub.
+            let has_counters = ["sim/cycles", "corpus/instructions"].iter().any(|k| {
+                telemetry
+                    .get("counters")
+                    .is_some_and(|c| c.get(k).is_some())
+            });
+            assert!(
+                has_counters,
+                "{ctx}: telemetry snapshot carries no counters"
+            );
+        }
+    }
+
+    for path in &traces {
+        let text = std::fs::read_to_string(path).expect("readable trace");
+        let stats = iwc_telemetry::chrome::validate(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid Chrome trace: {e}", path.display()));
+        assert!(
+            stats.slices > 0,
+            "{}: a trace export must contain issue slices",
+            path.display()
+        );
+    }
+
+    eprintln!(
+        "validated {} bench report(s) and {} trace export(s) in {}",
+        reports.len(),
+        traces.len(),
+        dir.display()
+    );
+}

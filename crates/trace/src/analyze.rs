@@ -156,6 +156,22 @@ pub fn analyze_corpus_engines(
     })
 }
 
+/// Aggregate telemetry snapshot of a corpus analysis: every report's
+/// compaction tally merged and published under `corpus/…` — the trace-side
+/// counterpart of the snapshot every simulator result carries (DESIGN.md
+/// §7.1). Merging tallies commutes, so the snapshot is identical whatever
+/// thread count produced the reports.
+pub fn corpus_snapshot(reports: &[TraceReport]) -> iwc_telemetry::TelemetrySnapshot {
+    let mut total = CompactionTally::new();
+    for r in reports {
+        total.merge(&r.tally);
+    }
+    let mut snap = iwc_telemetry::TelemetrySnapshot::new();
+    snap.set_counter("corpus/traces", reports.len() as u64);
+    snap.publish("corpus", &total);
+    snap
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +207,16 @@ mod tests {
         let r = analyze(&Trace::new("empty"));
         assert!(r.is_coherent());
         assert_eq!(r.reduction(CompactionMode::Scc), 0.0);
+    }
+
+    #[test]
+    fn corpus_snapshot_sums_the_tallies() {
+        let profiles = crate::synth::corpus();
+        let reports = analyze_corpus(&profiles, 200, 1);
+        let snap = corpus_snapshot(&reports);
+        assert_eq!(snap.counter("corpus/traces"), Some(reports.len() as u64));
+        let total: u64 = reports.iter().map(|r| r.tally.instructions).sum();
+        assert_eq!(snap.counter("corpus/instructions"), Some(total));
     }
 
     #[test]

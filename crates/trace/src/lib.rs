@@ -32,7 +32,8 @@ pub mod format;
 pub mod synth;
 
 pub use analyze::{
-    analyze, analyze_corpus, analyze_corpus_engines, analyze_engines, EngineReport, TraceReport,
+    analyze, analyze_corpus, analyze_corpus_engines, analyze_engines, corpus_snapshot,
+    EngineReport, TraceReport,
 };
 pub use format::{Trace, TraceIoError, TraceRecord};
 pub use synth::{corpus, MaskStyle, Profile};
