@@ -25,6 +25,7 @@ mod memprobe;
 mod profile;
 mod rf_area;
 mod run_kernel;
+mod simbench;
 mod stall_profile;
 mod table2;
 mod table4;
@@ -189,6 +190,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         about: "Swizzle-network reach: distance-limited SCC crossbars (§4.3)",
         harness: Some("ablation_swizzle"),
         run: ablation_swizzle::run,
+    },
+    Experiment {
+        name: "simbench",
+        about: "Decoded vs reference interpreter throughput (BENCH_sim.json)",
+        harness: None,
+        run: simbench::run,
     },
     Experiment {
         name: "run_kernel",

@@ -1,0 +1,148 @@
+//! Simulator-throughput baseline: replays the workload corpus under the
+//! decoded micro-op backend and the reference interpreter, checks they
+//! retire identical cycle counts, and records both throughputs (plus the
+//! speedup ratio) in `results/BENCH_sim.json`.
+//!
+//! Stdout carries only the deterministic part — per-workload simulated
+//! cycles and the agreement verdict — so the output stays byte-identical
+//! across machines and thread counts. Wall-clock numbers go to stderr and
+//! the JSON report, like every other harness bookkeeping channel.
+
+use super::Outcome;
+use crate::runner::{parallel_map, results_dir, threads};
+use crate::scale;
+use iwc_compaction::EngineId;
+use iwc_sim::{ExecBackend, GpuConfig, SimResult};
+use iwc_workloads::{catalog, Built};
+use std::time::Instant;
+
+/// One backend's corpus replay: total simulated cycles (summed over every
+/// workload × engine cell) and the wall time the sweep took.
+struct Replay {
+    /// Per-workload simulated cycles, summed over the canonical engines.
+    cycles_by_workload: Vec<u64>,
+    total_cycles: u64,
+    wall_ms: f64,
+}
+
+fn replay(built: &[Built], exec: ExecBackend) -> Replay {
+    let start = Instant::now();
+    let cycles_by_workload = parallel_map(built, |b| {
+        EngineId::CANONICAL
+            .iter()
+            .map(|&engine| {
+                let cfg = GpuConfig::paper_default()
+                    .with_compaction(engine)
+                    .with_exec(exec);
+                let (r, _img): (SimResult, _) = b
+                    .run(&cfg)
+                    .unwrap_or_else(|e| panic!("{} under {engine}: {e}", b.name));
+                r.cycles
+            })
+            .sum::<u64>()
+    });
+    let total_cycles = cycles_by_workload.iter().sum();
+    Replay {
+        cycles_by_workload,
+        total_cycles,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn throughput(r: &Replay) -> f64 {
+    if r.wall_ms > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        let t = r.total_cycles as f64 / (r.wall_ms / 1e3);
+        t
+    } else {
+        0.0
+    }
+}
+
+fn render_json(decoded: &Replay, reference: &Replay, workloads: usize) -> String {
+    let speedup = if decoded.wall_ms > 0.0 {
+        reference.wall_ms / decoded.wall_ms
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"name\": \"sim\",\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"threads\": {},\n", threads()));
+    out.push_str(&format!(
+        "  \"corpus\": {{ \"workloads\": {workloads}, \"engines\": {}, \
+         \"simulated_cycles\": {} }},\n",
+        EngineId::CANONICAL.len(),
+        decoded.total_cycles
+    ));
+    out.push_str("  \"backends\": [\n");
+    for (i, (name, r)) in [("decoded", decoded), ("reference", reference)]
+        .iter()
+        .enumerate()
+    {
+        let comma = if i == 0 { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"exec\": \"{name}\", \"wall_ms\": {:.2}, \
+             \"throughput_cycles_per_s\": {:.0} }}{comma}\n",
+            r.wall_ms,
+            throughput(r)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_decoded_vs_reference\": {speedup:.2}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+pub(crate) fn run(_args: &[String]) -> Outcome {
+    println!("== Simulator throughput: decoded micro-op plans vs reference interpreter ==\n");
+    let entries = catalog();
+    let built: Vec<Built> = entries.iter().map(|e| (e.build)(scale())).collect();
+
+    let decoded = replay(&built, ExecBackend::Decoded);
+    let reference = replay(&built, ExecBackend::Reference);
+
+    let mut agree = true;
+    for (i, e) in entries.iter().enumerate() {
+        let (d, r) = (
+            decoded.cycles_by_workload[i],
+            reference.cycles_by_workload[i],
+        );
+        let mark = if d == r { "ok" } else { "MISMATCH" };
+        agree &= d == r;
+        println!("{:<22} {d:>12} cycles  [{mark}]", e.name);
+    }
+    println!(
+        "\n{} workloads x {} engines: backends {}",
+        entries.len(),
+        EngineId::CANONICAL.len(),
+        if agree { "agree" } else { "DISAGREE" }
+    );
+
+    let json = render_json(&decoded, &reference, entries.len());
+    let path = results_dir().join("BENCH_sim.json");
+    if let Err(e) =
+        std::fs::create_dir_all(results_dir()).and_then(|()| std::fs::write(&path, &json))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    eprintln!(
+        "[simbench] decoded {:.1} ms ({:.2e} cyc/s) vs reference {:.1} ms ({:.2e} cyc/s): \
+         {:.2}x -> {}",
+        decoded.wall_ms,
+        throughput(&decoded),
+        reference.wall_ms,
+        throughput(&reference),
+        reference.wall_ms / decoded.wall_ms.max(1e-9),
+        path.display()
+    );
+
+    if agree {
+        Outcome::cells(entries.len() * EngineId::CANONICAL.len() * 2)
+    } else {
+        Outcome::fail()
+    }
+}

@@ -140,7 +140,9 @@ impl Harness {
         runs.retain(|r| r.threads != record.threads);
         runs.push(record);
         runs.sort_by_key(|r| r.threads);
-        let json = render_report(&self.name, &runs, &crate::telemetry().snapshot());
+        let mut snapshot = crate::telemetry().snapshot();
+        publish_throughput(&mut snapshot, wall_ms);
+        let json = render_report(&self.name, &runs, &snapshot);
         if let Err(e) = fs::create_dir_all(results_dir()).and_then(|()| fs::write(&path, json)) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
@@ -152,6 +154,20 @@ impl Harness {
             wall_ms,
             path.display()
         );
+    }
+}
+
+/// Derives the `sim/throughput` gauge — simulated cycles retired per
+/// wall-clock second across the whole sweep — from the `sim/cycles`
+/// counter the simulator publishes. The single headline number for "is
+/// the interpreter getting faster", tracked across commits by the
+/// checked-in `bench_<name>.json` reports.
+fn publish_throughput(snapshot: &mut TelemetrySnapshot, wall_ms: f64) {
+    if let Some(cycles) = snapshot.counter("sim/cycles") {
+        if wall_ms > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            snapshot.set_gauge("sim/throughput", cycles as f64 / (wall_ms / 1e3));
+        }
     }
 }
 
@@ -293,6 +309,21 @@ mod tests {
         assert!(text.contains("\"speedup_vs_1_thread\": 4.00"), "{text}");
         let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
         assert_eq!(parsed, runs);
+    }
+
+    #[test]
+    fn throughput_gauge_derived_from_cycles_counter() {
+        let mut snap = TelemetrySnapshot::new();
+        publish_throughput(&mut snap, 50.0);
+        assert_eq!(snap.gauge("sim/throughput"), None, "no cycles, no gauge");
+
+        snap.set_counter("sim/cycles", 250_000);
+        publish_throughput(&mut snap, 0.0);
+        assert_eq!(snap.gauge("sim/throughput"), None, "zero wall time");
+
+        publish_throughput(&mut snap, 50.0);
+        // 250k cycles in 50 ms = 5M cycles/s.
+        assert_eq!(snap.gauge("sim/throughput"), Some(5.0e6));
     }
 
     #[test]

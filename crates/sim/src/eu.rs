@@ -12,8 +12,10 @@ use crate::config::GpuConfig;
 use crate::exec::{exec_mask_of, execute_instruction, Effect, ThreadCtx};
 use crate::memimg::MemoryImage;
 use crate::memsys::MemSystem;
+use crate::plan::{execute_plan, DecodedProgram, LaneScratch, MicroPlan, PlanEffect};
 use iwc_compaction::{CompactionEngine, CompactionTally};
 use iwc_isa::insn::{MemSpace, Opcode, Pipe};
+use iwc_isa::mask::ExecMask;
 use iwc_isa::program::Program;
 use iwc_isa::reg::GRF_BYTES;
 use iwc_telemetry::Instrument;
@@ -75,6 +77,9 @@ pub struct HwThread {
     pub wg: usize,
     /// Thread index within the workgroup.
     pub wg_thread: u32,
+    /// Index of the workgroup's SLM image, resolved at placement time so
+    /// the arbiter never does a per-thread map lookup.
+    pub slm_slot: usize,
     /// The thread may not issue before this time (fence, barrier release).
     pub stalled_until: u64,
     /// What set `stalled_until` (fence vs. instruction fetch), so the stall
@@ -94,12 +99,14 @@ pub struct HwThread {
 }
 
 impl HwThread {
-    /// Creates a resident thread from its architectural context.
-    pub fn new(ctx: ThreadCtx, wg: usize, wg_thread: u32) -> Self {
+    /// Creates a resident thread from its architectural context. `slm_slot`
+    /// indexes the workgroup's SLM image in the launch's image table.
+    pub fn new(ctx: ThreadCtx, wg: usize, wg_thread: u32, slm_slot: usize) -> Self {
         Self {
             ctx,
             wg,
             wg_thread,
+            slm_slot,
             stalled_until: 0,
             stalled_src: StallSrc::FrontEnd,
             at_barrier: false,
@@ -165,6 +172,49 @@ impl HwThread {
             }
         }
         (at, from_mem)
+    }
+
+    /// [`deps_ready_at`](Self::deps_ready_at) over a decoded plan's
+    /// precomputed register ranges — no operand re-derivation, no
+    /// allocation.
+    fn deps_ready_at_plan(&self, plan: &MicroPlan) -> (u64, bool) {
+        let mut at = 0u64;
+        let mut from_mem = false;
+        let (reads, pred_flag, cond_flag) = plan.scoreboard();
+        for &(lo, hi) in reads {
+            for r in lo..=hi {
+                let busy = self.reg_busy[usize::from(r)];
+                let mem = self.reg_from_mem >> r & 1 == 1;
+                if busy > at {
+                    at = busy;
+                    from_mem = mem;
+                } else if busy == at {
+                    from_mem |= mem && busy > 0;
+                }
+            }
+        }
+        for f in [pred_flag, cond_flag].into_iter().flatten() {
+            let busy = self.flag_busy[usize::from(f)];
+            if busy > at {
+                at = busy;
+                from_mem = false;
+            }
+        }
+        (at, from_mem)
+    }
+
+    /// [`mark_regs`](Self::mark_regs) over a precomputed register range.
+    fn mark_range(&mut self, range: Option<(u8, u8)>, until: u64, from_mem: bool) {
+        if let Some((lo, hi)) = range {
+            for r in lo..=hi {
+                self.reg_busy[usize::from(r)] = self.reg_busy[usize::from(r)].max(until);
+                if from_mem {
+                    self.reg_from_mem |= 1u128 << r;
+                } else {
+                    self.reg_from_mem &= !(1u128 << r);
+                }
+            }
+        }
     }
 }
 
@@ -488,8 +538,81 @@ pub struct Eu {
     /// capacity `cfg.icache_insns`).
     icache: std::collections::VecDeque<usize>,
     icache_set: std::collections::HashSet<usize>,
+    /// Reusable lane-address/line scratch for the decoded send path.
+    scratch: LaneScratch,
     /// Statistics.
     pub stats: EuStats,
+}
+
+/// Instruction-fetch check: returns the extra stall (cycles) before the
+/// instruction at `pc` can issue, filling the FIFO I$ on a miss. A free
+/// function over the EU's I$ fields so both issue paths can call it while
+/// a thread slot is borrowed.
+fn ifetch_check(
+    icache: &mut std::collections::VecDeque<usize>,
+    icache_set: &mut std::collections::HashSet<usize>,
+    misses: &mut u64,
+    pc: usize,
+    cfg: &GpuConfig,
+) -> u64 {
+    if cfg.icache_miss_latency == 0 || cfg.icache_insns == 0 {
+        return 0;
+    }
+    if icache_set.contains(&pc) {
+        return 0;
+    }
+    *misses += 1;
+    if icache.len() as u32 >= cfg.icache_insns {
+        if let Some(old) = icache.pop_front() {
+            icache_set.remove(&old);
+        }
+    }
+    icache.push_back(pc);
+    icache_set.insert(pc);
+    u64::from(cfg.icache_miss_latency)
+}
+
+/// The cold half of issue bookkeeping: per-instruction profiling, the
+/// issue log, and mask capture. Outlined (and never inlined) so the
+/// default configuration's hot path carries a single predictable
+/// `recording` branch and zero recording code.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn record_issue_event(
+    stats: &mut EuStats,
+    cfg: &GpuConfig,
+    engine: &dyn CompactionEngine,
+    eu: u32,
+    thread: u8,
+    now: u64,
+    pc: usize,
+    mask: ExecMask,
+    plan: &MicroPlan,
+    effect: PlanEffect,
+) {
+    if cfg.profile_insns {
+        let compute = matches!(effect, PlanEffect::Compute(_));
+        stats.insn_profile.record(pc, mask, plan.dtype(), compute);
+    }
+    if cfg.record_issue_log {
+        let pipe = plan.pipe();
+        let waves = if pipe == Pipe::Fpu || pipe == Pipe::Em {
+            engine.cycles(mask, plan.dtype())
+        } else {
+            0
+        };
+        stats.issue_log.push(IssueEvent {
+            cycle: now,
+            eu,
+            thread,
+            pipe,
+            waves,
+        });
+    }
+    if cfg.capture_masks && matches!(effect, PlanEffect::Compute(_) | PlanEffect::Memory { .. }) {
+        stats.mask_trace.push((mask.bits(), mask.width() as u8));
+    }
 }
 
 impl Eu {
@@ -503,28 +626,9 @@ impl Eu {
             arb_ptr: 0,
             icache: std::collections::VecDeque::new(),
             icache_set: std::collections::HashSet::new(),
+            scratch: LaneScratch::new(),
             stats: EuStats::default(),
         }
-    }
-
-    /// Instruction-fetch check: returns the extra stall (cycles) before the
-    /// instruction at `pc` can issue, filling the FIFO I$ on a miss.
-    fn ifetch(&mut self, pc: usize, cfg: &GpuConfig) -> u64 {
-        if cfg.icache_miss_latency == 0 || cfg.icache_insns == 0 {
-            return 0;
-        }
-        if self.icache_set.contains(&pc) {
-            return 0;
-        }
-        self.stats.icache_misses += 1;
-        if self.icache.len() as u32 >= cfg.icache_insns {
-            if let Some(old) = self.icache.pop_front() {
-                self.icache_set.remove(&old);
-            }
-        }
-        self.icache.push_back(pc);
-        self.icache_set.insert(pc);
-        u64::from(cfg.icache_miss_latency)
     }
 
     /// Number of free thread slots.
@@ -613,7 +717,13 @@ impl Eu {
             return IssueOutcome::NotReadyUntil(ready, StallReason::Scoreboard, cause);
         }
         // Instruction fetch: a cold I$ line stalls the thread once.
-        let fetch_stall = self.ifetch(pc, cfg);
+        let fetch_stall = ifetch_check(
+            &mut self.icache,
+            &mut self.icache_set,
+            &mut self.stats.icache_misses,
+            pc,
+            cfg,
+        );
         if fetch_stall > 0 {
             let t = self.slots[i].as_mut().expect("thread present");
             t.stalled_until = now + fetch_stall;
@@ -761,6 +871,188 @@ impl Eu {
         IssueOutcome::Issued
     }
 
+    /// [`try_issue`](Self::try_issue) over decoded plans: identical timing
+    /// decisions in the same order, but every per-issue lookup (operand
+    /// ranges, pipe, classification) comes precomputed from the
+    /// [`MicroPlan`], lane execution runs on raw GRF bytes, and send
+    /// bookkeeping reuses the EU's [`LaneScratch`] instead of allocating.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue_plan(
+        &mut self,
+        i: usize,
+        now: u64,
+        cfg: &GpuConfig,
+        engine: &dyn CompactionEngine,
+        plans: &DecodedProgram,
+        mem: &mut MemSystem,
+        img: &mut MemoryImage,
+        slm: &mut MemoryImage,
+        barrier_arrivals: &mut Vec<usize>,
+        recording: bool,
+    ) -> IssueOutcome {
+        let Self {
+            id,
+            slots,
+            fpu_free,
+            em_free,
+            icache,
+            icache_set,
+            scratch,
+            stats,
+            ..
+        } = self;
+        let eu_id = *id;
+        let Some(t) = slots[i].as_mut() else {
+            return IssueOutcome::Barrier; // empty slot: nothing to do, no bound
+        };
+        if t.at_barrier {
+            return IssueOutcome::Barrier;
+        }
+        if t.stalled_until > now {
+            let cause = match t.stalled_src {
+                StallSrc::FrontEnd => StallCause::FrontEnd,
+                StallSrc::Mem => StallCause::MemLatency,
+            };
+            return IssueOutcome::NotReadyUntil(t.stalled_until, StallReason::Stalled, cause);
+        }
+
+        // Skip zero-mask ALU/send instructions for free (jump-over).
+        let mut guard = 0usize;
+        let (plan, mask) = loop {
+            let plan = plans.plan(t.ctx.pc);
+            let mask = plan.exec_mask(&t.ctx);
+            if plan.is_data() && mask.is_empty() {
+                let skip_pc = t.ctx.pc;
+                t.ctx.pc += 1;
+                stats.skipped_zero_mask += 1;
+                if recording && cfg.profile_insns {
+                    stats.insn_profile.record_skip(skip_pc);
+                }
+                guard += 1;
+                assert!(guard <= plans.len() * 2, "runaway zero-mask skipping");
+                continue;
+            }
+            break (plan, mask);
+        };
+
+        let pc = t.ctx.pc;
+
+        // Scoreboard.
+        let (ready, dep_from_mem) = t.deps_ready_at_plan(plan);
+        if ready > now {
+            let cause = if dep_from_mem {
+                StallCause::MemLatency
+            } else {
+                StallCause::ScoreboardDep
+            };
+            return IssueOutcome::NotReadyUntil(ready, StallReason::Scoreboard, cause);
+        }
+        // Instruction fetch: a cold I$ line stalls the thread once.
+        let fetch_stall = ifetch_check(icache, icache_set, &mut stats.icache_misses, pc, cfg);
+        if fetch_stall > 0 {
+            t.stalled_until = now + fetch_stall;
+            t.stalled_src = StallSrc::FrontEnd;
+            return IssueOutcome::NotReadyUntil(
+                now + fetch_stall,
+                StallReason::Ifetch,
+                StallCause::FrontEnd,
+            );
+        }
+        // Pipe availability for computation.
+        match plan.pipe() {
+            Pipe::Fpu if *fpu_free > now => {
+                return IssueOutcome::NotReadyUntil(
+                    *fpu_free,
+                    StallReason::PipeBusy,
+                    StallCause::PipeBusy,
+                )
+            }
+            Pipe::Em if *em_free > now => {
+                return IssueOutcome::NotReadyUntil(
+                    *em_free,
+                    StallReason::PipeBusy,
+                    StallCause::PipeBusy,
+                )
+            }
+            _ => {}
+        }
+        // EOT drains outstanding memory.
+        if plan.is_eot() && t.last_mem_done > now {
+            return IssueOutcome::NotReadyUntil(
+                t.last_mem_done,
+                StallReason::MemDrain,
+                StallCause::MemLatency,
+            );
+        }
+
+        let effect = execute_plan(&mut t.ctx, plan, mask, img, slm, scratch);
+        stats.issued += 1;
+        if recording {
+            record_issue_event(
+                stats, cfg, engine, eu_id, i as u8, now, pc, mask, plan, effect,
+            );
+        }
+
+        match effect {
+            PlanEffect::Compute(pipe) => {
+                let mut waves = u64::from(engine.cycles(mask, plan.dtype()));
+                if cfg.rf_timing == crate::config::RfTiming::MultiCycle {
+                    // A single-ported file serializes one register-half
+                    // access per operand ahead of execution (§4.3 option 1).
+                    waves += plan.n_grf_operands();
+                }
+                let (pipe_free, depth) = match pipe {
+                    Pipe::Fpu => (&mut *fpu_free, cfg.fpu_latency),
+                    Pipe::Em => (&mut *em_free, cfg.em_latency),
+                    _ => unreachable!("compute on non-ALU pipe"),
+                };
+                *pipe_free = now + waves;
+                let writeback = now + waves + u64::from(depth);
+                t.mark_range(plan.dst_range(), writeback, false);
+                if let Some(f) = plan.cond_flag() {
+                    t.flag_busy[usize::from(f)] = writeback;
+                }
+                match pipe {
+                    Pipe::Fpu => stats.fpu_waves += waves,
+                    Pipe::Em => stats.em_waves += waves,
+                    _ => {}
+                }
+                stats.compute_tally.add(mask, plan.dtype());
+                stats.simd_tally.add(mask, plan.dtype());
+            }
+            PlanEffect::Memory { space, is_store } => {
+                stats.sends += 1;
+                stats.simd_tally.add(mask, plan.dtype());
+                let done = match space {
+                    MemSpace::Global => {
+                        let addrs = &scratch.addrs[..usize::from(scratch.len)];
+                        mem.coalesce_into(addrs, &mut scratch.lines);
+                        mem.global_access(now, &scratch.lines, is_store)
+                    }
+                    MemSpace::Slm => mem.slm_access(now, scratch.addrs()),
+                };
+                t.last_mem_done = t.last_mem_done.max(done);
+                if !is_store {
+                    t.mark_range(plan.dst_range(), done, true);
+                }
+            }
+            PlanEffect::Fence => {
+                t.stalled_until = t.last_mem_done;
+                t.stalled_src = StallSrc::Mem;
+            }
+            PlanEffect::Barrier => {
+                t.at_barrier = true;
+                barrier_arrivals.push(t.wg);
+            }
+            PlanEffect::Eot => {
+                slots[i] = None;
+                return IssueOutcome::Finished;
+            }
+            PlanEffect::ControlFlow => {}
+        }
+        IssueOutcome::Issued
+    }
+
     /// One arbitration pass (invoked every cycle): issues up to
     /// `cfg.issue_per_cycle` instructions from distinct ready threads,
     /// rotating priority. The default of 1 is the paper's "two instructions
@@ -770,6 +1062,10 @@ impl Eu {
     /// threads, the earliest future time at which some blocked thread
     /// becomes ready (`None` when all blocked threads wait on barriers),
     /// and — when nothing issued — the root [`StallCause`] blocking the EU.
+    ///
+    /// When `plans` is provided (the decoded backend), issue runs through
+    /// [`MicroPlan`]s; otherwise the reference interpreter re-inspects
+    /// `program` per issue. Both paths make identical timing decisions.
     #[allow(clippy::too_many_arguments)]
     pub fn arbitrate(
         &mut self,
@@ -777,10 +1073,10 @@ impl Eu {
         cfg: &GpuConfig,
         engine: &dyn CompactionEngine,
         program: &Program,
+        plans: Option<&DecodedProgram>,
         mem: &mut MemSystem,
         img: &mut MemoryImage,
         slms: &mut [MemoryImage],
-        slm_index: &std::collections::HashMap<usize, usize>,
         barrier_arrivals: &mut Vec<usize>,
     ) -> ArbResult {
         let n = self.slots.len();
@@ -792,6 +1088,7 @@ impl Eu {
         // thread sat at a barrier, for root-cause attribution.
         let mut soonest: Option<(u64, StallCause)> = None;
         let mut saw_barrier = false;
+        let recording = cfg.profile_insns || cfg.record_issue_log || cfg.capture_masks;
         let start = self.arb_ptr;
         for k in 0..n {
             if issued >= cfg.issue_per_cycle {
@@ -802,19 +1099,33 @@ impl Eu {
                 continue;
             };
             let wg = t.wg;
-            let slm_idx = *slm_index.get(&wg).expect("resident wg has an SLM slot");
-            let slm = &mut slms[slm_idx];
-            match self.try_issue(
-                i,
-                now,
-                cfg,
-                engine,
-                program,
-                mem,
-                img,
-                slm,
-                barrier_arrivals,
-            ) {
+            let slm = &mut slms[t.slm_slot];
+            let outcome = match plans {
+                Some(p) => self.try_issue_plan(
+                    i,
+                    now,
+                    cfg,
+                    engine,
+                    p,
+                    mem,
+                    img,
+                    slm,
+                    barrier_arrivals,
+                    recording,
+                ),
+                None => self.try_issue(
+                    i,
+                    now,
+                    cfg,
+                    engine,
+                    program,
+                    mem,
+                    img,
+                    slm,
+                    barrier_arrivals,
+                ),
+            };
+            match outcome {
                 IssueOutcome::Issued => {
                     issued += 1;
                     self.arb_ptr = (i + 1) % n;

@@ -1,10 +1,11 @@
 //! Multi-EU GPU: workgroup dispatch, barriers, and the simulation loop.
 
-use crate::config::GpuConfig;
+use crate::config::{ExecBackend, GpuConfig};
 use crate::eu::{Eu, EuStats, HwThread, StallCause};
 use crate::exec::ThreadCtx;
 use crate::memimg::MemoryImage;
 use crate::memsys::{MemStats, MemSystem};
+use crate::plan::DecodedProgram;
 use iwc_compaction::{CompactionMode, CompactionTally, EngineId};
 use iwc_isa::mask::ExecMask;
 use iwc_isa::program::Program;
@@ -12,7 +13,6 @@ use iwc_isa::reg::Operand;
 use iwc_isa::types::Scalar;
 use iwc_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A kernel launch (the NDRange of OpenCL, flattened to one dimension).
@@ -235,13 +235,23 @@ impl Gpu {
         img: &MemoryImage,
         modes: &[M],
     ) -> Result<Vec<SimResult>, SimulateError> {
+        // One scratch image serves every mode: `clone_from` resets it in
+        // place between runs, so an N-mode sweep costs one allocation
+        // instead of N image clones.
+        let mut scratch: Option<MemoryImage> = None;
         modes
             .iter()
             .map(|&mode| {
                 let mut cfg = *cfg;
                 cfg.compaction = mode.into();
-                let mut img = img.clone();
-                simulate(&cfg, launch, &mut img)
+                let run_img = match scratch.as_mut() {
+                    Some(s) => {
+                        s.clone_from(img);
+                        s
+                    }
+                    None => scratch.insert(img.clone()),
+                };
+                simulate(&cfg, launch, run_img)
             })
             .collect()
     }
@@ -284,18 +294,29 @@ fn run_launch(
     // Resolve the compaction engine once per launch; the per-cycle issue
     // path sees only the trait object, never the registry.
     let engine = cfg.compaction.engine();
+    // Resolve the execution backend once per launch and pre-decode the
+    // program into micro-op plans for the fast interpreter.
+    let decoded = match cfg.exec.resolve() {
+        ExecBackend::Reference => None,
+        _ => Some(DecodedProgram::decode(&launch.program)),
+    };
 
     let mut eus: Vec<Eu> = (0..cfg.eus)
         .map(|i| Eu::new(i, cfg.threads_per_eu))
         .collect();
     let mem_before = mem.stats;
     let start = *clock;
-    let mut slms: Vec<MemoryImage> = Vec::new(); // one per *resident* slot, indexed by wg
-    let mut slm_index: HashMap<usize, usize> = HashMap::new();
-    let mut wg_state: HashMap<usize, WgState> = HashMap::new();
+    let mut slms: Vec<MemoryImage> = Vec::new(); // one per workgroup, indexed by slm_slot
+                                                 // Dense per-workgroup barrier/retirement state (wg ids are assigned
+                                                 // sequentially at dispatch, so a Vec replaces the old HashMap).
+    let mut wg_state: Vec<WgState> = (0..num_wgs).map(|_| WgState::default()).collect();
     let mut next_wg = 0usize;
     let mut now = start;
     let mut per_eu: Vec<(bool, Option<StallCause>)> = Vec::with_capacity(eus.len());
+    let mut arrivals: Vec<usize> = Vec::new();
+    // Workgroups whose barrier/retirement state changed this cycle — the
+    // only candidates for a barrier release.
+    let mut barrier_candidates: Vec<usize> = Vec::new();
 
     loop {
         // ---- dispatch pending workgroups ----
@@ -305,17 +326,9 @@ fn run_launch(
                 next_wg += 1;
                 let slm_slot = slms.len();
                 slms.push(MemoryImage::new(launch.slm_bytes.max(64)));
-                slm_index.insert(wg, slm_slot);
-                wg_state.insert(
-                    wg,
-                    WgState {
-                        resident: wg_threads,
-                        done: 0,
-                        at_barrier: 0,
-                    },
-                );
+                wg_state[wg].resident = wg_threads;
                 for wt in 0..wg_threads {
-                    eu.place(make_thread(launch, simd, wg, wt));
+                    eu.place(make_thread(launch, simd, wg, wt, slm_slot));
                 }
             }
         }
@@ -323,7 +336,8 @@ fn run_launch(
         // ---- arbitration (one instruction per EU per cycle) ----
         let mut any_issued = false;
         let mut min_hint: Option<u64> = None;
-        let mut arrivals: Vec<usize> = Vec::new();
+        arrivals.clear();
+        barrier_candidates.clear();
         // Per-EU (issued-this-cycle, blocking cause) for stall attribution,
         // charged once the cycle's time delta is known.
         per_eu.clear();
@@ -333,18 +347,18 @@ fn run_launch(
                 cfg,
                 engine.as_ref(),
                 &launch.program,
+                decoded.as_ref(),
                 mem,
                 img,
                 &mut slms,
-                &slm_index,
                 &mut arrivals,
             );
             if arb.issued > 0 {
                 any_issued = true;
             }
             for wg in arb.finished {
-                let st = wg_state.get_mut(&wg).expect("finished thread has wg state");
-                st.done += 1;
+                wg_state[wg].done += 1;
+                barrier_candidates.push(wg);
             }
             if let Some(h) = arb.hint {
                 min_hint = Some(min_hint.map_or(h, |m| m.min(h)));
@@ -353,26 +367,27 @@ fn run_launch(
         }
 
         // ---- barrier bookkeeping ----
+        // A workgroup can only become releasable on one of this cycle's
+        // events (a barrier arrival or a thread retiring while siblings
+        // wait), so only those workgroups are checked — no full scan.
         let mut released = false;
-        for wg in arrivals {
-            let st = wg_state.get_mut(&wg).expect("barrier arrival has wg state");
-            st.at_barrier += 1;
+        for &wg in &arrivals {
+            wg_state[wg].at_barrier += 1;
         }
-        let releasable: Vec<usize> = wg_state
-            .iter()
-            .filter(|(_, st)| st.at_barrier > 0 && st.at_barrier + st.done == st.resident)
-            .map(|(&wg, _)| wg)
-            .collect();
-        for wg in releasable {
-            for eu in &mut eus {
-                for t in eu.slots.iter_mut().flatten() {
-                    if t.wg == wg && t.at_barrier {
-                        t.at_barrier = false;
+        barrier_candidates.extend_from_slice(&arrivals);
+        for &wg in &barrier_candidates {
+            let st = &mut wg_state[wg];
+            if st.at_barrier > 0 && st.at_barrier + st.done == st.resident {
+                st.at_barrier = 0;
+                for eu in &mut eus {
+                    for t in eu.slots.iter_mut().flatten() {
+                        if t.wg == wg && t.at_barrier {
+                            t.at_barrier = false;
+                        }
                     }
                 }
+                released = true;
             }
-            wg_state.get_mut(&wg).expect("wg state").at_barrier = 0;
-            released = true;
         }
 
         // ---- completion / time advance ----
@@ -478,7 +493,7 @@ pub fn arg_base_reg(simd_width: u32) -> u8 {
 /// Builds the architectural state of one dispatched thread, including the
 /// r0 header, per-channel global ids starting at r1, and kernel arguments
 /// at [`arg_base_reg`] (see the crate docs for the dispatch ABI).
-fn make_thread(launch: &Launch, simd: u32, wg: usize, wg_thread: u32) -> HwThread {
+fn make_thread(launch: &Launch, simd: u32, wg: usize, wg_thread: u32, slm_slot: usize) -> HwThread {
     // Dispatch mask: channels beyond the workgroup or global size are off.
     let mut mask = ExecMask::none(simd);
     for ch in 0..simd {
@@ -513,5 +528,5 @@ fn make_thread(launch: &Launch, simd: u32, wg: usize, wg_thread: u32) -> HwThrea
         ctx.regs
             .write_lane(&args_reg, i as u32, Scalar::U(u64::from(a)));
     }
-    HwThread::new(ctx, wg, wg_thread)
+    HwThread::new(ctx, wg, wg_thread, slm_slot)
 }

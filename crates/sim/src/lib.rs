@@ -63,12 +63,13 @@ pub mod exec;
 pub mod gpu;
 pub mod memimg;
 pub mod memsys;
+pub mod plan;
 pub mod profile;
 pub mod regfile;
 pub mod simt;
 pub mod timeline;
 
-pub use config::{CacheConfig, GpuConfig, MemConfig, RfTiming};
+pub use config::{CacheConfig, ExecBackend, GpuConfig, MemConfig, RfTiming};
 pub use eu::{
     Eu, EuStats, HwThread, IssueEvent, StallBreakdown, StallCause, StallSpan, StallStats,
 };
@@ -76,6 +77,7 @@ pub use exec::{execute_instruction, Effect, Executed, ThreadCtx};
 pub use gpu::{arg_base_reg, simulate, Gpu, Launch, SimResult, SimulateError};
 pub use memimg::MemoryImage;
 pub use memsys::{MemStats, MemSystem};
+pub use plan::{DecodedProgram, LaneScratch, MicroPlan, PlanEffect};
 pub use profile::{BlockStat, InsnStat, KernelProfile};
 pub use regfile::RegFile;
 pub use simt::SimtStack;

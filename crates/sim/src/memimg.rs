@@ -7,10 +7,28 @@
 use iwc_isa::types::{DataType, Scalar};
 
 /// Flat byte-addressable global memory with a bump allocator.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct MemoryImage {
     bytes: Vec<u8>,
     next_alloc: u32,
+}
+
+impl Clone for MemoryImage {
+    fn clone(&self) -> Self {
+        Self {
+            bytes: self.bytes.clone(),
+            next_alloc: self.next_alloc,
+        }
+    }
+
+    /// Reuses the existing byte buffer instead of reallocating — back-to-back
+    /// simulations of the same launch (e.g. [`Gpu::run_modes`](crate::Gpu))
+    /// reset one scratch image per mode this way.
+    fn clone_from(&mut self, source: &Self) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(&source.bytes);
+        self.next_alloc = source.next_alloc;
+    }
 }
 
 /// Alignment applied to every allocation (one cache line).

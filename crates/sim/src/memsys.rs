@@ -123,13 +123,22 @@ impl MemSystem {
     /// Converts per-channel byte addresses into the sorted set of distinct
     /// line addresses.
     pub fn coalesce(&self, addrs: &[u32]) -> Vec<u64> {
-        let mut lines: Vec<u64> = addrs
-            .iter()
-            .map(|&a| u64::from(a) / u64::from(self.cfg.line_bytes))
-            .collect();
+        let mut lines = Vec::new();
+        self.coalesce_into(addrs, &mut lines);
+        lines
+    }
+
+    /// [`coalesce`](Self::coalesce) into a caller-owned buffer, so the
+    /// per-issue hot path can reuse one allocation across sends.
+    pub fn coalesce_into(&self, addrs: &[u32], lines: &mut Vec<u64>) {
+        lines.clear();
+        lines.extend(
+            addrs
+                .iter()
+                .map(|&a| u64::from(a) / u64::from(self.cfg.line_bytes)),
+        );
         lines.sort_unstable();
         lines.dedup();
-        lines
     }
 
     /// Issues a global-memory message for the given distinct `lines` at time

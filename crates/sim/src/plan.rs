@@ -1,0 +1,1003 @@
+//! Decode-once execution plans: the fast functional interpreter.
+//!
+//! [`DecodedProgram`] lowers every static
+//! [`Instruction`] of a validated
+//! [`Program`] into a flat [`MicroPlan`] exactly once
+//! per launch. A plan carries everything the per-issue hot path would
+//! otherwise re-derive from the instruction:
+//!
+//! * a dense plan kind so issue dispatches on one enum discriminant
+//!   instead of re-inspecting opcode + message + operand shapes;
+//! * resolved GRF byte offsets and pre-converted immediates for the
+//!   dtype-specialized lane loops (`F`/`D`/`Ud` run on raw register bytes
+//!   with a pre-selected eval function pointer — no per-lane opcode match
+//!   and no widened [`Scalar`] round-trip);
+//! * the scoreboard plan: per-operand GRF register ranges and flag
+//!   indices, precomputed so dependence checks never allocate the
+//!   `read_operands()` vector;
+//! * the predicate/flag plan and static classification (data vs control,
+//!   pipe, EOT) used by zero-mask skipping and pipe arbitration.
+//!
+//! Operand shapes outside the specialized fast paths (mixed dtypes,
+//! scalar/null destinations, sub-32-bit types, `cmp`/`sel`, memory data
+//! movement) fall back to the exact [`read_lane`/`write_lane`/`eval_alu`]
+//! sequence of the reference interpreter, so the two backends are
+//! bit-identical by construction; `crates/sim/tests/decoded_equivalence.rs`
+//! proves it over the whole workload catalog × every canonical engine.
+//!
+//! [`read_lane`/`write_lane`/`eval_alu`]: crate::exec::reference
+
+use crate::exec::{pred_bits, ThreadCtx};
+use crate::memimg::MemoryImage;
+use iwc_isa::eval::{eval_alu, eval_cond};
+use iwc_isa::insn::{CondMod, Instruction, MemSpace, Opcode, Pipe, SendMessage};
+use iwc_isa::mask::ExecMask;
+use iwc_isa::program::Program;
+use iwc_isa::reg::{Operand, Predicate, GRF_BYTES};
+use iwc_isa::types::{DataType, Scalar};
+
+type F3 = fn(f64, f64, f64) -> f64;
+type I3 = fn(i64, i64, i64) -> i64;
+type U3 = fn(u64, u64, u64) -> u64;
+
+/// A source operand resolved at decode time for the 32-bit fast lane
+/// loops. Immediates are pre-converted into the eval domain of the plan's
+/// type class and stored as raw bits.
+#[derive(Clone, Copy, Debug)]
+enum Src32 {
+    /// Per-lane vector: byte address = base + 4 × lane.
+    Vec(u32),
+    /// One GRF element broadcast to every lane (re-read per lane, because
+    /// the destination may alias it).
+    Broadcast(u32),
+    /// Immediate, pre-converted at decode time.
+    Imm(u64),
+}
+
+/// Decode-time view of a fast-path source before the immediate is
+/// converted into a specific eval domain.
+#[derive(Clone, Copy)]
+enum RawSrc {
+    Vec(u32),
+    Broadcast(u32),
+    Imm(Scalar),
+}
+
+/// The address operand of a send, resolved for raw-u32 reads when it is a
+/// plain `Ud` vector register (the common case emitted by the kernel
+/// builder).
+#[derive(Clone, Copy, Debug)]
+enum AddrPlan {
+    /// `Ud` vector register: lane address = `load_u32(base + 4 × lane)`.
+    VecUd(u32),
+    /// Anything else: the reference `read_lane(..).as_u64() as u32` path.
+    Generic(Operand),
+}
+
+impl AddrPlan {
+    fn decode(op: &Operand) -> Self {
+        match *op {
+            Operand::Grf {
+                reg,
+                dtype: DataType::Ud,
+            } => AddrPlan::VecUd(u32::from(reg) * GRF_BYTES),
+            other => AddrPlan::Generic(other),
+        }
+    }
+
+    #[inline]
+    fn lane_addr(&self, regs: &crate::regfile::RegFile, lane: u32) -> u32 {
+        match *self {
+            AddrPlan::VecUd(base) => regs.load_u32(base + 4 * lane),
+            AddrPlan::Generic(op) => regs.read_lane(&op, lane).as_u64() as u32,
+        }
+    }
+}
+
+/// What one decoded instruction does, as a dense enum the issue path can
+/// branch on directly.
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// 32-bit float ALU fast path (all register operands `F`).
+    AluF {
+        f: F3,
+        srcs: [Src32; 3],
+        dst: u32,
+    },
+    /// 32-bit signed ALU fast path (all register operands `D`).
+    AluD {
+        f: I3,
+        srcs: [Src32; 3],
+        dst: u32,
+    },
+    /// 32-bit unsigned ALU fast path (all register operands `Ud`).
+    AluU {
+        f: U3,
+        srcs: [Src32; 3],
+        dst: u32,
+    },
+    /// Any other computation: reference `read_lane`/`eval_alu`/`write_lane`.
+    AluGeneric {
+        op: Opcode,
+        n: u8,
+        srcs: [Operand; 3],
+        dst: Operand,
+    },
+    Cmp {
+        cm: CondMod,
+        a: Operand,
+        b: Operand,
+        dst: Operand,
+    },
+    Sel {
+        a: Operand,
+        b: Operand,
+        dst: Operand,
+    },
+    Load {
+        space: MemSpace,
+        addr: AddrPlan,
+        mem_dtype: DataType,
+        dst: Operand,
+    },
+    Store {
+        space: MemSpace,
+        addr: AddrPlan,
+        mem_dtype: DataType,
+        data: Operand,
+    },
+    Fence,
+    If {
+        jip: usize,
+    },
+    Else {
+        jip: usize,
+    },
+    EndIf,
+    Do,
+    While {
+        jip: usize,
+    },
+    Break,
+    Continue,
+    Jmpi {
+        jip: usize,
+    },
+    Nop,
+    Barrier,
+    Eot,
+}
+
+/// The resource effect of one executed plan — [`Effect`](crate::Effect)
+/// minus the allocated lane-address vector: addresses land in the caller's
+/// [`LaneScratch`] instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanEffect {
+    /// An FPU or EM computation over the mask.
+    Compute(Pipe),
+    /// A memory message; lane addresses are in the scratch buffer.
+    Memory {
+        /// Target space.
+        space: MemSpace,
+        /// True for stores.
+        is_store: bool,
+    },
+    /// A memory fence.
+    Fence,
+    /// A workgroup barrier.
+    Barrier,
+    /// End of thread.
+    Eot,
+    /// Control flow resolved at issue.
+    ControlFlow,
+}
+
+/// Reusable per-EU scratch for send lane addresses and their coalesced
+/// line set: an inline array up to SIMD32, so the hot path never
+/// allocates.
+#[derive(Clone, Debug, Default)]
+pub struct LaneScratch {
+    pub(crate) addrs: [u32; 32],
+    pub(crate) len: u8,
+    pub(crate) lines: Vec<u64>,
+}
+
+impl LaneScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lane addresses captured by the last executed send.
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs[..usize::from(self.len)]
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    fn push(&mut self, a: u32) {
+        self.addrs[usize::from(self.len)] = a;
+        self.len += 1;
+    }
+}
+
+/// One instruction lowered into its decode-once execution plan.
+#[derive(Clone, Debug)]
+pub struct MicroPlan {
+    kind: PlanKind,
+    /// Instruction predicate (branch condition, `sel` selector, or mask
+    /// gate — interpretation depends on `kind`).
+    pred: Option<Predicate>,
+    /// True when the predicate gates the execution mask (everything except
+    /// `sel` and branches).
+    pred_gates_mask: bool,
+    /// Scoreboard read plan: GRF register ranges (inclusive) of every read
+    /// operand plus the destination, in `read_operands()` order.
+    reads: [(u8, u8); 6],
+    n_reads: u8,
+    /// Destination GRF register range (None for null/immediate dst).
+    dst_range: Option<(u8, u8)>,
+    /// Flag register read by the predicate, if any.
+    pred_flag: Option<u8>,
+    /// Flag register written by the condition modifier, if any.
+    cond_flag: Option<u8>,
+    /// GRF operand count (sources + destination) for multi-cycle RF timing.
+    n_grf_operands: u64,
+    /// Execution pipe of the source opcode.
+    pipe: Pipe,
+    /// Execution data type of the source instruction.
+    dtype: DataType,
+    /// True for ALU/send instructions (zero-mask skippable).
+    is_data: bool,
+    /// True for `eot`.
+    is_eot: bool,
+}
+
+impl MicroPlan {
+    fn decode(insn: &Instruction) -> Self {
+        let width = insn.exec_width;
+        let mut reads = [(0u8, 0u8); 6];
+        let mut n_reads = 0u8;
+        for op in insn.read_operands() {
+            if let Some(r) = reg_range(&op, width) {
+                reads[usize::from(n_reads)] = r;
+                n_reads += 1;
+            }
+        }
+        let dst_range = reg_range(&insn.dst, width);
+        if let Some(r) = dst_range {
+            reads[usize::from(n_reads)] = r;
+            n_reads += 1;
+        }
+        let n_grf_operands = (insn
+            .used_srcs()
+            .iter()
+            .filter(|o| o.grf_reg().is_some())
+            .count()
+            + usize::from(insn.dst.grf_reg().is_some())) as u64;
+        let pipe = insn.op.pipe();
+        Self {
+            kind: decode_kind(insn),
+            pred: insn.pred,
+            pred_gates_mask: insn.pred.is_some() && insn.op != Opcode::Sel && !insn.op.is_branch(),
+            reads,
+            n_reads,
+            dst_range,
+            pred_flag: insn.pred.map(|p| p.flag.index()),
+            cond_flag: insn.cond_mod.map(|cm| cm.flag.index()),
+            n_grf_operands,
+            pipe,
+            dtype: insn.dtype,
+            is_data: pipe != Pipe::Control,
+            is_eot: insn.op == Opcode::Eot,
+        }
+    }
+
+    /// Execution pipe of the decoded instruction.
+    pub fn pipe(&self) -> Pipe {
+        self.pipe
+    }
+
+    /// Execution data type of the decoded instruction.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// True for ALU/send instructions (zero-mask skippable).
+    pub(crate) fn is_data(&self) -> bool {
+        self.is_data
+    }
+
+    /// True for `eot`.
+    pub(crate) fn is_eot(&self) -> bool {
+        self.is_eot
+    }
+
+    /// Scoreboard read ranges, predicate flag, condition flag, and GRF
+    /// operand count for the timing layer.
+    pub(crate) fn scoreboard(&self) -> (&[(u8, u8)], Option<u8>, Option<u8>) {
+        (
+            &self.reads[..usize::from(self.n_reads)],
+            self.pred_flag,
+            self.cond_flag,
+        )
+    }
+
+    pub(crate) fn dst_range(&self) -> Option<(u8, u8)> {
+        self.dst_range
+    }
+
+    pub(crate) fn cond_flag(&self) -> Option<u8> {
+        self.cond_flag
+    }
+
+    pub(crate) fn n_grf_operands(&self) -> u64 {
+        self.n_grf_operands
+    }
+
+    /// The execution mask this plan would run under right now: the SIMT
+    /// mask ANDed with the gating predicate (mirrors
+    /// [`exec_mask_of`](crate::exec::exec_mask_of)).
+    #[inline]
+    pub(crate) fn exec_mask(&self, ctx: &ThreadCtx) -> ExecMask {
+        let base = ctx.simt.exec();
+        if self.pred_gates_mask {
+            base.and(pred_bits(ctx, self.pred.expect("gating predicate present")))
+        } else {
+            base
+        }
+    }
+}
+
+fn reg_range(op: &Operand, width: u32) -> Option<(u8, u8)> {
+    op.grf_byte_range(width)
+        .map(|(lo, hi)| ((lo / GRF_BYTES) as u8, ((hi - 1) / GRF_BYTES) as u8))
+}
+
+fn decode_kind(insn: &Instruction) -> PlanKind {
+    match insn.op {
+        Opcode::If => PlanKind::If {
+            jip: insn.jip.expect("resolved jip"),
+        },
+        Opcode::Else => PlanKind::Else {
+            jip: insn.jip.expect("resolved jip"),
+        },
+        Opcode::EndIf => PlanKind::EndIf,
+        Opcode::Do => PlanKind::Do,
+        Opcode::While => PlanKind::While {
+            jip: insn.jip.expect("resolved jip"),
+        },
+        Opcode::Break => PlanKind::Break,
+        Opcode::Continue => PlanKind::Continue,
+        Opcode::Jmpi => PlanKind::Jmpi {
+            jip: insn.jip.expect("resolved jip"),
+        },
+        Opcode::Nop => PlanKind::Nop,
+        Opcode::Barrier => PlanKind::Barrier,
+        Opcode::Eot => PlanKind::Eot,
+        Opcode::Send => match insn.msg.expect("send carries a message") {
+            SendMessage::Fence => PlanKind::Fence,
+            SendMessage::Load { space, addr, dtype } => PlanKind::Load {
+                space,
+                addr: AddrPlan::decode(&addr),
+                mem_dtype: dtype,
+                dst: insn.dst,
+            },
+            SendMessage::Store {
+                space,
+                addr,
+                data,
+                dtype,
+            } => PlanKind::Store {
+                space,
+                addr: AddrPlan::decode(&addr),
+                mem_dtype: dtype,
+                data,
+            },
+        },
+        Opcode::Cmp => PlanKind::Cmp {
+            cm: insn.cond_mod.expect("cmp carries a condition modifier"),
+            a: insn.srcs[0],
+            b: insn.srcs[1],
+            dst: insn.dst,
+        },
+        Opcode::Sel => PlanKind::Sel {
+            a: insn.srcs[0],
+            b: insn.srcs[1],
+            dst: insn.dst,
+        },
+        op => decode_alu(insn, op),
+    }
+}
+
+fn decode_alu(insn: &Instruction, op: Opcode) -> PlanKind {
+    let n = op.src_count();
+    if let Some(kind) = fast_alu(insn, n) {
+        return kind;
+    }
+    PlanKind::AluGeneric {
+        op,
+        n: n as u8,
+        srcs: insn.srcs,
+        dst: insn.dst,
+    }
+}
+
+/// Tries to lower a regular ALU instruction onto one of the raw-byte fast
+/// paths. Eligibility: the destination is a plain vector register of the
+/// execution type, every register source matches the execution type (so
+/// decode/encode is a fixed 32-bit conversion), and the execution type is
+/// `F`, `D` or `Ud`. Immediates of any type are fine — the reference
+/// interpreter passes an immediate's payload through `as_f64`/`as_i64`/
+/// `as_u64` at eval time regardless of its declared type, so converting at
+/// decode time is bit-identical.
+fn fast_alu(insn: &Instruction, n: usize) -> Option<PlanKind> {
+    let want = insn.dtype;
+    if !matches!(want, DataType::F | DataType::D | DataType::Ud) {
+        return None;
+    }
+    let dst = match insn.dst {
+        Operand::Grf { reg, dtype } if dtype == want => u32::from(reg) * GRF_BYTES,
+        _ => return None,
+    };
+    let mut raw = [RawSrc::Imm(Scalar::U(0)); 3];
+    for (i, s) in insn.srcs[..n].iter().enumerate() {
+        raw[i] = match *s {
+            Operand::Grf { reg, dtype } if dtype == want => RawSrc::Vec(u32::from(reg) * GRF_BYTES),
+            Operand::GrfScalar { reg, sub, dtype } if dtype == want => {
+                RawSrc::Broadcast(u32::from(reg) * GRF_BYTES + u32::from(sub) * dtype.size_bytes())
+            }
+            Operand::Imm { value, .. } => RawSrc::Imm(value),
+            _ => return None,
+        };
+    }
+    let specialize = |imm: fn(Scalar) -> u64| {
+        let mut srcs = [Src32::Imm(0); 3];
+        for (dst, src) in srcs.iter_mut().zip(raw.iter()) {
+            *dst = match *src {
+                RawSrc::Vec(b) => Src32::Vec(b),
+                RawSrc::Broadcast(b) => Src32::Broadcast(b),
+                RawSrc::Imm(v) => Src32::Imm(imm(v)),
+            };
+        }
+        srcs
+    };
+    match want {
+        DataType::F => float_fn(insn.op).map(|f| PlanKind::AluF {
+            f,
+            srcs: specialize(|v| v.as_f64().to_bits()),
+            dst,
+        }),
+        DataType::D => signed_fn(insn.op).map(|f| PlanKind::AluD {
+            f,
+            srcs: specialize(|v| v.as_i64() as u64),
+            dst,
+        }),
+        DataType::Ud => unsigned_fn(insn.op).map(|f| PlanKind::AluU {
+            f,
+            srcs: specialize(Scalar::as_u64),
+            dst,
+        }),
+        _ => unreachable!("fast classes checked above"),
+    }
+}
+
+// The per-class eval tables replicate `iwc_isa::eval` formula-for-formula
+// (including wrapping/shift-masking details); `sel` is excluded because it
+// is predication, not arithmetic. Any opcode missing here falls back to
+// the generic path, which calls `eval_alu` itself.
+
+fn float_fn(op: Opcode) -> Option<F3> {
+    Some(match op {
+        Opcode::Mov => |a, _, _| a,
+        Opcode::Add => |a, b, _| a + b,
+        Opcode::Sub => |a, b, _| a - b,
+        Opcode::Mul => |a, b, _| a * b,
+        Opcode::Mad => |a, b, c| a * b + c,
+        Opcode::Min => |a: f64, b, _| a.min(b),
+        Opcode::Max => |a: f64, b, _| a.max(b),
+        Opcode::Abs => |a: f64, _, _| a.abs(),
+        Opcode::Frc => |a: f64, _, _| a - a.floor(),
+        Opcode::Rndd => |a: f64, _, _| a.floor(),
+        Opcode::Rndu => |a: f64, _, _| a.ceil(),
+        Opcode::Inv => |a, _, _| 1.0 / a,
+        Opcode::Log => |a: f64, _, _| a.log2(),
+        Opcode::Exp => |a: f64, _, _| a.exp2(),
+        Opcode::Sqrt => |a: f64, _, _| a.sqrt(),
+        Opcode::Rsqrt => |a: f64, _, _| 1.0 / a.sqrt(),
+        Opcode::Pow => |a: f64, b, _| a.powf(b),
+        Opcode::Sin => |a: f64, _, _| a.sin(),
+        Opcode::Cos => |a: f64, _, _| a.cos(),
+        Opcode::Fdiv => |a, b, _| a / b,
+        _ => return None,
+    })
+}
+
+fn signed_fn(op: Opcode) -> Option<I3> {
+    Some(match op {
+        Opcode::Mov => |a, _, _| a,
+        Opcode::Add => |a: i64, b, _| a.wrapping_add(b),
+        Opcode::Sub => |a: i64, b, _| a.wrapping_sub(b),
+        Opcode::Mul => |a: i64, b, _| a.wrapping_mul(b),
+        Opcode::Mad => |a: i64, b, c| a.wrapping_mul(b).wrapping_add(c),
+        Opcode::Min => |a: i64, b, _| a.min(b),
+        Opcode::Max => |a: i64, b, _| a.max(b),
+        Opcode::Abs => |a: i64, _, _| a.wrapping_abs(),
+        Opcode::Not => |a, _, _| !a,
+        Opcode::And => |a, b, _| a & b,
+        Opcode::Or => |a, b, _| a | b,
+        Opcode::Xor => |a, b, _| a ^ b,
+        Opcode::Shl => |a: i64, b, _| a.wrapping_shl(b as u32 & 63),
+        Opcode::Shr => |a, b: i64, _| (a as u64).wrapping_shr(b as u32 & 63) as i64,
+        Opcode::Asr => |a: i64, b, _| a.wrapping_shr(b as u32 & 63),
+        Opcode::Idiv => |a: i64, b, _| a.checked_div(b).unwrap_or(0),
+        Opcode::Irem => |a: i64, b, _| a.checked_rem(b).unwrap_or(0),
+        _ => return None,
+    })
+}
+
+fn unsigned_fn(op: Opcode) -> Option<U3> {
+    Some(match op {
+        Opcode::Mov => |a, _, _| a,
+        Opcode::Add => |a: u64, b, _| a.wrapping_add(b),
+        Opcode::Sub => |a: u64, b, _| a.wrapping_sub(b),
+        Opcode::Mul => |a: u64, b, _| a.wrapping_mul(b),
+        Opcode::Mad => |a: u64, b, c| a.wrapping_mul(b).wrapping_add(c),
+        Opcode::Min => |a: u64, b, _| a.min(b),
+        Opcode::Max => |a: u64, b, _| a.max(b),
+        Opcode::Abs => |a, _, _| a,
+        Opcode::Not => |a, _, _| !a,
+        Opcode::And => |a, b, _| a & b,
+        Opcode::Or => |a, b, _| a | b,
+        Opcode::Xor => |a, b, _| a ^ b,
+        Opcode::Shl => |a: u64, b, _| a.wrapping_shl(b as u32 & 63),
+        Opcode::Shr => |a: u64, b, _| a.wrapping_shr(b as u32 & 63),
+        Opcode::Asr => |a, b: u64, _| (a as i64).wrapping_shr(b as u32 & 63) as u64,
+        Opcode::Idiv => |a: u64, b, _| a.checked_div(b).unwrap_or(0),
+        Opcode::Irem => |a: u64, b, _| a.checked_rem(b).unwrap_or(0),
+        _ => return None,
+    })
+}
+
+/// A [`Program`] lowered into per-instruction [`MicroPlan`]s, built once
+/// per launch.
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    plans: Box<[MicroPlan]>,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `program`. O(instructions) — trivial
+    /// next to any simulation that replays them.
+    pub fn decode(program: &Program) -> Self {
+        Self {
+            plans: program.insns().iter().map(MicroPlan::decode).collect(),
+        }
+    }
+
+    /// The plan at instruction index `pc`.
+    #[inline]
+    pub fn plan(&self, pc: usize) -> &MicroPlan {
+        &self.plans[pc]
+    }
+
+    /// Number of decoded instructions.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no instruction was decoded (never for validated programs).
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[inline]
+fn src_f(regs: &crate::regfile::RegFile, s: Src32, off: u32) -> f64 {
+    match s {
+        Src32::Vec(base) => f64::from(f32::from_bits(regs.load_u32(base + off))),
+        Src32::Broadcast(addr) => f64::from(f32::from_bits(regs.load_u32(addr))),
+        Src32::Imm(bits) => f64::from_bits(bits),
+    }
+}
+
+#[inline]
+fn src_i(regs: &crate::regfile::RegFile, s: Src32, off: u32) -> i64 {
+    match s {
+        Src32::Vec(base) => i64::from(regs.load_u32(base + off) as i32),
+        Src32::Broadcast(addr) => i64::from(regs.load_u32(addr) as i32),
+        Src32::Imm(bits) => bits as i64,
+    }
+}
+
+#[inline]
+fn src_u(regs: &crate::regfile::RegFile, s: Src32, off: u32) -> u64 {
+    match s {
+        Src32::Vec(base) => u64::from(regs.load_u32(base + off)),
+        Src32::Broadcast(addr) => u64::from(regs.load_u32(addr)),
+        Src32::Imm(bits) => bits,
+    }
+}
+
+/// Executes the plan at `ctx.pc` under the precomputed execution `mask`
+/// (which must equal [`MicroPlan::exec_mask`] for the current context and
+/// must be non-empty for data plans — zero-mask skipping happens before
+/// issue). Mirrors [`execute_instruction`](crate::exec::reference) exactly;
+/// send lane addresses land in `scratch` instead of a fresh vector.
+pub(crate) fn execute_plan(
+    ctx: &mut ThreadCtx,
+    plan: &MicroPlan,
+    mask: ExecMask,
+    mem: &mut MemoryImage,
+    slm: &mut MemoryImage,
+    scratch: &mut LaneScratch,
+) -> PlanEffect {
+    match plan.kind {
+        PlanKind::AluF { f, srcs, dst } => {
+            let mut bits = mask.bits();
+            while bits != 0 {
+                let off = 4 * bits.trailing_zeros();
+                bits &= bits - 1;
+                let r = f(
+                    src_f(&ctx.regs, srcs[0], off),
+                    src_f(&ctx.regs, srcs[1], off),
+                    src_f(&ctx.regs, srcs[2], off),
+                );
+                ctx.regs.store_u32(dst + off, (r as f32).to_bits());
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(plan.pipe)
+        }
+        PlanKind::AluD { f, srcs, dst } => {
+            let mut bits = mask.bits();
+            while bits != 0 {
+                let off = 4 * bits.trailing_zeros();
+                bits &= bits - 1;
+                let r = f(
+                    src_i(&ctx.regs, srcs[0], off),
+                    src_i(&ctx.regs, srcs[1], off),
+                    src_i(&ctx.regs, srcs[2], off),
+                );
+                ctx.regs.store_u32(dst + off, r as u32);
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(plan.pipe)
+        }
+        PlanKind::AluU { f, srcs, dst } => {
+            let mut bits = mask.bits();
+            while bits != 0 {
+                let off = 4 * bits.trailing_zeros();
+                bits &= bits - 1;
+                let r = f(
+                    src_u(&ctx.regs, srcs[0], off),
+                    src_u(&ctx.regs, srcs[1], off),
+                    src_u(&ctx.regs, srcs[2], off),
+                );
+                ctx.regs.store_u32(dst + off, r as u32);
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(plan.pipe)
+        }
+        PlanKind::AluGeneric { op, n, srcs, dst } => {
+            let n = usize::from(n);
+            for lane in mask.iter_active() {
+                let mut vals = [Scalar::U(0); 3];
+                for (i, s) in srcs[..n].iter().enumerate() {
+                    vals[i] = ctx.regs.read_lane(s, lane);
+                }
+                let v = eval_alu(op, plan.dtype, &vals[..n]);
+                ctx.regs.write_lane(&dst, lane, v);
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(plan.pipe)
+        }
+        PlanKind::Cmp { cm, a, b, dst } => {
+            let is_float = plan.dtype.is_float();
+            for lane in mask.iter_active() {
+                let x = ctx.regs.read_lane(&a, lane);
+                let y = ctx.regs.read_lane(&b, lane);
+                let r = eval_cond(cm.cond, plan.dtype, x, y);
+                ctx.regs.set_flag_channel(cm.flag, lane, r);
+                if !dst.is_null() {
+                    let v = if is_float {
+                        Scalar::F(if r { 1.0 } else { 0.0 })
+                    } else {
+                        Scalar::U(u64::from(r))
+                    };
+                    ctx.regs.write_lane(&dst, lane, v);
+                }
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(Pipe::Fpu)
+        }
+        PlanKind::Sel { a, b, dst } => {
+            let p = plan.pred.expect("sel requires a selecting predicate");
+            let select = pred_bits(ctx, p);
+            for lane in mask.iter_active() {
+                let which = if select.channel(lane) { &a } else { &b };
+                let v = ctx.regs.read_lane(which, lane);
+                let v = eval_alu(Opcode::Mov, plan.dtype, &[v]);
+                ctx.regs.write_lane(&dst, lane, v);
+            }
+            ctx.pc += 1;
+            PlanEffect::Compute(Pipe::Fpu)
+        }
+        PlanKind::Load {
+            space,
+            addr,
+            mem_dtype,
+            dst,
+        } => {
+            scratch.clear();
+            for lane in mask.iter_active() {
+                let a = addr.lane_addr(&ctx.regs, lane);
+                scratch.push(a);
+                let img = if space == MemSpace::Slm {
+                    &mut *slm
+                } else {
+                    &mut *mem
+                };
+                let v = img.read_scalar(a, mem_dtype);
+                ctx.regs.write_lane(&dst, lane, v);
+            }
+            ctx.pc += 1;
+            PlanEffect::Memory {
+                space,
+                is_store: false,
+            }
+        }
+        PlanKind::Store {
+            space,
+            addr,
+            mem_dtype,
+            data,
+        } => {
+            scratch.clear();
+            for lane in mask.iter_active() {
+                let a = addr.lane_addr(&ctx.regs, lane);
+                scratch.push(a);
+                let v = ctx.regs.read_lane(&data, lane);
+                let img = if space == MemSpace::Slm {
+                    &mut *slm
+                } else {
+                    &mut *mem
+                };
+                img.write_scalar(a, mem_dtype, v);
+            }
+            ctx.pc += 1;
+            PlanEffect::Memory {
+                space,
+                is_store: true,
+            }
+        }
+        PlanKind::Fence => {
+            ctx.pc += 1;
+            PlanEffect::Fence
+        }
+        PlanKind::If { jip } => {
+            let p = plan.pred.expect("if requires a predicate");
+            let cond = pred_bits(ctx, p);
+            let jump = ctx.simt.exec_if(cond, jip);
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Else { jip } => {
+            let jump = ctx.simt.exec_else(jip);
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            PlanEffect::ControlFlow
+        }
+        PlanKind::EndIf => {
+            ctx.simt.exec_endif();
+            ctx.pc += 1;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Do => {
+            ctx.simt.exec_do();
+            ctx.pc += 1;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::While { jip } => {
+            let p = plan.pred.expect("while requires a predicate");
+            let cond = pred_bits(ctx, p);
+            let jump = ctx.simt.exec_while(cond, jip);
+            ctx.pc = jump.unwrap_or(ctx.pc + 1);
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Break => {
+            let p = plan.pred.expect("break requires a predicate");
+            ctx.simt.exec_break(pred_bits(ctx, p));
+            ctx.pc += 1;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Continue => {
+            let p = plan.pred.expect("continue requires a predicate");
+            ctx.simt.exec_continue(pred_bits(ctx, p));
+            ctx.pc += 1;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Jmpi { jip } => {
+            ctx.pc = jip;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Nop => {
+            ctx.pc += 1;
+            PlanEffect::ControlFlow
+        }
+        PlanKind::Barrier => {
+            ctx.pc += 1;
+            PlanEffect::Barrier
+        }
+        PlanKind::Eot => PlanEffect::Eot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_instruction, Effect};
+    use iwc_isa::builder::KernelBuilder;
+    use iwc_isa::insn::CondOp;
+    use iwc_isa::reg::FlagReg;
+
+    /// Steps the same program through both interpreters from identical
+    /// fresh states and asserts every register lane and both memories
+    /// match after completion.
+    fn assert_backends_agree(p: &Program, seed: impl Fn(&mut ThreadCtx)) {
+        let decoded = DecodedProgram::decode(p);
+        let mut scratch = LaneScratch::new();
+        let width = p.simd_width();
+        let mut rctx = ThreadCtx::new(ExecMask::all(width));
+        let mut dctx = ThreadCtx::new(ExecMask::all(width));
+        seed(&mut rctx);
+        seed(&mut dctx);
+        let (mut rmem, mut rslm) = (MemoryImage::new(1 << 16), MemoryImage::new(1 << 12));
+        let (mut dmem, mut dslm) = (MemoryImage::new(1 << 16), MemoryImage::new(1 << 12));
+        for _ in 0..10_000 {
+            let re = execute_instruction(&mut rctx, p, &mut rmem, &mut rslm);
+            // The decoded issue path skips zero-mask data plans before
+            // execution; emulate that here.
+            let plan = decoded.plan(dctx.pc);
+            let mask = plan.exec_mask(&dctx);
+            if plan.is_data() && mask.is_empty() && !plan.is_eot() {
+                dctx.pc += 1;
+                assert_eq!(re.effect, Effect::SkippedZeroMask);
+                continue;
+            }
+            let de = execute_plan(&mut dctx, plan, mask, &mut dmem, &mut dslm, &mut scratch);
+            assert_eq!(re.mask, mask, "masks diverged");
+            if let Effect::Memory { lane_addrs, .. } = &re.effect {
+                assert_eq!(lane_addrs.as_slice(), scratch.addrs(), "lane addresses");
+            }
+            if de == PlanEffect::Eot {
+                break;
+            }
+        }
+        assert_eq!(rctx.pc, dctx.pc, "final pc");
+        for reg in 0..16u8 {
+            let op = Operand::rud(reg);
+            for lane in 0..width {
+                assert_eq!(
+                    rctx.regs.read_lane(&op, lane),
+                    dctx.regs.read_lane(&op, lane),
+                    "r{reg} lane {lane}"
+                );
+            }
+        }
+        for f in [FlagReg::F0, FlagReg::F1] {
+            assert_eq!(rctx.regs.flag(f), dctx.regs.flag(f), "flag {f:?}");
+        }
+        for a in (0..1 << 16).step_by(4) {
+            assert_eq!(rmem.read_u32(a), dmem.read_u32(a), "mem at {a}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_reference_float() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.mov(Operand::rf(4), Operand::imm_f(1.5));
+        b.mad(
+            Operand::rf(6),
+            Operand::rf(4),
+            Operand::rf(4),
+            Operand::imm_f(0.25),
+        );
+        b.mul(
+            Operand::rf(8),
+            Operand::rf(6),
+            Operand::scalar(4, 3, DataType::F),
+        );
+        let p = b.finish().unwrap();
+        assert_backends_agree(&p, |_| {});
+    }
+
+    #[test]
+    fn fast_paths_match_reference_int_and_divergence() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(CondOp::Lt, FlagReg::F0, Operand::rud(1), Operand::imm_ud(9));
+        b.if_(Predicate::normal(FlagReg::F0));
+        b.add(Operand::rd(4), Operand::rd(4), Operand::imm_d(-3));
+        b.else_();
+        b.mul(Operand::rud(6), Operand::rud(1), Operand::imm_ud(7));
+        b.end_if();
+        let p = b.finish().unwrap();
+        assert_backends_agree(&p, |ctx| {
+            for lane in 0..16 {
+                ctx.regs
+                    .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+                ctx.regs
+                    .write_lane(&Operand::rd(4), lane, Scalar::I(i64::from(lane) * 5 - 17));
+            }
+        });
+    }
+
+    #[test]
+    fn generic_fallback_dtype_matches_reference() {
+        // W (16-bit signed) has no fast path: exercises the generic lane
+        // loop including sign-extension on read and narrowing on write.
+        let w = |reg| Operand::reg(reg, DataType::W);
+        let mut b = KernelBuilder::new("k", 16);
+        b.op(Opcode::Add, w(4), &[w(4), w(6)]);
+        let p = b.finish().unwrap();
+        let decoded = DecodedProgram::decode(&p);
+        assert!(
+            matches!(decoded.plan(0).kind, PlanKind::AluGeneric { .. }),
+            "W stays generic"
+        );
+        assert_backends_agree(&p, |ctx| {
+            for lane in 0..16 {
+                ctx.regs
+                    .write_lane(&w(4), lane, Scalar::I(i64::from(lane) * 1000 - 30000));
+                ctx.regs.write_lane(&w(6), lane, Scalar::I(-5000));
+            }
+        });
+    }
+
+    #[test]
+    fn mixed_dtype_operands_fall_back() {
+        // dst F but src D: no fast path.
+        let mut b = KernelBuilder::new("k", 8);
+        b.op(Opcode::Mov, Operand::rf(4), &[Operand::rd(6)]);
+        let p = b.finish().unwrap();
+        let decoded = DecodedProgram::decode(&p);
+        assert!(matches!(decoded.plan(0).kind, PlanKind::AluGeneric { .. }));
+    }
+
+    #[test]
+    fn fast_paths_selected_for_f_d_ud() {
+        let mut b = KernelBuilder::new("k", 8);
+        b.add(Operand::rf(4), Operand::rf(4), Operand::imm_f(1.0));
+        b.add(Operand::rd(6), Operand::rd(6), Operand::imm_d(1));
+        b.add(Operand::rud(8), Operand::rud(8), Operand::imm_ud(1));
+        let p = b.finish().unwrap();
+        let d = DecodedProgram::decode(&p);
+        assert!(matches!(d.plan(0).kind, PlanKind::AluF { .. }));
+        assert!(matches!(d.plan(1).kind, PlanKind::AluD { .. }));
+        assert!(matches!(d.plan(2).kind, PlanKind::AluU { .. }));
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn loads_and_stores_capture_addresses_in_scratch() {
+        let mut b = KernelBuilder::new("k", 16);
+        b.mad(
+            Operand::rud(4),
+            Operand::rud(1),
+            Operand::imm_ud(4),
+            Operand::imm_ud(1024),
+        );
+        b.store(MemSpace::Global, Operand::rud(4), Operand::rud(1));
+        b.load(MemSpace::Global, Operand::rud(6), Operand::rud(4));
+        let p = b.finish().unwrap();
+        assert_backends_agree(&p, |ctx| {
+            for lane in 0..16 {
+                ctx.regs
+                    .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+            }
+        });
+    }
+}

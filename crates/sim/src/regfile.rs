@@ -95,6 +95,23 @@ impl RegFile {
         }
     }
 
+    /// Fixed-width raw loads/stores for the decoded-plan lane loops
+    /// ([`crate::plan`]): same storage and bounds behavior as
+    /// `read_raw`/`write_raw`, but with a compile-time width so the
+    /// compiler emits a single unaligned load/store instead of a byte
+    /// fold.
+    #[inline]
+    pub(crate) fn load_u32(&self, addr: u32) -> u32 {
+        let lo = addr as usize;
+        u32::from_le_bytes(self.bytes[lo..lo + 4].try_into().expect("4-byte GRF read"))
+    }
+
+    #[inline]
+    pub(crate) fn store_u32(&mut self, addr: u32, v: u32) {
+        let lo = addr as usize;
+        self.bytes[lo..lo + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// Reads channel `lane` of `op` (immediates broadcast their value).
     ///
     /// # Panics

@@ -396,3 +396,51 @@ fn rf_timing_options() {
     assert!(multi_scc < multi_ivb, "SCC helps under multi-cycle RF");
     assert!(pumped_scc < pumped_ivb, "SCC helps under pumped RF");
 }
+
+/// `Gpu::run_modes` reuses one scratch memory image across the mode sweep;
+/// every mode must still see pristine inputs and match an independent
+/// fresh-image run exactly. The kernel overwrites its input in place, so
+/// any state leaking from one mode's run into the next would change both
+/// the functional output and the timing of later modes.
+#[test]
+fn run_modes_scratch_image_matches_independent_runs() {
+    use iwc_compaction::EngineId;
+    let mut b = KernelBuilder::new("inplace", 16);
+    b.mad(
+        Operand::rud(10),
+        Operand::rud(1),
+        Operand::imm_ud(4),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
+    b.load(MemSpace::Global, Operand::rud(12), Operand::rud(10));
+    b.mad(
+        Operand::rud(12),
+        Operand::rud(12),
+        Operand::imm_ud(3),
+        Operand::imm_ud(1),
+    );
+    b.store(MemSpace::Global, Operand::rud(10), Operand::rud(12));
+    let p = b.finish().unwrap();
+
+    let mut img = MemoryImage::new(1 << 14);
+    let buf = img.alloc(64 * 4);
+    for i in 0..64 {
+        img.write_u32(buf + 4 * i, i * 7 + 3);
+    }
+    let launch = Launch::new(p, 64, 16).with_args(&[buf]);
+    let cfg = GpuConfig::paper_default();
+    let swept = iwc_sim::Gpu::run_modes(&cfg, &launch, &img, &EngineId::CANONICAL).unwrap();
+    assert_eq!(swept.len(), EngineId::CANONICAL.len());
+    for (r, engine) in swept.iter().zip(EngineId::CANONICAL) {
+        let mut fresh = img.clone();
+        let solo = simulate(&cfg.with_compaction(engine), &launch, &mut fresh).unwrap();
+        assert_eq!(r, &solo, "mode {engine} diverged from an independent run");
+        for k in 0..64 {
+            assert_eq!(
+                fresh.read_u32(buf + 4 * k),
+                (k * 7 + 3) * 3 + 1,
+                "functional output wrong at index {k} under {engine}"
+            );
+        }
+    }
+}

@@ -119,6 +119,7 @@ pub fn join(prefix: &str, name: &str) -> String {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TelemetrySnapshot {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Pow2Hist>,
 }
 
@@ -143,9 +144,22 @@ impl TelemetrySnapshot {
         self.hists.insert(name.to_string(), h);
     }
 
+    /// Sets gauge `name` to `v` (overwriting). Gauges are point-in-time
+    /// measurements (rates, ratios) rather than additive tallies — they
+    /// never flow through [`Registry::absorb`], so nondeterministic values
+    /// like wall-clock rates stay out of the deterministic counter tree.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
     /// Counter value, if present.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
     }
 
     /// Histogram value, if present.
@@ -158,19 +172,24 @@ impl TelemetrySnapshot {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Name-sorted gauge iterator.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// Name-sorted histogram iterator.
     pub fn hists(&self) -> impl Iterator<Item = (&str, &Pow2Hist)> {
         self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Number of metrics (counters + histograms).
+    /// Number of metrics (counters + gauges + histograms).
     pub fn len(&self) -> usize {
-        self.counters.len() + self.hists.len()
+        self.counters.len() + self.gauges.len() + self.hists.len()
     }
 
     /// True when no metric is present.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.hists.is_empty()
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
     /// Publishes `stats` under `prefix` (convenience for [`Instrument`]).
@@ -183,6 +202,9 @@ impl TelemetrySnapshot {
     pub fn merge(&mut self, other: &TelemetrySnapshot) {
         for (name, &v) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
         }
         for (name, h) in &other.hists {
             self.hists.entry(name.clone()).or_default().merge(h);
@@ -212,6 +234,18 @@ impl TelemetrySnapshot {
             out.push_str(&format!("      \"{}\": {v}", crate::json::escape(name)));
         }
         out.push_str(if first { "},\n" } else { "\n    },\n" });
+        // Gauges are emitted only when present so snapshots without them
+        // render byte-identically to the pre-gauge schema.
+        if !self.gauges.is_empty() {
+            out.push_str("    \"gauges\": {");
+            first = true;
+            for (name, v) in &self.gauges {
+                out.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                out.push_str(&format!("      \"{}\": {v:.3}", crate::json::escape(name)));
+            }
+            out.push_str("\n    },\n");
+        }
         out.push_str("    \"histograms\": {");
         first = true;
         for (name, h) in &self.hists {
@@ -240,6 +274,9 @@ impl fmt::Display for TelemetrySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, v) in &self.counters {
             writeln!(f, "{name:<40} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name:<40} {v:.3}")?;
         }
         for (name, h) in &self.hists {
             writeln!(
@@ -332,6 +369,26 @@ mod tests {
         let snap = TelemetrySnapshot::new();
         assert!(snap.is_empty());
         crate::json::parse(&snap.to_json()).expect("empty snapshot JSON parses");
+    }
+
+    #[test]
+    fn gauges_render_only_when_present() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_counter("c", 1);
+        let without = snap.to_json();
+        assert!(!without.contains("\"gauges\""));
+        snap.set_gauge("sim/throughput", 1234.5);
+        assert_eq!(snap.gauge("sim/throughput"), Some(1234.5));
+        let with = snap.to_json();
+        assert!(with.contains("\"gauges\""));
+        assert!(with.contains("\"sim/throughput\": 1234.500"));
+        crate::json::parse(&with).expect("gauge JSON parses");
+        // Merge overwrites gauges rather than summing them.
+        let mut other = TelemetrySnapshot::new();
+        other.set_gauge("sim/throughput", 2.0);
+        snap.merge(&other);
+        assert_eq!(snap.gauge("sim/throughput"), Some(2.0));
+        assert_eq!(snap.len(), 2);
     }
 
     #[test]
