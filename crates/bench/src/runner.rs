@@ -185,7 +185,7 @@ fn read_runs(path: &std::path::Path) -> Vec<RunRecord> {
     text.lines().filter_map(parse_run_line).collect()
 }
 
-fn parse_run_line(line: &str) -> Option<RunRecord> {
+pub(crate) fn parse_run_line(line: &str) -> Option<RunRecord> {
     let mut threads = None;
     let mut wall_ms = None;
     let mut cells = None;

@@ -191,16 +191,7 @@ impl CompactionEngine for BccEngine {
     }
 
     fn cycles(&self, mask: ExecMask, dtype: DataType) -> u32 {
-        let g = dtype.elements_per_wave();
-        let width = mask.width();
-        let active_groups = (0..width.div_ceil(g))
-            .filter(|&grp| {
-                let lo = grp * g;
-                let hi = (lo + g).min(width);
-                (lo..hi).any(|ch| mask.channel(ch))
-            })
-            .count() as u32;
-        active_groups.max(1)
+        mask.active_groups(dtype.elements_per_wave()).max(1)
     }
 
     fn expand(&self, insn: &Instruction, mask: ExecMask) -> Expansion {

@@ -111,22 +111,22 @@ impl CompactionTally {
 
     /// Adds one executed instruction.
     pub fn add(&mut self, mask: ExecMask, dtype: DataType) {
-        self.cycles.accumulate(CycleBreakdown::of(mask, dtype));
+        self.add_delta(&TallyDelta::of(mask, dtype));
+    }
+
+    /// Adds one executed instruction from its precomputed contribution.
+    ///
+    /// Hot issue paths compute the [`TallyDelta`] once per distinct
+    /// `(mask, dtype)` (see [`TallyMemo`]) and apply it to several tallies;
+    /// the result is identical to calling [`add`](Self::add) on each.
+    pub fn add_delta(&mut self, d: &TallyDelta) {
+        self.cycles.accumulate(d.cycles);
         self.instructions += 1;
-        self.active_channels += u64::from(mask.active_channels());
-        self.total_channels += u64::from(mask.width());
-        let bucket = UtilBucket::of(mask);
-        let idx = UtilBucket::ALL
-            .iter()
-            .position(|&b| b == bucket)
-            .expect("bucket in ALL");
-        self.buckets[idx] += 1;
-        // Fetch/swizzle accounting assumes a representative 2-source op.
-        let idle_quads = u64::from(mask.quad_count() - mask.active_quads().min(mask.quad_count()));
-        self.bcc_fetches_saved += 2 * idle_quads;
-        // Exact swizzled-channel count of the Fig. 6 algorithm, served from
-        // the process-wide schedule memo (O(1) on repeated masks).
-        self.scc_swizzles += u64::from(crate::scc::SccCost::of(mask).swizzles);
+        self.active_channels += d.active_channels;
+        self.total_channels += d.total_channels;
+        self.buckets[d.bucket] += 1;
+        self.bcc_fetches_saved += d.bcc_fetches_saved;
+        self.scc_swizzles += d.scc_swizzles;
     }
 
     /// Merges another tally into this one.
@@ -172,6 +172,79 @@ impl CompactionTally {
     /// baseline (the Fig. 10 quantity).
     pub fn reduction_vs_ivb(&self, mode: CompactionMode) -> f64 {
         self.cycles.reduction_vs_ivb(mode)
+    }
+}
+
+/// Precomputed [`CompactionTally::add`] contribution of one executed
+/// instruction. Every field is a pure function of `(mask, dtype)`, so the
+/// hot issue path can evaluate the four cycle models, the utilization
+/// bucket, and the swizzle cost once per distinct mask and replay the
+/// result into several tallies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TallyDelta {
+    cycles: CycleBreakdown,
+    active_channels: u64,
+    total_channels: u64,
+    bucket: usize,
+    bcc_fetches_saved: u64,
+    scc_swizzles: u64,
+}
+
+impl TallyDelta {
+    /// Computes the contribution of one `(mask, dtype)` instruction.
+    pub fn of(mask: ExecMask, dtype: DataType) -> Self {
+        let bucket = UtilBucket::of(mask);
+        // Fetch/swizzle accounting assumes a representative 2-source op.
+        let idle_quads = u64::from(mask.quad_count() - mask.active_quads().min(mask.quad_count()));
+        Self {
+            cycles: CycleBreakdown::of(mask, dtype),
+            active_channels: u64::from(mask.active_channels()),
+            total_channels: u64::from(mask.width()),
+            bucket: UtilBucket::ALL
+                .iter()
+                .position(|&b| b == bucket)
+                .expect("bucket in ALL"),
+            bcc_fetches_saved: 2 * idle_quads,
+            // Exact swizzled-channel count of the Fig. 6 algorithm, served
+            // from the process-wide schedule memo (O(1) on repeated masks).
+            scc_swizzles: u64::from(crate::scc::SccCost::of(mask).swizzles),
+        }
+    }
+}
+
+/// Small direct-mapped memo over [`TallyDelta::of`].
+///
+/// Loop bodies re-present the same execution mask over and over, but an EU
+/// interleaves several threads whose masks differ; a few direct-mapped ways
+/// keep all of them resident, turning the per-issue tally cost into a key
+/// compare plus a handful of integer adds. Collisions just recompute.
+#[derive(Clone, Debug)]
+pub struct TallyMemo {
+    keys: [Option<(u32, u32, DataType)>; Self::WAYS],
+    deltas: [TallyDelta; Self::WAYS],
+}
+
+impl Default for TallyMemo {
+    fn default() -> Self {
+        Self {
+            keys: [None; Self::WAYS],
+            deltas: [TallyDelta::default(); Self::WAYS],
+        }
+    }
+}
+
+impl TallyMemo {
+    const WAYS: usize = 64;
+
+    /// The tally contribution of `(mask, dtype)`, computed or replayed.
+    pub fn delta(&mut self, mask: ExecMask, dtype: DataType) -> TallyDelta {
+        let key = (mask.bits(), mask.width(), dtype);
+        let way = (key.0.wrapping_mul(0x9E37_79B9) >> 26) as usize;
+        if self.keys[way] != Some(key) {
+            self.deltas[way] = TallyDelta::of(mask, dtype);
+            self.keys[way] = Some(key);
+        }
+        self.deltas[way]
     }
 }
 

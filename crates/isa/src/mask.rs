@@ -141,9 +141,35 @@ impl ExecMask {
     /// This is exactly the execution-cycle count under basic cycle compression
     /// (BCC) before the 1-cycle minimum is applied.
     pub fn active_quads(self) -> u32 {
-        (0..self.quad_count())
-            .filter(|&q| self.quad_active(q))
-            .count() as u32
+        self.active_groups(QUAD)
+    }
+
+    /// Number of aligned `group`-channel groups with at least one enabled
+    /// channel, where `group` is a power of two (the
+    /// datapath-element-granularity generalization of
+    /// [`active_quads`](Self::active_quads)). Bits past `width` are zero by
+    /// construction, so partial trailing groups count correctly. Branch-free:
+    /// OR-folds each group onto its lowest bit, then popcounts.
+    pub fn active_groups(self, group: u32) -> u32 {
+        debug_assert!(
+            group.is_power_of_two() && group <= MAX_WIDTH,
+            "illegal group size {group}"
+        );
+        let mut b = self.bits;
+        let mut step = 1;
+        while step < group {
+            b |= b >> step;
+            step <<= 1;
+        }
+        let group_lsb = match group {
+            1 => u32::MAX,
+            2 => 0x5555_5555,
+            4 => 0x1111_1111,
+            8 => 0x0101_0101,
+            16 => 0x0001_0001,
+            _ => 1,
+        };
+        (b & group_lsb).count_ones()
     }
 
     /// Iterator over the indices of enabled channels, ascending.
@@ -314,5 +340,34 @@ mod tests {
         let m = ExecMask::new(0xF0F0, 16);
         assert_eq!(format!("{m}"), "f0f0/16");
         assert_eq!(format!("{m:?}"), "ExecMask(0xf0f0/16)");
+    }
+
+    #[test]
+    fn active_groups_matches_per_channel_scan() {
+        // Exhaustive over SIMD16, sampled over SIMD8/32, for every legal
+        // group granularity (the elements-per-wave values of the ISA's
+        // data types plus the degenerate 1 and 32).
+        let scan = |m: ExecMask, g: u32| -> u32 {
+            (0..m.width().div_ceil(g))
+                .filter(|&grp| {
+                    let lo = grp * g;
+                    let hi = (lo + g).min(m.width());
+                    (lo..hi).any(|ch| m.channel(ch))
+                })
+                .count() as u32
+        };
+        for g in [1u32, 2, 4, 8, 16, 32] {
+            for bits in 0..=0xFFFFu32 {
+                let m = ExecMask::new(bits, 16);
+                assert_eq!(m.active_groups(g), scan(m, g), "bits={bits:#x} g={g}");
+            }
+            for seed in 0..1000u32 {
+                let bits = seed.wrapping_mul(0x9E37_79B9);
+                for width in [8u32, 32] {
+                    let m = ExecMask::new(bits, width);
+                    assert_eq!(m.active_groups(g), scan(m, g), "bits={bits:#x} g={g}");
+                }
+            }
+        }
     }
 }

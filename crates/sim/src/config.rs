@@ -101,6 +101,48 @@ impl ExecBackend {
     }
 }
 
+/// Which scheduler drives the simulation loop.
+///
+/// Both schedulers visit the same cycle sequence and charge the same stall
+/// cycles — the event wheel only skips the *re-arbitration* of EUs that are
+/// provably blocked until a known future cycle, so `SimResult`s are
+/// byte-identical (pinned by `crates/sim/tests/event_wheel.rs`). Like
+/// [`ExecBackend`], this knob only trades simulator wall-clock speed against
+/// auditability of the inner loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedMode {
+    /// Resolve from the `IWC_SCHED` environment variable (`"tick"` selects
+    /// the tick loop; anything else, or unset, selects the event wheel).
+    /// Read once per process.
+    #[default]
+    Auto,
+    /// Event-wheel scheduler ([`crate::wheel`]): blocked EUs sleep until
+    /// their exact wake-up cycle; the fast path.
+    Wheel,
+    /// The original loop that re-arbitrates every EU on every visited
+    /// cycle: the timing oracle.
+    Tick,
+}
+
+impl SchedMode {
+    /// Resolves `Auto` against the `IWC_SCHED` environment variable
+    /// (cached after the first read; explicit variants are returned
+    /// unchanged).
+    pub fn resolve(self) -> SchedMode {
+        use std::sync::OnceLock;
+        static FROM_ENV: OnceLock<SchedMode> = OnceLock::new();
+        match self {
+            SchedMode::Auto => {
+                *FROM_ENV.get_or_init(|| match std::env::var("IWC_SCHED").as_deref() {
+                    Ok("tick") => SchedMode::Tick,
+                    _ => SchedMode::Wheel,
+                })
+            }
+            explicit => explicit,
+        }
+    }
+}
+
 /// Full GPU configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
@@ -143,6 +185,10 @@ pub struct GpuConfig {
     /// Functional interpreter selection (timing-neutral; see
     /// [`ExecBackend`]).
     pub exec: ExecBackend,
+    /// Simulation-loop scheduler selection (timing-neutral; see
+    /// [`SchedMode`]).
+    #[serde(default)]
+    pub sched: SchedMode,
     /// FPU pipeline depth (issue-to-writeback latency beyond occupancy).
     pub fpu_latency: u32,
     /// Extended-math pipeline depth.
@@ -169,6 +215,7 @@ impl GpuConfig {
             record_issue_log: false,
             profile_insns: false,
             exec: ExecBackend::Auto,
+            sched: SchedMode::Auto,
             // Issue-to-writeback depth beyond pipe occupancy. Gen EUs forward
             // results between dependent ALU ops, so the effective latency seen
             // by the scoreboard is short.
@@ -250,6 +297,12 @@ impl GpuConfig {
     /// Paper default with an explicit functional-interpreter backend.
     pub fn with_exec(mut self, exec: ExecBackend) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Paper default with an explicit simulation-loop scheduler.
+    pub fn with_sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
         self
     }
 

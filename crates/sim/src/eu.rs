@@ -94,6 +94,10 @@ pub struct HwThread {
     reg_from_mem: u128,
     /// Per-flag-register writeback completion times.
     flag_busy: [u64; 2],
+    /// High-water mark over every `reg_busy`/`flag_busy` entry: when it is
+    /// at or before `now`, every scoreboard mark has expired and the
+    /// dependence scan can be skipped wholesale.
+    busy_max: u64,
     /// Completion time of the latest outstanding memory access.
     pub last_mem_done: u64,
 }
@@ -113,12 +117,14 @@ impl HwThread {
             reg_busy: vec![0u64; 128].into_boxed_slice(),
             reg_from_mem: 0,
             flag_busy: [0, 0],
+            busy_max: 0,
             last_mem_done: 0,
         }
     }
 
     fn mark_regs(&mut self, op: &iwc_isa::Operand, width: u32, until: u64, from_mem: bool) {
         if let Some((lo, hi)) = op.grf_byte_range(width) {
+            self.busy_max = self.busy_max.max(until);
             for r in lo / GRF_BYTES..=(hi - 1) / GRF_BYTES {
                 self.reg_busy[r as usize] = self.reg_busy[r as usize].max(until);
                 // The writer at issue time always owns the new maximum (its
@@ -206,6 +212,7 @@ impl HwThread {
     /// [`mark_regs`](Self::mark_regs) over a precomputed register range.
     fn mark_range(&mut self, range: Option<(u8, u8)>, until: u64, from_mem: bool) {
         if let Some((lo, hi)) = range {
+            self.busy_max = self.busy_max.max(until);
             for r in lo..=hi {
                 self.reg_busy[usize::from(r)] = self.reg_busy[usize::from(r)].max(until);
                 if from_mem {
@@ -276,6 +283,32 @@ impl StallStats {
             StallReason::PipeBusy => self.pipe_busy += 1,
             StallReason::MemDrain => self.mem_drain += 1,
         }
+    }
+
+    /// Counts accumulated since `earlier` (a prior copy of this struct),
+    /// with instruction-fetch waits folded into `stalled`: an I$ miss only
+    /// charges `ifetch` on the arbitration pass that starts it; every later
+    /// pass over the same blocked thread counts as a fence wait. The event
+    /// wheel uses this as the per-skipped-pass delta when reconstructing
+    /// the legacy per-pass counters for a sleeping EU ([`crate::gpu`]).
+    pub(crate) fn steady_delta_since(&self, earlier: &StallStats) -> StallStats {
+        StallStats {
+            stalled: self.stalled - earlier.stalled + (self.ifetch - earlier.ifetch),
+            scoreboard: self.scoreboard - earlier.scoreboard,
+            ifetch: 0,
+            pipe_busy: self.pipe_busy - earlier.pipe_busy,
+            mem_drain: self.mem_drain - earlier.mem_drain,
+        }
+    }
+
+    /// Adds `delta` scaled by `n` (one `delta` per skipped arbitration
+    /// pass).
+    pub(crate) fn add_scaled(&mut self, delta: &StallStats, n: u64) {
+        self.stalled += delta.stalled * n;
+        self.scoreboard += delta.scoreboard * n;
+        self.ifetch += delta.ifetch * n;
+        self.pipe_busy += delta.pipe_busy * n;
+        self.mem_drain += delta.mem_drain * n;
     }
 
     /// Merges another sample.
@@ -531,17 +564,79 @@ pub struct Eu {
     pub id: u32,
     /// Resident threads (None = free slot).
     pub slots: Vec<Option<HwThread>>,
+    /// Occupied-slot count, maintained at place/retire so the dispatch
+    /// and completion checks in the scheduler loop are O(1) per cycle.
+    resident: u32,
     fpu_free: u64,
     em_free: u64,
     arb_ptr: usize,
     /// Instruction addresses resident in the shared L1 I$ (FIFO of PCs,
     /// capacity `cfg.icache_insns`).
     icache: std::collections::VecDeque<usize>,
-    icache_set: std::collections::HashSet<usize>,
+    /// Dense residency flags for `icache`, indexed by PC (PCs are small
+    /// program offsets, so a byte vector beats hashing on the issue path).
+    icache_set: Vec<u8>,
     /// Reusable lane-address/line scratch for the decoded send path.
     scratch: LaneScratch,
+    /// One-entry memo for the per-issue compaction tallies: loop bodies
+    /// re-present the same mask, so the four cycle models are evaluated
+    /// once per distinct mask instead of twice per issue.
+    tally_memo: iwc_compaction::TallyMemo,
+    /// Per-slot cached blocked-issue verdicts, packed apart from the big
+    /// thread state so a scan over blocked slots stays inside a couple of
+    /// cache lines instead of touching each multi-KB [`HwThread`]. While
+    /// `now < polls[i].until`, slot `i` cannot issue and a fresh attempt
+    /// would re-derive exactly `(reason, cause)`. Valid because every wait
+    /// the issue stage can hit is a fixed timestamp for the blocked thread
+    /// — its scoreboard marks don't move until *it* issues, and shared
+    /// pipe-free times only grow, so the cached time is a stable lower
+    /// bound.
+    polls: Box<[SlotPoll]>,
+    /// Bit `i` set while `slots[i]` holds a thread, so the scan skips
+    /// empty slots without touching the slot storage.
+    occupied: u64,
+    /// Cached verdict of a fully-blocked arbitration scan, replayed
+    /// wholesale until the earliest blocked thread becomes ready (see
+    /// [`arbitrate`](Self::arbitrate)).
+    arb_memo: Option<ArbMemo>,
+    /// Bumped whenever thread state changes outside the issue path (a
+    /// thread placed, a barrier released), invalidating `arb_memo`.
+    epoch: u32,
     /// Statistics.
     pub stats: EuStats,
+}
+
+/// One slot's cached blocked-issue verdict (see [`Eu::polls`]).
+#[derive(Clone, Copy, Debug)]
+struct SlotPoll {
+    until: u64,
+    reason: StallReason,
+    cause: StallCause,
+}
+
+impl Default for SlotPoll {
+    fn default() -> Self {
+        Self {
+            until: 0,
+            reason: StallReason::Stalled,
+            cause: StallCause::FrontEnd,
+        }
+    }
+}
+
+/// Replayable result of an arbitration pass that issued nothing: until
+/// `valid_until`, a fresh scan of the same (unchanged) thread set would
+/// re-derive exactly these per-reason stall increments, wake-up hint, and
+/// root blocking cause, because every blocked thread's ready time is a
+/// stable lower bound and barrier residency only changes through a release
+/// (which bumps the EU epoch).
+#[derive(Clone, Copy, Debug)]
+struct ArbMemo {
+    valid_until: u64,
+    epoch: u32,
+    stalls_delta: StallStats,
+    hint: Option<u64>,
+    blocked: Option<StallCause>,
 }
 
 /// Instruction-fetch check: returns the extra stall (cycles) before the
@@ -550,7 +645,7 @@ pub struct Eu {
 /// a thread slot is borrowed.
 fn ifetch_check(
     icache: &mut std::collections::VecDeque<usize>,
-    icache_set: &mut std::collections::HashSet<usize>,
+    icache_set: &mut Vec<u8>,
     misses: &mut u64,
     pc: usize,
     cfg: &GpuConfig,
@@ -558,17 +653,20 @@ fn ifetch_check(
     if cfg.icache_miss_latency == 0 || cfg.icache_insns == 0 {
         return 0;
     }
-    if icache_set.contains(&pc) {
+    if icache_set.get(pc).is_some_and(|&r| r != 0) {
         return 0;
     }
     *misses += 1;
     if icache.len() as u32 >= cfg.icache_insns {
         if let Some(old) = icache.pop_front() {
-            icache_set.remove(&old);
+            icache_set[old] = 0;
         }
     }
     icache.push_back(pc);
-    icache_set.insert(pc);
+    if pc >= icache_set.len() {
+        icache_set.resize(pc + 1, 0);
+    }
+    icache_set[pc] = 1;
     u64::from(cfg.icache_miss_latency)
 }
 
@@ -618,27 +716,34 @@ fn record_issue_event(
 impl Eu {
     /// Creates an EU with `threads` empty slots.
     pub fn new(id: u32, threads: u32) -> Self {
+        assert!(threads <= 64, "occupancy bitmask holds at most 64 slots");
         Self {
             id,
             slots: (0..threads).map(|_| None).collect(),
+            polls: (0..threads).map(|_| SlotPoll::default()).collect(),
+            occupied: 0,
+            resident: 0,
             fpu_free: 0,
             em_free: 0,
             arb_ptr: 0,
             icache: std::collections::VecDeque::new(),
-            icache_set: std::collections::HashSet::new(),
+            icache_set: Vec::new(),
             scratch: LaneScratch::new(),
+            tally_memo: iwc_compaction::TallyMemo::default(),
+            arb_memo: None,
+            epoch: 0,
             stats: EuStats::default(),
         }
     }
 
     /// Number of free thread slots.
     pub fn free_slots(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_none()).count()
+        self.slots.len() - self.resident as usize
     }
 
     /// True when no thread is resident.
     pub fn is_idle(&self) -> bool {
-        self.slots.iter().all(Option::is_none)
+        self.resident == 0
     }
 
     /// Places a thread into a free slot.
@@ -649,10 +754,21 @@ impl Eu {
     pub fn place(&mut self, t: HwThread) {
         let slot = self
             .slots
-            .iter_mut()
-            .find(|s| s.is_none())
+            .iter()
+            .position(|s| s.is_none())
             .expect("free slot");
-        *slot = Some(t);
+        self.slots[slot] = Some(t);
+        self.polls[slot] = SlotPoll::default();
+        self.occupied |= 1 << slot;
+        self.resident += 1;
+        self.note_threads_changed();
+    }
+
+    /// Invalidates the replayable arbitration verdict after a thread-state
+    /// change the issue path did not make itself (a thread placed, a
+    /// barrier released).
+    pub(crate) fn note_threads_changed(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// Attempts to issue one instruction from thread slot `i` at time `now`.
@@ -707,7 +823,11 @@ impl Eu {
         let insn = &program.insns()[pc];
 
         // Scoreboard.
-        let (ready, dep_from_mem) = t.deps_ready_at(insn);
+        let (ready, dep_from_mem) = if t.busy_max <= now {
+            (0, false) // every scoreboard mark already expired
+        } else {
+            t.deps_ready_at(insn)
+        };
         if ready > now {
             let cause = if dep_from_mem {
                 StallCause::MemLatency
@@ -815,14 +935,16 @@ impl Eu {
                 t.mark_regs(&dst, exec_width, writeback, false);
                 if let Some(f) = cond_flag {
                     t.flag_busy[f.index() as usize] = writeback;
+                    t.busy_max = t.busy_max.max(writeback);
                 }
                 match pipe {
                     Pipe::Fpu => self.stats.fpu_waves += waves,
                     Pipe::Em => self.stats.em_waves += waves,
                     _ => {}
                 }
-                self.stats.compute_tally.add(executed.mask, dtype);
-                self.stats.simd_tally.add(executed.mask, dtype);
+                let d = self.tally_memo.delta(executed.mask, dtype);
+                self.stats.compute_tally.add_delta(&d);
+                self.stats.simd_tally.add_delta(&d);
                 if cfg.capture_masks {
                     self.stats
                         .mask_trace
@@ -835,7 +957,8 @@ impl Eu {
                 ref lane_addrs,
             } => {
                 self.stats.sends += 1;
-                self.stats.simd_tally.add(executed.mask, dtype);
+                let d = self.tally_memo.delta(executed.mask, dtype);
+                self.stats.simd_tally.add_delta(&d);
                 if cfg.capture_masks {
                     self.stats
                         .mask_trace
@@ -863,6 +986,8 @@ impl Eu {
             }
             Effect::Eot => {
                 self.slots[i] = None;
+                self.occupied &= !(1 << i);
+                self.resident -= 1;
                 return IssueOutcome::Finished;
             }
             Effect::ControlFlow => {}
@@ -893,11 +1018,14 @@ impl Eu {
         let Self {
             id,
             slots,
+            occupied,
+            resident,
             fpu_free,
             em_free,
             icache,
             icache_set,
             scratch,
+            tally_memo,
             stats,
             ..
         } = self;
@@ -938,7 +1066,11 @@ impl Eu {
         let pc = t.ctx.pc;
 
         // Scoreboard.
-        let (ready, dep_from_mem) = t.deps_ready_at_plan(plan);
+        let (ready, dep_from_mem) = if t.busy_max <= now {
+            (0, false) // every scoreboard mark already expired
+        } else {
+            t.deps_ready_at_plan(plan)
+        };
         if ready > now {
             let cause = if dep_from_mem {
                 StallCause::MemLatency
@@ -1011,18 +1143,21 @@ impl Eu {
                 t.mark_range(plan.dst_range(), writeback, false);
                 if let Some(f) = plan.cond_flag() {
                     t.flag_busy[usize::from(f)] = writeback;
+                    t.busy_max = t.busy_max.max(writeback);
                 }
                 match pipe {
                     Pipe::Fpu => stats.fpu_waves += waves,
                     Pipe::Em => stats.em_waves += waves,
                     _ => {}
                 }
-                stats.compute_tally.add(mask, plan.dtype());
-                stats.simd_tally.add(mask, plan.dtype());
+                let d = tally_memo.delta(mask, plan.dtype());
+                stats.compute_tally.add_delta(&d);
+                stats.simd_tally.add_delta(&d);
             }
             PlanEffect::Memory { space, is_store } => {
                 stats.sends += 1;
-                stats.simd_tally.add(mask, plan.dtype());
+                let d = tally_memo.delta(mask, plan.dtype());
+                stats.simd_tally.add_delta(&d);
                 let done = match space {
                     MemSpace::Global => {
                         let addrs = &scratch.addrs[..usize::from(scratch.len)];
@@ -1046,6 +1181,8 @@ impl Eu {
             }
             PlanEffect::Eot => {
                 slots[i] = None;
+                *occupied &= !(1 << i);
+                *resident -= 1;
                 return IssueOutcome::Finished;
             }
             PlanEffect::ControlFlow => {}
@@ -1079,6 +1216,20 @@ impl Eu {
         slms: &mut [MemoryImage],
         barrier_arrivals: &mut Vec<usize>,
     ) -> ArbResult {
+        // Replay a still-valid fully-blocked verdict without touching any
+        // slot: nothing this EU can observe has changed since the scan
+        // that produced it.
+        if let Some(m) = &self.arb_memo {
+            if m.epoch == self.epoch && now < m.valid_until {
+                self.stats.stalls.merge(&m.stalls_delta);
+                return ArbResult {
+                    issued: 0,
+                    finished: Vec::new(),
+                    hint: m.hint,
+                    blocked: m.blocked,
+                };
+            }
+        }
         let n = self.slots.len();
         let mut issued = 0u32;
         let mut finished = Vec::new();
@@ -1088,13 +1239,33 @@ impl Eu {
         // thread sat at a barrier, for root-cause attribution.
         let mut soonest: Option<(u64, StallCause)> = None;
         let mut saw_barrier = false;
+        let mut stall_delta = StallStats::default();
         let recording = cfg.profile_insns || cfg.record_issue_log || cfg.capture_masks;
-        let start = self.arb_ptr;
-        for k in 0..n {
+        let mut next = self.arb_ptr;
+        for _ in 0..n {
             if issued >= cfg.issue_per_cycle {
                 break;
             }
-            let i = (start + k) % n;
+            let i = next;
+            next = if next + 1 == n { 0 } else { next + 1 };
+            if self.occupied >> i & 1 == 0 {
+                continue;
+            }
+            // Replay a still-valid blocked verdict without re-running the
+            // issue attempt — or touching the slot's thread state at all
+            // (skipped under recording so per-pc stall profiles keep their
+            // slow-path granularity).
+            if !recording {
+                let p = self.polls[i];
+                if p.until > now {
+                    stall_delta.add(p.reason);
+                    hint = Some(hint.map_or(p.until, |h| h.min(p.until)));
+                    if soonest.is_none_or(|(best, _)| p.until < best) {
+                        soonest = Some((p.until, p.cause));
+                    }
+                    continue;
+                }
+            }
             let Some(t) = self.slots[i].as_ref() else {
                 continue;
             };
@@ -1128,19 +1299,32 @@ impl Eu {
             match outcome {
                 IssueOutcome::Issued => {
                     issued += 1;
-                    self.arb_ptr = (i + 1) % n;
+                    self.arb_ptr = next;
                 }
                 IssueOutcome::Finished => {
                     issued += 1;
                     finished.push(wg);
-                    self.arb_ptr = (i + 1) % n;
+                    self.arb_ptr = next;
                 }
                 IssueOutcome::NotReadyUntil(at, reason, cause) => {
-                    self.stats.stalls.add(reason);
+                    stall_delta.add(reason);
                     hint = Some(hint.map_or(at, |h| h.min(at)));
                     if soonest.is_none_or(|(best, _)| at < best) {
                         soonest = Some((at, cause));
                     }
+                    self.polls[i] = SlotPoll {
+                        until: at,
+                        // Cache what a *repeated* fresh attempt would report:
+                        // an I$ miss is charged as `Ifetch` once, then the
+                        // thread sits behind `stalled_until`, which reports
+                        // plain `Stalled`.
+                        reason: if matches!(reason, StallReason::Ifetch) {
+                            StallReason::Stalled
+                        } else {
+                            reason
+                        },
+                        cause,
+                    };
                 }
                 IssueOutcome::Barrier => saw_barrier = true,
             }
@@ -1153,6 +1337,24 @@ impl Eu {
             Some(StallCause::Barrier)
         } else {
             Some(StallCause::Drained)
+        };
+        self.stats.stalls.merge(&stall_delta);
+        // A scan that issued nothing replays unchanged until the soonest
+        // blocked thread becomes ready (with no timed waiter, until a
+        // barrier release or dispatch bumps the epoch).
+        self.arb_memo = if issued == 0 && !recording {
+            Some(ArbMemo {
+                valid_until: hint.unwrap_or(u64::MAX),
+                epoch: self.epoch,
+                // A repeated pass reports an I$ miss charged this pass as a
+                // plain fence wait — the same first-pass-only normalization
+                // the sleep path applies.
+                stalls_delta: stall_delta.steady_delta_since(&StallStats::default()),
+                hint,
+                blocked,
+            })
+        } else {
+            None
         };
         ArbResult {
             issued,

@@ -68,8 +68,9 @@ pub mod profile;
 pub mod regfile;
 pub mod simt;
 pub mod timeline;
+pub mod wheel;
 
-pub use config::{CacheConfig, ExecBackend, GpuConfig, MemConfig, RfTiming};
+pub use config::{CacheConfig, ExecBackend, GpuConfig, MemConfig, RfTiming, SchedMode};
 pub use eu::{
     Eu, EuStats, HwThread, IssueEvent, StallBreakdown, StallCause, StallSpan, StallStats,
 };
@@ -81,3 +82,4 @@ pub use plan::{DecodedProgram, LaneScratch, MicroPlan, PlanEffect};
 pub use profile::{BlockStat, InsnStat, KernelProfile};
 pub use regfile::RegFile;
 pub use simt::SimtStack;
+pub use wheel::{TimingWheel, WheelStats};

@@ -19,7 +19,7 @@
 //!   pipe, EOT) used by zero-mask skipping and pipe arbitration.
 //!
 //! Operand shapes outside the specialized fast paths (mixed dtypes,
-//! scalar/null destinations, sub-32-bit types, `cmp`/`sel`, memory data
+//! scalar destinations, sub-32-bit types, memory data
 //! movement) fall back to the exact [`read_lane`/`write_lane`/`eval_alu`]
 //! sequence of the reference interpreter, so the two backends are
 //! bit-identical by construction; `crates/sim/tests/decoded_equivalence.rs`
@@ -30,15 +30,42 @@
 use crate::exec::{pred_bits, ThreadCtx};
 use crate::memimg::MemoryImage;
 use iwc_isa::eval::{eval_alu, eval_cond};
-use iwc_isa::insn::{CondMod, Instruction, MemSpace, Opcode, Pipe, SendMessage};
+use iwc_isa::insn::{CondMod, CondOp, Instruction, MemSpace, Opcode, Pipe, SendMessage};
 use iwc_isa::mask::ExecMask;
 use iwc_isa::program::Program;
-use iwc_isa::reg::{Operand, Predicate, GRF_BYTES};
+use iwc_isa::reg::{FlagReg, Operand, Predicate, GRF_BYTES};
 use iwc_isa::types::{DataType, Scalar};
 
 type F3 = fn(f64, f64, f64) -> f64;
 type I3 = fn(i64, i64, i64) -> i64;
 type U3 = fn(u64, u64, u64) -> u64;
+
+/// A whole-span ALU kernel: `(regs, srcs, dst_byte, mask_bits, width)`.
+/// One monomorphized function evaluates every lane of the span with the
+/// formula inlined — the per-lane loops inside are plain counted loops
+/// over stack arrays, which the optimizer autovectorizes — and commits
+/// results with a branchless masked blend so inactive lanes keep their
+/// raw bits.
+type SpanKern = fn(&mut crate::regfile::RegFile, &[Src32; 3], u32, u32, u32);
+
+/// A whole-span `cmp` kernel: `(regs, srcs, dst_byte, mask_bits, width)`
+/// → per-lane condition results as a bitmask over lanes `0..width`.
+/// Writes the optional numeric destination itself (mask-blended) and
+/// leaves the flag merge to the caller, which holds the flag id.
+type CmpKern = fn(&mut crate::regfile::RegFile, &[Src32; 3], u32, u32, u32) -> u32;
+
+/// A whole-span `sel` kernel: `(regs, srcs, dst_byte, mask_bits, width,
+/// select_bits)`. Lane `i` takes `srcs[0]` when `select` bit `i` is set
+/// and `srcs[1]` otherwise; the store is mask-blended like every span
+/// kernel.
+type SelKern = fn(&mut crate::regfile::RegFile, &[Src32; 3], u32, u32, u32, u32);
+
+/// Destination sentinel for [`CmpKern`]: the `cmp` writes flags only.
+const NO_DST: u32 = u32::MAX;
+
+/// Widest possible span (SIMD32): fixed bound for the stack staging
+/// arrays of the span kernels.
+const MAX_LANES: usize = 32;
 
 /// A source operand resolved at decode time for the 32-bit fast lane
 /// loops. Immediates are pre-converted into the eval domain of the plan's
@@ -116,6 +143,16 @@ enum PlanKind {
         srcs: [Src32; 3],
         dst: u32,
     },
+    /// Vectorized whole-span ALU: the same formula as the per-lane fast
+    /// paths, monomorphized over the full span with masked blend-stores.
+    /// Selected at decode only when [`span_safe`] proves the precompute
+    /// order is indistinguishable from the ascending per-lane order.
+    AluVec {
+        kern: SpanKern,
+        srcs: [Src32; 3],
+        dst: u32,
+        width: u32,
+    },
     /// Any other computation: reference `read_lane`/`eval_alu`/`write_lane`.
     AluGeneric {
         op: Opcode,
@@ -129,10 +166,29 @@ enum PlanKind {
         b: Operand,
         dst: Operand,
     },
+    /// Vectorized `cmp`: both sources on the 32-bit fast classes, flag
+    /// results merged as one bitmask, optional numeric destination
+    /// blend-stored by the kernel ([`NO_DST`] when null).
+    CmpVec {
+        kern: CmpKern,
+        srcs: [Src32; 3],
+        flag: FlagReg,
+        dst: u32,
+        width: u32,
+    },
     Sel {
         a: Operand,
         b: Operand,
         dst: Operand,
+    },
+    /// Vectorized `sel`: both sources and the destination on the 32-bit
+    /// fast classes; the selecting predicate is read at execute time and
+    /// applied as a whole-span blend.
+    SelVec {
+        kern: SelKern,
+        srcs: [Src32; 3],
+        dst: u32,
+        width: u32,
     },
     Load {
         space: MemSpace,
@@ -399,17 +455,20 @@ fn decode_kind(insn: &Instruction) -> PlanKind {
                 data,
             },
         },
-        Opcode::Cmp => PlanKind::Cmp {
-            cm: insn.cond_mod.expect("cmp carries a condition modifier"),
+        Opcode::Cmp => {
+            let cm = insn.cond_mod.expect("cmp carries a condition modifier");
+            fast_cmp(insn, cm).unwrap_or(PlanKind::Cmp {
+                cm,
+                a: insn.srcs[0],
+                b: insn.srcs[1],
+                dst: insn.dst,
+            })
+        }
+        Opcode::Sel => fast_sel(insn).unwrap_or(PlanKind::Sel {
             a: insn.srcs[0],
             b: insn.srcs[1],
             dst: insn.dst,
-        },
-        Opcode::Sel => PlanKind::Sel {
-            a: insn.srcs[0],
-            b: insn.srcs[1],
-            dst: insn.dst,
-        },
+        }),
         op => decode_alu(insn, op),
     }
 }
@@ -444,8 +503,60 @@ fn fast_alu(insn: &Instruction, n: usize) -> Option<PlanKind> {
         Operand::Grf { reg, dtype } if dtype == want => u32::from(reg) * GRF_BYTES,
         _ => return None,
     };
+    let raw = fast_srcs(&insn.srcs[..n], want)?;
+    let specialize = |imm: fn(Scalar) -> u64| specialize_srcs(&raw, imm);
+    let width = insn.exec_width;
+    match want {
+        DataType::F => {
+            let srcs = specialize(|v| v.as_f64().to_bits());
+            if span_safe(&srcs, dst, width) {
+                float_span(insn.op).map(|kern| PlanKind::AluVec {
+                    kern,
+                    srcs,
+                    dst,
+                    width,
+                })
+            } else {
+                float_fn(insn.op).map(|f| PlanKind::AluF { f, srcs, dst })
+            }
+        }
+        DataType::D => {
+            let srcs = specialize(|v| v.as_i64() as u64);
+            if span_safe(&srcs, dst, width) {
+                signed_span(insn.op).map(|kern| PlanKind::AluVec {
+                    kern,
+                    srcs,
+                    dst,
+                    width,
+                })
+            } else {
+                signed_fn(insn.op).map(|f| PlanKind::AluD { f, srcs, dst })
+            }
+        }
+        DataType::Ud => {
+            let srcs = specialize(Scalar::as_u64);
+            if span_safe(&srcs, dst, width) {
+                unsigned_span(insn.op).map(|kern| PlanKind::AluVec {
+                    kern,
+                    srcs,
+                    dst,
+                    width,
+                })
+            } else {
+                unsigned_fn(insn.op).map(|f| PlanKind::AluU { f, srcs, dst })
+            }
+        }
+        _ => unreachable!("fast classes checked above"),
+    }
+}
+
+/// Lowers operand sources onto the decode-time fast classes: every
+/// register source must match the execution type `want` (immediates of
+/// any type are fine — see [`fast_alu`]). Unused trailing slots stay
+/// `Imm(0)`.
+fn fast_srcs(srcs: &[Operand], want: DataType) -> Option<[RawSrc; 3]> {
     let mut raw = [RawSrc::Imm(Scalar::U(0)); 3];
-    for (i, s) in insn.srcs[..n].iter().enumerate() {
+    for (i, s) in srcs.iter().enumerate() {
         raw[i] = match *s {
             Operand::Grf { reg, dtype } if dtype == want => RawSrc::Vec(u32::from(reg) * GRF_BYTES),
             Operand::GrfScalar { reg, sub, dtype } if dtype == want => {
@@ -455,113 +566,260 @@ fn fast_alu(insn: &Instruction, n: usize) -> Option<PlanKind> {
             _ => return None,
         };
     }
-    let specialize = |imm: fn(Scalar) -> u64| {
-        let mut srcs = [Src32::Imm(0); 3];
-        for (dst, src) in srcs.iter_mut().zip(raw.iter()) {
-            *dst = match *src {
-                RawSrc::Vec(b) => Src32::Vec(b),
-                RawSrc::Broadcast(b) => Src32::Broadcast(b),
-                RawSrc::Imm(v) => Src32::Imm(imm(v)),
-            };
-        }
-        srcs
-    };
-    match want {
-        DataType::F => float_fn(insn.op).map(|f| PlanKind::AluF {
-            f,
-            srcs: specialize(|v| v.as_f64().to_bits()),
-            dst,
-        }),
-        DataType::D => signed_fn(insn.op).map(|f| PlanKind::AluD {
-            f,
-            srcs: specialize(|v| v.as_i64() as u64),
-            dst,
-        }),
-        DataType::Ud => unsigned_fn(insn.op).map(|f| PlanKind::AluU {
-            f,
-            srcs: specialize(Scalar::as_u64),
-            dst,
-        }),
-        _ => unreachable!("fast classes checked above"),
+    Some(raw)
+}
+
+/// Converts raw fast-class sources into one eval domain by applying `imm`
+/// to each immediate payload.
+fn specialize_srcs(raw: &[RawSrc; 3], imm: fn(Scalar) -> u64) -> [Src32; 3] {
+    let mut srcs = [Src32::Imm(0); 3];
+    for (dst, src) in srcs.iter_mut().zip(raw.iter()) {
+        *dst = match *src {
+            RawSrc::Vec(b) => Src32::Vec(b),
+            RawSrc::Broadcast(b) => Src32::Broadcast(b),
+            RawSrc::Imm(v) => Src32::Imm(imm(v)),
+        };
     }
+    srcs
+}
+
+/// Tries to lower a `cmp` onto the vectorized span path. Eligibility
+/// mirrors [`fast_alu`] — both sources on the fast classes at an `F`/`D`/
+/// `Ud` execution type — plus a destination that is either null (flags
+/// only) or a plain vector register of the execution type. The condition
+/// is baked into a monomorphized kernel; the per-class comparison domains
+/// replicate [`eval_cond`] exactly (`as_f64`/`as_i64`/`as_u64`).
+fn fast_cmp(insn: &Instruction, cm: CondMod) -> Option<PlanKind> {
+    let want = insn.dtype;
+    if !matches!(want, DataType::F | DataType::D | DataType::Ud) {
+        return None;
+    }
+    let raw = fast_srcs(&insn.srcs[..2], want)?;
+    let dst = match insn.dst {
+        d if d.is_null() => NO_DST,
+        Operand::Grf { reg, dtype } if dtype == want => u32::from(reg) * GRF_BYTES,
+        _ => return None,
+    };
+    let width = insn.exec_width;
+    let (srcs, kern) = match want {
+        DataType::F => (
+            specialize_srcs(&raw, |v| v.as_f64().to_bits()),
+            float_cmp(cm.cond),
+        ),
+        DataType::D => (
+            specialize_srcs(&raw, |v| v.as_i64() as u64),
+            signed_cmp(cm.cond),
+        ),
+        DataType::Ud => (specialize_srcs(&raw, Scalar::as_u64), unsigned_cmp(cm.cond)),
+        _ => unreachable!("fast classes checked above"),
+    };
+    let safe = if dst == NO_DST {
+        span_srcs_in_bounds(&srcs, width)
+    } else {
+        span_safe(&srcs, dst, width)
+    };
+    if !safe {
+        return None;
+    }
+    Some(PlanKind::CmpVec {
+        kern,
+        srcs,
+        flag: cm.flag,
+        dst,
+        width,
+    })
+}
+
+/// Tries to lower a `sel` onto the vectorized span path. Eligibility
+/// mirrors [`fast_alu`]; the per-lane `read_lane`/`Mov`/`write_lane`
+/// round trip is replicated by the span decode/encode conversions.
+fn fast_sel(insn: &Instruction) -> Option<PlanKind> {
+    let want = insn.dtype;
+    if !matches!(want, DataType::F | DataType::D | DataType::Ud) {
+        return None;
+    }
+    insn.pred?;
+    let raw = fast_srcs(&insn.srcs[..2], want)?;
+    let dst = match insn.dst {
+        Operand::Grf { reg, dtype } if dtype == want => u32::from(reg) * GRF_BYTES,
+        _ => return None,
+    };
+    let width = insn.exec_width;
+    let (srcs, kern) = match want {
+        DataType::F => (
+            specialize_srcs(&raw, |v| v.as_f64().to_bits()),
+            sel_span_f as SelKern,
+        ),
+        DataType::D => (
+            specialize_srcs(&raw, |v| v.as_i64() as u64),
+            sel_span_d as SelKern,
+        ),
+        DataType::Ud => (specialize_srcs(&raw, Scalar::as_u64), sel_span_u as SelKern),
+        _ => unreachable!("fast classes checked above"),
+    };
+    if !span_safe(&srcs, dst, width) {
+        return None;
+    }
+    Some(PlanKind::SelVec {
+        kern,
+        srcs,
+        dst,
+        width,
+    })
+}
+
+/// Proves a span kernel bit-identical to the ascending per-lane loop.
+///
+/// The per-lane loop interleaves reads and writes lane by lane in
+/// ascending order; a span kernel reads every source lane up front. The
+/// two differ only when some lane's read would observe an earlier lane's
+/// write:
+///
+/// * a vector source starting strictly below the destination but
+///   overlapping it (lane `i` reads bytes an earlier lane already wrote);
+///   starting at or above the destination is fine — those bytes are
+///   written by the same or a later lane;
+/// * a broadcast element inside the destination span (re-read per lane in
+///   the scalar loop, exactly because it may alias the destination).
+///
+/// The kernel also reads source lanes under inactive mask bits (their
+/// results are blended away), so every vector span — and the destination,
+/// whose blend rewrites inactive lanes with their own old bytes — must lie
+/// fully inside the register file.
+fn span_safe(srcs: &[Src32; 3], dst: u32, width: u32) -> bool {
+    use iwc_isa::reg::GRF_TOTAL_BYTES;
+    let bytes = 4 * width;
+    if dst + bytes > GRF_TOTAL_BYTES || width as usize > MAX_LANES {
+        return false;
+    }
+    srcs.iter().all(|s| match *s {
+        Src32::Vec(b) => b + bytes <= GRF_TOTAL_BYTES && !(b < dst && b + bytes > dst),
+        Src32::Broadcast(a) => a + 4 <= GRF_TOTAL_BYTES && !(a + 4 > dst && a < dst + bytes),
+        Src32::Imm(_) => true,
+    })
+}
+
+/// Bounds-only variant of [`span_safe`] for kernels that write no GRF
+/// destination (`cmp` with a null dst): no write can alias a source, but
+/// inactive lanes are still read, so every span must lie fully inside the
+/// register file.
+fn span_srcs_in_bounds(srcs: &[Src32; 3], width: u32) -> bool {
+    use iwc_isa::reg::GRF_TOTAL_BYTES;
+    let bytes = 4 * width;
+    if width as usize > MAX_LANES {
+        return false;
+    }
+    srcs.iter().all(|s| match *s {
+        Src32::Vec(b) => b + bytes <= GRF_TOTAL_BYTES,
+        Src32::Broadcast(a) => a + 4 <= GRF_TOTAL_BYTES,
+        Src32::Imm(_) => true,
+    })
 }
 
 // The per-class eval tables replicate `iwc_isa::eval` formula-for-formula
 // (including wrapping/shift-masking details); `sel` is excluded because it
 // is predication, not arithmetic. Any opcode missing here falls back to
 // the generic path, which calls `eval_alu` itself.
+//
+// Each formula list is written once and expanded twice: into the per-lane
+// fn-pointer table (`*_fn`, used by the masked fallback paths) and into a
+// table of whole-span kernels (`*_span`) where the formula is inlined into
+// the span driver — one monomorphized loop body per opcode, so there is no
+// per-lane indirect call and the compiler can autovectorize.
 
-fn float_fn(op: Opcode) -> Option<F3> {
-    Some(match op {
-        Opcode::Mov => |a, _, _| a,
-        Opcode::Add => |a, b, _| a + b,
-        Opcode::Sub => |a, b, _| a - b,
-        Opcode::Mul => |a, b, _| a * b,
-        Opcode::Mad => |a, b, c| a * b + c,
-        Opcode::Min => |a: f64, b, _| a.min(b),
-        Opcode::Max => |a: f64, b, _| a.max(b),
-        Opcode::Abs => |a: f64, _, _| a.abs(),
-        Opcode::Frc => |a: f64, _, _| a - a.floor(),
-        Opcode::Rndd => |a: f64, _, _| a.floor(),
-        Opcode::Rndu => |a: f64, _, _| a.ceil(),
-        Opcode::Inv => |a, _, _| 1.0 / a,
-        Opcode::Log => |a: f64, _, _| a.log2(),
-        Opcode::Exp => |a: f64, _, _| a.exp2(),
-        Opcode::Sqrt => |a: f64, _, _| a.sqrt(),
-        Opcode::Rsqrt => |a: f64, _, _| 1.0 / a.sqrt(),
-        Opcode::Pow => |a: f64, b, _| a.powf(b),
-        Opcode::Sin => |a: f64, _, _| a.sin(),
-        Opcode::Cos => |a: f64, _, _| a.cos(),
-        Opcode::Fdiv => |a, b, _| a / b,
-        _ => return None,
-    })
+macro_rules! alu_tables {
+    ($scalar:ident -> $sty:ty, $span:ident via $driver:ident {
+        $($op:ident => $f:expr,)+
+    }) => {
+        fn $scalar(op: Opcode) -> Option<fn($sty, $sty, $sty) -> $sty> {
+            Some(match op {
+                $(Opcode::$op => $f,)+
+                _ => return None,
+            })
+        }
+
+        fn $span(op: Opcode) -> Option<SpanKern> {
+            Some(match op {
+                $(Opcode::$op => {
+                    fn kern(
+                        regs: &mut crate::regfile::RegFile,
+                        srcs: &[Src32; 3],
+                        dst: u32,
+                        mask: u32,
+                        width: u32,
+                    ) {
+                        $driver(regs, srcs, dst, mask, width, $f)
+                    }
+                    kern as SpanKern
+                })+
+                _ => return None,
+            })
+        }
+    };
 }
 
-fn signed_fn(op: Opcode) -> Option<I3> {
-    Some(match op {
-        Opcode::Mov => |a, _, _| a,
-        Opcode::Add => |a: i64, b, _| a.wrapping_add(b),
-        Opcode::Sub => |a: i64, b, _| a.wrapping_sub(b),
-        Opcode::Mul => |a: i64, b, _| a.wrapping_mul(b),
-        Opcode::Mad => |a: i64, b, c| a.wrapping_mul(b).wrapping_add(c),
-        Opcode::Min => |a: i64, b, _| a.min(b),
-        Opcode::Max => |a: i64, b, _| a.max(b),
-        Opcode::Abs => |a: i64, _, _| a.wrapping_abs(),
-        Opcode::Not => |a, _, _| !a,
-        Opcode::And => |a, b, _| a & b,
-        Opcode::Or => |a, b, _| a | b,
-        Opcode::Xor => |a, b, _| a ^ b,
-        Opcode::Shl => |a: i64, b, _| a.wrapping_shl(b as u32 & 63),
-        Opcode::Shr => |a, b: i64, _| (a as u64).wrapping_shr(b as u32 & 63) as i64,
-        Opcode::Asr => |a: i64, b, _| a.wrapping_shr(b as u32 & 63),
-        Opcode::Idiv => |a: i64, b, _| a.checked_div(b).unwrap_or(0),
-        Opcode::Irem => |a: i64, b, _| a.checked_rem(b).unwrap_or(0),
-        _ => return None,
-    })
-}
+alu_tables!(float_fn -> f64, float_span via span_f {
+    Mov => |a, _, _| a,
+    Add => |a, b, _| a + b,
+    Sub => |a, b, _| a - b,
+    Mul => |a, b, _| a * b,
+    Mad => |a, b, c| a * b + c,
+    Min => |a: f64, b, _| a.min(b),
+    Max => |a: f64, b, _| a.max(b),
+    Abs => |a: f64, _, _| a.abs(),
+    Frc => |a: f64, _, _| a - a.floor(),
+    Rndd => |a: f64, _, _| a.floor(),
+    Rndu => |a: f64, _, _| a.ceil(),
+    Inv => |a, _, _| 1.0 / a,
+    Log => |a: f64, _, _| a.log2(),
+    Exp => |a: f64, _, _| a.exp2(),
+    Sqrt => |a: f64, _, _| a.sqrt(),
+    Rsqrt => |a: f64, _, _| 1.0 / a.sqrt(),
+    Pow => |a: f64, b, _| a.powf(b),
+    Sin => |a: f64, _, _| a.sin(),
+    Cos => |a: f64, _, _| a.cos(),
+    Fdiv => |a, b, _| a / b,
+});
 
-fn unsigned_fn(op: Opcode) -> Option<U3> {
-    Some(match op {
-        Opcode::Mov => |a, _, _| a,
-        Opcode::Add => |a: u64, b, _| a.wrapping_add(b),
-        Opcode::Sub => |a: u64, b, _| a.wrapping_sub(b),
-        Opcode::Mul => |a: u64, b, _| a.wrapping_mul(b),
-        Opcode::Mad => |a: u64, b, c| a.wrapping_mul(b).wrapping_add(c),
-        Opcode::Min => |a: u64, b, _| a.min(b),
-        Opcode::Max => |a: u64, b, _| a.max(b),
-        Opcode::Abs => |a, _, _| a,
-        Opcode::Not => |a, _, _| !a,
-        Opcode::And => |a, b, _| a & b,
-        Opcode::Or => |a, b, _| a | b,
-        Opcode::Xor => |a, b, _| a ^ b,
-        Opcode::Shl => |a: u64, b, _| a.wrapping_shl(b as u32 & 63),
-        Opcode::Shr => |a: u64, b, _| a.wrapping_shr(b as u32 & 63),
-        Opcode::Asr => |a, b: u64, _| (a as i64).wrapping_shr(b as u32 & 63) as u64,
-        Opcode::Idiv => |a: u64, b, _| a.checked_div(b).unwrap_or(0),
-        Opcode::Irem => |a: u64, b, _| a.checked_rem(b).unwrap_or(0),
-        _ => return None,
-    })
-}
+alu_tables!(signed_fn -> i64, signed_span via span_d {
+    Mov => |a, _, _| a,
+    Add => |a: i64, b, _| a.wrapping_add(b),
+    Sub => |a: i64, b, _| a.wrapping_sub(b),
+    Mul => |a: i64, b, _| a.wrapping_mul(b),
+    Mad => |a: i64, b, c| a.wrapping_mul(b).wrapping_add(c),
+    Min => |a: i64, b, _| a.min(b),
+    Max => |a: i64, b, _| a.max(b),
+    Abs => |a: i64, _, _| a.wrapping_abs(),
+    Not => |a, _, _| !a,
+    And => |a, b, _| a & b,
+    Or => |a, b, _| a | b,
+    Xor => |a, b, _| a ^ b,
+    Shl => |a: i64, b, _| a.wrapping_shl(b as u32 & 63),
+    Shr => |a: i64, b: i64, _| (a as u64).wrapping_shr(b as u32 & 63) as i64,
+    Asr => |a: i64, b, _| a.wrapping_shr(b as u32 & 63),
+    Idiv => |a: i64, b, _| a.checked_div(b).unwrap_or(0),
+    Irem => |a: i64, b, _| a.checked_rem(b).unwrap_or(0),
+});
+
+alu_tables!(unsigned_fn -> u64, unsigned_span via span_u {
+    Mov => |a, _, _| a,
+    Add => |a: u64, b, _| a.wrapping_add(b),
+    Sub => |a: u64, b, _| a.wrapping_sub(b),
+    Mul => |a: u64, b, _| a.wrapping_mul(b),
+    Mad => |a: u64, b, c| a.wrapping_mul(b).wrapping_add(c),
+    Min => |a: u64, b, _| a.min(b),
+    Max => |a: u64, b, _| a.max(b),
+    Abs => |a, _, _| a,
+    Not => |a, _, _| !a,
+    And => |a, b, _| a & b,
+    Or => |a, b, _| a | b,
+    Xor => |a, b, _| a ^ b,
+    Shl => |a: u64, b, _| a.wrapping_shl(b as u32 & 63),
+    Shr => |a: u64, b, _| a.wrapping_shr(b as u32 & 63),
+    Asr => |a: u64, b: u64, _| (a as i64).wrapping_shr(b as u32 & 63) as u64,
+    Idiv => |a: u64, b, _| a.checked_div(b).unwrap_or(0),
+    Irem => |a: u64, b, _| a.checked_rem(b).unwrap_or(0),
+});
 
 /// A [`Program`] lowered into per-instruction [`MicroPlan`]s, built once
 /// per launch.
@@ -623,6 +881,211 @@ fn src_u(regs: &crate::regfile::RegFile, s: Src32, off: u32) -> u64 {
     }
 }
 
+// Span-kernel machinery: stage every source into a stack array (one
+// contiguous counted loop per source — vector sources become consecutive
+// 32-bit loads, broadcasts and immediates become splats), evaluate the
+// formula over lanes `0..width` unconditionally (inactive lanes compute on
+// whatever bytes the register holds; every table formula is total, and
+// those results are discarded by the blend), then commit with a branchless
+// select against the destination's old bits. All addresses were
+// bounds-proved by `span_safe` at decode time.
+
+macro_rules! span_driver {
+    ($driver:ident, $elem:ty, $fill:ident, $decode:expr, $imm:expr, $encode:expr) => {
+        #[inline(always)]
+        fn $fill(regs: &crate::regfile::RegFile, s: Src32, w: usize, out: &mut [$elem; MAX_LANES]) {
+            match s {
+                Src32::Vec(base) => {
+                    for (i, slot) in out[..w].iter_mut().enumerate() {
+                        *slot = $decode(regs.load_u32(base + 4 * i as u32));
+                    }
+                }
+                Src32::Broadcast(addr) => out[..w].fill($decode(regs.load_u32(addr))),
+                Src32::Imm(bits) => out[..w].fill($imm(bits)),
+            }
+        }
+
+        #[inline(always)]
+        fn $driver(
+            regs: &mut crate::regfile::RegFile,
+            srcs: &[Src32; 3],
+            dst: u32,
+            mask: u32,
+            width: u32,
+            f: impl Fn($elem, $elem, $elem) -> $elem,
+        ) {
+            let w = (width as usize).min(MAX_LANES);
+            let mut a = [<$elem>::default(); MAX_LANES];
+            let mut b = [<$elem>::default(); MAX_LANES];
+            let mut c = [<$elem>::default(); MAX_LANES];
+            $fill(regs, srcs[0], w, &mut a);
+            $fill(regs, srcs[1], w, &mut b);
+            $fill(regs, srcs[2], w, &mut c);
+            let mut out = [0u32; MAX_LANES];
+            for i in 0..w {
+                out[i] = $encode(f(a[i], b[i], c[i]));
+            }
+            for (i, &v) in out[..w].iter().enumerate() {
+                let off = dst + 4 * i as u32;
+                let old = regs.load_u32(off);
+                let v = if mask >> i & 1 != 0 { v } else { old };
+                regs.store_u32(off, v);
+            }
+        }
+    };
+}
+
+// The `$decode`/`$imm`/`$encode` conversions mirror `src_f`/`src_i`/
+// `src_u` and the per-lane stores bit for bit: `$decode` widens a 32-bit
+// register element, `$imm` reinterprets the full-width immediate payload
+// pre-converted at decode time (f64 bits / i64 / u64 — never a 32-bit
+// widening), `$encode` narrows the eval result back to raw 32-bit bits.
+
+span_driver!(
+    span_f,
+    f64,
+    fill_f,
+    |bits: u32| f64::from(f32::from_bits(bits)),
+    |bits: u64| f64::from_bits(bits),
+    |r: f64| (r as f32).to_bits()
+);
+span_driver!(
+    span_d,
+    i64,
+    fill_d,
+    |bits: u32| i64::from(bits as i32),
+    |bits: u64| bits as i64,
+    |r: i64| r as u32
+);
+span_driver!(
+    span_u,
+    u64,
+    fill_u,
+    |bits: u32| u64::from(bits),
+    |bits: u64| bits,
+    |r: u64| r as u32
+);
+
+// `cmp` span machinery: stage both sources like the ALU drivers, fold the
+// per-lane condition results into one bitmask (returned to the caller for
+// the flag merge), and blend-store the optional numeric destination with
+// the class's encoding of true (1.0f for `F`, 1 for `D`/`Ud`) — the same
+// values the scalar arm writes through `write_lane`.
+
+macro_rules! cmp_driver {
+    ($driver:ident, $elem:ty, $fill:ident, $true_bits:expr) => {
+        #[inline(always)]
+        fn $driver(
+            regs: &mut crate::regfile::RegFile,
+            srcs: &[Src32; 3],
+            dst: u32,
+            mask: u32,
+            width: u32,
+            f: impl Fn($elem, $elem) -> bool,
+        ) -> u32 {
+            let w = (width as usize).min(MAX_LANES);
+            let mut a = [<$elem>::default(); MAX_LANES];
+            let mut b = [<$elem>::default(); MAX_LANES];
+            $fill(regs, srcs[0], w, &mut a);
+            $fill(regs, srcs[1], w, &mut b);
+            let mut res = 0u32;
+            for i in 0..w {
+                res |= u32::from(f(a[i], b[i])) << i;
+            }
+            if dst != NO_DST {
+                for i in 0..w {
+                    let off = dst + 4 * i as u32;
+                    let old = regs.load_u32(off);
+                    let v = if res >> i & 1 != 0 { $true_bits } else { 0 };
+                    let v = if mask >> i & 1 != 0 { v } else { old };
+                    regs.store_u32(off, v);
+                }
+            }
+            res
+        }
+    };
+}
+
+cmp_driver!(cmp_span_f, f64, fill_f, 1.0f32.to_bits());
+cmp_driver!(cmp_span_d, i64, fill_d, 1);
+cmp_driver!(cmp_span_u, u64, fill_u, 1);
+
+/// Wraps one condition formula into a monomorphized [`CmpKern`].
+macro_rules! cmp_kern {
+    ($driver:ident, $f:expr) => {{
+        fn kern(
+            regs: &mut crate::regfile::RegFile,
+            srcs: &[Src32; 3],
+            dst: u32,
+            mask: u32,
+            width: u32,
+        ) -> u32 {
+            $driver(regs, srcs, dst, mask, width, $f)
+        }
+        kern as CmpKern
+    }};
+}
+
+/// Expands the six [`CondOp`]s into span kernels over one comparison
+/// domain — the same operator-per-condition table as [`eval_cond`].
+macro_rules! cmp_tables {
+    ($table:ident via $driver:ident, $sty:ty) => {
+        fn $table(cond: CondOp) -> CmpKern {
+            match cond {
+                CondOp::Eq => cmp_kern!($driver, |x: $sty, y: $sty| x == y),
+                CondOp::Ne => cmp_kern!($driver, |x: $sty, y: $sty| x != y),
+                CondOp::Lt => cmp_kern!($driver, |x: $sty, y: $sty| x < y),
+                CondOp::Le => cmp_kern!($driver, |x: $sty, y: $sty| x <= y),
+                CondOp::Gt => cmp_kern!($driver, |x: $sty, y: $sty| x > y),
+                CondOp::Ge => cmp_kern!($driver, |x: $sty, y: $sty| x >= y),
+            }
+        }
+    };
+}
+
+cmp_tables!(float_cmp via cmp_span_f, f64);
+cmp_tables!(signed_cmp via cmp_span_d, i64);
+cmp_tables!(unsigned_cmp via cmp_span_u, u64);
+
+// `sel` span machinery: stage both sources, pick per lane by the select
+// bitmask (the instruction's predicate, resolved at execute time), and
+// encode through the same decode/convert/encode chain as the scalar
+// `read_lane`/`Mov`/`write_lane` round trip.
+
+macro_rules! sel_driver {
+    ($driver:ident, $elem:ty, $fill:ident, $encode:expr) => {
+        fn $driver(
+            regs: &mut crate::regfile::RegFile,
+            srcs: &[Src32; 3],
+            dst: u32,
+            mask: u32,
+            width: u32,
+            select: u32,
+        ) {
+            let w = (width as usize).min(MAX_LANES);
+            let mut a = [<$elem>::default(); MAX_LANES];
+            let mut b = [<$elem>::default(); MAX_LANES];
+            $fill(regs, srcs[0], w, &mut a);
+            $fill(regs, srcs[1], w, &mut b);
+            let mut out = [0u32; MAX_LANES];
+            for i in 0..w {
+                let v = if select >> i & 1 != 0 { a[i] } else { b[i] };
+                out[i] = $encode(v);
+            }
+            for (i, &v) in out[..w].iter().enumerate() {
+                let off = dst + 4 * i as u32;
+                let old = regs.load_u32(off);
+                let v = if mask >> i & 1 != 0 { v } else { old };
+                regs.store_u32(off, v);
+            }
+        }
+    };
+}
+
+sel_driver!(sel_span_f, f64, fill_f, |r: f64| (r as f32).to_bits());
+sel_driver!(sel_span_d, i64, fill_d, |r: i64| r as u32);
+sel_driver!(sel_span_u, u64, fill_u, |r: u64| r as u32);
+
 /// Executes the plan at `ctx.pc` under the precomputed execution `mask`
 /// (which must equal [`MicroPlan::exec_mask`] for the current context and
 /// must be non-empty for data plans — zero-mask skipping happens before
@@ -682,6 +1145,16 @@ pub(crate) fn execute_plan(
             ctx.pc += 1;
             PlanEffect::Compute(plan.pipe)
         }
+        PlanKind::AluVec {
+            kern,
+            srcs,
+            dst,
+            width,
+        } => {
+            kern(&mut ctx.regs, &srcs, dst, mask.bits(), width);
+            ctx.pc += 1;
+            PlanEffect::Compute(plan.pipe)
+        }
         PlanKind::AluGeneric { op, n, srcs, dst } => {
             let n = usize::from(n);
             for lane in mask.iter_active() {
@@ -723,6 +1196,32 @@ pub(crate) fn execute_plan(
                 let v = eval_alu(Opcode::Mov, plan.dtype, &[v]);
                 ctx.regs.write_lane(&dst, lane, v);
             }
+            ctx.pc += 1;
+            PlanEffect::Compute(Pipe::Fpu)
+        }
+        PlanKind::CmpVec {
+            kern,
+            srcs,
+            flag,
+            dst,
+            width,
+        } => {
+            let m = mask.bits();
+            let res = kern(&mut ctx.regs, &srcs, dst, m, width);
+            let old = ctx.regs.flag(flag);
+            ctx.regs.set_flag(flag, (old & !m) | (res & m));
+            ctx.pc += 1;
+            PlanEffect::Compute(Pipe::Fpu)
+        }
+        PlanKind::SelVec {
+            kern,
+            srcs,
+            dst,
+            width,
+        } => {
+            let p = plan.pred.expect("sel requires a selecting predicate");
+            let select = pred_bits(ctx, p).bits();
+            kern(&mut ctx.regs, &srcs, dst, mask.bits(), width, select);
             ctx.pc += 1;
             PlanEffect::Compute(Pipe::Fpu)
         }
@@ -968,17 +1467,76 @@ mod tests {
 
     #[test]
     fn fast_paths_selected_for_f_d_ud() {
+        // In-place adds: a source starting AT the destination is span-safe
+        // (each lane reads only its own offset), so all three vectorize.
         let mut b = KernelBuilder::new("k", 8);
         b.add(Operand::rf(4), Operand::rf(4), Operand::imm_f(1.0));
         b.add(Operand::rd(6), Operand::rd(6), Operand::imm_d(1));
         b.add(Operand::rud(8), Operand::rud(8), Operand::imm_ud(1));
         let p = b.finish().unwrap();
         let d = DecodedProgram::decode(&p);
-        assert!(matches!(d.plan(0).kind, PlanKind::AluF { .. }));
-        assert!(matches!(d.plan(1).kind, PlanKind::AluD { .. }));
-        assert!(matches!(d.plan(2).kind, PlanKind::AluU { .. }));
+        assert!(matches!(d.plan(0).kind, PlanKind::AluVec { .. }));
+        assert!(matches!(d.plan(1).kind, PlanKind::AluVec { .. }));
+        assert!(matches!(d.plan(2).kind, PlanKind::AluVec { .. }));
         assert_eq!(d.len(), 4);
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn aliasing_spans_fall_back_to_per_lane() {
+        // SIMD16 `F` spans cover two GRFs. A vector source one register
+        // below the destination overlaps it from below (lane 8 reads what
+        // lane 0 wrote), and a broadcast element inside the destination
+        // span is re-read per lane — both must stay on the per-lane path.
+        let mut b = KernelBuilder::new("k", 16);
+        b.add(Operand::rf(4), Operand::rf(3), Operand::imm_f(1.0));
+        b.mul(
+            Operand::rf(8),
+            Operand::rf(6),
+            Operand::scalar(8, 1, DataType::F),
+        );
+        // Reading from strictly above the destination is safe: those bytes
+        // are written by the same or a later lane in the scalar order too.
+        b.add(Operand::rf(10), Operand::rf(11), Operand::imm_f(1.0));
+        let p = b.finish().unwrap();
+        let d = DecodedProgram::decode(&p);
+        assert!(matches!(d.plan(0).kind, PlanKind::AluF { .. }));
+        assert!(matches!(d.plan(1).kind, PlanKind::AluF { .. }));
+        assert!(matches!(d.plan(2).kind, PlanKind::AluVec { .. }));
+    }
+
+    #[test]
+    fn aliasing_spans_match_reference() {
+        // The fallback cases above, executed against the reference
+        // interpreter — including under divergence so masked blending of
+        // the vectorized third instruction is exercised.
+        let mut b = KernelBuilder::new("k", 16);
+        b.cmp(
+            CondOp::Lt,
+            FlagReg::F0,
+            Operand::rud(1),
+            Operand::imm_ud(11),
+        );
+        b.if_(Predicate::normal(FlagReg::F0));
+        b.add(Operand::rf(4), Operand::rf(3), Operand::imm_f(1.0));
+        b.mul(
+            Operand::rf(8),
+            Operand::rf(6),
+            Operand::scalar(8, 1, DataType::F),
+        );
+        b.add(Operand::rf(10), Operand::rf(11), Operand::imm_f(0.5));
+        b.end_if();
+        let p = b.finish().unwrap();
+        assert_backends_agree(&p, |ctx| {
+            for lane in 0..16 {
+                ctx.regs
+                    .write_lane(&Operand::rud(1), lane, Scalar::U(u64::from(lane)));
+                for reg in [3u8, 4, 6, 8, 10, 11] {
+                    let v = f64::from(lane) * 0.75 + f64::from(reg);
+                    ctx.regs.write_lane(&Operand::rf(reg), lane, Scalar::F(v));
+                }
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Hierarchical timing wheel for the event-driven simulation loop.
+//!
+//! The scheduler in [`crate::gpu`] puts a blocked EU to sleep with an exact
+//! wake-up cycle (every [`IssueOutcome::NotReadyUntil`] carries one); the
+//! wheel answers the two queries the loop needs:
+//!
+//! * [`TimingWheel::pop_due`] — which sleepers wake at the cycle being
+//!   visited right now, and
+//! * [`TimingWheel::earliest`] — the nearest future wake-up, which bounds
+//!   the time jump when no EU can issue.
+//!
+//! Layout: `LEVELS` levels of `SLOTS` slots each, indexed by bits
+//! `6·l .. 6·(l+1)` of the *absolute* wake cycle. Because slot indices are
+//! absolute rather than base-relative, an event never has to cascade down
+//! a level as time advances: an event `d` cycles ahead lands at the level
+//! where `d < 64^(l+1)`, and visiting its exact cycle addresses the same
+//! slot it was inserted into. Per-level occupancy bitmaps keep both queries
+//! proportional to the number of *occupied* slots, which is bounded by the
+//! number of sleeping EUs — single digits — so every operation is a few
+//! word ops. Events further out than the wheel spans (2^24 cycles) go to a
+//! rarely-touched overflow list.
+//!
+//! Cancellation is lazy: a sleeper woken early (barrier release) just
+//! abandons its entry, and both queries discard entries whose `seq` no
+//! longer matches the sleeper's — see [`WheelEvent::seq`].
+//!
+//! [`IssueOutcome::NotReadyUntil`]: crate::eu::IssueOutcome::NotReadyUntil
+
+use iwc_telemetry::{Instrument, TelemetrySnapshot};
+
+/// log2 of the slots per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level (one occupancy word's worth).
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels; the wheel spans `64^LEVELS` cycles ahead.
+const LEVELS: usize = 4;
+
+/// One scheduled wake-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WheelEvent {
+    /// Absolute cycle at which the event fires.
+    pub cycle: u64,
+    /// Scheduler payload (the sleeping EU's index).
+    pub payload: u32,
+    /// Generation tag: the scheduler bumps a counter per sleep, so an event
+    /// whose `seq` differs from the sleeper's current one is stale (the EU
+    /// was woken early and possibly re-slept) and is discarded on contact.
+    pub seq: u32,
+}
+
+/// Occupancy and traffic counters for the `sim/wheel` telemetry group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Wake-up events inserted.
+    pub events_scheduled: u64,
+    /// Events that fired at their scheduled cycle.
+    pub events_fired: u64,
+    /// Events discarded because the sleeper was woken early.
+    pub events_stale: u64,
+    /// Cycles the loop never visited (sum of `jump − 1` over all jumps).
+    pub cycles_skipped: u64,
+    /// High-water mark of simultaneously live events.
+    pub max_occupancy: u64,
+}
+
+impl WheelStats {
+    /// True when no event traffic happened (tick mode, or a run that never
+    /// slept an EU) — the `sim/wheel` group is then left out of snapshots.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl Instrument for WheelStats {
+    fn publish(&self, prefix: &str, snap: &mut TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("events_scheduled"), self.events_scheduled);
+        snap.set_counter(&j("events_fired"), self.events_fired);
+        snap.set_counter(&j("events_stale"), self.events_stale);
+        snap.set_counter(&j("cycles_skipped"), self.cycles_skipped);
+        snap.set_gauge(&j("max_occupancy"), self.max_occupancy as f64);
+    }
+}
+
+/// The wheel proper. See the module docs for the design.
+#[derive(Clone, Debug)]
+pub struct TimingWheel {
+    /// `LEVELS × SLOTS` buckets, level-major.
+    slots: Vec<Vec<WheelEvent>>,
+    /// One occupancy bit per slot, per level.
+    occ: [u64; LEVELS],
+    /// Events scheduled further than the wheel spans.
+    overflow: Vec<WheelEvent>,
+    /// Live (scheduled, not yet fired or discarded) events.
+    live: u64,
+    /// Traffic counters (the scheduler also feeds `cycles_skipped`).
+    pub stats: WheelStats,
+}
+
+impl Default for TimingWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![Vec::new(); LEVELS * SLOTS],
+            occ: [0; LEVELS],
+            overflow: Vec::new(),
+            live: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    fn slot_index(level: usize, cycle: u64) -> usize {
+        level * SLOTS + (cycle >> (LEVEL_BITS * level as u32)) as usize % SLOTS
+    }
+
+    /// Schedules a wake-up at `cycle` (strictly in the future of `now`).
+    pub fn schedule(&mut self, now: u64, cycle: u64, payload: u32, seq: u32) {
+        debug_assert!(cycle > now, "wake-up must be in the future");
+        let ev = WheelEvent {
+            cycle,
+            payload,
+            seq,
+        };
+        let ahead = cycle - now;
+        let level = (ahead.max(1).ilog2() / LEVEL_BITS) as usize;
+        if level >= LEVELS {
+            self.overflow.push(ev);
+        } else {
+            let idx = Self::slot_index(level, cycle);
+            self.slots[idx].push(ev);
+            self.occ[level] |= 1 << (idx % SLOTS);
+        }
+        self.live += 1;
+        self.stats.events_scheduled += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.live);
+    }
+
+    /// Drains every event scheduled for exactly `now` into `out`.
+    /// Staleness is the caller's to judge (it owns the sleeper state); the
+    /// caller reports back via [`TimingWheel::note_fired`] /
+    /// [`TimingWheel::note_stale`].
+    pub fn pop_due(&mut self, now: u64, out: &mut Vec<WheelEvent>) {
+        if self.live == 0 {
+            return;
+        }
+        for level in 0..LEVELS {
+            let idx = Self::slot_index(level, now);
+            if self.occ[level] & 1 << (idx % SLOTS) == 0 {
+                continue;
+            }
+            let bucket = &mut self.slots[idx];
+            bucket.retain(|ev| {
+                if ev.cycle == now {
+                    out.push(*ev);
+                    false
+                } else {
+                    true
+                }
+            });
+            if bucket.is_empty() {
+                self.occ[level] &= !(1 << (idx % SLOTS));
+            }
+        }
+        if !self.overflow.is_empty() {
+            // Migrate overflow events now within the wheel's span; events
+            // due exactly now drain directly.
+            let mut pending = std::mem::take(&mut self.overflow);
+            pending.retain(|ev| {
+                if ev.cycle == now {
+                    out.push(*ev);
+                    false
+                } else if ev.cycle - now < 1 << (LEVEL_BITS * LEVELS as u32) {
+                    self.live -= 1;
+                    self.stats.events_scheduled -= 1; // re-insert, don't double-count
+                    self.schedule(now, ev.cycle, ev.payload, ev.seq);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.overflow = pending;
+        }
+    }
+
+    /// Earliest wake-up cycle among live events, discarding stale ones as
+    /// they are encountered (`valid` judges each event against the current
+    /// sleeper state). `None` means the wheel holds no valid event — with
+    /// no issuing EU either, that is a deadlock.
+    pub fn earliest(&mut self, mut valid: impl FnMut(&WheelEvent) -> bool) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut dropped = 0u64;
+        for level in 0..LEVELS {
+            let mut bits = self.occ[level];
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let bucket = &mut self.slots[level * SLOTS + slot];
+                bucket.retain(|ev| {
+                    if valid(ev) {
+                        best = Some(best.map_or(ev.cycle, |b| b.min(ev.cycle)));
+                        true
+                    } else {
+                        dropped += 1;
+                        false
+                    }
+                });
+                if bucket.is_empty() {
+                    self.occ[level] &= !(1 << slot);
+                }
+            }
+        }
+        self.overflow.retain(|ev| {
+            if valid(ev) {
+                best = Some(best.map_or(ev.cycle, |b| b.min(ev.cycle)));
+                true
+            } else {
+                dropped += 1;
+                false
+            }
+        });
+        self.live -= dropped;
+        self.stats.events_stale += dropped;
+        best
+    }
+
+    /// Records that a popped event matched its sleeper and woke it.
+    pub fn note_fired(&mut self) {
+        self.live -= 1;
+        self.stats.events_fired += 1;
+    }
+
+    /// Records that a popped event was stale and was discarded.
+    pub fn note_stale(&mut self) {
+        self.live -= 1;
+        self.stats.events_stale += 1;
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimingWheel, now: u64) -> Vec<WheelEvent> {
+        let mut out = Vec::new();
+        w.pop_due(now, &mut out);
+        for _ in &out {
+            w.note_fired();
+        }
+        out
+    }
+
+    #[test]
+    fn fires_at_exact_cycle_across_levels() {
+        let mut w = TimingWheel::new();
+        // One event per level distance: 3, 100, 5000, 300_000 cycles ahead.
+        for (i, d) in [3u64, 100, 5000, 300_000].iter().enumerate() {
+            w.schedule(10, 10 + d, i as u32, i as u32);
+        }
+        assert_eq!(w.len(), 4);
+        for (i, d) in [3u64, 100, 5000, 300_000].iter().enumerate() {
+            assert!(drain(&mut w, 10 + d - 1).is_empty());
+            let hit = drain(&mut w, 10 + d);
+            assert_eq!(hit.len(), 1, "event {i} at distance {d}");
+            assert_eq!(hit[0].payload, i as u32);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn earliest_scans_and_discards_stale() {
+        let mut w = TimingWheel::new();
+        w.schedule(0, 50, 0, 1);
+        w.schedule(0, 7, 1, 2);
+        w.schedule(0, 7000, 2, 3);
+        // Event seq 2 is stale.
+        assert_eq!(w.earliest(|ev| ev.seq != 2), Some(50));
+        assert_eq!(w.stats.events_stale, 1);
+        assert_eq!(w.len(), 2);
+        // A second scan sees no stale events.
+        assert_eq!(w.earliest(|_| true), Some(50));
+        assert_eq!(w.stats.events_stale, 1);
+    }
+
+    #[test]
+    fn same_cycle_events_all_fire() {
+        let mut w = TimingWheel::new();
+        w.schedule(4, 9, 0, 0);
+        w.schedule(4, 9, 1, 1);
+        w.schedule(4, 9 + 64, 2, 2); // same level-0 slot bits, later era
+        let hit = drain(&mut w, 9);
+        assert_eq!(hit.len(), 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, 9 + 64).len(), 1);
+    }
+
+    #[test]
+    fn overflow_events_survive_and_fire() {
+        let mut w = TimingWheel::new();
+        let far = 1 << 30; // beyond 64^4
+        w.schedule(0, far, 7, 7);
+        assert_eq!(w.len(), 1);
+        // Visiting an intermediate cycle migrates the event into the wheel.
+        w.pop_due(far - 100, &mut Vec::new());
+        assert_eq!(w.len(), 1);
+        let hit = drain(&mut w, far);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].payload, 7);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stats_track_traffic_and_occupancy() {
+        let mut w = TimingWheel::new();
+        w.schedule(0, 5, 0, 0);
+        w.schedule(0, 6, 1, 1);
+        assert_eq!(w.stats.max_occupancy, 2);
+        drain(&mut w, 5);
+        drain(&mut w, 6);
+        assert_eq!(w.stats.events_scheduled, 2);
+        assert_eq!(w.stats.events_fired, 2);
+        assert!(!w.stats.is_empty());
+        assert!(WheelStats::default().is_empty());
+    }
+}
