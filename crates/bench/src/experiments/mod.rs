@@ -25,6 +25,8 @@ mod memprobe;
 mod profile;
 mod rf_area;
 mod run_kernel;
+mod serve_daemon;
+mod servebench;
 mod simbench;
 mod stall_profile;
 mod table2;
@@ -196,6 +198,18 @@ pub const EXPERIMENTS: &[Experiment] = &[
         about: "Decoded vs reference interpreter throughput (BENCH_sim.json)",
         harness: None,
         run: simbench::run,
+    },
+    Experiment {
+        name: "serve",
+        about: "Simulation-as-a-service daemon (HTTP + WebSocket, DESIGN.md \u{a7}10)",
+        harness: None,
+        run: serve_daemon::run,
+    },
+    Experiment {
+        name: "servebench",
+        about: "Closed-loop serve-path load generator (BENCH_serve.json)",
+        harness: None,
+        run: servebench::run,
     },
     Experiment {
         name: "run_kernel",

@@ -1,0 +1,81 @@
+//! `iwc serve` — the simulation-as-a-service daemon (DESIGN.md §10).
+//!
+//! Binds the `iwc-serve` HTTP/WebSocket front end and blocks until
+//! drained (`POST /shutdown` or SIGTERM). Configuration comes from the
+//! `IWC_SERVE_*` environment knobs, overridable with flags:
+//!
+//! ```text
+//! iwc serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! The bound address is printed on stdout (`iwc-serve listening on …`)
+//! so scripts binding port 0 can discover the port.
+
+use super::Outcome;
+use iwc_serve::{install_sigterm_handler, ServeConfig, Server};
+
+fn usage() -> Outcome {
+    eprintln!("usage: iwc serve [--addr HOST:PORT] [--workers N] [--queue N]");
+    Outcome::fail()
+}
+
+pub(crate) fn run(args: &[String]) -> Outcome {
+    let mut cfg = ServeConfig::from_env();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("serve: {flag} needs a value");
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value.clone(),
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => cfg.workers = n,
+                _ => {
+                    eprintln!("serve: --workers wants a positive integer, got {value:?}");
+                    return usage();
+                }
+            },
+            "--queue" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => cfg.queue_depth = n,
+                _ => {
+                    eprintln!("serve: --queue wants a positive integer, got {value:?}");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("serve: unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    install_sigterm_handler();
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", cfg.addr);
+            return Outcome::fail();
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!(
+            "iwc-serve listening on http://{addr} ({} workers, queue {})",
+            cfg.workers, cfg.queue_depth
+        ),
+        Err(e) => {
+            eprintln!("serve: cannot resolve bound address: {e}");
+            return Outcome::fail();
+        }
+    }
+    // Make sure the address line reaches pipes before we block.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run() {
+        eprintln!("serve: accept loop failed: {e}");
+        return Outcome::fail();
+    }
+    println!("iwc-serve drained");
+    Outcome::done()
+}

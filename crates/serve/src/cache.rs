@@ -1,0 +1,132 @@
+//! Per-session decoded-program cache.
+//!
+//! The daemon decodes each distinct kernel once per session: entries are
+//! keyed `(content hash, engine)` as the wire protocol sees them, but
+//! decoding is engine-independent, so a batch request covering N engines
+//! of the same program performs at most ONE decode and every key shares
+//! the same [`Arc<DecodedProgram>`]. Counters land in the server registry
+//! under `serve/cache/…` (`hits`, `misses`, `decodes`).
+
+use iwc_compaction::EngineId;
+use iwc_sim::DecodedProgram;
+use iwc_telemetry::{Counter, Registry};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Session-scoped decode cache with hit/miss/decode accounting.
+pub struct SessionCache {
+    map: Mutex<HashMap<(u64, EngineId), Arc<DecodedProgram>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    decodes: Arc<Counter>,
+}
+
+impl SessionCache {
+    /// A fresh cache publishing its counters into `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: registry.counter("serve/cache/hits"),
+            misses: registry.counter("serve/cache/misses"),
+            decodes: registry.counter("serve/cache/decodes"),
+        }
+    }
+
+    /// Returns the decoded program for `(hash, engine)`, decoding via
+    /// `decode` only when no engine of this hash has been seen before.
+    ///
+    /// The decode closure runs outside the cache lock at most once per
+    /// *program* (not per engine): when engine A of a hash populated the
+    /// cache, engine B of the same hash reuses the plans and counts as a
+    /// miss without a decode.
+    pub fn get_or_decode(
+        &self,
+        hash: u64,
+        engine: EngineId,
+        decode: impl FnOnce() -> DecodedProgram,
+    ) -> Arc<DecodedProgram> {
+        {
+            let map = self.map.lock().expect("cache lock poisoned");
+            if let Some(d) = map.get(&(hash, engine)) {
+                self.hits.add(1);
+                return Arc::clone(d);
+            }
+        }
+        self.misses.add(1);
+        // Look for the same program decoded under another engine before
+        // paying for a decode of our own.
+        let existing = {
+            let map = self.map.lock().expect("cache lock poisoned");
+            map.iter()
+                .find(|((h, _), _)| *h == hash)
+                .map(|(_, d)| Arc::clone(d))
+        };
+        let decoded = match existing {
+            Some(d) => d,
+            None => {
+                self.decodes.add(1);
+                Arc::new(decode())
+            }
+        };
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        // A racing worker may have inserted meanwhile; keep the first.
+        Arc::clone(
+            map.entry((hash, engine))
+                .or_insert_with(|| Arc::clone(&decoded)),
+        )
+    }
+
+    /// Number of `(hash, engine)` entries resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::{KernelBuilder, Operand};
+
+    fn program() -> iwc_isa::program::Program {
+        let mut b = KernelBuilder::new("k", 8);
+        b.add(Operand::rud(6), Operand::rud(1), Operand::imm_ud(7));
+        b.finish().expect("valid kernel")
+    }
+
+    #[test]
+    fn decode_happens_once_per_program_across_engines() {
+        let reg = Registry::new();
+        let cache = SessionCache::new(&reg);
+        let p = program();
+        let h = iwc_workloads::hash::program_hash(&p);
+
+        let a = cache.get_or_decode(h, EngineId::BASELINE, || DecodedProgram::decode(&p));
+        let b = cache.get_or_decode(h, EngineId::SCC, || panic!("second engine must not decode"));
+        assert!(Arc::ptr_eq(&a, &b), "engines share the decoded plans");
+
+        // Same (hash, engine) again: a pure hit.
+        let _ = cache.get_or_decode(h, EngineId::SCC, || panic!("hit must not decode"));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve/cache/decodes"), Some(1));
+        assert_eq!(snap.counter("serve/cache/misses"), Some(2));
+        assert_eq!(snap.counter("serve/cache/hits"), Some(1));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_hashes_decode_separately() {
+        let reg = Registry::new();
+        let cache = SessionCache::new(&reg);
+        let p = program();
+        let _ = cache.get_or_decode(1, EngineId::BASELINE, || DecodedProgram::decode(&p));
+        let _ = cache.get_or_decode(2, EngineId::BASELINE, || DecodedProgram::decode(&p));
+        assert_eq!(reg.snapshot().counter("serve/cache/decodes"), Some(2));
+    }
+}

@@ -1,0 +1,254 @@
+//! A minimal blocking loopback client, enough for the integration tests,
+//! the `servebench` load generator, and the CI smoke check: one-shot HTTP
+//! requests over `std::net` plus a masked-frame WebSocket client.
+
+use crate::http::status_reason;
+use crate::ws::{self, Frame, MessageAssembler, Opcode, WsEvent};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Performs one `method path` request with an optional JSON body over a
+/// fresh connection (`Connection: close`).
+///
+/// # Errors
+///
+/// Propagates connect/IO failures and malformed responses as
+/// `std::io::Error`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: iwc-serve\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// `GET path` over a fresh connection.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body over a fresh connection.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> std::io::Result<HttpResponse> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line: {line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        r.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad header line: {h:?}")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad Content-Length"))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?,
+    })
+}
+
+/// A blocking WebSocket client speaking the serve event protocol. Client
+/// frames are masked (as RFC 6455 requires); the mask key is fixed — the
+/// protocol needs masking, not entropy.
+pub struct WsClient {
+    stream: TcpStream,
+    wire: Vec<u8>,
+    asm: MessageAssembler,
+}
+
+const CLIENT_MASK: [u8; 4] = [0x13, 0x57, 0x9b, 0xdf];
+
+/// Opens a WebSocket session against `path`, completing the upgrade
+/// handshake and verifying the `Sec-WebSocket-Accept` echo.
+///
+/// # Errors
+///
+/// Propagates IO failures; a non-101 answer or a bad accept key is
+/// `InvalidData`.
+pub fn ws_connect(addr: SocketAddr, path: &str) -> std::io::Result<WsClient> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Any base64 16-byte value works as the nonce; fixed for determinism.
+    let key = ws::base64(b"iwc-serve-client");
+    let head = format!(
+        "GET {path} HTTP/1.1\r\nHost: iwc-serve\r\nConnection: Upgrade\r\nUpgrade: websocket\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: {key}\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+
+    // Read the upgrade response head byte-by-byte (no buffering, so frame
+    // bytes after the head stay in the socket).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+        if head.len() > 16 * 1024 {
+            return Err(bad("oversized upgrade response"));
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    if !head.starts_with("HTTP/1.1 101") {
+        let status = head.lines().next().unwrap_or("").to_string();
+        return Err(bad(format!("upgrade refused: {status}")));
+    }
+    let expect = ws::accept_key(&key);
+    let accept_ok = head.lines().any(|l| {
+        l.to_ascii_lowercase().starts_with("sec-websocket-accept:")
+            && l.split(':').nth(1).map(str::trim) == Some(expect.as_str())
+    });
+    if !accept_ok {
+        return Err(bad("bad Sec-WebSocket-Accept"));
+    }
+    Ok(WsClient {
+        stream,
+        wire: Vec::new(),
+        asm: MessageAssembler::new(),
+    })
+}
+
+impl WsClient {
+    /// Sends one text message (a job request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_text(&mut self, text: &str) -> std::io::Result<()> {
+        self.stream
+            .write_all(&ws::encode_frame(&Frame::text(text), Some(CLIENT_MASK)))
+    }
+
+    /// Sends a close frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn close(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(&ws::encode_frame(
+            &Frame::close(1000, "done"),
+            Some(CLIENT_MASK),
+        ))
+    }
+
+    /// Waits up to `timeout` for the next event from the server,
+    /// answering pings transparently. `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; protocol violations are `InvalidData`.
+    pub fn next_event(&mut self, timeout: Duration) -> std::io::Result<Option<WsEvent>> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            // Drain buffered frames first.
+            match ws::decode_frame(&self.wire, false, usize::MAX).map_err(|e| bad(e.to_string()))? {
+                Some((frame, used)) => {
+                    self.wire.drain(..used);
+                    if frame.opcode == Opcode::Ping {
+                        self.stream.write_all(&ws::encode_frame(
+                            &Frame {
+                                fin: true,
+                                opcode: Opcode::Pong,
+                                payload: frame.payload,
+                            },
+                            Some(CLIENT_MASK),
+                        ))?;
+                        continue;
+                    }
+                    if let Some(ev) = self.asm.push(frame).map_err(|e| bad(e.to_string()))? {
+                        return Ok(Some(ev));
+                    }
+                    continue;
+                }
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    self.stream.set_read_timeout(Some(deadline - now))?;
+                    match self.stream.read(&mut buf) {
+                        Ok(0) => return Err(bad("connection closed mid-stream")),
+                        Ok(n) => self.wire.extend_from_slice(&buf[..n]),
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut =>
+                        {
+                            return Ok(None)
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Renders `status` as `"<code> <reason>"`, for log lines.
+pub fn status_line(status: u16) -> String {
+    format!("{status} {}", status_reason(status))
+}

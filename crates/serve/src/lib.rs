@@ -1,0 +1,195 @@
+//! # iwc-serve
+//!
+//! Simulation-as-a-service: a long-running daemon that accepts simulation
+//! jobs — a catalog workload name or an execution-mask trace payload, a
+//! list of compaction engines, and optional `GpuConfig` overrides — as
+//! JSON over HTTP, runs them on a bounded worker pool, and answers with
+//! cycles plus the run's full telemetry snapshot. Repeated submissions of
+//! the same kernel hit a per-session decoded-program cache (decode once,
+//! sweep many), and a WebSocket channel streams live per-job telemetry
+//! deltas and Perfetto trace-event JSON while a job runs.
+//!
+//! The whole stack is `std`-only: the container is offline, so the wire
+//! layer ([`http`], [`ws`]) is hand-rolled over `std::net` and all JSON
+//! goes through `iwc_telemetry::json`. See DESIGN.md §10.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + drain state |
+//! | `GET /v1/catalog` | served workloads and canonical engines |
+//! | `GET /v1/stats` | server metric registry snapshot (`serve/…`) |
+//! | `POST /v1/jobs` | run a job, respond with results (503 + `Retry-After` when the queue is full) |
+//! | `GET /v1/ws` | WebSocket upgrade; one job per text message, events streamed back |
+//! | `POST /shutdown` | graceful drain (in-flight jobs finish; also SIGTERM) |
+//!
+//! ## Knobs
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `IWC_SERVE_ADDR` | `127.0.0.1:7199` | listen address (`host:port`; port `0` picks a free port) |
+//! | `IWC_SERVE_WORKERS` | available parallelism | simulation worker threads |
+//! | `IWC_SERVE_QUEUE` | `32` | job queue depth (back-pressure bound) |
+//!
+//! Malformed values warn once on stderr and fall back to the default —
+//! never silently.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod server;
+pub mod ws;
+
+pub use cache::SessionCache;
+pub use job::{JobError, JobRequest};
+pub use server::{install_sigterm_handler, Server, ServerHandle};
+
+use std::str::FromStr;
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7199";
+/// Default job-queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 32;
+
+/// Daemon configuration, usually from [`ServeConfig::from_env`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Bounded job-queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: default_workers(),
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `IWC_SERVE_*` knobs, warning once (and falling back to
+    /// the default) on any malformed value.
+    pub fn from_env() -> Self {
+        Self {
+            addr: env_addr("IWC_SERVE_ADDR", DEFAULT_ADDR),
+            workers: env_knob("IWC_SERVE_WORKERS", default_workers()).max(1),
+            queue_depth: env_knob("IWC_SERVE_QUEUE", DEFAULT_QUEUE_DEPTH).max(1),
+        }
+    }
+
+    /// Returns a copy listening on an ephemeral loopback port — what the
+    /// tests, `servebench`, and the CI smoke check use.
+    pub fn on_ephemeral_port(mut self) -> Self {
+        self.addr = "127.0.0.1:0".to_string();
+        self
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Warns once per `key` per process (the `IWC_SCALE`/`IWC_THREADS`
+/// convention: malformed knobs never fail and never warn-spam).
+fn warn_once(key: &str, msg: &str) {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let mut warned = WARNED.lock().expect("warn_once poisoned");
+    if warned.insert(key.to_string()) {
+        eprintln!("iwc-serve: {msg}");
+    }
+}
+
+/// Parses env knob `key`, warning once and returning `default` when the
+/// value does not parse.
+fn env_knob<T>(key: &str, default: T) -> T
+where
+    T: FromStr + std::fmt::Display + Copy,
+{
+    match std::env::var(key) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                warn_once(
+                    key,
+                    &format!("ignoring malformed {key}={raw:?} (using {default})"),
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Validates a listen address knob: it must parse as `host:port` socket
+/// addresses; otherwise warn once and use `default`.
+fn env_addr(key: &str, default: &str) -> String {
+    match std::env::var(key) {
+        Ok(raw) => {
+            let trimmed = raw.trim();
+            if std::net::ToSocketAddrs::to_socket_addrs(&trimmed)
+                .map(|mut a| a.next().is_some())
+                .unwrap_or(false)
+            {
+                trimmed.to_string()
+            } else {
+                warn_once(
+                    key,
+                    &format!("ignoring malformed {key}={raw:?} (using {default})"),
+                );
+                default.to_string()
+            }
+        }
+        Err(_) => default.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_parse_or_warn_and_default() {
+        // Distinct keys per case: tests share the process environment.
+        std::env::set_var("IWC_SERVE_TEST_OK", "9");
+        assert_eq!(env_knob("IWC_SERVE_TEST_OK", 2usize), 9);
+        std::env::set_var("IWC_SERVE_TEST_BAD", "not-a-number");
+        assert_eq!(env_knob("IWC_SERVE_TEST_BAD", 3usize), 3);
+        assert_eq!(env_knob("IWC_SERVE_TEST_UNSET", 5usize), 5);
+
+        std::env::set_var("IWC_SERVE_TEST_ADDR_OK", "127.0.0.1:0");
+        assert_eq!(
+            env_addr("IWC_SERVE_TEST_ADDR_OK", DEFAULT_ADDR),
+            "127.0.0.1:0"
+        );
+        std::env::set_var("IWC_SERVE_TEST_ADDR_BAD", "no-port-here");
+        assert_eq!(
+            env_addr("IWC_SERVE_TEST_ADDR_BAD", DEFAULT_ADDR),
+            DEFAULT_ADDR
+        );
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.addr, DEFAULT_ADDR);
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
+        let eph = cfg.on_ephemeral_port();
+        assert_eq!(eph.addr, "127.0.0.1:0");
+    }
+}

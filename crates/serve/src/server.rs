@@ -1,0 +1,531 @@
+//! The daemon: accept loop, bounded job queue, worker pool, routing, and
+//! graceful drain.
+//!
+//! Architecture (all `std::net` + threads — the container is offline):
+//!
+//! ```text
+//!  accept loop ──► connection threads ──try_send──► bounded job queue
+//!   (non-blocking,    (HTTP/1.1 parse,   │ Full → 503 + Retry-After
+//!    polls drain       keep-alive,       ▼
+//!    flag + SIGTERM)   WS upgrade)    N sim workers (decode cache shared)
+//! ```
+//!
+//! Draining (`POST /shutdown` or SIGTERM) stops the accept loop, lets
+//! every in-flight job finish, closes keep-alive connections after their
+//! current request, then joins all threads — `Server::run` returns `Ok`.
+
+use crate::cache::SessionCache;
+use crate::http::{HttpError, Request, RequestParser, Response};
+use crate::job::{self, EventSink, JobError, JobRequest};
+use crate::ws;
+use crate::ServeConfig;
+use iwc_telemetry::Registry;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocking loops re-check the drain flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// SIGTERM flag set by the signal handler (`cfg(unix)`).
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that requests a graceful drain. Safe to call
+/// more than once. No-op on non-unix targets.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigterm(_sig: i32) {
+            SIGTERM.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM_NO: i32 = 15;
+        // SAFETY: installing a handler that only stores to an atomic is
+        // async-signal-safe; std links libc so `signal` is available.
+        unsafe {
+            signal(SIGTERM_NO, on_sigterm as *const () as usize);
+        }
+    }
+}
+
+/// State shared by the accept loop, connections, and workers.
+struct Shared {
+    registry: Registry,
+    cache: SessionCache,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
+    }
+}
+
+/// One queued job: the parsed request, a one-shot response channel, and an
+/// optional live-event channel (WebSocket connections).
+struct QueuedJob {
+    req: JobRequest,
+    resp: SyncSender<Result<String, JobError>>,
+    events: Option<mpsc::Sender<String>>,
+}
+
+/// A handle for controlling a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting, finish in-flight jobs,
+    /// then `Server::run` returns.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// A snapshot of the server's metric registry (`serve/…` counters).
+    pub fn stats(&self) -> iwc_telemetry::TelemetrySnapshot {
+        self.shared.registry.snapshot()
+    }
+}
+
+/// The serve daemon. Bind with [`Server::bind`], then block in
+/// [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+    queue_depth: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let registry = Registry::new();
+        let cache = SessionCache::new(&registry);
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                registry,
+                cache,
+                draining: AtomicBool::new(false),
+            }),
+            workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+        })
+    }
+
+    /// The bound address (port resolved when binding to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the daemon until drained. Accepts connections, dispatches jobs
+    /// through the bounded queue to the worker pool, and on drain joins
+    /// every thread before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors are
+    /// handled and counted, not fatal).
+    pub fn run(self) -> std::io::Result<()> {
+        let (job_tx, job_rx) = mpsc::sync_channel::<QueuedJob>(self.queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut worker_handles = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let shared = Arc::clone(&self.shared);
+            let rx = Arc::clone(&job_rx);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("iwc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.registry.counter("serve/connections").add(1);
+                    let shared = Arc::clone(&self.shared);
+                    let tx = job_tx.clone();
+                    conn_handles.push(
+                        std::thread::Builder::new()
+                            .name("iwc-serve-conn".into())
+                            .spawn(move || handle_connection(stream, &shared, &tx))
+                            .expect("spawn connection thread"),
+                    );
+                    conn_handles.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: connections finish their current request and exit (they
+        // poll the drain flag), which drops their queue senders; workers
+        // then run the queue dry and exit when the last sender goes away.
+        drop(job_tx);
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<QueuedJob>>) {
+    loop {
+        // Hold the lock only for the dequeue, not the job.
+        let job = {
+            let rx = rx.lock().expect("job queue lock poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        let started = Instant::now();
+        let sink_fn;
+        let sink: EventSink<'_> = match &job.events {
+            None => None,
+            Some(tx) => {
+                let tx = tx.clone();
+                sink_fn = move |e: String| {
+                    let _ = tx.send(e);
+                };
+                Some(&sink_fn)
+            }
+        };
+        let result = job::run_job(&job.req, &shared.cache, sink);
+        let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.registry.histogram("serve/job_us").record(us);
+        shared
+            .registry
+            .counter(if result.is_ok() {
+                "serve/jobs_ok"
+            } else {
+                "serve/jobs_failed"
+            })
+            .add(1);
+        if let (Some(tx), Err(e)) = (&job.events, &result) {
+            let _ = tx.send(format!(
+                "{{\"event\":\"error\",\"status\":{},\"message\":\"{}\"}}",
+                e.status(),
+                iwc_telemetry::json::escape(e.message())
+            ));
+        }
+        let _ = job.resp.send(result);
+    }
+}
+
+/// Submits a job to the bounded queue; `Err` means the queue is full (the
+/// daemon is saturated) and the caller should answer 503.
+fn submit(
+    shared: &Shared,
+    tx: &SyncSender<QueuedJob>,
+    req: JobRequest,
+    events: Option<mpsc::Sender<String>>,
+) -> Result<Receiver<Result<String, JobError>>, ()> {
+    let (resp_tx, resp_rx) = mpsc::sync_channel(1);
+    shared.registry.counter("serve/jobs_submitted").add(1);
+    match tx.try_send(QueuedJob {
+        req,
+        resp: resp_tx,
+        events,
+    }) {
+        Ok(()) => Ok(resp_rx),
+        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            shared.registry.counter("serve/rejected").add(1);
+            Err(())
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, jobs: &SyncSender<QueuedJob>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut parser =
+        RequestParser::new(crate::http::DEFAULT_MAX_HEAD, crate::http::DEFAULT_MAX_BODY);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    shared.registry.counter("serve/requests").add(1);
+                    if req.wants_ws_upgrade() {
+                        // The connection leaves HTTP; the WS session owns it.
+                        handle_ws(stream, &req, shared, jobs);
+                        return;
+                    }
+                    let close = req.wants_close() || shared.draining();
+                    let resp = route(&req, shared, jobs);
+                    if resp.write_to(&mut stream, close).is_err() {
+                        return;
+                    }
+                    if close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    shared.registry.counter("serve/http_errors").add(1);
+                    let _ = write_http_error(&mut stream, &e);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => parser.feed(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle keep-alive connection: close once draining.
+                if shared.draining() && parser.buffered() == 0 {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_http_error(stream: &mut TcpStream, e: &HttpError) -> std::io::Result<()> {
+    Response::error(e.status(), &e.to_string()).write_to(stream, true)
+}
+
+/// Routes one HTTP request to a response.
+fn route(req: &Request, shared: &Shared, jobs: &SyncSender<QueuedJob>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(format!(
+            "{{\"ok\":true,\"draining\":{}}}",
+            shared.draining()
+        )),
+        ("GET", "/v1/catalog") => Response::json(job::catalog_json()),
+        ("GET", "/v1/stats") => Response::json(shared.registry.snapshot().to_json()),
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            Response::json("{\"draining\":true}")
+        }
+        ("POST", "/v1/jobs") => {
+            if shared.draining() {
+                return Response::error(503, "draining").with_header("Retry-After", "1");
+            }
+            let body = match std::str::from_utf8(&req.body) {
+                Ok(b) => b,
+                Err(_) => return Response::error(400, "body is not UTF-8"),
+            };
+            let parsed = match JobRequest::from_json(body) {
+                Ok(p) => p,
+                Err(e) => return Response::error(e.status(), e.message()),
+            };
+            let Ok(resp_rx) = submit(shared, jobs, parsed, None) else {
+                return Response::error(503, "job queue full").with_header("Retry-After", "1");
+            };
+            match resp_rx.recv() {
+                Ok(Ok(body)) => Response::json(body),
+                Ok(Err(e)) => Response::error(e.status(), e.message()),
+                Err(_) => Response::error(500, "worker dropped the job"),
+            }
+        }
+        ("GET", "/v1/ws") => {
+            // Reaching route() means the upgrade headers were missing.
+            Response::error(426, "this endpoint requires a WebSocket upgrade")
+                .with_header("Upgrade", "websocket")
+        }
+        (_, "/healthz" | "/v1/catalog" | "/v1/stats" | "/shutdown" | "/v1/jobs") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Serves one WebSocket session: upgrade, one job request per text
+/// message, live events streamed back as text frames.
+fn handle_ws(mut stream: TcpStream, req: &Request, shared: &Shared, jobs: &SyncSender<QueuedJob>) {
+    let Some(key) = req.header("sec-websocket-key") else {
+        let _ = Response::error(400, "missing Sec-WebSocket-Key").write_to(&mut stream, true);
+        return;
+    };
+    if req.path != "/v1/ws" {
+        let _ = Response::error(404, "no such endpoint").write_to(&mut stream, true);
+        return;
+    }
+    if shared.draining() {
+        let _ = Response::error(503, "draining")
+            .with_header("Retry-After", "1")
+            .write_to(&mut stream, true);
+        return;
+    }
+    let accept = ws::accept_key(key);
+    let upgrade = format!(
+        "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Accept: {accept}\r\n\r\n"
+    );
+    if stream.write_all(upgrade.as_bytes()).is_err() {
+        return;
+    }
+    shared.registry.counter("serve/ws/connections").add(1);
+
+    let mut buf = [0u8; 16 * 1024];
+    let mut wire: Vec<u8> = Vec::new();
+    let mut asm = ws::MessageAssembler::new();
+    'session: loop {
+        // Decode any complete frames already buffered.
+        loop {
+            match ws::decode_frame(&wire, true, ws::MAX_CLIENT_PAYLOAD) {
+                Ok(Some((frame, used))) => {
+                    wire.drain(..used);
+                    match asm.push(frame) {
+                        Ok(Some(ws::WsEvent::Text(text))) => {
+                            if !ws_run_job(&mut stream, &text, shared, jobs) {
+                                break 'session;
+                            }
+                        }
+                        Ok(Some(ws::WsEvent::Ping(payload))) => {
+                            if send_frame(&mut stream, &ws::Frame::pong(payload)).is_err() {
+                                break 'session;
+                            }
+                        }
+                        Ok(Some(ws::WsEvent::Close(_))) => {
+                            let _ = send_frame(&mut stream, &ws::Frame::close(1000, "bye"));
+                            break 'session;
+                        }
+                        Ok(Some(ws::WsEvent::Binary(_))) => {
+                            let _ = send_frame(
+                                &mut stream,
+                                &ws::Frame::close(1003, "text messages only"),
+                            );
+                            break 'session;
+                        }
+                        Ok(Some(ws::WsEvent::Pong) | None) => {}
+                        Err(e) => {
+                            let code = match e {
+                                ws::WsError::TooLarge { .. } => 1009,
+                                _ => 1002,
+                            };
+                            let _ =
+                                send_frame(&mut stream, &ws::Frame::close(code, &e.to_string()));
+                            break 'session;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let code = match e {
+                        ws::WsError::TooLarge { .. } => 1009,
+                        _ => 1002,
+                    };
+                    let _ = send_frame(&mut stream, &ws::Frame::close(code, &e.to_string()));
+                    break 'session;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => wire.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.draining() {
+                    let _ = send_frame(&mut stream, &ws::Frame::close(1001, "server draining"));
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Runs one job for a WS session, streaming events as they arrive.
+/// Returns `false` when the socket died and the session should end.
+fn ws_run_job(
+    stream: &mut TcpStream,
+    text: &str,
+    shared: &Shared,
+    jobs: &SyncSender<QueuedJob>,
+) -> bool {
+    let parsed = match JobRequest::from_json(text) {
+        Ok(p) => p,
+        Err(e) => {
+            return send_event(
+                stream,
+                &format!(
+                    "{{\"event\":\"error\",\"status\":{},\"message\":\"{}\"}}",
+                    e.status(),
+                    iwc_telemetry::json::escape(e.message())
+                ),
+            )
+            .is_ok()
+        }
+    };
+    let (ev_tx, ev_rx) = mpsc::channel::<String>();
+    let Ok(resp_rx) = submit(shared, jobs, parsed, Some(ev_tx)) else {
+        return send_event(
+            stream,
+            "{\"event\":\"error\",\"status\":503,\"message\":\"job queue full\"}",
+        )
+        .is_ok();
+    };
+    // Forward live events until the worker reports the final result; the
+    // event channel closes when the worker drops its sender.
+    loop {
+        match ev_rx.recv_timeout(POLL) {
+            Ok(event) => {
+                if send_event(stream, &event).is_err() {
+                    // Client went away mid-stream; let the job finish (it
+                    // is already running) and drop the rest.
+                    let _ = resp_rx.recv();
+                    return false;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    match resp_rx.recv() {
+        Ok(Ok(body)) => {
+            send_event(stream, &format!("{{\"event\":\"result\",\"data\":{body}}}")).is_ok()
+        }
+        // The error event was already streamed by the worker.
+        Ok(Err(_)) => true,
+        Err(_) => send_event(
+            stream,
+            "{\"event\":\"error\",\"status\":500,\"message\":\"worker dropped the job\"}",
+        )
+        .is_ok(),
+    }
+}
+
+fn send_frame(stream: &mut TcpStream, frame: &ws::Frame) -> std::io::Result<()> {
+    stream.write_all(&ws::encode_frame(frame, None))
+}
+
+fn send_event(stream: &mut TcpStream, event: &str) -> std::io::Result<()> {
+    send_frame(stream, &ws::Frame::text(event))
+}

@@ -1,0 +1,691 @@
+//! Hand-rolled WebSocket (RFC 6455) codec: handshake key derivation
+//! (SHA-1 + base64, std-only), frame encode/decode with client-masking
+//! enforcement, fragmentation reassembly, ping/pong, and the close
+//! handshake. The serve daemon uses it to stream live per-job telemetry
+//! deltas and Perfetto trace JSON to clients.
+
+use std::fmt;
+
+/// The protocol GUID appended to `Sec-WebSocket-Key` (RFC 6455 §1.3).
+pub const WS_GUID: &str = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+/// Largest client frame payload the server accepts. Client→server traffic
+/// is job-request JSON and control frames; 8 MiB matches the HTTP body
+/// limit.
+pub const MAX_CLIENT_PAYLOAD: usize = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// SHA-1 + base64 (handshake only — not used for anything security-bearing)
+// ---------------------------------------------------------------------------
+
+/// SHA-1 digest (FIPS 180-1). WebSocket's handshake hard-codes SHA-1; it
+/// is used here purely as the protocol's key-derivation step.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Standard base64 (RFC 4648, with padding).
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard base64 (RFC 4648; padding optional, whitespace
+/// ignored). `None` on any other character or a truncated final group.
+/// Job requests use this to carry binary mask-trace payloads inside JSON.
+pub fn base64_decode(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        Some(match c {
+            b'A'..=b'Z' => u32::from(c - b'A'),
+            b'a'..=b'z' => u32::from(c - b'a') + 26,
+            b'0'..=b'9' => u32::from(c - b'0') + 52,
+            b'+' => 62,
+            b'/' => 63,
+            _ => return None,
+        })
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    let mut acc: u32 = 0;
+    let mut nbits = 0u32;
+    for &c in s.as_bytes() {
+        if c.is_ascii_whitespace() || c == b'=' {
+            continue;
+        }
+        acc = (acc << 6) | val(c)?;
+        nbits += 6;
+        if nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    // A final group of 6 leftover bits means a truncated encoding.
+    if nbits >= 6 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Derives the `Sec-WebSocket-Accept` value for a client's
+/// `Sec-WebSocket-Key`.
+pub fn accept_key(client_key: &str) -> String {
+    let mut joined = client_key.trim().to_string();
+    joined.push_str(WS_GUID);
+    base64(&sha1(joined.as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// WebSocket frame opcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Opcode {
+    /// Continuation of a fragmented message.
+    Continuation,
+    /// UTF-8 text message (the serve protocol's JSON events).
+    Text,
+    /// Binary message.
+    Binary,
+    /// Connection close.
+    Close,
+    /// Ping (must be answered with a pong carrying the same payload).
+    Ping,
+    /// Pong.
+    Pong,
+}
+
+impl Opcode {
+    fn from_bits(bits: u8) -> Option<Self> {
+        Some(match bits {
+            0x0 => Self::Continuation,
+            0x1 => Self::Text,
+            0x2 => Self::Binary,
+            0x8 => Self::Close,
+            0x9 => Self::Ping,
+            0xa => Self::Pong,
+            _ => return None,
+        })
+    }
+
+    fn bits(self) -> u8 {
+        match self {
+            Self::Continuation => 0x0,
+            Self::Text => 0x1,
+            Self::Binary => 0x2,
+            Self::Close => 0x8,
+            Self::Ping => 0x9,
+            Self::Pong => 0xa,
+        }
+    }
+
+    /// Control frames (close/ping/pong) may not be fragmented.
+    pub fn is_control(self) -> bool {
+        matches!(self, Self::Close | Self::Ping | Self::Pong)
+    }
+}
+
+/// One decoded WebSocket frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Final fragment of its message?
+    pub fin: bool,
+    /// Frame opcode.
+    pub opcode: Opcode,
+    /// Unmasked payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A final text frame.
+    pub fn text(payload: impl Into<String>) -> Self {
+        Self {
+            fin: true,
+            opcode: Opcode::Text,
+            payload: payload.into().into_bytes(),
+        }
+    }
+
+    /// A close frame with a status code and reason.
+    pub fn close(code: u16, reason: &str) -> Self {
+        let mut payload = code.to_be_bytes().to_vec();
+        payload.extend_from_slice(reason.as_bytes());
+        Self {
+            fin: true,
+            opcode: Opcode::Close,
+            payload,
+        }
+    }
+
+    /// A pong answering `ping_payload`.
+    pub fn pong(ping_payload: Vec<u8>) -> Self {
+        Self {
+            fin: true,
+            opcode: Opcode::Pong,
+            payload: ping_payload,
+        }
+    }
+}
+
+/// A WebSocket protocol violation; the connection should close with
+/// status 1002 (protocol error) / 1009 (too big).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WsError {
+    /// Client frame arrived unmasked (RFC 6455 §5.1 requires masking).
+    UnmaskedClientFrame,
+    /// Reserved bits set or unknown opcode.
+    Protocol(String),
+    /// Frame or reassembled message over the configured limit.
+    TooLarge {
+        /// Payload length declared or accumulated.
+        size: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for WsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnmaskedClientFrame => write!(f, "client frame not masked"),
+            Self::Protocol(m) => write!(f, "websocket protocol violation: {m}"),
+            Self::TooLarge { size, limit } => {
+                write!(f, "payload of {size} bytes over the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WsError {}
+
+/// Encodes a frame. Server→client frames pass `mask: None` (never
+/// masked); client→server frames (the test/bench client) pass a masking
+/// key.
+pub fn encode_frame(frame: &Frame, mask: Option<[u8; 4]>) -> Vec<u8> {
+    let len = frame.payload.len();
+    let mut out = Vec::with_capacity(len + 14);
+    out.push((u8::from(frame.fin) << 7) | frame.opcode.bits());
+    let mask_bit = if mask.is_some() { 0x80 } else { 0 };
+    if len < 126 {
+        out.push(mask_bit | len as u8);
+    } else if len <= u16::MAX as usize {
+        out.push(mask_bit | 126);
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+    } else {
+        out.push(mask_bit | 127);
+        out.extend_from_slice(&(len as u64).to_be_bytes());
+    }
+    match mask {
+        None => out.extend_from_slice(&frame.payload),
+        Some(key) => {
+            out.extend_from_slice(&key);
+            out.extend(
+                frame
+                    .payload
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b ^ key[i % 4]),
+            );
+        }
+    }
+    out
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a partial frame, otherwise the
+/// frame and the number of bytes consumed. When `require_mask` is set
+/// (server side), unmasked data frames are a protocol error.
+///
+/// # Errors
+///
+/// Returns [`WsError`] on protocol violations or over-limit payloads.
+pub fn decode_frame(
+    buf: &[u8],
+    require_mask: bool,
+    max_payload: usize,
+) -> Result<Option<(Frame, usize)>, WsError> {
+    if buf.len() < 2 {
+        return Ok(None);
+    }
+    let b0 = buf[0];
+    let b1 = buf[1];
+    if b0 & 0x70 != 0 {
+        return Err(WsError::Protocol("reserved bits set".into()));
+    }
+    let opcode = Opcode::from_bits(b0 & 0x0f)
+        .ok_or_else(|| WsError::Protocol(format!("unknown opcode {:#x}", b0 & 0x0f)))?;
+    let fin = b0 & 0x80 != 0;
+    if opcode.is_control() && !fin {
+        return Err(WsError::Protocol("fragmented control frame".into()));
+    }
+    let masked = b1 & 0x80 != 0;
+    if require_mask && !masked {
+        return Err(WsError::UnmaskedClientFrame);
+    }
+    let (len, mut off) = match b1 & 0x7f {
+        126 => {
+            if buf.len() < 4 {
+                return Ok(None);
+            }
+            (usize::from(u16::from_be_bytes([buf[2], buf[3]])), 4)
+        }
+        127 => {
+            if buf.len() < 10 {
+                return Ok(None);
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[2..10]);
+            let n = u64::from_be_bytes(b);
+            if n > max_payload as u64 {
+                return Err(WsError::TooLarge {
+                    size: n as usize,
+                    limit: max_payload,
+                });
+            }
+            (n as usize, 10)
+        }
+        n => (usize::from(n), 2),
+    };
+    if len > max_payload {
+        return Err(WsError::TooLarge {
+            size: len,
+            limit: max_payload,
+        });
+    }
+    if opcode.is_control() && len > 125 {
+        return Err(WsError::Protocol("control payload over 125 bytes".into()));
+    }
+    let key = if masked {
+        if buf.len() < off + 4 {
+            return Ok(None);
+        }
+        let key = [buf[off], buf[off + 1], buf[off + 2], buf[off + 3]];
+        off += 4;
+        Some(key)
+    } else {
+        None
+    };
+    if buf.len() < off + len {
+        return Ok(None);
+    }
+    let mut payload = buf[off..off + len].to_vec();
+    if let Some(key) = key {
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b ^= key[i % 4];
+        }
+    }
+    Ok(Some((
+        Frame {
+            fin,
+            opcode,
+            payload,
+        },
+        off + len,
+    )))
+}
+
+/// A complete incoming event after reassembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WsEvent {
+    /// A complete (possibly reassembled) text message.
+    Text(String),
+    /// A complete (possibly reassembled) binary message.
+    Binary(Vec<u8>),
+    /// A ping; answer with [`Frame::pong`] carrying the payload.
+    Ping(Vec<u8>),
+    /// A pong (unsolicited pongs are ignored).
+    Pong,
+    /// The peer started the close handshake (status code, if present).
+    Close(Option<u16>),
+}
+
+/// Reassembles frames into messages: buffers continuation fragments,
+/// surfaces control frames immediately (they may interleave with a
+/// fragmented message), and enforces the payload limit across a whole
+/// message.
+#[derive(Debug, Default)]
+pub struct MessageAssembler {
+    partial: Option<(Opcode, Vec<u8>)>,
+}
+
+impl MessageAssembler {
+    /// A fresh assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one frame; returns a surfaced event when the frame completes
+    /// a message or is a control frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsError`] on interleaving violations (a new data message
+    /// starting inside a fragmented one, or a stray continuation) and
+    /// over-limit reassembled messages.
+    pub fn push(&mut self, frame: Frame) -> Result<Option<WsEvent>, WsError> {
+        match frame.opcode {
+            Opcode::Ping => return Ok(Some(WsEvent::Ping(frame.payload))),
+            Opcode::Pong => return Ok(Some(WsEvent::Pong)),
+            Opcode::Close => {
+                let code = (frame.payload.len() >= 2)
+                    .then(|| u16::from_be_bytes([frame.payload[0], frame.payload[1]]));
+                return Ok(Some(WsEvent::Close(code)));
+            }
+            Opcode::Text | Opcode::Binary => {
+                if self.partial.is_some() {
+                    return Err(WsError::Protocol(
+                        "new data message inside a fragmented one".into(),
+                    ));
+                }
+                if frame.fin {
+                    return Ok(Some(Self::finish(frame.opcode, frame.payload)));
+                }
+                self.partial = Some((frame.opcode, frame.payload));
+            }
+            Opcode::Continuation => {
+                let Some((opcode, mut buf)) = self.partial.take() else {
+                    return Err(WsError::Protocol("continuation without a start".into()));
+                };
+                buf.extend_from_slice(&frame.payload);
+                if buf.len() > MAX_CLIENT_PAYLOAD {
+                    return Err(WsError::TooLarge {
+                        size: buf.len(),
+                        limit: MAX_CLIENT_PAYLOAD,
+                    });
+                }
+                if frame.fin {
+                    return Ok(Some(Self::finish(opcode, buf)));
+                }
+                self.partial = Some((opcode, buf));
+            }
+        }
+        Ok(None)
+    }
+
+    fn finish(opcode: Opcode, payload: Vec<u8>) -> WsEvent {
+        match opcode {
+            Opcode::Binary => WsEvent::Binary(payload),
+            _ => WsEvent::Text(String::from_utf8_lossy(&payload).into_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha1_known_vectors() {
+        // FIPS 180-1 appendix A/B vectors.
+        assert_eq!(
+            sha1(b"abc"),
+            [
+                0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e, 0x25, 0x71, 0x78, 0x50,
+                0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d
+            ]
+        );
+        assert_eq!(
+            sha1(b""),
+            [
+                0xda, 0x39, 0xa3, 0xee, 0x5e, 0x6b, 0x4b, 0x0d, 0x32, 0x55, 0xbf, 0xef, 0x95, 0x60,
+                0x18, 0x90, 0xaf, 0xd8, 0x07, 0x09
+            ]
+        );
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 §10 vectors.
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foob"), "Zm9vYg==");
+        assert_eq!(base64(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_decode_roundtrips_and_rejects_garbage() {
+        for data in [&b""[..], b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar"] {
+            assert_eq!(base64_decode(&base64(data)).as_deref(), Some(data));
+        }
+        assert_eq!(base64_decode("Zm9v"), Some(b"foo".to_vec()));
+        assert_eq!(base64_decode("Zg"), Some(b"f".to_vec()), "padding optional");
+        assert_eq!(base64_decode("not base64!"), None);
+        assert_eq!(base64_decode("Z"), None, "truncated group");
+    }
+
+    #[test]
+    fn rfc6455_handshake_vector() {
+        // The example from RFC 6455 §1.3.
+        assert_eq!(
+            accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        );
+    }
+
+    #[test]
+    fn masked_roundtrip() {
+        let frame = Frame::text("hello telemetry");
+        let bytes = encode_frame(&frame, Some([0xde, 0xad, 0xbe, 0xef]));
+        // Masked payload must differ from the clear text on the wire.
+        assert!(!bytes
+            .windows(frame.payload.len())
+            .any(|w| w == frame.payload.as_slice()));
+        let (decoded, used) = decode_frame(&bytes, true, MAX_CLIENT_PAYLOAD)
+            .expect("decodes")
+            .expect("complete");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn unmasked_client_frame_is_rejected_only_server_side() {
+        let bytes = encode_frame(&Frame::text("x"), None);
+        assert_eq!(
+            decode_frame(&bytes, true, MAX_CLIENT_PAYLOAD),
+            Err(WsError::UnmaskedClientFrame)
+        );
+        // The client side accepts unmasked (server) frames.
+        let (frame, _) = decode_frame(&bytes, false, MAX_CLIENT_PAYLOAD)
+            .expect("decodes")
+            .expect("complete");
+        assert_eq!(frame.payload, b"x");
+    }
+
+    #[test]
+    fn extended_length_encodings_roundtrip() {
+        for len in [0usize, 125, 126, 127, 65_535, 65_536, 70_000] {
+            let frame = Frame {
+                fin: true,
+                opcode: Opcode::Binary,
+                payload: vec![0xab; len],
+            };
+            let bytes = encode_frame(&frame, Some([1, 2, 3, 4]));
+            let (decoded, used) = decode_frame(&bytes, true, MAX_CLIENT_PAYLOAD)
+                .expect("decodes")
+                .expect("complete");
+            assert_eq!(used, bytes.len(), "len {len}");
+            assert_eq!(decoded.payload.len(), len);
+        }
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let bytes = encode_frame(&Frame::text("stream me"), Some([9, 9, 9, 9]));
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes[..cut], true, MAX_CLIENT_PAYLOAD),
+                Ok(None),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn fragmentation_reassembles_across_continuations() {
+        let mut asm = MessageAssembler::new();
+        let first = Frame {
+            fin: false,
+            opcode: Opcode::Text,
+            payload: b"hello ".to_vec(),
+        };
+        let mid = Frame {
+            fin: false,
+            opcode: Opcode::Continuation,
+            payload: b"streaming ".to_vec(),
+        };
+        let last = Frame {
+            fin: true,
+            opcode: Opcode::Continuation,
+            payload: b"world".to_vec(),
+        };
+        assert_eq!(asm.push(first).expect("ok"), None);
+        // Control frames may interleave with a fragmented message.
+        assert_eq!(
+            asm.push(Frame {
+                fin: true,
+                opcode: Opcode::Ping,
+                payload: b"hb".to_vec(),
+            })
+            .expect("ok"),
+            Some(WsEvent::Ping(b"hb".to_vec()))
+        );
+        assert_eq!(asm.push(mid).expect("ok"), None);
+        assert_eq!(
+            asm.push(last).expect("ok"),
+            Some(WsEvent::Text("hello streaming world".into()))
+        );
+    }
+
+    #[test]
+    fn fragmentation_violations_are_protocol_errors() {
+        let mut asm = MessageAssembler::new();
+        assert!(matches!(
+            asm.push(Frame {
+                fin: true,
+                opcode: Opcode::Continuation,
+                payload: Vec::new(),
+            }),
+            Err(WsError::Protocol(_))
+        ));
+        let mut asm = MessageAssembler::new();
+        asm.push(Frame {
+            fin: false,
+            opcode: Opcode::Text,
+            payload: b"a".to_vec(),
+        })
+        .expect("ok");
+        assert!(matches!(
+            asm.push(Frame::text("b")),
+            Err(WsError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn ping_pong_and_close_events() {
+        let mut asm = MessageAssembler::new();
+        assert_eq!(
+            asm.push(Frame::pong(Vec::new())).expect("ok"),
+            Some(WsEvent::Pong)
+        );
+        assert_eq!(
+            asm.push(Frame::close(1000, "done")).expect("ok"),
+            Some(WsEvent::Close(Some(1000)))
+        );
+        assert_eq!(
+            asm.push(Frame {
+                fin: true,
+                opcode: Opcode::Close,
+                payload: Vec::new(),
+            })
+            .expect("ok"),
+            Some(WsEvent::Close(None))
+        );
+    }
+
+    #[test]
+    fn fragmented_control_frames_are_rejected() {
+        let mut bytes = encode_frame(&Frame::close(1000, ""), Some([0; 4]));
+        bytes[0] &= 0x7f; // clear FIN on a close frame
+        assert!(matches!(
+            decode_frame(&bytes, true, MAX_CLIENT_PAYLOAD),
+            Err(WsError::Protocol(_))
+        ));
+    }
+}

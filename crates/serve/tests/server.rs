@@ -1,0 +1,356 @@
+//! End-to-end tests of the serve daemon over real loopback sockets:
+//! response byte-identity against direct in-process runs, decode-cache
+//! hits, 503 back-pressure under a saturated queue, WebSocket event
+//! streaming (with Perfetto payloads), pipelining, and graceful drain.
+
+use iwc_compaction::EngineId;
+use iwc_serve::client::{self, WsClient};
+use iwc_serve::job::object_after;
+use iwc_serve::ws::WsEvent;
+use iwc_serve::{ServeConfig, Server, ServerHandle};
+use iwc_sim::GpuConfig;
+use iwc_telemetry::json::parse;
+use iwc_workloads::catalog;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Binds a daemon on an ephemeral port and runs it on a background
+/// thread. Returns the address, the control handle, and the join handle
+/// whose `Ok` return is the graceful-drain assertion.
+fn start(
+    workers: usize,
+    queue_depth: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_depth,
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn shutdown(
+    addr: SocketAddr,
+    handle: &ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    // Drain over the wire when possible, via the handle as a fallback.
+    let _ = client::post(addr, "/shutdown", "");
+    handle.shutdown();
+    join.join()
+        .expect("server thread must not panic")
+        .expect("graceful drain returns Ok");
+}
+
+#[test]
+fn serves_health_catalog_stats_and_404s() {
+    let (addr, handle, join) = start(1, 4);
+
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\":true"));
+
+    let cat = client::get(addr, "/v1/catalog").expect("catalog");
+    assert_eq!(cat.status, 200);
+    let parsed = parse(&cat.body).expect("valid JSON");
+    let names = parsed
+        .get("workloads")
+        .and_then(|w| w.as_arr())
+        .expect("workloads");
+    assert_eq!(names.len(), catalog().len());
+
+    let stats = client::get(addr, "/v1/stats").expect("stats");
+    assert_eq!(stats.status, 200);
+    parse(&stats.body).expect("stats is valid JSON");
+
+    assert_eq!(client::get(addr, "/nope").expect("404").status, 404);
+    assert_eq!(client::post(addr, "/healthz", "").expect("405").status, 405);
+
+    shutdown(addr, &handle, join);
+}
+
+/// The acceptance bar: a served response carries the same cycles and the
+/// byte-identical telemetry snapshot JSON as a direct in-process run, and
+/// resubmitting hits the decode cache.
+#[test]
+fn served_results_match_direct_runs_and_hit_the_cache() {
+    let (addr, handle, join) = start(2, 8);
+
+    for name in ["VA", "BFS"] {
+        let body = format!("{{\"workload\":\"{name}\",\"engines\":[\"base\",\"scc\"]}}");
+        let resp = client::post(addr, "/v1/jobs", &body).expect("job");
+        assert_eq!(resp.status, 200, "{name}: {}", resp.body);
+
+        for engine in [EngineId::BASELINE, EngineId::SCC] {
+            let built = (catalog()
+                .into_iter()
+                .find(|e| e.name == name)
+                .expect("in catalog")
+                .build)(1);
+            let direct = built
+                .run_checked(&GpuConfig::paper_default().with_compaction(engine))
+                .expect("direct run");
+            let marker = format!("\"engine\":\"{}\",\"cycles\":", engine.label());
+            assert!(
+                resp.body.contains(&format!("{marker}{}", direct.cycles)),
+                "{name}/{}: cycles differ from direct run",
+                engine.label()
+            );
+            let at = resp.body.find(&marker).expect("engine result present");
+            let engine_obj =
+                object_after(&resp.body[at..], "\"telemetry\":").expect("telemetry object");
+            assert_eq!(
+                engine_obj,
+                direct.telemetry.to_json(),
+                "{name}/{}: served telemetry bytes differ",
+                engine.label()
+            );
+        }
+    }
+
+    // Resubmit: same program hashes, so decodes stay put and hits climb.
+    let before = handle.stats();
+    let resp = client::post(
+        addr,
+        "/v1/jobs",
+        "{\"workload\":\"VA\",\"engines\":[\"base\",\"scc\"]}",
+    )
+    .expect("resubmission");
+    assert_eq!(resp.status, 200);
+    let after = handle.stats();
+    assert!(
+        after.counter("serve/cache/hits").unwrap_or(0)
+            > before.counter("serve/cache/hits").unwrap_or(0),
+        "resubmission must hit the cache"
+    );
+    assert_eq!(
+        after.counter("serve/cache/decodes"),
+        before.counter("serve/cache/decodes"),
+        "resubmission must not decode again"
+    );
+    // Each workload decoded exactly once across both engines.
+    assert_eq!(after.counter("serve/cache/decodes"), Some(2));
+
+    shutdown(addr, &handle, join);
+}
+
+/// Full catalog × canonical engines over the wire — the exhaustive
+/// acceptance sweep, release-gated like the other whole-catalog tests.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "whole-catalog sweep; run under --release")]
+fn full_catalog_sweep_is_byte_identical_over_the_wire() {
+    let (addr, handle, join) = start(2, 16);
+    for entry in catalog() {
+        let body = format!("{{\"workload\":\"{}\"}}", entry.name);
+        let resp = client::post(addr, "/v1/jobs", &body).expect("job");
+        assert_eq!(resp.status, 200, "{}: {}", entry.name, resp.body);
+        let built = (entry.build)(1);
+        for engine in EngineId::CANONICAL {
+            let direct = built
+                .run_checked(&GpuConfig::paper_default().with_compaction(engine))
+                .expect("direct run");
+            let marker = format!(
+                "\"engine\":\"{}\",\"cycles\":{}",
+                engine.label(),
+                direct.cycles
+            );
+            let at = resp.body.find(&marker).unwrap_or_else(|| {
+                panic!("{}/{}: served cycles differ", entry.name, engine.label())
+            });
+            assert_eq!(
+                object_after(&resp.body[at..], "\"telemetry\":").expect("telemetry"),
+                direct.telemetry.to_json(),
+                "{}/{}: served telemetry bytes differ",
+                entry.name,
+                engine.label()
+            );
+        }
+    }
+    shutdown(addr, &handle, join);
+}
+
+/// Under a saturated queue the daemon answers 503 + Retry-After without
+/// dropping any job it accepted.
+#[test]
+fn saturated_queue_rejects_with_503_and_drops_nothing() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    let (addr, handle, join) = start(1, 1);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let oks = AtomicU32::new(0);
+    let rejects = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| loop {
+                let resp = client::post(
+                    addr,
+                    "/v1/jobs",
+                    "{\"workload\":\"MM\",\"engines\":[\"scc\"]}",
+                )
+                .expect("request");
+                match resp.status {
+                    200 => {
+                        assert!(resp.body.contains("\"results\":["), "accepted job dropped");
+                        oks.fetch_add(1, Ordering::SeqCst);
+                    }
+                    503 => {
+                        assert_eq!(resp.header("retry-after"), Some("1"));
+                        rejects.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("unexpected status {other}: {}", resp.body),
+                }
+                // Stop once the fleet as a whole has seen both outcomes.
+                if Instant::now() > deadline
+                    || (rejects.load(Ordering::SeqCst) > 0 && oks.load(Ordering::SeqCst) > 0)
+                {
+                    return;
+                }
+            });
+        }
+    });
+    let oks = oks.into_inner();
+    let rejects = rejects.into_inner();
+    assert!(oks > 0, "some jobs must complete");
+    assert!(rejects > 0, "a 1-deep queue with 4 clients must reject");
+    let snap = handle.stats();
+    assert!(snap.counter("serve/rejected").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("serve/jobs_ok"), Some(u64::from(oks)));
+    shutdown(addr, &handle, join);
+}
+
+fn collect_events(ws: &mut WsClient, until_result: bool) -> Vec<String> {
+    let mut events = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        match ws.next_event(Duration::from_millis(200)).expect("ws read") {
+            Some(WsEvent::Text(t)) => {
+                let is_result =
+                    t.starts_with("{\"event\":\"result\"") || t.starts_with("{\"event\":\"error\"");
+                events.push(t);
+                if until_result && is_result {
+                    return events;
+                }
+            }
+            Some(WsEvent::Close(_)) => return events,
+            _ => {}
+        }
+    }
+    panic!("timed out waiting for WS events; got {events:#?}");
+}
+
+/// A WebSocket session streams accepted → engine_done… → done → result,
+/// with Perfetto trace-event JSON on request.
+#[test]
+fn ws_streams_live_events_and_perfetto_traces() {
+    let (addr, handle, join) = start(1, 4);
+    let mut ws = client::ws_connect(addr, "/v1/ws").expect("upgrade");
+    ws.send_text("{\"workload\":\"VA\",\"engines\":[\"base\",\"scc\"],\"trace_events\":true}")
+        .expect("send job");
+    let events = collect_events(&mut ws, true);
+
+    assert!(events[0].contains("\"event\":\"accepted\""), "{events:#?}");
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.contains("\"event\":\"engine_done\""))
+            .count(),
+        2
+    );
+    let traces: Vec<_> = events
+        .iter()
+        .filter(|e| e.starts_with("{\"event\":\"trace\""))
+        .collect();
+    assert_eq!(traces.len(), 2, "one Perfetto payload per engine");
+    for t in traces {
+        let data = object_after(t, "\"data\":").expect("trace data object");
+        iwc_telemetry::chrome::validate(data).expect("valid Perfetto trace-event JSON");
+    }
+    assert!(events.iter().any(|e| e.contains("\"event\":\"done\"")));
+    let result = events.last().expect("result event");
+    assert!(result.starts_with("{\"event\":\"result\""));
+    assert!(result.contains("\"kind\":\"workload\""));
+
+    // Errors stream as events too.
+    ws.send_text("{\"workload\":\"no-such\"}")
+        .expect("send bad job");
+    let events = collect_events(&mut ws, true);
+    assert!(events.last().expect("event").contains("\"status\":404"));
+
+    ws.close().expect("close");
+    shutdown(addr, &handle, join);
+}
+
+/// Pipelined requests on one connection are answered in order, and
+/// oversized bodies are refused with 413.
+#[test]
+fn wire_layer_handles_pipelining_and_oversized_bodies() {
+    use std::io::{Read, Write};
+    let (addr, handle, join) = start(1, 4);
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let two = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /v1/catalog HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+    stream.write_all(two.as_bytes()).expect("pipelined write");
+    let mut all = String::new();
+    stream.read_to_string(&mut all).expect("read both");
+    assert_eq!(all.matches("HTTP/1.1 200 OK").count(), 2, "{all}");
+    let health_at = all.find("\"ok\":true").expect("healthz body");
+    let catalog_at = all.find("\"workloads\":").expect("catalog body");
+    assert!(health_at < catalog_at, "responses out of order");
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let huge = 9 * 1024 * 1024;
+    let head = format!("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {huge}\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("oversized head");
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).expect("read rejection");
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+
+    shutdown(addr, &handle, join);
+}
+
+/// Draining lets in-flight jobs finish, refuses new work, and `run`
+/// returns cleanly.
+#[test]
+fn graceful_drain_finishes_in_flight_jobs() {
+    let (addr, handle, join) = start(1, 4);
+
+    let worker = std::thread::spawn(move || {
+        client::post(
+            addr,
+            "/v1/jobs",
+            "{\"workload\":\"MM\",\"engines\":[\"scc\"]}",
+        )
+        .expect("in-flight job")
+    });
+    // Give the job a moment to be picked up, then drain mid-flight.
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = client::post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"draining\":true"));
+
+    let inflight = worker.join().expect("client thread");
+    assert_eq!(
+        inflight.status, 200,
+        "in-flight job must finish: {}",
+        inflight.body
+    );
+    assert!(inflight.body.contains("\"results\":["));
+
+    handle.shutdown();
+    join.join()
+        .expect("server thread must not panic")
+        .expect("graceful drain returns Ok");
+
+    // The listener is gone: new connections fail or are reset.
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "drained daemon must not accept new connections"
+    );
+}

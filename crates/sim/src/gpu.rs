@@ -274,7 +274,47 @@ impl Gpu {
         launch: &Launch,
         img: &mut MemoryImage,
     ) -> Result<SimResult, SimulateError> {
-        run_launch(&self.cfg, &mut self.mem, &mut self.clock, launch, img)
+        run_launch(&self.cfg, &mut self.mem, &mut self.clock, launch, img, None)
+    }
+
+    /// Like [`Gpu::run`], but reuses a program already lowered with
+    /// [`DecodedProgram::decode`] instead of decoding inside the launch —
+    /// the serve path's cache-friendly entry point (decode once, run the
+    /// same kernel many times across sessions and engine sweeps).
+    ///
+    /// Under [`ExecBackend::Reference`] the pre-decoded plans are unused
+    /// (that backend interprets the raw [`Program`]); results are identical
+    /// either way, which the serve integration tests enforce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError`] when the launch cannot be placed or does
+    /// not make progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `decoded` was not produced from `launch.program` (length
+    /// mismatch — the cheap structural check; callers key caches by content
+    /// hash, which subsumes it).
+    pub fn run_decoded(
+        &mut self,
+        launch: &Launch,
+        img: &mut MemoryImage,
+        decoded: &DecodedProgram,
+    ) -> Result<SimResult, SimulateError> {
+        assert_eq!(
+            decoded.len(),
+            launch.program.len(),
+            "decoded plans do not match the launched program"
+        );
+        run_launch(
+            &self.cfg,
+            &mut self.mem,
+            &mut self.clock,
+            launch,
+            img,
+            Some(decoded),
+        )
     }
 
     /// Sweeps one launch across several compaction engines (accepts
@@ -334,6 +374,26 @@ pub fn simulate(
     Gpu::new(*cfg).run(launch, img)
 }
 
+/// [`simulate`] with a pre-decoded program (one-shot convenience over
+/// [`Gpu::run_decoded`]): a cold device, but no per-launch decode.
+///
+/// # Errors
+///
+/// Returns [`SimulateError`] when the launch cannot be placed or does not
+/// make progress.
+///
+/// # Panics
+///
+/// Panics when `decoded` was not produced from `launch.program`.
+pub fn simulate_decoded(
+    cfg: &GpuConfig,
+    launch: &Launch,
+    img: &mut MemoryImage,
+    decoded: &DecodedProgram,
+) -> Result<SimResult, SimulateError> {
+    Gpu::new(*cfg).run_decoded(launch, img, decoded)
+}
+
 /// One visited cycle's arbitration outcome for an awake EU: whether it
 /// issued, the cause blocking it if not, and the earliest cycle at which
 /// it could next make progress.
@@ -345,6 +405,7 @@ fn run_launch(
     clock: &mut u64,
     launch: &Launch,
     img: &mut MemoryImage,
+    predecoded: Option<&DecodedProgram>,
 ) -> Result<SimResult, SimulateError> {
     let simd = launch.program.simd_width();
     let wg_threads = launch.threads_per_wg();
@@ -359,10 +420,18 @@ fn run_launch(
     // path sees only the trait object, never the registry.
     let engine = cfg.compaction.engine();
     // Resolve the execution backend once per launch and pre-decode the
-    // program into micro-op plans for the fast interpreter.
-    let decoded = match cfg.exec.resolve() {
+    // program into micro-op plans for the fast interpreter — unless the
+    // caller already holds the plans (the serve path's session cache).
+    let decoded_local: Option<DecodedProgram>;
+    let decoded: Option<&DecodedProgram> = match cfg.exec.resolve() {
         ExecBackend::Reference => None,
-        _ => Some(DecodedProgram::decode(&launch.program)),
+        _ => match predecoded {
+            Some(d) => Some(d),
+            None => {
+                decoded_local = Some(DecodedProgram::decode(&launch.program));
+                decoded_local.as_ref()
+            }
+        },
     };
 
     let mut eus: Vec<Eu> = (0..cfg.eus)
@@ -459,7 +528,7 @@ fn run_launch(
                 cfg,
                 engine.as_ref(),
                 &launch.program,
-                decoded.as_ref(),
+                decoded,
                 mem,
                 img,
                 &mut slms,

@@ -75,7 +75,7 @@ pub use eu::{
     Eu, EuStats, HwThread, IssueEvent, StallBreakdown, StallCause, StallSpan, StallStats,
 };
 pub use exec::{execute_instruction, Effect, Executed, ThreadCtx};
-pub use gpu::{arg_base_reg, simulate, Gpu, Launch, SimResult, SimulateError};
+pub use gpu::{arg_base_reg, simulate, simulate_decoded, Gpu, Launch, SimResult, SimulateError};
 pub use memimg::MemoryImage;
 pub use memsys::{MemStats, MemSystem};
 pub use plan::{DecodedProgram, LaneScratch, MicroPlan, PlanEffect};

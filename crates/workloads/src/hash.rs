@@ -1,0 +1,224 @@
+//! Stable content hashing for kernel programs and mask traces.
+//!
+//! The serve path caches decoded programs across requests, so it needs a
+//! key that (a) is identical for identical kernels however they were
+//! built, (b) changes whenever any instruction, operand, or immediate
+//! changes, and (c) is computable offline with std only. This module
+//! provides 64-bit FNV-1a over a canonical byte encoding:
+//!
+//! * [`program_hash`] — over the SIMD width and the full instruction
+//!   stream (every field of every [`Instruction`], via the derived,
+//!   field-complete `Debug` encoding — deterministic and exhaustive, so
+//!   any operand/immediate/flag difference reaches the hash). The program
+//!   *name* is deliberately excluded: two identically-encoded kernels are
+//!   the same content whatever they are called.
+//! * [`trace_hash`] — over the record stream of an execution-mask
+//!   [`Trace`] (mask bits, SIMD width, dtype per record), again excluding
+//!   the name.
+//!
+//! FNV-1a is not collision-resistant against adversaries; the serve cache
+//! treats a hash hit as identity for *well-behaved* clients and the tests
+//! below pin the sensitivity properties the cache relies on.
+
+use iwc_isa::insn::Instruction;
+use iwc_isa::program::Program;
+use iwc_trace::Trace;
+use std::io::Write as _;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Canonical byte encoding of one instruction, appended to `buf`.
+///
+/// The derived `Debug` format prints every field (opcode, exec width,
+/// dtype, all operands with their immediates, predicate, cond-mod, jump
+/// targets, send message), so it is a complete — if verbose — encoding;
+/// a `0xff` terminator keeps adjacent instructions from aliasing.
+fn encode_insn(buf: &mut Vec<u8>, insn: &Instruction) {
+    write!(buf, "{insn:?}").expect("writing to a Vec cannot fail");
+    buf.push(0xff);
+}
+
+/// Stable content hash of a kernel program: SIMD width plus the encoded
+/// instruction stream, name excluded.
+pub fn program_hash(program: &Program) -> u64 {
+    let mut buf = Vec::with_capacity(program.len() * 64 + 8);
+    buf.extend_from_slice(&program.simd_width().to_le_bytes());
+    for insn in program.insns() {
+        encode_insn(&mut buf, insn);
+    }
+    fnv1a(&buf)
+}
+
+/// Stable content hash of an execution-mask trace: the record stream
+/// (mask bits, width, dtype), name excluded.
+pub fn trace_hash(trace: &Trace) -> u64 {
+    let mut buf = Vec::with_capacity(trace.records.len() * 8);
+    for r in &trace.records {
+        buf.extend_from_slice(&r.bits.to_le_bytes());
+        buf.push(r.width);
+        write!(buf, "{:?}", r.dtype).expect("writing to a Vec cannot fail");
+    }
+    fnv1a(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::mask::ExecMask;
+    use iwc_isa::{DataType, KernelBuilder, Operand};
+
+    fn kernel(imm: u32, dst: u8) -> Program {
+        let mut b = KernelBuilder::new("k", 8);
+        b.mul(Operand::rud(dst), Operand::rud(1), Operand::imm_ud(imm));
+        b.add(Operand::rud(6), Operand::rud(dst), Operand::imm_ud(1));
+        b.finish().expect("valid kernel")
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn equal_programs_collide() {
+        assert_eq!(program_hash(&kernel(3, 5)), program_hash(&kernel(3, 5)));
+    }
+
+    #[test]
+    fn name_is_excluded() {
+        let mut a = KernelBuilder::new("alpha", 8);
+        a.mul(Operand::rud(5), Operand::rud(1), Operand::imm_ud(3));
+        let mut b = KernelBuilder::new("beta", 8);
+        b.mul(Operand::rud(5), Operand::rud(1), Operand::imm_ud(3));
+        assert_eq!(
+            program_hash(&a.finish().expect("valid")),
+            program_hash(&b.finish().expect("valid"))
+        );
+    }
+
+    #[test]
+    fn immediate_change_diverges() {
+        assert_ne!(program_hash(&kernel(3, 5)), program_hash(&kernel(4, 5)));
+    }
+
+    #[test]
+    fn operand_change_diverges() {
+        assert_ne!(program_hash(&kernel(3, 5)), program_hash(&kernel(3, 7)));
+    }
+
+    #[test]
+    fn simd_width_reaches_the_hash() {
+        let mut a = KernelBuilder::new("k", 8);
+        a.mul(Operand::rud(5), Operand::rud(1), Operand::imm_ud(3));
+        let mut b = KernelBuilder::new("k", 16);
+        b.mul(Operand::rud(5), Operand::rud(1), Operand::imm_ud(3));
+        assert_ne!(
+            program_hash(&a.finish().expect("valid")),
+            program_hash(&b.finish().expect("valid"))
+        );
+    }
+
+    #[test]
+    fn catalog_builds_hash_reproducibly_and_consistently() {
+        let entries = crate::catalog();
+        let built: Vec<_> = entries.iter().map(|e| (e.build)(1)).collect();
+        let hashes: Vec<u64> = built
+            .iter()
+            .map(|b| program_hash(&b.launch.program))
+            .collect();
+        let again: Vec<u64> = entries
+            .iter()
+            .map(|e| program_hash(&(e.build)(1).launch.program))
+            .collect();
+        assert_eq!(hashes, again, "catalog builds must hash deterministically");
+        // Some catalog entries deliberately share a kernel (e.g. ray-tracing
+        // scene variants differ only in input data), so equal hashes are
+        // fine — but only when the instruction streams really are equal.
+        for i in 0..built.len() {
+            for j in i + 1..built.len() {
+                if hashes[i] == hashes[j] {
+                    assert_eq!(
+                        built[i].launch.program.insns(),
+                        built[j].launch.program.insns(),
+                        "{} and {} hash-collide with different programs",
+                        built[i].name,
+                        built[j].name
+                    );
+                }
+            }
+        }
+        let mut uniq = hashes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(
+            uniq.len() >= built.len() / 2,
+            "suspiciously many shared kernels: {} unique of {}",
+            uniq.len(),
+            built.len()
+        );
+    }
+
+    #[test]
+    fn trace_hash_tracks_records_not_name() {
+        let mut a = Trace::new("a");
+        a.push(ExecMask::new(0b1010, 4), DataType::F);
+        a.push(ExecMask::new(0b1111, 4), DataType::Ud);
+        let mut b = Trace::new("b");
+        b.push(ExecMask::new(0b1010, 4), DataType::F);
+        b.push(ExecMask::new(0b1111, 4), DataType::Ud);
+        assert_eq!(trace_hash(&a), trace_hash(&b), "name must not matter");
+
+        let mut c = Trace::new("a");
+        c.push(ExecMask::new(0b1011, 4), DataType::F);
+        c.push(ExecMask::new(0b1111, 4), DataType::Ud);
+        assert_ne!(trace_hash(&a), trace_hash(&c), "mask bits must matter");
+
+        let mut d = Trace::new("a");
+        d.push(ExecMask::new(0b1010, 4), DataType::D);
+        d.push(ExecMask::new(0b1111, 4), DataType::Ud);
+        assert_ne!(trace_hash(&a), trace_hash(&d), "dtype must matter");
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod coherent;
+pub mod hash;
 pub mod imaging;
 pub mod micro;
 pub mod raytrace;
