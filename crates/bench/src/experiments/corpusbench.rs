@@ -1,0 +1,333 @@
+//! Corpus-pack analysis throughput: streams the expanded synthetic corpus
+//! out of its `.iwcc` pack through the sharded bounded-memory analyzer,
+//! records traces/s and a peak-RSS proxy into `results/BENCH_corpus.json`
+//! (schema 2, runs-trajectory carryover like `BENCH_sim.json`), and
+//! answers repeated runs from the content-addressed results cache.
+//!
+//! ```console
+//! iwc corpusbench [count] [nocache]
+//! ```
+//!
+//! Stdout carries only the deterministic analysis block — per-trace SIMD
+//! efficiency and BCC/SCC reductions plus the corpus aggregate — so the
+//! output is byte-identical whatever the thread count and whether the
+//! run was answered from cache (the CI `corpus-smoke` job diffs stdout
+//! at 1 vs 4 shards). Wall-clock, RSS, and cache accounting go to stderr
+//! and the JSON report.
+//!
+//! The cache key is (pack content hash × engine set × fingerprint):
+//! re-running on an unchanged pack hits whatever thread count produced
+//! the cached payload (results are shard-invariant by construction);
+//! regenerating the pack with different count/len changes the pack hash
+//! and misses. Pass `nocache` to force a fresh analysis. Cache traffic is
+//! published as `corpus/results_cache/{hits,misses}` counters.
+
+use super::Outcome;
+use crate::runner::{parse_run_line, results_dir, threads, RunRecord};
+use iwc_compaction::CompactionMode;
+use iwc_trace::pack::CorpusPack;
+use iwc_trace::synth::DEFAULT_EXPANDED_TRACES;
+use iwc_trace::{analyze_pack_file, corpus_snapshot, store, ResultsCache, TraceReport};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Version tag of the cached-payload format: bump when the stdout block
+/// rendered by [`render_report`] changes shape.
+const CACHE_FINGERPRINT: &str = "corpusbench/v1";
+
+/// Peak resident-set proxy (`VmHWM` from `/proc/self/status`), in KiB.
+/// Linux only; elsewhere the report records 0.
+pub(crate) fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Ensures the default pack exists with the requested shape, regenerating
+/// it when absent or stale. Returns the pack path.
+fn ensure_pack(count: usize, len: usize) -> Result<PathBuf, String> {
+    let path = store::default_pack_path();
+    if let Ok(pack) = CorpusPack::open_path(&path) {
+        let fresh = pack.len() == count
+            && pack
+                .entries()
+                .first()
+                .is_none_or(|e| e.records == len as u64);
+        if fresh {
+            return Ok(path);
+        }
+        eprintln!(
+            "[corpusbench] pack at {} is stale ({} traces); regenerating",
+            path.display(),
+            pack.len()
+        );
+    }
+    let n = super::pack_tool::generate(&path, count, len)?;
+    eprintln!(
+        "[corpusbench] generated {n}-trace pack at {}",
+        path.display()
+    );
+    Ok(path)
+}
+
+/// The deterministic stdout block: per-trace analysis lines plus the
+/// corpus aggregate. This exact string is what the results cache stores.
+fn render_report(reports: &[TraceReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Corpus pack analysis: {} traces ==\n\n",
+        reports.len()
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<32} eff {:>5.1}%  bcc {:>5.1}%  scc {:>5.1}%\n",
+            r.name,
+            100.0 * r.simd_efficiency(),
+            100.0 * r.reduction(CompactionMode::Bcc),
+            100.0 * r.reduction(CompactionMode::Scc),
+        ));
+    }
+    let snap = corpus_snapshot(reports);
+    let mut total = iwc_compaction::CompactionTally::new();
+    for r in reports {
+        total.merge(&r.tally);
+    }
+    out.push_str(&format!(
+        "\ncorpus: {} instructions, efficiency {:.1}%, bcc {:.1}%, scc {:.1}%\n",
+        snap.counter("corpus/instructions").unwrap_or(0),
+        100.0 * total.simd_efficiency(),
+        100.0 * total.reduction_vs_ivb(CompactionMode::Bcc),
+        100.0 * total.reduction_vs_ivb(CompactionMode::Scc),
+    ));
+    out
+}
+
+/// Run lines carried over from the previous report; same-shaped runs
+/// (threads and cells both equal) are superseded by the current run.
+fn prior_runs(text: &str, current: &RunRecord) -> Vec<RunRecord> {
+    let mut runs: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
+    runs.retain(|r| (r.threads, r.cells) != (current.threads, current.cells));
+    runs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    traces: usize,
+    records: u64,
+    pack_hash: u64,
+    wall_ms: f64,
+    traces_per_s: f64,
+    cached: bool,
+    cache: (u64, u64),
+    runs: &[RunRecord],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"name\": \"corpus\",\n");
+    out.push_str("  \"schema\": 2,\n");
+    out.push_str(&format!("  \"threads\": {},\n", threads()));
+    out.push_str(&format!(
+        "  \"corpus\": {{ \"traces\": {traces}, \"records\": {records}, \
+         \"pack_hash\": \"{pack_hash:#018x}\" }},\n"
+    ));
+    out.push_str(&format!("  \"wall_ms\": {wall_ms:.2},\n"));
+    out.push_str(&format!("  \"traces_per_s\": {traces_per_s:.1},\n"));
+    out.push_str(&format!("  \"peak_rss_kb\": {},\n", peak_rss_kb()));
+    out.push_str(&format!(
+        "  \"results_cache\": {{ \"answered_from_cache\": {cached}, \
+         \"hits\": {}, \"misses\": {} }},\n",
+        cache.0, cache.1
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"wall_ms\": {:.2}, \"cells\": {} }}{comma}\n",
+            r.threads, r.wall_ms, r.cells
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+pub(crate) fn run(args: &[String]) -> Outcome {
+    let use_cache = !args.iter().any(|a| a == "nocache");
+    let count = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_EXPANDED_TRACES);
+    let len = crate::trace_len();
+
+    let path = match ensure_pack(count, len) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[corpusbench] pack generation failed: {e}");
+            return Outcome::fail();
+        }
+    };
+    let pack = match CorpusPack::open_path(&path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[corpusbench] open failed: {e}");
+            return Outcome::fail();
+        }
+    };
+    let traces = pack.len();
+    let records: u64 = pack.entries().iter().map(|e| e.records).sum();
+    let pack_hash = pack.content_hash();
+    drop(pack);
+
+    // The engine set behind TraceReport is the four canonical engines;
+    // key the cache on their labels so an engine-set change misses.
+    let engine_labels: Vec<String> = iwc_compaction::EngineId::CANONICAL
+        .iter()
+        .map(|id| id.label())
+        .collect();
+    let cache = ResultsCache::open_default();
+    let key = ResultsCache::key(pack_hash, &engine_labels, CACHE_FINGERPRINT);
+
+    let telemetry = crate::telemetry();
+    let start = Instant::now();
+    let (report_text, cached) = match cache.load(key).filter(|_| use_cache) {
+        Some(payload) => {
+            telemetry.counter("corpus/results_cache/hits").add(1);
+            (payload, true)
+        }
+        None => {
+            telemetry.counter("corpus/results_cache/misses").add(1);
+            let reports = match analyze_pack_file(&path, threads()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[corpusbench] analysis failed: {e}");
+                    return Outcome::fail();
+                }
+            };
+            let text = render_report(&reports);
+            if use_cache {
+                if let Err(e) = cache.store(key, &text) {
+                    eprintln!("[corpusbench] warning: could not store cache entry: {e}");
+                }
+            }
+            (text, false)
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    print!("{report_text}");
+
+    #[allow(clippy::cast_precision_loss)]
+    let traces_per_s = if wall_ms > 0.0 {
+        traces as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+
+    let record = RunRecord {
+        threads: threads(),
+        wall_ms,
+        cells: traces,
+    };
+    let report_path = results_dir().join("BENCH_corpus.json");
+    let mut runs = prior_runs(
+        &std::fs::read_to_string(&report_path).unwrap_or_default(),
+        &record,
+    );
+    runs.push(record);
+    runs.sort_by_key(|r| (r.cells, r.threads));
+
+    let snap = telemetry.snapshot();
+    let hits = snap.counter("corpus/results_cache/hits").unwrap_or(0);
+    let misses = snap.counter("corpus/results_cache/misses").unwrap_or(0);
+    let json = render_json(
+        traces,
+        records,
+        pack_hash,
+        wall_ms,
+        traces_per_s,
+        cached,
+        (hits, misses),
+        &runs,
+    );
+    if let Err(e) =
+        std::fs::create_dir_all(results_dir()).and_then(|()| std::fs::write(&report_path, &json))
+    {
+        eprintln!("warning: could not write {}: {e}", report_path.display());
+    }
+
+    eprintln!(
+        "[corpusbench] {traces} traces ({records} records) in {wall_ms:.1} ms \
+         ({traces_per_s:.0} traces/s), peak RSS {} kB",
+        peak_rss_kb()
+    );
+    eprintln!(
+        "[corpusbench] results_cache hits={hits} misses={misses}{} -> {}",
+        if cached { " (answered from cache)" } else { "" },
+        report_path.display()
+    );
+    Outcome::cells(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb() > 0, "VmHWM should parse on Linux");
+        }
+    }
+
+    #[test]
+    fn report_runs_stay_line_parseable_and_carry_over() {
+        let runs = vec![
+            RunRecord {
+                threads: 1,
+                wall_ms: 50.0,
+                cells: 600,
+            },
+            RunRecord {
+                threads: 4,
+                wall_ms: 20.0,
+                cells: 600,
+            },
+        ];
+        let text = render_json(600, 1_200_000, 0xabcd, 20.0, 30000.0, false, (0, 1), &runs);
+        let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
+        assert_eq!(parsed, runs);
+        assert!(text.contains("\"traces_per_s\": 30000.0"), "{text}");
+        assert!(
+            text.contains("\"pack_hash\": \"0x000000000000abcd\""),
+            "{text}"
+        );
+        assert!(text.contains("\"hits\": 0, \"misses\": 1"), "{text}");
+
+        let current = RunRecord {
+            threads: 4,
+            wall_ms: 25.0,
+            cells: 600,
+        };
+        let kept = prior_runs(&text, &current);
+        assert_eq!(kept.len(), 1, "same-shape run superseded");
+        assert_eq!(kept[0].threads, 1);
+    }
+
+    #[test]
+    fn rendered_report_is_deterministic_for_fixed_reports() {
+        let profiles = iwc_trace::corpus();
+        let a = iwc_trace::analyze_corpus(&profiles[..3], 500, 1);
+        let b = iwc_trace::analyze_corpus(&profiles[..3], 500, 2);
+        assert_eq!(render_report(&a), render_report(&b));
+        assert!(render_report(&a).contains("corpus:"));
+    }
+}

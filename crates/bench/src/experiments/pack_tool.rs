@@ -1,0 +1,265 @@
+//! `pack` / `unpack` — corpus pack (`.iwcc`) round-trip tooling.
+//!
+//! ```console
+//! iwc pack                              # expanded corpus -> default pack
+//! iwc pack <out.iwcc> [count] [len]     # expanded corpus -> custom pack
+//! iwc pack info <pack.iwcc>             # index listing + pack hash
+//! iwc pack files <out.iwcc> <in.iwct>…  # pack existing IWCT trace files
+//! iwc unpack <pack.iwcc> <out-dir> [name]  # pack -> .iwct files
+//! ```
+//!
+//! Generation streams every profile straight into the pack writer
+//! (`Profile::source` → `PackWriter::add_source`), so packing the
+//! ~600-trace expanded corpus never materializes a single whole trace.
+//! The pack is a pure function of (count, len): re-running `iwc pack`
+//! reproduces it byte-for-byte, which is why the default pack is
+//! regenerable rather than checked in. `unpack` writes each trace back
+//! out in the single-trace `IWCT` encoding the rest of the tooling
+//! reads, and `pack files` closes the round trip.
+
+use super::Outcome;
+use iwc_trace::pack::{CorpusPack, PackWriter};
+use iwc_trace::synth::DEFAULT_EXPANDED_TRACES;
+use iwc_trace::{expanded_corpus, store, Trace};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+fn pack_usage() -> Outcome {
+    eprintln!(
+        "usage:\n  pack [out.iwcc] [count] [len]\n  \
+         pack info <pack.iwcc>\n  pack files <out.iwcc> <in.iwct>..."
+    );
+    Outcome::fail()
+}
+
+/// Writes the deterministic expanded corpus into a pack at `out`.
+pub(crate) fn generate(out: &Path, count: usize, len: usize) -> Result<usize, String> {
+    let profiles = expanded_corpus(count);
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    let file = File::create(out).map_err(|e| e.to_string())?;
+    let mut w = PackWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    for p in &profiles {
+        w.add_source(&mut p.source(len))
+            .map_err(|e| e.to_string())?;
+    }
+    w.finish().map_err(|e| e.to_string())?;
+    Ok(profiles.len())
+}
+
+pub(crate) fn run_pack(args: &[String]) -> Outcome {
+    match args.first().map(String::as_str) {
+        Some("info") => {
+            let Some(path) = args.get(1) else {
+                return pack_usage();
+            };
+            let pack = match CorpusPack::open_path(Path::new(path)) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("open failed: {e}");
+                    return Outcome::fail();
+                }
+            };
+            println!("pack {:?}: {} traces", path, pack.len());
+            for e in pack.entries() {
+                println!(
+                    "  {:<32} {:>9} records  {:#018x}",
+                    e.name, e.records, e.content_hash
+                );
+            }
+            println!("pack hash {:#018x}", pack.content_hash());
+            Outcome::done()
+        }
+        Some("files") if args.len() >= 3 => {
+            let out = PathBuf::from(&args[1]);
+            let mut traces = Vec::new();
+            for p in &args[2..] {
+                match File::open(p)
+                    .map_err(|e| e.to_string())
+                    .and_then(|f| Trace::read_from(BufReader::new(f)).map_err(|e| e.to_string()))
+                {
+                    Ok(t) => traces.push(t),
+                    Err(e) => {
+                        eprintln!("read {p} failed: {e}");
+                        return Outcome::fail();
+                    }
+                }
+            }
+            match iwc_trace::pack::write_pack_file(&out, &traces) {
+                Ok(entries) => {
+                    let records: u64 = entries.iter().map(|e| e.records).sum();
+                    println!(
+                        "packed {} traces ({records} records) into {}",
+                        entries.len(),
+                        out.display()
+                    );
+                    Outcome::cells(entries.len())
+                }
+                Err(e) => {
+                    eprintln!("pack failed: {e}");
+                    Outcome::fail()
+                }
+            }
+        }
+        Some("files") => pack_usage(),
+        arg => {
+            // Default mode: generate the expanded corpus. The optional
+            // positionals are [out] [count] [len].
+            let out = arg
+                .filter(|a| a.parse::<usize>().is_err())
+                .map_or_else(store::default_pack_path, PathBuf::from);
+            // When the first arg was numeric it is the count.
+            let numerics: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+            let count = numerics.first().copied().unwrap_or(DEFAULT_EXPANDED_TRACES);
+            let len = numerics.get(1).copied().unwrap_or_else(crate::trace_len);
+            match generate(&out, count, len) {
+                Ok(n) => {
+                    let pack = match CorpusPack::open_path(&out) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("re-open failed: {e}");
+                            return Outcome::fail();
+                        }
+                    };
+                    println!("packed {n} traces x {len} records into {}", out.display());
+                    println!("pack hash {:#018x}", pack.content_hash());
+                    Outcome::cells(n)
+                }
+                Err(e) => {
+                    eprintln!("pack failed: {e}");
+                    Outcome::fail()
+                }
+            }
+        }
+    }
+}
+
+/// Filesystem-safe file stem for a trace name.
+fn safe_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c == '/' || c == '\\' || c == ':' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn run_unpack(args: &[String]) -> Outcome {
+    let (Some(pack_path), Some(out_dir)) = (args.first(), args.get(1)) else {
+        eprintln!("usage:\n  unpack <pack.iwcc> <out-dir> [name]");
+        return Outcome::fail();
+    };
+    let only = args.get(2);
+    let mut pack = match CorpusPack::open_path(Path::new(pack_path)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            return Outcome::fail();
+        }
+    };
+    let out_dir = PathBuf::from(out_dir);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return Outcome::fail();
+    }
+    let indices: Vec<usize> = match only {
+        Some(name) => match pack.find(name) {
+            Some(i) => vec![i],
+            None => {
+                eprintln!("no trace named {name:?} in {pack_path}");
+                return Outcome::fail();
+            }
+        },
+        None => (0..pack.len()).collect(),
+    };
+    let mut written = 0usize;
+    for i in indices {
+        let trace = match pack.read_trace(i) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("read trace {i} failed: {e}");
+                return Outcome::fail();
+            }
+        };
+        let path = out_dir.join(format!("{}.iwct", safe_stem(&trace.name)));
+        match File::create(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| trace.write_to(BufWriter::new(f)).map_err(|e| e.to_string()))
+        {
+            Ok(()) => written += 1,
+            Err(e) => {
+                eprintln!("write {} failed: {e}", path.display());
+                return Outcome::fail();
+            }
+        }
+    }
+    println!("unpacked {written} traces into {}", out_dir.display());
+    Outcome::cells(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("iwc-pack-tool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("t.iwcc");
+
+        // Generate a small pack, unpack it, re-pack the files, and check
+        // the pack hash survives the full round trip.
+        generate(&pack_path, 5, 400).unwrap();
+        let hash = CorpusPack::open_path(&pack_path).unwrap().content_hash();
+
+        let out = dir.join("unpacked");
+        let st = run_unpack(&[pack_path.display().to_string(), out.display().to_string()]);
+        assert_eq!(st.code, 0);
+
+        let mut iwct: Vec<String> = std::fs::read_dir(&out)
+            .unwrap()
+            .map(|e| e.unwrap().path().display().to_string())
+            .collect();
+        iwct.sort();
+        assert_eq!(iwct.len(), 22, "expander keeps all base profiles");
+
+        // Repack in original order (read_dir order is lexicographic after
+        // the sort, so map names back through the original index).
+        let mut pack = CorpusPack::open_path(&pack_path).unwrap();
+        let ordered: Vec<Trace> = (0..pack.len())
+            .map(|i| pack.read_trace(i).unwrap())
+            .collect();
+        let repacked = dir.join("re.iwcc");
+        iwc_trace::pack::write_pack_file(&repacked, &ordered).unwrap();
+        assert_eq!(
+            CorpusPack::open_path(&repacked).unwrap().content_hash(),
+            hash,
+            "round trip preserves the pack hash"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let dir = std::env::temp_dir().join(format!("iwc-pack-repro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = dir.join("a.iwcc");
+        let b = dir.join("b.iwcc");
+        generate(&a, 3, 300).unwrap();
+        generate(&b, 3, 300).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn safe_stem_strips_separators() {
+        assert_eq!(safe_stem("a/b\\c:d"), "a_b_c_d");
+        assert_eq!(safe_stem("LuxMark-sky@v03"), "LuxMark-sky@v03");
+    }
+}

@@ -154,6 +154,15 @@ fn render_json(
         cache("misses"),
         cache("decodes")
     ));
+    let results_cache = |k: &str| {
+        snap.counter(&format!("serve/results_cache/{k}"))
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "  \"results_cache\": {{ \"hits\": {}, \"misses\": {} }},\n",
+        results_cache("hits"),
+        results_cache("misses")
+    ));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -183,6 +192,9 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
         addr: "127.0.0.1:0".into(),
         workers: clients,
         queue_depth: (clients * MIX.len()).max(iwc_serve::DEFAULT_QUEUE_DEPTH),
+        // The workload mix never touches the disk results cache; keep the
+        // bench hermetic (the counters still render, pinned at zero).
+        results_cache: None,
     };
     let server = match Server::bind(&cfg) {
         Ok(s) => s,
@@ -251,10 +263,13 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
         load.latency_us.quantile_hi(0.99)
     );
     eprintln!(
-        "[servebench] cache: {} hits / {} misses / {} decodes -> {}",
+        "[servebench] cache: {} hits / {} misses / {} decodes, \
+         results_cache: {} hits / {} misses -> {}",
         snap.counter("serve/cache/hits").unwrap_or(0),
         snap.counter("serve/cache/misses").unwrap_or(0),
         snap.counter("serve/cache/decodes").unwrap_or(0),
+        snap.counter("serve/results_cache/hits").unwrap_or(0),
+        snap.counter("serve/results_cache/misses").unwrap_or(0),
         path.display()
     );
 
@@ -302,6 +317,10 @@ mod tests {
         assert_eq!(parsed, runs);
         assert!(text.contains("\"requests_per_s\": 128.0"), "{text}");
         assert!(text.contains("\"name\": \"serve\""));
+        assert!(
+            text.contains("\"results_cache\": { \"hits\": 0, \"misses\": 0 }"),
+            "{text}"
+        );
     }
 
     #[test]

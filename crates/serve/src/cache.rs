@@ -1,4 +1,5 @@
-//! Per-session decoded-program cache.
+//! Per-session caches: decoded programs (in memory) and analytical trace
+//! results (on disk).
 //!
 //! The daemon decodes each distinct kernel once per session: entries are
 //! keyed `(content hash, engine)` as the wire protocol sees them, but
@@ -6,29 +7,74 @@
 //! of the same program performs at most ONE decode and every key shares
 //! the same [`Arc<DecodedProgram>`]. Counters land in the server registry
 //! under `serve/cache/…` (`hits`, `misses`, `decodes`).
+//!
+//! The session cache can additionally front the content-addressed
+//! [`iwc_trace::ResultsCache`]: trace and pack jobs are pure functions of
+//! (trace content × engine set), so their complete response bodies are
+//! cacheable across sessions on disk. Lookups count into
+//! `serve/results_cache/{hits,misses}`, which surface in `/v1/stats`.
 
 use iwc_compaction::EngineId;
 use iwc_sim::DecodedProgram;
 use iwc_telemetry::{Counter, Registry};
+use iwc_trace::ResultsCache;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Session-scoped decode cache with hit/miss/decode accounting.
+/// Session-scoped decode cache with hit/miss/decode accounting, plus an
+/// optional disk-backed results cache for analytical trace jobs.
 pub struct SessionCache {
     map: Mutex<HashMap<(u64, EngineId), Arc<DecodedProgram>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     decodes: Arc<Counter>,
+    results: Option<ResultsCache>,
+    results_hits: Arc<Counter>,
+    results_misses: Arc<Counter>,
 }
 
 impl SessionCache {
-    /// A fresh cache publishing its counters into `registry`.
+    /// A fresh cache publishing its counters into `registry`. The disk
+    /// results cache starts disabled; enable it with
+    /// [`SessionCache::with_results`].
     pub fn new(registry: &Registry) -> Self {
         Self {
             map: Mutex::new(HashMap::new()),
             hits: registry.counter("serve/cache/hits"),
             misses: registry.counter("serve/cache/misses"),
             decodes: registry.counter("serve/cache/decodes"),
+            results: None,
+            results_hits: registry.counter("serve/results_cache/hits"),
+            results_misses: registry.counter("serve/results_cache/misses"),
+        }
+    }
+
+    /// Attaches a disk-backed results cache for trace/pack job bodies.
+    #[must_use]
+    pub fn with_results(mut self, results: ResultsCache) -> Self {
+        self.results = Some(results);
+        self
+    }
+
+    /// Looks `key` up in the disk results cache, counting the outcome
+    /// into `serve/results_cache/{hits,misses}`. Always `None` (without
+    /// counting) when no results cache is attached.
+    pub fn results_lookup(&self, key: u64) -> Option<String> {
+        let payload = self.results.as_ref()?.load(key);
+        match payload {
+            Some(_) => self.results_hits.add(1),
+            None => self.results_misses.add(1),
+        }
+        payload
+    }
+
+    /// Stores a trace-job response body under `key`. A write failure is
+    /// logged, not fatal: the cache is an accelerator, not a dependency.
+    pub fn results_store(&self, key: u64, payload: &str) {
+        if let Some(results) = &self.results {
+            if let Err(e) = results.store(key, payload) {
+                eprintln!("iwc-serve: results cache store failed: {e}");
+            }
         }
     }
 
@@ -118,6 +164,35 @@ mod tests {
         assert_eq!(snap.counter("serve/cache/hits"), Some(1));
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn results_cache_counts_hits_and_misses() {
+        let dir = std::env::temp_dir().join(format!("iwc-serve-rc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::new();
+        let cache = SessionCache::new(&reg).with_results(ResultsCache::new(&dir));
+
+        let key = ResultsCache::key(0xabcd, &["scc".to_string()], "test/v1");
+        assert_eq!(cache.results_lookup(key), None, "cold cache misses");
+        cache.results_store(key, "{\"cached\":true}");
+        assert_eq!(cache.results_lookup(key), Some("{\"cached\":true}".into()));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve/results_cache/misses"), Some(1));
+        assert_eq!(snap.counter("serve/results_cache/hits"), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detached_results_cache_is_inert() {
+        let reg = Registry::new();
+        let cache = SessionCache::new(&reg);
+        assert_eq!(cache.results_lookup(1), None);
+        cache.results_store(1, "ignored");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve/results_cache/misses"), Some(0));
+        assert_eq!(snap.counter("serve/results_cache/hits"), Some(0));
     }
 
     #[test]

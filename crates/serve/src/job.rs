@@ -1,31 +1,45 @@
 //! Job model: request parsing, execution, and response rendering.
 //!
-//! A job names either a catalog workload (simulated cycle-accurately) or
-//! carries an execution-mask trace payload (replayed analytically), plus
-//! the list of compaction engines to sweep and optional [`GpuConfig`]
-//! overrides. One job is one decode — the engine sweep shares the decoded
-//! plans through the [`SessionCache`] — and responses embed each run's
+//! A job names either a catalog workload (simulated cycle-accurately),
+//! carries an execution-mask trace payload (replayed analytically), or
+//! references a trace by name in a server-side corpus pack (streamed out
+//! of `IWC_CORPUS_DIR`, never shipped over the wire), plus the list of
+//! compaction engines to sweep and optional [`GpuConfig`] overrides. One
+//! job is one decode — the engine sweep shares the decoded plans through
+//! the [`SessionCache`] — and responses embed each run's
 //! [`TelemetrySnapshot`] JSON verbatim, so a served result is
-//! byte-identical to a direct in-process run.
+//! byte-identical to a direct in-process run. Analytical jobs (trace and
+//! pack) are additionally answered from the content-addressed results
+//! cache when one is attached, with `serve/results_cache/{hits,misses}`
+//! accounting.
 
 use crate::cache::SessionCache;
 use iwc_compaction::{EngineId, EngineRegistry};
 use iwc_sim::{timeline, DecodedProgram, Gpu, GpuConfig, SchedMode};
 use iwc_telemetry::json::{escape, parse, Json};
 use iwc_telemetry::TelemetrySnapshot;
-use iwc_trace::{analyze_engines, Trace};
+use iwc_trace::analyze::EngineReport;
+use iwc_trace::{analyze_engines, analyze_source_engines, CorpusPack, Trace, TraceIoError};
 use iwc_workloads::hash::{program_hash, trace_hash};
 use iwc_workloads::{catalog, Built, Category};
 use std::fmt::Write as _;
 
+/// Version tag folded into results-cache keys for trace/pack job bodies:
+/// bump whenever the rendered response shape changes.
+const RESULTS_FINGERPRINT: &str = "serve/trace/v1";
+
 /// A parsed job request.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
-    /// Catalog workload name (exclusive with `trace`).
+    /// Catalog workload name (exclusive with `trace` and `pack`).
     pub workload: Option<String>,
     /// Mask-trace payload: the `iwc-trace` binary format, base64-encoded
-    /// (exclusive with `workload`).
+    /// (exclusive with `workload` and `pack`).
     pub trace: Option<String>,
+    /// Server-side corpus-pack trace reference, `"name"` (the default
+    /// `corpus.iwcc` pack) or `"pack-stem:name"`, resolved inside the
+    /// `IWC_CORPUS_DIR` store (exclusive with `workload` and `trace`).
+    pub pack: Option<String>,
     /// Engines to sweep (defaults to the canonical four).
     pub engines: Vec<EngineId>,
     /// Problem-size knob for catalog builds.
@@ -110,18 +124,27 @@ impl JobRequest {
         let v = parse(body).map_err(|e| JobError::BadRequest(format!("invalid JSON: {e}")))?;
         let workload = v.get("workload").and_then(Json::as_str).map(String::from);
         let trace = v.get("trace").and_then(Json::as_str).map(String::from);
-        match (&workload, &trace) {
-            (None, None) => {
+        let pack = v.get("pack").and_then(Json::as_str).map(String::from);
+        match [&workload, &trace, &pack]
+            .iter()
+            .filter(|f| f.is_some())
+            .count()
+        {
+            0 => {
                 return Err(JobError::BadRequest(
-                    "job needs a \"workload\" name or a \"trace\" payload".into(),
+                    "job needs a \"workload\" name, a \"trace\" payload, or a \"pack\" reference"
+                        .into(),
                 ))
             }
-            (Some(_), Some(_)) => {
+            1 => {}
+            _ => {
                 return Err(JobError::BadRequest(
-                    "\"workload\" and \"trace\" are mutually exclusive".into(),
+                    "\"workload\", \"trace\", and \"pack\" are mutually exclusive".into(),
                 ))
             }
-            _ => {}
+        }
+        if let Some(spec) = &pack {
+            split_pack_spec(spec)?;
         }
         let engines = match v.get("engines").and_then(Json::as_arr) {
             None => EngineId::CANONICAL.to_vec(),
@@ -157,12 +180,35 @@ impl JobRequest {
         Ok(Self {
             workload,
             trace,
+            pack,
             engines,
             scale,
             trace_events,
             overrides,
         })
     }
+}
+
+/// Splits a pack reference into `(pack stem, trace name)`, defaulting the
+/// stem to `"corpus"`. The stem names a file inside the corpus store, so
+/// path separators and `..` are rejected — a job must not be able to walk
+/// out of `IWC_CORPUS_DIR`.
+fn split_pack_spec(spec: &str) -> Result<(&str, &str), JobError> {
+    let (stem, name) = match spec.split_once(':') {
+        Some((stem, name)) => (stem, name),
+        None => ("corpus", spec),
+    };
+    if stem.is_empty() || name.is_empty() {
+        return Err(JobError::BadRequest(
+            "\"pack\" must be \"name\" or \"pack-stem:name\"".into(),
+        ));
+    }
+    if stem.contains(['/', '\\']) || stem.contains("..") {
+        return Err(JobError::BadRequest(format!(
+            "pack stem {stem:?} must not contain path separators or \"..\""
+        )));
+    }
+    Ok((stem, name))
 }
 
 fn parse_overrides(cfg: Option<&Json>) -> Result<ConfigOverrides, JobError> {
@@ -228,7 +274,10 @@ fn emit(sink: EventSink<'_>, event: String) {
 ///
 /// Workload jobs sweep each engine cold (fresh memory image) over plans
 /// decoded once via `cache`; trace jobs replay the mask stream
-/// analytically. Per-engine completion events stream into `sink` as they
+/// analytically, and pack jobs stream a named trace out of the corpus
+/// store instead of shipping it over the wire. Analytical jobs are
+/// answered from the content-addressed results cache when `cache` has one
+/// attached. Per-engine completion events stream into `sink` as they
 /// happen.
 ///
 /// # Errors
@@ -240,11 +289,12 @@ pub fn run_job(
     cache: &SessionCache,
     sink: EventSink<'_>,
 ) -> Result<String, JobError> {
-    match (&req.workload, &req.trace) {
-        (Some(name), None) => run_workload_job(name, req, cache, sink),
-        (None, Some(text)) => run_trace_job(text, req, sink),
+    match (&req.workload, &req.trace, &req.pack) {
+        (Some(name), None, None) => run_workload_job(name, req, cache, sink),
+        (None, Some(text), None) => run_trace_job(text, req, cache, sink),
+        (None, None, Some(spec)) => run_pack_job(spec, req, cache, sink),
         _ => Err(JobError::BadRequest(
-            "job needs exactly one of \"workload\" or \"trace\"".into(),
+            "job needs exactly one of \"workload\", \"trace\", or \"pack\"".into(),
         )),
     }
 }
@@ -338,7 +388,21 @@ fn render_engine_result(
     )
 }
 
-fn run_trace_job(text: &str, req: &JobRequest, sink: EventSink<'_>) -> Result<String, JobError> {
+/// Results-cache key for an analytical trace job. The trace name is
+/// folded into the fingerprint (trace hashes deliberately exclude names,
+/// but the response body embeds one), and engine labels are keyed in
+/// request order because the results array follows it.
+fn results_key(name: &str, hash: u64, req: &JobRequest) -> u64 {
+    let labels: Vec<String> = req.engines.iter().map(|e| e.label()).collect();
+    iwc_trace::ResultsCache::key(hash, &labels, &format!("{RESULTS_FINGERPRINT}/{name}"))
+}
+
+fn run_trace_job(
+    text: &str,
+    req: &JobRequest,
+    cache: &SessionCache,
+    sink: EventSink<'_>,
+) -> Result<String, JobError> {
     let bytes = crate::ws::base64_decode(text)
         .ok_or_else(|| JobError::BadRequest("\"trace\" is not valid base64".into()))?;
     let trace = Trace::read_from(bytes.as_slice())
@@ -355,9 +419,86 @@ fn run_trace_job(text: &str, req: &JobRequest, sink: EventSink<'_>) -> Result<St
             req.engines.len()
         ),
     );
-    let report = analyze_engines(&trace, &req.engines);
+    answer_trace_analysis(
+        &trace.name,
+        hash,
+        trace.len() as u64,
+        req,
+        cache,
+        sink,
+        || Ok(analyze_engines(&trace, &req.engines)),
+    )
+}
+
+fn run_pack_job(
+    spec: &str,
+    req: &JobRequest,
+    cache: &SessionCache,
+    sink: EventSink<'_>,
+) -> Result<String, JobError> {
+    let (stem, name) = split_pack_spec(spec)?;
+    let path = iwc_trace::corpus_dir().join(format!("{stem}.iwcc"));
+    let mut pack = CorpusPack::open_path(&path).map_err(|e| match e {
+        TraceIoError::Io(ref io) if io.kind() == std::io::ErrorKind::NotFound => {
+            JobError::NotFound(format!("no pack {stem:?} in the corpus store"))
+        }
+        other => JobError::Failed(format!("cannot open pack {stem:?}: {other}")),
+    })?;
+    let index = pack
+        .find(name)
+        .ok_or_else(|| JobError::NotFound(format!("no trace {name:?} in pack {stem:?}")))?;
+    let entry = pack.entries()[index].clone();
+    if entry.records == 0 {
+        return Err(JobError::BadRequest(format!(
+            "trace {name:?} in pack {stem:?} has no records"
+        )));
+    }
+    let hash = entry.content_hash;
+    emit(
+        sink,
+        format!(
+            "{{\"event\":\"accepted\",\"job\":\"{}\",\"kind\":\"pack\",\"trace_hash\":\"{hash:#018x}\",\"engines\":{}}}",
+            escape(&entry.name),
+            req.engines.len()
+        ),
+    );
+    answer_trace_analysis(&entry.name, hash, entry.records, req, cache, sink, || {
+        let mut src = pack
+            .stream(index)
+            .map_err(|e| JobError::Failed(format!("pack {stem:?}: {e}")))?;
+        analyze_source_engines(&mut src, &req.engines)
+            .map_err(|e| JobError::Failed(format!("pack {stem:?}/{name}: {e}")))
+    })
+}
+
+/// Renders an analytical trace job's response body, answering from the
+/// results cache when possible. Pack jobs and base64 trace jobs share
+/// this path, so a job for the same records under either transport
+/// renders (and caches) byte-identical bodies. On a cache hit the
+/// per-engine events are skipped; `done` carries `"cached":true`.
+fn answer_trace_analysis(
+    name: &str,
+    hash: u64,
+    records: u64,
+    req: &JobRequest,
+    cache: &SessionCache,
+    sink: EventSink<'_>,
+    analyze: impl FnOnce() -> Result<EngineReport, JobError>,
+) -> Result<String, JobError> {
+    let key = results_key(name, hash, req);
+    if let Some(body) = cache.results_lookup(key) {
+        emit(
+            sink,
+            format!(
+                "{{\"event\":\"done\",\"job\":\"{}\",\"cached\":true}}",
+                escape(name)
+            ),
+        );
+        return Ok(body);
+    }
+    let report = analyze()?;
     let mut snap = TelemetrySnapshot::new();
-    snap.set_counter("trace/records", trace.len() as u64);
+    snap.set_counter("trace/records", records);
     snap.set_counter("trace/instructions", report.tally.instructions());
     snap.set_gauge("trace/simd_efficiency", report.tally.simd_efficiency());
     let mut results = String::new();
@@ -376,22 +517,23 @@ fn run_trace_job(text: &str, req: &JobRequest, sink: EventSink<'_>) -> Result<St
             sink,
             format!(
                 "{{\"event\":\"engine_done\",\"job\":\"{}\",\"result\":{{\"engine\":\"{}\",\"cycles\":{cycles}}}}}",
-                escape(&trace.name),
+                escape(name),
                 escape(&engine.label())
             ),
         );
     }
     emit(
         sink,
-        format!("{{\"event\":\"done\",\"job\":\"{}\"}}", escape(&trace.name)),
+        format!("{{\"event\":\"done\",\"job\":\"{}\"}}", escape(name)),
     );
-    Ok(format!(
-        "{{\"job\":\"{}\",\"kind\":\"trace\",\"trace_hash\":\"{hash:#018x}\",\"records\":{},\"simd_efficiency\":{:.6},\"results\":[{results}],\"telemetry\":{}}}",
-        escape(&trace.name),
-        trace.len(),
+    let body = format!(
+        "{{\"job\":\"{}\",\"kind\":\"trace\",\"trace_hash\":\"{hash:#018x}\",\"records\":{records},\"simd_efficiency\":{:.6},\"results\":[{results}],\"telemetry\":{}}}",
+        escape(name),
         report.tally.simd_efficiency(),
         snap.to_json()
-    ))
+    );
+    cache.results_store(key, &body);
+    Ok(body)
 }
 
 /// The catalog listing body for `GET /v1/catalog`.
@@ -578,6 +720,101 @@ mod tests {
         assert!(events[0].contains("\"event\":\"accepted\""));
         assert!(events[1].contains("\"event\":\"engine_done\""));
         assert!(events[3].contains("\"event\":\"done\""));
+    }
+
+    #[test]
+    fn pack_specs_are_validated_at_parse_time() {
+        for bad in [
+            "{\"pack\":\"../evil:t\"}",
+            "{\"pack\":\"a/b:t\"}",
+            "{\"pack\":\"a\\\\b:t\"}",
+            "{\"pack\":\"\"}",
+            "{\"pack\":\"stem:\"}",
+            "{\"pack\":\":name\"}",
+            "{\"pack\":\"x\",\"workload\":\"VA\"}",
+            "{\"pack\":\"x\",\"trace\":\"AAAA\"}",
+        ] {
+            assert!(
+                matches!(JobRequest::from_json(bad), Err(JobError::BadRequest(_))),
+                "{bad} must be rejected"
+            );
+        }
+        let req = JobRequest::from_json("{\"pack\":\"mypack:LuxMark-sky\"}").expect("parses");
+        assert_eq!(req.pack.as_deref(), Some("mypack:LuxMark-sky"));
+        assert_eq!(
+            split_pack_spec("mypack:LuxMark-sky").expect("splits"),
+            ("mypack", "LuxMark-sky")
+        );
+        assert_eq!(split_pack_spec("sole").expect("splits"), ("corpus", "sole"));
+    }
+
+    #[test]
+    fn pack_jobs_resolve_stream_and_share_the_results_cache() {
+        use iwc_telemetry::Registry;
+        let dir = std::env::temp_dir().join(format!("iwc-serve-packjob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        std::env::set_var("IWC_CORPUS_DIR", &dir);
+
+        let traces: Vec<Trace> = iwc_trace::corpus()
+            .iter()
+            .take(2)
+            .map(|p| p.generate(400))
+            .collect();
+        iwc_trace::pack::write_pack_file(&dir.join("corpus.iwcc"), &traces).expect("pack");
+
+        let reg = Registry::new();
+        let cache =
+            SessionCache::new(&reg).with_results(iwc_trace::ResultsCache::new(dir.join("cache")));
+
+        let name = &traces[0].name;
+        let req = JobRequest::from_json(&format!(
+            "{{\"pack\":\"{name}\",\"engines\":[\"ivb\",\"scc\"]}}"
+        ))
+        .expect("parses");
+        let first = run_job(&req, &cache, None).expect("pack job runs");
+        assert!(first.contains("\"kind\":\"trace\""), "{first}");
+        assert!(first.contains("\"records\":400"), "{first}");
+
+        // The identical trace shipped as a base64 payload renders the same
+        // body — answered straight from the pack job's cache entry.
+        let mut buf = Vec::new();
+        traces[0].write_to(&mut buf).expect("serializes");
+        let b64 = crate::ws::base64(&buf);
+        let req2 = JobRequest::from_json(&format!(
+            "{{\"trace\":\"{b64}\",\"engines\":[\"ivb\",\"scc\"]}}"
+        ))
+        .expect("parses");
+        let second = run_job(&req2, &cache, None).expect("trace job runs");
+        assert_eq!(first, second, "pack and trace transports must agree");
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve/results_cache/misses"), Some(1));
+        assert_eq!(snap.counter("serve/results_cache/hits"), Some(1));
+
+        // A cache hit skips engine events: accepted then done(cached).
+        use std::sync::Mutex;
+        let events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let sink = |e: String| events.lock().expect("lock").push(e);
+        run_job(&req, &cache, Some(&sink)).expect("cached pack job");
+        let events = events.into_inner().expect("lock");
+        assert_eq!(events.len(), 2, "{events:#?}");
+        assert!(events[1].contains("\"cached\":true"), "{events:#?}");
+
+        // Unknown names and packs are 404s, not failures.
+        let req = JobRequest::from_json("{\"pack\":\"no-such-trace\"}").expect("parses");
+        assert!(matches!(
+            run_job(&req, &cache, None),
+            Err(JobError::NotFound(_))
+        ));
+        let req = JobRequest::from_json("{\"pack\":\"nopack:t\"}").expect("parses");
+        assert!(matches!(
+            run_job(&req, &cache, None),
+            Err(JobError::NotFound(_))
+        ));
+
+        std::env::remove_var("IWC_CORPUS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! # iwc-serve
 //!
 //! Simulation-as-a-service: a long-running daemon that accepts simulation
-//! jobs — a catalog workload name or an execution-mask trace payload, a
-//! list of compaction engines, and optional `GpuConfig` overrides — as
-//! JSON over HTTP, runs them on a bounded worker pool, and answers with
-//! cycles plus the run's full telemetry snapshot. Repeated submissions of
-//! the same kernel hit a per-session decoded-program cache (decode once,
-//! sweep many), and a WebSocket channel streams live per-job telemetry
-//! deltas and Perfetto trace-event JSON while a job runs.
+//! jobs — a catalog workload name, an execution-mask trace payload, or a
+//! named trace in a server-side corpus pack, plus a list of compaction
+//! engines and optional `GpuConfig` overrides — as JSON over HTTP, runs
+//! them on a bounded worker pool, and answers with cycles plus the run's
+//! full telemetry snapshot. Repeated submissions of the same kernel hit a
+//! per-session decoded-program cache (decode once, sweep many), repeated
+//! analytical jobs are answered from the content-addressed results cache
+//! on disk (`serve/results_cache/{hits,misses}` in `/v1/stats`), and a
+//! WebSocket channel streams live per-job telemetry deltas and Perfetto
+//! trace-event JSON while a job runs.
 //!
 //! The whole stack is `std`-only: the container is offline, so the wire
 //! layer ([`http`], [`ws`]) is hand-rolled over `std::net` and all JSON
@@ -31,6 +34,7 @@
 //! | `IWC_SERVE_ADDR` | `127.0.0.1:7199` | listen address (`host:port`; port `0` picks a free port) |
 //! | `IWC_SERVE_WORKERS` | available parallelism | simulation worker threads |
 //! | `IWC_SERVE_QUEUE` | `32` | job queue depth (back-pressure bound) |
+//! | `IWC_CORPUS_DIR` | `results/corpus/` | corpus store: where `"pack"` jobs resolve `.iwcc` packs and the results cache lives (read by `iwc-trace`) |
 //!
 //! Malformed values warn once on stderr and fall back to the default —
 //! never silently.
@@ -49,6 +53,7 @@ pub use cache::SessionCache;
 pub use job::{JobError, JobRequest};
 pub use server::{install_sigterm_handler, Server, ServerHandle};
 
+use std::path::PathBuf;
 use std::str::FromStr;
 
 /// Default listen address.
@@ -65,6 +70,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded job-queue depth.
     pub queue_depth: usize,
+    /// Directory of the content-addressed results cache for analytical
+    /// trace/pack jobs; `None` disables it (hermetic tests). The default
+    /// lives under the corpus store (`IWC_CORPUS_DIR`).
+    pub results_cache: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -73,18 +82,21 @@ impl Default for ServeConfig {
             addr: DEFAULT_ADDR.to_string(),
             workers: default_workers(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            results_cache: Some(iwc_trace::corpus_dir().join("cache")),
         }
     }
 }
 
 impl ServeConfig {
     /// Reads the `IWC_SERVE_*` knobs, warning once (and falling back to
-    /// the default) on any malformed value.
+    /// the default) on any malformed value. The results-cache directory
+    /// follows `IWC_CORPUS_DIR` (the `iwc-trace` corpus store knob).
     pub fn from_env() -> Self {
         Self {
             addr: env_addr("IWC_SERVE_ADDR", DEFAULT_ADDR),
             workers: env_knob("IWC_SERVE_WORKERS", default_workers()).max(1),
             queue_depth: env_knob("IWC_SERVE_QUEUE", DEFAULT_QUEUE_DEPTH).max(1),
+            results_cache: Some(iwc_trace::corpus_dir().join("cache")),
         }
     }
 

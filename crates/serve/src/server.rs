@@ -117,7 +117,10 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let registry = Registry::new();
-        let cache = SessionCache::new(&registry);
+        let mut cache = SessionCache::new(&registry);
+        if let Some(dir) = &cfg.results_cache {
+            cache = cache.with_results(iwc_trace::ResultsCache::new(dir));
+        }
         Ok(Self {
             listener,
             shared: Arc::new(Shared {

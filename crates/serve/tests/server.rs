@@ -29,6 +29,8 @@ fn start(
         addr: "127.0.0.1:0".into(),
         workers,
         queue_depth,
+        // Keep the workload-job tests hermetic: no disk cache.
+        results_cache: None,
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
@@ -175,6 +177,63 @@ fn full_catalog_sweep_is_byte_identical_over_the_wire() {
         }
     }
     shutdown(addr, &handle, join);
+}
+
+/// A `"pack"` job resolves its trace inside the corpus store, a repeat
+/// submission is answered from the content-addressed results cache, and
+/// the `serve/results_cache/{hits,misses}` counters surface in
+/// `/v1/stats`.
+#[test]
+fn pack_jobs_are_answered_from_the_results_cache() {
+    let dir = std::env::temp_dir().join(format!("iwc-serve-e2e-pack-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    std::env::set_var("IWC_CORPUS_DIR", &dir);
+    let traces: Vec<iwc_trace::Trace> = iwc_trace::corpus()
+        .iter()
+        .take(1)
+        .map(|p| p.generate(500))
+        .collect();
+    iwc_trace::pack::write_pack_file(&dir.join("corpus.iwcc"), &traces).expect("pack");
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 4,
+        results_cache: Some(dir.join("cache")),
+    };
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let body = format!("{{\"pack\":\"{}\"}}", traces[0].name);
+    let first = client::post(addr, "/v1/jobs", &body).expect("pack job");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"kind\":\"trace\""), "{}", first.body);
+
+    let second = client::post(addr, "/v1/jobs", &body).expect("repeat job");
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        first.body, second.body,
+        "cached body must be byte-identical"
+    );
+
+    let stats = client::get(addr, "/v1/stats").expect("stats");
+    let parsed = parse(&stats.body).expect("valid JSON");
+    let counter = |name: &str| {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_num())
+            .unwrap_or_else(|| panic!("{name} missing from /v1/stats: {}", stats.body))
+    };
+    assert_eq!(counter("serve/results_cache/misses"), 1.0);
+    assert!(counter("serve/results_cache/hits") >= 1.0);
+
+    shutdown(addr, &handle, join);
+    std::env::remove_var("IWC_CORPUS_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Under a saturated queue the daemon answers 503 + Retry-After without

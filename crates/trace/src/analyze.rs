@@ -5,9 +5,12 @@
 //! / BCC / SCC cycle models and report savings. This is a pure function of
 //! the trace — the same arithmetic the simulator applies online.
 
-use crate::format::Trace;
+use crate::format::{Trace, TraceIoError};
+use crate::pack::CorpusPack;
+use crate::source::{SliceSource, TraceSource};
 use iwc_compaction::{CompactionMode, CompactionTally, EngineId, EngineTally, UtilBucket};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Analysis result of one trace.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -57,16 +60,26 @@ impl TraceReport {
     }
 }
 
-/// Analyzes a trace.
-pub fn analyze(trace: &Trace) -> TraceReport {
+/// Analyzes a streaming source chunk by chunk — the core entry point;
+/// peak memory is O(chunk) whatever the trace length.
+///
+/// # Errors
+///
+/// Propagates stream failures (unreadable or malformed sources).
+pub fn analyze_source(src: &mut dyn TraceSource) -> Result<TraceReport, TraceIoError> {
+    let name = src.name().to_owned();
     let mut tally = CompactionTally::new();
-    for r in &trace.records {
-        tally.add(r.mask(), r.dtype);
+    while let Some(chunk) = src.next_chunk()? {
+        for r in chunk {
+            tally.add(r.mask(), r.dtype);
+        }
     }
-    TraceReport {
-        name: trace.name.clone(),
-        tally,
-    }
+    Ok(TraceReport { name, tally })
+}
+
+/// Analyzes a materialized trace (adapter over [`analyze_source`]).
+pub fn analyze(trace: &Trace) -> TraceReport {
+    analyze_source(&mut SliceSource::from(trace)).expect("slice sources cannot fail")
 }
 
 /// Analysis of one trace under an arbitrary set of compaction engines —
@@ -81,39 +94,57 @@ pub struct EngineReport {
     pub tally: EngineTally,
 }
 
-/// Analyzes a trace under the given engines.
-pub fn analyze_engines(trace: &Trace, ids: &[EngineId]) -> EngineReport {
+/// Analyzes a streaming source under the given engines, chunk by chunk.
+///
+/// # Errors
+///
+/// Propagates stream failures (unreadable or malformed sources).
+pub fn analyze_source_engines(
+    src: &mut dyn TraceSource,
+    ids: &[EngineId],
+) -> Result<EngineReport, TraceIoError> {
+    let name = src.name().to_owned();
     let mut tally = EngineTally::new(ids);
-    for r in &trace.records {
-        tally.add(r.mask(), r.dtype);
+    while let Some(chunk) = src.next_chunk()? {
+        for r in chunk {
+            tally.add(r.mask(), r.dtype);
+        }
     }
-    EngineReport {
-        name: trace.name.clone(),
-        tally,
-    }
+    Ok(EngineReport { name, tally })
 }
 
-/// Deterministic order-preserving fan-out over a corpus: each profile is
-/// generated and reduced to a report on a scoped worker pool.
-fn corpus_fanout<R, F>(profiles: &[crate::synth::Profile], threads: usize, analyze_one: F) -> Vec<R>
+/// Analyzes a materialized trace under the given engines (adapter over
+/// [`analyze_source_engines`]).
+pub fn analyze_engines(trace: &Trace, ids: &[EngineId]) -> EngineReport {
+    analyze_source_engines(&mut SliceSource::from(trace), ids).expect("slice sources cannot fail")
+}
+
+/// Deterministic order-preserving fan-out over `n` independent shards:
+/// workers claim indices off a shared atomic counter and deposit results
+/// into per-index slots, so the output order matches the input order
+/// whatever the thread count. Each shard is a pure function of its index
+/// — the thread count changes only the wall clock, never the results.
+fn fanout<R, F>(n: usize, threads: usize, run_one: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(&crate::synth::Profile) -> R + Sync,
+    F: Fn(usize) -> R + Sync,
 {
-    let pool = threads.max(1).min(profiles.len());
+    let pool = threads.max(1).min(n);
     if pool <= 1 {
-        return profiles.iter().map(&analyze_one).collect();
+        return (0..n).map(&run_one).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = profiles.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..pool {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(p) = profiles.get(i) else { break };
-                let report = analyze_one(p);
+                if i >= n {
+                    break;
+                }
+                let report = run_one(i);
                 *slots[i].lock().expect("report slot poisoned") = Some(report);
             });
         }
@@ -123,9 +154,19 @@ where
         .map(|m| {
             m.into_inner()
                 .expect("report slot poisoned")
-                .expect("every profile analyzed")
+                .expect("every shard ran")
         })
         .collect()
+}
+
+/// Deterministic order-preserving fan-out over a corpus: each profile is
+/// generated and reduced to a report on a scoped worker pool.
+fn corpus_fanout<R, F>(profiles: &[crate::synth::Profile], threads: usize, analyze_one: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&crate::synth::Profile) -> R + Sync,
+{
+    fanout(profiles.len(), threads, |i| analyze_one(&profiles[i]))
 }
 
 /// Generates and analyzes every profile of a corpus on a scoped worker
@@ -140,7 +181,9 @@ pub fn analyze_corpus(
     len: usize,
     threads: usize,
 ) -> Vec<TraceReport> {
-    corpus_fanout(profiles, threads, |p| analyze(&p.generate(len)))
+    corpus_fanout(profiles, threads, |p| {
+        analyze_source(&mut p.source(len)).expect("synthesis cannot fail")
+    })
 }
 
 /// [`analyze_corpus`] under an arbitrary engine set: the same deterministic
@@ -152,8 +195,100 @@ pub fn analyze_corpus_engines(
     ids: &[EngineId],
 ) -> Vec<EngineReport> {
     corpus_fanout(profiles, threads, |p| {
-        analyze_engines(&p.generate(len), ids)
+        analyze_source_engines(&mut p.source(len), ids).expect("synthesis cannot fail")
     })
+}
+
+/// Sharded streaming analysis of a pack file: every worker opens its own
+/// handle on `path` and streams whole traces, so peak memory is
+/// O(threads × chunk) and results are in pack order whatever the thread
+/// count (each trace is a pure function of its payload — the PR 4
+/// commutative-merge design extended to disk).
+///
+/// # Errors
+///
+/// Propagates the first open or stream failure, including per-trace
+/// content-hash mismatches.
+pub fn analyze_pack_file(path: &Path, threads: usize) -> Result<Vec<TraceReport>, TraceIoError> {
+    analyze_pack_file_with(path, threads, |src| analyze_source(src))
+}
+
+/// [`analyze_pack_file`] under an arbitrary engine set.
+///
+/// # Errors
+///
+/// Propagates the first open or stream failure.
+pub fn analyze_pack_file_engines(
+    path: &Path,
+    threads: usize,
+    ids: &[EngineId],
+) -> Result<Vec<EngineReport>, TraceIoError> {
+    analyze_pack_file_with(path, threads, |src| analyze_source_engines(src, ids))
+}
+
+fn analyze_pack_file_with<R, F>(
+    path: &Path,
+    threads: usize,
+    analyze_one: F,
+) -> Result<Vec<R>, TraceIoError>
+where
+    R: Send,
+    F: Fn(&mut dyn TraceSource) -> Result<R, TraceIoError> + Sync,
+{
+    // One open up front surfaces header/index errors before any worker
+    // spawns and fixes the shard count.
+    let mut first = CorpusPack::open_path(path)?;
+    let n = first.len();
+    let pool = threads.max(1).min(n.max(1));
+    if pool <= 1 {
+        return (0..n).map(|i| analyze_one(&mut first.stream(i)?)).collect();
+    }
+    drop(first);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, TraceIoError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..pool {
+            s.spawn(|| {
+                // One handle per worker: the index is tiny next to the
+                // payload, and seeks never contend across handles.
+                let mut pack = match CorpusPack::open_path(path) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // Park the failure on the next unclaimed shard;
+                        // peers still drain the rest.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if let Some(slot) = slots.get(i) {
+                            *slot.lock().expect("report slot poisoned") = Some(Err(e));
+                        }
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = pack.stream(i).and_then(|mut src| analyze_one(&mut src));
+                    *slots[i].lock().expect("report slot poisoned") = Some(report);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("report slot poisoned")
+                .unwrap_or_else(|| {
+                    Err(TraceIoError::Malformed(
+                        "pack shard never ran (worker failed to open the pack)".into(),
+                    ))
+                })
+        })
+        .collect()
 }
 
 /// Aggregate telemetry snapshot of a corpus analysis: every report's

@@ -76,6 +76,28 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
+/// Wire size of one record: bits (u32 LE) + width + dtype code.
+pub(crate) const RECORD_WIRE_BYTES: usize = 6;
+
+/// Encodes one record in the `IWCT` wire layout (shared with the pack
+/// payload section).
+pub(crate) fn record_to_wire(r: &TraceRecord) -> [u8; RECORD_WIRE_BYTES] {
+    let b = r.bits.to_le_bytes();
+    [b[0], b[1], b[2], b[3], r.width, dtype_code(r.dtype)]
+}
+
+/// Decodes one record from the `IWCT` wire layout, validating width and
+/// dtype.
+pub(crate) fn record_from_wire(rec: &[u8; RECORD_WIRE_BYTES]) -> Result<TraceRecord, TraceIoError> {
+    let bits = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+    let width = rec[4];
+    if !matches!(width, 1 | 4 | 8 | 16 | 32) {
+        return Err(TraceIoError::Malformed(format!("bad width {width}")));
+    }
+    let dtype = dtype_from(rec[5])?;
+    Ok(TraceRecord { bits, width, dtype })
+}
+
 fn dtype_code(d: DataType) -> u8 {
     match d {
         DataType::Ub => 0,
@@ -165,8 +187,7 @@ impl Trace {
         w.write_all(name)?;
         w.write_all(&(self.records.len() as u64).to_le_bytes())?;
         for r in &self.records {
-            w.write_all(&r.bits.to_le_bytes())?;
-            w.write_all(&[r.width, dtype_code(r.dtype)])?;
+            w.write_all(&record_to_wire(r))?;
         }
         Ok(())
     }
@@ -197,15 +218,9 @@ impl Trace {
         let count = u64::from_le_bytes(len8);
         let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
         for _ in 0..count {
-            let mut rec = [0u8; 6];
+            let mut rec = [0u8; RECORD_WIRE_BYTES];
             r.read_exact(&mut rec)?;
-            let bits = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
-            let width = rec[4];
-            if !matches!(width, 1 | 4 | 8 | 16 | 32) {
-                return Err(TraceIoError::Malformed(format!("bad width {width}")));
-            }
-            let dtype = dtype_from(rec[5])?;
-            records.push(TraceRecord { bits, width, dtype });
+            records.push(record_from_wire(&rec)?);
         }
         Ok(Self { name, records })
     }

@@ -4,12 +4,23 @@
 //!
 //! * [`mod@format`] — a compact binary execution-mask trace format, plus
 //!   conversion from the simulator's mask-capture hook;
+//! * [`mod@source`] — the [`source::TraceSource`] streaming abstraction:
+//!   every analysis path consumes chunked record streams, so peak memory
+//!   is O(chunk) whatever the corpus size;
+//! * [`mod@hash`] — canonical FNV-1a content hashing of record streams
+//!   (pack index entries and cache keys both derive from it);
+//! * [`mod@pack`] — the `.iwcc` corpus pack container: many traces in one
+//!   content-indexed file with sequential chunked reads and random access;
+//! * [`mod@store`] — the corpus directory layout (`IWC_CORPUS_DIR`) and
+//!   the content-addressed results cache;
 //! * [`mod@analyze`] — per-trace compaction analysis (SIMD efficiency,
-//!   Fig. 9 utilization buckets, Fig. 10 BCC/SCC cycle reductions);
+//!   Fig. 9 utilization buckets, Fig. 10 BCC/SCC cycle reductions),
+//!   streaming at the core with slice adapters on top, plus sharded
+//!   whole-pack analysis;
 //! * [`synth`] — parameterized synthetic generators standing in for the
 //!   paper's proprietary ~600-trace corpus (LuxMark, GLBench, Sandra,
 //!   BulletPhysics, Face-Detection, …), documented as a substitution in
-//!   DESIGN.md.
+//!   DESIGN.md, with a deterministic expander toward paper scale.
 //!
 //! # Examples
 //!
@@ -18,8 +29,7 @@
 //! use iwc_compaction::CompactionMode;
 //!
 //! let profile = &synth::corpus()[0]; // LuxMark-sky
-//! let trace = profile.generate(10_000);
-//! let report = analyze::analyze(&trace);
+//! let report = analyze::analyze_source(&mut profile.source(10_000)).unwrap();
 //! assert!(!report.is_coherent());
 //! assert!(report.reduction(CompactionMode::Scc) >= report.reduction(CompactionMode::Bcc));
 //! ```
@@ -29,11 +39,20 @@
 
 pub mod analyze;
 pub mod format;
+pub mod hash;
+pub mod pack;
+pub mod source;
+pub mod store;
 pub mod synth;
 
 pub use analyze::{
-    analyze, analyze_corpus, analyze_corpus_engines, analyze_engines, corpus_snapshot,
+    analyze, analyze_corpus, analyze_corpus_engines, analyze_engines, analyze_pack_file,
+    analyze_pack_file_engines, analyze_source, analyze_source_engines, corpus_snapshot,
     EngineReport, TraceReport,
 };
 pub use format::{Trace, TraceIoError, TraceRecord};
-pub use synth::{corpus, MaskStyle, Profile};
+pub use hash::trace_hash;
+pub use pack::{CorpusPack, PackEntry, PackWriter};
+pub use source::{SliceSource, TraceSource, CHUNK_RECORDS};
+pub use store::{corpus_dir, ResultsCache};
+pub use synth::{corpus, expanded_corpus, MaskStyle, Profile};

@@ -1,0 +1,519 @@
+//! `.iwcc` corpus packs: many traces in one content-indexed container.
+//!
+//! A pack turns corpus size from a memory limit into a disk/bandwidth
+//! problem: the payload is the raw `IWCT` record wire format (6 bytes per
+//! instruction, no per-trace framing), and a trailing index carries each
+//! trace's name, record count, FNV-1a content hash, and payload offset —
+//! enough for both sequential chunked streaming and random access by
+//! index without touching the payload.
+//!
+//! ## Layout
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic "IWCC"
+//!      4     4  version (u32 LE, currently 1)
+//!      8     8  trace count (u64 LE)
+//!     16     8  index offset (u64 LE, from file start)
+//!     24     …  payload: per-trace runs of 6-byte IWCT records
+//!  index     …  per trace: name len (u32 LE) | name (UTF-8)
+//!               | record count (u64 LE) | content hash (u64 LE)
+//!               | payload offset (u64 LE)
+//! ```
+//!
+//! Every read-side failure — truncation, bad magic/version, an index or
+//! payload range past EOF, an unknown width/dtype, or a content-hash
+//! mismatch — surfaces as [`TraceIoError::Malformed`]; the reader never
+//! panics and never silently truncates a stream. Hashes are verified
+//! incrementally while streaming, so verification costs no extra pass.
+
+use crate::format::{
+    record_from_wire, record_to_wire, Trace, TraceIoError, TraceRecord, RECORD_WIRE_BYTES,
+};
+use crate::hash::{Fnv1a, RecordHasher};
+use crate::source::{TraceSource, CHUNK_RECORDS};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes of the pack container.
+pub const PACK_MAGIC: [u8; 4] = *b"IWCC";
+/// Current pack format version.
+pub const PACK_VERSION: u32 = 1;
+/// Byte length of the fixed pack header.
+pub const PACK_HEADER_BYTES: u64 = 24;
+/// Conventional file extension of pack files.
+pub const PACK_EXTENSION: &str = "iwcc";
+
+/// Upper bound on trace names, matching the `IWCT` reader.
+const MAX_NAME_BYTES: usize = 4096;
+
+/// One trace's index entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackEntry {
+    /// Trace name (not necessarily unique within a pack).
+    pub name: String,
+    /// Number of records in the payload run.
+    pub records: u64,
+    /// FNV-1a content hash of the record stream ([`crate::hash`]).
+    pub content_hash: u64,
+    /// Payload offset of the first record, from file start.
+    pub offset: u64,
+}
+
+impl PackEntry {
+    /// Byte length of the payload run.
+    pub fn byte_len(&self) -> u64 {
+        self.records * RECORD_WIRE_BYTES as u64
+    }
+}
+
+fn read_exact_or_malformed<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &str,
+) -> Result<(), TraceIoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceIoError::Malformed(format!("truncated pack: short read in {what}"))
+        } else {
+            TraceIoError::Io(e)
+        }
+    })
+}
+
+/// Streaming pack writer: traces are appended one chunk at a time and the
+/// index plus final header land in [`PackWriter::finish`]. Peak memory is
+/// O(chunk) plus the index.
+pub struct PackWriter<W: Write + Seek> {
+    w: W,
+    at: u64,
+    entries: Vec<PackEntry>,
+}
+
+impl<W: Write + Seek> PackWriter<W> {
+    /// Starts a pack on `w`, writing a placeholder header (patched by
+    /// [`PackWriter::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn new(mut w: W) -> Result<Self, TraceIoError> {
+        w.write_all(&PACK_MAGIC)?;
+        w.write_all(&PACK_VERSION.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        Ok(Self {
+            w,
+            at: PACK_HEADER_BYTES,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Streams one trace out of `src` into the payload section, hashing
+    /// records on the way through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source and writer failures; rejects oversized names.
+    pub fn add_source(&mut self, src: &mut dyn TraceSource) -> Result<&PackEntry, TraceIoError> {
+        let name = src.name().to_owned();
+        if name.len() > MAX_NAME_BYTES {
+            return Err(TraceIoError::Malformed(format!(
+                "trace name of {} bytes exceeds the {MAX_NAME_BYTES}-byte cap",
+                name.len()
+            )));
+        }
+        let offset = self.at;
+        let mut hasher = RecordHasher::new();
+        let mut records = 0u64;
+        let mut wire = Vec::with_capacity(CHUNK_RECORDS * RECORD_WIRE_BYTES);
+        while let Some(chunk) = src.next_chunk()? {
+            hasher.push_all(chunk);
+            records += chunk.len() as u64;
+            wire.clear();
+            for r in chunk {
+                wire.extend_from_slice(&record_to_wire(r));
+            }
+            self.w.write_all(&wire)?;
+            self.at += wire.len() as u64;
+        }
+        self.entries.push(PackEntry {
+            name,
+            records,
+            content_hash: hasher.finish(),
+            offset,
+        });
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Appends a materialized trace (adapter over [`PackWriter::add_source`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn add_trace(&mut self, trace: &Trace) -> Result<&PackEntry, TraceIoError> {
+        self.add_source(&mut crate::source::SliceSource::from(trace))
+    }
+
+    /// Entries written so far.
+    pub fn entries(&self) -> &[PackEntry] {
+        &self.entries
+    }
+
+    /// Writes the index, patches the header, and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        let index_offset = self.at;
+        for e in &self.entries {
+            let name = e.name.as_bytes();
+            self.w.write_all(&(name.len() as u32).to_le_bytes())?;
+            self.w.write_all(name)?;
+            self.w.write_all(&e.records.to_le_bytes())?;
+            self.w.write_all(&e.content_hash.to_le_bytes())?;
+            self.w.write_all(&e.offset.to_le_bytes())?;
+        }
+        self.w.seek(SeekFrom::Start(8))?;
+        self.w
+            .write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        self.w.write_all(&index_offset.to_le_bytes())?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// An open pack: parsed, validated index over a seekable byte stream.
+pub struct CorpusPack<R: Read + Seek> {
+    r: R,
+    entries: Vec<PackEntry>,
+}
+
+impl CorpusPack<BufReader<File>> {
+    /// Opens and validates a pack file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Io`] when the file is unreadable and
+    /// [`TraceIoError::Malformed`] when its contents are not a valid pack.
+    pub fn open_path(path: &Path) -> Result<Self, TraceIoError> {
+        Self::open(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> CorpusPack<R> {
+    /// Opens a pack over `r`, reading and validating the header and index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError::Malformed`] on truncation, bad
+    /// magic/version, or index/payload ranges that fall outside the file.
+    pub fn open(mut r: R) -> Result<Self, TraceIoError> {
+        let end = r.seek(SeekFrom::End(0))?;
+        r.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; PACK_HEADER_BYTES as usize];
+        read_exact_or_malformed(&mut r, &mut header, "header")?;
+        if header[0..4] != PACK_MAGIC {
+            return Err(TraceIoError::Malformed("bad pack magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != PACK_VERSION {
+            return Err(TraceIoError::Malformed(format!(
+                "unsupported pack version {version} (expected {PACK_VERSION})"
+            )));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let index_offset = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        if index_offset < PACK_HEADER_BYTES || index_offset > end {
+            return Err(TraceIoError::Malformed(format!(
+                "index offset {index_offset} outside file of {end} bytes"
+            )));
+        }
+        // Names can legally be empty, so the only hard per-entry floor is
+        // the three u64 fields plus the name length — enough to reject
+        // counts that cannot possibly fit before EOF.
+        let floor = count.saturating_mul(28);
+        if floor > end - index_offset {
+            return Err(TraceIoError::Malformed(format!(
+                "index of {count} traces cannot fit in {} bytes",
+                end - index_offset
+            )));
+        }
+        r.seek(SeekFrom::Start(index_offset))?;
+        let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+        for i in 0..count {
+            let mut len4 = [0u8; 4];
+            read_exact_or_malformed(&mut r, &mut len4, "index entry")?;
+            let name_len = u32::from_le_bytes(len4) as usize;
+            if name_len > MAX_NAME_BYTES {
+                return Err(TraceIoError::Malformed(format!(
+                    "index entry {i}: unreasonable name length {name_len}"
+                )));
+            }
+            let mut name = vec![0u8; name_len];
+            read_exact_or_malformed(&mut r, &mut name, "index entry name")?;
+            let name = String::from_utf8(name).map_err(|_| {
+                TraceIoError::Malformed(format!("index entry {i}: name is not UTF-8"))
+            })?;
+            let mut fields = [0u8; 24];
+            read_exact_or_malformed(&mut r, &mut fields, "index entry fields")?;
+            let records = u64::from_le_bytes(fields[0..8].try_into().expect("8 bytes"));
+            let content_hash = u64::from_le_bytes(fields[8..16].try_into().expect("8 bytes"));
+            let offset = u64::from_le_bytes(fields[16..24].try_into().expect("8 bytes"));
+            let entry = PackEntry {
+                name,
+                records,
+                content_hash,
+                offset,
+            };
+            if offset < PACK_HEADER_BYTES
+                || offset > index_offset
+                || entry.byte_len() > index_offset - offset
+            {
+                return Err(TraceIoError::Malformed(format!(
+                    "index entry {i} ({}): payload range {offset}+{} outside payload section",
+                    entry.name,
+                    entry.byte_len()
+                )));
+            }
+            entries.push(entry);
+        }
+        Ok(Self { r, entries })
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the pack holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The index.
+    pub fn entries(&self) -> &[PackEntry] {
+        &self.entries
+    }
+
+    /// Index of the first trace named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// Content hash of the whole pack: FNV-1a over every entry's name,
+    /// record count, and content hash, in index order. Derived from the
+    /// index alone — O(index), no payload pass — and stable across
+    /// re-packs of the same traces. This is the cache key component the
+    /// content-addressed results cache uses ([`crate::store`]).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for e in &self.entries {
+            h.write(e.name.as_bytes());
+            h.write(&[0xff]);
+            h.write(&e.records.to_le_bytes());
+            h.write(&e.content_hash.to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// A streaming reader over trace `index`, verifying the content hash
+    /// as the stream drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seek failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds (the index is caller-visible
+    /// via [`CorpusPack::entries`]).
+    pub fn stream(&mut self, index: usize) -> Result<PackTraceReader<'_, R>, TraceIoError> {
+        let entry = self.entries[index].clone();
+        self.r.seek(SeekFrom::Start(entry.offset))?;
+        Ok(PackTraceReader {
+            r: &mut self.r,
+            entry,
+            yielded: 0,
+            verified: false,
+            hasher: RecordHasher::new(),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Materializes trace `index` (adapter over [`CorpusPack::stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream failures, including hash mismatches.
+    pub fn read_trace(&mut self, index: usize) -> Result<Trace, TraceIoError> {
+        crate::source::collect(&mut self.stream(index)?)
+    }
+}
+
+/// [`TraceSource`] over one pack entry's payload run. Chunks are decoded
+/// through the shared `IWCT` record validation and hashed incrementally;
+/// the final `None` is withheld until the computed hash matches the index
+/// (mismatch → [`TraceIoError::Malformed`]).
+pub struct PackTraceReader<'a, R: Read + Seek> {
+    r: &'a mut R,
+    entry: PackEntry,
+    /// Records already yielded.
+    yielded: u64,
+    verified: bool,
+    hasher: RecordHasher,
+    buf: Vec<TraceRecord>,
+}
+
+impl<R: Read + Seek> PackTraceReader<'_, R> {
+    fn records_left(&self) -> u64 {
+        self.entry.records - self.yielded
+    }
+}
+
+impl<R: Read + Seek> TraceSource for PackTraceReader<'_, R> {
+    fn name(&self) -> &str {
+        &self.entry.name
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.entry.records)
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<&[TraceRecord]>, TraceIoError> {
+        let left = self.records_left();
+        if left == 0 {
+            if !self.verified {
+                self.verified = true;
+                if self.hasher.finish() != self.entry.content_hash {
+                    return Err(TraceIoError::Malformed(format!(
+                        "content hash mismatch for trace '{}': index says {:#018x}, payload hashes to {:#018x}",
+                        self.entry.name,
+                        self.entry.content_hash,
+                        self.hasher.finish()
+                    )));
+                }
+            }
+            return Ok(None);
+        }
+        let take = left.min(CHUNK_RECORDS as u64) as usize;
+        let mut wire = vec![0u8; take * RECORD_WIRE_BYTES];
+        read_exact_or_malformed(self.r, &mut wire, "trace payload")?;
+        self.buf.clear();
+        self.buf.reserve(take);
+        for rec in wire.chunks_exact(RECORD_WIRE_BYTES) {
+            let rec: &[u8; RECORD_WIRE_BYTES] = rec.try_into().expect("exact chunks");
+            self.buf.push(record_from_wire(rec)?);
+        }
+        self.hasher.push_all(&self.buf);
+        self.yielded += take as u64;
+        Ok(Some(&self.buf))
+    }
+}
+
+/// Writes `traces` into a pack file at `path` (parent directories
+/// created), returning the entries written.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_pack_file<'a>(
+    path: &Path,
+    traces: impl IntoIterator<Item = &'a Trace>,
+) -> Result<Vec<PackEntry>, TraceIoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = PackWriter::new(BufWriter::new(File::create(path)?))?;
+    for t in traces {
+        w.add_trace(t)?;
+    }
+    let entries = w.entries().to_vec();
+    w.finish()?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwc_isa::mask::ExecMask;
+    use iwc_isa::types::DataType;
+    use std::io::Cursor;
+
+    fn sample(name: &str, n: usize, seed: u32) -> Trace {
+        let mut t = Trace::new(name);
+        for i in 0..n {
+            let bits = 1 + (seed.wrapping_mul(0x9E37).wrapping_add(i as u32) % 0xFFFF);
+            t.push(ExecMask::new(bits, 16), DataType::F);
+        }
+        t
+    }
+
+    fn pack_bytes(traces: &[Trace]) -> Vec<u8> {
+        let mut w = PackWriter::new(Cursor::new(Vec::new())).unwrap();
+        for t in traces {
+            w.add_trace(t).unwrap();
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    #[test]
+    fn roundtrip_multiple_traces() {
+        let traces = vec![
+            sample("a", CHUNK_RECORDS + 5, 1),
+            sample("b", 17, 2),
+            Trace::new("empty"),
+        ];
+        let bytes = pack_bytes(&traces);
+        let mut pack = CorpusPack::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(pack.len(), 3);
+        assert_eq!(pack.find("b"), Some(1));
+        assert_eq!(pack.find("missing"), None);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(pack.entries()[i].records, t.len() as u64);
+            assert_eq!(pack.entries()[i].content_hash, crate::hash::trace_hash(t));
+            assert_eq!(&pack.read_trace(i).unwrap(), t);
+        }
+        // Random access is order-independent.
+        assert_eq!(pack.read_trace(1).unwrap(), traces[1]);
+        assert_eq!(pack.read_trace(0).unwrap(), traces[0]);
+    }
+
+    #[test]
+    fn stream_chunks_and_len_hint() {
+        let t = sample("chunky", 2 * CHUNK_RECORDS + 3, 7);
+        let bytes = pack_bytes(std::slice::from_ref(&t));
+        let mut pack = CorpusPack::open(Cursor::new(bytes)).unwrap();
+        let mut src = pack.stream(0).unwrap();
+        assert_eq!(src.name(), "chunky");
+        assert_eq!(src.len_hint(), Some(t.len() as u64));
+        let mut seen = 0usize;
+        while let Some(chunk) = src.next_chunk().unwrap() {
+            assert!(chunk.len() <= CHUNK_RECORDS);
+            seen += chunk.len();
+        }
+        assert_eq!(seen, t.len());
+        assert!(src.next_chunk().unwrap().is_none(), "None is sticky");
+    }
+
+    #[test]
+    fn content_hash_is_index_derived_and_name_sensitive() {
+        let a = pack_bytes(&[sample("x", 100, 3)]);
+        let b = pack_bytes(&[sample("x", 100, 3)]);
+        let c = pack_bytes(&[sample("y", 100, 3)]);
+        let hash = |bytes: Vec<u8>| CorpusPack::open(Cursor::new(bytes)).unwrap().content_hash();
+        assert_eq!(hash(a.clone()), hash(b));
+        assert_ne!(hash(a), hash(c), "pack hash covers trace names");
+    }
+
+    #[test]
+    fn empty_pack_roundtrips() {
+        let bytes = pack_bytes(&[]);
+        assert_eq!(bytes.len() as u64, PACK_HEADER_BYTES);
+        let pack = CorpusPack::open(Cursor::new(bytes)).unwrap();
+        assert!(pack.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Corpus store layout and the content-addressed results cache.
+//!
+//! Packs and cached analysis results live under one directory, selected
+//! by the `IWC_CORPUS_DIR` env knob (warn-once-and-default convention,
+//! matching `IWC_SERVE_*`; default `results/corpus/`):
+//!
+//! ```text
+//! results/corpus/
+//!   corpus.iwcc        # default expanded-corpus pack (regenerable)
+//!   cache/<key>.iwcr   # results cache, one payload per key
+//! ```
+//!
+//! The cache is *content-addressed*: a key is the FNV-1a combination of a
+//! pack (or trace) content hash, the engine set, and a consumer-chosen
+//! config fingerprint — nothing positional, so a re-pack of identical
+//! traces hits, and any content or config change misses. Payloads are
+//! opaque strings (the consumers store their own deterministic report
+//! blocks); each cache file carries a `IWCR 1 <key>` header line that is
+//! validated on load, and any mismatch or unreadable file is a miss,
+//! never an error. FNV-1a is not adversarially collision-resistant; the
+//! cache treats a key hit as identity for well-behaved inputs, same as
+//! the serve decode cache.
+
+use crate::hash::Fnv1a;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn warn_once(key: &str, msg: &str) {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let mut warned = WARNED.lock().expect("warn_once poisoned");
+    if warned.insert(key.to_string()) {
+        eprintln!("iwc-trace: {msg}");
+    }
+}
+
+/// Default corpus directory, relative to the working directory.
+pub const DEFAULT_CORPUS_DIR: &str = "results/corpus";
+
+fn corpus_dir_from(raw: Option<std::ffi::OsString>) -> PathBuf {
+    match raw {
+        Some(v) if !v.as_os_str().is_empty() => PathBuf::from(v),
+        Some(_) => {
+            warn_once(
+                "IWC_CORPUS_DIR",
+                &format!("ignoring empty IWC_CORPUS_DIR (using {DEFAULT_CORPUS_DIR})"),
+            );
+            PathBuf::from(DEFAULT_CORPUS_DIR)
+        }
+        None => PathBuf::from(DEFAULT_CORPUS_DIR),
+    }
+}
+
+/// Where packs and the results cache live: `IWC_CORPUS_DIR`, defaulting
+/// to [`DEFAULT_CORPUS_DIR`] (warning once when the knob is set but
+/// empty).
+pub fn corpus_dir() -> PathBuf {
+    corpus_dir_from(std::env::var_os("IWC_CORPUS_DIR"))
+}
+
+/// Conventional path of the default expanded-corpus pack.
+pub fn default_pack_path() -> PathBuf {
+    corpus_dir().join("corpus.iwcc")
+}
+
+/// Magic of a cache payload file's header line.
+const CACHE_MAGIC: &str = "IWCR";
+/// Cache payload format version.
+const CACHE_VERSION: u32 = 1;
+
+/// A disk cache of analysis results, keyed by content.
+///
+/// Consumers derive a key with [`ResultsCache::key`] from the content
+/// hash of what was analyzed, the engine set, and a fingerprint string
+/// covering every config knob that changes the output (trace length,
+/// shard-invariant settings excluded — thread count must *not* go into
+/// the fingerprint, the whole point being that results are
+/// thread-count-invariant).
+pub struct ResultsCache {
+    dir: PathBuf,
+}
+
+impl ResultsCache {
+    /// A cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The cache under the configured corpus directory
+    /// (`IWC_CORPUS_DIR`/cache).
+    pub fn open_default() -> Self {
+        Self::new(corpus_dir().join("cache"))
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Derives a cache key from a content hash (pack or single trace),
+    /// the engine labels, and a consumer fingerprint. Engine order
+    /// matters — the cached payload is a rendered report whose column
+    /// order follows the engine set.
+    pub fn key(content_hash: u64, engine_labels: &[String], fingerprint: &str) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(&content_hash.to_le_bytes());
+        for label in engine_labels {
+            h.write(label.as_bytes());
+            h.write(&[0xff]);
+        }
+        h.write(fingerprint.as_bytes());
+        h.finish()
+    }
+
+    /// Path of the payload file for `key`.
+    pub fn path_of(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.iwcr"))
+    }
+
+    /// Loads the payload cached under `key`, or `None` on a miss. A
+    /// missing, unreadable, or corrupted file (bad header magic, version,
+    /// or key) is a miss — the cache is advisory, never authoritative.
+    pub fn load(&self, key: u64) -> Option<String> {
+        let text = fs::read_to_string(self.path_of(key)).ok()?;
+        let (header, payload) = text.split_once('\n')?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some(CACHE_MAGIC) {
+            return None;
+        }
+        if parts.next().and_then(|v| v.parse::<u32>().ok()) != Some(CACHE_VERSION) {
+            return None;
+        }
+        let stamped = parts.next().and_then(|k| u64::from_str_radix(k, 16).ok())?;
+        if stamped != key || parts.next().is_some() {
+            return None;
+        }
+        Some(payload.to_string())
+    }
+
+    /// Stores `payload` under `key` (parent directories created; the
+    /// write goes through a temp file plus rename, so concurrent readers
+    /// only ever see complete payloads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn store(&self, key: u64, payload: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        fs::write(
+            &tmp,
+            format!("{CACHE_MAGIC} {CACHE_VERSION} {key:016x}\n{payload}"),
+        )?;
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> ResultsCache {
+        let dir =
+            std::env::temp_dir().join(format!("iwc-results-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultsCache::new(dir)
+    }
+
+    #[test]
+    fn corpus_dir_knob_defaults_and_rejects_empty() {
+        assert_eq!(corpus_dir_from(None), PathBuf::from(DEFAULT_CORPUS_DIR));
+        assert_eq!(
+            corpus_dir_from(Some("".into())),
+            PathBuf::from(DEFAULT_CORPUS_DIR)
+        );
+        assert_eq!(
+            corpus_dir_from(Some("/tmp/elsewhere".into())),
+            PathBuf::from("/tmp/elsewhere")
+        );
+    }
+
+    #[test]
+    fn key_covers_every_component() {
+        let engines = vec!["ivb".to_string(), "bcc".to_string()];
+        let k = ResultsCache::key(1, &engines, "fp/v1");
+        assert_eq!(k, ResultsCache::key(1, &engines, "fp/v1"), "deterministic");
+        assert_ne!(k, ResultsCache::key(2, &engines, "fp/v1"), "content hash");
+        assert_ne!(
+            k,
+            ResultsCache::key(1, &engines[..1], "fp/v1"),
+            "engine set"
+        );
+        assert_ne!(k, ResultsCache::key(1, &engines, "fp/v2"), "fingerprint");
+        let swapped = vec!["bcc".to_string(), "ivb".to_string()];
+        assert_ne!(k, ResultsCache::key(1, &swapped, "fp/v1"), "engine order");
+    }
+
+    #[test]
+    fn roundtrip_and_misses() {
+        let cache = tmp_cache("roundtrip");
+        let key = ResultsCache::key(42, &[], "t");
+        assert_eq!(cache.load(key), None, "cold cache misses");
+        cache.store(key, "line one\nline two\n").unwrap();
+        assert_eq!(cache.load(key).as_deref(), Some("line one\nline two\n"));
+        assert_eq!(cache.load(key ^ 1), None, "other keys still miss");
+
+        // A payload stamped with the wrong key is a miss, not a panic.
+        fs::write(cache.path_of(7), "IWCR 1 0000000000000001\nstale").unwrap();
+        assert_eq!(cache.load(7), None);
+        // Corrupted headers are misses.
+        fs::write(cache.path_of(8), "not a cache file").unwrap();
+        assert_eq!(cache.load(8), None);
+        fs::write(cache.path_of(9), "IWCR 999 0000000000000009\nx").unwrap();
+        assert_eq!(cache.load(9), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let cache = tmp_cache("empty");
+        let key = ResultsCache::key(9, &["scc".to_string()], "");
+        cache.store(key, "").unwrap();
+        assert_eq!(cache.load(key).as_deref(), Some(""));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -20,8 +20,21 @@
 //!   [`MaskStyle::Strided`] (regular stride → SCC-only);
 //! * `burst_len` — divergence arrives in bursts of this length, modeling
 //!   control-flow regions rather than i.i.d. masks.
+//!
+//! Generation is *streaming*: [`Profile::source`] returns a
+//! [`SynthSource`] that synthesizes records one chunk at a time (the
+//! analyzer never holds a whole trace), and [`Profile::generate`] is the
+//! materializing adapter over the same record stream — both walk the RNG
+//! in the identical order, so a streamed trace is byte-identical to a
+//! generated one.
+//!
+//! [`expanded_corpus`] grows the base 22-profile suite toward the paper's
+//! ~600-trace scale with a deterministic parameter sweep (seeded variants
+//! of every base profile), which is what `iwc pack` writes into the
+//! default corpus pack.
 
-use crate::format::Trace;
+use crate::format::{Trace, TraceRecord};
+use crate::source::{TraceSource, CHUNK_RECORDS};
 use iwc_isa::mask::ExecMask;
 use iwc_isa::types::DataType;
 use rand::rngs::SmallRng;
@@ -40,11 +53,22 @@ pub enum MaskStyle {
     Strided,
 }
 
+impl MaskStyle {
+    /// All styles, in the order the corpus expander rotates through them.
+    pub const ALL: [MaskStyle; 4] = [
+        MaskStyle::QuadAligned,
+        MaskStyle::Blocky,
+        MaskStyle::Scattered,
+        MaskStyle::Strided,
+    ];
+}
+
 /// A synthetic workload profile.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Profile {
-    /// Workload name (matches the paper's trace tables).
-    pub name: &'static str,
+    /// Workload name (matches the paper's trace tables; expanded variants
+    /// carry an `@vNN` suffix).
+    pub name: String,
     /// `true` for 3D-graphics (OpenGL) traces, `false` for OpenCL.
     pub opengl: bool,
     /// Target SIMD efficiency in (0, 1].
@@ -62,43 +86,115 @@ pub struct Profile {
 /// Mean density of active channels inside divergent bursts.
 const DIVERGENT_DENSITY: f64 = 0.45;
 
-impl Profile {
-    /// Generates a trace of `len` instructions matching the profile.
-    pub fn generate(&self, len: usize) -> Trace {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut trace = Trace::new(self.name);
-        // Fraction of divergent instructions solving
-        // eff = (1 - p) + p * density.
-        let p = ((1.0 - self.efficiency) / (1.0 - DIVERGENT_DENSITY)).clamp(0.0, 1.0);
-        let mut divergent_left = 0u32;
-        let mut coherent_left = 0u32;
-        while trace.len() < len {
-            if divergent_left == 0 && coherent_left == 0 {
-                // Start a new segment. Both segment kinds share the same
-                // length distribution, so the instruction-level divergent
-                // fraction converges to `p`.
-                let seg = 1 + rng.gen_range(0..self.burst_len.max(1) * 2);
-                if rng.gen_bool(p) {
-                    divergent_left = seg;
-                } else {
-                    coherent_left = seg;
-                }
-            }
-            let width = if rng.gen_bool(self.simd8_fraction) {
-                8
-            } else {
-                16
-            };
-            let mask = if divergent_left > 0 {
-                divergent_left -= 1;
-                self.divergent_mask(&mut rng, width)
-            } else {
-                coherent_left -= 1;
-                ExecMask::all(width)
-            };
-            trace.push(mask, DataType::F);
+/// The record-level generation state machine: one profile's RNG plus the
+/// burst bookkeeping, yielding records on demand. Both the streaming and
+/// the materializing entry points drive this, so they visit the RNG in
+/// the identical order and produce identical streams.
+struct SynthStream {
+    profile: Profile,
+    rng: SmallRng,
+    /// Fraction of divergent instructions solving
+    /// `eff = (1 - p) + p * density`.
+    p: f64,
+    divergent_left: u32,
+    coherent_left: u32,
+    remaining: usize,
+}
+
+impl SynthStream {
+    fn new(profile: &Profile, len: usize) -> Self {
+        let p = ((1.0 - profile.efficiency) / (1.0 - DIVERGENT_DENSITY)).clamp(0.0, 1.0);
+        Self {
+            profile: profile.clone(),
+            rng: SmallRng::seed_from_u64(profile.seed),
+            p,
+            divergent_left: 0,
+            coherent_left: 0,
+            remaining: len,
         }
-        trace
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.divergent_left == 0 && self.coherent_left == 0 {
+            // Start a new segment. Both segment kinds share the same
+            // length distribution, so the instruction-level divergent
+            // fraction converges to `p`.
+            let seg = 1 + self.rng.gen_range(0..self.profile.burst_len.max(1) * 2);
+            if self.rng.gen_bool(self.p) {
+                self.divergent_left = seg;
+            } else {
+                self.coherent_left = seg;
+            }
+        }
+        let width = if self.rng.gen_bool(self.profile.simd8_fraction) {
+            8
+        } else {
+            16
+        };
+        let mask = if self.divergent_left > 0 {
+            self.divergent_left -= 1;
+            self.profile.divergent_mask(&mut self.rng, width)
+        } else {
+            self.coherent_left -= 1;
+            ExecMask::all(width)
+        };
+        Some(TraceRecord::new(mask, DataType::F))
+    }
+}
+
+/// A bounded-memory [`TraceSource`] synthesizing one profile's trace on
+/// the fly: resident state is the RNG plus one [`CHUNK_RECORDS`]-sized
+/// buffer, whatever the requested length.
+pub struct SynthSource {
+    stream: SynthStream,
+    total: u64,
+    buf: Vec<TraceRecord>,
+}
+
+impl TraceSource for SynthSource {
+    fn name(&self) -> &str {
+        &self.stream.profile.name
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<&[TraceRecord]>, crate::format::TraceIoError> {
+        self.buf.clear();
+        while self.buf.len() < CHUNK_RECORDS {
+            match self.stream.next_record() {
+                Some(r) => self.buf.push(r),
+                None => break,
+            }
+        }
+        Ok(if self.buf.is_empty() {
+            None
+        } else {
+            Some(&self.buf)
+        })
+    }
+}
+
+impl Profile {
+    /// Streams a trace of `len` instructions matching the profile, never
+    /// materializing more than one chunk.
+    pub fn source(&self, len: usize) -> SynthSource {
+        SynthSource {
+            stream: SynthStream::new(self, len),
+            total: len as u64,
+            buf: Vec::with_capacity(CHUNK_RECORDS.min(len)),
+        }
+    }
+
+    /// Generates a trace of `len` instructions matching the profile — the
+    /// materializing adapter over [`Profile::source`] (identical stream).
+    pub fn generate(&self, len: usize) -> Trace {
+        crate::source::collect(&mut self.source(len)).expect("synthesis cannot fail")
     }
 
     fn divergent_mask(&self, rng: &mut SmallRng, width: u32) -> ExecMask {
@@ -179,8 +275,8 @@ impl Profile {
 /// BCC-dominated (tree search, cp).
 pub fn corpus() -> Vec<Profile> {
     use MaskStyle::*;
-    let p = |name, opengl, efficiency, simd8_fraction, style, burst_len, seed| Profile {
-        name,
+    let p = |name: &str, opengl, efficiency, simd8_fraction, style, burst_len, seed| Profile {
+        name: name.to_string(),
         opengl,
         efficiency,
         simd8_fraction,
@@ -223,6 +319,59 @@ pub fn corpus() -> Vec<Profile> {
         p("ogl_terrain", true, 0.73, 0.3, QuadAligned, 10, 1021),
         p("ogl_hdr_bloom", true, 0.65, 0.4, Scattered, 12, 1022),
     ]
+}
+
+/// Default size of the expanded corpus — the paper's trace-study scale
+/// (§5.1: ~600 OpenCL/OpenGL traces).
+pub const DEFAULT_EXPANDED_TRACES: usize = 600;
+
+/// Grows the base [`corpus`] toward the paper's trace-study scale with a
+/// deterministic parameter sweep: the 22 base profiles come first, then
+/// seeded variants of each (efficiency/SIMD8-mix/burst jitter plus a mask
+/// style rotation every fourth round) until `target` profiles exist.
+/// Everything is a pure function of `target` — same input, same corpus,
+/// whatever machine or thread count — so a pack written from this corpus
+/// is reproducible byte-for-byte.
+pub fn expanded_corpus(target: usize) -> Vec<Profile> {
+    let base = corpus();
+    let mut out = Vec::with_capacity(target.max(base.len()));
+    out.extend(base.iter().cloned());
+    let mut round = 1u64;
+    while out.len() < target {
+        for (i, b) in base.iter().enumerate() {
+            if out.len() >= target {
+                break;
+            }
+            // Deterministic jitter streams, decorrelated across the two
+            // knobs by different multipliers.
+            let jitter = |mult: u64, span: f64| {
+                let lane = (round * mult + i as u64 * 3) % 11;
+                (lane as f64 - 5.0) / 5.0 * span
+            };
+            let style = if round % 4 == 3 {
+                // Rotate the mask style to cover (style × efficiency)
+                // combinations the base suite lacks.
+                let at = MaskStyle::ALL
+                    .iter()
+                    .position(|&s| s == b.style)
+                    .expect("style in ALL");
+                MaskStyle::ALL[(at + 1) % MaskStyle::ALL.len()]
+            } else {
+                b.style
+            };
+            out.push(Profile {
+                name: format!("{}@v{round:02}", b.name),
+                opengl: b.opengl,
+                efficiency: (b.efficiency + jitter(7, 0.08)).clamp(0.32, 0.90),
+                simd8_fraction: (b.simd8_fraction + jitter(5, 0.15)).clamp(0.0, 1.0),
+                style,
+                burst_len: b.burst_len + u32::try_from(round % 5).expect("small") * 4,
+                seed: b.seed + 10_000 * round,
+            });
+        }
+        round += 1;
+    }
+    out
 }
 
 /// Default trace length used by the harness.
@@ -285,6 +434,22 @@ mod tests {
     }
 
     #[test]
+    fn streamed_equals_generated() {
+        use crate::source::TraceSource;
+        for prof in corpus().iter().take(4) {
+            let materialized = prof.generate(9_000);
+            let mut streamed = Vec::new();
+            let mut src = prof.source(9_000);
+            assert_eq!(src.len_hint(), Some(9_000));
+            while let Some(chunk) = src.next_chunk().expect("synthesis cannot fail") {
+                assert!(chunk.len() <= crate::source::CHUNK_RECORDS);
+                streamed.extend_from_slice(chunk);
+            }
+            assert_eq!(streamed, materialized.records, "{}", prof.name);
+        }
+    }
+
+    #[test]
     fn all_profiles_divergent() {
         for prof in corpus() {
             let r = analyze(&prof.generate(10_000));
@@ -300,5 +465,43 @@ mod tests {
                 assert!(rec.mask().active_channels() >= 1, "{}", prof.name);
             }
         }
+    }
+
+    #[test]
+    fn expanded_corpus_is_deterministic_and_unique() {
+        let a = expanded_corpus(450);
+        let b = expanded_corpus(450);
+        assert_eq!(a, b, "expansion must be a pure function of target");
+        assert_eq!(a.len(), 450);
+        // Base profiles come first, unchanged.
+        assert_eq!(a[..corpus().len()], corpus()[..]);
+        let mut names: Vec<&str> = a.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 450, "names must be unique");
+        let mut seeds: Vec<u64> = a.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 450, "seeds must be unique");
+    }
+
+    #[test]
+    fn expanded_corpus_stays_in_generator_range() {
+        for p in expanded_corpus(500) {
+            assert!(
+                (0.30..=0.92).contains(&p.efficiency),
+                "{}: efficiency {}",
+                p.name,
+                p.efficiency
+            );
+            assert!((0.0..=1.0).contains(&p.simd8_fraction), "{}", p.name);
+            assert!(p.burst_len >= 1, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn expanded_corpus_smaller_than_base_is_the_base_prefix() {
+        let a = expanded_corpus(5);
+        assert_eq!(a.len(), corpus().len(), "base profiles always included");
     }
 }

@@ -26,46 +26,14 @@ use iwc_trace::Trace;
 use std::io::Write as _;
 
 /// FNV-1a 64-bit offset basis.
-pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub const FNV_OFFSET: u64 = iwc_trace::hash::FNV_OFFSET;
 /// FNV-1a 64-bit prime.
-pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub const FNV_PRIME: u64 = iwc_trace::hash::FNV_PRIME;
 
-/// Incremental 64-bit FNV-1a hasher.
-#[derive(Clone, Copy, Debug)]
-pub struct Fnv1a(u64);
-
-impl Fnv1a {
-    /// A fresh hasher at the offset basis.
-    pub fn new() -> Self {
-        Self(FNV_OFFSET)
-    }
-
-    /// Absorbs `bytes`.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// One-shot FNV-1a over a byte slice.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = Fnv1a::new();
-    h.write(bytes);
-    h.finish()
-}
+/// Incremental 64-bit FNV-1a hasher (re-exported from the canonical
+/// implementation in `iwc_trace::hash` — the corpus pack index and the
+/// results cache key on the identical primitive).
+pub use iwc_trace::hash::{fnv1a, Fnv1a};
 
 /// Canonical byte encoding of one instruction, appended to `buf`.
 ///
@@ -90,15 +58,12 @@ pub fn program_hash(program: &Program) -> u64 {
 }
 
 /// Stable content hash of an execution-mask trace: the record stream
-/// (mask bits, width, dtype), name excluded.
+/// (mask bits, width, dtype), name excluded. Delegates to the canonical
+/// implementation next to the trace format (`iwc_trace::hash`), which
+/// keeps this byte encoding — so hashes computed before the pack format
+/// existed stay valid.
 pub fn trace_hash(trace: &Trace) -> u64 {
-    let mut buf = Vec::with_capacity(trace.records.len() * 8);
-    for r in &trace.records {
-        buf.extend_from_slice(&r.bits.to_le_bytes());
-        buf.push(r.width);
-        write!(buf, "{:?}", r.dtype).expect("writing to a Vec cannot fail");
-    }
-    fnv1a(&buf)
+    iwc_trace::hash::trace_hash(trace)
 }
 
 #[cfg(test)]
