@@ -24,6 +24,7 @@ mod fig8;
 mod fig9;
 mod memprobe;
 mod pack_tool;
+mod perfgate;
 mod profile;
 mod rf_area;
 mod run_kernel;
@@ -282,6 +283,13 @@ pub const EXPERIMENTS: &[Experiment] = &[
         run: corpusbench::run,
     },
     Experiment {
+        name: "perfgate",
+        category: Category::Benches,
+        about: "Regression gate over the BENCH_*.json run trajectories",
+        harness: None,
+        run: perfgate::run,
+    },
+    Experiment {
         name: "run_kernel",
         category: Category::Tools,
         about: "Assemble and run an .iwcasm kernel under any engine",
@@ -417,6 +425,7 @@ mod tests {
         assert!(find("pack").is_some());
         assert!(find("unpack").is_some());
         assert!(find("corpusbench").is_some());
+        assert!(find("perfgate").is_some());
         assert!(find("nope").is_none());
     }
 
@@ -433,6 +442,7 @@ mod tests {
         assert_eq!(suggest("unpck"), Some("unpack"));
         assert_eq!(suggest("corpsbench"), Some("corpusbench"));
         assert_eq!(suggest("corpusbenc"), Some("corpusbench"));
+        assert_eq!(suggest("prefgate"), Some("perfgate"));
     }
 
     #[test]
@@ -451,6 +461,7 @@ mod tests {
         assert_eq!(of("ablation_swizzle"), Category::Ablations);
         assert_eq!(of("simbench"), Category::Benches);
         assert_eq!(of("corpusbench"), Category::Benches);
+        assert_eq!(of("perfgate"), Category::Benches);
         assert_eq!(of("pack"), Category::Tools);
         assert_eq!(of("unpack"), Category::Tools);
         // Every category is populated, so `iwc list` prints all headings.

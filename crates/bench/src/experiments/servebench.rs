@@ -163,6 +163,18 @@ fn render_json(
         results_cache("hits"),
         results_cache("misses")
     ));
+    // Peak queue/worker occupancy over the load run, from the daemon's
+    // live gauges — how close the bench drove the pool to saturation.
+    // Rendered only when the daemon published them (schema stays 2: the
+    // line fails `parse_run_line`, so trajectory readers are unaffected).
+    if let (Some(qp), Some(wp)) = (
+        snap.gauge("serve/queue/peak"),
+        snap.gauge("serve/workers/peak"),
+    ) {
+        out.push_str(&format!(
+            "  \"gauges\": {{ \"queue_peak\": {qp:.0}, \"workers_peak\": {wp:.0} }},\n"
+        ));
+    }
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -195,6 +207,10 @@ pub(crate) fn run(_args: &[String]) -> Outcome {
         // The workload mix never touches the disk results cache; keep the
         // bench hermetic (the counters still render, pinned at zero).
         results_cache: None,
+        // A loaded debug-build daemon exceeds any sane slow threshold on
+        // every job; the slow-request log is the daemon's concern, not
+        // the load generator's.
+        slow_ms: 0,
     };
     let server = match Server::bind(&cfg) {
         Ok(s) => s,
@@ -321,6 +337,21 @@ mod tests {
             text.contains("\"results_cache\": { \"hits\": 0, \"misses\": 0 }"),
             "{text}"
         );
+        // An empty snapshot publishes no gauges, so the line is absent...
+        assert!(!text.contains("\"gauges\""), "{text}");
+
+        // ...and a daemon snapshot with live peaks renders them without
+        // disturbing the run-line trajectory readers.
+        let mut snap = iwc_telemetry::TelemetrySnapshot::new();
+        snap.set_gauge("serve/queue/peak", 3.0);
+        snap.set_gauge("serve/workers/peak", 2.0);
+        let text = render_json(&load, 125.0, &snap, &runs);
+        assert!(
+            text.contains("\"gauges\": { \"queue_peak\": 3, \"workers_peak\": 2 }"),
+            "{text}"
+        );
+        let parsed: Vec<RunRecord> = text.lines().filter_map(parse_run_line).collect();
+        assert_eq!(parsed, runs);
     }
 
     #[test]

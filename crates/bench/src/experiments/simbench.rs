@@ -191,23 +191,28 @@ fn render_json(replays: &[Replay], workloads: usize, runs: &[RunRecord]) -> Stri
     out
 }
 
+/// Pure parse of an `IWC_PERF_FLOOR` value: a positive number of
+/// simulated cycles per second (`5000000`, `1e6`, …).
+fn parse_floor(raw: &str) -> Option<f64> {
+    raw.trim().parse::<f64>().ok().filter(|f| *f > 0.0)
+}
+
 /// The `IWC_PERF_FLOOR` gate: `Some(floor)` when the variable is set to a
-/// positive number of simulated cycles per second.
+/// valid value; malformed values warn once and disable the floor — the
+/// same convention as every other `IWC_*` knob.
 fn perf_floor() -> Option<f64> {
     let v = std::env::var("IWC_PERF_FLOOR").ok()?;
-    match v.trim().parse::<f64>() {
-        Ok(f) if f > 0.0 => Some(f),
-        _ => {
-            crate::warn_once(
-                "IWC_PERF_FLOOR",
-                &format!(
-                    "warning: ignoring malformed IWC_PERF_FLOOR={v:?} (want cycles/s > 0); \
-                     not enforcing a floor"
-                ),
-            );
-            None
-        }
+    let floor = parse_floor(&v);
+    if floor.is_none() {
+        crate::warn_once(
+            "IWC_PERF_FLOOR",
+            &format!(
+                "warning: ignoring malformed IWC_PERF_FLOOR={v:?} (want cycles/s > 0); \
+                 not enforcing a floor"
+            ),
+        );
     }
+    floor
 }
 
 pub(crate) fn run(_args: &[String]) -> Outcome {
@@ -300,6 +305,16 @@ mod tests {
   ],
   "speedup_decoded_vs_reference": 1.83
 }"#;
+
+    #[test]
+    fn floor_parses_positive_rates_only() {
+        assert_eq!(parse_floor("5000000"), Some(5_000_000.0));
+        assert_eq!(parse_floor(" 1e6 "), Some(1_000_000.0));
+        assert_eq!(parse_floor("0"), None, "zero floor gates nothing");
+        assert_eq!(parse_floor("-3"), None);
+        assert_eq!(parse_floor("fast"), None);
+        assert_eq!(parse_floor("NaN"), None);
+    }
 
     #[test]
     fn legacy_report_synthesizes_a_baseline_run() {

@@ -1,0 +1,167 @@
+//! The flight recorder: a bounded ring of recent structured events.
+//!
+//! Post-mortem debugging of a daemon needs the last few seconds of
+//! history — which requests were in flight, in what order, and what they
+//! were doing — without an attached debugger and without unbounded
+//! memory. The recorder keeps the newest [`CAPACITY`] events
+//! (accept/dispatch/complete/error/drain, each stamped with a sequence
+//! number, a microsecond offset from recorder start, and the request id)
+//! behind one mutex whose critical sections are a push and a pop — short
+//! enough that recording never contends measurably with job execution.
+//!
+//! The ring is dumped as JSON by `GET /v1/flightrecorder` and
+//! automatically (to stderr) on graceful drain.
+
+use iwc_telemetry::json::escape;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum events retained; older events are dropped (and counted).
+pub const CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (process lifetime, never reused).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// Event kind: `accept`, `dispatch`, `complete`, `error`, `drain`.
+    pub kind: &'static str,
+    /// The request id this event belongs to (empty for daemon-lifecycle
+    /// events like `drain`).
+    pub request_id: String,
+    /// Free-form human detail (job kind, phase breakdown, error message).
+    pub detail: String,
+}
+
+impl Event {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"t_us\":{},\"kind\":\"{}\",\"request_id\":\"{}\",\"detail\":\"{}\"}}",
+            self.seq,
+            self.t_us,
+            self.kind,
+            escape(&self.request_id),
+            escape(&self.detail)
+        )
+    }
+}
+
+/// The bounded event ring. One per daemon, shared by every thread.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder; timestamps are relative to this call.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(CAPACITY)),
+        }
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    pub fn record(&self, kind: &'static str, request_id: &str, detail: impl Into<String>) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            kind,
+            request_id: request_id.to_string(),
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock().expect("flight ring poisoned");
+        if ring.len() == CAPACITY {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("flight ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Dumps the ring as one JSON object:
+    /// `{"capacity":…,"dropped":…,"events":[…]}`.
+    pub fn to_json(&self) -> String {
+        let events = self.events();
+        let body: Vec<String> = events.iter().map(Event::to_json).collect();
+        format!(
+            "{{\"capacity\":{CAPACITY},\"dropped\":{},\"events\":[{}]}}",
+            self.dropped.load(Ordering::Relaxed),
+            body.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_ids() {
+        let fr = FlightRecorder::new();
+        fr.record("accept", "req-1", "workload=BFS");
+        fr.record("dispatch", "req-1", "");
+        fr.record("complete", "req-1", "total_us=42");
+        let events = fr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, "accept");
+        assert_eq!(events[2].kind, "complete");
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let fr = FlightRecorder::new();
+        for i in 0..CAPACITY + 10 {
+            fr.record("accept", &format!("req-{i}"), "");
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), CAPACITY);
+        // The oldest 10 were evicted; the newest survive.
+        assert_eq!(events[0].request_id, "req-10");
+        assert!(fr.to_json().contains("\"dropped\":10"));
+    }
+
+    #[test]
+    fn dump_is_valid_json() {
+        let fr = FlightRecorder::new();
+        fr.record("error", "req-9", "bad \"quoted\" detail\nwith newline");
+        let dump = fr.to_json();
+        let doc = iwc_telemetry::json::parse(&dump).expect("dump parses");
+        let events = doc.get("events").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("kind").and_then(|k| k.as_str()),
+            Some("error")
+        );
+        assert_eq!(
+            events[0].get("request_id").and_then(|k| k.as_str()),
+            Some("req-9")
+        );
+    }
+}

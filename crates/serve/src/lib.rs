@@ -20,12 +20,20 @@
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness + drain state |
+//! | `GET /healthz` | liveness + drain state (200 from the moment the listener is up) |
+//! | `GET /readyz` | readiness: 503 while draining or while the job queue is saturated, 200 otherwise |
+//! | `GET /metrics` | Prometheus text exposition of the server registry (`iwc_serve_*`, see `iwc_telemetry::expo`) |
 //! | `GET /v1/catalog` | served workloads and canonical engines |
 //! | `GET /v1/stats` | server metric registry snapshot (`serve/…`) |
+//! | `GET /v1/flightrecorder` | JSON dump of the bounded recent-event ring (see [`flight`]) |
 //! | `POST /v1/jobs` | run a job, respond with results (503 + `Retry-After` when the queue is full) |
 //! | `GET /v1/ws` | WebSocket upgrade; one job per text message, events streamed back |
 //! | `POST /shutdown` | graceful drain (in-flight jobs finish; also SIGTERM) |
+//!
+//! Every job response — success or error, HTTP or WebSocket — carries the
+//! job's request id (`X-IWC-Request-Id` header / `"request_id"` event
+//! field); the same id threads through the flight recorder and the
+//! slow-request log, so one grep correlates all three.
 //!
 //! ## Knobs
 //!
@@ -34,6 +42,7 @@
 //! | `IWC_SERVE_ADDR` | `127.0.0.1:7199` | listen address (`host:port`; port `0` picks a free port) |
 //! | `IWC_SERVE_WORKERS` | available parallelism | simulation worker threads |
 //! | `IWC_SERVE_QUEUE` | `32` | job queue depth (back-pressure bound) |
+//! | `IWC_SLOW_MS` | `1000` | slow-request threshold: jobs slower than this log one structured line with the phase breakdown (`0` disables) |
 //! | `IWC_CORPUS_DIR` | `results/corpus/` | corpus store: where `"pack"` jobs resolve `.iwcc` packs and the results cache lives (read by `iwc-trace`) |
 //!
 //! Malformed values warn once on stderr and fall back to the default —
@@ -44,6 +53,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod job;
 pub mod server;
@@ -60,6 +70,8 @@ use std::str::FromStr;
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7199";
 /// Default job-queue depth.
 pub const DEFAULT_QUEUE_DEPTH: usize = 32;
+/// Default slow-request threshold in milliseconds (`IWC_SLOW_MS`).
+pub const DEFAULT_SLOW_MS: u64 = 1000;
 
 /// Daemon configuration, usually from [`ServeConfig::from_env`].
 #[derive(Clone, Debug)]
@@ -74,6 +86,10 @@ pub struct ServeConfig {
     /// trace/pack jobs; `None` disables it (hermetic tests). The default
     /// lives under the corpus store (`IWC_CORPUS_DIR`).
     pub results_cache: Option<PathBuf>,
+    /// Slow-request threshold in milliseconds: jobs whose total wall time
+    /// meets or exceeds it log one structured line with the phase
+    /// breakdown. `0` disables the log.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +99,7 @@ impl Default for ServeConfig {
             workers: default_workers(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             results_cache: Some(iwc_trace::corpus_dir().join("cache")),
+            slow_ms: DEFAULT_SLOW_MS,
         }
     }
 }
@@ -97,6 +114,7 @@ impl ServeConfig {
             workers: env_knob("IWC_SERVE_WORKERS", default_workers()).max(1),
             queue_depth: env_knob("IWC_SERVE_QUEUE", DEFAULT_QUEUE_DEPTH).max(1),
             results_cache: Some(iwc_trace::corpus_dir().join("cache")),
+            slow_ms: env_knob("IWC_SLOW_MS", DEFAULT_SLOW_MS),
         }
     }
 
@@ -201,7 +219,28 @@ mod tests {
         assert_eq!(cfg.addr, DEFAULT_ADDR);
         assert!(cfg.workers >= 1);
         assert_eq!(cfg.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert_eq!(cfg.slow_ms, DEFAULT_SLOW_MS);
         let eph = cfg.on_ephemeral_port();
         assert_eq!(eph.addr, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn slow_ms_knob_follows_warn_once_convention() {
+        // Valid values (including the 0 = disabled sentinel) parse; a
+        // malformed value warns once and falls back to the default.
+        std::env::set_var("IWC_SLOW_MS_TEST_OK", "250");
+        assert_eq!(env_knob("IWC_SLOW_MS_TEST_OK", DEFAULT_SLOW_MS), 250);
+        std::env::set_var("IWC_SLOW_MS_TEST_ZERO", "0");
+        assert_eq!(env_knob("IWC_SLOW_MS_TEST_ZERO", DEFAULT_SLOW_MS), 0);
+        std::env::set_var("IWC_SLOW_MS_TEST_BAD", "soon");
+        assert_eq!(
+            env_knob("IWC_SLOW_MS_TEST_BAD", DEFAULT_SLOW_MS),
+            DEFAULT_SLOW_MS
+        );
+        std::env::set_var("IWC_SLOW_MS_TEST_NEG", "-5");
+        assert_eq!(
+            env_knob::<u64>("IWC_SLOW_MS_TEST_NEG", DEFAULT_SLOW_MS),
+            DEFAULT_SLOW_MS
+        );
     }
 }

@@ -15,14 +15,16 @@
 //! current request, then joins all threads — `Server::run` returns `Ok`.
 
 use crate::cache::SessionCache;
+use crate::flight::FlightRecorder;
 use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::job::{self, EventSink, JobError, JobRequest};
 use crate::ws;
 use crate::ServeConfig;
-use iwc_telemetry::Registry;
+use iwc_telemetry::span::{self, SpanContext};
+use iwc_telemetry::{expo, Registry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -58,18 +60,53 @@ struct Shared {
     registry: Registry,
     cache: SessionCache,
     draining: AtomicBool,
+    flight: FlightRecorder,
+    /// Jobs currently sitting in (or being handed through) the queue.
+    queue_used: AtomicUsize,
+    /// Workers currently executing a job.
+    busy_workers: AtomicUsize,
+    workers: usize,
+    queue_depth: usize,
+    slow_ms: u64,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || SIGTERM.load(Ordering::SeqCst)
     }
+
+    /// Back-pressure signal for `/readyz`: every queue slot is taken.
+    fn saturated(&self) -> bool {
+        self.queue_used.load(Ordering::SeqCst) >= self.queue_depth
+    }
+
+    /// Publishes the live queue-depth gauge (and its peak) after a
+    /// queue-occupancy change.
+    fn publish_queue_gauges(&self, used: usize) {
+        let depth = used as f64;
+        self.registry.gauge("serve/queue/depth").set(depth);
+        self.registry.gauge("serve/queue/peak").set_max(depth);
+    }
+
+    /// Publishes the busy-worker gauges (count, peak, utilization) after
+    /// a worker picks up or finishes a job.
+    fn publish_worker_gauges(&self, busy: usize) {
+        let b = busy as f64;
+        self.registry.gauge("serve/workers/busy").set(b);
+        self.registry.gauge("serve/workers/peak").set_max(b);
+        self.registry
+            .gauge("serve/workers/utilization")
+            .set(b / self.workers.max(1) as f64);
+    }
 }
 
-/// One queued job: the parsed request, a one-shot response channel, and an
-/// optional live-event channel (WebSocket connections).
+/// One queued job: the parsed request, its span context (request id +
+/// phase timings), a one-shot response channel, and an optional live-event
+/// channel (WebSocket connections).
 struct QueuedJob {
     req: JobRequest,
+    span: Arc<SpanContext>,
+    queued_at: Instant,
     resp: SyncSender<Result<String, JobError>>,
     events: Option<mpsc::Sender<String>>,
 }
@@ -92,9 +129,22 @@ impl ServerHandle {
         self.shared.draining()
     }
 
-    /// A snapshot of the server's metric registry (`serve/…` counters).
+    /// A snapshot of the server's metric registry (`serve/…` counters,
+    /// live queue/worker gauges, phase histograms).
     pub fn stats(&self) -> iwc_telemetry::TelemetrySnapshot {
         self.shared.registry.snapshot()
+    }
+
+    /// The Prometheus text exposition of [`stats`](Self::stats) — exactly
+    /// what `GET /metrics` serves.
+    pub fn metrics_text(&self) -> String {
+        expo::render(&self.shared.registry.snapshot())
+    }
+
+    /// The flight-recorder dump — exactly what `GET /v1/flightrecorder`
+    /// serves.
+    pub fn flight_json(&self) -> String {
+        self.shared.flight.to_json()
     }
 }
 
@@ -121,15 +171,23 @@ impl Server {
         if let Some(dir) = &cfg.results_cache {
             cache = cache.with_results(iwc_trace::ResultsCache::new(dir));
         }
+        let workers = cfg.workers.max(1);
+        let queue_depth = cfg.queue_depth.max(1);
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
                 registry,
                 cache,
                 draining: AtomicBool::new(false),
+                flight: FlightRecorder::new(),
+                queue_used: AtomicUsize::new(0),
+                busy_workers: AtomicUsize::new(0),
+                workers,
+                queue_depth,
+                slow_ms: cfg.slow_ms,
             }),
-            workers: cfg.workers.max(1),
-            queue_depth: cfg.queue_depth.max(1),
+            workers,
+            queue_depth,
         })
     }
 
@@ -203,6 +261,10 @@ impl Server {
         for h in worker_handles {
             let _ = h.join();
         }
+        // The post-mortem record survives the drain: one line on stderr
+        // with the full event ring, greppable next to the access log.
+        self.shared.flight.record("drain", "", "graceful");
+        eprintln!("iwc-serve flightrecorder {}", self.shared.flight.to_json());
         Ok(())
     }
 }
@@ -215,19 +277,47 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<QueuedJob>>) {
             rx.recv()
         };
         let Ok(job) = job else { return };
+        let used = shared.queue_used.fetch_sub(1, Ordering::SeqCst).max(1) - 1;
+        shared.publish_queue_gauges(used);
+        let busy = shared.busy_workers.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.publish_worker_gauges(busy);
+
+        let rid = job.span.request_id();
+        job.span.record_phase(
+            "queue",
+            job.queued_at
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        );
+        shared.flight.record("dispatch", &rid, "");
+        for engine in &job.req.engines {
+            shared
+                .registry
+                .counter(&format!("serve/engine/{}", engine.label()))
+                .add(1);
+        }
+
         let started = Instant::now();
         let sink_fn;
         let sink: EventSink<'_> = match &job.events {
             None => None,
             Some(tx) => {
                 let tx = tx.clone();
+                let rid = rid.clone();
                 sink_fn = move |e: String| {
-                    let _ = tx.send(e);
+                    let _ = tx.send(with_request_id(&e, &rid));
                 };
                 Some(&sink_fn)
             }
         };
-        let result = job::run_job(&job.req, &shared.cache, sink);
+        // The span rides a thread-local, so the sim crate's decode and
+        // launch paths charge their phases here without an API change;
+        // the guard uninstalls it before the next job.
+        let result = {
+            let _guard = span::set_current(Arc::clone(&job.span));
+            job::run_job(&job.req, &shared.cache, sink)
+        };
         let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         shared.registry.histogram("serve/job_us").record(us);
         shared
@@ -238,14 +328,74 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<QueuedJob>>) {
                 "serve/jobs_failed"
             })
             .add(1);
+
+        // Phase accounting: parse/queue arrive on the span from the
+        // connection thread, decode/simulate from the sim hooks; render
+        // is everything else in the job wall time (response assembly,
+        // cache lookups, base64).
+        let mut parse_us = 0u64;
+        let mut queue_us = 0u64;
+        let mut decode_us = 0u64;
+        let mut simulate_us = 0u64;
+        for (name, phase_us) in job.span.phases() {
+            match name.as_str() {
+                "parse" => parse_us += phase_us,
+                "queue" => queue_us += phase_us,
+                "decode" => decode_us += phase_us,
+                "simulate" => simulate_us += phase_us,
+                _ => {}
+            }
+        }
+        let render_us = us.saturating_sub(decode_us + simulate_us);
+        for (phase, phase_us) in [
+            ("parse", parse_us),
+            ("queue", queue_us),
+            ("decode", decode_us),
+            ("simulate", simulate_us),
+            ("render", render_us),
+        ] {
+            shared
+                .registry
+                .histogram(&format!("serve/phase_us/{phase}"))
+                .record(phase_us);
+        }
+        let breakdown = format!(
+            "parse_us={parse_us} queue_us={queue_us} decode_us={decode_us} \
+             simulate_us={simulate_us} render_us={render_us} total_us={us}"
+        );
+        if shared.slow_ms > 0 && us >= shared.slow_ms.saturating_mul(1000) {
+            eprintln!("iwc-serve slow-request {rid} {breakdown}");
+        }
+        match &result {
+            Ok(_) => shared.flight.record("complete", &rid, breakdown),
+            Err(e) => shared
+                .flight
+                .record("error", &rid, format!("{} ({breakdown})", e.message())),
+        }
+
         if let (Some(tx), Err(e)) = (&job.events, &result) {
-            let _ = tx.send(format!(
-                "{{\"event\":\"error\",\"status\":{},\"message\":\"{}\"}}",
-                e.status(),
-                iwc_telemetry::json::escape(e.message())
+            let _ = tx.send(with_request_id(
+                &format!(
+                    "{{\"event\":\"error\",\"status\":{},\"message\":\"{}\"}}",
+                    e.status(),
+                    iwc_telemetry::json::escape(e.message())
+                ),
+                &rid,
             ));
         }
         let _ = job.resp.send(result);
+        let busy = shared.busy_workers.fetch_sub(1, Ordering::SeqCst) - 1;
+        shared.publish_worker_gauges(busy);
+    }
+}
+
+/// Injects `"request_id"` as the first field of a pre-rendered JSON event
+/// object. Events that are not objects pass through unchanged.
+fn with_request_id(event: &str, rid: &str) -> String {
+    match event.strip_prefix('{') {
+        Some("}") => format!("{{\"request_id\":\"{rid}\"}}"),
+        Some(rest) => format!("{{\"request_id\":\"{rid}\",{rest}"),
+        None => event.to_string(),
     }
 }
 
@@ -255,20 +405,45 @@ fn submit(
     shared: &Shared,
     tx: &SyncSender<QueuedJob>,
     req: JobRequest,
+    span: Arc<SpanContext>,
     events: Option<mpsc::Sender<String>>,
 ) -> Result<Receiver<Result<String, JobError>>, ()> {
     let (resp_tx, resp_rx) = mpsc::sync_channel(1);
     shared.registry.counter("serve/jobs_submitted").add(1);
+    let rid = span.request_id();
+    shared.flight.record("accept", &rid, job_detail(&req));
+    // Count the slot *before* the send: the moment a worker can see the
+    // job, the occupancy it will decrement is already there.
+    let used = shared.queue_used.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.publish_queue_gauges(used);
     match tx.try_send(QueuedJob {
         req,
+        span,
+        queued_at: Instant::now(),
         resp: resp_tx,
         events,
     }) {
         Ok(()) => Ok(resp_rx),
         Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            let used = shared.queue_used.fetch_sub(1, Ordering::SeqCst).max(1) - 1;
+            shared.publish_queue_gauges(used);
             shared.registry.counter("serve/rejected").add(1);
+            shared
+                .flight
+                .record("error", &rid, "rejected: job queue full");
             Err(())
         }
+    }
+}
+
+/// One-line description of a job for flight-recorder events.
+fn job_detail(req: &JobRequest) -> String {
+    if let Some(w) = &req.workload {
+        format!("workload={w}")
+    } else if let Some(p) = &req.pack {
+        format!("pack={p}")
+    } else {
+        "trace".to_string()
     }
 }
 
@@ -331,6 +506,22 @@ fn route(req: &Request, shared: &Shared, jobs: &SyncSender<QueuedJob>) -> Respon
             "{{\"ok\":true,\"draining\":{}}}",
             shared.draining()
         )),
+        ("GET", "/readyz") => {
+            // Readiness is stricter than liveness: a draining or
+            // saturated daemon is alive but should not receive traffic.
+            if shared.draining() {
+                Response::error(503, "draining").with_header("Retry-After", "1")
+            } else if shared.saturated() {
+                Response::error(503, "job queue saturated").with_header("Retry-After", "1")
+            } else {
+                Response::json("{\"ready\":true}")
+            }
+        }
+        ("GET", "/metrics") => Response::new(200).with_body(
+            "text/plain; version=0.0.4; charset=utf-8",
+            expo::render(&shared.registry.snapshot()).into_bytes(),
+        ),
+        ("GET", "/v1/flightrecorder") => Response::json(shared.flight.to_json()),
         ("GET", "/v1/catalog") => Response::json(job::catalog_json()),
         ("GET", "/v1/stats") => Response::json(shared.registry.snapshot().to_json()),
         ("POST", "/shutdown") => {
@@ -345,27 +536,42 @@ fn route(req: &Request, shared: &Shared, jobs: &SyncSender<QueuedJob>) -> Respon
                 Ok(b) => b,
                 Err(_) => return Response::error(400, "body is not UTF-8"),
             };
+            let parse_started = Instant::now();
             let parsed = match JobRequest::from_json(body) {
                 Ok(p) => p,
                 Err(e) => return Response::error(e.status(), e.message()),
             };
-            let Ok(resp_rx) = submit(shared, jobs, parsed, None) else {
-                return Response::error(503, "job queue full").with_header("Retry-After", "1");
+            let span = SpanContext::new();
+            span.record_phase(
+                "parse",
+                parse_started
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64,
+            );
+            let rid = span.request_id();
+            let Ok(resp_rx) = submit(shared, jobs, parsed, span, None) else {
+                return Response::error(503, "job queue full")
+                    .with_header("Retry-After", "1")
+                    .with_header("X-IWC-Request-Id", rid);
             };
-            match resp_rx.recv() {
+            let resp = match resp_rx.recv() {
                 Ok(Ok(body)) => Response::json(body),
                 Ok(Err(e)) => Response::error(e.status(), e.message()),
                 Err(_) => Response::error(500, "worker dropped the job"),
-            }
+            };
+            resp.with_header("X-IWC-Request-Id", rid)
         }
         ("GET", "/v1/ws") => {
             // Reaching route() means the upgrade headers were missing.
             Response::error(426, "this endpoint requires a WebSocket upgrade")
                 .with_header("Upgrade", "websocket")
         }
-        (_, "/healthz" | "/v1/catalog" | "/v1/stats" | "/shutdown" | "/v1/jobs") => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/v1/flightrecorder" | "/v1/catalog"
+            | "/v1/stats" | "/shutdown" | "/v1/jobs",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -473,6 +679,7 @@ fn ws_run_job(
     shared: &Shared,
     jobs: &SyncSender<QueuedJob>,
 ) -> bool {
+    let parse_started = Instant::now();
     let parsed = match JobRequest::from_json(text) {
         Ok(p) => p,
         Err(e) => {
@@ -487,11 +694,23 @@ fn ws_run_job(
             .is_ok()
         }
     };
+    let span = SpanContext::new();
+    span.record_phase(
+        "parse",
+        parse_started
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64,
+    );
+    let rid = span.request_id();
     let (ev_tx, ev_rx) = mpsc::channel::<String>();
-    let Ok(resp_rx) = submit(shared, jobs, parsed, Some(ev_tx)) else {
+    let Ok(resp_rx) = submit(shared, jobs, parsed, span, Some(ev_tx)) else {
         return send_event(
             stream,
-            "{\"event\":\"error\",\"status\":503,\"message\":\"job queue full\"}",
+            &with_request_id(
+                "{\"event\":\"error\",\"status\":503,\"message\":\"job queue full\"}",
+                &rid,
+            ),
         )
         .is_ok();
     };
@@ -512,9 +731,11 @@ fn ws_run_job(
         }
     }
     match resp_rx.recv() {
-        Ok(Ok(body)) => {
-            send_event(stream, &format!("{{\"event\":\"result\",\"data\":{body}}}")).is_ok()
-        }
+        Ok(Ok(body)) => send_event(
+            stream,
+            &format!("{{\"request_id\":\"{rid}\",\"event\":\"result\",\"data\":{body}}}"),
+        )
+        .is_ok(),
         // The error event was already streamed by the worker.
         Ok(Err(_)) => true,
         Err(_) => send_event(

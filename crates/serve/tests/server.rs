@@ -31,6 +31,7 @@ fn start(
         queue_depth,
         // Keep the workload-job tests hermetic: no disk cache.
         results_cache: None,
+        slow_ms: iwc_serve::DEFAULT_SLOW_MS,
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
@@ -201,6 +202,7 @@ fn pack_jobs_are_answered_from_the_results_cache() {
         workers: 1,
         queue_depth: 4,
         results_cache: Some(dir.join("cache")),
+        slow_ms: iwc_serve::DEFAULT_SLOW_MS,
     };
     let server = Server::bind(&cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");
@@ -291,7 +293,7 @@ fn collect_events(ws: &mut WsClient, until_result: bool) -> Vec<String> {
         match ws.next_event(Duration::from_millis(200)).expect("ws read") {
             Some(WsEvent::Text(t)) => {
                 let is_result =
-                    t.starts_with("{\"event\":\"result\"") || t.starts_with("{\"event\":\"error\"");
+                    t.contains("\"event\":\"result\"") || t.contains("\"event\":\"error\"");
                 events.push(t);
                 if until_result && is_result {
                     return events;
@@ -324,7 +326,7 @@ fn ws_streams_live_events_and_perfetto_traces() {
     );
     let traces: Vec<_> = events
         .iter()
-        .filter(|e| e.starts_with("{\"event\":\"trace\""))
+        .filter(|e| e.contains("\"event\":\"trace\""))
         .collect();
     assert_eq!(traces.len(), 2, "one Perfetto payload per engine");
     for t in traces {
@@ -333,8 +335,21 @@ fn ws_streams_live_events_and_perfetto_traces() {
     }
     assert!(events.iter().any(|e| e.contains("\"event\":\"done\"")));
     let result = events.last().expect("result event");
-    assert!(result.starts_with("{\"event\":\"result\""));
+    assert!(result.contains("\"event\":\"result\""));
     assert!(result.contains("\"kind\":\"workload\""));
+
+    // Every event of the job carries the same request id, first field.
+    let rid = result
+        .strip_prefix("{\"request_id\":\"")
+        .and_then(|r| r.split('"').next())
+        .expect("result event leads with a request id");
+    assert!(rid.starts_with("req-"), "{rid:?}");
+    for e in &events {
+        assert!(
+            e.starts_with(&format!("{{\"request_id\":\"{rid}\"")),
+            "event missing the job's request id: {e}"
+        );
+    }
 
     // Errors stream as events too.
     ws.send_text("{\"workload\":\"no-such\"}")
@@ -343,6 +358,166 @@ fn ws_streams_live_events_and_perfetto_traces() {
     assert!(events.last().expect("event").contains("\"status\":404"));
 
     ws.close().expect("close");
+    shutdown(addr, &handle, join);
+}
+
+/// `/metrics` serves valid Prometheus text exposition whose counters
+/// agree with `/v1/stats`, and request counters grow monotonically
+/// between scrapes.
+#[test]
+fn metrics_exposition_is_valid_and_agrees_with_stats() {
+    let (addr, handle, join) = start(1, 4);
+
+    let resp = client::post(
+        addr,
+        "/v1/jobs",
+        "{\"workload\":\"VA\",\"engines\":[\"scc\"]}",
+    )
+    .expect("job");
+    assert_eq!(resp.status, 200);
+
+    let first = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(first.status, 200);
+    assert!(first
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    iwc_telemetry::expo::validate(&first.body).expect("valid exposition");
+
+    // Counters in the exposition must agree with the registry snapshot.
+    let stats = handle.stats();
+    for (name, metric) in [
+        ("serve/jobs_ok", "iwc_serve_jobs_ok"),
+        ("serve/jobs_submitted", "iwc_serve_jobs_submitted"),
+        ("serve/engine/scc", "iwc_serve_engine{engine=\"scc\"}"),
+    ] {
+        let v = stats
+            .counter(name)
+            .unwrap_or_else(|| panic!("{name} missing from stats"));
+        assert!(
+            first.body.contains(&format!("{metric} {v}")),
+            "{metric} must read {v} in:\n{}",
+            first.body
+        );
+    }
+    // Phase histograms and live gauges are exposed too.
+    for needle in [
+        "# TYPE iwc_serve_phase_us histogram",
+        "iwc_serve_phase_us_count{phase=\"simulate\"}",
+        "# TYPE iwc_serve_queue_depth gauge",
+        "iwc_serve_workers_utilization",
+    ] {
+        assert!(first.body.contains(needle), "missing {needle:?}");
+    }
+
+    // A second scrape after more work: request counters are monotone.
+    let extract = |body: &str, metric: &str| -> u64 {
+        body.lines()
+            .find(|l| l.starts_with(metric) && l.as_bytes()[metric.len()] == b' ')
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{metric} not found"))
+    };
+    let resp = client::post(
+        addr,
+        "/v1/jobs",
+        "{\"workload\":\"VA\",\"engines\":[\"scc\"]}",
+    )
+    .expect("second job");
+    assert_eq!(resp.status, 200);
+    let second = client::get(addr, "/metrics").expect("second scrape");
+    iwc_telemetry::expo::validate(&second.body).expect("still valid");
+    for metric in ["iwc_serve_requests", "iwc_serve_jobs_ok"] {
+        assert!(
+            extract(&second.body, metric) > extract(&first.body, metric),
+            "{metric} must be monotone across scrapes"
+        );
+    }
+
+    shutdown(addr, &handle, join);
+}
+
+/// `/readyz` mirrors operational readiness: 200 while serving, 503 once
+/// draining (while `/healthz` stays 200 for liveness probes).
+#[test]
+fn readyz_reports_drain_as_unready() {
+    use std::io::{Read, Write};
+    let (addr, handle, join) = start(1, 4);
+
+    let ready = client::get(addr, "/readyz").expect("readyz");
+    assert_eq!(ready.status, 200);
+    assert!(ready.body.contains("\"ready\":true"));
+
+    // Drain and probe on ONE pipelined connection: the accept loop exits
+    // the moment the drain flag is set, so a fresh connection would be
+    // refused — but requests already buffered on an accepted connection
+    // are still served (and the first post-drain response closes it).
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let two = "POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\nGET /readyz HTTP/1.1\r\nHost: x\r\n\r\n";
+    stream.write_all(two.as_bytes()).expect("pipelined write");
+    let mut all = String::new();
+    stream.read_to_string(&mut all).expect("read both");
+    assert!(all.contains("\"draining\":true"), "{all}");
+    assert!(all.contains("HTTP/1.1 503"), "{all}");
+    assert!(all.to_ascii_lowercase().contains("retry-after: 1"), "{all}");
+    assert!(handle.is_draining());
+
+    join.join()
+        .expect("server thread must not panic")
+        .expect("graceful drain returns Ok");
+}
+
+/// Every job response carries an `X-IWC-Request-Id` that also appears in
+/// the flight-recorder dump, with the accept → dispatch → complete
+/// lifecycle in order.
+#[test]
+fn request_ids_thread_through_responses_and_flight_recorder() {
+    let (addr, handle, join) = start(1, 4);
+
+    let ok = client::post(
+        addr,
+        "/v1/jobs",
+        "{\"workload\":\"BFS\",\"engines\":[\"scc\"]}",
+    )
+    .expect("job");
+    assert_eq!(ok.status, 200);
+    let rid = ok
+        .header("x-iwc-request-id")
+        .expect("job response carries a request id")
+        .to_string();
+    assert!(rid.starts_with("req-"), "{rid:?}");
+
+    // Failed jobs get an id too, distinct from the first.
+    let bad = client::post(addr, "/v1/jobs", "{\"workload\":\"no-such\"}").expect("bad job");
+    assert_eq!(bad.status, 404);
+    let bad_rid = bad
+        .header("x-iwc-request-id")
+        .expect("error response carries a request id")
+        .to_string();
+    assert_ne!(rid, bad_rid);
+
+    let dump = client::get(addr, "/v1/flightrecorder").expect("flight dump");
+    assert_eq!(dump.status, 200);
+    let doc = parse(&dump.body).expect("dump is valid JSON");
+    let events = doc.get("events").and_then(|e| e.as_arr()).expect("events");
+    let of = |want_rid: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| e.get("request_id").and_then(|r| r.as_str()) == Some(want_rid))
+            .map(|e| e.get("kind").and_then(|k| k.as_str()).expect("kind"))
+            .collect()
+    };
+    assert_eq!(of(&rid), vec!["accept", "dispatch", "complete"]);
+    assert_eq!(of(&bad_rid), vec!["accept", "dispatch", "error"]);
+    // The accept event names the job.
+    let accept = events
+        .iter()
+        .find(|e| e.get("request_id").and_then(|r| r.as_str()) == Some(rid.as_str()))
+        .expect("accept event");
+    assert_eq!(
+        accept.get("detail").and_then(|d| d.as_str()),
+        Some("workload=BFS")
+    );
+
     shutdown(addr, &handle, join);
 }
 

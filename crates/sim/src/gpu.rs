@@ -399,7 +399,25 @@ pub fn simulate_decoded(
 /// it could next make progress.
 type ArbOutcome = (bool, Option<StallCause>, Option<u64>);
 
+/// Charges the whole launch to the `"simulate"` phase of the current
+/// request span (a no-op outside the serve daemon) and delegates to
+/// [`run_launch_inner`]. Span timing is wall-clock side-band state only —
+/// it never touches the result or its telemetry snapshot, so served runs
+/// stay byte-identical to direct ones.
 fn run_launch(
+    cfg: &GpuConfig,
+    mem: &mut MemSystem,
+    clock: &mut u64,
+    launch: &Launch,
+    img: &mut MemoryImage,
+    predecoded: Option<&DecodedProgram>,
+) -> Result<SimResult, SimulateError> {
+    iwc_telemetry::span::time_phase("simulate", || {
+        run_launch_inner(cfg, mem, clock, launch, img, predecoded)
+    })
+}
+
+fn run_launch_inner(
     cfg: &GpuConfig,
     mem: &mut MemSystem,
     clock: &mut u64,

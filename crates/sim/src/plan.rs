@@ -830,11 +830,13 @@ pub struct DecodedProgram {
 
 impl DecodedProgram {
     /// Decodes every instruction of `program`. O(instructions) — trivial
-    /// next to any simulation that replays them.
+    /// next to any simulation that replays them. Wall time is charged to
+    /// the `"decode"` phase of the current request span, if one is
+    /// installed (a no-op everywhere outside the serve daemon).
     pub fn decode(program: &Program) -> Self {
-        Self {
+        iwc_telemetry::span::time_phase("decode", || Self {
             plans: program.insns().iter().map(MicroPlan::decode).collect(),
-        }
+        })
     }
 
     /// The plan at instruction index `pc`.

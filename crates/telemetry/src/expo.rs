@@ -1,0 +1,537 @@
+//! Prometheus text exposition (format 0.0.4) for telemetry snapshots.
+//!
+//! [`render`] turns a [`TelemetrySnapshot`] into the `# TYPE`-annotated
+//! plain-text format every Prometheus-compatible scraper understands, and
+//! [`validate`] is the matching std-only checker the CI smoke tests run on
+//! whatever `/metrics` served — the same emit-and-revalidate discipline as
+//! [`chrome`](crate::chrome).
+//!
+//! # Name mapping
+//!
+//! Snapshot names are hierarchical and slash-separated; Prometheus names
+//! are flat with `[a-zA-Z0-9_:]`. Two rules bridge them:
+//!
+//! 1. A small table of *label families* splits a known prefix into a metric
+//!    plus one label: `eu/stall/front_end` → `iwc_eu_stall{cause="front_end"}`,
+//!    `serve/phase_us/decode` → `iwc_serve_phase_us{phase="decode"}`. This
+//!    keeps per-cause / per-engine / per-phase series queryable with one
+//!    selector instead of N distinct metric names.
+//! 2. Everything else maps structurally: `/` becomes `_`, any other byte
+//!    outside `[a-zA-Z0-9_:]` becomes `_`, and the result is prefixed
+//!    `iwc_` (`serve/cache/hits` → `iwc_serve_cache_hits`).
+//!
+//! Counters render as `counter`, gauges as `gauge`, and [`Pow2Hist`]s as
+//! native Prometheus histograms: cumulative `_bucket{le="..."}` series over
+//! the occupied power-of-two bucket bounds, closed by `le="+Inf"`, `_sum`,
+//! and `_count`.
+
+use crate::metrics::{bucket_hi, Pow2Hist, HIST_BUCKETS};
+use crate::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Hierarchical prefixes that render as one metric family with a label:
+/// `(snapshot name prefix, label key)`. The text after the prefix becomes
+/// the label value; the prefix (minus its trailing slash) becomes the
+/// family name.
+const LABEL_FAMILIES: &[(&str, &str)] = &[
+    ("eu/stall/", "cause"),
+    ("agg/stall/", "cause"),
+    ("serve/engine/", "engine"),
+    ("serve/phase_us/", "phase"),
+];
+
+/// Maps a hierarchical snapshot name to `(family, Some((label_key,
+/// label_value)))` under the rules in the module docs.
+fn map_name(name: &str) -> (String, Option<(&'static str, String)>) {
+    for &(prefix, key) in LABEL_FAMILIES {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            if !rest.is_empty() {
+                let family = sanitize(&prefix[..prefix.len() - 1]);
+                return (family, Some((key, rest.to_string())));
+            }
+        }
+    }
+    (sanitize(name), None)
+}
+
+/// `iwc_`-prefixed structural flattening of a hierarchical name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("iwc_");
+    for c in name.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: `\\`, `\"`, `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// One family's samples, collected before emission so the `# TYPE` header
+/// is printed exactly once even when several snapshot names share a family.
+#[derive(Default)]
+struct Family {
+    kind: &'static str,
+    lines: Vec<String>,
+}
+
+/// Renders `snap` as Prometheus text exposition.
+///
+/// Output is deterministic: families appear in sorted order and samples
+/// within a family in snapshot (sorted-name) order. Gauges are formatted
+/// with enough precision to round-trip typical ratios; counters and
+/// histogram cells are exact integers.
+pub fn render(snap: &TelemetrySnapshot) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut push = |family: String, kind: &'static str, line: String| {
+        let f = families.entry(family).or_default();
+        // First registrant wins; a kind clash would be a naming bug, and
+        // the validator downstream would reject the duplicate TYPE.
+        if f.kind.is_empty() {
+            f.kind = kind;
+        }
+        f.lines.push(line);
+    };
+
+    for (name, v) in snap.counters() {
+        let (family, label) = map_name(name);
+        let labels = match &label {
+            Some((k, val)) => label_block(&[(k, val.as_str())]),
+            None => String::new(),
+        };
+        push(family.clone(), "counter", format!("{family}{labels} {v}"));
+    }
+    for (name, v) in snap.gauges() {
+        let (family, label) = map_name(name);
+        let labels = match &label {
+            Some((k, val)) => label_block(&[(k, val.as_str())]),
+            None => String::new(),
+        };
+        push(family.clone(), "gauge", format!("{family}{labels} {v}"));
+    }
+    for (name, h) in snap.hists() {
+        let (family, label) = map_name(name);
+        let base = match &label {
+            Some((k, val)) => vec![(*k, val.as_str())],
+            None => Vec::new(),
+        };
+        let mut lines = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            // The top bucket's bound is u64::MAX — fold it into +Inf
+            // rather than printing a finite bound above every float.
+            if i == HIST_BUCKETS - 1 {
+                continue;
+            }
+            let mut labels: Vec<(&str, &str)> = base.clone();
+            let le = bucket_hi(i).to_string();
+            labels.push(("le", le.as_str()));
+            lines.push(format!("{family}_bucket{} {cum}", label_block(&labels)));
+        }
+        let mut inf = base.clone();
+        inf.push(("le", "+Inf"));
+        lines.push(format!("{family}_bucket{} {}", label_block(&inf), h.count));
+        lines.push(format!("{family}_sum{} {}", label_block(&base), h.sum));
+        lines.push(format!("{family}_count{} {}", label_block(&base), h.count));
+        for line in lines {
+            push(family.clone(), "histogram", line);
+        }
+    }
+
+    let mut out = String::new();
+    for (name, f) in &families {
+        let _ = writeln!(out, "# TYPE {name} {}", f.kind);
+        for line in &f.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition.
+///
+/// Enforced invariants (a practical subset of the format spec, strict
+/// enough to catch every renderer bug the tests have imagined):
+///
+/// * every line is a comment, a `# TYPE <name> <counter|gauge|histogram>`
+///   declaration, or a sample `name{labels} value`;
+/// * metric and label names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+/// * label values are double-quoted with only `\\`, `\"`, `\n` escapes;
+/// * every sample's family was declared by a preceding `# TYPE` line, and
+///   no family is declared twice;
+/// * sample values parse as finite decimal numbers (or `+Inf` buckets);
+/// * histogram series are internally consistent per label set: `_bucket`
+///   counts are cumulative (non-decreasing in file order), the `+Inf`
+///   bucket exists and equals `_count`;
+/// * the text is newline-terminated.
+///
+/// # Errors
+///
+/// Returns `"line N: problem"` for the first violation found.
+pub fn validate(text: &str) -> Result<(), String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    // (family, non-le labels) → (last cumulative bucket, saw +Inf, inf value)
+    let mut hist_state: BTreeMap<(String, String), (u64, Option<u64>)> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let err = |msg: &str| Err(format!("line {n}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return err("malformed TYPE line");
+                };
+                if !valid_name(name) {
+                    return err(&format!("bad metric name {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return err(&format!("unsupported TYPE {kind:?}"));
+                }
+                if declared
+                    .insert(name.to_string(), kind.to_string())
+                    .is_some()
+                {
+                    return err(&format!("duplicate TYPE for {name:?}"));
+                }
+            }
+            continue; // other comments are legal and unchecked
+        }
+
+        let (name, labels, value) = split_sample(line).map_err(|m| format!("line {n}: {m}"))?;
+        if !valid_name(&name) {
+            return err(&format!("bad metric name {name:?}"));
+        }
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|f| declared.get(*f).map(String::as_str) == Some("histogram"))
+                    .map(str::to_string)
+            })
+            .unwrap_or_else(|| name.clone());
+        let Some(kind) = declared.get(&family) else {
+            return err(&format!("sample {name:?} precedes its TYPE declaration"));
+        };
+        let is_inf = value == "+Inf";
+        if !is_inf && !value.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+            return err(&format!("bad sample value {value:?}"));
+        }
+
+        if kind == "histogram" && name.ends_with("_bucket") {
+            let mut le = None;
+            let mut others = Vec::new();
+            for (k, v) in &labels {
+                if k == "le" {
+                    le = Some(v.clone());
+                } else {
+                    others.push(format!("{k}={v}"));
+                }
+            }
+            let Some(le) = le else {
+                return err("histogram bucket lacks an le label");
+            };
+            if is_inf {
+                return err("bucket count must be a number");
+            }
+            let count = value.parse::<f64>().expect("checked above") as u64;
+            let key = (family.clone(), others.join(","));
+            let state = hist_state.entry(key).or_insert((0, None));
+            if count < state.0 {
+                return err("bucket counts must be cumulative");
+            }
+            state.0 = count;
+            if le == "+Inf" {
+                state.1 = Some(count);
+            }
+        } else if kind == "histogram" && name.ends_with("_count") {
+            let others: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            hist_counts.insert(
+                (family.clone(), others.join(",")),
+                value.parse::<f64>().expect("checked above") as u64,
+            );
+        }
+    }
+
+    for ((family, labels), count) in &hist_counts {
+        match hist_state.get(&(family.clone(), labels.clone())) {
+            Some((_, Some(inf))) if inf == count => {}
+            Some((_, Some(inf))) => {
+                return Err(format!(
+                    "histogram {family}{{{labels}}}: +Inf bucket {inf} != count {count}"
+                ));
+            }
+            _ => {
+                return Err(format!("histogram {family}{{{labels}}}: no +Inf bucket"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A parsed sample line: family name, label pairs, and the value text.
+type Sample = (String, Vec<(String, String)>, String);
+
+/// Splits a sample line into `(name, labels, value)`.
+fn split_sample(line: &str) -> Result<Sample, String> {
+    match line.find('{') {
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let value = parts.next().ok_or("sample lacks a value")?.trim();
+            if value.is_empty() {
+                return Err("sample lacks a value".into());
+            }
+            Ok((name, Vec::new(), value.to_string()))
+        }
+        Some(open) => {
+            let name = &line[..open];
+            let rest = &line[open + 1..];
+            let close = find_label_close(rest).ok_or("unterminated label block")?;
+            let labels = parse_labels(&rest[..close])?;
+            let value = rest[close + 1..].trim();
+            if value.is_empty() {
+                return Err("sample lacks a value".into());
+            }
+            Ok((name.to_string(), labels, value.to_string()))
+        }
+    }
+}
+
+/// Index of the `}` closing the label block, honoring quoted values.
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'}' if !in_str => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label lacks '='")?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err("label value is not quoted".into());
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err("bad escape in label value".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        out.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err("expected ',' between labels".into());
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a single ad-hoc histogram under `family` (no labels) — handy
+/// for tests and tools that have a bare [`Pow2Hist`] rather than a
+/// snapshot.
+pub fn render_hist(family: &str, h: &Pow2Hist) -> String {
+    let mut snap = TelemetrySnapshot::new();
+    snap.set_hist(family, *h);
+    render(&snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_names_and_label_families() {
+        assert_eq!(map_name("serve/cache/hits").0, "iwc_serve_cache_hits");
+        let (fam, lbl) = map_name("eu/stall/front_end");
+        assert_eq!(fam, "iwc_eu_stall");
+        assert_eq!(lbl, Some(("cause", "front_end".to_string())));
+        let (fam, lbl) = map_name("serve/phase_us/decode");
+        assert_eq!(fam, "iwc_serve_phase_us");
+        assert_eq!(lbl, Some(("phase", "decode".to_string())));
+        // A bare prefix with no leaf falls back to structural mapping.
+        assert_eq!(map_name("eu/stall/").1, None);
+        assert_eq!(map_name("weird name!").0, "iwc_weird_name_");
+    }
+
+    #[test]
+    fn golden_exposition() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_counter("serve/jobs_ok", 3);
+        snap.set_counter("eu/stall/front_end", 7);
+        snap.set_counter("eu/stall/mem_latency", 9);
+        snap.set_gauge("serve/queue/depth", 2.0);
+        let mut h = Pow2Hist::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        snap.set_hist("serve/phase_us/decode", h);
+        let text = render(&snap);
+        let expected = "\
+# TYPE iwc_eu_stall counter
+iwc_eu_stall{cause=\"front_end\"} 7
+iwc_eu_stall{cause=\"mem_latency\"} 9
+# TYPE iwc_serve_jobs_ok counter
+iwc_serve_jobs_ok 3
+# TYPE iwc_serve_phase_us histogram
+iwc_serve_phase_us_bucket{phase=\"decode\",le=\"0\"} 1
+iwc_serve_phase_us_bucket{phase=\"decode\",le=\"3\"} 3
+iwc_serve_phase_us_bucket{phase=\"decode\",le=\"+Inf\"} 3
+iwc_serve_phase_us_sum{phase=\"decode\"} 6
+iwc_serve_phase_us_count{phase=\"decode\"} 3
+# TYPE iwc_serve_queue_depth gauge
+iwc_serve_queue_depth 2
+";
+        assert_eq!(text, expected);
+        validate(&text).expect("golden output validates");
+    }
+
+    #[test]
+    fn top_bucket_folds_into_inf() {
+        let mut h = Pow2Hist::new();
+        h.record(u64::MAX - 1); // lands in the top bucket; sum stays in range
+        h.record(1);
+        let text = render_hist("serve/job_us", &h);
+        assert!(text.contains("iwc_serve_job_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("iwc_serve_job_us_bucket{le=\"+Inf\"} 2"));
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)));
+        validate(&text).expect("validates");
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_counter("serve/engine/we\"ird\\eng\nine", 1);
+        let text = render(&snap);
+        assert!(text.contains("engine=\"we\\\"ird\\\\eng\\nine\""));
+        validate(&text).expect("escaped labels validate");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let text = render(&TelemetrySnapshot::new());
+        assert_eq!(text, "");
+        validate(&text).expect("empty exposition is valid");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        for (bad, why) in [
+            ("iwc_x 1\n", "sample before TYPE"),
+            ("# TYPE iwc_x counter\niwc_x one\n", "non-numeric value"),
+            ("# TYPE iwc_x counter\n# TYPE iwc_x gauge\n", "duplicate TYPE"),
+            ("# TYPE iwc_x widget\n", "unsupported kind"),
+            ("# TYPE 0bad counter\n", "bad name"),
+            ("# TYPE iwc_x counter\niwc_x 1", "missing trailing newline"),
+            ("# TYPE iwc_x counter\niwc_x{a=b} 1\n", "unquoted label"),
+            (
+                "# TYPE iwc_h histogram\niwc_h_bucket{le=\"1\"} 2\niwc_h_bucket{le=\"+Inf\"} 1\niwc_h_sum 1\niwc_h_count 1\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE iwc_h histogram\niwc_h_bucket{le=\"1\"} 1\niwc_h_sum 1\niwc_h_count 1\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE iwc_h histogram\niwc_h_bucket{le=\"+Inf\"} 2\niwc_h_sum 1\niwc_h_count 1\n",
+                "+Inf disagrees with count",
+            ),
+        ] {
+            assert!(validate(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn renders_live_registry_snapshot() {
+        let r = crate::Registry::new();
+        r.counter("serve/jobs_ok").add(2);
+        r.gauge("serve/workers/busy").set(1.0);
+        r.histogram("serve/job_us").record(250);
+        let text = render(&r.snapshot());
+        validate(&text).expect("registry snapshot renders validly");
+        assert!(text.contains("# TYPE iwc_serve_jobs_ok counter"));
+        assert!(text.contains("iwc_serve_workers_busy 1"));
+        assert!(text.contains("iwc_serve_job_us_count 1"));
+    }
+}

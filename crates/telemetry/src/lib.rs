@@ -26,6 +26,11 @@
 //! * [`chrome`] — Chrome trace-event JSON: one track per execution pipe,
 //!   one slice per issue event, stall spans as async events, plus a
 //!   std-only schema checker built on the [`json`] parser.
+//! * [`expo`] — Prometheus text exposition of a snapshot (`GET /metrics`
+//!   on the serve daemon) with a matching std-only validator.
+//! * [`span`] — request-scoped span contexts: a thread-local current span
+//!   plus [`span::time_phase`], letting the serve daemon collect
+//!   per-request phase breakdowns without widening the simulator API.
 //!
 //! # Example
 //!
@@ -44,9 +49,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chrome;
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod span;
 
-pub use metrics::{Counter, Histogram, Pow2Hist, HIST_BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, Pow2Hist, HIST_BUCKETS};
 pub use registry::{join, Instrument, Registry, TelemetrySnapshot};
+pub use span::SpanContext;

@@ -72,6 +72,56 @@ impl Counter {
     }
 }
 
+/// A thread-safe gauge holding one `f64` (bit-cast into an `AtomicU64`).
+///
+/// Gauges are point-in-time measurements — queue depth, busy workers,
+/// utilization ratios — not additive tallies, so they never flow through
+/// [`Registry::absorb`](crate::Registry::absorb). All operations are
+/// relaxed, like [`Counter`].
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge reading 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is greater — a running peak (used
+    /// for high-water marks like peak queue depth).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 /// A thread-safe histogram with power-of-two buckets.
 ///
 /// Recording is two relaxed atomic adds (bucket + sum); snapshots are
@@ -238,6 +288,20 @@ mod tests {
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_sets_and_peaks() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0); // lower: no-op
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0); // higher: raises
+        assert_eq!(g.get(), 7.0);
+        g.set(-3.0); // plain set always overwrites
+        assert_eq!(g.get(), -3.0);
     }
 
     #[test]

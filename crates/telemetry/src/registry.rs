@@ -1,6 +1,6 @@
 //! The hierarchical metric registry and its plain snapshot form.
 
-use crate::metrics::{Counter, Histogram, Pow2Hist};
+use crate::metrics::{bucket_of, Counter, Gauge, Histogram, Pow2Hist};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 pub struct Registry {
     enabled: AtomicBool,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -52,6 +53,20 @@ impl Registry {
         )
     }
 
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// Registry gauges are for *live* operational readings (queue depth,
+    /// busy workers) sampled at [`snapshot`](Self::snapshot) time; like
+    /// snapshot gauges they never flow through [`absorb`](Self::absorb),
+    /// so nondeterministic values stay out of the additive counter tree.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
     /// The histogram registered under `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.hists.lock().expect("registry poisoned");
@@ -62,8 +77,10 @@ impl Registry {
     }
 
     /// Folds a snapshot into the live cells: counters add, histograms
-    /// merge. Addition commutes, so parallel workers can absorb their
-    /// per-run snapshots in any completion order and the final
+    /// merge, gauges are deliberately ignored (a point-in-time reading
+    /// from one run has no additive meaning process-wide). Addition
+    /// commutes, so parallel workers can absorb their per-run snapshots
+    /// in any completion order and the final
     /// [`snapshot`](Self::snapshot) is still deterministic.
     pub fn absorb(&self, snap: &TelemetrySnapshot) {
         for (name, v) in snap.counters() {
@@ -79,6 +96,9 @@ impl Registry {
         let mut snap = TelemetrySnapshot::new();
         for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
             snap.set_counter(name, c.get());
+        }
+        for (name, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            snap.set_gauge(name, g.get());
         }
         for (name, h) in self.hists.lock().expect("registry poisoned").iter() {
             snap.set_hist(name, h.snapshot());
@@ -268,6 +288,71 @@ impl TelemetrySnapshot {
         out.push_str("  }");
         out
     }
+
+    /// Parses the output of [`to_json`](Self::to_json) back into a
+    /// snapshot — the inverse used by external consumers of bench reports
+    /// and by the round-trip tests.
+    ///
+    /// The JSON layer holds all numbers as `f64`, so counter and sum
+    /// values round-trip exactly only up to 2^53 — plus the two extremes
+    /// 0 and `u64::MAX` (whose `f64` image saturates back to `u64::MAX`).
+    /// Every value the workspace emits today is far below the lossy range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a shape that does not match
+    /// the snapshot schema.
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, String> {
+        use crate::json::{parse, Json};
+        let doc = parse(text)?;
+        let mut snap = TelemetrySnapshot::new();
+        let section = |doc: &Json, key: &str| -> Result<BTreeMap<String, Json>, String> {
+            match doc.get(key) {
+                None => Ok(BTreeMap::new()),
+                Some(Json::Obj(m)) => Ok(m.clone()),
+                Some(_) => Err(format!("\"{key}\" is not an object")),
+            }
+        };
+        for (name, v) in section(&doc, "counters")? {
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("counter {name:?} is not a number"))?;
+            snap.set_counter(&name, n as u64);
+        }
+        for (name, v) in section(&doc, "gauges")? {
+            let n = v
+                .as_num()
+                .ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snap.set_gauge(&name, n);
+        }
+        for (name, v) in section(&doc, "histograms")? {
+            let num = |key: &str| -> Result<u64, String> {
+                v.get(key)
+                    .and_then(Json::as_num)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| format!("histogram {name:?} lacks numeric \"{key}\""))
+            };
+            let mut h = Pow2Hist::new();
+            h.count = num("count")?;
+            h.sum = num("sum")?;
+            let buckets = v
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram {name:?} lacks \"buckets\""))?;
+            for pair in buckets {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("histogram {name:?}: bucket is not a [lo, count] pair")
+                })?;
+                let (lo, c) = (pair[0].as_num(), pair[1].as_num());
+                let (lo, c) = lo
+                    .zip(c)
+                    .ok_or_else(|| format!("histogram {name:?}: non-numeric bucket"))?;
+                h.buckets[bucket_of(lo as u64)] = c as u64;
+            }
+            snap.set_hist(&name, h);
+        }
+        Ok(snap)
+    }
 }
 
 impl fmt::Display for TelemetrySnapshot {
@@ -389,6 +474,40 @@ mod tests {
         snap.merge(&other);
         assert_eq!(snap.gauge("sim/throughput"), Some(2.0));
         assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn registry_gauges_snapshot_but_do_not_absorb() {
+        let r = Registry::new();
+        let g = r.gauge("serve/queue/depth");
+        g.set(3.0);
+        r.gauge("serve/queue/depth").set_max(5.0);
+        assert_eq!(r.snapshot().gauge("serve/queue/depth"), Some(5.0));
+        // Absorbing a snapshot with gauges leaves registry gauges alone.
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_gauge("serve/queue/depth", 99.0);
+        snap.set_gauge("other", 1.0);
+        r.absorb(&snap);
+        let after = r.snapshot();
+        assert_eq!(after.gauge("serve/queue/depth"), Some(5.0));
+        assert_eq!(after.gauge("other"), None);
+    }
+
+    #[test]
+    fn from_json_inverts_to_json() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.set_counter("eu/issued", 42);
+        snap.set_gauge("sim/throughput", 1234.5);
+        let mut h = Pow2Hist::new();
+        h.record(0);
+        h.record(7);
+        snap.set_hist("profile/channels", h);
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        // Shape errors are reported, not panicked on.
+        assert!(TelemetrySnapshot::from_json("not json").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\": {\"x\": \"y\"}}").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\": []}").is_err());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Request-scoped span contexts for cross-layer phase timing.
+//!
+//! The serve daemon assigns every accepted job a request id and wants a
+//! phase breakdown (parse/queue/decode/simulate/render) without threading
+//! a context argument through the simulator's public API — the sim crate
+//! must stay byte-identical whether or not a span is watching. The bridge
+//! is a **thread-local current span**: the serve worker installs one with
+//! [`set_current`] before running a job, instrumented code calls
+//! [`time_phase`] around interesting regions, and `time_phase` is a
+//! zero-allocation no-op whenever no span is installed (every non-serve
+//! caller).
+//!
+//! Span phase timings are wall-clock and therefore nondeterministic; they
+//! live only in the [`SpanContext`] and are *never* written into
+//! [`TelemetrySnapshot`](crate::TelemetrySnapshot)s, preserving the serve
+//! path's served-bytes-equal-direct-run contract.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A request-scoped context: a process-unique id plus the accumulated
+/// `(phase, microseconds)` timings recorded under it.
+#[derive(Debug)]
+pub struct SpanContext {
+    id: u64,
+    phases: Mutex<Vec<(String, u64)>>,
+}
+
+impl SpanContext {
+    /// Creates a span with a fresh process-unique request id.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            id: next_raw_id(),
+            phases: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The request id in its canonical printable form, `req-<16 hex>`.
+    pub fn request_id(&self) -> String {
+        format!("req-{:016x}", self.id)
+    }
+
+    /// Appends one phase timing (microseconds).
+    pub fn record_phase(&self, name: &str, us: u64) {
+        self.phases
+            .lock()
+            .expect("span poisoned")
+            .push((name.to_string(), us));
+    }
+
+    /// The recorded `(phase, microseconds)` timings, in record order.
+    pub fn phases(&self) -> Vec<(String, u64)> {
+        self.phases.lock().expect("span poisoned").clone()
+    }
+
+    /// Sum of all recorded phase timings in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.phases
+            .lock()
+            .expect("span poisoned")
+            .iter()
+            .map(|(_, us)| us)
+            .sum()
+    }
+}
+
+/// Process-unique raw request id: a sequence number XORed with a per-boot
+/// seed so ids from different daemon runs don't collide in logs.
+fn next_raw_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        // FNV-1a over the pid and boot instant — no external entropy
+        // source exists in this std-only workspace, and log-scoped
+        // uniqueness is all that's needed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(u64::from(std::process::id()));
+        mix(std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0));
+        // Keep the low bits clear so XORing the sequence number in
+        // preserves uniqueness for the first 2^32 requests of a run.
+        h << 32
+    });
+    SEQ.fetch_add(1, Ordering::Relaxed) ^ seed
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<SpanContext>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed span when dropped — the RAII half of
+/// [`set_current`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    prev: Option<Arc<SpanContext>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `span` as this thread's current span until the returned guard
+/// drops. Nested installs restore the outer span on drop.
+#[must_use = "dropping the guard immediately uninstalls the span"]
+pub fn set_current(span: Arc<SpanContext>) -> SpanGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(span));
+    SpanGuard { prev }
+}
+
+/// This thread's current span, if one is installed.
+pub fn current() -> Option<Arc<SpanContext>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f`, charging its wall time to phase `name` of the current span.
+///
+/// With no span installed this is just `f()` — one thread-local read on
+/// top of the wrapped work, cheap enough to leave in the simulator's
+/// decode and launch paths unconditionally.
+pub fn time_phase<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    match current() {
+        None => f(),
+        Some(span) => {
+            let t = Instant::now();
+            let out = f();
+            span.record_phase(name, t.elapsed().as_micros() as u64);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_formatted() {
+        let a = SpanContext::new();
+        let b = SpanContext::new();
+        assert_ne!(a.id, b.id);
+        let rid = a.request_id();
+        assert!(rid.starts_with("req-"));
+        assert_eq!(rid.len(), 4 + 16);
+        assert!(rid[4..].chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn time_phase_records_only_under_a_span() {
+        // No span installed: runs, records nothing anywhere.
+        assert_eq!(time_phase("idle", || 7), 7);
+        assert!(current().is_none());
+
+        let span = SpanContext::new();
+        let guard = set_current(Arc::clone(&span));
+        assert_eq!(current().unwrap().request_id(), span.request_id());
+        let out = time_phase("decode", || 42);
+        assert_eq!(out, 42);
+        span.record_phase("queue", 100);
+        drop(guard);
+        assert!(current().is_none());
+
+        let phases = span.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "decode");
+        assert_eq!(phases[1], ("queue".to_string(), 100));
+        assert!(span.total_us() >= 100);
+    }
+
+    #[test]
+    fn nested_spans_restore_outer() {
+        let outer = SpanContext::new();
+        let inner = SpanContext::new();
+        let _g1 = set_current(Arc::clone(&outer));
+        {
+            let _g2 = set_current(Arc::clone(&inner));
+            assert_eq!(current().unwrap().request_id(), inner.request_id());
+        }
+        assert_eq!(current().unwrap().request_id(), outer.request_id());
+    }
+}

@@ -1,0 +1,53 @@
+//! Round-trip coverage for snapshot JSON: `to_json` → `json::parse` →
+//! `from_json` must reconstruct the snapshot exactly, including the
+//! corners the serve and bench paths rely on — gauges, empty histograms,
+//! and the extreme counter values 0 and `u64::MAX`.
+
+use iwc_telemetry::{json, Pow2Hist, TelemetrySnapshot};
+
+#[test]
+fn roundtrip_with_gauges_empty_hists_and_extremes() {
+    let mut snap = TelemetrySnapshot::new();
+    snap.set_counter("zero", 0);
+    snap.set_counter("max", u64::MAX);
+    snap.set_counter("serve/jobs_ok", 12345);
+    snap.set_gauge("serve/queue/depth", 0.0);
+    snap.set_gauge("serve/workers/utilization", 0.625);
+    snap.set_hist("empty", Pow2Hist::new());
+    let mut h = Pow2Hist::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX - 1);
+    snap.set_hist("spread", h);
+
+    let text = snap.to_json();
+    json::parse(&text).expect("snapshot JSON is well-formed");
+    let back = TelemetrySnapshot::from_json(&text).expect("snapshot JSON re-parses");
+    assert_eq!(back, snap, "round trip must be exact");
+
+    // The extremes survive the f64 detour: 0 trivially, u64::MAX because
+    // its f64 image (2^64) saturates back down on the u64 cast.
+    assert_eq!(back.counter("zero"), Some(0));
+    assert_eq!(back.counter("max"), Some(u64::MAX));
+    assert_eq!(back.hist("empty").map(|h| h.count), Some(0));
+    assert_eq!(back.hist("spread").map(|h| h.count), Some(3));
+    assert_eq!(back.gauge("serve/workers/utilization"), Some(0.625));
+}
+
+#[test]
+fn exact_digits_in_rendered_json() {
+    let mut snap = TelemetrySnapshot::new();
+    snap.set_counter("max", u64::MAX);
+    let text = snap.to_json();
+    // Counters are rendered as exact integers, never via f64.
+    assert!(text.contains(&format!("\"max\": {}", u64::MAX)));
+}
+
+#[test]
+fn names_needing_escapes_roundtrip() {
+    let mut snap = TelemetrySnapshot::new();
+    snap.set_counter("weird\"name\\with\nescapes", 7);
+    let text = snap.to_json();
+    let back = TelemetrySnapshot::from_json(&text).expect("escaped names re-parse");
+    assert_eq!(back.counter("weird\"name\\with\nescapes"), Some(7));
+}
