@@ -20,27 +20,78 @@
 use super::Outcome;
 use iwc_trace::pack::{CorpusPack, PackWriter};
 use iwc_trace::synth::DEFAULT_EXPANDED_TRACES;
-use iwc_trace::{expanded_corpus, store, Trace};
+use iwc_trace::{expanded_corpus, for_each_run, store, Trace, TraceRecord};
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 
+/// Mask-coherence profile of one record stream (or a whole pack): how
+/// repetitive the trace is, and what RLE would buy. Folded from runs, so
+/// computing it never materializes a trace.
+#[derive(Default)]
+struct Coherence {
+    records: u64,
+    runs: u64,
+    masks: BTreeSet<(u32, u8)>,
+    max_run: u64,
+    /// Payload bytes the run-length encoding would take, mirroring the
+    /// writer's `emit_run` (6 B for a lone record, 10 B per counted item,
+    /// runs past `u32::MAX` split).
+    rle_bytes: u64,
+}
+
+impl Coherence {
+    fn add_run(&mut self, rec: TraceRecord, mut n: u64) {
+        self.records += n;
+        self.runs += 1;
+        self.masks.insert((rec.bits, rec.width));
+        self.max_run = self.max_run.max(n);
+        while n > 0 {
+            if n == 1 {
+                self.rle_bytes += 6;
+                break;
+            }
+            self.rle_bytes += 10;
+            n -= n.min(u64::from(u32::MAX));
+        }
+    }
+
+    fn merge(&mut self, other: &Coherence) {
+        self.records += other.records;
+        self.runs += other.runs;
+        self.masks.extend(other.masks.iter().copied());
+        self.max_run = self.max_run.max(other.max_run);
+        self.rle_bytes += other.rle_bytes;
+    }
+
+    fn mean_run(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.runs as f64
+        }
+    }
+}
+
 fn pack_usage() -> Outcome {
     eprintln!(
-        "usage:\n  pack [out.iwcc] [count] [len]\n  \
+        "usage:\n  pack [rle] [out.iwcc] [count] [len]\n  \
          pack info <pack.iwcc>\n  pack files <out.iwcc> <in.iwct>..."
     );
     Outcome::fail()
 }
 
-/// Writes the deterministic expanded corpus into a pack at `out`.
-pub(crate) fn generate(out: &Path, count: usize, len: usize) -> Result<usize, String> {
+/// Writes the deterministic expanded corpus into a pack at `out`,
+/// run-length encoding the payloads when `rle` is set.
+pub(crate) fn generate(out: &Path, count: usize, len: usize, rle: bool) -> Result<usize, String> {
     let profiles = expanded_corpus(count);
     if let Some(parent) = out.parent() {
         std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
     }
     let file = File::create(out).map_err(|e| e.to_string())?;
     let mut w = PackWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    w.set_rle(rle);
     for p in &profiles {
         w.add_source(&mut p.source(len))
             .map_err(|e| e.to_string())?;
@@ -55,7 +106,7 @@ pub(crate) fn run_pack(args: &[String]) -> Outcome {
             let Some(path) = args.get(1) else {
                 return pack_usage();
             };
-            let pack = match CorpusPack::open_path(Path::new(path)) {
+            let mut pack = match CorpusPack::open_path(Path::new(path)) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("open failed: {e}");
@@ -63,12 +114,50 @@ pub(crate) fn run_pack(args: &[String]) -> Outcome {
                 }
             };
             println!("pack {:?}: {} traces", path, pack.len());
-            for e in pack.entries() {
+            println!(
+                "  {:<32} {:>9}  {:>5}  {:>9}  {:>8}  {:>10}  hash",
+                "name", "records", "masks", "mean-run", "max-run", "rle-bytes"
+            );
+            let entries = pack.entries().to_vec();
+            let mut agg = Coherence::default();
+            for (i, e) in entries.iter().enumerate() {
+                let mut c = Coherence::default();
+                let streamed = pack
+                    .stream(i)
+                    .and_then(|mut src| for_each_run(&mut src, |rec, n| c.add_run(rec, n)));
+                if let Err(err) = streamed {
+                    eprintln!("stream {:?} failed: {err}", e.name);
+                    return Outcome::fail();
+                }
                 println!(
-                    "  {:<32} {:>9} records  {:#018x}",
-                    e.name, e.records, e.content_hash
+                    "  {:<32} {:>9}  {:>5}  {:>9.1}  {:>8}  {:>10}  {:#018x}{}",
+                    e.name,
+                    c.records,
+                    c.masks.len(),
+                    c.mean_run(),
+                    c.max_run,
+                    c.rle_bytes,
+                    e.content_hash,
+                    if e.is_rle() { "  [rle]" } else { "" },
                 );
+                agg.merge(&c);
             }
+            println!(
+                "aggregate: {} records in {} runs, {} distinct masks, \
+                 mean run {:.1}, max run {}, rle {} B vs plain {} B ({:.2}x)",
+                agg.records,
+                agg.runs,
+                agg.masks.len(),
+                agg.mean_run(),
+                agg.max_run,
+                agg.rle_bytes,
+                agg.records * 6,
+                if agg.rle_bytes == 0 {
+                    1.0
+                } else {
+                    (agg.records * 6) as f64 / agg.rle_bytes as f64
+                },
+            );
             println!("pack hash {:#018x}", pack.content_hash());
             Outcome::done()
         }
@@ -104,17 +193,20 @@ pub(crate) fn run_pack(args: &[String]) -> Outcome {
             }
         }
         Some("files") => pack_usage(),
-        arg => {
+        _ => {
             // Default mode: generate the expanded corpus. The optional
-            // positionals are [out] [count] [len].
-            let out = arg
+            // positionals are [rle] [out] [count] [len].
+            let rle = args.iter().any(|a| a == "rle");
+            let rest: Vec<&String> = args.iter().filter(|a| *a != "rle").collect();
+            let out = rest
+                .first()
                 .filter(|a| a.parse::<usize>().is_err())
-                .map_or_else(store::default_pack_path, PathBuf::from);
+                .map_or_else(store::default_pack_path, |a| PathBuf::from(a.as_str()));
             // When the first arg was numeric it is the count.
-            let numerics: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+            let numerics: Vec<usize> = rest.iter().filter_map(|a| a.parse().ok()).collect();
             let count = numerics.first().copied().unwrap_or(DEFAULT_EXPANDED_TRACES);
             let len = numerics.get(1).copied().unwrap_or_else(crate::trace_len);
-            match generate(&out, count, len) {
+            match generate(&out, count, len, rle) {
                 Ok(n) => {
                     let pack = match CorpusPack::open_path(&out) {
                         Ok(p) => p,
@@ -215,7 +307,7 @@ mod tests {
 
         // Generate a small pack, unpack it, re-pack the files, and check
         // the pack hash survives the full round trip.
-        generate(&pack_path, 5, 400).unwrap();
+        generate(&pack_path, 5, 400, false).unwrap();
         let hash = CorpusPack::open_path(&pack_path).unwrap().content_hash();
 
         let out = dir.join("unpacked");
@@ -251,9 +343,43 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let a = dir.join("a.iwcc");
         let b = dir.join("b.iwcc");
-        generate(&a, 3, 300).unwrap();
-        generate(&b, 3, 300).unwrap();
+        generate(&a, 3, 300, false).unwrap();
+        generate(&b, 3, 300, false).unwrap();
         assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coherence_folds_runs_like_the_rle_writer() {
+        use iwc_isa::{DataType, ExecMask};
+        let full = TraceRecord::new(ExecMask::all(8), DataType::F);
+        let half = TraceRecord::new(ExecMask::new(0x0f, 8), DataType::F);
+        let mut c = Coherence::default();
+        c.add_run(full, 1000);
+        c.add_run(half, 1);
+        c.add_run(full, 3);
+        assert_eq!(c.records, 1004);
+        assert_eq!(c.runs, 3);
+        assert_eq!(c.masks.len(), 2, "same mask re-seen is not re-counted");
+        assert_eq!(c.max_run, 1000);
+        assert_eq!(c.rle_bytes, 10 + 6 + 10);
+        assert!((c.mean_run() - 1004.0 / 3.0).abs() < 1e-9);
+
+        // A run past u32::MAX splits into counted items, like emit_run.
+        let mut big = Coherence::default();
+        big.add_run(full, u64::from(u32::MAX) + 2);
+        assert_eq!(big.rle_bytes, 20);
+        assert_eq!(Coherence::default().mean_run(), 0.0);
+    }
+
+    #[test]
+    fn pack_info_reports_coherence() {
+        let dir = std::env::temp_dir().join(format!("iwc-pack-info-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pack_path = dir.join("t.iwcc");
+        generate(&pack_path, 3, 200, true).unwrap();
+        let st = run_pack(&["info".to_string(), pack_path.display().to_string()]);
+        assert_eq!(st.code, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -191,23 +191,24 @@ fn render_json(replays: &[Replay], workloads: usize, runs: &[RunRecord]) -> Stri
     out
 }
 
-/// Pure parse of an `IWC_PERF_FLOOR` value: a positive number of
-/// simulated cycles per second (`5000000`, `1e6`, …).
-fn parse_floor(raw: &str) -> Option<f64> {
+/// Pure parse of an `IWC_PERF_FLOOR` value: a positive throughput number
+/// (`5000000`, `1e6`, …) in the gated benchmark's own unit — simulated
+/// cycles/s for `simbench`, traces/s for `corpusbench`.
+pub(crate) fn parse_floor(raw: &str) -> Option<f64> {
     raw.trim().parse::<f64>().ok().filter(|f| *f > 0.0)
 }
 
 /// The `IWC_PERF_FLOOR` gate: `Some(floor)` when the variable is set to a
 /// valid value; malformed values warn once and disable the floor — the
 /// same convention as every other `IWC_*` knob.
-fn perf_floor() -> Option<f64> {
+pub(crate) fn perf_floor() -> Option<f64> {
     let v = std::env::var("IWC_PERF_FLOOR").ok()?;
     let floor = parse_floor(&v);
     if floor.is_none() {
         crate::warn_once(
             "IWC_PERF_FLOOR",
             &format!(
-                "warning: ignoring malformed IWC_PERF_FLOOR={v:?} (want cycles/s > 0); \
+                "warning: ignoring malformed IWC_PERF_FLOOR={v:?} (want throughput > 0); \
                  not enforcing a floor"
             ),
         );

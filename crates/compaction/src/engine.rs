@@ -652,12 +652,20 @@ impl EngineTally {
 
     /// Accounts one executed instruction.
     pub fn add(&mut self, mask: ExecMask, dtype: DataType) {
+        self.add_run(mask, dtype, 1);
+    }
+
+    /// Accounts a run of `n` identical `(mask, dtype)` instructions in one
+    /// pass over the engine set — every field is an integer sum, so the
+    /// multiplicative charge is exactly equal to `n` repeated
+    /// [`add`](Self::add) calls.
+    pub fn add_run(&mut self, mask: ExecMask, dtype: DataType, n: u64) {
         for ((_, engine), total) in self.engines.iter().zip(self.cycles.iter_mut()) {
-            *total += u64::from(engine.cycles(mask, dtype));
+            *total += u64::from(engine.cycles(mask, dtype)) * n;
         }
-        self.instructions += 1;
-        self.active_channels += u64::from(mask.active_channels());
-        self.total_channels += u64::from(mask.width());
+        self.instructions += n;
+        self.active_channels += u64::from(mask.active_channels()) * n;
+        self.total_channels += u64::from(mask.width()) * n;
     }
 
     /// Merges another tally over the same engine set.
@@ -910,5 +918,22 @@ mod tests {
         u.merge(&t);
         assert_eq!(u.cycles_of(EngineId::SCC), 8);
         assert!(u.reduction_vs(EngineId::SCC, EngineId::IVY_BRIDGE) > 0.3);
+    }
+
+    #[test]
+    fn engine_tally_run_equals_repeated_adds() {
+        let ids = EngineId::CANONICAL;
+        for bits in [0xFFFFu32, 0xF0F0, 0xAAAA, 0x0001, 0x0000] {
+            let mut runs = EngineTally::new(&ids);
+            runs.add_run(m16(bits), DataType::F, 5);
+            let mut scalar = EngineTally::new(&ids);
+            for _ in 0..5 {
+                scalar.add(m16(bits), DataType::F);
+            }
+            assert_eq!(runs, scalar, "mask {bits:#06x}");
+        }
+        let mut zero = EngineTally::new(&ids);
+        zero.add_run(m16(0xFFFF), DataType::F, 0);
+        assert_eq!(zero, EngineTally::new(&ids), "zero-length run is a no-op");
     }
 }

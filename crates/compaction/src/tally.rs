@@ -114,6 +114,30 @@ impl CompactionTally {
         self.add_delta(&TallyDelta::of(mask, dtype));
     }
 
+    /// Adds a run of `n` identical `(mask, dtype)` instructions in O(1).
+    ///
+    /// Divergence arrives in runs — loop bodies re-present the same mask
+    /// for thousands of records — and every tally field is an integer sum,
+    /// so charging the precomputed per-instruction contribution `n` times
+    /// multiplicatively is *exactly* equal to `n` repeated
+    /// [`add`](Self::add) calls, not merely close.
+    pub fn add_run(&mut self, mask: ExecMask, dtype: DataType, n: u64) {
+        self.add_delta_scaled(&TallyDelta::of(mask, dtype), n);
+    }
+
+    /// Adds `n` repetitions of a precomputed contribution in O(1) — the
+    /// run-length counterpart of [`add_delta`](Self::add_delta), identical
+    /// to applying the delta `n` times.
+    pub fn add_delta_scaled(&mut self, d: &TallyDelta, n: u64) {
+        self.cycles.accumulate_scaled(d.cycles, n);
+        self.instructions += n;
+        self.active_channels += d.active_channels * n;
+        self.total_channels += d.total_channels * n;
+        self.buckets[d.bucket] += n;
+        self.bcc_fetches_saved += d.bcc_fetches_saved * n;
+        self.scc_swizzles += d.scc_swizzles * n;
+    }
+
     /// Adds one executed instruction from its precomputed contribution.
     ///
     /// Hot issue paths compute the [`TallyDelta`] once per distinct
@@ -212,34 +236,64 @@ impl TallyDelta {
     }
 }
 
-/// Small direct-mapped memo over [`TallyDelta::of`].
+/// Direct-mapped memo over [`TallyDelta::of`].
 ///
-/// Loop bodies re-present the same execution mask over and over, but an EU
-/// interleaves several threads whose masks differ; a few direct-mapped ways
-/// keep all of them resident, turning the per-issue tally cost into a key
-/// compare plus a handful of integer adds. Collisions just recompute.
+/// The memo is transparent: `delta` always returns exactly
+/// [`TallyDelta::of`]`(mask, dtype)`, whatever the way count and whatever
+/// was cached before, so sizing and reuse are pure performance choices.
+/// Collisions just recompute. Two sizes matter in practice:
+///
+/// * the [`Default`] memo ([`TallyMemo::DEFAULT_WAYS`]) — an EU's issue
+///   path interleaves a handful of threads whose masks repeat, so a few
+///   ways keep all of them resident at negligible footprint;
+/// * the analyzer memo ([`TallyMemo::ANALYZER_WAYS`]) — divergence traces
+///   carry thousands of *distinct* masks (the expanded corpus peaks past
+///   20k per trace), which thrashes a small memo into recomputing the
+///   four cycle models and the SCC swizzle cost nearly every run. Sized
+///   to the full SIMD16 mask space, misses are collisions only.
 #[derive(Clone, Debug)]
 pub struct TallyMemo {
-    keys: [Option<(u32, u32, DataType)>; Self::WAYS],
-    deltas: [TallyDelta; Self::WAYS],
+    /// Right-shift applied to the 32-bit Fibonacci product: keeps the top
+    /// `log2(ways)` bits, so the table length is always a power of two.
+    shift: u32,
+    keys: Vec<Option<(u32, u32, DataType)>>,
+    deltas: Vec<TallyDelta>,
 }
 
 impl Default for TallyMemo {
     fn default() -> Self {
-        Self {
-            keys: [None; Self::WAYS],
-            deltas: [TallyDelta::default(); Self::WAYS],
-        }
+        Self::with_ways(Self::DEFAULT_WAYS)
     }
 }
 
 impl TallyMemo {
-    const WAYS: usize = 64;
+    /// Way count of the [`Default`] memo, sized for issue paths tracking
+    /// a few resident threads.
+    pub const DEFAULT_WAYS: usize = 64;
+    /// Way count for whole-trace analysis: one way per SIMD16 mask bit
+    /// pattern (~5 MiB of deltas), so working sets of tens of thousands
+    /// of distinct masks stay resident.
+    pub const ANALYZER_WAYS: usize = 1 << 16;
+
+    /// A memo with `ways` slots, rounded up to a power of two (minimum 2,
+    /// keeping the hash shift below the u32 width).
+    pub fn with_ways(ways: usize) -> Self {
+        let ways = ways.next_power_of_two().max(2);
+        Self {
+            shift: 32 - ways.trailing_zeros(),
+            keys: vec![None; ways],
+            deltas: vec![TallyDelta::default(); ways],
+        }
+    }
 
     /// The tally contribution of `(mask, dtype)`, computed or replayed.
     pub fn delta(&mut self, mask: ExecMask, dtype: DataType) -> TallyDelta {
         let key = (mask.bits(), mask.width(), dtype);
-        let way = (key.0.wrapping_mul(0x9E37_79B9) >> 26) as usize;
+        // Fibonacci hashing over all three key fields: the multiply
+        // spreads low-bit differences into the kept top bits, so masks
+        // differing only in width or dtype land in different ways.
+        let h = key.0 ^ (key.1 << 16) ^ ((dtype as u32) << 22);
+        let way = (h.wrapping_mul(0x9E37_79B9) >> self.shift) as usize;
         if self.keys[way] != Some(key) {
             self.deltas[way] = TallyDelta::of(mask, dtype);
             self.keys[way] = Some(key);
@@ -365,6 +419,48 @@ mod tests {
                 u64::from(sched.swizzle_count()),
                 "mask {bits:#06x}"
             );
+        }
+    }
+
+    #[test]
+    fn add_run_equals_repeated_adds() {
+        for bits in [0xFFFFu32, 0xF0F0, 0xAAAA, 0x0001, 0x0000] {
+            let m = ExecMask::new(bits, 16);
+            for dtype in [DataType::F, DataType::Df, DataType::Uw] {
+                let mut runs = CompactionTally::new();
+                runs.add_run(m, dtype, 7);
+                let mut scalar = CompactionTally::new();
+                for _ in 0..7 {
+                    scalar.add(m, dtype);
+                }
+                assert_eq!(runs, scalar, "mask {bits:#06x} {dtype:?}");
+            }
+        }
+        let mut zero = CompactionTally::new();
+        zero.add_run(ExecMask::all(16), DataType::F, 0);
+        assert_eq!(zero, CompactionTally::new(), "zero-length run is a no-op");
+    }
+
+    #[test]
+    fn memo_is_transparent_at_any_size_and_state() {
+        // Stream a working set far past the small memo's way count
+        // through memos of several sizes (including the pathological
+        // 2-way one) twice over, comparing every delta against a direct
+        // recompute by applying both to tallies.
+        for ways in [1, 2, 64, TallyMemo::ANALYZER_WAYS] {
+            let mut memo = TallyMemo::with_ways(ways);
+            for pass in 0..2 {
+                for i in 0..1000u32 {
+                    let bits = i.wrapping_mul(0x9E37).wrapping_add(pass) & 0xFFFF;
+                    let m = ExecMask::new(bits, 16);
+                    let dtype = if i % 3 == 0 { DataType::F } else { DataType::D };
+                    let mut via_memo = CompactionTally::new();
+                    via_memo.add_delta(&memo.delta(m, dtype));
+                    let mut direct = CompactionTally::new();
+                    direct.add(m, dtype);
+                    assert_eq!(via_memo, direct, "ways {ways} pass {pass} mask {bits:#06x}");
+                }
+            }
         }
     }
 

@@ -143,6 +143,47 @@ impl SchedMode {
     }
 }
 
+/// Convergent burst issue: when a fully-converged thread reaches a
+/// hazard-free straight-line span of ALU plans, the whole span issues
+/// back-to-back in one arbiter visit instead of one plan per visit.
+///
+/// Timing-neutral like [`ExecBackend`] and [`SchedMode`]: the burst path
+/// charges exactly the cycles, stalls, and tallies the per-plan path would
+/// — `crates/sim/tests/burst_equivalence.rs` pins byte-identical
+/// [`SimResult`](crate::SimResult)s over the whole catalog — so this knob
+/// only trades simulator wall-clock speed against auditability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstMode {
+    /// Resolve from the `IWC_BURST` environment variable (`"off"` disables
+    /// bursting; anything else, or unset, enables it). Read once per
+    /// process.
+    #[default]
+    Auto,
+    /// Burst whole convergent spans per arbiter visit: the fast path.
+    On,
+    /// Issue one plan per arbiter visit: the timing oracle.
+    Off,
+}
+
+impl BurstMode {
+    /// Resolves `Auto` against the `IWC_BURST` environment variable
+    /// (cached after the first read; explicit variants are returned
+    /// unchanged).
+    pub fn resolve(self) -> BurstMode {
+        use std::sync::OnceLock;
+        static FROM_ENV: OnceLock<BurstMode> = OnceLock::new();
+        match self {
+            BurstMode::Auto => {
+                *FROM_ENV.get_or_init(|| match std::env::var("IWC_BURST").as_deref() {
+                    Ok("off") => BurstMode::Off,
+                    _ => BurstMode::On,
+                })
+            }
+            explicit => explicit,
+        }
+    }
+}
+
 /// Full GPU configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GpuConfig {
@@ -189,6 +230,9 @@ pub struct GpuConfig {
     /// [`SchedMode`]).
     #[serde(default)]
     pub sched: SchedMode,
+    /// Convergent burst issue (timing-neutral; see [`BurstMode`]).
+    #[serde(default)]
+    pub burst: BurstMode,
     /// FPU pipeline depth (issue-to-writeback latency beyond occupancy).
     pub fpu_latency: u32,
     /// Extended-math pipeline depth.
@@ -216,6 +260,7 @@ impl GpuConfig {
             profile_insns: false,
             exec: ExecBackend::Auto,
             sched: SchedMode::Auto,
+            burst: BurstMode::Auto,
             // Issue-to-writeback depth beyond pipe occupancy. Gen EUs forward
             // results between dependent ALU ops, so the effective latency seen
             // by the scoreboard is short.
@@ -303,6 +348,12 @@ impl GpuConfig {
     /// Paper default with an explicit simulation-loop scheduler.
     pub fn with_sched(mut self, sched: SchedMode) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Paper default with an explicit convergent-burst mode.
+    pub fn with_burst(mut self, burst: BurstMode) -> Self {
+        self.burst = burst;
         self
     }
 

@@ -1,7 +1,7 @@
 //! Multi-EU GPU: workgroup dispatch, barriers, and the simulation loop.
 
-use crate::config::{ExecBackend, GpuConfig, SchedMode};
-use crate::eu::{Eu, EuStats, HwThread, StallCause, StallSpan, StallStats};
+use crate::config::{BurstMode, ExecBackend, GpuConfig, SchedMode};
+use crate::eu::{BurstScript, Eu, EuStats, HwThread, StallCause, StallSpan, StallStats};
 use crate::exec::ThreadCtx;
 use crate::memimg::MemoryImage;
 use crate::memsys::{MemStats, MemSystem};
@@ -124,6 +124,41 @@ impl fmt::Display for SimResult {
             100.0 * self.l3_hit_rate,
             self.dc_throughput()
         )
+    }
+}
+
+/// Traffic counters for the `sim/burst` telemetry group: how often the
+/// convergent-burst fast path engaged and how much arbitration it
+/// replaced. Like `sim/wheel`, the group is published only when a burst
+/// actually happened, so burst-off (and never-bursting) results stay
+/// byte-identical to pre-burst snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BurstStats {
+    /// Bursts initiated (hazard-free spans front-run in one visit).
+    pub spans: u64,
+    /// Plans issued through burst scripts, beyond each span's lead.
+    pub plans: u64,
+    /// Visited cycles answered from a script instead of arbitration.
+    pub scripted_cycles: u64,
+    /// Longest burst span in plans, including the lead.
+    pub max_span: u64,
+}
+
+impl BurstStats {
+    /// True when no burst happened — the `sim/burst` group is then left
+    /// out of snapshots.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl iwc_telemetry::Instrument for BurstStats {
+    fn publish(&self, prefix: &str, snap: &mut TelemetrySnapshot) {
+        let j = |name: &str| iwc_telemetry::join(prefix, name);
+        snap.set_counter(&j("spans"), self.spans);
+        snap.set_counter(&j("plans"), self.plans);
+        snap.set_counter(&j("scripted_cycles"), self.scripted_cycles);
+        snap.set_gauge(&j("max_span"), self.max_span as f64);
     }
 }
 
@@ -477,6 +512,14 @@ fn run_launch_inner(
     // until a wheel event (or a barrier release) wakes it, instead of being
     // re-arbitrated every visited cycle to rediscover that it is blocked.
     let sleep_enabled = cfg.sched.resolve() == SchedMode::Wheel;
+    // Convergent-burst replay state: while a burst is in flight on an EU,
+    // its script stands in for arbitration — the thread's architectural
+    // state is already past the span, so consulting it early would issue
+    // post-span work ahead of schedule. Decoded backend only; the
+    // reference interpreter never bursts.
+    let burst_enabled = decoded.is_some() && cfg.burst.resolve() == BurstMode::On;
+    let mut scripts: Vec<Option<BurstScript>> = eus.iter().map(|_| None).collect();
+    let mut burst_stats = BurstStats::default();
     let mut wheel = TimingWheel::new();
     let mut states: Vec<EuState> = eus.iter().map(|_| EuState::Awake).collect();
     let mut stalls_before: Vec<StallStats> = vec![StallStats::default(); eus.len()];
@@ -541,6 +584,29 @@ fn run_launch_inner(
             if sleep_enabled {
                 stalls_before[idx] = eu.stats.stalls;
             }
+            // A burst in flight: replay the scripted arbitration outcome —
+            // an issue at each scheduled cycle, a pipe-busy verdict (with
+            // its per-pass stall event, like a real scan would charge) in
+            // between. Everything downstream — attribution, the sleep
+            // decision, wake-ups — consumes the outcome unchanged.
+            if let Some(script) = scripts[idx].as_mut() {
+                burst_stats.scripted_cycles += 1;
+                let at = script.next_time();
+                debug_assert!(now <= at, "scheduler visited past a scripted issue");
+                let outcome: ArbOutcome = if now == at {
+                    if script.advance() {
+                        scripts[idx] = None;
+                    }
+                    any_issued = true;
+                    (true, None, None)
+                } else {
+                    eu.stats.stalls.pipe_busy += 1;
+                    min_hint = Some(min_hint.map_or(at, |m| m.min(at)));
+                    (false, Some(StallCause::PipeBusy), Some(at))
+                };
+                per_eu.push(Some(outcome));
+                continue;
+            }
             let arb = eu.arbitrate(
                 now,
                 cfg,
@@ -551,6 +617,7 @@ fn run_launch_inner(
                 img,
                 &mut slms,
                 &mut arrivals,
+                burst_enabled,
             );
             if arb.issued > 0 {
                 any_issued = true;
@@ -561,6 +628,12 @@ fn run_launch_inner(
             }
             if let Some(h) = arb.hint {
                 min_hint = Some(min_hint.map_or(h, |m| m.min(h)));
+            }
+            if let Some(script) = arb.burst {
+                burst_stats.spans += 1;
+                burst_stats.plans += script.len() as u64;
+                burst_stats.max_span = burst_stats.max_span.max(script.len() as u64 + 1);
+                scripts[idx] = Some(script);
             }
             per_eu.push(Some((arb.issued > 0, arb.blocked, arb.hint)));
         }
@@ -748,6 +821,12 @@ fn run_launch_inner(
     // pre-wheel snapshots.
     if !wheel.stats.is_empty() {
         telemetry.publish("sim/wheel", &wheel.stats);
+    }
+    // Likewise `sim/burst`: published only when a burst engaged, so
+    // burst-off results are byte-identical to burst-capable ones that
+    // never found a span.
+    if !burst_stats.is_empty() {
+        telemetry.publish("sim/burst", &burst_stats);
     }
     Ok(SimResult {
         cycles: now - start,

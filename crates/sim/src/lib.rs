@@ -70,11 +70,13 @@ pub mod simt;
 pub mod timeline;
 pub mod wheel;
 
-pub use config::{CacheConfig, ExecBackend, GpuConfig, MemConfig, RfTiming, SchedMode};
+pub use config::{BurstMode, CacheConfig, ExecBackend, GpuConfig, MemConfig, RfTiming, SchedMode};
 pub use eu::{
-    Eu, EuStats, HwThread, IssueEvent, StallBreakdown, StallCause, StallSpan, StallStats,
+    BurstScript, Eu, EuStats, HwThread, IssueEvent, StallBreakdown, StallCause, StallSpan,
+    StallStats,
 };
 pub use exec::{execute_instruction, Effect, Executed, ThreadCtx};
+pub use gpu::BurstStats;
 pub use gpu::{arg_base_reg, simulate, simulate_decoded, Gpu, Launch, SimResult, SimulateError};
 pub use memimg::MemoryImage;
 pub use memsys::{MemStats, MemSystem};

@@ -1,0 +1,210 @@
+//! Differential equivalence of convergent burst issue.
+//!
+//! Bursting (`iwc_sim::config::BurstMode`, the production default) must
+//! reproduce the one-plan-per-visit issue path's [`SimResult`] **exactly**
+//! — cycles, every counter including the legacy per-pass stall events —
+//! and leave a byte-identical memory image. The one permitted difference
+//! is the `sim/burst` telemetry group itself, which only a run that
+//! actually burst publishes; the comparison strips it and separately
+//! asserts it is absent from burst-off results.
+//!
+//! Alongside the catalog sweep, a directed convergent loop kernel pins the
+//! positive case — its ALU body becomes I$-resident after one iteration
+//! and must engage the burst path — under both schedulers, since the
+//! script replay and the event wheel interact (a scripted gap is what the
+//! wheel sleeps over).
+
+use iwc_compaction::EngineId;
+use iwc_isa::{CondOp, DataType, FlagReg, KernelBuilder, MemSpace, Operand, Predicate};
+use iwc_sim::{simulate, BurstMode, GpuConfig, Launch, MemoryImage, SchedMode, SimResult};
+use iwc_telemetry::TelemetrySnapshot;
+use iwc_workloads::catalog;
+
+/// Snapshot with the `sim/burst/…` metrics removed (the fast path's own
+/// traffic counters — everything else must match the per-plan path).
+fn strip_burst(snap: &TelemetrySnapshot) -> TelemetrySnapshot {
+    let mut out = TelemetrySnapshot::new();
+    for (name, v) in snap.counters() {
+        if !name.starts_with("sim/burst/") {
+            out.set_counter(name, v);
+        }
+    }
+    for (name, v) in snap.gauges() {
+        if !name.starts_with("sim/burst/") {
+            out.set_gauge(name, v);
+        }
+    }
+    for (name, h) in snap.hists() {
+        out.set_hist(name, *h);
+    }
+    out
+}
+
+fn assert_on_off_equal(
+    on: &SimResult,
+    img_on: &MemoryImage,
+    off: &SimResult,
+    img_off: &MemoryImage,
+    ctx: &str,
+) {
+    assert_eq!(
+        off.telemetry.counter("sim/burst/spans"),
+        None,
+        "{ctx}: burst-off must not publish the burst group"
+    );
+    let mut on_cmp = on.clone();
+    on_cmp.telemetry = strip_burst(&on.telemetry);
+    assert_eq!(&on_cmp, off, "{ctx}: SimResult diverged");
+
+    assert_eq!(img_on.capacity(), img_off.capacity(), "{ctx}: capacity");
+    for addr in (0..img_on.capacity()).step_by(4) {
+        assert_eq!(
+            img_on.read_u32(addr),
+            img_off.read_u32(addr),
+            "{ctx}: memory diverged at byte {addr:#x}"
+        );
+    }
+}
+
+fn sweep(names: Option<&[&str]>) {
+    let entries = catalog();
+    let picked: Vec<_> = match names {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                entries
+                    .iter()
+                    .find(|e| &e.name == n)
+                    .unwrap_or_else(|| panic!("workload {n} not in catalog"))
+            })
+            .collect(),
+        None => entries.iter().collect(),
+    };
+    for entry in picked {
+        let built = (entry.build)(1);
+        for engine in EngineId::CANONICAL {
+            let cfg = GpuConfig::paper_default().with_compaction(engine);
+            let ctx = format!("{} under {engine}", entry.name);
+            let (on, img_on) = built
+                .run(&cfg.with_burst(BurstMode::On))
+                .unwrap_or_else(|e| panic!("{ctx}: burst-on run failed: {e}"));
+            let (off, img_off) = built
+                .run(&cfg.with_burst(BurstMode::Off))
+                .unwrap_or_else(|e| panic!("{ctx}: burst-off run failed: {e}"));
+            assert_on_off_equal(&on, &img_on, &off, &img_off, &ctx);
+        }
+    }
+}
+
+/// Representative slice — coherent, branch-divergent, and memory-divergent
+/// workloads — under all four canonical engines. Always on.
+#[test]
+fn burst_matches_per_plan_issue_on_representative_workloads() {
+    sweep(Some(&["VA", "Bsearch", "BFS"]));
+}
+
+/// The whole catalog under all four canonical engines. Release builds
+/// only, like the other full-grid sweeps.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full catalog x engine grid, twice; run with cargo test --release"
+)]
+fn burst_matches_per_plan_issue_across_the_whole_suite() {
+    sweep(None);
+}
+
+/// A single-thread loop whose body is a long hazard-free ALU span: cold
+/// I$ keeps iteration 1 on the per-plan path, then iterations 2+ must
+/// burst. 24 independent `mov`s plus the loop-counter `add` form the span;
+/// `cmp` writes a flag and `while` reads it, which fences the span and
+/// re-arms it each iteration.
+fn convergent_loop(iters: u32) -> (Launch, MemoryImage) {
+    let mut img = MemoryImage::new(1 << 16);
+    let n = 16u32;
+    let out = img.alloc(n * 4);
+
+    let mut b = KernelBuilder::new("burst_loop", 16);
+    b.mov(Operand::rud(6), Operand::imm_ud(0));
+    b.do_();
+    for k in 0..24u32 {
+        b.mov(
+            Operand::rf((20 + 2 * k) as u8),
+            Operand::imm_f(0.5 + k as f32),
+        );
+    }
+    b.add(Operand::rud(6), Operand::rud(6), Operand::imm_ud(1));
+    b.cmp(
+        CondOp::Lt,
+        FlagReg::F0,
+        Operand::rud(6),
+        Operand::imm_ud(iters),
+    );
+    b.while_(Predicate::normal(FlagReg::F0));
+    b.mad(
+        Operand::rud(10),
+        Operand::rud(1),
+        Operand::imm_ud(4),
+        Operand::scalar(3, 0, DataType::Ud),
+    );
+    b.store(MemSpace::Global, Operand::rud(10), Operand::rf(20));
+    let program = b.finish().expect("valid kernel");
+    let launch = Launch::new(program, n, 16).with_args(&[out]);
+    (launch, img)
+}
+
+fn run_convergent(cfg: &GpuConfig, mode: BurstMode) -> (SimResult, MemoryImage) {
+    let (launch, img) = convergent_loop(8);
+    let mut run_img = img.clone();
+    let r = simulate(&cfg.with_burst(mode), &launch, &mut run_img).expect("run");
+    (r, run_img)
+}
+
+/// The directed loop must actually engage the burst path (under the
+/// default wheel scheduler) and still match burst-off byte for byte.
+#[test]
+fn convergent_loop_bursts_and_matches_off() {
+    let cfg = GpuConfig::paper_default().with_sched(SchedMode::Wheel);
+    let (on, img_on) = run_convergent(&cfg, BurstMode::On);
+    let (off, img_off) = run_convergent(&cfg, BurstMode::Off);
+    let spans = on.telemetry.counter("sim/burst/spans").unwrap_or(0);
+    assert!(spans > 0, "loop body never burst (spans = 0)");
+    assert!(
+        on.telemetry.counter("sim/burst/plans").unwrap_or(0) >= spans,
+        "a burst must cover at least one plan beyond its lead"
+    );
+    assert!(
+        on.telemetry.gauge("sim/burst/max_span").unwrap_or(0.0) >= 25.0,
+        "the 25-plan span should burst whole once resident"
+    );
+    assert_on_off_equal(&on, &img_on, &off, &img_off, "convergent loop, wheel");
+}
+
+/// Same kernel under the tick scheduler: every scripted gap cycle is
+/// visited one by one, pinning the per-visit pipe-busy replay against the
+/// real arbitration it stands in for.
+#[test]
+fn convergent_loop_bursts_under_tick_scheduler() {
+    let cfg = GpuConfig::paper_default().with_sched(SchedMode::Tick);
+    let (on, img_on) = run_convergent(&cfg, BurstMode::On);
+    let (off, img_off) = run_convergent(&cfg, BurstMode::Off);
+    assert!(
+        on.telemetry.counter("sim/burst/spans").unwrap_or(0) > 0,
+        "loop body never burst under tick"
+    );
+    assert_on_off_equal(&on, &img_on, &off, &img_off, "convergent loop, tick");
+}
+
+/// Recording configurations (mask capture, issue log, instruction
+/// profiles) must refuse to burst — their per-issue hooks need the
+/// per-plan path — and therefore publish no burst group.
+#[test]
+fn recording_disables_bursting() {
+    let cfg = GpuConfig::paper_default().with_issue_log(true);
+    let (on, _img) = run_convergent(&cfg, BurstMode::On);
+    assert_eq!(
+        on.telemetry.counter("sim/burst/spans"),
+        None,
+        "recording runs must stay on the per-plan path"
+    );
+}

@@ -7,8 +7,10 @@
 
 use crate::format::{Trace, TraceIoError};
 use crate::pack::CorpusPack;
-use crate::source::{SliceSource, TraceSource};
-use iwc_compaction::{CompactionMode, CompactionTally, EngineId, EngineTally, UtilBucket};
+use crate::source::{for_each_run, SliceSource, TraceSource};
+use iwc_compaction::{
+    CompactionMode, CompactionTally, EngineId, EngineTally, TallyMemo, UtilBucket,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -19,6 +21,12 @@ pub struct TraceReport {
     pub name: String,
     /// Full compaction accounting.
     pub tally: CompactionTally,
+    /// Number of maximal `(mask, dtype)` runs the record stream folded
+    /// into — `instructions / runs` is the mean run length, the direct
+    /// predictor of how much the run-length fast path saves. Reports
+    /// serialized before this field existed deserialize to 0.
+    #[serde(default)]
+    pub runs: u64,
 }
 
 impl TraceReport {
@@ -63,18 +71,40 @@ impl TraceReport {
 /// Analyzes a streaming source chunk by chunk — the core entry point;
 /// peak memory is O(chunk) whatever the trace length.
 ///
+/// Records are folded into maximal `(mask, dtype)` runs first
+/// ([`for_each_run`]) and each run is charged multiplicatively through a
+/// [`TallyMemo`], so the four cycle models and the SCC swizzle cost are
+/// evaluated once per *distinct mask in the working set* instead of once
+/// per record. Every tally field is an integer sum, so the result is
+/// exactly equal to the per-record accounting — the scalar path survives
+/// as [`CompactionTally::add`] and the differential tests pin the
+/// equivalence.
+///
 /// # Errors
 ///
 /// Propagates stream failures (unreadable or malformed sources).
 pub fn analyze_source(src: &mut dyn TraceSource) -> Result<TraceReport, TraceIoError> {
+    // Divergence traces carry tens of thousands of distinct masks with a
+    // mean run length near 1 on the synthetic corpus, so the memo — not
+    // the run fold — decides whether the cycle models are evaluated per
+    // run or per distinct mask. One analyzer-sized memo per thread,
+    // reused across traces: keys are (mask, dtype) alone, so cross-trace
+    // reuse is sound (the memo is transparent by contract), and the
+    // ~6 MiB table is paid once per worker instead of zeroed per trace.
+    thread_local! {
+        static MEMO: std::cell::RefCell<TallyMemo> =
+            std::cell::RefCell::new(TallyMemo::with_ways(TallyMemo::ANALYZER_WAYS));
+    }
     let name = src.name().to_owned();
     let mut tally = CompactionTally::new();
-    while let Some(chunk) = src.next_chunk()? {
-        for r in chunk {
-            tally.add(r.mask(), r.dtype);
-        }
-    }
-    Ok(TraceReport { name, tally })
+    let runs = MEMO.with(|memo| {
+        let memo = &mut *memo.borrow_mut();
+        for_each_run(src, |r, n| {
+            let d = memo.delta(r.mask(), r.dtype);
+            tally.add_delta_scaled(&d, n);
+        })
+    })?;
+    Ok(TraceReport { name, tally, runs })
 }
 
 /// Analyzes a materialized trace (adapter over [`analyze_source`]).
@@ -105,11 +135,9 @@ pub fn analyze_source_engines(
 ) -> Result<EngineReport, TraceIoError> {
     let name = src.name().to_owned();
     let mut tally = EngineTally::new(ids);
-    while let Some(chunk) = src.next_chunk()? {
-        for r in chunk {
-            tally.add(r.mask(), r.dtype);
-        }
-    }
+    for_each_run(src, |r, n| {
+        tally.add_run(r.mask(), r.dtype, n);
+    })?;
     Ok(EngineReport { name, tally })
 }
 
@@ -298,12 +326,19 @@ where
 /// thread count produced the reports.
 pub fn corpus_snapshot(reports: &[TraceReport]) -> iwc_telemetry::TelemetrySnapshot {
     let mut total = CompactionTally::new();
+    let mut runs = 0u64;
     for r in reports {
         total.merge(&r.tally);
+        runs += r.runs;
     }
     let mut snap = iwc_telemetry::TelemetrySnapshot::new();
     snap.set_counter("corpus/traces", reports.len() as u64);
     snap.publish("corpus", &total);
+    // Run-length coherence of the analyzed streams: records / runs is the
+    // mean run length, i.e. how much the multiplicative tally fast path
+    // collapsed the per-record work.
+    snap.set_counter("trace/rle/runs", runs);
+    snap.set_counter("trace/rle/records", total.instructions);
     snap
 }
 
@@ -352,6 +387,32 @@ mod tests {
         assert_eq!(snap.counter("corpus/traces"), Some(reports.len() as u64));
         let total: u64 = reports.iter().map(|r| r.tally.instructions).sum();
         assert_eq!(snap.counter("corpus/instructions"), Some(total));
+        let runs: u64 = reports.iter().map(|r| r.runs).sum();
+        assert_eq!(snap.counter("trace/rle/runs"), Some(runs));
+        assert_eq!(snap.counter("trace/rle/records"), Some(total));
+        assert!(runs > 0 && runs <= total, "runs partition the records");
+    }
+
+    #[test]
+    fn run_length_analysis_matches_scalar_reference() {
+        // The run-length fast path must be value-identical to per-record
+        // accounting on every corpus profile — the whole point of the
+        // multiplicative charge is that it is exact, not approximate.
+        let profiles = crate::synth::corpus();
+        for p in &profiles {
+            let fast = analyze_source(&mut p.source(300)).unwrap();
+            let mut scalar = CompactionTally::new();
+            let mut records = 0u64;
+            let mut src = p.source(300);
+            while let Some(chunk) = src.next_chunk().unwrap() {
+                for r in chunk {
+                    scalar.add(r.mask(), r.dtype);
+                    records += 1;
+                }
+            }
+            assert_eq!(fast.tally, scalar, "{}", p.name);
+            assert_eq!(fast.tally.instructions, records, "{}", p.name);
+        }
     }
 
     #[test]

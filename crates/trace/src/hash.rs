@@ -18,7 +18,7 @@
 //! results cache both document this).
 
 use crate::format::{Trace, TraceRecord};
-use std::io::Write as _;
+use iwc_isa::types::DataType;
 
 /// FNV-1a 64-bit offset basis.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -76,13 +76,12 @@ impl RecordHasher {
 
     /// Absorbs one record.
     pub fn push(&mut self, r: &TraceRecord) {
+        let name = dtype_debug_bytes(r.dtype);
         let mut buf = [0u8; 16];
-        let mut cur = &mut buf[..];
-        cur.write_all(&r.bits.to_le_bytes())
-            .expect("stack buffer cannot fail");
-        cur.write_all(&[r.width]).expect("stack buffer cannot fail");
-        write!(cur, "{:?}", r.dtype).expect("dtype Debug fits 10 bytes");
-        let used = 16 - cur.len();
+        buf[..4].copy_from_slice(&r.bits.to_le_bytes());
+        buf[4] = r.width;
+        let used = 5 + name.len();
+        buf[5..used].copy_from_slice(name);
         self.0.write(&buf[..used]);
     }
 
@@ -96,6 +95,28 @@ impl RecordHasher {
     /// The hash of everything absorbed so far.
     pub fn finish(&self) -> u64 {
         self.0.finish()
+    }
+}
+
+/// The `Debug` rendering of each dtype as static bytes. The hash
+/// encoding predates this table (module docs: byte-compatible with the
+/// original `write!("{:?}")` form), so every arm must match `Debug`
+/// exactly — asserted by `debug_byte_table_matches_debug`. A lookup
+/// beats the formatting machinery by an order of magnitude on the
+/// hashing hot path (30M records per corpus pack scan).
+fn dtype_debug_bytes(d: DataType) -> &'static [u8] {
+    match d {
+        DataType::Ub => b"Ub",
+        DataType::B => b"B",
+        DataType::Uw => b"Uw",
+        DataType::W => b"W",
+        DataType::Hf => b"Hf",
+        DataType::Ud => b"Ud",
+        DataType::D => b"D",
+        DataType::F => b"F",
+        DataType::Uq => b"Uq",
+        DataType::Q => b"Q",
+        DataType::Df => b"Df",
     }
 }
 
@@ -157,23 +178,25 @@ mod tests {
         assert_ne!(trace_hash(&a), trace_hash(&d));
     }
 
+    const ALL_DTYPES: [DataType; 11] = [
+        DataType::Ub,
+        DataType::B,
+        DataType::Uw,
+        DataType::W,
+        DataType::Hf,
+        DataType::Ud,
+        DataType::D,
+        DataType::F,
+        DataType::Uq,
+        DataType::Q,
+        DataType::Df,
+    ];
+
     #[test]
     fn all_dtypes_encode_within_the_stack_buffer() {
         // RecordHasher packs bits+width+dtype-Debug into 16 bytes; every
         // dtype's Debug form must fit (longest is 2 chars).
-        for d in [
-            DataType::Ub,
-            DataType::B,
-            DataType::Uw,
-            DataType::W,
-            DataType::Hf,
-            DataType::Ud,
-            DataType::D,
-            DataType::F,
-            DataType::Uq,
-            DataType::Q,
-            DataType::Df,
-        ] {
+        for d in ALL_DTYPES {
             let mut h = RecordHasher::new();
             h.push(&TraceRecord {
                 bits: 1,
@@ -181,6 +204,19 @@ mod tests {
                 dtype: d,
             });
             let _ = h.finish();
+        }
+    }
+
+    #[test]
+    fn debug_byte_table_matches_debug() {
+        // The static table IS the hash encoding; drifting from the Debug
+        // rendering would silently change every content hash.
+        for d in ALL_DTYPES {
+            assert_eq!(
+                dtype_debug_bytes(d),
+                format!("{d:?}").as_bytes(),
+                "table entry for {d:?}"
+            );
         }
     }
 }

@@ -53,6 +53,6 @@ pub use analyze::{
 pub use format::{Trace, TraceIoError, TraceRecord};
 pub use hash::trace_hash;
 pub use pack::{CorpusPack, PackEntry, PackWriter};
-pub use source::{SliceSource, TraceSource, CHUNK_RECORDS};
-pub use store::{corpus_dir, ResultsCache};
+pub use source::{for_each_run, SliceSource, TraceSource, CHUNK_RECORDS};
+pub use store::{cache_max_bytes, corpus_dir, ResultsCache};
 pub use synth::{corpus, expanded_corpus, MaskStyle, Profile};

@@ -65,6 +65,29 @@ pub fn default_pack_path() -> PathBuf {
     corpus_dir().join("corpus.iwcc")
 }
 
+fn cache_max_bytes_from(raw: Option<std::ffi::OsString>) -> u64 {
+    match raw {
+        None => 0,
+        Some(v) => match v.to_str().and_then(|s| s.trim().parse::<u64>().ok()) {
+            Some(n) => n,
+            None => {
+                warn_once(
+                    "IWC_CACHE_MAX_BYTES",
+                    "ignoring unparseable IWC_CACHE_MAX_BYTES (cache unbounded)",
+                );
+                0
+            }
+        },
+    }
+}
+
+/// Results-cache size bound in bytes: `IWC_CACHE_MAX_BYTES`, with `0`
+/// (also the default when unset) meaning unbounded. An unparseable value
+/// warns once and leaves the cache unbounded.
+pub fn cache_max_bytes() -> u64 {
+    cache_max_bytes_from(std::env::var_os("IWC_CACHE_MAX_BYTES"))
+}
+
 /// Magic of a cache payload file's header line.
 const CACHE_MAGIC: &str = "IWCR";
 /// Cache payload format version.
@@ -80,12 +103,25 @@ const CACHE_VERSION: u32 = 1;
 /// thread-count-invariant).
 pub struct ResultsCache {
     dir: PathBuf,
+    max_bytes: u64,
 }
 
 impl ResultsCache {
-    /// A cache rooted at `dir`.
+    /// A cache rooted at `dir`, bounded by [`cache_max_bytes`] (the
+    /// `IWC_CACHE_MAX_BYTES` knob; `0` = unbounded).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            max_bytes: cache_max_bytes(),
+        }
+    }
+
+    /// Overrides the size bound (`0` = unbounded). Mainly for tests —
+    /// production callers get the env-derived bound from [`Self::new`].
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The cache under the configured corpus directory
@@ -155,7 +191,44 @@ impl ResultsCache {
             format!("{CACHE_MAGIC} {CACHE_VERSION} {key:016x}\n{payload}"),
         )?;
         fs::rename(&tmp, &path)?;
+        if self.max_bytes > 0 {
+            self.evict_to_bound(&path);
+        }
         Ok(path)
+    }
+
+    /// Best-effort eviction down to `max_bytes`: oldest-mtime payloads go
+    /// first (path as the tie-break for determinism), the just-stored one
+    /// never does — an oversized single payload stays cached rather than
+    /// thrashing. Scan or unlink failures are ignored; the bound is
+    /// advisory, like the cache itself.
+    fn evict_to_bound(&self, keep: &Path) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut payloads: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "iwcr") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            total += meta.len();
+            if path != keep {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                payloads.push((mtime, path, meta.len()));
+            }
+        }
+        payloads.sort();
+        for (_, path, len) in payloads {
+            if total <= self.max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+            }
+        }
     }
 }
 
@@ -216,6 +289,61 @@ mod tests {
         assert_eq!(cache.load(8), None);
         fs::write(cache.path_of(9), "IWCR 999 0000000000000009\nx").unwrap();
         assert_eq!(cache.load(9), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_max_bytes_knob_defaults_and_rejects_garbage() {
+        assert_eq!(cache_max_bytes_from(None), 0);
+        assert_eq!(cache_max_bytes_from(Some("4096".into())), 4096);
+        assert_eq!(cache_max_bytes_from(Some(" 512 ".into())), 512);
+        assert_eq!(cache_max_bytes_from(Some("lots".into())), 0);
+        assert_eq!(cache_max_bytes_from(Some("-1".into())), 0);
+    }
+
+    #[test]
+    fn store_evicts_oldest_payloads_past_the_bound() {
+        let header = CACHE_MAGIC.len() + 1 + 1 + 1 + 16 + 1; // "IWCR 1 <key>\n"
+        let body = "x".repeat(100);
+        let file_len = (header + body.len()) as u64;
+        let cache = tmp_cache("evict").with_max_bytes(2 * file_len);
+
+        // Age the entries by explicit mtime so the test needs no sleeps.
+        let age = |key: u64, secs_ago: u64| {
+            let t = std::time::SystemTime::now() - std::time::Duration::from_secs(secs_ago);
+            fs::File::options()
+                .write(true)
+                .open(cache.path_of(key))
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+        };
+        cache.store(1, &body).unwrap();
+        age(1, 300);
+        cache.store(2, &body).unwrap();
+        age(2, 200);
+        // Third store pushes the total to 3x the bound of 2x: the oldest
+        // payload (key 1) must go, the fresh write must survive.
+        cache.store(3, &body).unwrap();
+        assert_eq!(cache.load(1), None, "oldest payload evicted");
+        assert_eq!(cache.load(2).as_deref(), Some(body.as_str()));
+        assert_eq!(cache.load(3).as_deref(), Some(body.as_str()));
+
+        // An oversized single payload is stored anyway (never evict the
+        // entry just written), displacing everything else.
+        let big = "y".repeat(5 * file_len as usize);
+        age(2, 200);
+        age(3, 100);
+        cache.store(4, &big).unwrap();
+        assert_eq!(cache.load(2), None);
+        assert_eq!(cache.load(3), None);
+        assert_eq!(cache.load(4).as_deref(), Some(big.as_str()));
+
+        // Unbounded caches never evict.
+        let unbounded = ResultsCache::new(cache.dir().to_path_buf()).with_max_bytes(0);
+        unbounded.store(5, &body).unwrap();
+        unbounded.store(6, &body).unwrap();
+        assert_eq!(unbounded.load(4).as_deref(), Some(big.as_str()));
         let _ = fs::remove_dir_all(cache.dir());
     }
 
